@@ -1,0 +1,47 @@
+//! Scaling of Brandes edge betweenness (Algorithm 1 phase 2's inner loop).
+//!
+//! O(n·m) per component; the γ threshold exists precisely because running
+//! this on big components is slow — the bench shows the growth curve that
+//! justifies γ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gralmatch_graph::{edge_betweenness, Graph, Subgraph};
+use gralmatch_util::SplitRng;
+use std::hint::black_box;
+
+/// Random connected graph: tree + extra edges, deterministic per size.
+fn random_graph(n: usize, extra: usize) -> Subgraph {
+    let mut rng = SplitRng::new(n as u64);
+    let mut graph = Graph::with_nodes(n);
+    for child in 1..n as u32 {
+        let parent = rng.next_below(child as usize) as u32;
+        graph.add_edge(parent, child);
+    }
+    for _ in 0..extra {
+        let a = rng.next_below(n) as u32;
+        let b = rng.next_below(n) as u32;
+        if a != b {
+            graph.add_edge(a, b);
+        }
+    }
+    let nodes: Vec<u32> = (0..n as u32).collect();
+    Subgraph::induce(&graph, &nodes)
+}
+
+fn bench_betweenness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_betweenness");
+    for &n in &[16usize, 64, 256, 1024] {
+        let sub = random_graph(n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &sub, |b, sub| {
+            b.iter(|| black_box(edge_betweenness(black_box(sub))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_betweenness
+}
+criterion_main!(benches);

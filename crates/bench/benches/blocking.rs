@@ -1,0 +1,47 @@
+//! Blocking throughput (Table 2's candidate generation stage).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gralmatch_blocking::{
+    id_overlap_companies, id_overlap_securities, token_overlap, CandidateSet, TokenOverlapConfig,
+};
+use gralmatch_datagen::{generate, GenerationConfig};
+use std::hint::black_box;
+
+fn bench_blocking(c: &mut Criterion) {
+    let mut config = GenerationConfig::synthetic_full();
+    config.num_entities = 1_000;
+    let data = generate(&config).expect("valid config");
+    let companies = data.companies.records();
+    let securities = data.securities.records();
+
+    let mut group = c.benchmark_group("blocking");
+    group.bench_function("id_overlap_securities_5k", |b| {
+        b.iter(|| {
+            let mut set = CandidateSet::new();
+            id_overlap_securities(black_box(securities), &mut set);
+            black_box(set.len())
+        });
+    });
+    group.bench_function("id_overlap_companies_4k", |b| {
+        b.iter(|| {
+            let mut set = CandidateSet::new();
+            id_overlap_companies(black_box(companies), black_box(securities), &mut set);
+            black_box(set.len())
+        });
+    });
+    group.bench_function("token_overlap_companies_4k", |b| {
+        b.iter(|| {
+            let mut set = CandidateSet::new();
+            token_overlap(black_box(companies), &TokenOverlapConfig::default(), &mut set);
+            black_box(set.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_blocking
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! GraLMatch Graph Cleanup runtime: full Algorithm 1 vs its sensitivity
+//! variants (MEC-only, BC-only, ½γ) on prediction graphs with injected
+//! false-positive bridges — the Table 4 sensitivity study's runtime side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gralmatch_core::{graph_cleanup, pre_cleanup, CleanupConfig, CleanupVariant};
+use gralmatch_graph::Graph;
+use gralmatch_util::SplitRng;
+use std::hint::black_box;
+
+/// A prediction graph: `groups` cliques of size 5 with `bridges` random
+/// false-positive edges between consecutive groups.
+fn noisy_prediction_graph(groups: usize, bridges: usize) -> Graph {
+    let mut rng = SplitRng::new(42);
+    let mut graph = Graph::new();
+    let size = 5u32;
+    for g in 0..groups as u32 {
+        let base = g * size;
+        for i in 0..size {
+            for j in (i + 1)..size {
+                graph.add_edge(base + i, base + j);
+            }
+        }
+    }
+    for _ in 0..bridges {
+        let g = rng.next_below(groups - 1) as u32;
+        let a = g * size + rng.next_below(size as usize) as u32;
+        let b = (g + 1) * size + rng.next_below(size as usize) as u32;
+        graph.add_edge(a, b);
+    }
+    graph
+}
+
+fn bench_cleanup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_cleanup");
+    for &(groups, bridges) in &[(20usize, 10usize), (100, 60), (400, 260)] {
+        let label = format!("{}groups_{}bridges", groups, bridges);
+        for (variant, name) in [
+            (CleanupVariant::Full, "full"),
+            (CleanupVariant::MinCutOnly, "mec_only"),
+            (CleanupVariant::BetweennessOnly, "bc_only"),
+            (CleanupVariant::HalfGamma, "half_gamma"),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, &label),
+                &(groups, bridges),
+                |b, &(groups, bridges)| {
+                    b.iter_batched(
+                        || noisy_prediction_graph(groups, bridges),
+                        |mut graph| {
+                            let config = CleanupConfig::new(25, 5).variant(variant);
+                            black_box(graph_cleanup(&mut graph, &config))
+                        },
+                        criterion::BatchSize::SmallInput,
+                    );
+                },
+            );
+        }
+    }
+
+    group.bench_function("pre_cleanup_hairball", |b| {
+        b.iter_batched(
+            || noisy_prediction_graph(200, 300),
+            |mut graph| black_box(pre_cleanup(&mut graph, 50, |_| true)),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cleanup
+}
+criterion_main!(benches);

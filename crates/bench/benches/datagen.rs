@@ -1,0 +1,33 @@
+//! Dataset-generation throughput: the paper notes generation is linear in
+//! the number of record groups; this bench verifies it stays that way.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gralmatch_datagen::{generate, generate_wdc, GenerationConfig, WdcConfig};
+use std::hint::black_box;
+
+fn bench_datagen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen");
+    for &entities in &[500usize, 2_000, 8_000] {
+        group.throughput(Throughput::Elements(entities as u64));
+        group.bench_with_input(
+            BenchmarkId::new("financial", entities),
+            &entities,
+            |b, &entities| {
+                let mut config = GenerationConfig::synthetic_full();
+                config.num_entities = entities;
+                b.iter(|| black_box(generate(&config).expect("valid")));
+            },
+        );
+    }
+    group.bench_function("wdc_default", |b| {
+        b.iter(|| black_box(generate_wdc(&WdcConfig::default())));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_datagen
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Pairwise inference throughput (Table 4's dominant cost).
+//!
+//! Compares the encoder variants (plain-128 vs ditto-128 vs ditto-256 —
+//! longer streams mean more features per pair) and sequential vs parallel
+//! scoring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gralmatch_datagen::{generate, GenerationConfig};
+use gralmatch_lm::{
+    featurize, score_pairs, FeatureConfig, LogisticModel, ModelSpec, TrainedMatcher,
+};
+use gralmatch_records::RecordPair;
+use gralmatch_records::RecordId;
+use std::hint::black_box;
+
+fn bench_inference(c: &mut Criterion) {
+    let mut config = GenerationConfig::synthetic_full();
+    config.num_entities = 400;
+    let data = generate(&config).expect("valid config");
+    let securities = data.securities.records();
+    let features = FeatureConfig::default();
+    let matcher = TrainedMatcher {
+        model: LogisticModel::new(features.dim()),
+        features,
+    };
+
+    // A fixed pair workload.
+    let pairs: Vec<RecordPair> = (0..securities.len() as u32 - 1)
+        .map(|i| RecordPair::new(RecordId(i), RecordId(i + 1)))
+        .collect();
+
+    let mut group = c.benchmark_group("inference");
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+    for spec in [ModelSpec::DistilBert128All, ModelSpec::Ditto128, ModelSpec::Ditto256] {
+        let encoded = spec.encode_records(securities);
+        group.bench_with_input(
+            BenchmarkId::new("sequential", spec.display_name()),
+            &encoded,
+            |b, encoded| {
+                b.iter(|| black_box(score_pairs(&matcher, encoded, &pairs, 1)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel4", spec.display_name()),
+            &encoded,
+            |b, encoded| {
+                b.iter(|| black_box(score_pairs(&matcher, encoded, &pairs, 4)));
+            },
+        );
+    }
+
+    // Featurization microbench.
+    let encoded = ModelSpec::DistilBert128All.encode_records(securities);
+    group.bench_function("featurize_one_pair", |b| {
+        b.iter(|| black_box(featurize(&encoded[0], &encoded[1], &features)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_inference
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ablation: Stoer–Wagner vs flow-based global min cut.
+//!
+//! The paper notes both phases of Algorithm 1 are O(mn) worst case but the
+//! min-cut tends to run faster in practice; this bench quantifies the
+//! crossover between the two implementations on barbell components (two
+//! dense groups joined by a false-positive bridge — the canonical cleanup
+//! input).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gralmatch_graph::{mincut::global_min_cut_flow, mincut::stoer_wagner, Graph, Subgraph};
+use std::hint::black_box;
+
+/// Two k-cliques joined by one bridge.
+fn barbell(k: usize) -> Subgraph {
+    let mut graph = Graph::new();
+    for base in [0u32, k as u32] {
+        for i in 0..k as u32 {
+            for j in (i + 1)..k as u32 {
+                graph.add_edge(base + i, base + j);
+            }
+        }
+    }
+    graph.add_edge(k as u32 - 1, k as u32);
+    let nodes: Vec<u32> = (0..2 * k as u32).collect();
+    Subgraph::induce(&graph, &nodes)
+}
+
+fn bench_mincut(c: &mut Criterion) {
+    let mut group = c.benchmark_group("global_min_cut");
+    for &k in &[8usize, 16, 32, 64] {
+        let sub = barbell(k);
+        group.bench_with_input(BenchmarkId::new("stoer_wagner", 2 * k), &sub, |b, sub| {
+            b.iter(|| black_box(stoer_wagner(black_box(sub))));
+        });
+        group.bench_with_input(BenchmarkId::new("flow_based", 2 * k), &sub, |b, sub| {
+            b.iter(|| black_box(global_min_cut_flow(black_box(sub))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mincut
+}
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Runs the full reproduction (Tables 1–4 + figures) and writes a combined
+//! JSON report next to the printed tables.
+//!
+//! Usage: `cargo run -p gralmatch-bench --bin repro --release [-- out.json]`
+
+use gralmatch_bench::harness::{
+    prepare_real_sim, prepare_synthetic, prepare_wdc, run_companies_table4,
+    run_securities_table4, run_wdc_table4, Scale,
+};
+use gralmatch_core::CleanupVariant;
+use gralmatch_datagen::DatasetStats;
+use gralmatch_lm::ModelSpec;
+use serde_json::json;
+
+fn main() {
+    let scale = Scale::from_env();
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "repro-report.json".into());
+    eprintln!("repro: scale {} -> {}", scale.0, out_path);
+
+    let synthetic = prepare_synthetic(scale);
+    let real = prepare_real_sim();
+    let wdc = prepare_wdc();
+
+    let companies = DatasetStats::for_companies(&synthetic.data.companies);
+    let securities = DatasetStats::for_securities(&synthetic.data.securities);
+
+    let mut table4 = Vec::new();
+    let mut record_cell = |dataset: &str, model: &str, cell: &gralmatch_bench::harness::Table4Cell| {
+        eprintln!("repro: {dataset} / {model}");
+        table4.push(json!({
+            "dataset": dataset,
+            "model": model,
+            "records": cell.num_records,
+            "candidates": cell.outcome.num_candidates,
+            "pairwise": {
+                "precision": cell.outcome.pairwise.precision,
+                "recall": cell.outcome.pairwise.recall,
+                "f1": cell.outcome.pairwise.f1,
+            },
+            "pre_cleanup": {
+                "precision": cell.outcome.pre_cleanup.pairs.precision,
+                "recall": cell.outcome.pre_cleanup.pairs.recall,
+                "f1": cell.outcome.pre_cleanup.pairs.f1,
+                "cluster_purity": cell.outcome.pre_cleanup.cluster_purity,
+            },
+            "post_cleanup": {
+                "precision": cell.outcome.post_cleanup.pairs.precision,
+                "recall": cell.outcome.post_cleanup.pairs.recall,
+                "f1": cell.outcome.post_cleanup.pairs.f1,
+                "cluster_purity": cell.outcome.post_cleanup.cluster_purity,
+            },
+            "inference_seconds": cell.outcome.inference_seconds,
+            "train_seconds": cell.train_seconds,
+        }));
+    };
+
+    for spec in [ModelSpec::Ditto128, ModelSpec::DistilBert128All] {
+        let cell = run_companies_table4(&real, spec, 40, 8, CleanupVariant::Full);
+        record_cell("Real Companies", spec.display_name(), &cell);
+    }
+    for spec in ModelSpec::ALL {
+        let cell = run_companies_table4(&synthetic, spec, 25, 5, CleanupVariant::Full);
+        record_cell("Synthetic Companies", spec.display_name(), &cell);
+    }
+    for spec in [ModelSpec::Ditto128, ModelSpec::DistilBert128All] {
+        let cell = run_securities_table4(&real, spec, 40, 8);
+        record_cell("Real Securities", spec.display_name(), &cell);
+    }
+    for spec in ModelSpec::ALL {
+        let cell = run_securities_table4(&synthetic, spec, 25, 5);
+        record_cell("Synthetic Securities", spec.display_name(), &cell);
+    }
+    for spec in [ModelSpec::Ditto128, ModelSpec::DistilBert128All] {
+        let cell = run_wdc_table4(&wdc, spec, 25, 5);
+        record_cell("WDC Products", spec.display_name(), &cell);
+    }
+
+    let report = json!({
+        "scale": scale.0,
+        "table1": {
+            "synthetic_companies": {
+                "sources": companies.num_sources,
+                "entities": companies.num_entities,
+                "records": companies.num_records,
+                "matches": companies.num_matches,
+                "avg_matches_per_entity": companies.avg_matches_per_entity,
+                "pct_with_descriptions": companies.pct_with_descriptions,
+            },
+            "synthetic_securities": {
+                "sources": securities.num_sources,
+                "entities": securities.num_entities,
+                "records": securities.num_records,
+                "matches": securities.num_matches,
+                "avg_matches_per_entity": securities.avg_matches_per_entity,
+            },
+        },
+        "table4": table4,
+    });
+    std::fs::write(&out_path, serde_json::to_string_pretty(&report).expect("serialize"))
+        .expect("write report");
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,87 @@
+//! Regenerates Table 1: dataset statistics, paper vs measured.
+//!
+//! Usage: `cargo run -p gralmatch-bench --bin table1 --release`
+//! Scale via `GRALMATCH_SCALE` (default 0.02; 1.0 = paper size).
+//! Paper counts are scaled by the factor for like-for-like comparison.
+
+use gralmatch_bench::harness::{prepare_real_sim, prepare_synthetic, Scale};
+use gralmatch_bench::paper::TABLE1;
+use gralmatch_bench::table::render;
+use gralmatch_datagen::DatasetStats;
+
+fn fmt_count(value: f64) -> String {
+    if value >= 1_000_000.0 {
+        format!("{:.2}M", value / 1e6)
+    } else if value >= 1_000.0 {
+        format!("{:.1}K", value / 1e3)
+    } else {
+        format!("{value:.0}")
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Table 1 — dataset statistics (scale factor {})", scale.0);
+    println!("Cells are `paper (scaled) / measured`.\n");
+
+    let synthetic = prepare_synthetic(scale);
+    let real = prepare_real_sim();
+
+    let companies = DatasetStats::for_companies(&synthetic.data.companies);
+    let securities = DatasetStats::for_securities(&synthetic.data.securities);
+    let real_companies = DatasetStats::for_companies(&real.data.companies);
+    let real_securities = DatasetStats::for_securities(&real.data.securities);
+
+    let rows: Vec<(&str, &DatasetStats, f64)> = vec![
+        ("Synthetic Companies", &companies, scale.0),
+        ("Synthetic Securities", &securities, scale.0),
+        // The real-subset simulator is a fixed-size stand-in; compare its
+        // *shape* (sources, ratios) rather than scaled counts.
+        ("Real Companies (est.)", &real_companies, f64::NAN),
+        ("Real Securities (est.)", &real_securities, f64::NAN),
+    ];
+
+    let mut table_rows = Vec::new();
+    for (label, stats, factor) in rows {
+        let paper = TABLE1.iter().find(|c| c.dataset == label).expect("known dataset");
+        let scale_value = |v: f64| if factor.is_nan() { f64::NAN } else { v * factor };
+        let cell = |paper_value: f64, measured: f64| {
+            if paper_value.is_nan() {
+                format!("- / {}", fmt_count(measured))
+            } else {
+                format!("{} / {}", fmt_count(paper_value), fmt_count(measured))
+            }
+        };
+        table_rows.push(vec![
+            label.to_string(),
+            format!("{:.0} / {}", paper.sources, stats.num_sources),
+            cell(scale_value(paper.entities), stats.num_entities as f64),
+            cell(scale_value(paper.records), stats.num_records as f64),
+            cell(scale_value(paper.matches), stats.num_matches as f64),
+            format!("{:.1} / {:.1}", paper.avg_matches, stats.avg_matches_per_entity),
+            match (paper.pct_descriptions, stats.pct_with_descriptions) {
+                (Some(p), Some(m)) => format!("{:.0}% / {:.0}%", p * 100.0, m * 100.0),
+                _ => "- / -".to_string(),
+            },
+        ]);
+    }
+
+    println!(
+        "{}",
+        render(
+            &[
+                "Dataset",
+                "# Sources",
+                "# Entities",
+                "# Records",
+                "# Matches",
+                "Avg matches/entity",
+                "% w/ descriptions",
+            ],
+            &table_rows,
+        )
+    );
+    println!("Note: real columns compare against the paper's *estimates* for the");
+    println!("full vendor feeds; our real-subset simulator reproduces the labeled");
+    println!("subset's shape (8 sources, low edge-case rate), not those totals.");
+}

@@ -1,0 +1,106 @@
+//! Regenerates Table 2: blockings, record counts, candidate pairs, γ/μ.
+//!
+//! Usage: `cargo run -p gralmatch-bench --bin table2 --release`
+//! The paper's record counts are the *test splits* of the full datasets;
+//! candidate-pair counts are scaled by the factor for comparison.
+
+use gralmatch_bench::harness::{
+    company_test_universe, heuristic_company_groups, prepare_real_sim, prepare_synthetic,
+    prepare_wdc, security_test_universe, Scale,
+};
+use gralmatch_bench::paper::TABLE2;
+use gralmatch_bench::table::render;
+use gralmatch_blocking::TokenOverlapConfig;
+use gralmatch_core::{company_candidates, product_candidates, security_candidates};
+use gralmatch_records::{GroundTruth, ProductRecord, Record, RecordId};
+
+fn fmt_count(value: f64) -> String {
+    if value >= 1_000_000.0 {
+        format!("{:.2}M", value / 1e6)
+    } else if value >= 1_000.0 {
+        format!("{:.1}K", value / 1e3)
+    } else {
+        format!("{value:.0}")
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Table 2 — blockings and candidate pairs (scale factor {})", scale.0);
+    println!("Record/pair cells are `paper (scaled where applicable) / measured`.\n");
+
+    let synthetic = prepare_synthetic(scale);
+    let real = prepare_real_sim();
+    let wdc = prepare_wdc();
+
+    let mut rows = Vec::new();
+    let mut push_row =
+        |label: &str, records: usize, candidates: usize, scaled: bool| {
+            let paper = TABLE2.iter().find(|r| r.dataset == label).expect("known");
+            let factor = if scaled { scale.0 } else { 1.0 };
+            rows.push(vec![
+                label.to_string(),
+                paper.blockings.to_string(),
+                format!("{} / {}", fmt_count(paper.records * factor), fmt_count(records as f64)),
+                format!(
+                    "{} / {}",
+                    fmt_count(paper.candidate_pairs * factor),
+                    fmt_count(candidates as f64)
+                ),
+                paper.gamma.to_string(),
+                paper.mu.to_string(),
+            ]);
+        };
+
+    // Synthetic companies (test split).
+    {
+        let (companies, securities) = company_test_universe(&synthetic);
+        let candidates =
+            company_candidates(&companies, &securities, &TokenOverlapConfig::default());
+        push_row("Synthetic Companies", companies.len(), candidates.len(), true);
+    }
+    // Synthetic securities (test split).
+    {
+        let (companies, securities) = security_test_universe(&synthetic);
+        let groups = heuristic_company_groups(&companies, &securities);
+        let candidates = security_candidates(&securities, &groups);
+        push_row("Synthetic Securities", securities.len(), candidates.len(), true);
+    }
+    // Real companies / securities (fixed-size simulator; not scaled).
+    {
+        let (companies, securities) = company_test_universe(&real);
+        let candidates =
+            company_candidates(&companies, &securities, &TokenOverlapConfig::default());
+        push_row("Real Companies", companies.len(), candidates.len(), false);
+        let (companies, securities) = security_test_universe(&real);
+        let groups = heuristic_company_groups(&companies, &securities);
+        let candidates = security_candidates(&securities, &groups);
+        push_row("Real Securities", securities.len(), candidates.len(), false);
+    }
+    // WDC products (test split, unscaled).
+    {
+        let keep = wdc.split.test_set();
+        let mut test_products: Vec<ProductRecord> = Vec::new();
+        for product in wdc.products.records() {
+            if keep.contains(&product.id()) {
+                let mut cloned = product.clone();
+                cloned.id = RecordId(test_products.len() as u32);
+                test_products.push(cloned);
+            }
+        }
+        let candidates = product_candidates(&test_products, &TokenOverlapConfig::default());
+        let _ = GroundTruth::from_records(&test_products);
+        push_row("WDC Products", test_products.len(), candidates.len(), false);
+    }
+
+    println!(
+        "{}",
+        render(
+            &["Dataset", "Blockings", "# Records", "# Candidate Pairs", "γ", "μ"],
+            &rows,
+        )
+    );
+    println!("Note: the real-subset simulator is sized to the paper's labeled subset");
+    println!("(6.3K companies / 12.8K securities in its test universe at full size);");
+    println!("its row is not scaled by GRALMATCH_SCALE.");
+}

@@ -1,0 +1,559 @@
+//! Shared experiment harness for the table-regeneration binaries.
+//!
+//! Implements the paper's experimental protocol end to end:
+//!
+//! * datasets are generated at a configurable **scale factor**
+//!   (`GRALMATCH_SCALE`, default 0.02 ⇒ 4K company entities; 1.0 is the
+//!   paper-sized benchmark),
+//! * models are fine-tuned on the train/val splits (60/20 % of groups),
+//! * the end-to-end entity group matching experiment runs on the **test
+//!   split** (20 % of groups — Table 2's record counts are exactly the test
+//!   splits of the full datasets),
+//! * the securities pipeline receives issuer groups from a heuristic
+//!   company matching (see EXPERIMENTS.md for this simplification).
+
+use gralmatch_blocking::TokenOverlapConfig;
+use gralmatch_core::{
+    company_candidates, entity_groups, group_assignment, prediction_graph, product_candidates,
+    run_pipeline, security_candidates, CleanupVariant, MatchingOutcome, PipelineConfig,
+};
+use gralmatch_datagen::{
+    generate, generate_wdc, FinancialDataset, GenerationConfig, WdcConfig,
+};
+use gralmatch_lm::{
+    predict_positive, train, train_with_negative_pool, HeuristicMatcher, ModelSpec,
+    TrainedMatcher, TrainingReport,
+};
+use gralmatch_records::{
+    CompanyRecord, Dataset, DatasetSplit, GroundTruth, ProductRecord, Record, RecordId,
+    RecordPair, SecurityRecord, SplitRatios,
+};
+use gralmatch_util::{FxHashMap, FxHashSet, SplitRng};
+
+/// Experiment scale factor.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale(pub f64);
+
+impl Scale {
+    /// Read from `GRALMATCH_SCALE` (default 0.02).
+    pub fn from_env() -> Self {
+        let factor = std::env::var("GRALMATCH_SCALE")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or(0.02);
+        assert!(factor > 0.0 && factor <= 1.0, "scale must be in (0, 1]");
+        Scale(factor)
+    }
+}
+
+/// A generated financial benchmark with ground truths and splits.
+pub struct PreparedFinancial {
+    /// The generated datasets.
+    pub data: FinancialDataset,
+    /// Company ground truth.
+    pub company_gt: GroundTruth,
+    /// Security ground truth.
+    pub security_gt: GroundTruth,
+    /// Company split (60/20/20 by group).
+    pub company_split: DatasetSplit,
+    /// Security split.
+    pub security_split: DatasetSplit,
+}
+
+/// Generate + split one financial benchmark.
+pub fn prepare_financial(config: &GenerationConfig) -> PreparedFinancial {
+    let data = generate(config).expect("valid config");
+    let company_gt = data.companies.ground_truth();
+    let security_gt = data.securities.ground_truth();
+    let mut split_rng = SplitRng::new(config.seed ^ 0x5011).split("splits");
+    let company_split = DatasetSplit::new(&company_gt, SplitRatios::default(), &mut split_rng);
+    let security_split = DatasetSplit::new(&security_gt, SplitRatios::default(), &mut split_rng);
+    PreparedFinancial {
+        data,
+        company_gt,
+        security_gt,
+        company_split,
+        security_split,
+    }
+}
+
+/// The synthetic benchmark at a scale factor.
+pub fn prepare_synthetic(scale: Scale) -> PreparedFinancial {
+    prepare_financial(&GenerationConfig::synthetic_scaled(scale.0))
+}
+
+/// The real-subset simulator (fixed size).
+pub fn prepare_real_sim() -> PreparedFinancial {
+    prepare_financial(&GenerationConfig::real_simulated())
+}
+
+/// The WDC-style product benchmark with ground truth and split.
+pub struct PreparedWdc {
+    /// Product records.
+    pub products: Dataset<ProductRecord>,
+    /// Ground truth.
+    pub gt: GroundTruth,
+    /// Split.
+    pub split: DatasetSplit,
+}
+
+/// Generate + split the product benchmark. The split is **family-aware**:
+/// a corner-case sibling always lands in the same split as its original,
+/// so the hard negative pairs the benchmark exists for are evaluable
+/// (mirrors how WDC ships fixed pair sets per split).
+pub fn prepare_wdc() -> PreparedWdc {
+    let generated = generate_wdc(&WdcConfig::default());
+    let gt = generated.products.ground_truth();
+    let mut split_rng = SplitRng::new(0xdc).split("splits");
+
+    // Group entities by family, shuffle families, split 60/20/20.
+    let mut by_family: FxHashMap<u32, Vec<gralmatch_records::EntityId>> = FxHashMap::default();
+    for (&entity, &family) in &generated.family_of {
+        by_family.entry(family).or_default().push(entity);
+    }
+    let mut families: Vec<u32> = by_family.keys().copied().collect();
+    families.sort_unstable();
+    split_rng.shuffle(&mut families);
+    let n = families.len();
+    let n_train = (n as f64 * 0.6).round() as usize;
+    let n_val = (n as f64 * 0.2).round() as usize;
+
+    let collect = |fams: &[u32]| -> (Vec<gralmatch_records::EntityId>, Vec<RecordId>) {
+        let mut entities: Vec<gralmatch_records::EntityId> = fams
+            .iter()
+            .flat_map(|f| by_family[f].iter().copied())
+            .collect();
+        entities.sort_unstable();
+        let mut records: Vec<RecordId> = entities
+            .iter()
+            .flat_map(|&e| gt.group_members(e).unwrap_or(&[]).iter().copied())
+            .collect();
+        records.sort_unstable();
+        (entities, records)
+    };
+    let (train_entities, train_records) = collect(&families[..n_train]);
+    let (val_entities, val_records) = collect(&families[n_train..n_train + n_val]);
+    let (test_entities, test_records) = collect(&families[n_train + n_val..]);
+    let split = DatasetSplit {
+        train_entities,
+        val_entities,
+        test_entities,
+        train_records,
+        val_records,
+        test_records,
+    };
+    PreparedWdc {
+        products: generated.products,
+        gt,
+        split,
+    }
+}
+
+/// Restrict a (companies, securities) universe to the given company and
+/// security id sets, re-assigning dense ids and fixing cross-references.
+/// Every kept security's issuer must be in `keep_companies`.
+pub fn restrict_financial(
+    companies: &[CompanyRecord],
+    securities: &[SecurityRecord],
+    keep_companies: &FxHashSet<RecordId>,
+    keep_securities: &FxHashSet<RecordId>,
+) -> (Vec<CompanyRecord>, Vec<SecurityRecord>) {
+    let mut company_map: FxHashMap<RecordId, RecordId> = FxHashMap::default();
+    let mut kept_companies: Vec<CompanyRecord> = Vec::with_capacity(keep_companies.len());
+    for company in companies {
+        if keep_companies.contains(&company.id) {
+            let new_id = RecordId(kept_companies.len() as u32);
+            company_map.insert(company.id, new_id);
+            let mut cloned = company.clone();
+            cloned.id = new_id;
+            cloned.securities.clear(); // refilled below
+            kept_companies.push(cloned);
+        }
+    }
+    let mut kept_securities: Vec<SecurityRecord> = Vec::with_capacity(keep_securities.len());
+    for security in securities {
+        if keep_securities.contains(&security.id) {
+            let Some(&issuer) = company_map.get(&security.issuer) else {
+                panic!("kept security {} references dropped issuer", security.id);
+            };
+            let new_id = RecordId(kept_securities.len() as u32);
+            let mut cloned = security.clone();
+            cloned.id = new_id;
+            cloned.issuer = issuer;
+            kept_companies[issuer.0 as usize].securities.push(new_id);
+            kept_securities.push(cloned);
+        }
+    }
+    (kept_companies, kept_securities)
+}
+
+/// Test-split restriction for the **companies** experiment: test companies
+/// plus all securities they issue (identifier context).
+pub fn company_test_universe(
+    prepared: &PreparedFinancial,
+) -> (Vec<CompanyRecord>, Vec<SecurityRecord>) {
+    let keep_companies = prepared.company_split.test_set();
+    let keep_securities: FxHashSet<RecordId> = prepared
+        .data
+        .companies
+        .records()
+        .iter()
+        .filter(|company| keep_companies.contains(&company.id))
+        .flat_map(|company| company.securities.iter().copied())
+        .collect();
+    restrict_financial(
+        prepared.data.companies.records(),
+        prepared.data.securities.records(),
+        &keep_companies,
+        &keep_securities,
+    )
+}
+
+/// Test-split restriction for the **securities** experiment: test
+/// securities plus their issuing companies.
+pub fn security_test_universe(
+    prepared: &PreparedFinancial,
+) -> (Vec<CompanyRecord>, Vec<SecurityRecord>) {
+    let keep_securities = prepared.security_split.test_set();
+    let keep_companies: FxHashSet<RecordId> = prepared
+        .data
+        .securities
+        .records()
+        .iter()
+        .filter(|security| keep_securities.contains(&security.id))
+        .map(|security| security.issuer)
+        .collect();
+    restrict_financial(
+        prepared.data.companies.records(),
+        prepared.data.securities.records(),
+        &keep_companies,
+        &keep_securities,
+    )
+}
+
+/// Fine-tuning evaluation (Table 3): P/R/F1 on test pairs (all test
+/// positives + 5:1 sampled negatives), matching Section 5.1.3.
+#[derive(Debug, Clone, Copy)]
+pub struct FineTuneEval {
+    /// Precision on test pairs.
+    pub precision: f64,
+    /// Recall on test pairs.
+    pub recall: f64,
+    /// F1 on test pairs.
+    pub f1: f64,
+}
+
+/// Evaluate a trained matcher on a split's test pairs. When
+/// `negative_pool` is given (WDC's fixed corner-case pairs), negatives are
+/// drawn from it first, topped up randomly — matching how fixed-pair
+/// benchmarks evaluate.
+pub fn evaluate_on_test_pairs<R: Record>(
+    records: &[R],
+    matcher: &TrainedMatcher,
+    spec: ModelSpec,
+    gt: &GroundTruth,
+    split: &DatasetSplit,
+    seed: u64,
+    negative_pool: Option<&[RecordPair]>,
+) -> FineTuneEval {
+    let encoded = spec.encode_records(records);
+    let test_set = split.test_set();
+    let restricted = gt.restrict_to(&test_set);
+    let positives = restricted.all_true_pairs();
+    let mut rng = SplitRng::new(seed).split("test-negatives");
+    let mut pairs: Vec<RecordPair> = positives.clone();
+    let test_records = &split.test_records;
+    let mut negatives = 0usize;
+    let wanted = positives.len() * 5;
+    if let Some(pool) = negative_pool {
+        let mut hard: Vec<RecordPair> = pool
+            .iter()
+            .copied()
+            .filter(|p| test_set.contains(&p.a) && test_set.contains(&p.b) && !gt.is_match_pair(*p))
+            .collect();
+        rng.shuffle(&mut hard);
+        for pair in hard.into_iter().take(wanted) {
+            pairs.push(pair);
+            negatives += 1;
+        }
+    }
+    let mut attempts = 0usize;
+    while negatives < wanted && attempts < wanted * 20 + 100 && test_records.len() >= 2 {
+        attempts += 1;
+        let a = test_records[rng.next_below(test_records.len())];
+        let b = test_records[rng.next_below(test_records.len())];
+        if a == b || gt.is_match(a, b) {
+            continue;
+        }
+        pairs.push(RecordPair::new(a, b));
+        negatives += 1;
+    }
+    let predicted = predict_positive(matcher, &encoded, &pairs, threads());
+    let positive_set: FxHashSet<RecordPair> = positives.iter().copied().collect();
+    let tp = predicted.iter().filter(|p| positive_set.contains(p)).count() as u64;
+    let fp = predicted.len() as u64 - tp;
+    let fn_ = positives.len() as u64 - tp;
+    let metrics = gralmatch_core::PairMetrics::from_counts(tp, fp, fn_);
+    FineTuneEval {
+        precision: metrics.precision,
+        recall: metrics.recall,
+        f1: metrics.f1,
+    }
+}
+
+/// Train a spec on a dataset's train/val splits.
+pub fn train_spec<R: Record>(
+    records: &[R],
+    gt: &GroundTruth,
+    split: &DatasetSplit,
+    spec: ModelSpec,
+) -> (TrainedMatcher, TrainingReport) {
+    let encoded = spec.encode_records(records);
+    train(records, &encoded, gt, split, &spec.train_config()).expect("training succeeds")
+}
+
+/// Train a spec with a hard-negative pool (WDC protocol).
+pub fn train_spec_with_pool<R: Record>(
+    records: &[R],
+    gt: &GroundTruth,
+    split: &DatasetSplit,
+    spec: ModelSpec,
+    pool: &[RecordPair],
+) -> (TrainedMatcher, TrainingReport) {
+    let encoded = spec.encode_records(records);
+    train_with_negative_pool(records, &encoded, gt, split, &spec.train_config(), Some(pool))
+        .expect("training succeeds")
+}
+
+/// The WDC hard-negative pool: token-overlap candidates over the full
+/// product dataset (the corner-case pairs the benchmark ships). A single
+/// shared token qualifies (`min_overlap: 1`) and the document-frequency cap
+/// is widened: corner-case siblings share only the model-number token, and
+/// they are exactly the pairs the pool exists to surface.
+pub fn wdc_negative_pool(prepared: &PreparedWdc) -> Vec<RecordPair> {
+    let pool_config = TokenOverlapConfig {
+        top_n: 20,
+        max_token_df: 600,
+        min_overlap: 1,
+    };
+    let candidates = product_candidates(prepared.products.records(), &pool_config);
+    candidates.pairs_sorted()
+}
+
+/// Number of inference threads.
+pub fn threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+/// Company-level grouping used as Issuer-Match input for the securities
+/// pipeline: ID overlap + token overlap candidates decided by the
+/// heuristic name matcher, grouped as connected components (the "benchmark
+/// heuristic" company matching of Section 5.3.1).
+pub fn heuristic_company_groups(
+    companies: &[CompanyRecord],
+    securities: &[SecurityRecord],
+) -> FxHashMap<RecordId, u32> {
+    let candidates = company_candidates(companies, securities, &TokenOverlapConfig::default());
+    let encoder = gralmatch_lm::PlainEncoder::new(128);
+    let encoded = gralmatch_lm::encode_dataset(companies, &encoder);
+    let matcher = HeuristicMatcher {
+        jaccard_threshold: 0.45,
+    };
+    let predicted = predict_positive(&matcher, &encoded, &candidates.pairs_sorted(), threads());
+    let graph = prediction_graph(companies.len(), &predicted);
+    let groups = entity_groups(&graph);
+    group_assignment(&groups)
+}
+
+/// One Table 4 cell: pipeline outcome + training time.
+pub struct Table4Cell {
+    /// Records entering the end-to-end experiment (Table 2 column).
+    pub num_records: usize,
+    /// The pipeline outcome (stages, groups, timings).
+    pub outcome: MatchingOutcome,
+    /// Fine-tuning wall-clock seconds.
+    pub train_seconds: f64,
+}
+
+/// End-to-end companies experiment for one spec.
+pub fn run_companies_table4(
+    prepared: &PreparedFinancial,
+    spec: ModelSpec,
+    gamma: usize,
+    mu: usize,
+    variant: CleanupVariant,
+) -> Table4Cell {
+    let (matcher, report) = train_spec(
+        prepared.data.companies.records(),
+        &prepared.company_gt,
+        &prepared.company_split,
+        spec,
+    );
+    run_companies_table4_with(prepared, &matcher, report.train_seconds, spec, gamma, mu, variant)
+}
+
+/// Variant runner that reuses a trained matcher (sensitivity rows).
+pub fn run_companies_table4_with(
+    prepared: &PreparedFinancial,
+    matcher: &TrainedMatcher,
+    train_seconds: f64,
+    spec: ModelSpec,
+    gamma: usize,
+    mu: usize,
+    variant: CleanupVariant,
+) -> Table4Cell {
+    let (test_companies, test_securities) = company_test_universe(prepared);
+    let encoded = spec.encode_records(&test_companies);
+    let gt = GroundTruth::from_records(&test_companies);
+    let candidates = company_candidates(
+        &test_companies,
+        &test_securities,
+        &TokenOverlapConfig::default(),
+    );
+    let config = PipelineConfig {
+        cleanup: gralmatch_core::CleanupConfig::new(gamma, mu)
+            .with_pre_cleanup(50)
+            .variant(variant),
+        threads: threads(),
+    };
+    let outcome = run_pipeline(
+        test_companies.len(),
+        &candidates,
+        matcher,
+        &encoded,
+        &gt,
+        &config,
+    );
+    Table4Cell {
+        num_records: test_companies.len(),
+        outcome,
+        train_seconds,
+    }
+}
+
+/// End-to-end securities experiment for one spec.
+pub fn run_securities_table4(
+    prepared: &PreparedFinancial,
+    spec: ModelSpec,
+    gamma: usize,
+    mu: usize,
+) -> Table4Cell {
+    let (matcher, report) = train_spec(
+        prepared.data.securities.records(),
+        &prepared.security_gt,
+        &prepared.security_split,
+        spec,
+    );
+    let (issuer_companies, test_securities) = security_test_universe(prepared);
+    let encoded = spec.encode_records(&test_securities);
+    let gt = GroundTruth::from_records(&test_securities);
+    let company_groups = heuristic_company_groups(&issuer_companies, &test_securities);
+    let candidates = security_candidates(&test_securities, &company_groups);
+    let config = PipelineConfig {
+        cleanup: gralmatch_core::CleanupConfig::new(gamma, mu),
+        threads: threads(),
+    };
+    let outcome = run_pipeline(
+        test_securities.len(),
+        &candidates,
+        &matcher,
+        &encoded,
+        &gt,
+        &config,
+    );
+    Table4Cell {
+        num_records: test_securities.len(),
+        outcome,
+        train_seconds: report.train_seconds,
+    }
+}
+
+/// End-to-end WDC products experiment for one spec.
+pub fn run_wdc_table4(prepared: &PreparedWdc, spec: ModelSpec, gamma: usize, mu: usize) -> Table4Cell {
+    let pool = wdc_negative_pool(prepared);
+    let (matcher, report) = train_spec_with_pool(
+        prepared.products.records(),
+        &prepared.gt,
+        &prepared.split,
+        spec,
+        &pool,
+    );
+    // Restrict to the test split (100 % unseen entities).
+    let keep = prepared.split.test_set();
+    let mut test_products: Vec<ProductRecord> = Vec::new();
+    for product in prepared.products.records() {
+        if keep.contains(&product.id) {
+            let mut cloned = product.clone();
+            cloned.id = RecordId(test_products.len() as u32);
+            test_products.push(cloned);
+        }
+    }
+    let encoded = spec.encode_records(&test_products);
+    let gt = GroundTruth::from_records(&test_products);
+    let candidates = product_candidates(&test_products, &TokenOverlapConfig::default());
+    let config = PipelineConfig {
+        cleanup: gralmatch_core::CleanupConfig::new(gamma, mu),
+        threads: threads(),
+    };
+    let outcome = run_pipeline(
+        test_products.len(),
+        &candidates,
+        &matcher,
+        &encoded,
+        &gt,
+        &config,
+    );
+    Table4Cell {
+        num_records: test_products.len(),
+        outcome,
+        train_seconds: report.train_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> PreparedFinancial {
+        let mut config = GenerationConfig::synthetic_full();
+        config.num_entities = 120;
+        prepare_financial(&config)
+    }
+
+    #[test]
+    fn restriction_preserves_references() {
+        let prepared = tiny();
+        let (companies, securities) = company_test_universe(&prepared);
+        assert!(!companies.is_empty());
+        for security in &securities {
+            assert!(companies[security.issuer.0 as usize]
+                .securities
+                .contains(&security.id));
+        }
+        for (i, company) in companies.iter().enumerate() {
+            assert_eq!(company.id.0 as usize, i);
+        }
+    }
+
+    #[test]
+    fn security_universe_contains_all_test_securities() {
+        let prepared = tiny();
+        let (_, securities) = security_test_universe(&prepared);
+        assert_eq!(securities.len(), prepared.security_split.test_records.len());
+    }
+
+    #[test]
+    fn heuristic_groups_cover_all_companies() {
+        let prepared = tiny();
+        let (companies, securities) = security_test_universe(&prepared);
+        let groups = heuristic_company_groups(&companies, &securities);
+        assert_eq!(groups.len(), companies.len());
+    }
+
+    #[test]
+    fn scale_env_default() {
+        std::env::remove_var("GRALMATCH_SCALE");
+        let scale = Scale::from_env();
+        assert!((scale.0 - 0.02).abs() < 1e-9);
+    }
+}

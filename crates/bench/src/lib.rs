@@ -1,0 +1,17 @@
+//! Benchmark harness regenerating every table and figure of the GraLMatch
+//! evaluation (see EXPERIMENTS.md for the full index).
+//!
+//! Binaries:
+//! * `table1` — dataset statistics,
+//! * `table2` — blockings and candidate-pair counts,
+//! * `table3` — fine-tuning scores,
+//! * `table4` — end-to-end entity group matching (+ sensitivity variants),
+//! * `figures` — the scenario reproductions of Figures 2–4,
+//! * `repro` — runs everything and writes a combined report.
+//!
+//! Criterion benches under `benches/` cover the component ablations
+//! (min-cut vs betweenness, blocking throughput, inference, cleanup).
+
+pub mod harness;
+pub mod paper;
+pub mod table;

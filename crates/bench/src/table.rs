@@ -1,0 +1,78 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// Render an aligned table with a header row.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i >= widths.len() {
+                widths.push(cell.len());
+            } else {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            let width = widths.get(i).copied().unwrap_or(cell.len());
+            for _ in cell.len()..width {
+                out.push(' ');
+            }
+        }
+        // Trim trailing spaces.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    fmt_row(&header_cells, &widths, &mut out);
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        fmt_row(row, &widths, &mut out);
+    }
+    out
+}
+
+/// Format a percentage-style metric like the paper (two decimals).
+pub fn pct(value: f64) -> String {
+    format!("{:.2}", value * 100.0)
+}
+
+/// Format a `paper vs measured` cell.
+pub fn versus(paper: f64, measured: f64) -> String {
+    format!("{} / {}", pct(paper), pct(measured))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let out = render(
+            &["model", "f1"],
+            &[
+                vec!["DITTO (128)".into(), "98.15".into()],
+                vec!["x".into(), "1".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("model"));
+        assert!(lines[2].contains("DITTO"));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.9815), "98.15");
+        assert_eq!(versus(0.5, 0.25), "50.00 / 25.00");
+    }
+}

@@ -1,0 +1,152 @@
+//! Candidate pair sets with blocking provenance.
+//!
+//! The Pre Graph Cleanup step (paper Section 4.2.1) needs to know *which
+//! blocking produced* a positively predicted edge — it removes Token-Overlap
+//! edges inside oversized components. So candidate pairs carry a provenance
+//! bitmask; a pair found by several blockings keeps all its flags.
+
+use gralmatch_records::RecordPair;
+use gralmatch_util::FxHashMap;
+
+/// Which blocking(s) proposed a pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockingKind {
+    /// Identifier-code overlap (Section 5.3.1, blocking 1).
+    IdOverlap,
+    /// Token overlap top-n (blocking 2).
+    TokenOverlap,
+    /// Issuer match, securities only (blocking 3).
+    IssuerMatch,
+    /// Sorted-neighborhood baseline (not used by the paper's pipelines).
+    SortedNeighborhood,
+}
+
+impl BlockingKind {
+    /// Bit flag of the kind.
+    pub fn flag(&self) -> u8 {
+        match self {
+            BlockingKind::IdOverlap => 1,
+            BlockingKind::TokenOverlap => 2,
+            BlockingKind::IssuerMatch => 4,
+            BlockingKind::SortedNeighborhood => 8,
+        }
+    }
+}
+
+/// A deduplicated set of candidate pairs with provenance flags.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateSet {
+    pairs: FxHashMap<RecordPair, u8>,
+}
+
+impl CandidateSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        CandidateSet::default()
+    }
+
+    /// Add a pair from a blocking; merges provenance on duplicates.
+    pub fn add(&mut self, pair: RecordPair, kind: BlockingKind) {
+        *self.pairs.entry(pair).or_insert(0) |= kind.flag();
+    }
+
+    /// Bulk-add pairs from one blocking.
+    pub fn extend(&mut self, pairs: impl IntoIterator<Item = RecordPair>, kind: BlockingKind) {
+        for pair in pairs {
+            self.add(pair, kind);
+        }
+    }
+
+    /// Number of distinct candidate pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Provenance flags of a pair (0 if absent).
+    pub fn provenance(&self, pair: RecordPair) -> u8 {
+        self.pairs.get(&pair).copied().unwrap_or(0)
+    }
+
+    /// Whether a pair was proposed by the given blocking.
+    pub fn from_blocking(&self, pair: RecordPair, kind: BlockingKind) -> bool {
+        self.provenance(pair) & kind.flag() != 0
+    }
+
+    /// Whether a pair was proposed *only* by the given blocking.
+    pub fn only_from(&self, pair: RecordPair, kind: BlockingKind) -> bool {
+        self.provenance(pair) == kind.flag()
+    }
+
+    /// All pairs, sorted for deterministic iteration.
+    pub fn pairs_sorted(&self) -> Vec<RecordPair> {
+        let mut out: Vec<RecordPair> = self.pairs.keys().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Iterate `(pair, provenance)`.
+    pub fn iter(&self) -> impl Iterator<Item = (RecordPair, u8)> + '_ {
+        self.pairs.iter().map(|(&p, &f)| (p, f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gralmatch_records::RecordId;
+
+    fn pair(a: u32, b: u32) -> RecordPair {
+        RecordPair::new(RecordId(a), RecordId(b))
+    }
+
+    #[test]
+    fn dedup_merges_provenance() {
+        let mut set = CandidateSet::new();
+        set.add(pair(0, 1), BlockingKind::IdOverlap);
+        set.add(pair(1, 0), BlockingKind::TokenOverlap);
+        assert_eq!(set.len(), 1);
+        assert!(set.from_blocking(pair(0, 1), BlockingKind::IdOverlap));
+        assert!(set.from_blocking(pair(0, 1), BlockingKind::TokenOverlap));
+        assert!(!set.only_from(pair(0, 1), BlockingKind::TokenOverlap));
+    }
+
+    #[test]
+    fn only_from_single_blocking() {
+        let mut set = CandidateSet::new();
+        set.add(pair(2, 3), BlockingKind::TokenOverlap);
+        assert!(set.only_from(pair(2, 3), BlockingKind::TokenOverlap));
+        assert!(!set.from_blocking(pair(2, 3), BlockingKind::IdOverlap));
+    }
+
+    #[test]
+    fn absent_pair_no_provenance() {
+        let set = CandidateSet::new();
+        assert_eq!(set.provenance(pair(9, 10)), 0);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn sorted_pairs_deterministic() {
+        let mut set = CandidateSet::new();
+        set.add(pair(5, 1), BlockingKind::IdOverlap);
+        set.add(pair(0, 3), BlockingKind::IdOverlap);
+        assert_eq!(set.pairs_sorted(), vec![pair(0, 3), pair(1, 5)]);
+    }
+
+    #[test]
+    fn flags_are_distinct_bits() {
+        let flags = [
+            BlockingKind::IdOverlap.flag(),
+            BlockingKind::TokenOverlap.flag(),
+            BlockingKind::IssuerMatch.flag(),
+        ];
+        assert_eq!(flags[0] & flags[1], 0);
+        assert_eq!(flags[0] & flags[2], 0);
+        assert_eq!(flags[1] & flags[2], 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! ID-Overlap blocking (paper Section 5.3.1, blocking 1).
+//!
+//! Securities: candidate pairs are records (from different sources) sharing
+//! at least one identifier code value. Companies: a company pair is a
+//! candidate when any of their *securities* share an identifier (or their
+//! own LEIs match) — "we evaluate against the companies whose associated
+//! securities have a matching identifier with any of the securities issued
+//! by each company record".
+//!
+//! This blocking is "equivalent to the benchmark heuristic often used to
+//! match these types of financial records"; data drift makes some of its
+//! pairs false (mergers) and misses others (overwritten/missing codes).
+
+use crate::candidates::{BlockingKind, CandidateSet};
+use gralmatch_records::{CompanyRecord, Record, RecordId, RecordPair, SecurityRecord};
+use gralmatch_util::FxHashMap;
+
+/// Guard against degenerate codes shared by huge numbers of records: codes
+/// with more than this many holders are skipped (quadratic pair blowup).
+pub const MAX_CODE_HOLDERS: usize = 64;
+
+fn pairs_from_postings(
+    postings: &FxHashMap<&str, Vec<RecordId>>,
+    source_of: impl Fn(RecordId) -> u16,
+    out: &mut CandidateSet,
+) {
+    for holders in postings.values() {
+        if holders.len() < 2 || holders.len() > MAX_CODE_HOLDERS {
+            continue;
+        }
+        for i in 0..holders.len() {
+            for j in (i + 1)..holders.len() {
+                if source_of(holders[i]) != source_of(holders[j]) {
+                    out.add(RecordPair::new(holders[i], holders[j]), BlockingKind::IdOverlap);
+                }
+            }
+        }
+    }
+}
+
+/// ID-overlap candidates among security records.
+pub fn id_overlap_securities(securities: &[SecurityRecord], out: &mut CandidateSet) {
+    let mut postings: FxHashMap<&str, Vec<RecordId>> = FxHashMap::default();
+    for record in securities {
+        for code in record.id_codes() {
+            postings.entry(code.value.as_str()).or_default().push(record.id());
+        }
+    }
+    pairs_from_postings(
+        &postings,
+        |id| securities[id.0 as usize].source().0,
+        out,
+    );
+}
+
+/// ID-overlap candidates among company records, via their securities'
+/// identifiers and their own LEIs.
+pub fn id_overlap_companies(
+    companies: &[CompanyRecord],
+    securities: &[SecurityRecord],
+    out: &mut CandidateSet,
+) {
+    // code value -> company records whose securities (or self) carry it.
+    let mut postings: FxHashMap<&str, Vec<RecordId>> = FxHashMap::default();
+    for company in companies {
+        for code in company.id_codes() {
+            postings.entry(code.value.as_str()).or_default().push(company.id());
+        }
+        for &security_id in &company.securities {
+            for code in securities[security_id.0 as usize].id_codes() {
+                postings.entry(code.value.as_str()).or_default().push(company.id());
+            }
+        }
+    }
+    // A company may hold the same code through several securities; dedup
+    // holders per code before pairing.
+    for holders in postings.values_mut() {
+        holders.sort_unstable();
+        holders.dedup();
+    }
+    pairs_from_postings(
+        &postings,
+        |id| companies[id.0 as usize].source().0,
+        out,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gralmatch_records::{IdCode, IdKind, SourceId};
+
+    fn security(id: u32, source: u16, isin: &str, issuer: u32) -> SecurityRecord {
+        SecurityRecord::new(RecordId(id), SourceId(source), "S ORD", RecordId(issuer))
+            .with_code(IdCode::new(IdKind::Isin, isin))
+    }
+
+    #[test]
+    fn securities_sharing_code_are_candidates() {
+        let securities = vec![
+            security(0, 0, "US111", 0),
+            security(1, 1, "US111", 1),
+            security(2, 2, "US222", 2),
+        ];
+        let mut set = CandidateSet::new();
+        id_overlap_securities(&securities, &mut set);
+        assert_eq!(set.len(), 1);
+        assert!(set.from_blocking(
+            RecordPair::new(RecordId(0), RecordId(1)),
+            BlockingKind::IdOverlap
+        ));
+    }
+
+    #[test]
+    fn same_source_pairs_skipped() {
+        let securities = vec![security(0, 0, "US111", 0), security(1, 0, "US111", 1)];
+        let mut set = CandidateSet::new();
+        id_overlap_securities(&securities, &mut set);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn degenerate_codes_skipped() {
+        let securities: Vec<SecurityRecord> = (0..(MAX_CODE_HOLDERS as u32 + 10))
+            .map(|i| security(i, (i % 5) as u16, "SHARED", i))
+            .collect();
+        let mut set = CandidateSet::new();
+        id_overlap_securities(&securities, &mut set);
+        assert!(set.is_empty(), "over-shared code must be skipped");
+    }
+
+    #[test]
+    fn companies_matched_through_securities() {
+        let securities = vec![security(0, 0, "US111", 0), security(1, 1, "US111", 1)];
+        let mut companies = vec![
+            CompanyRecord::new(RecordId(0), SourceId(0), "Acme"),
+            CompanyRecord::new(RecordId(1), SourceId(1), "Acme Inc"),
+        ];
+        companies[0].securities = vec![RecordId(0)];
+        companies[1].securities = vec![RecordId(1)];
+        let mut set = CandidateSet::new();
+        id_overlap_companies(&companies, &securities, &mut set);
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn companies_matched_through_lei() {
+        let companies = vec![
+            {
+                let mut c = CompanyRecord::new(RecordId(0), SourceId(0), "Acme");
+                c.id_codes.push(IdCode::new(IdKind::Lei, "LEI1"));
+                c
+            },
+            {
+                let mut c = CompanyRecord::new(RecordId(1), SourceId(2), "Acme Corp");
+                c.id_codes.push(IdCode::new(IdKind::Lei, "LEI1"));
+                c
+            },
+        ];
+        let mut set = CandidateSet::new();
+        id_overlap_companies(&companies, &[], &mut set);
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn no_codes_no_candidates() {
+        let companies = vec![
+            CompanyRecord::new(RecordId(0), SourceId(0), "Acme"),
+            CompanyRecord::new(RecordId(1), SourceId(1), "Acme"),
+        ];
+        let mut set = CandidateSet::new();
+        id_overlap_companies(&companies, &[], &mut set);
+        assert!(set.is_empty());
+    }
+}

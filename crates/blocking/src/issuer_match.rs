@@ -1,0 +1,134 @@
+//! Issuer-Match blocking (paper Section 5.3.1, blocking 3 — securities only).
+//!
+//! "For each security record, consider as candidate pairs those involving
+//! all other securities issued by companies previously matched to the
+//! security's issuer." Given a company-level group assignment (the output of
+//! the company matching pipeline), securities of co-grouped issuers become
+//! candidates — this finds security pairs with non-matching identifiers and
+//! generic names ("Registered Shs") that only their issuer context can link.
+
+use crate::candidates::{BlockingKind, CandidateSet};
+use gralmatch_records::{Record, RecordId, RecordPair, SecurityRecord};
+use gralmatch_util::FxHashMap;
+
+/// Guard against pathological company groups pulling in quadratic pairs.
+pub const MAX_GROUP_SECURITIES: usize = 128;
+
+/// Run the blocking.
+///
+/// `company_group_of` maps a company record id to its matched-group id
+/// (any dense labeling — typically the connected-component index of the
+/// company matching output). Companies missing from the map are singletons.
+pub fn issuer_match(
+    securities: &[SecurityRecord],
+    company_group_of: &FxHashMap<RecordId, u32>,
+    out: &mut CandidateSet,
+) {
+    // group id -> securities issued by members of the group.
+    let mut by_group: FxHashMap<u32, Vec<RecordId>> = FxHashMap::default();
+    for security in securities {
+        if let Some(&group) = company_group_of.get(&security.issuer) {
+            by_group.entry(group).or_default().push(security.id());
+        }
+    }
+    for members in by_group.values() {
+        if members.len() < 2 || members.len() > MAX_GROUP_SECURITIES {
+            continue;
+        }
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                let (a, b) = (members[i], members[j]);
+                if securities[a.0 as usize].source() == securities[b.0 as usize].source() {
+                    continue;
+                }
+                out.add(RecordPair::new(a, b), BlockingKind::IssuerMatch);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gralmatch_records::SourceId;
+
+    fn security(id: u32, source: u16, issuer: u32) -> SecurityRecord {
+        SecurityRecord::new(RecordId(id), SourceId(source), "S ORD", RecordId(issuer))
+    }
+
+    fn groups(assignments: &[(u32, u32)]) -> FxHashMap<RecordId, u32> {
+        assignments
+            .iter()
+            .map(|&(record, group)| (RecordId(record), group))
+            .collect()
+    }
+
+    #[test]
+    fn securities_of_matched_issuers_paired() {
+        let securities = vec![security(0, 0, 10), security(1, 1, 11), security(2, 2, 12)];
+        // Companies 10 and 11 matched into group 0; 12 alone in group 1.
+        let map = groups(&[(10, 0), (11, 0), (12, 1)]);
+        let mut set = CandidateSet::new();
+        issuer_match(&securities, &map, &mut set);
+        assert_eq!(set.len(), 1);
+        assert!(set.from_blocking(
+            RecordPair::new(RecordId(0), RecordId(1)),
+            BlockingKind::IssuerMatch
+        ));
+    }
+
+    #[test]
+    fn unmatched_issuers_no_pairs() {
+        let securities = vec![security(0, 0, 10), security(1, 1, 11)];
+        let map = groups(&[(10, 0), (11, 1)]);
+        let mut set = CandidateSet::new();
+        issuer_match(&securities, &map, &mut set);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn same_source_skipped() {
+        let securities = vec![security(0, 0, 10), security(1, 0, 11)];
+        let map = groups(&[(10, 0), (11, 0)]);
+        let mut set = CandidateSet::new();
+        issuer_match(&securities, &map, &mut set);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn missing_issuer_mapping_ignored() {
+        let securities = vec![security(0, 0, 10), security(1, 1, 11)];
+        let map = groups(&[(10, 0)]); // issuer 11 unmapped
+        let mut set = CandidateSet::new();
+        issuer_match(&securities, &map, &mut set);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn oversized_groups_skipped() {
+        let n = MAX_GROUP_SECURITIES as u32 + 10;
+        let securities: Vec<SecurityRecord> =
+            (0..n).map(|i| security(i, (i % 7) as u16, 100 + i)).collect();
+        let map: FxHashMap<RecordId, u32> =
+            (0..n).map(|i| (RecordId(100 + i), 0)).collect();
+        let mut set = CandidateSet::new();
+        issuer_match(&securities, &map, &mut set);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn multiple_securities_per_company_all_paired() {
+        // Group 0: companies 10 (source 0) and 11 (source 1), each with two
+        // securities -> 4 cross-source pairs.
+        let securities = vec![
+            security(0, 0, 10),
+            security(1, 0, 10),
+            security(2, 1, 11),
+            security(3, 1, 11),
+        ];
+        let map = groups(&[(10, 0), (11, 0)]);
+        let mut set = CandidateSet::new();
+        issuer_match(&securities, &map, &mut set);
+        assert_eq!(set.len(), 4);
+    }
+}

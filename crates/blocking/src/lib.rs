@@ -1,0 +1,27 @@
+//! Blocking strategies (paper Section 5.3.1).
+//!
+//! Evaluating all n·(n−1)/2 record pairs is prohibitive, so the pipeline
+//! first selects candidate pairs through blockings:
+//!
+//! * [`id_overlap_securities`] / [`id_overlap_companies`] — identifier-code
+//!   overlap (companies go through their securities' codes),
+//! * [`token_overlap`] — top-n most token-overlapping records across
+//!   sources (text alignment candidates),
+//! * [`issuer_match`] — securities of previously matched issuers.
+//!
+//! Candidates carry provenance flags ([`CandidateSet`]) because the Pre
+//! Graph Cleanup removes token-overlap edges in oversized components.
+
+pub mod candidates;
+pub mod id_overlap;
+pub mod issuer_match;
+pub mod recall;
+pub mod sorted_neighborhood;
+pub mod token_overlap;
+
+pub use candidates::{BlockingKind, CandidateSet};
+pub use id_overlap::{id_overlap_companies, id_overlap_securities};
+pub use issuer_match::issuer_match;
+pub use recall::{blocking_quality, blocking_recall_by_kind, BlockingQuality};
+pub use sorted_neighborhood::{sorted_neighborhood, SortedNeighborhoodConfig};
+pub use token_overlap::{token_overlap, TokenOverlapConfig};

@@ -1,0 +1,210 @@
+//! Token-Overlap blocking (paper Section 5.3.1, blocking 2).
+//!
+//! "Considers each record as the list of tokens resulting from its
+//! tokenization and selects as candidate pairs those involving the record
+//! and the top-n records with most overlapping tokens across different data
+//! sources." This is the text-alignment candidate generator — and the main
+//! source of false-positive bait, because boilerplate tokens ("hi-tech",
+//! "networks", "energy", geographic terms) are shared across unrelated
+//! companies.
+//!
+//! Implementation: an inverted token index. Tokens present in more than
+//! `max_token_df` records are skipped when *counting* overlaps (they blow up
+//! postings quadratically and carry no signal — the standard DF-cut used by
+//! set-similarity joins).
+
+use crate::candidates::{BlockingKind, CandidateSet};
+use gralmatch_records::{Record, RecordId, RecordPair};
+use gralmatch_text::tokenize;
+use gralmatch_util::FxHashMap;
+
+/// Token-overlap blocking parameters.
+#[derive(Debug, Clone)]
+pub struct TokenOverlapConfig {
+    /// Keep the top-n overlapping records per record.
+    pub top_n: usize,
+    /// Skip tokens occurring in more than this many records.
+    pub max_token_df: usize,
+    /// Require at least this many overlapping tokens.
+    pub min_overlap: usize,
+}
+
+impl Default for TokenOverlapConfig {
+    fn default() -> Self {
+        TokenOverlapConfig {
+            top_n: 10,
+            max_token_df: 200,
+            min_overlap: 2,
+        }
+    }
+}
+
+/// Run the blocking over any record collection.
+pub fn token_overlap<R: Record>(records: &[R], config: &TokenOverlapConfig, out: &mut CandidateSet) {
+    // Tokenize all records once.
+    let token_lists: Vec<Vec<String>> = records.iter().map(|r| tokenize(&r.full_text())).collect();
+
+    // Build postings with dense token ids.
+    let mut token_ids: FxHashMap<&str, u32> = FxHashMap::default();
+    let mut postings: Vec<Vec<RecordId>> = Vec::new();
+    for (record, tokens) in records.iter().zip(&token_lists) {
+        let mut seen: gralmatch_util::FxHashSet<u32> = gralmatch_util::FxHashSet::default();
+        for token in tokens {
+            let next_id = postings.len() as u32;
+            let id = *token_ids.entry(token.as_str()).or_insert_with(|| {
+                next_id
+            });
+            if id as usize == postings.len() {
+                postings.push(Vec::new());
+            }
+            if seen.insert(id) {
+                postings[id as usize].push(record.id());
+            }
+        }
+    }
+
+    // For each record, count token overlaps against postings.
+    let mut counts: FxHashMap<RecordId, usize> = FxHashMap::default();
+    for (record, tokens) in records.iter().zip(&token_lists) {
+        counts.clear();
+        let mut seen: gralmatch_util::FxHashSet<&str> = gralmatch_util::FxHashSet::default();
+        for token in tokens {
+            if !seen.insert(token.as_str()) {
+                continue;
+            }
+            let Some(&token_id) = token_ids.get(token.as_str()) else {
+                continue;
+            };
+            let holders = &postings[token_id as usize];
+            if holders.len() > config.max_token_df {
+                continue;
+            }
+            for &other in holders {
+                if other == record.id() {
+                    continue;
+                }
+                if records[other.0 as usize].source() == record.source() {
+                    continue;
+                }
+                *counts.entry(other).or_insert(0) += 1;
+            }
+        }
+        // Top-n by overlap count, ties broken by record id for determinism.
+        let mut ranked: Vec<(usize, RecordId)> = counts
+            .iter()
+            .filter(|(_, &count)| count >= config.min_overlap)
+            .map(|(&other, &count)| (count, other))
+            .collect();
+        ranked.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for &(_, other) in ranked.iter().take(config.top_n) {
+            out.add(RecordPair::new(record.id(), other), BlockingKind::TokenOverlap);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gralmatch_records::{CompanyRecord, SourceId};
+
+    fn company(id: u32, source: u16, name: &str) -> CompanyRecord {
+        CompanyRecord::new(RecordId(id), SourceId(source), name)
+    }
+
+    #[test]
+    fn overlapping_names_become_candidates() {
+        let records = vec![
+            company(0, 0, "Crowdstrike Holdings Austin"),
+            company(1, 1, "Crowdstrike Holdings Inc Austin"),
+            company(2, 2, "Globex Paris Energy"),
+        ];
+        let mut set = CandidateSet::new();
+        token_overlap(&records, &TokenOverlapConfig::default(), &mut set);
+        assert!(set.from_blocking(
+            RecordPair::new(RecordId(0), RecordId(1)),
+            BlockingKind::TokenOverlap
+        ));
+        assert!(!set.from_blocking(
+            RecordPair::new(RecordId(0), RecordId(2)),
+            BlockingKind::TokenOverlap
+        ));
+    }
+
+    #[test]
+    fn min_overlap_filters_single_shared_token() {
+        let records = vec![
+            company(0, 0, "Acme Energy Zurich"),
+            company(1, 1, "Globex Energy Paris"),
+        ];
+        let mut set = CandidateSet::new();
+        token_overlap(&records, &TokenOverlapConfig::default(), &mut set);
+        assert!(set.is_empty(), "one shared token is below min_overlap");
+    }
+
+    #[test]
+    fn same_source_never_paired() {
+        let records = vec![
+            company(0, 0, "Acme Energy Zurich"),
+            company(1, 0, "Acme Energy Zurich"),
+        ];
+        let mut set = CandidateSet::new();
+        token_overlap(&records, &TokenOverlapConfig::default(), &mut set);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn top_n_caps_candidates_per_record() {
+        // Record 0 overlaps with 20 near-identical records; top_n = 3 keeps 3.
+        let mut records = vec![company(0, 0, "Quantum Edge Systems Zurich")];
+        for i in 1..=20 {
+            records.push(company(i, 1 + (i % 3) as u16, "Quantum Edge Systems Zurich"));
+        }
+        let config = TokenOverlapConfig {
+            top_n: 3,
+            ..TokenOverlapConfig::default()
+        };
+        let mut set = CandidateSet::new();
+        token_overlap(&records, &config, &mut set);
+        let involving_zero = set
+            .pairs_sorted()
+            .iter()
+            .filter(|p| p.a == RecordId(0) || p.b == RecordId(0))
+            .count();
+        // Record 0 contributes top_n pairs; others may add pairs involving 0
+        // from their own top-n scans (overlap is symmetric), so the count is
+        // at least 3 but bounded by 20.
+        assert!((3..=20).contains(&involving_zero), "{involving_zero}");
+    }
+
+    #[test]
+    fn frequent_tokens_skipped() {
+        // All records share "energy" (df above cap with a tiny cap);
+        // without another shared token no pairs form.
+        let records: Vec<CompanyRecord> = (0..10)
+            .map(|i| company(i, (i % 2) as u16, &format!("Energy Unique{i} Name{i}")))
+            .collect();
+        let config = TokenOverlapConfig {
+            max_token_df: 5,
+            min_overlap: 1,
+            ..TokenOverlapConfig::default()
+        };
+        let mut set = CandidateSet::new();
+        token_overlap(&records, &config, &mut set);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let records = vec![
+            company(0, 0, "Crowdstrike Holdings Austin Texas"),
+            company(1, 1, "Crowdstrike Holdings Austin"),
+            company(2, 2, "Crowdstrike Platforms Austin Texas"),
+        ];
+        let run = || {
+            let mut set = CandidateSet::new();
+            token_overlap(&records, &TokenOverlapConfig::default(), &mut set);
+            set.pairs_sorted()
+        };
+        assert_eq!(run(), run());
+    }
+}

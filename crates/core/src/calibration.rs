@@ -1,0 +1,186 @@
+//! Decision-threshold calibration: precision–recall curves over scored
+//! pairs.
+//!
+//! The paper's central finding is that *precision* is the deciding factor
+//! for entity group matching — which makes the matcher's operating point a
+//! first-class knob. This module computes the full precision/recall curve
+//! from scored candidate pairs and selects thresholds by target precision,
+//! giving the pipeline a principled way to trade recall for the precision
+//! the cleanup needs.
+
+use gralmatch_lm::ScoredPair;
+use gralmatch_records::GroundTruth;
+
+/// One point of the precision–recall curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Score threshold producing this point (pairs with score >= threshold
+    /// are predicted matches).
+    pub threshold: f32,
+    /// Precision at the threshold.
+    pub precision: f64,
+    /// Recall at the threshold (denominator: all true pairs of `gt`).
+    pub recall: f64,
+    /// F1 at the threshold.
+    pub f1: f64,
+}
+
+/// Compute the precision–recall curve of scored pairs against ground truth.
+/// Points are ordered by decreasing threshold; one point per distinct score.
+pub fn precision_recall_curve(scored: &[ScoredPair], gt: &GroundTruth) -> Vec<PrPoint> {
+    let mut sorted: Vec<(f32, bool)> = scored
+        .iter()
+        .map(|s| (s.score, gt.is_match_pair(s.pair)))
+        .collect();
+    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("scores are finite"));
+    let total_true = gt.num_true_pairs() as f64;
+
+    let mut curve = Vec::new();
+    let mut tp = 0u64;
+    let mut fp = 0u64;
+    let mut i = 0usize;
+    while i < sorted.len() {
+        let threshold = sorted[i].0;
+        // Consume the run of equal scores (the curve is defined per
+        // distinct threshold).
+        while i < sorted.len() && sorted[i].0 == threshold {
+            if sorted[i].1 {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        let precision = tp as f64 / (tp + fp) as f64;
+        let recall = if total_true == 0.0 {
+            0.0
+        } else {
+            tp as f64 / total_true
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        curve.push(PrPoint {
+            threshold,
+            precision,
+            recall,
+            f1,
+        });
+    }
+    curve
+}
+
+/// The lowest threshold whose precision is at least `min_precision`
+/// (maximizing recall subject to the precision constraint). `None` when no
+/// threshold achieves it.
+pub fn threshold_for_precision(curve: &[PrPoint], min_precision: f64) -> Option<PrPoint> {
+    curve
+        .iter()
+        .copied()
+        .filter(|point| point.precision >= min_precision)
+        .last()
+}
+
+/// The threshold maximizing F1.
+pub fn best_f1_threshold(curve: &[PrPoint]) -> Option<PrPoint> {
+    curve
+        .iter()
+        .copied()
+        .max_by(|a, b| a.f1.partial_cmp(&b.f1).expect("finite"))
+}
+
+/// Area under the precision–recall curve (step-wise, right-continuous).
+pub fn average_precision(curve: &[PrPoint]) -> f64 {
+    let mut area = 0.0;
+    let mut prev_recall = 0.0;
+    for point in curve {
+        area += (point.recall - prev_recall).max(0.0) * point.precision;
+        prev_recall = point.recall;
+    }
+    area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gralmatch_records::{EntityId, RecordId, RecordPair};
+
+    fn gt_two_pairs() -> GroundTruth {
+        GroundTruth::from_assignments([
+            (RecordId(0), EntityId(1)),
+            (RecordId(1), EntityId(1)),
+            (RecordId(2), EntityId(2)),
+            (RecordId(3), EntityId(2)),
+            (RecordId(4), EntityId(3)),
+        ])
+    }
+
+    fn scored(a: u32, b: u32, score: f32) -> ScoredPair {
+        ScoredPair {
+            pair: RecordPair::new(RecordId(a), RecordId(b)),
+            score,
+        }
+    }
+
+    #[test]
+    fn perfect_ranking_curve() {
+        let gt = gt_two_pairs();
+        let pairs = vec![
+            scored(0, 1, 0.9), // true
+            scored(2, 3, 0.8), // true
+            scored(0, 4, 0.2), // false
+        ];
+        let curve = precision_recall_curve(&pairs, &gt);
+        assert_eq!(curve.len(), 3);
+        assert_eq!(curve[0].precision, 1.0);
+        assert_eq!(curve[0].recall, 0.5);
+        assert_eq!(curve[1].precision, 1.0);
+        assert_eq!(curve[1].recall, 1.0);
+        assert!(curve[2].precision < 1.0);
+        assert!((average_precision(&curve) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_for_precision_picks_max_recall() {
+        let gt = gt_two_pairs();
+        let pairs = vec![
+            scored(0, 1, 0.9),
+            scored(0, 4, 0.7), // false positive sneaks in early
+            scored(2, 3, 0.5),
+        ];
+        let curve = precision_recall_curve(&pairs, &gt);
+        let point = threshold_for_precision(&curve, 0.99).unwrap();
+        assert_eq!(point.threshold, 0.9);
+        assert_eq!(point.recall, 0.5);
+        assert!(threshold_for_precision(&curve, 2.0).is_none());
+    }
+
+    #[test]
+    fn best_f1_found() {
+        let gt = gt_two_pairs();
+        let pairs = vec![scored(0, 1, 0.9), scored(2, 3, 0.8), scored(0, 4, 0.2)];
+        let curve = precision_recall_curve(&pairs, &gt);
+        let best = best_f1_threshold(&curve).unwrap();
+        assert_eq!(best.recall, 1.0);
+        assert_eq!(best.precision, 1.0);
+    }
+
+    #[test]
+    fn tied_scores_form_one_point() {
+        let gt = gt_two_pairs();
+        let pairs = vec![scored(0, 1, 0.5), scored(0, 4, 0.5)];
+        let curve = precision_recall_curve(&pairs, &gt);
+        assert_eq!(curve.len(), 1);
+        assert_eq!(curve[0].precision, 0.5);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let gt = gt_two_pairs();
+        assert!(precision_recall_curve(&[], &gt).is_empty());
+        assert_eq!(average_precision(&[]), 0.0);
+        assert!(best_f1_threshold(&[]).is_none());
+    }
+}

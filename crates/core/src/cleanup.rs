@@ -1,0 +1,336 @@
+//! GraLMatch Graph Cleanup — Algorithm 1 of the paper, plus the
+//! Pre Graph Cleanup of Section 4.2.1.
+//!
+//! ```text
+//! Input: matches graph G = (V, E), size thresholds γ and μ
+//! 1: C = connected components of G
+//! 2: c* ← largest component
+//! 3: while |c*| > γ:
+//! 4:     E_mincut ← MinEdgeCut(c*)
+//! 5:     G ← (V, E \ E_mincut)
+//! 6:     c* ← largest component
+//! 7: while |c*| > μ:
+//! 8:     e_maxBC ← argmax BetweennessCentrality(e), e ∈ c*
+//! 9:     G ← (V, E \ e_maxBC)
+//! 10:    c* ← largest component
+//! 11: Output: connected components of G
+//! ```
+//!
+//! μ is set to the number of data sources ("each group is expected to have
+//! at most one record per data source"); γ controls the crossover from the
+//! cheaper min-cut phase to the more conservative betweenness phase. The
+//! sensitivity variants of Table 4 — MEC-only (γ = μ), BC-only (γ = ∞), ½γ —
+//! are expressed through [`CleanupConfig::variant`].
+
+use gralmatch_graph::{
+    betweenness::max_betweenness_edge, connected_components, global_min_cut, Graph, Subgraph,
+};
+use gralmatch_records::RecordPair;
+use gralmatch_util::Stopwatch;
+
+/// Thresholds for Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CleanupConfig {
+    /// Components above γ are split with minimum edge cuts.
+    pub gamma: usize,
+    /// Components above μ (but ≤ γ) are split by removing max-betweenness
+    /// edges; μ is set to the number of data sources.
+    pub mu: usize,
+    /// Pre-cleanup: inside components larger than this, drop positively
+    /// predicted token-overlap edges (None disables; companies use 50).
+    pub pre_cleanup_threshold: Option<usize>,
+}
+
+impl CleanupConfig {
+    /// Table 2 thresholds for the given dataset shape.
+    pub fn new(gamma: usize, mu: usize) -> Self {
+        CleanupConfig {
+            gamma,
+            mu,
+            pre_cleanup_threshold: None,
+        }
+    }
+
+    /// Enable pre-cleanup at the paper's 50-record threshold.
+    pub fn with_pre_cleanup(mut self, threshold: usize) -> Self {
+        self.pre_cleanup_threshold = Some(threshold);
+        self
+    }
+
+    /// Apply a sensitivity variant (Section 5.2.1).
+    pub fn variant(mut self, variant: CleanupVariant) -> Self {
+        match variant {
+            CleanupVariant::Full => {}
+            CleanupVariant::MinCutOnly => self.gamma = self.mu,
+            CleanupVariant::BetweennessOnly => self.gamma = usize::MAX,
+            CleanupVariant::HalfGamma => self.gamma = (self.gamma / 2).max(self.mu),
+        }
+        self
+    }
+}
+
+/// The Table 4 sensitivity variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CleanupVariant {
+    /// Algorithm 1 as published.
+    Full,
+    /// γ = μ: only the Minimum Edge Cut phase runs (suffix “-MEC”).
+    MinCutOnly,
+    /// γ = ∞: only the Betweenness Centrality phase runs (suffix “-BC”).
+    BetweennessOnly,
+    /// γ halved (the “(½γ)” row).
+    HalfGamma,
+}
+
+/// What the cleanup did (diagnostics + the runtime ablations).
+#[derive(Debug, Clone, Default)]
+pub struct CleanupReport {
+    /// Edges removed by the pre-cleanup.
+    pub pre_cleanup_removed: usize,
+    /// Edges removed by min cuts (phase 1).
+    pub mincut_removed: usize,
+    /// Edges removed by betweenness (phase 2).
+    pub betweenness_removed: usize,
+    /// Min-cut invocations.
+    pub mincut_rounds: usize,
+    /// Betweenness invocations.
+    pub betweenness_rounds: usize,
+    /// Wall-clock seconds of the whole cleanup.
+    pub seconds: f64,
+}
+
+/// Remove token-overlap-sourced edges inside oversized components
+/// (Section 4.2.1). `is_removable(pair)` decides whether an edge came from
+/// the Token Overlap blocking (and not from an identifier blocking).
+pub fn pre_cleanup(
+    graph: &mut Graph,
+    threshold: usize,
+    is_removable: impl Fn(RecordPair) -> bool,
+) -> usize {
+    let components = connected_components(graph);
+    let mut removed = 0;
+    for component in components {
+        if component.len() <= threshold {
+            continue;
+        }
+        let sub = Subgraph::induce(graph, &component);
+        for &(a, b) in &sub.edges {
+            let pair = RecordPair::new(
+                gralmatch_records::RecordId(sub.locals[a as usize]),
+                gralmatch_records::RecordId(sub.locals[b as usize]),
+            );
+            if is_removable(pair) && graph.remove_edge(sub.locals[a as usize], sub.locals[b as usize])
+            {
+                removed += 1;
+            }
+        }
+    }
+    removed
+}
+
+/// Run Algorithm 1 in place. Returns a report; the graph's final components
+/// are the output groups.
+pub fn graph_cleanup(graph: &mut Graph, config: &CleanupConfig) -> CleanupReport {
+    let stopwatch = Stopwatch::start();
+    let mut report = CleanupReport::default();
+
+    // Work queue of components that may still exceed thresholds. Removing
+    // edges only ever splits the processed component, so the queue touches
+    // each oversized component lineage locally instead of recomputing global
+    // components every round.
+    let mut queue: Vec<Vec<u32>> = connected_components(graph)
+        .into_iter()
+        .filter(|component| component.len() > config.mu.min(config.gamma))
+        .collect();
+
+    // Phase 1: minimum edge cuts while |c| > γ.
+    let mut phase2: Vec<Vec<u32>> = Vec::new();
+    while let Some(component) = queue.pop() {
+        if component.len() <= config.gamma {
+            phase2.push(component);
+            continue;
+        }
+        let sub = Subgraph::induce(graph, &component);
+        let Some(cut) = global_min_cut(&sub) else {
+            phase2.push(component);
+            continue;
+        };
+        report.mincut_rounds += 1;
+        for &(a, b) in &cut.cut_edges {
+            if graph.remove_edge(sub.locals[a as usize], sub.locals[b as usize]) {
+                report.mincut_removed += 1;
+            }
+        }
+        // The component split into exactly the two cut sides (a min cut
+        // disconnects into two parts); recompute locally.
+        let local_graph = {
+            let mut g = Graph::with_nodes(sub.num_nodes());
+            for &(a, b) in &sub.edges {
+                g.add_edge(a, b);
+            }
+            for &(a, b) in &cut.cut_edges {
+                g.remove_edge(a, b);
+            }
+            g
+        };
+        for part in connected_components(&local_graph) {
+            let originals: Vec<u32> = part.iter().map(|&i| sub.locals[i as usize]).collect();
+            if originals.len() > config.mu {
+                queue.push(originals);
+            }
+        }
+    }
+
+    // Phase 2: betweenness-centrality removal while |c| > μ.
+    while let Some(component) = phase2.pop() {
+        if component.len() <= config.mu {
+            continue;
+        }
+        let sub = Subgraph::induce(graph, &component);
+        let Some(((a, b), _)) = max_betweenness_edge(&sub) else {
+            continue;
+        };
+        report.betweenness_rounds += 1;
+        if graph.remove_edge(sub.locals[a as usize], sub.locals[b as usize]) {
+            report.betweenness_removed += 1;
+        }
+        let local_graph = {
+            let mut g = Graph::with_nodes(sub.num_nodes());
+            for &edge in &sub.edges {
+                g.add_edge(edge.0, edge.1);
+            }
+            g.remove_edge(a, b);
+            g
+        };
+        for part in connected_components(&local_graph) {
+            let originals: Vec<u32> = part.iter().map(|&i| sub.locals[i as usize]).collect();
+            if originals.len() > config.mu {
+                phase2.push(originals);
+            }
+        }
+    }
+
+    report.seconds = stopwatch.elapsed_secs();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gralmatch_graph::largest_component;
+
+    /// Two K4 cliques joined by one false edge.
+    fn two_cliques_bridged() -> Graph {
+        let mut graph = Graph::new();
+        for base in [0u32, 4] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    graph.add_edge(base + i, base + j);
+                }
+            }
+        }
+        graph.add_edge(3, 4); // the false positive
+        graph
+    }
+
+    #[test]
+    fn bridge_removed_by_mincut_phase() {
+        let mut graph = two_cliques_bridged();
+        let report = graph_cleanup(&mut graph, &CleanupConfig::new(5, 4));
+        assert_eq!(report.mincut_removed, 1);
+        assert!(!graph.has_edge(3, 4));
+        let components = connected_components(&graph);
+        assert_eq!(components.len(), 2);
+        assert_eq!(components[0].len(), 4);
+    }
+
+    #[test]
+    fn bridge_removed_by_betweenness_phase() {
+        let mut graph = two_cliques_bridged();
+        let config = CleanupConfig::new(5, 4).variant(CleanupVariant::BetweennessOnly);
+        let report = graph_cleanup(&mut graph, &config);
+        assert_eq!(report.betweenness_removed, 1);
+        assert!(!graph.has_edge(3, 4));
+    }
+
+    #[test]
+    fn all_components_below_mu_afterwards() {
+        // Chain of 4 triangles — a long straggly component.
+        let mut graph = Graph::new();
+        for k in 0..4u32 {
+            let base = k * 3;
+            graph.add_edge(base, base + 1);
+            graph.add_edge(base + 1, base + 2);
+            graph.add_edge(base + 2, base);
+            if k > 0 {
+                graph.add_edge(base - 1, base);
+            }
+        }
+        graph_cleanup(&mut graph, &CleanupConfig::new(6, 3));
+        let largest = largest_component(&graph).unwrap();
+        assert!(largest.len() <= 3, "largest {}", largest.len());
+    }
+
+    #[test]
+    fn clean_graph_untouched() {
+        // Components already within μ: nothing removed.
+        let mut graph = Graph::from_edges([(0, 1), (1, 2), (3, 4)]);
+        let report = graph_cleanup(&mut graph, &CleanupConfig::new(40, 8));
+        assert_eq!(report.mincut_removed + report.betweenness_removed, 0);
+        assert_eq!(graph.num_edges(), 3);
+    }
+
+    #[test]
+    fn mec_only_variant_skips_betweenness() {
+        let mut graph = two_cliques_bridged();
+        let config = CleanupConfig::new(5, 4).variant(CleanupVariant::MinCutOnly);
+        assert_eq!(config.gamma, config.mu);
+        let report = graph_cleanup(&mut graph, &config);
+        assert_eq!(report.betweenness_rounds, 0);
+        assert!(report.mincut_rounds > 0);
+    }
+
+    #[test]
+    fn half_gamma_variant() {
+        let config = CleanupConfig::new(40, 8).variant(CleanupVariant::HalfGamma);
+        assert_eq!(config.gamma, 20);
+        // Never below μ.
+        let config2 = CleanupConfig::new(9, 8).variant(CleanupVariant::HalfGamma);
+        assert_eq!(config2.gamma, 8);
+    }
+
+    #[test]
+    fn pre_cleanup_drops_marked_edges_in_big_components() {
+        // A 6-node path; threshold 4 → the component qualifies; mark every
+        // edge removable.
+        let mut graph = Graph::from_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let removed = pre_cleanup(&mut graph, 4, |_| true);
+        assert_eq!(removed, 5);
+        assert_eq!(graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn pre_cleanup_spares_small_components() {
+        let mut graph = Graph::from_edges([(0, 1), (1, 2)]);
+        let removed = pre_cleanup(&mut graph, 4, |_| true);
+        assert_eq!(removed, 0);
+        assert_eq!(graph.num_edges(), 2);
+    }
+
+    #[test]
+    fn pre_cleanup_respects_predicate() {
+        let mut graph = Graph::from_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let removed = pre_cleanup(&mut graph, 4, |pair| pair.a.0 == 0);
+        assert_eq!(removed, 1);
+        assert!(!graph.has_edge(0, 1));
+        assert!(graph.has_edge(1, 2));
+    }
+
+    #[test]
+    fn report_counts_rounds() {
+        let mut graph = two_cliques_bridged();
+        let report = graph_cleanup(&mut graph, &CleanupConfig::new(5, 4));
+        assert!(report.mincut_rounds >= 1);
+        assert!(report.seconds >= 0.0);
+    }
+}

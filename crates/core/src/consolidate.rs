@@ -1,0 +1,158 @@
+//! Golden-record consolidation — the downstream payoff of group matching.
+//!
+//! The paper's closing argument is business-driven: matched groups give
+//! companies "one-stop-shop access to financial data" across vendors. That
+//! final step is consolidation: collapsing each matched group into a single
+//! *golden record* per entity. This module implements the standard
+//! majority-vote consolidation: for each field, the most frequent non-empty
+//! value across the group's records wins (ties to the lexicographically
+//! smallest for determinism); identifier codes are unioned.
+
+use gralmatch_records::{CompanyRecord, IdCode, Record, RecordId};
+use gralmatch_util::FxHashMap;
+
+/// A consolidated (golden) company record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldenCompany {
+    /// The matched group's member record ids.
+    pub members: Vec<RecordId>,
+    /// Majority name.
+    pub name: String,
+    /// Majority city.
+    pub city: String,
+    /// Majority region.
+    pub region: String,
+    /// Majority country code.
+    pub country_code: String,
+    /// Longest available description (descriptions vary by paraphrase, so
+    /// majority voting is meaningless; keep the most informative).
+    pub short_description: String,
+    /// Union of all identifier codes seen across the group, sorted.
+    pub id_codes: Vec<IdCode>,
+    /// Number of distinct sources contributing.
+    pub num_sources: usize,
+}
+
+fn majority<'a>(values: impl Iterator<Item = &'a str>) -> String {
+    let mut counts: FxHashMap<&str, usize> = FxHashMap::default();
+    for value in values {
+        if !value.is_empty() {
+            *counts.entry(value).or_insert(0) += 1;
+        }
+    }
+    let mut entries: Vec<(&str, usize)> = counts.into_iter().collect();
+    entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    entries.first().map_or(String::new(), |(v, _)| (*v).to_string())
+}
+
+/// Consolidate one matched group of company records.
+pub fn consolidate_company_group(
+    group: &[RecordId],
+    records: &[CompanyRecord],
+) -> GoldenCompany {
+    let members: Vec<&CompanyRecord> = group.iter().map(|&r| &records[r.0 as usize]).collect();
+    let mut id_codes: Vec<IdCode> = members
+        .iter()
+        .flat_map(|r| r.id_codes.iter().cloned())
+        .collect();
+    id_codes.sort();
+    id_codes.dedup();
+    let mut sources: Vec<_> = members.iter().map(|r| r.source()).collect();
+    sources.sort_unstable();
+    sources.dedup();
+    GoldenCompany {
+        members: group.to_vec(),
+        name: majority(members.iter().map(|r| r.name.as_str())),
+        city: majority(members.iter().map(|r| r.city.as_str())),
+        region: majority(members.iter().map(|r| r.region.as_str())),
+        country_code: majority(members.iter().map(|r| r.country_code.as_str())),
+        short_description: members
+            .iter()
+            .map(|r| r.short_description.as_str())
+            .max_by_key(|d| d.len())
+            .unwrap_or("")
+            .to_string(),
+        id_codes,
+        num_sources: sources.len(),
+    }
+}
+
+/// Consolidate every group of a matching output.
+pub fn consolidate_companies(
+    groups: &[Vec<RecordId>],
+    records: &[CompanyRecord],
+) -> Vec<GoldenCompany> {
+    groups
+        .iter()
+        .map(|group| consolidate_company_group(group, records))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gralmatch_records::{EntityId, IdKind, SourceId};
+
+    fn company(id: u32, source: u16, name: &str, city: &str) -> CompanyRecord {
+        let mut c = CompanyRecord::new(RecordId(id), SourceId(source), name)
+            .with_entity(EntityId(1));
+        c.city = city.into();
+        c
+    }
+
+    #[test]
+    fn majority_vote_wins() {
+        let records = vec![
+            company(0, 0, "Crowdstrike Inc.", "Austin"),
+            company(1, 1, "Crowdstrike Inc.", "Austin"),
+            company(2, 2, "CROWDSTRIKE", ""),
+        ];
+        let golden =
+            consolidate_company_group(&[RecordId(0), RecordId(1), RecordId(2)], &records);
+        assert_eq!(golden.name, "Crowdstrike Inc.");
+        assert_eq!(golden.city, "Austin", "empty values never win");
+        assert_eq!(golden.num_sources, 3);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let records = vec![company(0, 0, "Acme", "A"), company(1, 1, "Beta", "B")];
+        let golden = consolidate_company_group(&[RecordId(0), RecordId(1)], &records);
+        assert_eq!(golden.name, "Acme", "lexicographic tie-break");
+    }
+
+    #[test]
+    fn id_codes_unioned_and_deduped() {
+        let mut a = company(0, 0, "Acme", "A");
+        a.id_codes.push(IdCode::new(IdKind::Lei, "L1"));
+        let mut b = company(1, 1, "Acme", "A");
+        b.id_codes.push(IdCode::new(IdKind::Lei, "L1"));
+        b.id_codes.push(IdCode::new(IdKind::Lei, "L2"));
+        let golden = consolidate_company_group(&[RecordId(0), RecordId(1)], &[a, b]);
+        assert_eq!(golden.id_codes.len(), 2);
+    }
+
+    #[test]
+    fn longest_description_kept() {
+        let mut a = company(0, 0, "Acme", "A");
+        a.short_description = "Short.".into();
+        let mut b = company(1, 1, "Acme", "A");
+        b.short_description = "A much longer and more informative description.".into();
+        let golden = consolidate_company_group(&[RecordId(0), RecordId(1)], &[a, b]);
+        assert!(golden.short_description.starts_with("A much longer"));
+    }
+
+    #[test]
+    fn consolidates_all_groups() {
+        let records = vec![
+            company(0, 0, "Acme", "A"),
+            company(1, 1, "Acme", "A"),
+            company(2, 0, "Globex", "B"),
+        ];
+        let groups = vec![vec![RecordId(0), RecordId(1)], vec![RecordId(2)]];
+        let golden = consolidate_companies(&groups, &records);
+        assert_eq!(golden.len(), 2);
+        assert_eq!(golden[1].name, "Globex");
+        assert_eq!(golden[1].members, vec![RecordId(2)]);
+    }
+}

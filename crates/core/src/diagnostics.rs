@@ -1,0 +1,154 @@
+//! Prediction-graph diagnostics.
+//!
+//! Operators of a matching pipeline need to see *why* a graph cleanup is
+//! about to do what it does: how big the components are, how dense, how
+//! many false-positive-looking bridges and drift-suspect cut vertices they
+//! contain. This module condenses the graph substrate's analyses into one
+//! report (printed by the harness, usable as a pre-flight check before
+//! committing to a cleanup configuration).
+
+use gralmatch_graph::{
+    articulation_points, connected_components, degeneracy, find_bridges, Graph, Subgraph,
+};
+
+/// Summary of one prediction graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphDiagnostics {
+    /// Total nodes (records).
+    pub num_nodes: usize,
+    /// Total predicted edges.
+    pub num_edges: usize,
+    /// Number of connected components (including singletons).
+    pub num_components: usize,
+    /// Size of the largest component.
+    pub largest_component: usize,
+    /// Components larger than the inspection threshold.
+    pub oversized_components: usize,
+    /// Bridges across all inspected components (min cuts of weight 1 — the
+    /// canonical false-positive signature).
+    pub bridges: usize,
+    /// Articulation points across inspected components (records that
+    /// single-handedly connect groups — drift suspects like record #21).
+    pub articulation_points: usize,
+    /// Maximum core number seen (high degeneracy = solid clique-like
+    /// groups; low = straggly chains).
+    pub max_degeneracy: u32,
+    /// Mean edge density of components with >= 3 nodes.
+    pub mean_density: f64,
+}
+
+/// Analyze a prediction graph. `oversized_threshold` marks the component
+/// size the cleanup would consider problematic (γ in Algorithm 1 terms).
+pub fn diagnose(graph: &Graph, oversized_threshold: usize) -> GraphDiagnostics {
+    let components = connected_components(graph);
+    let mut diagnostics = GraphDiagnostics {
+        num_nodes: graph.num_nodes(),
+        num_edges: graph.num_edges(),
+        num_components: components.len(),
+        largest_component: components.first().map_or(0, |c| c.len()),
+        oversized_components: 0,
+        bridges: 0,
+        articulation_points: 0,
+        max_degeneracy: 0,
+        mean_density: 0.0,
+    };
+    let mut density_sum = 0.0;
+    let mut density_count = 0usize;
+    for component in &components {
+        if component.len() < 2 {
+            continue;
+        }
+        if component.len() > oversized_threshold {
+            diagnostics.oversized_components += 1;
+        }
+        let sub = Subgraph::induce(graph, component);
+        diagnostics.bridges += find_bridges(&sub).len();
+        diagnostics.articulation_points += articulation_points(&sub).len();
+        diagnostics.max_degeneracy = diagnostics.max_degeneracy.max(degeneracy(&sub));
+        if component.len() >= 3 {
+            let possible = component.len() as f64 * (component.len() as f64 - 1.0) / 2.0;
+            density_sum += sub.num_edges() as f64 / possible;
+            density_count += 1;
+        }
+    }
+    if density_count > 0 {
+        diagnostics.mean_density = density_sum / density_count as f64;
+    }
+    diagnostics
+}
+
+impl GraphDiagnostics {
+    /// Human-readable multi-line rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "prediction graph: {} nodes, {} edges, {} components (largest {})\n\
+             oversized (> threshold): {} | bridges: {} | cut vertices: {}\n\
+             max degeneracy: {} | mean density (3+ components): {:.2}",
+            self.num_nodes,
+            self.num_edges,
+            self.num_components,
+            self.largest_component,
+            self.oversized_components,
+            self.bridges,
+            self.articulation_points,
+            self.max_degeneracy,
+            self.mean_density,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add_clique(graph: &mut Graph, base: u32, k: u32) {
+        for i in 0..k {
+            for j in (i + 1)..k {
+                graph.add_edge(base + i, base + j);
+            }
+        }
+    }
+
+    #[test]
+    fn diagnoses_bridged_cliques() {
+        let mut graph = Graph::new();
+        add_clique(&mut graph, 0, 5);
+        add_clique(&mut graph, 5, 5);
+        graph.add_edge(4, 5); // bridge
+        let report = diagnose(&graph, 5);
+        assert_eq!(report.num_components, 1);
+        assert_eq!(report.largest_component, 10);
+        assert_eq!(report.oversized_components, 1);
+        assert_eq!(report.bridges, 1);
+        assert_eq!(report.articulation_points, 2, "both bridge endpoints");
+        assert_eq!(report.max_degeneracy, 4);
+        assert!(report.mean_density < 1.0);
+    }
+
+    #[test]
+    fn clean_groups_have_no_bridges() {
+        let mut graph = Graph::new();
+        add_clique(&mut graph, 0, 4);
+        add_clique(&mut graph, 4, 3);
+        let report = diagnose(&graph, 5);
+        assert_eq!(report.bridges, 0);
+        assert_eq!(report.articulation_points, 0);
+        assert!((report.mean_density - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let report = diagnose(&Graph::new(), 5);
+        assert_eq!(report.num_nodes, 0);
+        assert_eq!(report.mean_density, 0.0);
+        assert!(!report.render().is_empty());
+    }
+
+    #[test]
+    fn singletons_counted_as_components() {
+        let graph = Graph::with_nodes(7);
+        let report = diagnose(&graph, 5);
+        assert_eq!(report.num_components, 7);
+        assert_eq!(report.largest_component, 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! GraLMatch core: entity group matching with graph cleanup.
+//!
+//! The paper's primary contribution, end to end (Figure 1):
+//! blocking → pairwise matching → **GraLMatch Graph Cleanup** (pre-cleanup +
+//! Algorithm 1: minimum edge cuts above γ, max-betweenness edge removal
+//! above μ) → entity groups, with the three-stage evaluation protocol
+//! (pairwise / pre-cleanup / post-cleanup) and the Cluster Purity metric.
+//!
+//! * [`groups`] — prediction graph, components, closure counting,
+//! * [`cleanup`] — Algorithm 1 + pre-cleanup + sensitivity variants,
+//! * [`metrics`] — pairwise & group metrics, Cluster Purity,
+//! * [`pipeline`] — per-dataset blocking recipes and the full pipeline.
+
+pub mod adaptive;
+pub mod calibration;
+pub mod cleanup;
+pub mod consolidate;
+pub mod diagnostics;
+pub mod groups;
+pub mod label_propagation;
+pub mod metrics;
+pub mod pipeline;
+
+pub use adaptive::{adaptive_cleanup, AdaptiveConfig};
+pub use calibration::{
+    average_precision, best_f1_threshold, precision_recall_curve, threshold_for_precision,
+    PrPoint,
+};
+pub use consolidate::{consolidate_companies, consolidate_company_group, GoldenCompany};
+pub use diagnostics::{diagnose, GraphDiagnostics};
+pub use label_propagation::{label_propagation_groups, LabelPropagationConfig};
+pub use cleanup::{graph_cleanup, pre_cleanup, CleanupConfig, CleanupReport, CleanupVariant};
+pub use groups::{count_group_pairs, entity_groups, group_assignment, prediction_graph};
+pub use metrics::{group_metrics, pairwise_metrics, GroupMetrics, PairMetrics};
+pub use pipeline::{
+    company_candidates, product_candidates, run_pipeline, run_pipeline_with_oracle,
+    security_candidates, MatchingOutcome, OracleMatcher, PipelineConfig,
+};

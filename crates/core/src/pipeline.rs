@@ -1,0 +1,364 @@
+//! End-to-end entity group matching pipeline (paper Figure 1) and the
+//! three-stage evaluation of Section 5.3.2.
+//!
+//! 1. **Blocking** — per-dataset candidate builders
+//!    ([`company_candidates`], [`security_candidates`], [`product_candidates`]).
+//! 2. **Pairwise matching** — any [`PairwiseMatcher`] over the encoded
+//!    records, parallelized.
+//! 3. **GraLMatch Graph Cleanup** — pre-cleanup + Algorithm 1.
+//! 4. **Entity groups** — connected components of the cleaned graph.
+//!
+//! Evaluation reports three stages: pairwise (blocked pairs), pre-cleanup
+//! (implied transitive closure of raw predictions), post-cleanup (closure of
+//! cleaned components) — the three column groups of Table 4.
+
+use crate::cleanup::{graph_cleanup, pre_cleanup, CleanupConfig, CleanupReport};
+use crate::groups::{entity_groups, prediction_graph};
+use crate::metrics::{group_metrics, pairwise_metrics, GroupMetrics, PairMetrics};
+use gralmatch_blocking::{
+    id_overlap_companies, id_overlap_securities, issuer_match, token_overlap, BlockingKind,
+    CandidateSet, TokenOverlapConfig,
+};
+use gralmatch_lm::{predict_positive, EncodedRecord, PairwiseMatcher};
+use gralmatch_records::{
+    CompanyRecord, GroundTruth, ProductRecord, RecordId, RecordPair, SecurityRecord,
+};
+use gralmatch_util::{FxHashMap, Stopwatch};
+
+/// Pipeline knobs (γ/μ per Table 2, threading, pre-cleanup).
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Graph-cleanup thresholds.
+    pub cleanup: CleanupConfig,
+    /// Inference worker threads.
+    pub threads: usize,
+}
+
+impl PipelineConfig {
+    /// Construct with Table 2 thresholds.
+    pub fn new(gamma: usize, mu: usize) -> Self {
+        PipelineConfig {
+            cleanup: CleanupConfig::new(gamma, mu),
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+
+    /// Enable the companies' pre-cleanup (threshold 50 in the paper).
+    pub fn with_pre_cleanup(mut self, threshold: usize) -> Self {
+        self.cleanup.pre_cleanup_threshold = Some(threshold);
+        self
+    }
+}
+
+/// Everything the Table 4 rows need for one (dataset, model) cell.
+#[derive(Debug, Clone)]
+pub struct MatchingOutcome {
+    /// Number of candidate pairs after blocking (Table 2 column).
+    pub num_candidates: usize,
+    /// Positively predicted pairs (stage 1 input).
+    pub num_predicted: usize,
+    /// Stage 1: pairwise metrics on blocked pairs.
+    pub pairwise: PairMetrics,
+    /// Stage 2: metrics over the closure of raw predictions.
+    pub pre_cleanup: GroupMetrics,
+    /// Stage 3: metrics over the closure of cleaned components.
+    pub post_cleanup: GroupMetrics,
+    /// Final entity groups (largest first).
+    pub groups: Vec<Vec<RecordId>>,
+    /// Inference wall-clock seconds (Table 4's time column).
+    pub inference_seconds: f64,
+    /// Cleanup diagnostics.
+    pub cleanup_report: CleanupReport,
+}
+
+/// Blocking for the companies datasets: ID Overlap (through securities) +
+/// Token Overlap (Table 2).
+pub fn company_candidates(
+    companies: &[CompanyRecord],
+    securities: &[SecurityRecord],
+    token_config: &TokenOverlapConfig,
+) -> CandidateSet {
+    let mut candidates = CandidateSet::new();
+    id_overlap_companies(companies, securities, &mut candidates);
+    token_overlap(companies, token_config, &mut candidates);
+    candidates
+}
+
+/// Blocking for the securities datasets: ID Overlap + Issuer Match, the
+/// latter fed by the company matching's group assignment (Table 2).
+pub fn security_candidates(
+    securities: &[SecurityRecord],
+    company_group_of: &FxHashMap<RecordId, u32>,
+) -> CandidateSet {
+    let mut candidates = CandidateSet::new();
+    id_overlap_securities(securities, &mut candidates);
+    issuer_match(securities, company_group_of, &mut candidates);
+    candidates
+}
+
+/// Blocking for WDC-style products: Token Overlap only (Table 2).
+pub fn product_candidates(
+    products: &[ProductRecord],
+    token_config: &TokenOverlapConfig,
+) -> CandidateSet {
+    let mut candidates = CandidateSet::new();
+    token_overlap(products, token_config, &mut candidates);
+    candidates
+}
+
+/// Run pairwise matching + cleanup + evaluation over a candidate set.
+pub fn run_pipeline<M: PairwiseMatcher>(
+    num_records: usize,
+    candidates: &CandidateSet,
+    matcher: &M,
+    encoded: &[EncodedRecord],
+    gt: &GroundTruth,
+    config: &PipelineConfig,
+) -> MatchingOutcome {
+    // Stage 1: pairwise predictions over blocked candidates.
+    let pairs = candidates.pairs_sorted();
+    let stopwatch = Stopwatch::start();
+    let predicted = predict_positive(matcher, encoded, &pairs, config.threads);
+    let inference_seconds = stopwatch.elapsed_secs();
+    let pairwise = pairwise_metrics(&predicted, gt);
+
+    // Stage 2: implied transitive closure of the raw prediction graph.
+    let mut graph = prediction_graph(num_records, &predicted);
+    let pre_groups = entity_groups(&graph);
+    let pre_cleanup_metrics = group_metrics(&pre_groups, gt);
+
+    // Stage 3: pre-cleanup + Algorithm 1, then the closure of the output.
+    let mut cleanup_report = CleanupReport::default();
+    if let Some(threshold) = config.cleanup.pre_cleanup_threshold {
+        cleanup_report.pre_cleanup_removed = pre_cleanup(&mut graph, threshold, |pair| {
+            candidates.from_blocking(pair, BlockingKind::TokenOverlap)
+                && !candidates.from_blocking(pair, BlockingKind::IdOverlap)
+                && !candidates.from_blocking(pair, BlockingKind::IssuerMatch)
+        });
+    }
+    let algo_report = graph_cleanup(&mut graph, &config.cleanup);
+    cleanup_report.mincut_removed = algo_report.mincut_removed;
+    cleanup_report.betweenness_removed = algo_report.betweenness_removed;
+    cleanup_report.mincut_rounds = algo_report.mincut_rounds;
+    cleanup_report.betweenness_rounds = algo_report.betweenness_rounds;
+    cleanup_report.seconds = algo_report.seconds;
+
+    let groups = entity_groups(&graph);
+    let post_cleanup_metrics = group_metrics(&groups, gt);
+
+    MatchingOutcome {
+        num_candidates: pairs.len(),
+        num_predicted: predicted.len(),
+        pairwise,
+        pre_cleanup: pre_cleanup_metrics,
+        post_cleanup: post_cleanup_metrics,
+        groups,
+        inference_seconds,
+        cleanup_report,
+    }
+}
+
+/// Oracle matcher for tests and upper-bound experiments: predicts the
+/// ground truth restricted to the candidate pairs.
+#[derive(Debug, Clone)]
+pub struct OracleMatcher<'gt> {
+    gt: &'gt GroundTruth,
+    /// id lookup: encoded index == record id by pipeline invariant.
+    pub flip_pairs: Vec<RecordPair>,
+}
+
+impl<'gt> OracleMatcher<'gt> {
+    /// Perfect oracle.
+    pub fn new(gt: &'gt GroundTruth) -> Self {
+        OracleMatcher {
+            gt,
+            flip_pairs: Vec::new(),
+        }
+    }
+
+    /// Oracle with deliberate errors injected on `flip_pairs` (predicts the
+    /// opposite of the truth there) — used to study false-positive effects.
+    pub fn with_flips(gt: &'gt GroundTruth, flip_pairs: Vec<RecordPair>) -> Self {
+        OracleMatcher { gt, flip_pairs }
+    }
+}
+
+// The oracle cheats by reading record ids out of band: the pipeline scores
+// pairs positionally, so `score` receives streams only. To stay inside the
+// PairwiseMatcher interface, the oracle is driven through
+// `run_pipeline_with_oracle` below instead.
+/// Run the pipeline with an oracle pairwise decision (ground truth with
+/// optional flipped pairs) — bypasses the matcher interface.
+pub fn run_pipeline_with_oracle(
+    num_records: usize,
+    candidates: &CandidateSet,
+    oracle: &OracleMatcher<'_>,
+    gt: &GroundTruth,
+    config: &PipelineConfig,
+) -> MatchingOutcome {
+    let pairs = candidates.pairs_sorted();
+    let flip: gralmatch_util::FxHashSet<RecordPair> =
+        oracle.flip_pairs.iter().copied().collect();
+    let predicted: Vec<RecordPair> = pairs
+        .iter()
+        .copied()
+        .filter(|&pair| oracle.gt.is_match_pair(pair) != flip.contains(&pair))
+        .collect();
+    let pairwise = pairwise_metrics(&predicted, gt);
+
+    let mut graph = prediction_graph(num_records, &predicted);
+    let pre_groups = entity_groups(&graph);
+    let pre_cleanup_metrics = group_metrics(&pre_groups, gt);
+
+    let mut cleanup_report = CleanupReport::default();
+    if let Some(threshold) = config.cleanup.pre_cleanup_threshold {
+        cleanup_report.pre_cleanup_removed = pre_cleanup(&mut graph, threshold, |pair| {
+            candidates.only_from(pair, BlockingKind::TokenOverlap)
+        });
+    }
+    let algo_report = graph_cleanup(&mut graph, &config.cleanup);
+    cleanup_report.seconds = algo_report.seconds;
+    cleanup_report.mincut_removed = algo_report.mincut_removed;
+    cleanup_report.betweenness_removed = algo_report.betweenness_removed;
+
+    let groups = entity_groups(&graph);
+    let post_cleanup_metrics = group_metrics(&groups, gt);
+    MatchingOutcome {
+        num_candidates: pairs.len(),
+        num_predicted: predicted.len(),
+        pairwise,
+        pre_cleanup: pre_cleanup_metrics,
+        post_cleanup: post_cleanup_metrics,
+        groups,
+        inference_seconds: 0.0,
+        cleanup_report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gralmatch_datagen::{generate, GenerationConfig};
+    use gralmatch_lm::ModelSpec;
+    use gralmatch_records::Record;
+
+    fn dataset() -> gralmatch_datagen::FinancialDataset {
+        let mut config = GenerationConfig::synthetic_full();
+        config.num_entities = 150;
+        generate(&config).unwrap()
+    }
+
+    #[test]
+    fn oracle_pipeline_reaches_high_f1() {
+        let data = dataset();
+        let companies = data.companies.records();
+        let gt = data.companies.ground_truth();
+        let candidates = company_candidates(
+            companies,
+            data.securities.records(),
+            &TokenOverlapConfig::default(),
+        );
+        let config = PipelineConfig::new(25, 5).with_pre_cleanup(50);
+        let oracle = OracleMatcher::new(&gt);
+        let outcome =
+            run_pipeline_with_oracle(companies.len(), &candidates, &oracle, &gt, &config);
+        // The oracle's pairwise precision is 1; recall bounded by blocking.
+        assert_eq!(outcome.pairwise.precision, 1.0);
+        assert!(outcome.pairwise.recall > 0.6, "{:?}", outcome.pairwise);
+        assert!(outcome.post_cleanup.pairs.f1 > 0.6);
+        assert!(outcome.post_cleanup.cluster_purity > 0.9);
+    }
+
+    #[test]
+    fn false_positive_bridge_hurts_pre_cleanup_only() {
+        let data = dataset();
+        let companies = data.companies.records();
+        let gt = data.companies.ground_truth();
+        let candidates = company_candidates(
+            companies,
+            data.securities.records(),
+            &TokenOverlapConfig::default(),
+        );
+        // Flip one candidate non-match into a predicted match.
+        let flip = candidates
+            .pairs_sorted()
+            .into_iter()
+            .find(|&pair| !gt.is_match_pair(pair))
+            .expect("some negative candidate exists");
+        let config = PipelineConfig::new(25, 5).with_pre_cleanup(50);
+        let oracle = OracleMatcher::with_flips(&gt, vec![flip]);
+        let outcome =
+            run_pipeline_with_oracle(companies.len(), &candidates, &oracle, &gt, &config);
+        assert!(outcome.pairwise.precision < 1.0);
+        // The cleanup should recover most of the damage.
+        assert!(
+            outcome.post_cleanup.pairs.precision >= outcome.pre_cleanup.pairs.precision
+        );
+    }
+
+    #[test]
+    fn trained_pipeline_end_to_end() {
+        use gralmatch_records::{DatasetSplit, SplitRatios};
+        use gralmatch_util::SplitRng;
+        let data = dataset();
+        let companies = data.companies.records();
+        let gt = data.companies.ground_truth();
+        let spec = ModelSpec::DistilBert128All;
+        let encoded = spec.encode_records(companies);
+        let split = DatasetSplit::new(&gt, SplitRatios::default(), &mut SplitRng::new(3));
+        let (matcher, _) =
+            gralmatch_lm::train(companies, &encoded, &gt, &split, &spec.train_config()).unwrap();
+        let candidates = company_candidates(
+            companies,
+            data.securities.records(),
+            &TokenOverlapConfig::default(),
+        );
+        let config = PipelineConfig::new(25, 5).with_pre_cleanup(50);
+        let outcome = run_pipeline(
+            companies.len(),
+            &candidates,
+            &matcher,
+            &encoded,
+            &gt,
+            &config,
+        );
+        assert!(outcome.num_candidates > 0);
+        assert!(outcome.pairwise.f1 > 0.5, "pairwise {:?}", outcome.pairwise);
+        assert!(
+            outcome.post_cleanup.pairs.f1 >= outcome.pre_cleanup.pairs.f1 * 0.8,
+            "cleanup should not destroy the matching: pre {:?} post {:?}",
+            outcome.pre_cleanup.pairs,
+            outcome.post_cleanup.pairs
+        );
+        // μ bound: no final group exceeds the number of sources by much —
+        // Algorithm 1 guarantees all components ≤ μ.
+        assert!(outcome.groups.iter().all(|g| g.len() <= 5));
+    }
+
+    #[test]
+    fn security_pipeline_with_company_groups() {
+        let data = dataset();
+        let companies = data.companies.records();
+        let securities = data.securities.records();
+        let company_gt = data.companies.ground_truth();
+        // Perfect company grouping as issuer-match input.
+        let mut group_of: FxHashMap<RecordId, u32> = FxHashMap::default();
+        for company in companies {
+            group_of.insert(company.id(), company.entity.unwrap().0);
+        }
+        let candidates = security_candidates(securities, &group_of);
+        assert!(!candidates.is_empty());
+        let security_gt = data.securities.ground_truth();
+        let oracle = OracleMatcher::new(&security_gt);
+        let config = PipelineConfig::new(25, 5);
+        let outcome = run_pipeline_with_oracle(
+            securities.len(),
+            &candidates,
+            &oracle,
+            &security_gt,
+            &config,
+        );
+        assert!(outcome.pairwise.recall > 0.5, "{:?}", outcome.pairwise);
+        let _ = company_gt;
+    }
+}

@@ -1,0 +1,387 @@
+//! Data artifacts (paper Section 3.2).
+//!
+//! Each artifact is a rule-based modification of one record group's drafts,
+//! "much like the data augmentation operators used in pseudo-labeling
+//! methods". Artifacts are applied sequentially per group, so their effects
+//! intertwine — the paper calls this out as the source of variety across the
+//! 200K groups.
+//!
+//! Cross-group artifacts (acquisition, merger) live in `generator.rs`
+//! because they need access to two groups and to the entity union-find.
+
+use crate::draft::{CompanyDraft, GroupDrafts, SecurityDraft};
+use crate::identifiers::IdFactory;
+use crate::paraphrase::paraphrase;
+use crate::wordlists::CORPORATE_TERMS;
+use gralmatch_util::SplitRng;
+
+/// Which artifact was applied to a group — kept in a per-group log so tests
+/// and dataset statistics can audit the generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArtifactKind {
+    /// Name → acronym in one record.
+    AcronymName,
+    /// Corporate term spliced into names.
+    InsertCorporateTerm,
+    /// Description paraphrased.
+    ParaphraseAttribute,
+    /// Group absorbed another group (ground-truth merge).
+    CreateCorporateAcquisition,
+    /// Identifier cross-contamination without a ground-truth merge.
+    CreateCorporateMerger,
+    /// Extra identifiers minted for a security.
+    MultipleIds,
+    /// Identifier overlaps wiped within a security group.
+    NoIdOverlaps,
+    /// Extra securities issued (applied at planning time).
+    MultipleSecurities,
+    /// Typo introduced into a name.
+    TypoName,
+    /// Attribute blanked.
+    DropAttribute,
+    /// Name word order shuffled.
+    SwapNameOrder,
+}
+
+/// Swap one record's name with its acronym: "International Business
+/// Machines" → "IBM". Single-word names get their first three letters
+/// uppercased ("Crowdstrike" → "CRO"-style ticker), mirroring vendor
+/// ticker-style abbreviations.
+pub fn acronym_name(group: &GroupDrafts, companies: &mut [CompanyDraft], rng: &mut SplitRng) {
+    let &target = rng.pick(&group.companies);
+    let name = &companies[target].name;
+    let words: Vec<&str> = name.split_whitespace().collect();
+    let acronym = if words.len() >= 2 {
+        words
+            .iter()
+            .filter_map(|w| w.chars().next())
+            .flat_map(|c| c.to_uppercase())
+            .collect::<String>()
+    } else {
+        name.chars()
+            .filter(|c| c.is_alphanumeric())
+            .take(4)
+            .flat_map(|c| c.to_uppercase())
+            .collect::<String>()
+    };
+    if acronym.len() >= 2 {
+        companies[target].name = acronym;
+    }
+}
+
+/// Insert a corporate term into all mentions of the name in a random subset
+/// of records ("Crowdstrike" → "Crowdstrike Inc."). Different records may
+/// receive different terms — another source of naming variation.
+pub fn insert_corporate_term(
+    group: &GroupDrafts,
+    companies: &mut [CompanyDraft],
+    rng: &mut SplitRng,
+) {
+    for &idx in &group.companies {
+        if rng.chance(0.6) {
+            let term = *rng.pick(CORPORATE_TERMS);
+            let name = &mut companies[idx].name;
+            if !name.contains(term) {
+                name.push(' ');
+                name.push_str(term);
+            }
+        }
+    }
+}
+
+/// Paraphrase the description of a random subset of records.
+pub fn paraphrase_attribute(
+    group: &GroupDrafts,
+    companies: &mut [CompanyDraft],
+    rng: &mut SplitRng,
+) {
+    for &idx in &group.companies {
+        if !companies[idx].description.is_empty() && rng.chance(0.5) {
+            companies[idx].description = paraphrase(&companies[idx].description, 0.6, rng);
+        }
+    }
+}
+
+/// Mint new identifiers and attach them to multiple records of one security
+/// (paper artifact 5): the group's records end up with supersets/subsets of
+/// codes rather than identical bundles.
+pub fn multiple_ids(
+    group: &GroupDrafts,
+    securities: &mut [SecurityDraft],
+    factory: &mut IdFactory,
+    rng: &mut SplitRng,
+) {
+    for sec_records in &group.securities {
+        if sec_records.len() < 2 || !rng.chance(0.7) {
+            continue;
+        }
+        let extra = factory.security_bundle();
+        // Attach the new codes to a random subset of at least 2 records.
+        let k = rng.range_inclusive(2, sec_records.len());
+        let chosen = rng.sample_indices(sec_records.len(), k);
+        for &i in &chosen {
+            securities[sec_records[i]].id_codes.extend(extra.iter().cloned());
+        }
+    }
+}
+
+/// Wipe all identifier overlaps within each security group (paper artifact
+/// 6): every record gets a fresh disjoint bundle, so the group can only be
+/// matched via text or issuer.
+pub fn no_id_overlaps(
+    group: &GroupDrafts,
+    securities: &mut [SecurityDraft],
+    factory: &mut IdFactory,
+    _rng: &mut SplitRng,
+) {
+    for sec_records in &group.securities {
+        for &idx in sec_records {
+            securities[idx].id_codes = factory.security_bundle();
+        }
+    }
+}
+
+/// Introduce one character-level typo (swap, drop, or duplicate) into a
+/// random record's name.
+pub fn typo_name(group: &GroupDrafts, companies: &mut [CompanyDraft], rng: &mut SplitRng) {
+    let &target = rng.pick(&group.companies);
+    let name = &companies[target].name;
+    let chars: Vec<char> = name.chars().collect();
+    if chars.len() < 4 {
+        return;
+    }
+    let pos = rng.range_inclusive(1, chars.len() - 2);
+    let mut out: Vec<char> = chars.clone();
+    match rng.next_below(3) {
+        0 => out.swap(pos, pos + 1),          // transposition
+        1 => {
+            out.remove(pos);                   // deletion
+        }
+        _ => out.insert(pos, chars[pos]),      // duplication
+    }
+    companies[target].name = out.into_iter().collect();
+}
+
+/// Blank one non-name attribute in a random subset of records (missing
+/// data, challenge (2) of Section 3.3).
+pub fn drop_attribute(group: &GroupDrafts, companies: &mut [CompanyDraft], rng: &mut SplitRng) {
+    for &idx in &group.companies {
+        if !rng.chance(0.5) {
+            continue;
+        }
+        match rng.next_below(4) {
+            0 => companies[idx].city.clear(),
+            1 => companies[idx].region.clear(),
+            2 => companies[idx].country_code.clear(),
+            _ => companies[idx].description.clear(),
+        }
+    }
+}
+
+/// Shuffle the word order of a multi-word name in one record
+/// ("Crowd Strike Platforms" → "Platforms Crowd Strike") — simulates vendor
+/// normalization quirks like "Holdings, Crowdstrike".
+pub fn swap_name_order(group: &GroupDrafts, companies: &mut [CompanyDraft], rng: &mut SplitRng) {
+    let &target = rng.pick(&group.companies);
+    let mut words: Vec<String> = companies[target]
+        .name
+        .split_whitespace()
+        .map(str::to_string)
+        .collect();
+    if words.len() >= 2 {
+        rng.shuffle(&mut words);
+        companies[target].name = words.join(" ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gralmatch_records::{SecurityType, SourceId};
+
+    fn company(name: &str) -> CompanyDraft {
+        CompanyDraft {
+            entity: 0,
+            source: SourceId(0),
+            name: name.into(),
+            city: "Austin".into(),
+            region: "Texas".into(),
+            country_code: "USA".into(),
+            description: "Provider of cloud security solutions for enterprises.".into(),
+            id_codes: Vec::new(),
+            securities: vec![],
+        }
+    }
+
+    fn security(name: &str, codes: usize, factory: &mut IdFactory) -> SecurityDraft {
+        let mut draft = SecurityDraft {
+            entity: 0,
+            source: SourceId(0),
+            name: name.into(),
+            security_type: SecurityType::Equity,
+            listings: String::new(),
+            id_codes: Vec::new(),
+            issuer: 0,
+        };
+        for _ in 0..codes {
+            draft.id_codes.push(factory.isin());
+        }
+        draft
+    }
+
+    fn group(n_companies: usize, secs: &[usize]) -> GroupDrafts {
+        GroupDrafts {
+            companies: (0..n_companies).collect(),
+            securities: {
+                let mut start = 0;
+                secs.iter()
+                    .map(|&len| {
+                        let v: Vec<usize> = (start..start + len).collect();
+                        start += len;
+                        v
+                    })
+                    .collect()
+            },
+        }
+    }
+
+    #[test]
+    fn acronym_multi_word() {
+        let mut companies = vec![company("International Business Machines")];
+        acronym_name(&group(1, &[]), &mut companies, &mut SplitRng::new(1));
+        assert_eq!(companies[0].name, "IBM");
+    }
+
+    #[test]
+    fn acronym_single_word_ticker() {
+        let mut companies = vec![company("Crowdstrike")];
+        acronym_name(&group(1, &[]), &mut companies, &mut SplitRng::new(1));
+        assert_eq!(companies[0].name, "CROW");
+    }
+
+    #[test]
+    fn corporate_term_appended_once() {
+        let mut rng = SplitRng::new(3);
+        let mut companies = vec![company("Acme"), company("Acme"), company("Acme")];
+        insert_corporate_term(&group(3, &[]), &mut companies, &mut rng);
+        let changed = companies.iter().filter(|c| c.name != "Acme").count();
+        assert!(changed >= 1, "at least one record should gain a term");
+        for c in &companies {
+            assert!(c.name.starts_with("Acme"));
+        }
+    }
+
+    #[test]
+    fn paraphrase_changes_some_description() {
+        // Each record paraphrases with probability 1/2; try several seeds so
+        // the test asserts behaviour rather than one RNG draw.
+        for seed in 0..20 {
+            let mut rng = SplitRng::new(seed);
+            let mut companies = vec![company("A"), company("B"), company("C"), company("D")];
+            let originals: Vec<String> = companies.iter().map(|c| c.description.clone()).collect();
+            paraphrase_attribute(&group(4, &[]), &mut companies, &mut rng);
+            let changed = companies
+                .iter()
+                .zip(&originals)
+                .filter(|(c, o)| &c.description != *o)
+                .count();
+            if changed >= 1 {
+                return;
+            }
+        }
+        panic!("paraphrase never changed any description in 20 seeds");
+    }
+
+    #[test]
+    fn multiple_ids_extends_subsets() {
+        let mut factory = IdFactory::new(SplitRng::new(1));
+        let mut securities = vec![
+            security("S ORD", 1, &mut factory),
+            security("S ORD", 1, &mut factory),
+            security("S ORD", 1, &mut factory),
+        ];
+        let before: Vec<usize> = securities.iter().map(|s| s.id_codes.len()).collect();
+        // chance(0.7) per security group; loop a few seeds until applied.
+        for seed in 0..20 {
+            let mut rng = SplitRng::new(seed);
+            multiple_ids(&group(0, &[3]), &mut securities, &mut factory, &mut rng);
+            let after: Vec<usize> = securities.iter().map(|s| s.id_codes.len()).collect();
+            if after != before {
+                assert!(after.iter().zip(&before).filter(|(a, b)| a > b).count() >= 2);
+                return;
+            }
+        }
+        panic!("multiple_ids never applied in 20 seeds");
+    }
+
+    #[test]
+    fn no_id_overlaps_disjoint() {
+        let mut factory = IdFactory::new(SplitRng::new(1));
+        let mut securities = vec![
+            security("S ORD", 2, &mut factory),
+            security("S ORD", 2, &mut factory),
+        ];
+        // Start with identical bundles to prove they get wiped.
+        securities[1].id_codes = securities[0].id_codes.clone();
+        no_id_overlaps(&group(0, &[2]), &mut securities, &mut factory, &mut SplitRng::new(2));
+        let codes0: gralmatch_util::FxHashSet<&str> =
+            securities[0].id_codes.iter().map(|c| c.value.as_str()).collect();
+        assert!(
+            securities[1].id_codes.iter().all(|c| !codes0.contains(c.value.as_str())),
+            "bundles must be disjoint after the artifact"
+        );
+    }
+
+    #[test]
+    fn typo_changes_name_slightly() {
+        let mut companies = vec![company("Crowdstrike Holdings")];
+        typo_name(&group(1, &[]), &mut companies, &mut SplitRng::new(7));
+        let new = &companies[0].name;
+        assert_ne!(new, "Crowdstrike Holdings");
+        let dist = gralmatch_text::levenshtein(new, "Crowdstrike Holdings");
+        assert!(dist <= 2, "typo must be small: {new}");
+    }
+
+    #[test]
+    fn typo_skips_tiny_names() {
+        let mut companies = vec![company("AB")];
+        typo_name(&group(1, &[]), &mut companies, &mut SplitRng::new(1));
+        assert_eq!(companies[0].name, "AB");
+    }
+
+    #[test]
+    fn drop_attribute_blanks_fields() {
+        let mut rng = SplitRng::new(11);
+        let mut companies: Vec<CompanyDraft> = (0..8).map(|_| company("X")).collect();
+        drop_attribute(&group(8, &[]), &mut companies, &mut rng);
+        let blanked = companies
+            .iter()
+            .filter(|c| {
+                c.city.is_empty()
+                    || c.region.is_empty()
+                    || c.country_code.is_empty()
+                    || c.description.is_empty()
+            })
+            .count();
+        assert!(blanked >= 1);
+        // Name is never dropped.
+        assert!(companies.iter().all(|c| !c.name.is_empty()));
+    }
+
+    #[test]
+    fn swap_name_order_permutes_words() {
+        let mut companies = vec![company("Crowd Strike Platforms")];
+        // Find a seed where the shuffle is not the identity permutation.
+        for seed in 0..20 {
+            companies[0].name = "Crowd Strike Platforms".into();
+            swap_name_order(&group(1, &[]), &mut companies, &mut SplitRng::new(seed));
+            if companies[0].name != "Crowd Strike Platforms" {
+                let mut words: Vec<&str> = companies[0].name.split(' ').collect();
+                words.sort_unstable();
+                assert_eq!(words, vec!["Crowd", "Platforms", "Strike"]);
+                return;
+            }
+        }
+        panic!("shuffle never changed order in 20 seeds");
+    }
+}

@@ -1,0 +1,259 @@
+//! Generation parameters.
+//!
+//! The paper states the benchmark is "fully parameterized": dataset size and
+//! the proportion of record groups receiving each data artifact are knobs
+//! (Section 3.2). `GenerationConfig` is that parameterization; the presets
+//! reproduce the paper's two calibrations (synthetic benchmark, Table 1's
+//! synthetic column; and the real labeled subset, Table 1/2's real column).
+
+use gralmatch_util::{Error, Result};
+
+/// Per-artifact application rates (probability that a record group receives
+/// the artifact; artifacts compose — a group can receive several).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArtifactRates {
+    /// Swap a record's name for its acronym (companies).
+    pub acronym_name: f64,
+    /// Splice a corporate term (Inc./Ltd/…) into mentions of the name.
+    pub insert_corporate_term: f64,
+    /// Paraphrase the short description (groups that have one).
+    pub paraphrase: f64,
+    /// Probability a group is the *acquiree* of a simulated acquisition
+    /// (records of both groups become one ground-truth entity).
+    pub acquisition: f64,
+    /// Probability a group takes part in a simulated merger (identifier
+    /// overwrites without ground-truth merging — false ID-overlap bait).
+    pub merger: f64,
+    /// Mint extra identifiers for a security and attach them to several of
+    /// its records (securities).
+    pub multiple_ids: f64,
+    /// Wipe all identifier overlaps within a security group (securities).
+    pub no_id_overlaps: f64,
+    /// Introduce a character typo into one record's name.
+    pub typo_name: f64,
+    /// Blank one non-name attribute in some records.
+    pub drop_attribute: f64,
+    /// Reorder the words of a multi-word name in one record.
+    pub swap_name_order: f64,
+}
+
+impl ArtifactRates {
+    /// Rates calibrated for the synthetic benchmark (challenging mix).
+    pub fn synthetic() -> Self {
+        ArtifactRates {
+            acronym_name: 0.05,
+            insert_corporate_term: 0.35,
+            paraphrase: 0.50,
+            acquisition: 0.02,
+            merger: 0.02,
+            multiple_ids: 0.05,
+            no_id_overlaps: 0.03,
+            typo_name: 0.08,
+            drop_attribute: 0.15,
+            swap_name_order: 0.05,
+        }
+    }
+
+    /// Rates calibrated for the manually labeled real subset: mostly clean
+    /// ID-matchable groups with a very low share of edge cases
+    /// (Section 5.1.1: 63.5k ID-matched groups + 1.5k edge cases ≈ 2.3 %).
+    pub fn real_subset() -> Self {
+        ArtifactRates {
+            acronym_name: 0.01,
+            insert_corporate_term: 0.25,
+            paraphrase: 0.15,
+            acquisition: 0.006,
+            merger: 0.006,
+            multiple_ids: 0.006,
+            no_id_overlaps: 0.005,
+            typo_name: 0.02,
+            drop_attribute: 0.08,
+            swap_name_order: 0.01,
+        }
+    }
+
+    fn all(&self) -> [f64; 10] {
+        [
+            self.acronym_name,
+            self.insert_corporate_term,
+            self.paraphrase,
+            self.acquisition,
+            self.merger,
+            self.multiple_ids,
+            self.no_id_overlaps,
+            self.typo_name,
+            self.drop_attribute,
+            self.swap_name_order,
+        ]
+    }
+}
+
+/// Securities-side generation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SecurityConfig {
+    /// Probability a company issues securities beyond its primary equity
+    /// (the `MultipleSecurities` artifact).
+    pub extra_security_rate: f64,
+    /// Maximum number of extra securities.
+    pub max_extra: usize,
+    /// Probability a security record exists in a source where its issuer's
+    /// company record exists.
+    pub presence: f64,
+    /// Probability a security record loses *all* its identifier codes
+    /// (missing data — such records match only via text/issuer).
+    pub missing_ids: f64,
+}
+
+impl Default for SecurityConfig {
+    fn default() -> Self {
+        SecurityConfig {
+            extra_security_rate: 0.25,
+            max_extra: 2,
+            presence: 0.85,
+            missing_ids: 0.05,
+        }
+    }
+}
+
+/// Full generation configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationConfig {
+    /// Master RNG seed; every other stream derives from it.
+    pub seed: u64,
+    /// Number of company record groups (entities) to generate.
+    pub num_entities: usize,
+    /// Number of data sources.
+    pub num_sources: u16,
+    /// Probability a company record exists in each source.
+    pub presence: f64,
+    /// Fraction of seed companies with a short description.
+    pub description_rate: f64,
+    /// Probability a company record carries an LEI.
+    pub lei_rate: f64,
+    /// Artifact application rates.
+    pub artifacts: ArtifactRates,
+    /// Securities-side parameters.
+    pub security: SecurityConfig,
+}
+
+impl GenerationConfig {
+    /// The paper's synthetic benchmark calibration (Table 1 synthetic
+    /// column: 5 sources, 200K entities, 868K company records ⇒ presence
+    /// ≈ 0.868, 32 % descriptions).
+    pub fn synthetic_full() -> Self {
+        GenerationConfig {
+            seed: DEFAULT_SEED,
+            num_entities: 200_000,
+            num_sources: 5,
+            presence: 0.868,
+            description_rate: 0.32,
+            lei_rate: 0.6,
+            artifacts: ArtifactRates::synthetic(),
+            security: SecurityConfig::default(),
+        }
+    }
+
+    /// The synthetic benchmark scaled by `factor` (0 < factor <= 1): same
+    /// shape, fewer entities. `factor = 1.0` is the paper-size dataset.
+    pub fn synthetic_scaled(factor: f64) -> Self {
+        let mut config = Self::synthetic_full();
+        config.num_entities = ((config.num_entities as f64 * factor).round() as usize).max(10);
+        config
+    }
+
+    /// The real labeled subset simulator (Table 2 real rows: 8 sources,
+    /// 6.3K company records, 12.8K security records, dominated by clean
+    /// ID-matchable groups).
+    pub fn real_simulated() -> Self {
+        GenerationConfig {
+            seed: DEFAULT_SEED ^ 0x4ea1,
+            num_entities: 7_400,
+            num_sources: 8,
+            presence: 0.525,
+            description_rate: 0.25,
+            lei_rate: 0.75,
+            artifacts: ArtifactRates::real_subset(),
+            security: SecurityConfig {
+                extra_security_rate: 0.7,
+                max_extra: 2,
+                presence: 0.9,
+                missing_ids: 0.03,
+            },
+        }
+    }
+
+    /// Validate all probabilities and sizes.
+    pub fn validate(&self) -> Result<()> {
+        let probs = [
+            ("presence", self.presence),
+            ("description_rate", self.description_rate),
+            ("lei_rate", self.lei_rate),
+            ("security.extra_security_rate", self.security.extra_security_rate),
+            ("security.presence", self.security.presence),
+            ("security.missing_ids", self.security.missing_ids),
+        ];
+        for (what, p) in probs {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(Error::InvalidConfig(format!("{what} = {p} not in [0,1]")));
+            }
+        }
+        for (i, p) in self.artifacts.all().iter().enumerate() {
+            if !(0.0..=1.0).contains(p) {
+                return Err(Error::InvalidConfig(format!("artifact rate #{i} = {p} not in [0,1]")));
+            }
+        }
+        if self.num_entities == 0 {
+            return Err(Error::InvalidConfig("num_entities must be > 0".into()));
+        }
+        if self.num_sources == 0 {
+            return Err(Error::InvalidConfig("num_sources must be > 0".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Default experiment seed; every preset derives from it so all tables are
+/// reproducible out of the box.
+pub const DEFAULT_SEED: u64 = 0x67a1_4a7c_4d06_15e1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        GenerationConfig::synthetic_full().validate().unwrap();
+        GenerationConfig::real_simulated().validate().unwrap();
+        GenerationConfig::synthetic_scaled(0.05).validate().unwrap();
+    }
+
+    #[test]
+    fn scaling_shrinks_entities() {
+        let full = GenerationConfig::synthetic_full();
+        let scaled = GenerationConfig::synthetic_scaled(0.05);
+        assert_eq!(scaled.num_entities, 10_000);
+        assert_eq!(scaled.num_sources, full.num_sources);
+    }
+
+    #[test]
+    fn invalid_probability_rejected() {
+        let mut config = GenerationConfig::synthetic_full();
+        config.presence = 1.5;
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn zero_entities_rejected() {
+        let mut config = GenerationConfig::synthetic_full();
+        config.num_entities = 0;
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn real_sim_has_more_sources_fewer_edge_cases() {
+        let real = GenerationConfig::real_simulated();
+        let synth = GenerationConfig::synthetic_full();
+        assert!(real.num_sources > synth.num_sources);
+        assert!(real.artifacts.acquisition < synth.artifacts.acquisition);
+    }
+}

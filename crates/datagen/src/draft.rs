@@ -1,0 +1,93 @@
+//! Mutable record drafts used during generation.
+//!
+//! Artifacts operate on drafts (cheap field mutation, index-based
+//! cross-references); materialization then shuffles the drafts, assigns
+//! dense [`RecordId`]s, resolves references, and produces the immutable
+//! datasets.
+
+use gralmatch_records::{IdCode, SecurityType, SourceId};
+
+/// A company record under construction. `entity` indexes the seed entity;
+/// acquisitions later remap labels through a union-find.
+#[derive(Debug, Clone)]
+pub struct CompanyDraft {
+    /// Seed-entity index (pre-acquisition label).
+    pub entity: u32,
+    /// Source this record belongs to.
+    pub source: SourceId,
+    /// Name as this vendor spells it.
+    pub name: String,
+    /// City (may be blanked by `DropAttribute`).
+    pub city: String,
+    /// Region.
+    pub region: String,
+    /// Country code.
+    pub country_code: String,
+    /// Short description.
+    pub description: String,
+    /// Company identifier codes (LEI).
+    pub id_codes: Vec<IdCode>,
+    /// Indices into the security-draft vector (filled during assembly).
+    pub securities: Vec<usize>,
+}
+
+/// A security record under construction.
+#[derive(Debug, Clone)]
+pub struct SecurityDraft {
+    /// Security-entity index (pre-acquisition label; security entity space
+    /// is separate from the company space).
+    pub entity: u32,
+    /// Source this record belongs to.
+    pub source: SourceId,
+    /// Security name.
+    pub name: String,
+    /// Security type.
+    pub security_type: SecurityType,
+    /// Exchange listings blob.
+    pub listings: String,
+    /// Identifier codes (artifacts perturb these).
+    pub id_codes: Vec<IdCode>,
+    /// Index of the issuing company draft.
+    pub issuer: usize,
+}
+
+/// All drafts of one company record group, as index ranges into the draft
+/// vectors. Artifacts take this view.
+#[derive(Debug, Clone, Default)]
+pub struct GroupDrafts {
+    /// Company-draft indices of this group (one per source present).
+    pub companies: Vec<usize>,
+    /// Security-draft indices of this group, per security entity:
+    /// `securities[k]` lists the records of the k-th security.
+    pub securities: Vec<Vec<usize>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drafts_construct() {
+        let c = CompanyDraft {
+            entity: 0,
+            source: SourceId(1),
+            name: "Acme".into(),
+            city: String::new(),
+            region: String::new(),
+            country_code: "USA".into(),
+            description: String::new(),
+            id_codes: Vec::new(),
+            securities: vec![],
+        };
+        let s = SecurityDraft {
+            entity: 0,
+            source: SourceId(1),
+            name: "Acme ORD".into(),
+            security_type: SecurityType::Equity,
+            listings: String::new(),
+            id_codes: Vec::new(),
+            issuer: 0,
+        };
+        assert_eq!(c.source, s.source);
+    }
+}

@@ -1,0 +1,164 @@
+//! Synthetic identifier-code generators.
+//!
+//! Formats follow the real standards closely enough that the codes *look*
+//! right (prefix country codes, digit/letter composition, lengths) while
+//! uniqueness is guaranteed by a per-generation counter mixed into the
+//! code body — two different securities can never collide unless an
+//! artifact deliberately copies codes between records (which is the point
+//! of the data-drift simulation).
+
+use gralmatch_records::{IdCode, IdKind};
+use gralmatch_util::SplitRng;
+
+const COUNTRIES: &[&str] = &["US", "CH", "GB", "DE", "FR", "JP", "CA", "AU", "NL", "SE"];
+const ALPHANUM: &[u8] = b"0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+
+fn base36(mut value: u64, width: usize) -> String {
+    let mut buf = vec![b'0'; width];
+    for slot in buf.iter_mut().rev() {
+        *slot = ALPHANUM[(value % 36) as usize];
+        value /= 36;
+    }
+    String::from_utf8(buf).expect("ascii")
+}
+
+/// Stateful unique-code factory for one generation run.
+#[derive(Debug)]
+pub struct IdFactory {
+    counter: u64,
+    rng: SplitRng,
+}
+
+impl IdFactory {
+    /// Create a factory with its own RNG stream.
+    pub fn new(rng: SplitRng) -> Self {
+        IdFactory { counter: 0, rng }
+    }
+
+    fn next_serial(&mut self) -> u64 {
+        self.counter += 1;
+        self.counter
+    }
+
+    /// ISIN: 2-letter country + 9 alphanumerics + check digit.
+    pub fn isin(&mut self) -> IdCode {
+        let country = self.rng.pick(COUNTRIES);
+        let body = base36(self.next_serial(), 9);
+        let check = (self.rng.next_u64() % 10).to_string();
+        IdCode::new(IdKind::Isin, format!("{country}{body}{check}"))
+    }
+
+    /// CUSIP: 9 alphanumerics.
+    pub fn cusip(&mut self) -> IdCode {
+        IdCode::new(IdKind::Cusip, base36(self.next_serial() | (1 << 40), 9))
+    }
+
+    /// VALOR: numeric, 6–9 digits.
+    pub fn valor(&mut self) -> IdCode {
+        IdCode::new(IdKind::Valor, format!("{}", 100_000 + self.next_serial()))
+    }
+
+    /// SEDOL: 7 alphanumerics starting with a letter.
+    pub fn sedol(&mut self) -> IdCode {
+        let first = ALPHANUM[10 + (self.rng.next_u64() % 26) as usize] as char;
+        IdCode::new(IdKind::Sedol, format!("{first}{}", base36(self.next_serial(), 6)))
+    }
+
+    /// LEI: 4-digit prefix + "00" + 12 alphanumerics + 2 check digits.
+    pub fn lei(&mut self) -> IdCode {
+        let prefix = 1000 + (self.rng.next_u64() % 9000);
+        let body = base36(self.next_serial(), 12);
+        let check = 10 + (self.rng.next_u64() % 90);
+        IdCode::new(IdKind::Lei, format!("{prefix}00{body}{check}"))
+    }
+
+    /// The standard code bundle for a new security entity: always an ISIN,
+    /// usually a CUSIP, sometimes a VALOR, and one SEDOL per exchange
+    /// listing (0–3) — matching how real vendor feeds mix identifier
+    /// standards. Bundles of 4–6 codes are common, which under wordpiece
+    /// tokenization is what blows DITTO's 128-token budget (Section 6.1).
+    pub fn security_bundle(&mut self) -> Vec<IdCode> {
+        let mut codes = vec![self.isin()];
+        if self.rng.chance(0.85) {
+            codes.push(self.cusip());
+        }
+        if self.rng.chance(0.5) {
+            codes.push(self.valor());
+        }
+        let listings = self.rng.next_below(4); // 0..=3 exchange listings
+        for _ in 0..listings {
+            codes.push(self.sedol());
+        }
+        codes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn factory() -> IdFactory {
+        IdFactory::new(SplitRng::new(7))
+    }
+
+    #[test]
+    fn isin_format() {
+        let mut f = factory();
+        let code = f.isin();
+        assert_eq!(code.kind, IdKind::Isin);
+        assert_eq!(code.value.len(), 12);
+        assert!(code.value[..2].chars().all(|c| c.is_ascii_uppercase()));
+    }
+
+    #[test]
+    fn cusip_format() {
+        let code = factory().cusip();
+        assert_eq!(code.value.len(), 9);
+    }
+
+    #[test]
+    fn sedol_format() {
+        let code = factory().sedol();
+        assert_eq!(code.value.len(), 7);
+        assert!(code.value.chars().next().unwrap().is_ascii_alphabetic());
+    }
+
+    #[test]
+    fn lei_format() {
+        let code = factory().lei();
+        assert_eq!(code.value.len(), 20);
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let mut f = factory();
+        let mut seen = gralmatch_util::FxHashSet::default();
+        for _ in 0..10_000 {
+            assert!(seen.insert(f.isin().value), "ISIN collision");
+            assert!(seen.insert(f.cusip().value), "CUSIP collision");
+        }
+    }
+
+    #[test]
+    fn bundle_always_has_isin() {
+        let mut f = factory();
+        for _ in 0..100 {
+            let bundle = f.security_bundle();
+            assert!(bundle.iter().any(|c| c.kind == IdKind::Isin));
+            assert!(!bundle.is_empty() && bundle.len() <= 6);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a: Vec<String> = {
+            let mut f = IdFactory::new(SplitRng::new(3));
+            (0..10).map(|_| f.isin().value).collect()
+        };
+        let b: Vec<String> = {
+            let mut f = IdFactory::new(SplitRng::new(3));
+            (0..10).map(|_| f.isin().value).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

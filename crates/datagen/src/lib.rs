@@ -1,0 +1,33 @@
+//! Synthetic multi-source benchmark generator (GraLMatch Section 3).
+//!
+//! Recreates the paper's two benchmark datasets — companies and securities —
+//! from procedurally generated seed records polluted by *data artifacts*
+//! (acronyms, corporate-term insertion, paraphrasing, identifier games) and
+//! *data drift* events (acquisitions that merge ground truth, mergers that
+//! contaminate identifiers without merging ground truth). Also generates a
+//! WDC-Products-style product benchmark with heterogeneous group sizes.
+//!
+//! Entry points:
+//! * [`generate`] with a [`GenerationConfig`] preset
+//!   ([`GenerationConfig::synthetic_scaled`], [`GenerationConfig::real_simulated`]),
+//! * [`generate_wdc`] with a [`WdcConfig`],
+//! * [`DatasetStats`] for Table 1 statistics.
+
+pub mod artifacts;
+pub mod config;
+pub mod draft;
+pub mod generator;
+pub mod identifiers;
+pub mod paraphrase;
+pub mod seed;
+pub mod stats;
+pub mod wdc;
+pub mod wordlists;
+
+pub use artifacts::ArtifactKind;
+pub use config::{ArtifactRates, GenerationConfig, SecurityConfig, DEFAULT_SEED};
+pub use generator::{generate, FinancialDataset};
+pub use identifiers::IdFactory;
+pub use seed::{generate_seeds, SeedCompany};
+pub use stats::DatasetStats;
+pub use wdc::{generate_wdc, WdcConfig, WdcDataset};

@@ -1,0 +1,176 @@
+//! Rule-based paraphrasing (the Pegasus stand-in for `ParaphraseAttribute`).
+//!
+//! Produces a textually divergent but semantically related rewrite of a
+//! short description: synonym substitution over a small thesaurus plus
+//! template-level restructuring. Deterministic given the RNG stream, so
+//! generated datasets are reproducible (unlike a neural paraphraser).
+
+use gralmatch_util::SplitRng;
+
+/// `(word, replacements…)` thesaurus over the description templates'
+/// vocabulary. Lowercase matching; capitalization of the original token is
+/// preserved for sentence-initial words.
+const SYNONYMS: &[(&str, &[&str])] = &[
+    ("provider", &["supplier", "vendor", "developer"]),
+    ("provides", &["offers", "delivers", "supplies"]),
+    ("company", &["firm", "business", "organization"]),
+    ("solutions", &["products", "services", "offerings", "tools"]),
+    ("platform", &["suite", "system", "service"]),
+    ("software", &["applications", "technology", "tooling"]),
+    ("develops", &["builds", "creates", "engineers"]),
+    ("streamlines", &["simplifies", "smooths", "speeds up"]),
+    ("automates", &["digitizes", "mechanizes"]),
+    ("secures", &["protects", "safeguards"]),
+    ("accelerates", &["speeds", "boosts"]),
+    ("simplifies", &["streamlines", "eases"]),
+    ("optimizes", &["improves", "tunes", "enhances"]),
+    ("modernizes", &["upgrades", "transforms"]),
+    ("unifies", &["consolidates", "integrates"]),
+    ("scales", &["grows", "expands"]),
+    ("enterprises", &["large companies", "corporations", "enterprise customers"]),
+    ("consumers", &["individuals", "end users"]),
+    ("retailers", &["merchants", "commerce brands"]),
+    ("manufacturers", &["industrial producers", "factories"]),
+    ("worldwide", &["globally", "around the world", "internationally"]),
+    ("operations", &["workflows", "processes"]),
+    ("products", &["offerings", "solutions"]),
+    ("serve", &["support", "target"]),
+    ("markets", &["regions", "industries", "sectors"]),
+];
+
+fn lookup(word_lower: &str) -> Option<&'static [&'static str]> {
+    SYNONYMS
+        .iter()
+        .find(|(w, _)| *w == word_lower)
+        .map(|(_, subs)| *subs)
+}
+
+fn match_case(original: &str, replacement: &str) -> String {
+    if original.chars().next().is_some_and(|c| c.is_uppercase()) {
+        let mut chars = replacement.chars();
+        match chars.next() {
+            Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+            None => String::new(),
+        }
+    } else {
+        replacement.to_string()
+    }
+}
+
+/// Paraphrase a description. Roughly `strength` of the substitutable words
+/// are replaced; with probability 1/2 a sentence-level restructuring is also
+/// applied. Returns the input unchanged only when it has no substitutable
+/// vocabulary at all.
+pub fn paraphrase(text: &str, strength: f64, rng: &mut SplitRng) -> String {
+    // Word-level substitution preserving punctuation: split into word /
+    // non-word runs.
+    let mut out = String::with_capacity(text.len() + 16);
+    let mut word = String::new();
+    let mut substituted_any = false;
+    let flush =
+        |word: &mut String, out: &mut String, rng: &mut SplitRng, substituted: &mut bool| {
+            if word.is_empty() {
+                return;
+            }
+            let lower = word.to_lowercase();
+            if let Some(subs) = lookup(&lower) {
+                if rng.chance(strength) {
+                    let replacement = rng.pick(subs);
+                    out.push_str(&match_case(word, replacement));
+                    *substituted = true;
+                    word.clear();
+                    return;
+                }
+            }
+            out.push_str(word);
+            word.clear();
+        };
+    for c in text.chars() {
+        if c.is_alphanumeric() || c == '-' {
+            word.push(c);
+        } else {
+            flush(&mut word, &mut out, rng, &mut substituted_any);
+            out.push(c);
+        }
+    }
+    flush(&mut word, &mut out, rng, &mut substituted_any);
+
+    // Sentence-level restructuring.
+    if rng.chance(0.5) {
+        if let Some(rest) = out.strip_prefix("Provider of ") {
+            out = format!("Specializes in {rest}");
+        } else if let Some(rest) = out.strip_prefix("The company ") {
+            out = format!("This firm {rest}");
+        } else if let Some(rest) = out.strip_prefix("A ") {
+            out = format!("Operates a {rest}");
+        } else if let Some(rest) = out.strip_prefix("Develops ") {
+            out = format!("Focused on building {rest}");
+        }
+    }
+
+    // Guarantee divergence when possible: if nothing changed, force one
+    // substitution pass at full strength.
+    if out == text && strength < 1.0 {
+        let forced = paraphrase(text, 1.0, rng);
+        if forced != text {
+            return forced;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paraphrase_diverges_but_overlaps() {
+        let mut rng = SplitRng::new(7);
+        let original = "Provider of cloud security solutions for enterprises.";
+        let para = paraphrase(original, 0.7, &mut rng);
+        assert_ne!(para, original);
+        // Semantic anchor words (the domain) survive.
+        assert!(para.contains("cloud security"), "{para}");
+    }
+
+    #[test]
+    fn preserves_punctuation() {
+        let mut rng = SplitRng::new(1);
+        let para = paraphrase("The company automates payment processing for retailers.", 1.0, &mut rng);
+        assert!(para.ends_with('.'));
+    }
+
+    #[test]
+    fn case_matching() {
+        assert_eq!(match_case("Provider", "vendor"), "Vendor");
+        assert_eq!(match_case("provider", "Vendor"), "Vendor");
+    }
+
+    #[test]
+    fn unsubstitutable_text_returned_as_is() {
+        let mut rng = SplitRng::new(3);
+        let text = "zzz qqq 123";
+        assert_eq!(paraphrase(text, 0.9, &mut rng), text);
+    }
+
+    #[test]
+    fn deterministic() {
+        let text = "Develops fraud detection software. Its products serve insurers across multiple markets.";
+        let a = paraphrase(text, 0.6, &mut SplitRng::new(11));
+        let b = paraphrase(text, 0.6, &mut SplitRng::new(11));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn repeated_paraphrasing_keeps_diverging() {
+        // Sequential artifact application must not oscillate back to the
+        // original (checked statistically over a few rounds).
+        let mut rng = SplitRng::new(5);
+        let original = "The company streamlines digital banking for financial institutions worldwide.";
+        let mut current = original.to_string();
+        for _ in 0..3 {
+            current = paraphrase(&current, 0.7, &mut rng);
+        }
+        assert_ne!(current, original);
+    }
+}

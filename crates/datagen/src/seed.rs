@@ -1,0 +1,194 @@
+//! Seed entity generation — the Crunchbase stand-in.
+//!
+//! Produces the "publicly available set of records" the paper starts from
+//! (Section 3.2): one clean record per real-world company with name, city,
+//! region, country code, and (for a configurable fraction) a short
+//! description. Data artifacts later pollute per-source copies of these.
+
+use crate::wordlists::*;
+use gralmatch_util::{FxHashSet, SplitRng};
+
+/// One clean seed company (pre-pollution ground truth attributes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeedCompany {
+    /// Canonical legal-ish name.
+    pub name: String,
+    /// Headquarters city.
+    pub city: String,
+    /// Headquarters region.
+    pub region: String,
+    /// Country code.
+    pub country_code: String,
+    /// Short description; empty when the seed has none.
+    pub description: String,
+}
+
+fn capitalize(word: &str) -> String {
+    let mut chars = word.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Compose a name from the collision-family pools. `style` selects among
+/// several patterns so the corpus mixes one-word compounds, two-word names,
+/// and geo-prefixed names like real registries do.
+fn compose_name(rng: &mut SplitRng) -> String {
+    let root = *rng.pick(ROOTS);
+    let suffix = *rng.pick(SUFFIXES);
+    match rng.next_below(10) {
+        // "Crowdstrike" — fused compound (most collision-prone).
+        0..=3 => capitalize(&format!("{root}{suffix}")),
+        // "Crowd Strike" — split compound.
+        4 => format!("{} {}", capitalize(root), capitalize(suffix)),
+        // "Crowdstrike Technologies".
+        5..=6 => format!(
+            "{} {}",
+            capitalize(&format!("{root}{suffix}")),
+            rng.pick(INDUSTRY_WORDS)
+        ),
+        // "Nordic Crowdstrike".
+        7 => format!(
+            "{} {}",
+            rng.pick(GEO_ADJECTIVES),
+            capitalize(&format!("{root}{suffix}"))
+        ),
+        // "Terra Mining" — root + industry word.
+        8 => format!("{} {}", capitalize(root), rng.pick(INDUSTRY_WORDS)),
+        // "Quantum Edge Systems" — double root + industry word.
+        _ => {
+            let root2 = *rng.pick(ROOTS);
+            format!(
+                "{} {} {}",
+                capitalize(root),
+                capitalize(root2),
+                rng.pick(INDUSTRY_WORDS)
+            )
+        }
+    }
+}
+
+/// Compose a two-sentence-ish short description.
+pub fn compose_description(rng: &mut SplitRng) -> String {
+    let domain = *rng.pick(DOMAINS);
+    let audience = *rng.pick(AUDIENCES);
+    let verb = *rng.pick(VALUE_VERBS);
+    match rng.next_below(4) {
+        0 => format!("Provider of {domain} solutions for {audience}."),
+        1 => format!("The company {verb} {domain} for {audience} worldwide."),
+        2 => format!(
+            "A {domain} platform that {verb} operations for {audience}."
+        ),
+        _ => format!(
+            "Develops {domain} software. Its products serve {audience} across multiple markets."
+        ),
+    }
+}
+
+/// Generate `n` distinct seed companies.
+///
+/// Names are deduplicated: a collision-family generator happily produces
+/// byte-identical names for different entities, which would make ground
+/// truth unfair; near-collisions ("Crowdstrike"/"Crowdstreet") are the
+/// desired difficulty and remain plentiful.
+pub fn generate_seeds(n: usize, description_rate: f64, rng: &mut SplitRng) -> Vec<SeedCompany> {
+    let mut used: FxHashSet<String> = FxHashSet::default();
+    used.reserve(n);
+    let mut seeds = Vec::with_capacity(n);
+    while seeds.len() < n {
+        let mut name = compose_name(rng);
+        // On collision, try harder: re-roll, then append a distinguishing
+        // industry word, then a numeral (real registries do this too:
+        // "Apex Partners II").
+        let mut attempts = 0;
+        while used.contains(&name) {
+            attempts += 1;
+            name = if attempts < 4 {
+                compose_name(rng)
+            } else if attempts < 8 {
+                format!("{} {}", compose_name(rng), rng.pick(INDUSTRY_WORDS))
+            } else {
+                format!("{} {}", compose_name(rng), rng.next_below(1000))
+            };
+        }
+        used.insert(name.clone());
+        let &(city, region, country_code) = rng.pick(LOCATIONS);
+        let description = if rng.chance(description_rate) {
+            compose_description(rng)
+        } else {
+            String::new()
+        };
+        seeds.push(SeedCompany {
+            name,
+            city: city.to_string(),
+            region: region.to_string(),
+            country_code: country_code.to_string(),
+            description,
+        });
+    }
+    seeds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_with_unique_names() {
+        let mut rng = SplitRng::new(1);
+        let seeds = generate_seeds(5_000, 0.32, &mut rng);
+        assert_eq!(seeds.len(), 5_000);
+        let names: FxHashSet<&str> = seeds.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), 5_000, "names must be unique");
+    }
+
+    #[test]
+    fn description_rate_respected() {
+        let mut rng = SplitRng::new(2);
+        let seeds = generate_seeds(10_000, 0.32, &mut rng);
+        let with_desc = seeds.iter().filter(|s| !s.description.is_empty()).count();
+        let rate = with_desc as f64 / seeds.len() as f64;
+        assert!((rate - 0.32).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn locations_always_filled() {
+        let mut rng = SplitRng::new(3);
+        for s in generate_seeds(100, 0.5, &mut rng) {
+            assert!(!s.city.is_empty());
+            assert!(!s.region.is_empty());
+            assert_eq!(s.country_code.len(), 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_seeds(50, 0.3, &mut SplitRng::new(9));
+        let b = generate_seeds(50, 0.3, &mut SplitRng::new(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn collision_families_materialize() {
+        // In a big sample, at least one pair of distinct names must share a
+        // long (>= 6 char) prefix — the confusability the benchmark needs.
+        let mut rng = SplitRng::new(4);
+        let seeds = generate_seeds(2_000, 0.0, &mut rng);
+        let mut names: Vec<&str> = seeds.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        let mut found = false;
+        for pair in names.windows(2) {
+            let common = pair[0]
+                .bytes()
+                .zip(pair[1].bytes())
+                .take_while(|(a, b)| a == b)
+                .count();
+            if common >= 6 {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "expected confusable name pairs");
+    }
+}

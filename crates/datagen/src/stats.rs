@@ -1,0 +1,98 @@
+//! Dataset statistics (Table 1).
+//!
+//! Computes the rows of the paper's Table 1 — number of data sources,
+//! entities, records, matches, average matches per entity, and the share of
+//! records with text descriptions — for any labeled dataset.
+
+use gralmatch_records::{CompanyRecord, Dataset, Record, SecurityRecord};
+
+/// The statistics Table 1 reports for one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Number of distinct data sources.
+    pub num_sources: usize,
+    /// Number of ground-truth entities.
+    pub num_entities: usize,
+    /// Number of records.
+    pub num_records: usize,
+    /// Total true match pairs (Σ k·(k−1)/2 over groups).
+    pub num_matches: u64,
+    /// Average matches per entity.
+    pub avg_matches_per_entity: f64,
+    /// Fraction of records with a non-empty description (companies only;
+    /// `None` for securities, matching the “-” cells of Table 1).
+    pub pct_with_descriptions: Option<f64>,
+}
+
+impl DatasetStats {
+    fn from_parts<R: Record>(dataset: &Dataset<R>, pct_desc: Option<f64>) -> Self {
+        let gt = dataset.ground_truth();
+        DatasetStats {
+            num_sources: dataset.num_sources(),
+            num_entities: gt.num_entities(),
+            num_records: dataset.len(),
+            num_matches: gt.num_true_pairs(),
+            avg_matches_per_entity: gt.avg_matches_per_entity(),
+            pct_with_descriptions: pct_desc,
+        }
+    }
+
+    /// Stats for a company dataset.
+    pub fn for_companies(dataset: &Dataset<CompanyRecord>) -> Self {
+        let with_desc = dataset
+            .records()
+            .iter()
+            .filter(|r| !r.short_description.is_empty())
+            .count();
+        let pct = if dataset.is_empty() {
+            0.0
+        } else {
+            with_desc as f64 / dataset.len() as f64
+        };
+        Self::from_parts(dataset, Some(pct))
+    }
+
+    /// Stats for a security dataset.
+    pub fn for_securities(dataset: &Dataset<SecurityRecord>) -> Self {
+        Self::from_parts(dataset, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GenerationConfig;
+    use crate::generator::generate;
+
+    #[test]
+    fn table1_shape_at_small_scale() {
+        let mut config = GenerationConfig::synthetic_full();
+        config.num_entities = 1_000;
+        let data = generate(&config).unwrap();
+
+        let companies = DatasetStats::for_companies(&data.companies);
+        assert_eq!(companies.num_sources, 5);
+        assert!(companies.num_entities <= 1_000);
+        // Paper full scale: 868K records / 200K entities = 4.34; matches
+        // 1.5M / 200K = 7.5 per entity.
+        let records_per_entity = companies.num_records as f64 / companies.num_entities as f64;
+        assert!((3.8..5.0).contains(&records_per_entity), "{records_per_entity}");
+        assert!((5.0..10.5).contains(&companies.avg_matches_per_entity));
+        let pct = companies.pct_with_descriptions.unwrap();
+        assert!((0.2..0.4).contains(&pct), "{pct}");
+
+        let securities = DatasetStats::for_securities(&data.securities);
+        assert!(securities.pct_with_descriptions.is_none());
+        // ~1.37 security entities per company entity.
+        let ratio = securities.num_entities as f64 / companies.num_entities as f64;
+        assert!((1.1..1.7).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn empty_dataset_stats() {
+        let ds: Dataset<CompanyRecord> = Dataset::new();
+        let stats = DatasetStats::for_companies(&ds);
+        assert_eq!(stats.num_records, 0);
+        assert_eq!(stats.num_matches, 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! WDC-Products-style benchmark generator (paper Section 5.1.4).
+//!
+//! The real WDC Products benchmark is web-scraped product offers with
+//! heterogeneous group sizes and a controlled share of "corner cases"
+//! (hard positives with divergent titles, hard negatives with near-identical
+//! titles of different products). The paper evaluates on the *large, 80 %
+//! corner cases* variant to show where the fixed-μ Graph Cleanup assumption
+//! breaks. This generator reproduces those structural properties.
+
+use gralmatch_records::{Dataset, EntityId, ProductRecord, RecordId, SourceId};
+use gralmatch_util::{FxHashMap, SplitRng};
+
+const BRANDS: &[&str] = &[
+    "Acme", "Zenbook", "Coretec", "Lumix", "Photon", "Vertex", "Nimbus", "Orion", "Pulsar",
+    "Quasar", "Helix", "Argon", "Krypton", "Xenon", "Nova", "Stellar", "Apex", "Summit",
+];
+const PRODUCT_TYPES: &[&str] = &[
+    "Laptop", "Tablet", "Camera", "Printer", "Monitor", "Router", "Keyboard", "Headset",
+    "Speaker", "Charger", "Drive", "Projector",
+];
+const QUALIFIERS: &[&str] = &[
+    "Pro", "Max", "Mini", "Air", "Plus", "Ultra", "Lite", "SE", "XL", "Neo",
+];
+const NOISE_WORDS: &[&str] = &[
+    "new", "sealed", "original", "2024 model", "refurbished", "black", "silver", "bundle",
+    "with case", "EU plug", "free shipping", "OEM",
+];
+const CATEGORIES: &[&str] = &["Electronics", "Computers", "Photography", "Audio", "Accessories"];
+
+/// Configuration for the product benchmark.
+#[derive(Debug, Clone)]
+pub struct WdcConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of product entities (clusters).
+    pub num_entities: usize,
+    /// Number of web sources.
+    pub num_sources: u16,
+    /// Fraction of entities designated corner cases: they get a hard
+    /// *sibling* entity (near-identical model string) and extra intra-group
+    /// title divergence.
+    pub corner_case_rate: f64,
+    /// Maximum offers per entity (group sizes are heterogeneous, 1..=max).
+    pub max_group_size: usize,
+}
+
+impl Default for WdcConfig {
+    fn default() -> Self {
+        // Sized to Table 2's WDC row: ~1K records in the test split.
+        WdcConfig {
+            seed: 0xdc,
+            num_entities: 760,
+            num_sources: 12,
+            corner_case_rate: 0.8,
+            max_group_size: 9,
+        }
+    }
+}
+
+fn base_model(rng: &mut SplitRng) -> (String, String, String) {
+    let brand = *rng.pick(BRANDS);
+    let ptype = *rng.pick(PRODUCT_TYPES);
+    let number = 100 + rng.next_below(900);
+    let qualifier = *rng.pick(QUALIFIERS);
+    (
+        brand.to_string(),
+        ptype.to_string(),
+        format!("{number} {qualifier}"),
+    )
+}
+
+fn offer_title(brand: &str, ptype: &str, model: &str, divergence: f64, rng: &mut SplitRng) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    if !rng.chance(divergence * 0.4) {
+        parts.push(brand.to_string());
+    }
+    parts.push(ptype.to_string());
+    // The model string is "NUMBER QUALIFIER". Offers of the SAME product
+    // frequently drop or compress the qualifier — which is exactly what
+    // makes corner-case siblings (same number, different qualifier)
+    // irreducibly ambiguous, like real WDC offers.
+    let mut model_words: Vec<&str> = model.split(' ').collect();
+    if model_words.len() > 1 && rng.chance(divergence * 0.45) {
+        model_words.truncate(1); // qualifier dropped by the seller
+    }
+    if rng.chance(divergence * 0.3) {
+        parts.push(model_words.concat()); // "730Pro" compression
+    } else {
+        for word in &model_words {
+            parts.push((*word).to_string());
+        }
+    }
+    let noise_cap = if rng.chance(divergence) { 5 } else { 2 };
+    let noise = rng.next_below(noise_cap);
+    for _ in 0..noise {
+        parts.push((*rng.pick(NOISE_WORDS)).to_string());
+    }
+    if rng.chance(0.3) {
+        rng.shuffle(&mut parts);
+    }
+    parts.join(" ")
+}
+
+/// A generated product benchmark. `family_of` groups each corner-case
+/// sibling with its original entity: benchmark splits must keep families
+/// together, otherwise the hard negative pairs the corner cases exist for
+/// would straddle splits and never be evaluated.
+#[derive(Debug)]
+pub struct WdcDataset {
+    /// The product offers.
+    pub products: Dataset<ProductRecord>,
+    /// Family id per entity (original + sibling share one family).
+    pub family_of: FxHashMap<EntityId, u32>,
+}
+
+/// Generate the product dataset.
+pub fn generate_wdc(config: &WdcConfig) -> WdcDataset {
+    let root = SplitRng::new(config.seed);
+    let mut rng = root.split("wdc");
+    let mut records: Vec<ProductRecord> = Vec::new();
+    let mut entity_counter = 0u32;
+    let mut family_of: FxHashMap<EntityId, u32> = FxHashMap::default();
+    let mut family_counter = 0u32;
+
+    for _ in 0..config.num_entities {
+        let (brand, ptype, model) = base_model(&mut rng);
+        let corner = rng.chance(config.corner_case_rate);
+        let entity = EntityId(entity_counter);
+        entity_counter += 1;
+
+        let family = family_counter;
+        family_counter += 1;
+        family_of.insert(entity, family);
+        let group_size = rng.range_inclusive(1, config.max_group_size);
+        let divergence = if corner { 0.9 } else { 0.3 };
+        for _ in 0..group_size {
+            let source = SourceId(rng.next_below(config.num_sources as usize) as u16);
+            let mut record = ProductRecord::new(
+                RecordId(records.len() as u32),
+                source,
+                offer_title(&brand, &ptype, &model, divergence, &mut rng),
+            )
+            .with_entity(entity);
+            if rng.chance(0.7) {
+                record.brand = brand.clone();
+            }
+            if rng.chance(0.5) {
+                record.price = format!("{}.{:02} USD", 40 + rng.next_below(900), rng.next_below(100));
+            }
+            if rng.chance(0.4) {
+                record.category = (*rng.pick(CATEGORIES)).to_string();
+            }
+            if rng.chance(0.3) {
+                record.description = format!(
+                    "{brand} {ptype} {model}, condition: {}",
+                    rng.pick(&["new", "used", "open box"])
+                );
+            }
+            records.push(record);
+        }
+
+        // Corner case: a sibling entity sharing brand, type, AND model
+        // number, distinguished only by the qualifier ("730 Pro" vs
+        // "730 Max") — and since offers drop qualifiers, some sibling
+        // offers are textually indistinguishable from the original's.
+        // This is the hard-negative structure of WDC's corner cases.
+        if corner {
+            let sibling_model = {
+                let mut words: Vec<&str> = model.split(' ').collect();
+                let current_qualifier = words.last().copied().unwrap_or("");
+                let replacement = QUALIFIERS
+                    .iter()
+                    .find(|q| **q != current_qualifier)
+                    .copied()
+                    .unwrap_or("Max");
+                if words.len() > 1 {
+                    let n = words.len();
+                    words[n - 1] = replacement;
+                }
+                words.join(" ")
+            };
+            let sibling_entity = EntityId(entity_counter);
+            entity_counter += 1;
+            family_of.insert(sibling_entity, family);
+            let sibling_size = rng.range_inclusive(1, (config.max_group_size / 2).max(1));
+            for _ in 0..sibling_size {
+                let source = SourceId(rng.next_below(config.num_sources as usize) as u16);
+                let mut record = ProductRecord::new(
+                    RecordId(records.len() as u32),
+                    source,
+                    offer_title(&brand, &ptype, &sibling_model, 0.7, &mut rng),
+                )
+                .with_entity(sibling_entity);
+                if rng.chance(0.7) {
+                    record.brand = brand.clone();
+                }
+                records.push(record);
+            }
+        }
+    }
+
+    WdcDataset {
+        products: Dataset::from_records(records),
+        family_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gralmatch_records::Record;
+
+    #[test]
+    fn default_config_sized_for_1k_test_split() {
+        // The paper's experiment uses ~1K test records (20 % of groups), so
+        // the default totals ~5K records.
+        let ds = generate_wdc(&WdcConfig::default());
+        assert!((3500..7000).contains(&ds.products.len()), "{}", ds.products.len());
+    }
+
+    #[test]
+    fn families_group_siblings() {
+        let ds = generate_wdc(&WdcConfig::default());
+        let gt = ds.products.ground_truth();
+        // Every entity has a family; families have 1-2 entities.
+        assert_eq!(ds.family_of.len(), gt.num_entities());
+        let mut per_family: FxHashMap<u32, usize> = FxHashMap::default();
+        for &fam in ds.family_of.values() {
+            *per_family.entry(fam).or_insert(0) += 1;
+        }
+        assert!(per_family.values().all(|&n| n == 1 || n == 2));
+        assert!(per_family.values().any(|&n| n == 2), "corner siblings exist");
+    }
+
+    #[test]
+    fn heterogeneous_group_sizes() {
+        let ds = generate_wdc(&WdcConfig::default());
+        let gt = ds.products.ground_truth();
+        let sizes: Vec<usize> = gt.groups().map(|(_, m)| m.len()).collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        assert!(*min == 1, "singletons must exist");
+        assert!(*max >= 6, "large groups must exist, max {max}");
+    }
+
+    #[test]
+    fn corner_cases_create_sibling_products() {
+        let ds = generate_wdc(&WdcConfig::default());
+        let gt = ds.products.ground_truth();
+        // With 80% corner rate, entity count must exceed configured base.
+        assert!(gt.num_entities() > 900);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_wdc(&WdcConfig::default());
+        let b = generate_wdc(&WdcConfig::default());
+        assert_eq!(a.products.records()[5], b.products.records()[5]);
+        assert_eq!(a.products.len(), b.products.len());
+    }
+
+    #[test]
+    fn products_carry_no_id_codes() {
+        let ds = generate_wdc(&WdcConfig::default());
+        assert!(ds.products.records().iter().all(|r| r.id_codes().is_empty()));
+    }
+}

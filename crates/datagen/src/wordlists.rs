@@ -1,0 +1,180 @@
+//! Embedded word pools for the seed generator.
+//!
+//! Stands in for the Crunchbase export (see DESIGN.md substitution table).
+//! The pools are engineered to produce the *collision families* the paper
+//! motivates: many roots share long prefixes ("crowd-", "cloud-", "data-")
+//! and many suffixes share long character runs ("-strike", "-street",
+//! "-stream"), so distinct entities end up with names like
+//! "Crowdstrike" vs "Crowdstreet" — exactly the false-positive bait of
+//! Figure 2.
+
+/// Name roots. Deliberately includes families with shared prefixes.
+pub const ROOTS: &[&str] = &[
+    "crowd", "cloud", "clear", "core", "corte", "data", "data", "delta", "digi", "dyna",
+    "eco", "edge", "ever", "evo", "fin", "first", "flex", "flux", "fort", "fusion",
+    "gen", "geo", "giga", "global", "gold", "grand", "green", "grid", "ground", "grow",
+    "health", "helio", "hexa", "high", "hyper", "icon", "infra", "inno", "inter", "iron",
+    "kin", "lake", "land", "laser", "light", "lumen", "luna", "macro", "magna", "mark",
+    "med", "mega", "meta", "micro", "mind", "mono", "moon", "multi", "nano", "neo",
+    "net", "nex", "north", "nova", "omni", "open", "opti", "orbit", "pay", "peak",
+    "penta", "petro", "pharma", "photo", "pixel", "poly", "power", "prime", "pro", "pulse",
+    "quant", "quantum", "rapid", "red", "ridge", "river", "rock", "royal", "safe", "sage",
+    "sea", "shore", "silver", "sky", "smart", "solar", "south", "spark", "spring", "star",
+    "steel", "stone", "storm", "stream", "sun", "swift", "terra", "tidal", "top", "trans",
+    "tri", "true", "ultra", "uni", "urban", "vast", "vector", "velo", "verde", "vertex",
+    "vital", "vivid", "volt", "wave", "west", "wind", "wood", "zen", "zenith", "zero",
+];
+
+/// Compound suffixes. Families share character runs on purpose
+/// ("strike/street/stream", "logic/logix", "soft/sort").
+pub const SUFFIXES: &[&str] = &[
+    "strike", "street", "stream", "strand", "bank", "base", "beam", "bit", "box", "bridge",
+    "byte", "cast", "chain", "chart", "check", "craft", "cube", "desk", "drive", "dyne",
+    "field", "flow", "forge", "form", "gate", "gear", "grid", "guard", "hub", "jet",
+    "lab", "labs", "lane", "leaf", "level", "lift", "line", "link", "lock", "logic",
+    "logix", "loop", "mark", "mesh", "mill", "mind", "nest", "node", "path", "pay",
+    "point", "port", "press", "prise", "pulse", "rise", "scan", "scape", "scale", "sense",
+    "shift", "soft", "sort", "space", "span", "spark", "sphere", "spot", "stack", "stock",
+    "switch", "sync", "tech", "trace", "track", "trade", "vault", "view", "ware", "watch",
+    "wave", "way", "web", "wise", "works", "yard",
+];
+
+/// Standalone trailing industry words for two-word names.
+pub const INDUSTRY_WORDS: &[&str] = &[
+    "Analytics", "Capital", "Dynamics", "Energy", "Foods", "Industries", "Insurance",
+    "Logistics", "Media", "Mining", "Mobility", "Motors", "Networks", "Partners",
+    "Pharmaceuticals", "Resources", "Robotics", "Semiconductors", "Services", "Shipping",
+    "Software", "Solutions", "Systems", "Technologies", "Telecom", "Therapeutics",
+    "Utilities", "Ventures",
+];
+
+/// Corporate terms the `InsertCorporateTerm` artifact splices into names.
+pub const CORPORATE_TERMS: &[&str] = &[
+    "Inc.", "Incorporated", "Corp.", "Corporation", "Ltd.", "Limited", "LLC", "PLC",
+    "AG", "SA", "Group", "Holdings", "Co.", "Plt.",
+];
+
+/// Geographic adjectives used as optional name prefixes.
+pub const GEO_ADJECTIVES: &[&str] = &[
+    "American", "Atlantic", "Continental", "Eastern", "European", "Federal", "National",
+    "Nordic", "Northern", "Pacific", "Southern", "Swiss", "United", "Western",
+];
+
+/// `(city, region, country_code)` gazetteer.
+pub const LOCATIONS: &[(&str, &str, &str)] = &[
+    ("New York", "New York", "USA"),
+    ("San Francisco", "California", "USA"),
+    ("Austin", "Texas", "USA"),
+    ("Boston", "Massachusetts", "USA"),
+    ("Seattle", "Washington", "USA"),
+    ("Chicago", "Illinois", "USA"),
+    ("Denver", "Colorado", "USA"),
+    ("Atlanta", "Georgia", "USA"),
+    ("Miami", "Florida", "USA"),
+    ("Los Angeles", "California", "USA"),
+    ("London", "England", "GBR"),
+    ("Manchester", "England", "GBR"),
+    ("Edinburgh", "Scotland", "GBR"),
+    ("Zurich", "Zurich", "CHE"),
+    ("Geneva", "Geneva", "CHE"),
+    ("Basel", "Basel-Stadt", "CHE"),
+    ("Berlin", "Berlin", "DEU"),
+    ("Munich", "Bavaria", "DEU"),
+    ("Frankfurt", "Hesse", "DEU"),
+    ("Hamburg", "Hamburg", "DEU"),
+    ("Paris", "Ile-de-France", "FRA"),
+    ("Lyon", "Auvergne-Rhone-Alpes", "FRA"),
+    ("Amsterdam", "North Holland", "NLD"),
+    ("Rotterdam", "South Holland", "NLD"),
+    ("Stockholm", "Stockholm", "SWE"),
+    ("Gothenburg", "Vastra Gotaland", "SWE"),
+    ("Copenhagen", "Capital Region", "DNK"),
+    ("Oslo", "Oslo", "NOR"),
+    ("Helsinki", "Uusimaa", "FIN"),
+    ("Dublin", "Leinster", "IRL"),
+    ("Madrid", "Madrid", "ESP"),
+    ("Barcelona", "Catalonia", "ESP"),
+    ("Milan", "Lombardy", "ITA"),
+    ("Rome", "Lazio", "ITA"),
+    ("Vienna", "Vienna", "AUT"),
+    ("Brussels", "Brussels", "BEL"),
+    ("Lisbon", "Lisbon", "PRT"),
+    ("Warsaw", "Masovia", "POL"),
+    ("Prague", "Prague", "CZE"),
+    ("Tokyo", "Kanto", "JPN"),
+    ("Osaka", "Kansai", "JPN"),
+    ("Singapore", "Singapore", "SGP"),
+    ("Hong Kong", "Hong Kong", "HKG"),
+    ("Sydney", "New South Wales", "AUS"),
+    ("Melbourne", "Victoria", "AUS"),
+    ("Toronto", "Ontario", "CAN"),
+    ("Vancouver", "British Columbia", "CAN"),
+    ("Montreal", "Quebec", "CAN"),
+    ("Sao Paulo", "Sao Paulo", "BRA"),
+    ("Mexico City", "CDMX", "MEX"),
+    ("Mumbai", "Maharashtra", "IND"),
+    ("Bangalore", "Karnataka", "IND"),
+    ("Seoul", "Seoul", "KOR"),
+    ("Tel Aviv", "Tel Aviv", "ISR"),
+    ("Dubai", "Dubai", "ARE"),
+];
+
+/// Business domains for description templates.
+pub const DOMAINS: &[&str] = &[
+    "cloud security", "payment processing", "supply chain visibility", "renewable energy",
+    "precision agriculture", "clinical diagnostics", "fleet telematics", "digital banking",
+    "industrial automation", "real estate analytics", "talent management", "data privacy",
+    "edge computing", "drug discovery", "freight brokerage", "customer engagement",
+    "fraud detection", "asset tokenization", "battery storage", "satellite imaging",
+    "cyber threat intelligence", "insurance underwriting", "retail personalization",
+    "wealth management", "smart grid optimization", "genomic sequencing",
+];
+
+/// Customer segments for description templates.
+pub const AUDIENCES: &[&str] = &[
+    "enterprises", "small businesses", "financial institutions", "healthcare providers",
+    "retailers", "manufacturers", "logistics operators", "government agencies",
+    "developers", "consumers", "utilities", "asset managers", "insurers", "carriers",
+];
+
+/// Verb phrases for description templates.
+pub const VALUE_VERBS: &[&str] = &[
+    "streamlines", "automates", "secures", "accelerates", "simplifies", "optimizes",
+    "modernizes", "de-risks", "unifies", "scales",
+];
+
+/// Security-name suffixes appended to issuer-derived names.
+pub const SECURITY_NAME_FORMS: &[&str] = &[
+    "Registered Shs", "Ordinary Shares", "Common Stock", "ORD", "Shs", "Registered Shares",
+    "Class A", "Class B", "Bearer Shs", "Npv",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_non_trivial() {
+        assert!(ROOTS.len() >= 100);
+        assert!(SUFFIXES.len() >= 60);
+        assert!(LOCATIONS.len() >= 50);
+        assert!(DOMAINS.len() >= 20);
+    }
+
+    #[test]
+    fn collision_families_present() {
+        // The generator's raison d'être: confusable suffixes exist.
+        assert!(SUFFIXES.contains(&"strike"));
+        assert!(SUFFIXES.contains(&"street"));
+        assert!(SUFFIXES.contains(&"stream"));
+        assert!(ROOTS.contains(&"crowd"));
+        assert!(ROOTS.contains(&"cloud"));
+    }
+
+    #[test]
+    fn locations_have_all_parts() {
+        for (city, region, country) in LOCATIONS {
+            assert!(!city.is_empty() && !region.is_empty() && country.len() == 3);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Articulation points (cut vertices).
+//!
+//! A drifted record that was matched into two different groups (e.g. an
+//! acquiree record carrying the acquirer's identifiers but its own name)
+//! shows up as an articulation point of the prediction graph: removing it
+//! disconnects the component. The cleanup diagnostics use this to surface
+//! records that *personally* hold groups together — the paper's record #21
+//! is exactly such a node.
+
+use crate::components::Subgraph;
+
+/// All articulation points of a subgraph (local indices, sorted).
+/// Iterative Tarjan low-link, O(n + m).
+pub fn articulation_points(sub: &Subgraph) -> Vec<u32> {
+    let n = sub.num_nodes();
+    let mut disc = vec![u32::MAX; n];
+    let mut low = vec![u32::MAX; n];
+    let mut is_cut = vec![false; n];
+    let mut timer = 0u32;
+
+    #[derive(Clone, Copy)]
+    struct Frame {
+        node: u32,
+        parent: u32,
+        cursor: usize,
+        children: u32,
+    }
+
+    for root in 0..n as u32 {
+        if disc[root as usize] != u32::MAX {
+            continue;
+        }
+        disc[root as usize] = timer;
+        low[root as usize] = timer;
+        timer += 1;
+        let mut stack = vec![Frame {
+            node: root,
+            parent: u32::MAX,
+            cursor: 0,
+            children: 0,
+        }];
+        while let Some(frame) = stack.last_mut() {
+            let u = frame.node;
+            if frame.cursor < sub.adj[u as usize].len() {
+                let v = sub.adj[u as usize][frame.cursor];
+                frame.cursor += 1;
+                if disc[v as usize] == u32::MAX {
+                    frame.children += 1;
+                    disc[v as usize] = timer;
+                    low[v as usize] = timer;
+                    timer += 1;
+                    stack.push(Frame {
+                        node: v,
+                        parent: u,
+                        cursor: 0,
+                        children: 0,
+                    });
+                } else if v != frame.parent {
+                    low[u as usize] = low[u as usize].min(disc[v as usize]);
+                }
+            } else {
+                let popped = *frame;
+                stack.pop();
+                if let Some(parent_frame) = stack.last() {
+                    let p = parent_frame.node;
+                    low[p as usize] = low[p as usize].min(low[popped.node as usize]);
+                    // Non-root: p is a cut vertex if a child subtree cannot
+                    // reach above p.
+                    if parent_frame.parent != u32::MAX
+                        && low[popped.node as usize] >= disc[p as usize]
+                    {
+                        is_cut[p as usize] = true;
+                    }
+                } else {
+                    // popped was the root: cut vertex iff >= 2 DFS children.
+                    if popped.children >= 2 {
+                        is_cut[popped.node as usize] = true;
+                    }
+                }
+            }
+        }
+    }
+    (0..n as u32).filter(|&v| is_cut[v as usize]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn sub_of(edges: &[(u32, u32)]) -> Subgraph {
+        let g = Graph::from_edges(edges.iter().copied());
+        let nodes: Vec<u32> = (0..g.num_nodes() as u32).collect();
+        Subgraph::induce(&g, &nodes)
+    }
+
+    #[test]
+    fn path_interior_nodes_are_cuts() {
+        let sub = sub_of(&[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(articulation_points(&sub), vec![1, 2]);
+    }
+
+    #[test]
+    fn cycle_has_no_cuts() {
+        let sub = sub_of(&[(0, 1), (1, 2), (2, 0)]);
+        assert!(articulation_points(&sub).is_empty());
+    }
+
+    #[test]
+    fn shared_record_between_groups_is_cut() {
+        // Two triangles sharing node 2 (the drifted record).
+        let sub = sub_of(&[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        assert_eq!(articulation_points(&sub), vec![2]);
+    }
+
+    #[test]
+    fn star_center_is_cut() {
+        let sub = sub_of(&[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(articulation_points(&sub), vec![0]);
+    }
+
+    #[test]
+    fn root_with_two_children() {
+        // DFS root 0 bridges two otherwise-disconnected edges.
+        let sub = sub_of(&[(0, 1), (0, 2)]);
+        assert_eq!(articulation_points(&sub), vec![0]);
+    }
+
+    #[test]
+    fn disconnected_components_handled() {
+        let sub = sub_of(&[(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(articulation_points(&sub), vec![1]);
+    }
+
+    #[test]
+    fn complete_graph_no_cuts() {
+        let sub = sub_of(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert!(articulation_points(&sub).is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! Brandes' edge betweenness centrality (unweighted).
+//!
+//! Used by Algorithm 1's second phase (lines 7–10): once every component's
+//! min cuts have brought sizes below γ, the cleanup repeatedly deletes the
+//! single edge with the highest betweenness centrality until components fit
+//! the expected group size μ. Betweenness
+//!
+//! ```text
+//!   c_B(e) = Σ_{s,t ∈ V} σ(s,t | e) / σ(s,t)
+//! ```
+//!
+//! is highest on edges that many shortest paths squeeze through — false
+//! positive links between groups. Brandes' dependency accumulation computes
+//! all-edge betweenness in O(n·m) per component, matching the complexity the
+//! paper cites.
+
+use crate::components::Subgraph;
+use gralmatch_util::FxHashMap;
+use std::collections::VecDeque;
+
+/// Edge betweenness for every edge of `sub`, in the order of `sub.edges`.
+///
+/// Values follow the NetworkX convention for undirected graphs: each
+/// unordered pair {s, t} contributes once (the raw two-directional
+/// accumulation is halved).
+pub fn edge_betweenness(sub: &Subgraph) -> Vec<f64> {
+    let n = sub.num_nodes();
+    let m = sub.edges.len();
+    let mut edge_index: FxHashMap<(u32, u32), usize> = FxHashMap::default();
+    edge_index.reserve(m);
+    for (i, &(a, b)) in sub.edges.iter().enumerate() {
+        edge_index.insert((a, b), i);
+    }
+    let key = |u: u32, v: u32| if u < v { (u, v) } else { (v, u) };
+
+    let mut centrality = vec![0.0f64; m];
+
+    // Reused scratch buffers across sources.
+    let mut sigma = vec![0.0f64; n];
+    let mut dist = vec![-1i32; n];
+    let mut delta = vec![0.0f64; n];
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+
+    for s in 0..n as u32 {
+        // Init.
+        sigma.iter_mut().for_each(|x| *x = 0.0);
+        dist.iter_mut().for_each(|x| *x = -1);
+        delta.iter_mut().for_each(|x| *x = 0.0);
+        order.clear();
+        preds.iter_mut().for_each(|p| p.clear());
+
+        sigma[s as usize] = 1.0;
+        dist[s as usize] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in &sub.adj[u as usize] {
+                if dist[v as usize] < 0 {
+                    dist[v as usize] = dist[u as usize] + 1;
+                    queue.push_back(v);
+                }
+                if dist[v as usize] == dist[u as usize] + 1 {
+                    sigma[v as usize] += sigma[u as usize];
+                    preds[v as usize].push(u);
+                }
+            }
+        }
+
+        // Dependency accumulation in reverse BFS order.
+        for &w in order.iter().rev() {
+            let coeff = (1.0 + delta[w as usize]) / sigma[w as usize];
+            for &v in &preds[w as usize] {
+                let contribution = sigma[v as usize] * coeff;
+                let ei = edge_index[&key(v, w)];
+                centrality[ei] += contribution;
+                delta[v as usize] += contribution;
+            }
+        }
+    }
+
+    // Each unordered {s, t} was counted from both endpoints.
+    for c in &mut centrality {
+        *c *= 0.5;
+    }
+    centrality
+}
+
+/// The edge with maximum betweenness, as (local edge, centrality).
+///
+/// Ties are broken toward the lexicographically smallest edge so repeated
+/// cleanups are deterministic. Returns `None` for edgeless subgraphs.
+pub fn max_betweenness_edge(sub: &Subgraph) -> Option<((u32, u32), f64)> {
+    let centrality = edge_betweenness(sub);
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &c) in centrality.iter().enumerate() {
+        match best {
+            None => best = Some((i, c)),
+            Some((bi, bc)) => {
+                if c > bc + 1e-12 || (c >= bc - 1e-12 && sub.edges[i] < sub.edges[bi]) {
+                    best = Some((i, c));
+                }
+            }
+        }
+    }
+    best.map(|(i, c)| (sub.edges[i], c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn sub_of(edges: &[(u32, u32)]) -> Subgraph {
+        let g = Graph::from_edges(edges.iter().copied());
+        let nodes: Vec<u32> = (0..g.num_nodes() as u32).collect();
+        Subgraph::induce(&g, &nodes)
+    }
+
+    #[test]
+    fn path_graph_center_edge_highest() {
+        // Path 0-1-2-3: edge (1,2) carries paths {0,3},{0,2},{1,3},{1,2} = 4.
+        let sub = sub_of(&[(0, 1), (1, 2), (2, 3)]);
+        let c = edge_betweenness(&sub);
+        let idx_center = sub.edges.iter().position(|&e| e == (1, 2)).unwrap();
+        let idx_end = sub.edges.iter().position(|&e| e == (0, 1)).unwrap();
+        assert_eq!(c[idx_center], 4.0);
+        assert_eq!(c[idx_end], 3.0);
+    }
+
+    #[test]
+    fn bridge_between_triangles_has_max_centrality() {
+        let sub = sub_of(&[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
+        let ((a, b), c) = max_betweenness_edge(&sub).unwrap();
+        assert_eq!((a, b), (2, 3));
+        // Bridge carries all 3*3 = 9 cross pairs.
+        assert!(c >= 9.0);
+    }
+
+    #[test]
+    fn triangle_symmetric() {
+        let sub = sub_of(&[(0, 1), (1, 2), (2, 0)]);
+        let c = edge_betweenness(&sub);
+        assert!(c.iter().all(|&x| (x - 1.0).abs() < 1e-9), "{c:?}");
+    }
+
+    #[test]
+    fn star_graph_each_edge_carries_leaf_paths() {
+        // Star center 0 with leaves 1..=3: each edge carries its leaf's pair
+        // to the other 2 leaves (each path split across 2 edges but sigma=1
+        // through each), plus the center pair: c = (n-2) + 1 = 3... compute:
+        // paths through edge (0,1): {1,2},{1,3},{0,1} = 3.
+        let sub = sub_of(&[(0, 1), (0, 2), (0, 3)]);
+        let c = edge_betweenness(&sub);
+        assert!(c.iter().all(|&x| (x - 3.0).abs() < 1e-9), "{c:?}");
+    }
+
+    #[test]
+    fn two_parallel_paths_split_sigma() {
+        // Square 0-1-3-2-0: both diagonal pairs ({0,3} and {1,2}) have two
+        // shortest paths, each contributing 0.5 per traversed edge. Every
+        // edge carries: its endpoint pair (1.0) + 0.5 + 0.5 = 2.0.
+        let sub = sub_of(&[(0, 1), (1, 3), (0, 2), (2, 3)]);
+        let c = edge_betweenness(&sub);
+        assert!(c.iter().all(|&x| (x - 2.0).abs() < 1e-9), "{c:?}");
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let sub = sub_of(&[(0, 1), (1, 2), (2, 0)]);
+        let ((a, b), _) = max_betweenness_edge(&sub).unwrap();
+        assert_eq!((a, b), (0, 1), "smallest edge wins ties");
+    }
+
+    #[test]
+    fn empty_subgraph() {
+        let g = Graph::with_nodes(3);
+        let sub = Subgraph::induce(&g, &[0, 1, 2]);
+        assert!(max_betweenness_edge(&sub).is_none());
+        assert!(edge_betweenness(&sub).is_empty());
+    }
+
+    #[test]
+    fn disconnected_subgraph_supported() {
+        // Betweenness is well-defined per component; cross-component pairs
+        // simply contribute nothing.
+        let sub = sub_of(&[(0, 1), (2, 3)]);
+        let c = edge_betweenness(&sub);
+        assert!(c.iter().all(|&x| (x - 1.0).abs() < 1e-9));
+    }
+}

@@ -1,0 +1,137 @@
+//! Tarjan bridge detection.
+//!
+//! A bridge is an edge whose removal disconnects its component — a min cut
+//! of weight 1. Finding all bridges in one O(n + m) DFS lets the cleanup
+//! (and diagnostics) shortcut the common case where a false-positive link
+//! between two groups is a single edge, without running a full min-cut.
+
+use crate::components::Subgraph;
+
+/// All bridges of a subgraph, as local edge pairs (canonical `a < b`),
+/// sorted. Iterative DFS so deep components cannot overflow the stack.
+pub fn find_bridges(sub: &Subgraph) -> Vec<(u32, u32)> {
+    let n = sub.num_nodes();
+    let mut disc = vec![u32::MAX; n]; // discovery time
+    let mut low = vec![u32::MAX; n];
+    let mut bridges = Vec::new();
+    let mut timer = 0u32;
+
+    // Iterative DFS frames: (node, parent-edge-skip-flag, neighbor cursor).
+    // parent is tracked as the *edge* (parent node id); parallel edges are
+    // impossible in a simple graph so skipping one parent occurrence is
+    // correct.
+    #[derive(Clone, Copy)]
+    struct Frame {
+        node: u32,
+        parent: u32, // u32::MAX for roots
+        cursor: usize,
+        parent_skipped: bool,
+    }
+
+    for root in 0..n as u32 {
+        if disc[root as usize] != u32::MAX {
+            continue;
+        }
+        let mut stack = vec![Frame {
+            node: root,
+            parent: u32::MAX,
+            cursor: 0,
+            parent_skipped: false,
+        }];
+        disc[root as usize] = timer;
+        low[root as usize] = timer;
+        timer += 1;
+
+        while let Some(frame) = stack.last_mut() {
+            let u = frame.node;
+            if frame.cursor < sub.adj[u as usize].len() {
+                let v = sub.adj[u as usize][frame.cursor];
+                frame.cursor += 1;
+                if v == frame.parent && !frame.parent_skipped {
+                    frame.parent_skipped = true;
+                    continue;
+                }
+                if disc[v as usize] == u32::MAX {
+                    disc[v as usize] = timer;
+                    low[v as usize] = timer;
+                    timer += 1;
+                    stack.push(Frame {
+                        node: v,
+                        parent: u,
+                        cursor: 0,
+                        parent_skipped: false,
+                    });
+                } else {
+                    low[u as usize] = low[u as usize].min(disc[v as usize]);
+                }
+            } else {
+                let popped = *frame;
+                stack.pop();
+                if let Some(parent_frame) = stack.last() {
+                    let p = parent_frame.node;
+                    low[p as usize] = low[p as usize].min(low[popped.node as usize]);
+                    if low[popped.node as usize] > disc[p as usize] {
+                        let (a, b) = if p < popped.node {
+                            (p, popped.node)
+                        } else {
+                            (popped.node, p)
+                        };
+                        bridges.push((a, b));
+                    }
+                }
+            }
+        }
+    }
+    bridges.sort_unstable();
+    bridges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::Subgraph;
+    use crate::graph::Graph;
+
+    fn sub_of(edges: &[(u32, u32)]) -> Subgraph {
+        let g = Graph::from_edges(edges.iter().copied());
+        let nodes: Vec<u32> = (0..g.num_nodes() as u32).collect();
+        Subgraph::induce(&g, &nodes)
+    }
+
+    #[test]
+    fn path_all_bridges() {
+        let sub = sub_of(&[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(find_bridges(&sub), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn cycle_no_bridges() {
+        let sub = sub_of(&[(0, 1), (1, 2), (2, 0)]);
+        assert!(find_bridges(&sub).is_empty());
+    }
+
+    #[test]
+    fn barbell_single_bridge() {
+        let sub = sub_of(&[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
+        assert_eq!(find_bridges(&sub), vec![(2, 3)]);
+    }
+
+    #[test]
+    fn two_components_each_with_bridge() {
+        let sub = sub_of(&[(0, 1), (2, 3), (3, 4), (4, 2), (4, 5)]);
+        assert_eq!(find_bridges(&sub), vec![(0, 1), (4, 5)]);
+    }
+
+    #[test]
+    fn deep_path_no_stack_overflow() {
+        let edges: Vec<(u32, u32)> = (0..50_000u32).map(|i| (i, i + 1)).collect();
+        let sub = sub_of(&edges);
+        assert_eq!(find_bridges(&sub).len(), 50_000);
+    }
+
+    #[test]
+    fn star_all_bridges() {
+        let sub = sub_of(&[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(find_bridges(&sub).len(), 4);
+    }
+}

@@ -1,0 +1,254 @@
+//! Connected components and induced subgraphs.
+//!
+//! Algorithm 1 is expressed per connected component: it repeatedly inspects
+//! the largest component, so we provide both a full decomposition (one BFS
+//! sweep) and a [`Subgraph`] view that relabels a component's nodes to dense
+//! local indices — the min-cut and betweenness implementations operate on
+//! those local indices and return edges in the original labeling.
+
+use crate::graph::{Edge, Graph, NodeId};
+use gralmatch_util::FxHashMap;
+use std::collections::VecDeque;
+
+/// All connected components containing at least one node, largest first
+/// (ties broken by smallest member id for determinism). Components of
+/// isolated nodes are included as singletons.
+pub fn connected_components(g: &Graph) -> Vec<Vec<NodeId>> {
+    let n = g.num_nodes();
+    let mut seen = vec![false; n];
+    let mut comps: Vec<Vec<NodeId>> = Vec::new();
+    let mut queue = VecDeque::new();
+    for start in 0..n as NodeId {
+        if seen[start as usize] {
+            continue;
+        }
+        seen[start as usize] = true;
+        queue.push_back(start);
+        let mut comp = vec![start];
+        while let Some(u) = queue.pop_front() {
+            for v in g.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    comp.push(v);
+                    queue.push_back(v);
+                }
+            }
+        }
+        comp.sort_unstable();
+        comps.push(comp);
+    }
+    comps.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
+    comps
+}
+
+/// The component containing `start` (sorted node list).
+pub fn component_of(g: &Graph, start: NodeId) -> Vec<NodeId> {
+    let mut seen = gralmatch_util::FxHashSet::default();
+    let mut queue = VecDeque::new();
+    seen.insert(start);
+    queue.push_back(start);
+    let mut comp = vec![start];
+    while let Some(u) = queue.pop_front() {
+        for v in g.neighbors(u) {
+            if seen.insert(v) {
+                comp.push(v);
+                queue.push_back(v);
+            }
+        }
+    }
+    comp.sort_unstable();
+    comp
+}
+
+/// The largest connected component, or `None` for an empty graph.
+pub fn largest_component(g: &Graph) -> Option<Vec<NodeId>> {
+    connected_components(g).into_iter().next()
+}
+
+/// A dense-relabelled view of an induced subgraph.
+///
+/// `locals[i]` is the original id of local node `i`; `edges` are pairs of
+/// local indices. Algorithms run on local indices (contiguous, cache
+/// friendly) and translate results back via [`Subgraph::to_global_edge`].
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// Original node id for each local index.
+    pub locals: Vec<NodeId>,
+    /// Adjacency over local indices.
+    pub adj: Vec<Vec<u32>>,
+    /// Edge list over local indices (canonical `a < b`).
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl Subgraph {
+    /// Induce the subgraph of `g` on `nodes`.
+    pub fn induce(g: &Graph, nodes: &[NodeId]) -> Subgraph {
+        let mut index: FxHashMap<NodeId, u32> = FxHashMap::default();
+        index.reserve(nodes.len());
+        for (i, &n) in nodes.iter().enumerate() {
+            index.insert(n, i as u32);
+        }
+        let mut adj = vec![Vec::new(); nodes.len()];
+        let mut edges = Vec::new();
+        for (i, &n) in nodes.iter().enumerate() {
+            for nbr in g.neighbors(n) {
+                if let Some(&j) = index.get(&nbr) {
+                    adj[i].push(j);
+                    if (i as u32) < j {
+                        edges.push((i as u32, j));
+                    }
+                }
+            }
+        }
+        // Sort for determinism of downstream tie-breaking.
+        for a in &mut adj {
+            a.sort_unstable();
+        }
+        edges.sort_unstable();
+        Subgraph {
+            locals: nodes.to_vec(),
+            adj,
+            edges,
+        }
+    }
+
+    /// Number of local nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Translate a local edge to original node ids.
+    pub fn to_global_edge(&self, a: u32, b: u32) -> Edge {
+        Edge::new(self.locals[a as usize], self.locals[b as usize])
+    }
+
+    /// Whether the subgraph is connected (trivially true for <= 1 node).
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_nodes();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &v in &self.adj[u as usize] {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == n
+    }
+}
+
+/// All unordered pairs within each component: the *transitive closure* edges
+/// implied by a prediction graph (paper Section 4, "Pre Graph Cleanup" stage
+/// of the evaluation adds these to make each component a complete subgraph).
+///
+/// The count grows quadratically in component size, which is exactly the
+/// phenomenon the paper highlights: one false-positive edge between two
+/// groups of size k implies ~k^2 false transitive matches.
+pub fn transitive_closure_pairs(components: &[Vec<NodeId>]) -> Vec<(NodeId, NodeId)> {
+    let total: usize = components
+        .iter()
+        .map(|c| c.len() * (c.len().saturating_sub(1)) / 2)
+        .sum();
+    let mut pairs = Vec::with_capacity(total);
+    for comp in components {
+        for i in 0..comp.len() {
+            for j in (i + 1)..comp.len() {
+                pairs.push((comp[i], comp[j]));
+            }
+        }
+    }
+    pairs
+}
+
+/// Number of transitive-closure pairs without materializing them.
+pub fn transitive_closure_count(components: &[Vec<NodeId>]) -> u64 {
+    components
+        .iter()
+        .map(|c| (c.len() as u64) * (c.len() as u64 - 1) / 2)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles_and_isolated() -> Graph {
+        // {0,1,2} triangle, {3,4,5} triangle, 6 isolated
+        let mut g = Graph::from_edges([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        g.ensure_node(6);
+        g
+    }
+
+    #[test]
+    fn components_found_and_sorted() {
+        let g = two_triangles_and_isolated();
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![0, 1, 2]);
+        assert_eq!(comps[1], vec![3, 4, 5]);
+        assert_eq!(comps[2], vec![6]);
+    }
+
+    #[test]
+    fn component_of_start() {
+        let g = two_triangles_and_isolated();
+        assert_eq!(component_of(&g, 4), vec![3, 4, 5]);
+        assert_eq!(component_of(&g, 6), vec![6]);
+    }
+
+    #[test]
+    fn largest_component_picked() {
+        let mut g = two_triangles_and_isolated();
+        g.add_edge(3, 6); // component {3,4,5,6} now largest
+        assert_eq!(largest_component(&g).unwrap(), vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn induce_subgraph() {
+        let g = two_triangles_and_isolated();
+        let sub = Subgraph::induce(&g, &[3, 4, 5]);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(sub.num_edges(), 3);
+        assert!(sub.is_connected());
+        let e = sub.to_global_edge(0, 1);
+        assert_eq!(e, Edge::new(3, 4));
+    }
+
+    #[test]
+    fn induce_partial_is_disconnected() {
+        let g = two_triangles_and_isolated();
+        let sub = Subgraph::induce(&g, &[0, 3]);
+        assert_eq!(sub.num_edges(), 0);
+        assert!(!sub.is_connected());
+    }
+
+    #[test]
+    fn closure_pairs_quadratic() {
+        let comps = vec![vec![0, 1, 2], vec![5, 6]];
+        let pairs = transitive_closure_pairs(&comps);
+        assert_eq!(pairs.len(), 4);
+        assert!(pairs.contains(&(0, 2)));
+        assert!(pairs.contains(&(5, 6)));
+        assert_eq!(transitive_closure_count(&comps), 4);
+    }
+
+    #[test]
+    fn empty_graph_no_components() {
+        let g = Graph::new();
+        assert!(connected_components(&g).is_empty());
+        assert!(largest_component(&g).is_none());
+    }
+}

@@ -1,0 +1,124 @@
+//! k-core decomposition.
+//!
+//! The core number of a node is the largest k such that the node belongs to
+//! a subgraph where every node has degree ≥ k. In a prediction graph, a
+//! correctly matched group of g records forms a (g−1)-core, while the
+//! records pulled in by a single false edge have core number 1 — so core
+//! numbers cheaply separate "solid group membership" from "dangling
+//! attachment" and power the cleanup diagnostics.
+
+use crate::components::Subgraph;
+
+/// Core number of every node (local indices). Batagelj–Zaveršnik bucket
+/// algorithm, O(n + m).
+pub fn core_numbers(sub: &Subgraph) -> Vec<u32> {
+    let n = sub.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degree: Vec<u32> = sub.adj.iter().map(|a| a.len() as u32).collect();
+    let max_degree = degree.iter().copied().max().unwrap_or(0) as usize;
+
+    // Bucket sort nodes by degree.
+    let mut bin_start = vec![0usize; max_degree + 2];
+    for &d in &degree {
+        bin_start[d as usize + 1] += 1;
+    }
+    for i in 1..bin_start.len() {
+        bin_start[i] += bin_start[i - 1];
+    }
+    let mut position = vec![0usize; n];
+    let mut order = vec![0u32; n];
+    {
+        let mut next = bin_start.clone();
+        for v in 0..n as u32 {
+            let d = degree[v as usize] as usize;
+            position[v as usize] = next[d];
+            order[next[d]] = v;
+            next[d] += 1;
+        }
+    }
+
+    let mut core = degree.clone();
+    for i in 0..n {
+        let v = order[i];
+        core[v as usize] = degree[v as usize];
+        for &u in &sub.adj[v as usize] {
+            if degree[u as usize] > degree[v as usize] {
+                // Move u one bucket down: swap with first node of its bucket.
+                let du = degree[u as usize] as usize;
+                let pu = position[u as usize];
+                let pw = bin_start[du];
+                let w = order[pw];
+                if u != w {
+                    order.swap(pu, pw);
+                    position[u as usize] = pw;
+                    position[w as usize] = pu;
+                }
+                bin_start[du] += 1;
+                degree[u as usize] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// Maximum core number (the graph's degeneracy).
+pub fn degeneracy(sub: &Subgraph) -> u32 {
+    core_numbers(sub).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn sub_of(edges: &[(u32, u32)]) -> Subgraph {
+        let g = Graph::from_edges(edges.iter().copied());
+        let nodes: Vec<u32> = (0..g.num_nodes() as u32).collect();
+        Subgraph::induce(&g, &nodes)
+    }
+
+    #[test]
+    fn clique_core_numbers() {
+        // K4: every node has core number 3.
+        let sub = sub_of(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(core_numbers(&sub), vec![3, 3, 3, 3]);
+        assert_eq!(degeneracy(&sub), 3);
+    }
+
+    #[test]
+    fn path_is_1_core() {
+        let sub = sub_of(&[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(core_numbers(&sub), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn clique_with_pendant() {
+        // Triangle {0,1,2} + pendant 3 attached to 2: pendant has core 1,
+        // triangle nodes core 2.
+        let sub = sub_of(&[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        assert_eq!(core_numbers(&sub), vec![2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn false_bridge_detectable_by_core_numbers() {
+        // Two K4s joined by one edge: all clique nodes keep core 3; the
+        // bridge doesn't raise anyone's core number.
+        let sub = sub_of(&[
+            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+            (4, 5), (4, 6), (4, 7), (5, 6), (5, 7), (6, 7),
+            (3, 4),
+        ]);
+        let core = core_numbers(&sub);
+        assert!(core.iter().all(|&c| c == 3));
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = Graph::with_nodes(3);
+        let sub = Subgraph::induce(&g, &[0, 1, 2]);
+        assert_eq!(core_numbers(&sub), vec![0, 0, 0]);
+        assert_eq!(degeneracy(&sub), 0);
+    }
+}

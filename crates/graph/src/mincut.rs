@@ -1,0 +1,308 @@
+//! Global minimum edge cut.
+//!
+//! The Graph Cleanup's first phase removes a *minimum edge cut* of the
+//! largest component (paper Section 4.2, Algorithm 1 lines 3–6): the
+//! smallest set of edges whose removal disconnects the component. False
+//! positive pairwise predictions are usually the only link between two
+//! densely connected groups, so the min cut is exactly those few edges.
+//!
+//! Two implementations:
+//!
+//! * **Stoer–Wagner** (`stoer_wagner`): exact global min cut in O(n³) with a
+//!   dense merge table. Used for components up to [`SW_NODE_LIMIT`] nodes —
+//!   the regime the cleanup operates in after pre-cleanup.
+//! * **Flow-based** (`global_min_cut_flow`): fixes an arbitrary source and
+//!   runs Dinic min s–t cuts to every other node, with two accelerations:
+//!   early exit when a cut of weight 1 (a bridge) is found (no cut can be
+//!   smaller in a connected graph) and flow capping at the best cut so far.
+//!   Used above the node limit.
+//!
+//! [`global_min_cut`] picks automatically and both agree on the cut weight
+//! (property-tested in `tests/`).
+
+use crate::components::Subgraph;
+use crate::maxflow::Dinic;
+
+/// Stoer–Wagner is cubic; beyond this many nodes the flow-based method wins.
+pub const SW_NODE_LIMIT: usize = 256;
+
+/// Result of a minimum-cut computation on a [`Subgraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinCut {
+    /// Number of edges crossing the cut (all edges have unit weight).
+    pub weight: u32,
+    /// Local indices of one side of the partition (the smaller side).
+    pub side: Vec<u32>,
+    /// The cut edges, as local index pairs (canonical `a < b`).
+    pub cut_edges: Vec<(u32, u32)>,
+}
+
+/// Compute a global minimum edge cut of a connected subgraph with >= 2 nodes.
+///
+/// Returns `None` for subgraphs with fewer than 2 nodes or no edges (nothing
+/// to cut). The input must be connected; this is the caller's invariant
+/// (components are connected by construction) and is debug-asserted.
+pub fn global_min_cut(sub: &Subgraph) -> Option<MinCut> {
+    if sub.num_nodes() < 2 || sub.num_edges() == 0 {
+        return None;
+    }
+    debug_assert!(sub.is_connected(), "min cut requires a connected component");
+    let cut = if sub.num_nodes() <= SW_NODE_LIMIT {
+        stoer_wagner(sub)
+    } else {
+        global_min_cut_flow(sub)
+    };
+    Some(cut)
+}
+
+/// Derive the cut edge set and normalized (smaller) side from a side marker.
+fn finish_cut(sub: &Subgraph, in_side: &[bool], weight: u32) -> MinCut {
+    let n = sub.num_nodes();
+    let side_count = in_side.iter().filter(|&&b| b).count();
+    // Normalize: keep the smaller side for stable output (ties keep marked side).
+    let keep_marked = side_count * 2 <= n;
+    let mut side: Vec<u32> = (0..n as u32)
+        .filter(|&i| in_side[i as usize] == keep_marked)
+        .collect();
+    side.sort_unstable();
+    let mut cut_edges: Vec<(u32, u32)> = sub
+        .edges
+        .iter()
+        .copied()
+        .filter(|&(a, b)| in_side[a as usize] != in_side[b as usize])
+        .collect();
+    cut_edges.sort_unstable();
+    debug_assert_eq!(cut_edges.len() as u32, weight);
+    MinCut {
+        weight,
+        side,
+        cut_edges,
+    }
+}
+
+/// Stoer–Wagner minimum cut with unit edge weights.
+///
+/// Classic "minimum cut phase" formulation: repeatedly run maximum adjacency
+/// search, record the cut-of-the-phase (the last added super-node against the
+/// rest), then merge the last two added nodes. The best phase cut is a global
+/// minimum cut. We track which original nodes each super-node contains so the
+/// partition can be reported.
+pub fn stoer_wagner(sub: &Subgraph) -> MinCut {
+    let n = sub.num_nodes();
+    assert!(n >= 2);
+    // Dense weight matrix of the contracted graph.
+    let mut w = vec![0u32; n * n];
+    for &(a, b) in &sub.edges {
+        w[a as usize * n + b as usize] += 1;
+        w[b as usize * n + a as usize] += 1;
+    }
+    // merged[v] = original local nodes currently contracted into v.
+    let mut merged: Vec<Vec<u32>> = (0..n as u32).map(|v| vec![v]).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+
+    let mut best_weight = u32::MAX;
+    let mut best_side: Vec<u32> = Vec::new();
+
+    while active.len() > 1 {
+        // Maximum adjacency search starting from active[0].
+        let m = active.len();
+        let mut in_a = vec![false; m];
+        let mut weights_to_a: Vec<u32> = active
+            .iter()
+            .map(|&v| w[active[0] * n + v])
+            .collect();
+        in_a[0] = true;
+        let mut prev = 0usize; // index into `active`
+        let mut last = 0usize;
+        for _ in 1..m {
+            // Pick the unadded node most tightly connected to A.
+            let mut best_i = usize::MAX;
+            let mut best_w = 0u32;
+            for i in 0..m {
+                if !in_a[i] && (best_i == usize::MAX || weights_to_a[i] > best_w) {
+                    best_i = i;
+                    best_w = weights_to_a[i];
+                }
+            }
+            prev = last;
+            last = best_i;
+            in_a[best_i] = true;
+            let v_last = active[best_i];
+            for i in 0..m {
+                if !in_a[i] {
+                    weights_to_a[i] += w[v_last * n + active[i]];
+                }
+            }
+        }
+        // Cut of the phase: super-node `last` vs the rest.
+        let phase_weight = weights_to_a[last];
+        if phase_weight < best_weight {
+            best_weight = phase_weight;
+            best_side = merged[active[last]].clone();
+        }
+        // Merge `last` into `prev`.
+        let (v_prev, v_last) = (active[prev], active[last]);
+        let moved = std::mem::take(&mut merged[v_last]);
+        merged[v_prev].extend(moved);
+        for &u in active.iter().take(m) {
+            let add = w[v_last * n + u];
+            w[v_prev * n + u] += add;
+            w[u * n + v_prev] += add;
+        }
+        w[v_prev * n + v_prev] = 0;
+        active.remove(last);
+    }
+
+    let mut in_side = vec![false; n];
+    for &v in &best_side {
+        in_side[v as usize] = true;
+    }
+    finish_cut(sub, &in_side, best_weight)
+}
+
+/// Flow-based global min cut: min over t of min-cut(s, t) for a fixed s.
+///
+/// Correct because any global cut separates s from *some* t. Early exits on a
+/// weight-1 cut (optimal in a connected graph) and caps each Dinic run at the
+/// best weight so far (a run reaching the cap cannot improve the answer).
+pub fn global_min_cut_flow(sub: &Subgraph) -> MinCut {
+    let n = sub.num_nodes();
+    assert!(n >= 2);
+    // Fix the max-degree node as source: it is least likely to be on the
+    // small side of the cut, so s-t cuts tend to find the real cut quickly.
+    let s = (0..n)
+        .max_by_key(|&i| sub.adj[i].len())
+        .expect("non-empty subgraph") as u32;
+
+    let mut best: Option<MinCut> = None;
+    for t in 0..n as u32 {
+        if t == s {
+            continue;
+        }
+        let cap = best.as_ref().map_or(u32::MAX, |b| b.weight);
+        let mut dinic = Dinic::from_subgraph(sub);
+        let flow = dinic.max_flow_capped(s, t, cap);
+        if flow >= cap {
+            continue; // cannot improve
+        }
+        let in_side = dinic.min_cut_side(s);
+        let cut = finish_cut(sub, &in_side, flow);
+        let done = cut.weight == 1;
+        best = Some(cut);
+        if done {
+            break; // a bridge: no smaller cut exists in a connected graph
+        }
+    }
+    best.expect("connected subgraph with >= 2 nodes has a cut")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Edge, Graph};
+
+    fn sub_of(edges: &[(u32, u32)]) -> Subgraph {
+        let g = Graph::from_edges(edges.iter().copied());
+        let nodes: Vec<u32> = (0..g.num_nodes() as u32).collect();
+        Subgraph::induce(&g, &nodes)
+    }
+
+    /// Two triangles joined by one bridge: min cut = that bridge.
+    fn barbell() -> Subgraph {
+        sub_of(&[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+    }
+
+    #[test]
+    fn bridge_is_min_cut_sw() {
+        let cut = stoer_wagner(&barbell());
+        assert_eq!(cut.weight, 1);
+        assert_eq!(cut.cut_edges, vec![(2, 3)]);
+        assert_eq!(cut.side.len(), 3);
+    }
+
+    #[test]
+    fn bridge_is_min_cut_flow() {
+        let cut = global_min_cut_flow(&barbell());
+        assert_eq!(cut.weight, 1);
+        assert_eq!(cut.cut_edges, vec![(2, 3)]);
+    }
+
+    #[test]
+    fn double_link_cut() {
+        // Two triangles joined by two edges: min cut weight 2. The optimum
+        // is not unique (isolating a degree-2 node also costs 2), so only
+        // the weight and the disconnection property are asserted.
+        let sub = sub_of(&[
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (3, 4),
+            (4, 5),
+            (5, 3),
+            (2, 3),
+            (0, 5),
+        ]);
+        let cut = stoer_wagner(&sub);
+        assert_eq!(cut.weight, 2);
+        assert_eq!(cut.cut_edges.len(), 2);
+        let mut g = Graph::from_edges(sub.edges.iter().copied());
+        g.remove_edges(&cut.cut_edges.iter().map(|&(a, b)| Edge::new(a, b)).collect::<Vec<_>>());
+        assert!(crate::components::connected_components(&g).len() >= 2);
+        let flow_cut = global_min_cut_flow(&sub);
+        assert_eq!(flow_cut.weight, 2);
+    }
+
+    #[test]
+    fn path_graph_cut_is_one() {
+        let sub = sub_of(&[(0, 1), (1, 2), (2, 3)]);
+        let cut = global_min_cut(&sub).unwrap();
+        assert_eq!(cut.weight, 1);
+    }
+
+    #[test]
+    fn complete_graph_cut_is_degree() {
+        // K4: min cut isolates one vertex, weight 3.
+        let sub = sub_of(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let cut = stoer_wagner(&sub);
+        assert_eq!(cut.weight, 3);
+        assert_eq!(cut.side.len(), 1);
+        assert_eq!(global_min_cut_flow(&sub).weight, 3);
+    }
+
+    #[test]
+    fn two_node_graph() {
+        let sub = sub_of(&[(0, 1)]);
+        let cut = global_min_cut(&sub).unwrap();
+        assert_eq!(cut.weight, 1);
+        assert_eq!(cut.cut_edges, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn removing_cut_disconnects() {
+        let sub = barbell();
+        let cut = global_min_cut(&sub).unwrap();
+        let mut g = Graph::from_edges(sub.edges.iter().map(|&(a, b)| (a, b)));
+        for &(a, b) in &cut.cut_edges {
+            g.remove_edge(a, b);
+        }
+        let comps = crate::components::connected_components(&g);
+        assert!(comps.len() >= 2, "cut must disconnect the component");
+    }
+
+    #[test]
+    fn singleton_and_empty_return_none() {
+        let g = Graph::with_nodes(1);
+        let sub = Subgraph::induce(&g, &[0]);
+        assert!(global_min_cut(&sub).is_none());
+    }
+
+    #[test]
+    fn side_is_smaller_half() {
+        // Star graph: cut isolates a leaf; side must be the single leaf.
+        let sub = sub_of(&[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let cut = global_min_cut(&sub).unwrap();
+        assert_eq!(cut.weight, 1);
+        assert_eq!(cut.side.len(), 1);
+        assert_ne!(cut.side[0], 0, "center cannot be the small side");
+    }
+}

@@ -1,0 +1,150 @@
+//! Disjoint-set union (union by rank + path halving).
+//!
+//! Used for the transitive-closure grouping: the entity groups of the paper
+//! are exactly the connected components of the prediction graph, and when we
+//! only need the partition (not the edges) union-find is the cheapest way to
+//! get it.
+
+/// Disjoint-set forest over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    num_sets: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            num_sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Find with path halving.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        debug_assert!((x as usize) < self.parent.len());
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x
+    }
+
+    /// Union by rank. Returns `true` if the two sets were merged (i.e. they
+    /// were previously distinct).
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.num_sets -= 1;
+        match self.rank[ra as usize].cmp(&self.rank[rb as usize]) {
+            std::cmp::Ordering::Less => self.parent[ra as usize] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb as usize] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb as usize] = ra;
+                self.rank[ra as usize] += 1;
+            }
+        }
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Extract the sets as sorted vectors of members, largest first, ties by
+    /// smallest member. Deterministic for reproducible outputs.
+    pub fn sets(&mut self) -> Vec<Vec<u32>> {
+        let n = self.parent.len();
+        let mut by_root: gralmatch_util::FxHashMap<u32, Vec<u32>> =
+            gralmatch_util::FxHashMap::default();
+        for x in 0..n as u32 {
+            by_root.entry(self.find(x)).or_default().push(x);
+        }
+        let mut sets: Vec<Vec<u32>> = by_root.into_values().collect();
+        for s in &mut sets {
+            s.sort_unstable();
+        }
+        sets.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
+        sets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.num_sets(), 4);
+        assert!(!uf.connected(0, 1));
+    }
+
+    #[test]
+    fn union_merges() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(uf.connected(0, 1));
+        assert!(!uf.union(1, 0), "already merged");
+        assert_eq!(uf.num_sets(), 3);
+    }
+
+    #[test]
+    fn transitivity() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+    }
+
+    #[test]
+    fn sets_extraction_ordering() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(1, 2); // {0,1,2}
+        uf.union(4, 5); // {4,5}
+        let sets = uf.sets();
+        assert_eq!(sets[0], vec![0, 1, 2]);
+        assert_eq!(sets[1], vec![4, 5]);
+        assert_eq!(sets[2], vec![3]);
+    }
+
+    #[test]
+    fn num_sets_tracks_merges() {
+        let mut uf = UnionFind::new(10);
+        for i in 0..9u32 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.num_sets(), 1);
+    }
+
+    #[test]
+    fn empty_structure() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.num_sets(), 0);
+    }
+}

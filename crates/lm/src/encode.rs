@@ -1,0 +1,242 @@
+//! Pair encoders and sequence-length truncation.
+//!
+//! The paper compares two record serializations (Section 5.2):
+//!
+//! * **DistilBERT-style** ([`PlainEncoder`]): field values concatenated —
+//!   `crowdstrike holdings austin texas usa …`
+//! * **DITTO-style** ([`DittoEncoder`]): every column wrapped in markers —
+//!   `[col] name [val] crowdstrike holdings [col] city [val] austin …`
+//!
+//! The DITTO scheme "increases the amount of tokens required to encode the
+//! same value information" — under a fixed token budget (128 vs 256) the
+//! markers crowd out *late* fields, which for securities are the identifier
+//! codes. That truncation is exactly why DITTO(128) collapses on the
+//! securities datasets in Tables 3/4, and this module reproduces it
+//! mechanically: encoders emit a token stream per record, and the pair
+//! budget is split evenly between the two records.
+
+use gralmatch_records::Record;
+use gralmatch_text::tokenize_into;
+
+/// Word tokens longer than this are split into subword chunks, modelling
+/// wordpiece tokenization: a transformer's vocabulary has no entry for an
+/// ISIN like `us31807756e`, so it falls apart into several sub-tokens —
+/// which is what makes identifier-heavy records long under a token budget.
+const SUBWORD_MAX: usize = 6;
+const SUBWORD_CHUNK: usize = 3;
+
+fn subword_split(tokens: Vec<String>) -> Vec<String> {
+    let mut out = Vec::with_capacity(tokens.len() + 8);
+    for token in tokens {
+        if token.chars().count() <= SUBWORD_MAX || token.starts_with('[') {
+            out.push(token);
+        } else {
+            let chars: Vec<char> = token.chars().collect();
+            for chunk in chars.chunks(SUBWORD_CHUNK) {
+                out.push(chunk.iter().collect());
+            }
+        }
+    }
+    out
+}
+
+/// A record serialized to a (possibly truncated) token stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedRecord {
+    /// Lowercased tokens, truncated to the encoder's per-record budget.
+    pub tokens: Vec<String>,
+}
+
+impl EncodedRecord {
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+/// A record-to-token-stream serializer with a pair sequence budget.
+pub trait PairEncoder: Sync {
+    /// Maximum tokens for the *pair* (both records plus separators), like
+    /// the transformer max sequence length it models.
+    fn max_seq_len(&self) -> usize;
+
+    /// Serialize one record's fields into tokens (no truncation).
+    fn serialize<R: Record>(&self, record: &R) -> Vec<String>;
+
+    /// Encode a record, truncated to its half of the pair budget.
+    fn encode<R: Record>(&self, record: &R) -> EncodedRecord {
+        let mut tokens = self.serialize(record);
+        tokens.truncate(self.max_seq_len() / 2);
+        EncodedRecord { tokens }
+    }
+}
+
+/// DistilBERT-style serialization: values only, in field order.
+#[derive(Debug, Clone)]
+pub struct PlainEncoder {
+    max_seq_len: usize,
+}
+
+impl PlainEncoder {
+    /// Create with a pair token budget (the paper uses 128).
+    pub fn new(max_seq_len: usize) -> Self {
+        assert!(max_seq_len >= 8, "budget too small to encode anything");
+        PlainEncoder { max_seq_len }
+    }
+}
+
+impl PairEncoder for PlainEncoder {
+    fn max_seq_len(&self) -> usize {
+        self.max_seq_len
+    }
+
+    fn serialize<R: Record>(&self, record: &R) -> Vec<String> {
+        let mut tokens = Vec::with_capacity(32);
+        for (_, value) in record.fields() {
+            tokenize_into(&value, &mut tokens);
+        }
+        subword_split(tokens)
+    }
+}
+
+/// DITTO-style serialization: `[col] <name> [val] <value tokens>` per field.
+/// The markers are real tokens and consume budget.
+#[derive(Debug, Clone)]
+pub struct DittoEncoder {
+    max_seq_len: usize,
+}
+
+impl DittoEncoder {
+    /// Create with a pair token budget (the paper uses 128 and 256).
+    pub fn new(max_seq_len: usize) -> Self {
+        assert!(max_seq_len >= 8, "budget too small to encode anything");
+        DittoEncoder { max_seq_len }
+    }
+}
+
+impl PairEncoder for DittoEncoder {
+    fn max_seq_len(&self) -> usize {
+        self.max_seq_len
+    }
+
+    fn serialize<R: Record>(&self, record: &R) -> Vec<String> {
+        let mut tokens = Vec::with_capacity(48);
+        for (column, value) in record.fields() {
+            tokens.push("[col]".to_string());
+            tokens.push(column.to_string());
+            tokens.push("[val]".to_string());
+            let mut value_tokens = Vec::new();
+            tokenize_into(&value, &mut value_tokens);
+            tokens.extend(subword_split(value_tokens));
+        }
+        tokens
+    }
+}
+
+/// Encode every record of a dataset once (inference reuses the streams for
+/// all candidate pairs involving the record).
+pub fn encode_dataset<R: Record, E: PairEncoder>(
+    records: &[R],
+    encoder: &E,
+) -> Vec<EncodedRecord> {
+    records.iter().map(|r| encoder.encode(r)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gralmatch_records::{CompanyRecord, IdCode, IdKind, RecordId, SecurityRecord, SourceId};
+
+    fn company() -> CompanyRecord {
+        let mut c = CompanyRecord::new(RecordId(0), SourceId(0), "Crowdstrike Holdings");
+        c.city = "Austin".into();
+        c.country_code = "USA".into();
+        c
+    }
+
+    fn security_with_codes(n: usize) -> SecurityRecord {
+        let mut s = SecurityRecord::new(RecordId(0), SourceId(0), "Crowdstrike Registered Shs", RecordId(1));
+        for i in 0..n {
+            s.id_codes.push(IdCode::new(IdKind::Isin, format!("US{i:010}")));
+        }
+        s
+    }
+
+    #[test]
+    fn plain_serialization_values_only() {
+        // "crowdstrike" and "holdings" exceed the subword limit and split
+        // into 4-char chunks (wordpiece modelling); no `[col]` markers.
+        let tokens = PlainEncoder::new(128).serialize(&company());
+        assert_eq!(
+            tokens,
+            vec!["cro", "wds", "tri", "ke", "hol", "din", "gs", "austin", "usa"]
+        );
+        assert!(!tokens.iter().any(|t| t.starts_with('[')));
+    }
+
+    #[test]
+    fn subword_split_rules() {
+        let split = subword_split(vec!["austin".into(), "us31807756e".into(), "[col]".into()]);
+        assert_eq!(split, vec!["austin", "us3", "180", "775", "6e", "[col]"]);
+    }
+
+    #[test]
+    fn ditto_serialization_adds_markers() {
+        let tokens = DittoEncoder::new(128).serialize(&company());
+        assert_eq!(tokens[0], "[col]");
+        assert_eq!(tokens[1], "name");
+        assert_eq!(tokens[2], "[val]");
+        assert!(tokens.len() > PlainEncoder::new(128).serialize(&company()).len());
+    }
+
+    #[test]
+    fn truncation_respects_half_budget() {
+        let sec = security_with_codes(40);
+        let encoded = DittoEncoder::new(128).encode(&sec);
+        assert!(encoded.len() <= 64);
+    }
+
+    #[test]
+    fn ditto_small_budget_loses_identifiers() {
+        // The mechanism behind DITTO(128)'s securities failure: with many
+        // identifier tokens and marker overhead, a 128 budget truncates the
+        // identifier field away while 256 keeps (some of) it.
+        let sec = security_with_codes(30);
+        let small = DittoEncoder::new(128).encode(&sec);
+        let large = DittoEncoder::new(256).encode(&sec);
+        let count_ids = |enc: &EncodedRecord| {
+            enc.tokens.iter().filter(|t| t.starts_with("us")).count()
+        };
+        assert!(count_ids(&large) > count_ids(&small));
+    }
+
+    #[test]
+    fn plain_keeps_more_payload_than_ditto_at_equal_budget() {
+        let sec = security_with_codes(30);
+        let plain = PlainEncoder::new(128).encode(&sec);
+        let ditto = DittoEncoder::new(128).encode(&sec);
+        let payload = |enc: &EncodedRecord| {
+            enc.tokens.iter().filter(|t| !t.starts_with('[')).count()
+        };
+        assert!(payload(&plain) >= payload(&ditto));
+    }
+
+    #[test]
+    fn encode_dataset_covers_all() {
+        let records = vec![company()];
+        let encoded = encode_dataset(&records, &PlainEncoder::new(128));
+        assert_eq!(encoded.len(), 1);
+        assert!(!encoded[0].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn tiny_budget_rejected() {
+        let _ = PlainEncoder::new(2);
+    }
+}

@@ -1,0 +1,141 @@
+//! The pairwise-matcher abstraction and baselines.
+//!
+//! GraLMatch "is not limited to language model-based pairwise matching
+//! models, but also supports any matching method that produces pairwise
+//! matches" (paper Section 1). Everything downstream (blocking evaluation,
+//! graph cleanup, the tables) consumes this trait.
+
+use crate::encode::EncodedRecord;
+use crate::features::{featurize, FeatureConfig};
+use crate::model::LogisticModel;
+
+/// A symmetric pairwise match scorer over encoded records.
+pub trait PairwiseMatcher: Sync {
+    /// Match probability in [0, 1].
+    fn score(&self, a: &EncodedRecord, b: &EncodedRecord) -> f32;
+
+    /// Decision threshold (default 0.5, the argmax of the softmax head the
+    /// paper fine-tunes).
+    fn threshold(&self) -> f32 {
+        0.5
+    }
+
+    /// Binary prediction.
+    fn predict(&self, a: &EncodedRecord, b: &EncodedRecord) -> bool {
+        self.score(a, b) >= self.threshold()
+    }
+}
+
+/// A fine-tuned model: logistic head over hashed pair features.
+#[derive(Debug, Clone)]
+pub struct TrainedMatcher {
+    /// The trained head.
+    pub model: LogisticModel,
+    /// Feature-space configuration used at training time.
+    pub features: FeatureConfig,
+}
+
+impl PairwiseMatcher for TrainedMatcher {
+    fn score(&self, a: &EncodedRecord, b: &EncodedRecord) -> f32 {
+        self.model.predict(&featurize(a, b, &self.features))
+    }
+}
+
+/// Rule-based baseline: token Jaccard similarity thresholding, the kind of
+/// heuristic the paper's related work attributes to pre-neural EM systems.
+#[derive(Debug, Clone)]
+pub struct HeuristicMatcher {
+    /// Jaccard threshold above which a pair is predicted a match.
+    pub jaccard_threshold: f32,
+}
+
+impl Default for HeuristicMatcher {
+    fn default() -> Self {
+        HeuristicMatcher {
+            jaccard_threshold: 0.5,
+        }
+    }
+}
+
+impl PairwiseMatcher for HeuristicMatcher {
+    fn score(&self, a: &EncodedRecord, b: &EncodedRecord) -> f32 {
+        let set_a: gralmatch_util::FxHashSet<&str> = a
+            .tokens
+            .iter()
+            .filter(|t| !t.starts_with('['))
+            .map(|t| t.as_str())
+            .collect();
+        let set_b: gralmatch_util::FxHashSet<&str> = b
+            .tokens
+            .iter()
+            .filter(|t| !t.starts_with('['))
+            .map(|t| t.as_str())
+            .collect();
+        if set_a.is_empty() && set_b.is_empty() {
+            return 1.0;
+        }
+        let intersection = set_a.intersection(&set_b).count();
+        let union = set_a.len() + set_b.len() - intersection;
+        if union == 0 {
+            1.0
+        } else {
+            intersection as f32 / union as f32
+        }
+    }
+
+    fn threshold(&self) -> f32 {
+        self.jaccard_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encoded(tokens: &[&str]) -> EncodedRecord {
+        EncodedRecord {
+            tokens: tokens.iter().map(|t| t.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn heuristic_scores_overlap() {
+        let matcher = HeuristicMatcher::default();
+        let a = encoded(&["crowdstrike", "austin"]);
+        let b = encoded(&["crowdstrike", "austin"]);
+        assert_eq!(matcher.score(&a, &b), 1.0);
+        assert!(matcher.predict(&a, &b));
+        let c = encoded(&["globex", "springfield"]);
+        assert_eq!(matcher.score(&a, &c), 0.0);
+        assert!(!matcher.predict(&a, &c));
+    }
+
+    #[test]
+    fn heuristic_ignores_markers() {
+        let matcher = HeuristicMatcher::default();
+        let a = encoded(&["[col]", "name", "[val]", "acme"]);
+        let b = encoded(&["[col]", "name", "[val]", "acme"]);
+        assert_eq!(matcher.score(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn trained_matcher_is_symmetric() {
+        let matcher = TrainedMatcher {
+            model: LogisticModel::new(FeatureConfig::default().dim()),
+            features: FeatureConfig::default(),
+        };
+        let a = encoded(&["crowdstrike", "austin"]);
+        let b = encoded(&["crowdstreet", "austin"]);
+        assert!((matcher.score(&a, &b) - matcher.score(&b, &a)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn untrained_model_scores_half() {
+        let matcher = TrainedMatcher {
+            model: LogisticModel::new(FeatureConfig::default().dim()),
+            features: FeatureConfig::default(),
+        };
+        let score = matcher.score(&encoded(&["a"]), &encoded(&["b"]));
+        assert!((score - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,197 @@
+//! Linear classification head with Adagrad training.
+//!
+//! The "fine-tuned language model" of the reproduction: a logistic
+//! regression over the hashed pair features. Adagrad's per-coordinate
+//! learning rates are the standard choice for sparse high-dimensional text
+//! features (frequent boilerplate features anneal quickly, rare
+//! discriminative features keep learning).
+
+use crate::features::PairFeatures;
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable logistic function.
+#[inline]
+pub fn sigmoid(z: f32) -> f32 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Binary cross-entropy of a predicted probability against a 0/1 label.
+#[inline]
+pub fn log_loss(probability: f32, label: f32) -> f32 {
+    let p = probability.clamp(1e-7, 1.0 - 1e-7);
+    -(label * p.ln() + (1.0 - label) * (1.0 - p).ln())
+}
+
+/// Logistic-regression model over the hashed feature space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogisticModel {
+    weights: Vec<f32>,
+    bias: f32,
+}
+
+impl LogisticModel {
+    /// Zero-initialized model of dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        LogisticModel {
+            weights: vec![0.0; dim],
+            bias: 0.0,
+        }
+    }
+
+    /// Feature-space dimension.
+    pub fn dim(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Raw margin (pre-sigmoid).
+    #[inline]
+    pub fn margin(&self, features: &PairFeatures) -> f32 {
+        let mut z = self.bias;
+        for (&index, &value) in features.indices.iter().zip(&features.values) {
+            z += self.weights[index as usize] * value;
+        }
+        z
+    }
+
+    /// Match probability.
+    #[inline]
+    pub fn predict(&self, features: &PairFeatures) -> f32 {
+        sigmoid(self.margin(features))
+    }
+}
+
+/// Adagrad optimizer state for a [`LogisticModel`].
+#[derive(Debug, Clone)]
+pub struct Adagrad {
+    accumulated: Vec<f32>,
+    accumulated_bias: f32,
+    learning_rate: f32,
+    l2: f32,
+}
+
+impl Adagrad {
+    /// Create optimizer state for a model of dimension `dim`.
+    pub fn new(dim: usize, learning_rate: f32, l2: f32) -> Self {
+        Adagrad {
+            accumulated: vec![0.0; dim],
+            accumulated_bias: 0.0,
+            learning_rate,
+            l2,
+        }
+    }
+
+    /// One SGD example: compute loss gradient, update touched weights.
+    /// Returns the example's log loss (pre-update), for epoch reporting.
+    pub fn step(&mut self, model: &mut LogisticModel, features: &PairFeatures, label: f32) -> f32 {
+        let probability = model.predict(features);
+        let error = probability - label; // d(loss)/d(margin)
+        for (&index, &value) in features.indices.iter().zip(&features.values) {
+            let i = index as usize;
+            let gradient = error * value + self.l2 * model.weights[i];
+            self.accumulated[i] += gradient * gradient;
+            model.weights[i] -=
+                self.learning_rate * gradient / (self.accumulated[i].sqrt() + 1e-8);
+        }
+        let bias_gradient = error;
+        self.accumulated_bias += bias_gradient * bias_gradient;
+        model.bias -=
+            self.learning_rate * bias_gradient / (self.accumulated_bias.sqrt() + 1e-8);
+        log_loss(probability, label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn features(indices: &[u32], values: &[f32]) -> PairFeatures {
+        PairFeatures {
+            indices: indices.to_vec(),
+            values: values.to_vec(),
+        }
+    }
+
+    #[test]
+    fn sigmoid_basics() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(10.0) > 0.999);
+        assert!(sigmoid(-10.0) < 0.001);
+        // Stability at extremes.
+        assert!(sigmoid(-100.0) >= 0.0);
+        assert!(sigmoid(100.0) <= 1.0);
+    }
+
+    #[test]
+    fn log_loss_bounds() {
+        assert!(log_loss(0.5, 1.0) > 0.69 && log_loss(0.5, 1.0) < 0.70);
+        assert!(log_loss(0.99, 1.0) < 0.02);
+        assert!(log_loss(0.01, 1.0) > 4.0);
+        assert!(log_loss(1.0, 1.0).is_finite(), "clamped at the boundary");
+    }
+
+    #[test]
+    fn untrained_model_predicts_half() {
+        let model = LogisticModel::new(16);
+        let f = features(&[3, 7], &[1.0, -1.0]);
+        assert!((model.predict(&f) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn training_separates_a_simple_pattern() {
+        // Feature 0 on => positive; feature 1 on => negative.
+        let mut model = LogisticModel::new(8);
+        let mut optimizer = Adagrad::new(8, 0.5, 0.0);
+        let positive = features(&[0], &[1.0]);
+        let negative = features(&[1], &[1.0]);
+        for _ in 0..200 {
+            optimizer.step(&mut model, &positive, 1.0);
+            optimizer.step(&mut model, &negative, 0.0);
+        }
+        assert!(model.predict(&positive) > 0.9);
+        assert!(model.predict(&negative) < 0.1);
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let mut model = LogisticModel::new(4);
+        let mut optimizer = Adagrad::new(4, 0.3, 0.0);
+        let example = features(&[2], &[1.0]);
+        let first = optimizer.step(&mut model, &example, 1.0);
+        let mut last = first;
+        for _ in 0..50 {
+            last = optimizer.step(&mut model, &example, 1.0);
+        }
+        assert!(last < first);
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let train = |l2: f32| {
+            let mut model = LogisticModel::new(4);
+            let mut optimizer = Adagrad::new(4, 0.5, l2);
+            let example = features(&[0], &[1.0]);
+            for _ in 0..100 {
+                optimizer.step(&mut model, &example, 1.0);
+            }
+            model.margin(&example).abs()
+        };
+        assert!(train(0.1) < train(0.0));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut model = LogisticModel::new(4);
+        let mut optimizer = Adagrad::new(4, 0.5, 0.0);
+        optimizer.step(&mut model, &features(&[0], &[1.0]), 1.0);
+        let json = serde_json::to_string(&model).unwrap();
+        let back: LogisticModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.dim(), 4);
+        let f = features(&[0], &[1.0]);
+        assert!((back.predict(&f) - model.predict(&f)).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,124 @@
+//! Model specifications matching the paper's Section 5.2 lineup.
+//!
+//! | Spec | Encoder | Budget | Training set |
+//! |---|---|---|---|
+//! | `Ditto128` | DITTO `[col]…[val]…` | 128 | all pairs |
+//! | `Ditto256` | DITTO `[col]…[val]…` | 256 | all pairs |
+//! | `DistilBert128All` | plain values | 128 | all pairs |
+//! | `DistilBert128Low` | plain values | 128 | first 10K/5K ID-matchable |
+//!
+//! The spec bundles the encoder choice with the training configuration so
+//! the experiment harness can iterate `ModelSpec::ALL` exactly like the
+//! rows of Tables 3 and 4.
+
+use crate::encode::{DittoEncoder, EncodedRecord, PairEncoder, PlainEncoder};
+use crate::trainer::TrainConfig;
+use gralmatch_records::Record;
+
+/// One row of the paper's model lineup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelSpec {
+    /// DITTO encoding, 128-token budget.
+    Ditto128,
+    /// DITTO encoding, 256-token budget.
+    Ditto256,
+    /// Plain (DistilBERT-style) encoding, 128 tokens, trained on all pairs.
+    DistilBert128All,
+    /// Plain encoding, 128 tokens, low-label (-15K) training.
+    DistilBert128Low,
+}
+
+impl ModelSpec {
+    /// All specs, in the row order of Table 3.
+    pub const ALL: [ModelSpec; 4] = [
+        ModelSpec::Ditto128,
+        ModelSpec::Ditto256,
+        ModelSpec::DistilBert128Low,
+        ModelSpec::DistilBert128All,
+    ];
+
+    /// Display name as printed in the paper's tables.
+    pub fn display_name(&self) -> &'static str {
+        match self {
+            ModelSpec::Ditto128 => "DITTO (128)",
+            ModelSpec::Ditto256 => "DITTO (256)",
+            ModelSpec::DistilBert128All => "DistilBERT (128)-ALL",
+            ModelSpec::DistilBert128Low => "DistilBERT (128)-15K",
+        }
+    }
+
+    /// Pair token budget.
+    pub fn max_seq_len(&self) -> usize {
+        match self {
+            ModelSpec::Ditto256 => 256,
+            _ => 128,
+        }
+    }
+
+    /// Whether this spec uses the DITTO `[col]…[val]…` serialization.
+    pub fn is_ditto(&self) -> bool {
+        matches!(self, ModelSpec::Ditto128 | ModelSpec::Ditto256)
+    }
+
+    /// Encode a record slice under this spec's encoder.
+    pub fn encode_records<R: Record>(&self, records: &[R]) -> Vec<EncodedRecord> {
+        if self.is_ditto() {
+            let encoder = DittoEncoder::new(self.max_seq_len());
+            records.iter().map(|r| encoder.encode(r)).collect()
+        } else {
+            let encoder = PlainEncoder::new(self.max_seq_len());
+            records.iter().map(|r| encoder.encode(r)).collect()
+        }
+    }
+
+    /// The training configuration for this spec.
+    pub fn train_config(&self) -> TrainConfig {
+        match self {
+            ModelSpec::DistilBert128Low => TrainConfig::low_label_15k(),
+            _ => TrainConfig::default(),
+        }
+    }
+}
+
+impl std::fmt::Display for ModelSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.display_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gralmatch_records::{CompanyRecord, RecordId, SourceId};
+
+    #[test]
+    fn spec_budgets() {
+        assert_eq!(ModelSpec::Ditto128.max_seq_len(), 128);
+        assert_eq!(ModelSpec::Ditto256.max_seq_len(), 256);
+        assert_eq!(ModelSpec::DistilBert128All.max_seq_len(), 128);
+    }
+
+    #[test]
+    fn low_label_spec_has_caps() {
+        let config = ModelSpec::DistilBert128Low.train_config();
+        assert_eq!(config.max_train_positives, Some(10_000));
+        assert!(config.require_id_overlap);
+        let full = ModelSpec::DistilBert128All.train_config();
+        assert_eq!(full.max_train_positives, None);
+    }
+
+    #[test]
+    fn encoders_dispatch() {
+        let records = vec![CompanyRecord::new(RecordId(0), SourceId(0), "Acme Corp")];
+        let ditto = ModelSpec::Ditto128.encode_records(&records);
+        let plain = ModelSpec::DistilBert128All.encode_records(&records);
+        assert!(ditto[0].tokens.contains(&"[col]".to_string()));
+        assert!(!plain[0].tokens.contains(&"[col]".to_string()));
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(ModelSpec::Ditto128.to_string(), "DITTO (128)");
+        assert_eq!(ModelSpec::DistilBert128Low.to_string(), "DistilBERT (128)-15K");
+    }
+}

@@ -1,0 +1,182 @@
+//! Company records.
+//!
+//! Mirrors the attributes the paper extracts from Crunchbase (Section 3.2):
+//! `name, city, region, country_code, short_description`, plus the LEI
+//! identifier real company records carry (Section 3.1) and the list of
+//! securities the company issues (used by the companies' ID-overlap
+//! blocking, which matches companies through their securities' codes).
+
+use crate::ids::{EntityId, IdCode, RecordId, SourceId};
+use crate::record::Record;
+use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+
+/// A company record from one data source.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompanyRecord {
+    /// Dense id within the company dataset.
+    pub id: RecordId,
+    /// Originating data source.
+    pub source: SourceId,
+    /// Ground-truth entity (None on unlabeled real data).
+    pub entity: Option<EntityId>,
+    /// Company name, possibly abbreviated / paraphrased / drifted.
+    pub name: String,
+    /// Headquarters city (may be empty).
+    pub city: String,
+    /// Headquarters region (may be empty).
+    pub region: String,
+    /// ISO-ish country code (may be empty).
+    pub country_code: String,
+    /// Short textual description (empty for most records; Table 1 reports
+    /// 25–32 % coverage).
+    pub short_description: String,
+    /// Identifier codes (LEIs). Company ids can be overwritten by data-drift
+    /// events, so presence of a shared code is *not* proof of a true match.
+    pub id_codes: Vec<IdCode>,
+    /// Ids of security records issued by this company **in the same
+    /// source** (securities reference their issuer; this is the reverse
+    /// mapping kept denormalized for the blocking).
+    pub securities: Vec<RecordId>,
+}
+
+impl CompanyRecord {
+    /// Minimal constructor used by tests and examples.
+    pub fn new(id: RecordId, source: SourceId, name: impl Into<String>) -> Self {
+        CompanyRecord {
+            id,
+            source,
+            entity: None,
+            name: name.into(),
+            city: String::new(),
+            region: String::new(),
+            country_code: String::new(),
+            short_description: String::new(),
+            id_codes: Vec::new(),
+            securities: Vec::new(),
+        }
+    }
+
+    /// Builder-style setter for the ground-truth entity.
+    pub fn with_entity(mut self, entity: EntityId) -> Self {
+        self.entity = Some(entity);
+        self
+    }
+}
+
+impl Record for CompanyRecord {
+    fn id(&self) -> RecordId {
+        self.id
+    }
+
+    fn source(&self) -> SourceId {
+        self.source
+    }
+
+    fn entity(&self) -> Option<EntityId> {
+        self.entity
+    }
+
+    fn fields(&self) -> Vec<(&'static str, Cow<'_, str>)> {
+        let mut fields: Vec<(&'static str, Cow<'_, str>)> = Vec::with_capacity(6);
+        if !self.name.is_empty() {
+            fields.push(("name", Cow::Borrowed(self.name.as_str())));
+        }
+        if !self.city.is_empty() {
+            fields.push(("city", Cow::Borrowed(self.city.as_str())));
+        }
+        if !self.region.is_empty() {
+            fields.push(("region", Cow::Borrowed(self.region.as_str())));
+        }
+        if !self.country_code.is_empty() {
+            fields.push(("country_code", Cow::Borrowed(self.country_code.as_str())));
+        }
+        if !self.short_description.is_empty() {
+            fields.push((
+                "short_description",
+                Cow::Borrowed(self.short_description.as_str()),
+            ));
+        }
+        if !self.id_codes.is_empty() {
+            let joined = self
+                .id_codes
+                .iter()
+                .map(|c| c.value.as_str())
+                .collect::<Vec<_>>()
+                .join(" ");
+            fields.push(("identifiers", Cow::Owned(joined)));
+        }
+        fields
+    }
+
+    fn id_codes(&self) -> &[IdCode] {
+        &self.id_codes
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::IdKind;
+
+    fn sample() -> CompanyRecord {
+        CompanyRecord {
+            id: RecordId(12),
+            source: SourceId(1),
+            entity: Some(EntityId(4)),
+            name: "Crowdstrike Plt.".into(),
+            city: "Austin".into(),
+            region: "Texas".into(),
+            country_code: "USA".into(),
+            short_description: "Cloud security platform".into(),
+            id_codes: vec![IdCode::new(IdKind::Lei, "549300L2KBFC1E2XYW11")],
+            securities: vec![RecordId(31)],
+        }
+    }
+
+    #[test]
+    fn fields_in_stable_order() {
+        let r = sample();
+        let cols: Vec<&str> = r.fields().iter().map(|(c, _)| *c).collect();
+        assert_eq!(
+            cols,
+            vec!["name", "city", "region", "country_code", "short_description", "identifiers"]
+        );
+    }
+
+    #[test]
+    fn empty_fields_omitted() {
+        let r = CompanyRecord::new(RecordId(0), SourceId(0), "Acme");
+        let cols: Vec<&str> = r.fields().iter().map(|(c, _)| *c).collect();
+        assert_eq!(cols, vec!["name"]);
+    }
+
+    #[test]
+    fn record_trait_accessors() {
+        let r = sample();
+        assert_eq!(r.id(), RecordId(12));
+        assert_eq!(r.source(), SourceId(1));
+        assert_eq!(r.entity(), Some(EntityId(4)));
+        assert_eq!(r.name(), "Crowdstrike Plt.");
+        assert_eq!(r.id_codes().len(), 1);
+        assert!(r.full_text().contains("Austin"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = sample();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: CompanyRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn with_entity_builder() {
+        let r = CompanyRecord::new(RecordId(0), SourceId(0), "X").with_entity(EntityId(9));
+        assert_eq!(r.entity(), Some(EntityId(9)));
+    }
+}

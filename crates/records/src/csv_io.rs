@@ -1,0 +1,265 @@
+//! CSV import/export of datasets.
+//!
+//! The paper distributes its synthetic benchmark as flat files; this module
+//! provides the same interchange for ours. Formats are one row per record
+//! with a header; identifier codes are packed as `kind:value` joined by
+//! `|`, security references as `;`-joined dense ids.
+
+use crate::company::CompanyRecord;
+use crate::dataset::Dataset;
+use crate::ids::{EntityId, IdCode, IdKind, RecordId, SourceId};
+use crate::security::{SecurityRecord, SecurityType};
+use gralmatch_util::csv::{parse_csv, to_csv_string};
+use gralmatch_util::{Error, Result};
+
+fn pack_codes(codes: &[IdCode]) -> String {
+    codes
+        .iter()
+        .map(|c| format!("{}:{}", c.kind, c.value))
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+fn unpack_codes(packed: &str, line: usize) -> Result<Vec<IdCode>> {
+    if packed.is_empty() {
+        return Ok(Vec::new());
+    }
+    packed
+        .split('|')
+        .map(|part| {
+            let (kind, value) = part.split_once(':').ok_or_else(|| Error::Csv {
+                line,
+                message: format!("malformed id code `{part}`"),
+            })?;
+            let kind = match kind {
+                "isin" => IdKind::Isin,
+                "cusip" => IdKind::Cusip,
+                "valor" => IdKind::Valor,
+                "sedol" => IdKind::Sedol,
+                "lei" => IdKind::Lei,
+                other => {
+                    return Err(Error::Csv {
+                        line,
+                        message: format!("unknown id kind `{other}`"),
+                    })
+                }
+            };
+            Ok(IdCode::new(kind, value))
+        })
+        .collect()
+}
+
+fn parse_u32(field: &str, what: &str, line: usize) -> Result<u32> {
+    field.parse().map_err(|_| Error::Csv {
+        line,
+        message: format!("invalid {what} `{field}`"),
+    })
+}
+
+/// Serialize a company dataset to CSV (with header).
+pub fn companies_to_csv(dataset: &Dataset<CompanyRecord>) -> String {
+    let mut rows = vec![vec![
+        "id".into(),
+        "source".into(),
+        "entity".into(),
+        "name".into(),
+        "city".into(),
+        "region".into(),
+        "country_code".into(),
+        "short_description".into(),
+        "id_codes".into(),
+        "securities".into(),
+    ]];
+    for record in dataset.records() {
+        rows.push(vec![
+            record.id.0.to_string(),
+            record.source.0.to_string(),
+            record.entity.map_or(String::new(), |e| e.0.to_string()),
+            record.name.clone(),
+            record.city.clone(),
+            record.region.clone(),
+            record.country_code.clone(),
+            record.short_description.clone(),
+            pack_codes(&record.id_codes),
+            record
+                .securities
+                .iter()
+                .map(|s| s.0.to_string())
+                .collect::<Vec<_>>()
+                .join(";"),
+        ]);
+    }
+    to_csv_string(&rows)
+}
+
+/// Parse a company dataset from CSV (expects the header of
+/// [`companies_to_csv`]).
+pub fn companies_from_csv(text: &str) -> Result<Dataset<CompanyRecord>> {
+    let rows = parse_csv(text)?;
+    let mut records = Vec::new();
+    for (i, row) in rows.iter().enumerate().skip(1) {
+        let line = i + 1;
+        if row.len() != 10 {
+            return Err(Error::Csv {
+                line,
+                message: format!("expected 10 fields, got {}", row.len()),
+            });
+        }
+        let securities = if row[9].is_empty() {
+            Vec::new()
+        } else {
+            row[9]
+                .split(';')
+                .map(|s| parse_u32(s, "security id", line).map(RecordId))
+                .collect::<Result<Vec<_>>>()?
+        };
+        records.push(CompanyRecord {
+            id: RecordId(parse_u32(&row[0], "record id", line)?),
+            source: SourceId(parse_u32(&row[1], "source id", line)? as u16),
+            entity: if row[2].is_empty() {
+                None
+            } else {
+                Some(EntityId(parse_u32(&row[2], "entity id", line)?))
+            },
+            name: row[3].clone(),
+            city: row[4].clone(),
+            region: row[5].clone(),
+            country_code: row[6].clone(),
+            short_description: row[7].clone(),
+            id_codes: unpack_codes(&row[8], line)?,
+            securities,
+        });
+    }
+    Ok(Dataset::from_records(records))
+}
+
+/// Serialize a security dataset to CSV (with header).
+pub fn securities_to_csv(dataset: &Dataset<SecurityRecord>) -> String {
+    let mut rows = vec![vec![
+        "id".into(),
+        "source".into(),
+        "entity".into(),
+        "name".into(),
+        "type".into(),
+        "listings".into(),
+        "id_codes".into(),
+        "issuer".into(),
+    ]];
+    for record in dataset.records() {
+        rows.push(vec![
+            record.id.0.to_string(),
+            record.source.0.to_string(),
+            record.entity.map_or(String::new(), |e| e.0.to_string()),
+            record.name.clone(),
+            record.security_type.as_str().to_string(),
+            record.listings.clone(),
+            pack_codes(&record.id_codes),
+            record.issuer.0.to_string(),
+        ]);
+    }
+    to_csv_string(&rows)
+}
+
+/// Parse a security dataset from CSV (expects the header of
+/// [`securities_to_csv`]).
+pub fn securities_from_csv(text: &str) -> Result<Dataset<SecurityRecord>> {
+    let rows = parse_csv(text)?;
+    let mut records = Vec::new();
+    for (i, row) in rows.iter().enumerate().skip(1) {
+        let line = i + 1;
+        if row.len() != 8 {
+            return Err(Error::Csv {
+                line,
+                message: format!("expected 8 fields, got {}", row.len()),
+            });
+        }
+        let security_type = match row[4].as_str() {
+            "equity" => SecurityType::Equity,
+            "right" => SecurityType::Right,
+            "bond" => SecurityType::Bond,
+            "unit" => SecurityType::Unit,
+            "adr" => SecurityType::Adr,
+            other => {
+                return Err(Error::Csv {
+                    line,
+                    message: format!("unknown security type `{other}`"),
+                })
+            }
+        };
+        records.push(SecurityRecord {
+            id: RecordId(parse_u32(&row[0], "record id", line)?),
+            source: SourceId(parse_u32(&row[1], "source id", line)? as u16),
+            entity: if row[2].is_empty() {
+                None
+            } else {
+                Some(EntityId(parse_u32(&row[2], "entity id", line)?))
+            },
+            name: row[3].clone(),
+            security_type,
+            listings: row[5].clone(),
+            id_codes: unpack_codes(&row[6], line)?,
+            issuer: RecordId(parse_u32(&row[7], "issuer id", line)?),
+        });
+    }
+    Ok(Dataset::from_records(records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn company_dataset() -> Dataset<CompanyRecord> {
+        let mut c0 = CompanyRecord::new(RecordId(0), SourceId(1), "Crowdstrike, Inc.")
+            .with_entity(EntityId(7));
+        c0.city = "Austin".into();
+        c0.id_codes.push(IdCode::new(IdKind::Lei, "549300ABC"));
+        c0.securities = vec![RecordId(0), RecordId(1)];
+        let c1 = CompanyRecord::new(RecordId(1), SourceId(2), "Unlabeled \"quoted\"");
+        Dataset::from_records(vec![c0, c1])
+    }
+
+    #[test]
+    fn companies_round_trip() {
+        let dataset = company_dataset();
+        let csv = companies_to_csv(&dataset);
+        let back = companies_from_csv(&csv).unwrap();
+        assert_eq!(back.records(), dataset.records());
+    }
+
+    #[test]
+    fn securities_round_trip() {
+        let sec = SecurityRecord::new(RecordId(0), SourceId(1), "CRWD ORD", RecordId(0))
+            .with_entity(EntityId(3))
+            .with_code(IdCode::new(IdKind::Isin, "US123"))
+            .with_code(IdCode::new(IdKind::Sedol, "B1YW440"));
+        let dataset = Dataset::from_records(vec![sec]);
+        let csv = securities_to_csv(&dataset);
+        let back = securities_from_csv(&csv).unwrap();
+        assert_eq!(back.records(), dataset.records());
+    }
+
+    #[test]
+    fn commas_and_quotes_survive() {
+        let csv = companies_to_csv(&company_dataset());
+        assert!(csv.contains("\"Crowdstrike, Inc.\""));
+        let back = companies_from_csv(&csv).unwrap();
+        assert_eq!(back.get(RecordId(0)).name, "Crowdstrike, Inc.");
+        assert_eq!(back.get(RecordId(1)).name, "Unlabeled \"quoted\"");
+    }
+
+    #[test]
+    fn malformed_rows_rejected() {
+        assert!(companies_from_csv("id,source\n0,1\n").is_err());
+        let bad_code = "id,source,entity,name,city,region,country_code,short_description,id_codes,securities\n0,0,,X,,,,,badcode,\n";
+        assert!(companies_from_csv(bad_code).is_err());
+        let bad_type = "id,source,entity,name,type,listings,id_codes,issuer\n0,0,,X,warrant,,,0\n";
+        assert!(securities_from_csv(bad_type).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_round_trip() {
+        let dataset: Dataset<CompanyRecord> = Dataset::new();
+        let back = companies_from_csv(&companies_to_csv(&dataset)).unwrap();
+        assert!(back.is_empty());
+    }
+}

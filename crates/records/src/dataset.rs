@@ -1,0 +1,159 @@
+//! Dataset container.
+//!
+//! A dataset is a vector of records with the invariant that `records[i].id()
+//! == RecordId(i)` — record ids double as dense indexes, which is what lets
+//! blocking and the prediction graph use flat arrays.
+
+use crate::ground_truth::GroundTruth;
+use crate::ids::{RecordId, SourceId};
+use crate::record::Record;
+use gralmatch_util::FxHashMap;
+
+/// A collection of records with dense ids.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset<R> {
+    records: Vec<R>,
+}
+
+impl<R: Record> Dataset<R> {
+    /// Empty dataset.
+    pub fn new() -> Self {
+        Dataset { records: Vec::new() }
+    }
+
+    /// Build from records, validating the dense-id invariant.
+    ///
+    /// # Panics
+    /// If any record's id does not equal its index.
+    pub fn from_records(records: Vec<R>) -> Self {
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(
+                r.id(),
+                RecordId(i as u32),
+                "record ids must be dense and ordered"
+            );
+        }
+        Dataset { records }
+    }
+
+    /// Append a record; its id must be the next dense id.
+    pub fn push(&mut self, record: R) {
+        assert_eq!(record.id(), RecordId(self.records.len() as u32));
+        self.records.push(record);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Get a record by id.
+    #[inline]
+    pub fn get(&self, id: RecordId) -> &R {
+        &self.records[id.0 as usize]
+    }
+
+    /// Mutable access (used by dataset generators applying artifacts).
+    #[inline]
+    pub fn get_mut(&mut self, id: RecordId) -> &mut R {
+        &mut self.records[id.0 as usize]
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[R] {
+        &self.records
+    }
+
+    /// Mutable view of all records.
+    pub fn records_mut(&mut self) -> &mut [R] {
+        &mut self.records
+    }
+
+    /// Iterate record ids.
+    pub fn ids(&self) -> impl Iterator<Item = RecordId> + '_ {
+        (0..self.records.len() as u32).map(RecordId)
+    }
+
+    /// Ground truth derived from the records' entity labels.
+    pub fn ground_truth(&self) -> GroundTruth {
+        GroundTruth::from_records(&self.records)
+    }
+
+    /// Records grouped by data source.
+    pub fn by_source(&self) -> FxHashMap<SourceId, Vec<RecordId>> {
+        let mut map: FxHashMap<SourceId, Vec<RecordId>> = FxHashMap::default();
+        for r in &self.records {
+            map.entry(r.source()).or_default().push(r.id());
+        }
+        map
+    }
+
+    /// Number of distinct sources present.
+    pub fn num_sources(&self) -> usize {
+        self.by_source().len()
+    }
+}
+
+impl<R> IntoIterator for Dataset<R> {
+    type Item = R;
+    type IntoIter = std::vec::IntoIter<R>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::company::CompanyRecord;
+    use crate::ids::EntityId;
+
+    fn company(id: u32, source: u16) -> CompanyRecord {
+        CompanyRecord::new(RecordId(id), SourceId(source), format!("c{id}"))
+    }
+
+    #[test]
+    fn dense_ids_enforced() {
+        let ds = Dataset::from_records(vec![company(0, 0), company(1, 1)]);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.get(RecordId(1)).name, "c1");
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn non_dense_ids_rejected() {
+        let _ = Dataset::from_records(vec![company(5, 0)]);
+    }
+
+    #[test]
+    fn push_checks_next_id() {
+        let mut ds = Dataset::new();
+        ds.push(company(0, 0));
+        ds.push(company(1, 0));
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn by_source_partition() {
+        let ds = Dataset::from_records(vec![company(0, 0), company(1, 1), company(2, 0)]);
+        let by = ds.by_source();
+        assert_eq!(by[&SourceId(0)], vec![RecordId(0), RecordId(2)]);
+        assert_eq!(by[&SourceId(1)], vec![RecordId(1)]);
+        assert_eq!(ds.num_sources(), 2);
+    }
+
+    #[test]
+    fn ground_truth_from_labels() {
+        let ds = Dataset::from_records(vec![
+            company(0, 0).with_entity(EntityId(1)),
+            company(1, 1).with_entity(EntityId(1)),
+        ]);
+        assert_eq!(ds.ground_truth().num_true_pairs(), 1);
+    }
+}

@@ -1,0 +1,211 @@
+//! Ground-truth entity assignment.
+//!
+//! Wraps the record → entity labeling and answers the questions every
+//! evaluation stage asks: *is this pair a true match?*, *how many true
+//! matches exist in this record subset?*, *what are the true groups?*
+//!
+//! Following the paper's convention, records of the same entity form a
+//! complete graph of matches, so an entity group of size k contributes
+//! k·(k−1)/2 true pairs (Table 1's "# of Matches" counts these).
+
+use crate::ids::{EntityId, RecordId};
+use crate::pair::RecordPair;
+use crate::record::Record;
+use gralmatch_util::{FxHashMap, FxHashSet};
+
+/// Immutable ground-truth lookup for one dataset.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    entity_of: FxHashMap<RecordId, EntityId>,
+    groups: FxHashMap<EntityId, Vec<RecordId>>,
+}
+
+impl GroundTruth {
+    /// Build from any labeled record collection. Unlabeled records are
+    /// excluded (they can never be counted as true matches).
+    pub fn from_records<R: Record>(records: &[R]) -> Self {
+        let mut entity_of = FxHashMap::default();
+        let mut groups: FxHashMap<EntityId, Vec<RecordId>> = FxHashMap::default();
+        for r in records {
+            if let Some(e) = r.entity() {
+                entity_of.insert(r.id(), e);
+                groups.entry(e).or_default().push(r.id());
+            }
+        }
+        for members in groups.values_mut() {
+            members.sort_unstable();
+        }
+        GroundTruth { entity_of, groups }
+    }
+
+    /// Build directly from `(record, entity)` assignments.
+    pub fn from_assignments(assignments: impl IntoIterator<Item = (RecordId, EntityId)>) -> Self {
+        let mut entity_of = FxHashMap::default();
+        let mut groups: FxHashMap<EntityId, Vec<RecordId>> = FxHashMap::default();
+        for (r, e) in assignments {
+            entity_of.insert(r, e);
+            groups.entry(e).or_default().push(r);
+        }
+        for members in groups.values_mut() {
+            members.sort_unstable();
+        }
+        GroundTruth { entity_of, groups }
+    }
+
+    /// The entity of a record, if labeled.
+    pub fn entity_of(&self, r: RecordId) -> Option<EntityId> {
+        self.entity_of.get(&r).copied()
+    }
+
+    /// Whether two records are a true match (both labeled, same entity).
+    pub fn is_match(&self, a: RecordId, b: RecordId) -> bool {
+        match (self.entity_of.get(&a), self.entity_of.get(&b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Whether a pair is a true match.
+    pub fn is_match_pair(&self, p: RecordPair) -> bool {
+        self.is_match(p.a, p.b)
+    }
+
+    /// Number of labeled records.
+    pub fn num_records(&self) -> usize {
+        self.entity_of.len()
+    }
+
+    /// Number of distinct entities.
+    pub fn num_entities(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total true-match pairs over all groups: Σ k·(k−1)/2.
+    pub fn num_true_pairs(&self) -> u64 {
+        self.groups
+            .values()
+            .map(|g| (g.len() as u64) * (g.len() as u64 - 1) / 2)
+            .sum()
+    }
+
+    /// Average number of matches per entity (Table 1 row).
+    pub fn avg_matches_per_entity(&self) -> f64 {
+        if self.groups.is_empty() {
+            return 0.0;
+        }
+        self.num_true_pairs() as f64 / self.groups.len() as f64
+    }
+
+    /// Iterate groups as `(entity, members)`, members sorted.
+    pub fn groups(&self) -> impl Iterator<Item = (EntityId, &[RecordId])> {
+        self.groups.iter().map(|(&e, m)| (e, m.as_slice()))
+    }
+
+    /// The members of one entity's group.
+    pub fn group_members(&self, e: EntityId) -> Option<&[RecordId]> {
+        self.groups.get(&e).map(|v| v.as_slice())
+    }
+
+    /// All entity ids, sorted (deterministic iteration for splits).
+    pub fn entity_ids_sorted(&self) -> Vec<EntityId> {
+        let mut ids: Vec<EntityId> = self.groups.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Restrict the ground truth to a subset of records (evaluation on a
+    /// split only counts true pairs inside that split).
+    pub fn restrict_to(&self, keep: &FxHashSet<RecordId>) -> GroundTruth {
+        GroundTruth::from_assignments(
+            self.entity_of
+                .iter()
+                .filter(|(r, _)| keep.contains(r))
+                .map(|(&r, &e)| (r, e)),
+        )
+    }
+
+    /// Materialize all true pairs (use only on small splits/tests; Table 1
+    /// scale uses `num_true_pairs`).
+    pub fn all_true_pairs(&self) -> Vec<RecordPair> {
+        let mut pairs = Vec::with_capacity(self.num_true_pairs() as usize);
+        let mut entities: Vec<_> = self.groups.iter().collect();
+        entities.sort_by_key(|(e, _)| **e);
+        for (_, members) in entities {
+            for i in 0..members.len() {
+                for j in (i + 1)..members.len() {
+                    pairs.push(RecordPair::new(members[i], members[j]));
+                }
+            }
+        }
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::company::CompanyRecord;
+    use crate::ids::SourceId;
+
+    fn labeled(id: u32, entity: u32) -> CompanyRecord {
+        CompanyRecord::new(RecordId(id), SourceId(0), format!("c{id}"))
+            .with_entity(EntityId(entity))
+    }
+
+    #[test]
+    fn groups_and_matches() {
+        let records = vec![labeled(0, 1), labeled(1, 1), labeled(2, 1), labeled(3, 2)];
+        let gt = GroundTruth::from_records(&records);
+        assert_eq!(gt.num_entities(), 2);
+        assert_eq!(gt.num_true_pairs(), 3);
+        assert!(gt.is_match(RecordId(0), RecordId(2)));
+        assert!(!gt.is_match(RecordId(0), RecordId(3)));
+        assert_eq!(gt.group_members(EntityId(1)).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn unlabeled_records_excluded() {
+        let records = vec![
+            labeled(0, 1),
+            CompanyRecord::new(RecordId(1), SourceId(0), "unlabeled"),
+        ];
+        let gt = GroundTruth::from_records(&records);
+        assert_eq!(gt.num_records(), 1);
+        assert!(!gt.is_match(RecordId(0), RecordId(1)));
+    }
+
+    #[test]
+    fn avg_matches_per_entity() {
+        // One group of 3 (3 pairs) + one group of 2 (1 pair): avg 2.
+        let records = vec![labeled(0, 1), labeled(1, 1), labeled(2, 1), labeled(3, 2), labeled(4, 2)];
+        let gt = GroundTruth::from_records(&records);
+        assert!((gt.avg_matches_per_entity() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_true_pairs_enumerated() {
+        let records = vec![labeled(0, 1), labeled(1, 1), labeled(2, 2), labeled(3, 2)];
+        let gt = GroundTruth::from_records(&records);
+        let pairs = gt.all_true_pairs();
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs.contains(&RecordPair::new(RecordId(0), RecordId(1))));
+        assert!(pairs.contains(&RecordPair::new(RecordId(2), RecordId(3))));
+    }
+
+    #[test]
+    fn restriction_drops_cross_pairs() {
+        let records = vec![labeled(0, 1), labeled(1, 1), labeled(2, 1)];
+        let gt = GroundTruth::from_records(&records);
+        let keep: FxHashSet<RecordId> = [RecordId(0), RecordId(1)].into_iter().collect();
+        let restricted = gt.restrict_to(&keep);
+        assert_eq!(restricted.num_true_pairs(), 1);
+        assert_eq!(restricted.num_records(), 2);
+    }
+
+    #[test]
+    fn empty_ground_truth() {
+        let gt = GroundTruth::default();
+        assert_eq!(gt.num_true_pairs(), 0);
+        assert_eq!(gt.avg_matches_per_entity(), 0.0);
+    }
+}

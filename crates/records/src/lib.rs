@@ -1,0 +1,35 @@
+//! Record model for the GraLMatch entity group matching problem.
+//!
+//! The paper matches two kinds of financial records across multiple data
+//! sources (Section 3): **companies** (name, city, region, country code,
+//! short description) and **securities** (name, type, identifier codes such
+//! as ISIN / CUSIP / VALOR / SEDOL, issued by exactly one company). A third
+//! record kind, **product offers**, models the WDC Products benchmark used
+//! in Section 5.1.4.
+//!
+//! Everything downstream (blocking, the pairwise matcher, the graph cleanup)
+//! is generic over the [`Record`] trait, which exposes a record as a list of
+//! `(column, value)` fields plus its identifier codes — mirroring how the
+//! paper's language models serialize records as text while blockings index
+//! their identifiers.
+
+pub mod company;
+pub mod csv_io;
+pub mod dataset;
+pub mod ground_truth;
+pub mod ids;
+pub mod pair;
+pub mod product;
+pub mod record;
+pub mod security;
+pub mod split;
+
+pub use company::CompanyRecord;
+pub use dataset::Dataset;
+pub use ground_truth::GroundTruth;
+pub use ids::{EntityId, IdCode, IdKind, RecordId, SourceId};
+pub use pair::RecordPair;
+pub use product::ProductRecord;
+pub use record::Record;
+pub use security::{SecurityRecord, SecurityType};
+pub use split::{DatasetSplit, SplitRatios};

@@ -1,0 +1,79 @@
+//! Canonical unordered record pairs.
+
+use crate::ids::RecordId;
+use serde::{Deserialize, Serialize};
+
+/// An unordered pair of records, stored with `a < b`.
+///
+/// Matching is symmetric, so every map/set keyed by pairs uses this
+/// canonical form to avoid double-counting `(x, y)` and `(y, x)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RecordPair {
+    /// Smaller record id.
+    pub a: RecordId,
+    /// Larger record id.
+    pub b: RecordId,
+}
+
+impl RecordPair {
+    /// Canonicalize. Panics on a self-pair in debug builds.
+    #[inline]
+    pub fn new(x: RecordId, y: RecordId) -> Self {
+        debug_assert_ne!(x, y, "a record cannot pair with itself");
+        if x < y {
+            RecordPair { a: x, b: y }
+        } else {
+            RecordPair { a: y, b: x }
+        }
+    }
+
+    /// Both endpoints as a tuple.
+    #[inline]
+    pub fn endpoints(&self) -> (RecordId, RecordId) {
+        (self.a, self.b)
+    }
+
+    /// The endpoint that is not `r` (debug-asserts membership).
+    #[inline]
+    pub fn other(&self, r: RecordId) -> RecordId {
+        debug_assert!(r == self.a || r == self.b);
+        if r == self.a {
+            self.b
+        } else {
+            self.a
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_order() {
+        let p = RecordPair::new(RecordId(9), RecordId(3));
+        assert_eq!(p.endpoints(), (RecordId(3), RecordId(9)));
+    }
+
+    #[test]
+    fn symmetric_equality() {
+        assert_eq!(
+            RecordPair::new(RecordId(1), RecordId(2)),
+            RecordPair::new(RecordId(2), RecordId(1))
+        );
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let p = RecordPair::new(RecordId(1), RecordId(2));
+        assert_eq!(p.other(RecordId(1)), RecordId(2));
+        assert_eq!(p.other(RecordId(2)), RecordId(1));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic]
+    fn self_pair_panics() {
+        let _ = RecordPair::new(RecordId(5), RecordId(5));
+    }
+}

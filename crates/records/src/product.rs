@@ -1,0 +1,123 @@
+//! Product offer records (WDC Products stand-in, paper Section 5.1.4).
+//!
+//! WDC Products contains web-scraped product offers with heterogeneous group
+//! sizes and no identifier codes — matching is purely textual. The paper uses
+//! it to show where Algorithm 1's fixed μ assumption breaks down.
+
+use crate::ids::{EntityId, IdCode, RecordId, SourceId};
+use crate::record::Record;
+use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+
+/// A product offer scraped from one web source.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProductRecord {
+    /// Dense id within the product dataset.
+    pub id: RecordId,
+    /// Originating web source.
+    pub source: SourceId,
+    /// Ground-truth product cluster.
+    pub entity: Option<EntityId>,
+    /// Offer title (brand + model + noise).
+    pub title: String,
+    /// Brand, possibly missing.
+    pub brand: String,
+    /// Free-text description, possibly missing.
+    pub description: String,
+    /// Price string as scraped (e.g. "129.99 USD"), possibly missing.
+    pub price: String,
+    /// Category label, possibly missing.
+    pub category: String,
+}
+
+impl ProductRecord {
+    /// Minimal constructor.
+    pub fn new(id: RecordId, source: SourceId, title: impl Into<String>) -> Self {
+        ProductRecord {
+            id,
+            source,
+            entity: None,
+            title: title.into(),
+            brand: String::new(),
+            description: String::new(),
+            price: String::new(),
+            category: String::new(),
+        }
+    }
+
+    /// Builder-style setter for the ground-truth entity.
+    pub fn with_entity(mut self, entity: EntityId) -> Self {
+        self.entity = Some(entity);
+        self
+    }
+}
+
+impl Record for ProductRecord {
+    fn id(&self) -> RecordId {
+        self.id
+    }
+
+    fn source(&self) -> SourceId {
+        self.source
+    }
+
+    fn entity(&self) -> Option<EntityId> {
+        self.entity
+    }
+
+    fn fields(&self) -> Vec<(&'static str, Cow<'_, str>)> {
+        let mut fields: Vec<(&'static str, Cow<'_, str>)> = Vec::with_capacity(5);
+        if !self.title.is_empty() {
+            fields.push(("title", Cow::Borrowed(self.title.as_str())));
+        }
+        if !self.brand.is_empty() {
+            fields.push(("brand", Cow::Borrowed(self.brand.as_str())));
+        }
+        if !self.description.is_empty() {
+            fields.push(("description", Cow::Borrowed(self.description.as_str())));
+        }
+        if !self.price.is_empty() {
+            fields.push(("price", Cow::Borrowed(self.price.as_str())));
+        }
+        if !self.category.is_empty() {
+            fields.push(("category", Cow::Borrowed(self.category.as_str())));
+        }
+        fields
+    }
+
+    fn id_codes(&self) -> &[IdCode] {
+        &[]
+    }
+
+    fn name(&self) -> &str {
+        &self.title
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn products_have_no_id_codes() {
+        let p = ProductRecord::new(RecordId(0), SourceId(0), "Acme Blender 3000");
+        assert!(p.id_codes().is_empty());
+        assert_eq!(p.name(), "Acme Blender 3000");
+    }
+
+    #[test]
+    fn fields_skip_missing() {
+        let mut p = ProductRecord::new(RecordId(1), SourceId(2), "Cam X9");
+        p.brand = "Cam".into();
+        let cols: Vec<&str> = p.fields().iter().map(|(c, _)| *c).collect();
+        assert_eq!(cols, vec!["title", "brand"]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = ProductRecord::new(RecordId(3), SourceId(1), "Tablet Pro").with_entity(EntityId(7));
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ProductRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

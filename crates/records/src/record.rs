@@ -1,0 +1,92 @@
+//! The [`Record`] abstraction.
+//!
+//! Blocking, pair encoding, and evaluation are all generic over this trait:
+//! a record is (a) addressable by id and data source, (b) serializable as a
+//! list of `(column, value)` string fields in a stable order, and (c) may
+//! carry identifier codes used by the ID-overlap blocking.
+
+use crate::ids::{EntityId, IdCode, RecordId, SourceId};
+use std::borrow::Cow;
+
+/// A matchable record.
+pub trait Record {
+    /// Dense id within its dataset.
+    fn id(&self) -> RecordId;
+
+    /// Which data source (vendor) the record came from.
+    fn source(&self) -> SourceId;
+
+    /// Ground-truth entity, when known (synthetic data and labeled subsets).
+    fn entity(&self) -> Option<EntityId>;
+
+    /// The record's fields in a stable column order. Empty/missing fields
+    /// are omitted; downstream encoders rely on the ordering to reproduce
+    /// truncation effects deterministically.
+    fn fields(&self) -> Vec<(&'static str, Cow<'_, str>)>;
+
+    /// Identifier codes carried by the record (empty for records matched
+    /// purely by text, e.g. WDC product offers).
+    fn id_codes(&self) -> &[IdCode];
+
+    /// The primary human-readable name (used by token-overlap blocking and
+    /// the heuristic matcher).
+    fn name(&self) -> &str;
+
+    /// Concatenate all textual field values into one string (diagnostics,
+    /// corpus statistics).
+    fn full_text(&self) -> String {
+        let mut out = String::new();
+        for (_, v) in self.fields() {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(&v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::IdKind;
+
+    struct Dummy {
+        id: RecordId,
+        codes: Vec<IdCode>,
+    }
+
+    impl Record for Dummy {
+        fn id(&self) -> RecordId {
+            self.id
+        }
+        fn source(&self) -> SourceId {
+            SourceId(0)
+        }
+        fn entity(&self) -> Option<EntityId> {
+            None
+        }
+        fn fields(&self) -> Vec<(&'static str, Cow<'_, str>)> {
+            vec![
+                ("name", Cow::Borrowed("Acme")),
+                ("city", Cow::Borrowed("Zurich")),
+            ]
+        }
+        fn id_codes(&self) -> &[IdCode] {
+            &self.codes
+        }
+        fn name(&self) -> &str {
+            "Acme"
+        }
+    }
+
+    #[test]
+    fn full_text_joins_fields() {
+        let d = Dummy {
+            id: RecordId(0),
+            codes: vec![IdCode::new(IdKind::Lei, "X")],
+        };
+        assert_eq!(d.full_text(), "Acme Zurich");
+        assert_eq!(d.id_codes().len(), 1);
+    }
+}

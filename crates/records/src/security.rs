@@ -1,0 +1,213 @@
+//! Security records.
+//!
+//! A security is issued by exactly one company, carries one or more
+//! identifier codes (ISIN, CUSIP, VALOR, SEDOL — paper footnote 4), and may
+//! drift: identifiers can be overwritten by mergers/acquisitions or
+//! multiplied by the `MultipleIDs` artifact, which is why identifier
+//! equality alone cannot decide matches (Section 3.3).
+
+use crate::ids::{EntityId, IdCode, RecordId, SourceId};
+use crate::record::Record;
+use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+
+/// Type of a traded security. `MultipleSecurities` adds non-equity types to
+/// an issuer (rights, bonds, units).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SecurityType {
+    /// Common equity (the default for the primary listing).
+    Equity,
+    /// Subscription right.
+    Right,
+    /// Corporate bond.
+    Bond,
+    /// Unit (bundle of securities).
+    Unit,
+    /// American depositary receipt.
+    Adr,
+}
+
+impl SecurityType {
+    /// All variants, for generators.
+    pub const ALL: [SecurityType; 5] = [
+        SecurityType::Equity,
+        SecurityType::Right,
+        SecurityType::Bond,
+        SecurityType::Unit,
+        SecurityType::Adr,
+    ];
+
+    /// Lowercase label used in record serialization.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SecurityType::Equity => "equity",
+            SecurityType::Right => "right",
+            SecurityType::Bond => "bond",
+            SecurityType::Unit => "unit",
+            SecurityType::Adr => "adr",
+        }
+    }
+}
+
+/// A security record from one data source.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SecurityRecord {
+    /// Dense id within the security dataset.
+    pub id: RecordId,
+    /// Originating data source.
+    pub source: SourceId,
+    /// Ground-truth entity of the *security* (one entity per real security;
+    /// a company entity can own several security entities).
+    pub entity: Option<EntityId>,
+    /// Security name, often a generic derivation of the issuer name
+    /// ("Crowdstrike Registered Shs", "CROWD ORD").
+    pub name: String,
+    /// Security type.
+    pub security_type: SecurityType,
+    /// Exchange listings blob as vendor feeds export it ("XNYS USD lot 100
+    /// | XLON GBP …"); contributes the bulk of a security record's token
+    /// mass, which is what makes token budgets bind (paper Section 6.1's
+    /// "long sequences of uninformative tokens").
+    pub listings: String,
+    /// Identifier codes. May be empty (missing data) or inconsistent across
+    /// sources (data drift).
+    pub id_codes: Vec<IdCode>,
+    /// The issuing company record **in the same source**.
+    pub issuer: RecordId,
+}
+
+impl SecurityRecord {
+    /// Minimal constructor used by tests and examples.
+    pub fn new(
+        id: RecordId,
+        source: SourceId,
+        name: impl Into<String>,
+        issuer: RecordId,
+    ) -> Self {
+        SecurityRecord {
+            id,
+            source,
+            entity: None,
+            name: name.into(),
+            security_type: SecurityType::Equity,
+            listings: String::new(),
+            id_codes: Vec::new(),
+            issuer,
+        }
+    }
+
+    /// Builder-style setter for the ground-truth entity.
+    pub fn with_entity(mut self, entity: EntityId) -> Self {
+        self.entity = Some(entity);
+        self
+    }
+
+    /// Builder-style setter appending an identifier code.
+    pub fn with_code(mut self, code: IdCode) -> Self {
+        self.id_codes.push(code);
+        self
+    }
+}
+
+impl Record for SecurityRecord {
+    fn id(&self) -> RecordId {
+        self.id
+    }
+
+    fn source(&self) -> SourceId {
+        self.source
+    }
+
+    fn entity(&self) -> Option<EntityId> {
+        self.entity
+    }
+
+    fn fields(&self) -> Vec<(&'static str, Cow<'_, str>)> {
+        let mut fields: Vec<(&'static str, Cow<'_, str>)> = Vec::with_capacity(5);
+        if !self.name.is_empty() {
+            fields.push(("name", Cow::Borrowed(self.name.as_str())));
+        }
+        fields.push(("type", Cow::Borrowed(self.security_type.as_str())));
+        if !self.listings.is_empty() {
+            fields.push(("listings", Cow::Borrowed(self.listings.as_str())));
+        }
+        if !self.id_codes.is_empty() {
+            // Identifier values listed kind-tagged, the way vendor feeds
+            // export them; this is what makes DITTO-style encodings long.
+            let joined = self
+                .id_codes
+                .iter()
+                .map(|c| format!("{} {}", c.kind, c.value))
+                .collect::<Vec<_>>()
+                .join(" ");
+            fields.push(("identifiers", Cow::Owned(joined)));
+        }
+        fields
+    }
+
+    fn id_codes(&self) -> &[IdCode] {
+        &self.id_codes
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::IdKind;
+
+    fn sample() -> SecurityRecord {
+        SecurityRecord::new(RecordId(31), SourceId(2), "Crowdstrike Registered Shs", RecordId(12))
+            .with_entity(EntityId(40))
+            .with_code(IdCode::new(IdKind::Isin, "US31807756E"))
+            .with_code(IdCode::new(IdKind::Cusip, "31807756E"))
+    }
+
+    #[test]
+    fn fields_include_type_and_ids() {
+        let r = sample();
+        let fields = r.fields();
+        assert_eq!(fields[0].0, "name");
+        assert_eq!(fields[1], ("type", Cow::Borrowed("equity")));
+        // No listings on this sample, so identifiers follow type directly.
+        assert!(fields[2].1.contains("isin US31807756E"));
+    }
+
+    #[test]
+    fn listings_serialized_before_identifiers() {
+        let mut r = sample();
+        r.listings = "XNYS USD lot 100".into();
+        let cols: Vec<&str> = r.fields().iter().map(|(c, _)| *c).collect();
+        assert_eq!(cols, vec!["name", "type", "listings", "identifiers"]);
+    }
+
+    #[test]
+    fn type_always_serialized_even_without_ids() {
+        let r = SecurityRecord::new(RecordId(0), SourceId(0), "X ORD", RecordId(1));
+        let cols: Vec<&str> = r.fields().iter().map(|(c, _)| *c).collect();
+        assert_eq!(cols, vec!["name", "type"]);
+    }
+
+    #[test]
+    fn all_security_types_have_labels() {
+        for t in SecurityType::ALL {
+            assert!(!t.as_str().is_empty());
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = sample();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SecurityRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn issuer_reference_kept() {
+        assert_eq!(sample().issuer, RecordId(12));
+    }
+}

@@ -1,0 +1,202 @@
+//! Train / validation / test splitting along record groups.
+//!
+//! The paper (Section 5.1.3) splits **by ground-truth record group**, not by
+//! record: all records of an entity land in exactly one split, so models
+//! cannot memorize pairs across splits. Percentages refer to groups
+//! (60/20/20), which approximately carries over to records because group
+//! sizes vary only mildly.
+
+use crate::ground_truth::GroundTruth;
+use crate::ids::{EntityId, RecordId};
+use gralmatch_util::{FxHashSet, SplitRng};
+
+/// Fractions of ground-truth groups per split. Must sum to 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitRatios {
+    /// Fraction of groups in the training split.
+    pub train: f64,
+    /// Fraction of groups in the validation split.
+    pub val: f64,
+    /// Fraction of groups in the test split.
+    pub test: f64,
+}
+
+impl Default for SplitRatios {
+    fn default() -> Self {
+        SplitRatios {
+            train: 0.6,
+            val: 0.2,
+            test: 0.2,
+        }
+    }
+}
+
+impl SplitRatios {
+    /// Validate that the ratios are non-negative and sum to ~1.
+    pub fn validate(&self) -> Result<(), gralmatch_util::Error> {
+        let sum = self.train + self.val + self.test;
+        if self.train < 0.0 || self.val < 0.0 || self.test < 0.0 || (sum - 1.0).abs() > 1e-9 {
+            return Err(gralmatch_util::Error::InvalidConfig(format!(
+                "split ratios must be non-negative and sum to 1 (got {sum})"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A group-level split of one dataset.
+#[derive(Debug, Clone, Default)]
+pub struct DatasetSplit {
+    /// Entities assigned to training.
+    pub train_entities: Vec<EntityId>,
+    /// Entities assigned to validation.
+    pub val_entities: Vec<EntityId>,
+    /// Entities assigned to test.
+    pub test_entities: Vec<EntityId>,
+    /// Records of the training entities.
+    pub train_records: Vec<RecordId>,
+    /// Records of the validation entities.
+    pub val_records: Vec<RecordId>,
+    /// Records of the test entities.
+    pub test_records: Vec<RecordId>,
+}
+
+impl DatasetSplit {
+    /// Split the labeled groups of `gt` with the given ratios, shuffled by
+    /// `rng` (deterministic for a given seed).
+    pub fn new(gt: &GroundTruth, ratios: SplitRatios, rng: &mut SplitRng) -> Self {
+        ratios.validate().expect("valid ratios");
+        let mut entities = gt.entity_ids_sorted();
+        rng.shuffle(&mut entities);
+        let n = entities.len();
+        let n_train = (n as f64 * ratios.train).round() as usize;
+        let n_val = (n as f64 * ratios.val).round() as usize;
+        let n_val_end = (n_train + n_val).min(n);
+
+        let train_entities = entities[..n_train.min(n)].to_vec();
+        let val_entities = entities[n_train.min(n)..n_val_end].to_vec();
+        let test_entities = entities[n_val_end..].to_vec();
+
+        let collect = |ents: &[EntityId]| -> Vec<RecordId> {
+            let mut rs: Vec<RecordId> = ents
+                .iter()
+                .flat_map(|&e| gt.group_members(e).unwrap_or(&[]).iter().copied())
+                .collect();
+            rs.sort_unstable();
+            rs
+        };
+
+        DatasetSplit {
+            train_records: collect(&train_entities),
+            val_records: collect(&val_entities),
+            test_records: collect(&test_entities),
+            train_entities,
+            val_entities,
+            test_entities,
+        }
+    }
+
+    /// Record-id set of the training split.
+    pub fn train_set(&self) -> FxHashSet<RecordId> {
+        self.train_records.iter().copied().collect()
+    }
+
+    /// Record-id set of the validation split.
+    pub fn val_set(&self) -> FxHashSet<RecordId> {
+        self.val_records.iter().copied().collect()
+    }
+
+    /// Record-id set of the test split.
+    pub fn test_set(&self) -> FxHashSet<RecordId> {
+        self.test_records.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::company::CompanyRecord;
+    use crate::ids::SourceId;
+    use crate::record::Record;
+
+    fn make_gt(num_entities: u32, group_size: u32) -> GroundTruth {
+        let mut records = Vec::new();
+        let mut id = 0;
+        for e in 0..num_entities {
+            for _ in 0..group_size {
+                records.push(
+                    CompanyRecord::new(RecordId(id), SourceId(0), format!("c{id}"))
+                        .with_entity(EntityId(e)),
+                );
+                id += 1;
+            }
+        }
+        GroundTruth::from_records(&records)
+    }
+
+    #[test]
+    fn split_proportions() {
+        let gt = make_gt(100, 3);
+        let mut rng = SplitRng::new(42);
+        let split = DatasetSplit::new(&gt, SplitRatios::default(), &mut rng);
+        assert_eq!(split.train_entities.len(), 60);
+        assert_eq!(split.val_entities.len(), 20);
+        assert_eq!(split.test_entities.len(), 20);
+        assert_eq!(split.train_records.len(), 180);
+    }
+
+    #[test]
+    fn splits_are_disjoint_and_complete() {
+        let gt = make_gt(50, 4);
+        let mut rng = SplitRng::new(1);
+        let split = DatasetSplit::new(&gt, SplitRatios::default(), &mut rng);
+        let train = split.train_set();
+        let val = split.val_set();
+        let test = split.test_set();
+        assert!(train.is_disjoint(&val));
+        assert!(train.is_disjoint(&test));
+        assert!(val.is_disjoint(&test));
+        assert_eq!(train.len() + val.len() + test.len(), 200);
+    }
+
+    #[test]
+    fn groups_never_straddle_splits() {
+        let gt = make_gt(30, 5);
+        let mut rng = SplitRng::new(9);
+        let split = DatasetSplit::new(&gt, SplitRatios::default(), &mut rng);
+        let train = split.train_set();
+        for (_, members) in gt.groups() {
+            let in_train = members.iter().filter(|r| train.contains(r)).count();
+            assert!(in_train == 0 || in_train == members.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let gt = make_gt(40, 2);
+        let s1 = DatasetSplit::new(&gt, SplitRatios::default(), &mut SplitRng::new(5));
+        let s2 = DatasetSplit::new(&gt, SplitRatios::default(), &mut SplitRng::new(5));
+        assert_eq!(s1.train_records, s2.train_records);
+        assert_eq!(s1.test_records, s2.test_records);
+    }
+
+    #[test]
+    fn invalid_ratios_rejected() {
+        let bad = SplitRatios {
+            train: 0.9,
+            val: 0.2,
+            test: 0.2,
+        };
+        assert!(bad.validate().is_err());
+        assert!(SplitRatios::default().validate().is_ok());
+    }
+
+    #[test]
+    fn unlabeled_records_ignored() {
+        let records = vec![CompanyRecord::new(RecordId(0), SourceId(0), "x")];
+        let gt = GroundTruth::from_records(&records);
+        assert_eq!(records[0].entity(), None);
+        let split = DatasetSplit::new(&gt, SplitRatios::default(), &mut SplitRng::new(0));
+        assert!(split.train_records.is_empty());
+    }
+}

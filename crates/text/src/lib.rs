@@ -1,0 +1,23 @@
+//! Text substrate: tokenization, string similarity, TF-IDF, feature hashing.
+//!
+//! The pairwise matcher and the token-overlap blocking both view records as
+//! text. This crate provides the shared machinery:
+//!
+//! * [`tokenize`] — lowercase alphanumeric word tokenization,
+//! * [`similarity`] — Levenshtein, Jaro(-Winkler), Jaccard, n-gram Dice,
+//! * [`Vocabulary`] — corpus token dictionary with document frequencies,
+//! * [`TfIdf`] — TF-IDF weighting with cosine similarity,
+//! * [`ngrams`] — character n-gram extraction and feature hashing (the
+//!   feature space of the trainable matcher in `gralmatch-lm`).
+
+pub mod ngrams;
+pub mod similarity;
+pub mod tfidf;
+pub mod tokenize;
+pub mod vocab;
+
+pub use ngrams::{char_ngrams, hashed_ngram_features};
+pub use similarity::{jaccard, jaro, jaro_winkler, levenshtein, ngram_dice, normalized_levenshtein};
+pub use tfidf::TfIdf;
+pub use tokenize::{tokenize, tokenize_into};
+pub use vocab::Vocabulary;

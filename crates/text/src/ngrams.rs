@@ -1,0 +1,128 @@
+//! Character n-grams and feature hashing.
+//!
+//! The trainable matcher in `gralmatch-lm` represents a record pair as a
+//! sparse vector of hashed character n-gram interactions. Feature hashing
+//! ("the hashing trick") maps each n-gram to one of `dim` buckets with a
+//! sign, avoiding a dictionary and bounding memory — the same engineering
+//! used by fastText/Vowpal-Wabbit-style linear text models.
+
+use gralmatch_util::hash::hash_bytes;
+
+/// Extract all character n-grams of a lowercase-normalized string.
+///
+/// The string is padded implicitly by treating word boundaries as spaces
+/// collapsed into single separators; grams shorter than `n` are skipped.
+pub fn char_ngrams(text: &str, n: usize) -> Vec<String> {
+    assert!(n > 0);
+    let normalized: Vec<char> = text
+        .chars()
+        .flat_map(|c| {
+            if c.is_alphanumeric() {
+                c.to_lowercase().collect::<Vec<_>>()
+            } else {
+                vec![' ']
+            }
+        })
+        .collect();
+    // Collapse runs of spaces.
+    let mut cleaned: Vec<char> = Vec::with_capacity(normalized.len());
+    for &c in &normalized {
+        if c == ' ' && cleaned.last() == Some(&' ') {
+            continue;
+        }
+        cleaned.push(c);
+    }
+    while cleaned.last() == Some(&' ') {
+        cleaned.pop();
+    }
+    let cleaned: Vec<char> = cleaned.into_iter().skip_while(|&c| c == ' ').collect();
+    if cleaned.len() < n {
+        return Vec::new();
+    }
+    (0..=cleaned.len() - n)
+        .map(|i| cleaned[i..i + n].iter().collect())
+        .collect()
+}
+
+/// A sparse hashed feature: bucket index and signed weight contribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HashedFeature {
+    /// Bucket in `[0, dim)`.
+    pub index: u32,
+    /// +1.0 or -1.0 (sign hashing halves collision bias).
+    pub sign: f32,
+}
+
+/// Hash one token/gram into a bucket of a `dim`-sized space, with a
+/// namespace tag so the same gram in different feature groups (e.g. "shared
+/// name gram" vs "description gram") maps independently.
+#[inline]
+pub fn hash_feature(namespace: u8, gram: &str, dim: u32) -> HashedFeature {
+    debug_assert!(dim > 0);
+    let mut buf = Vec::with_capacity(gram.len() + 1);
+    buf.push(namespace);
+    buf.extend_from_slice(gram.as_bytes());
+    let h = hash_bytes(&buf);
+    HashedFeature {
+        index: (h % dim as u64) as u32,
+        sign: if (h >> 63) == 0 { 1.0 } else { -1.0 },
+    }
+}
+
+/// Hash all character n-grams of `text` into features.
+pub fn hashed_ngram_features(namespace: u8, text: &str, n: usize, dim: u32) -> Vec<HashedFeature> {
+    char_ngrams(text, n)
+        .iter()
+        .map(|g| hash_feature(namespace, g, dim))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ngrams_of_simple_word() {
+        assert_eq!(char_ngrams("acme", 3), vec!["acm", "cme"]);
+        assert_eq!(char_ngrams("ab", 3), Vec::<String>::new());
+    }
+
+    #[test]
+    fn ngrams_normalize_case_and_punct() {
+        assert_eq!(char_ngrams("A-C me", 3), char_ngrams("a c ME!", 3));
+    }
+
+    #[test]
+    fn ngrams_cross_word_boundary_with_space() {
+        let grams = char_ngrams("ab cd", 3);
+        assert!(grams.contains(&"b c".to_string()));
+    }
+
+    #[test]
+    fn hash_feature_deterministic_and_in_range() {
+        let f1 = hash_feature(0, "acm", 1 << 18);
+        let f2 = hash_feature(0, "acm", 1 << 18);
+        assert_eq!(f1, f2);
+        assert!(f1.index < (1 << 18));
+        assert!(f1.sign == 1.0 || f1.sign == -1.0);
+    }
+
+    #[test]
+    fn namespaces_decorrelate() {
+        let f1 = hash_feature(1, "acm", 1 << 20);
+        let f2 = hash_feature(2, "acm", 1 << 20);
+        assert_ne!((f1.index, f1.sign as i8), (f2.index, f2.sign as i8));
+    }
+
+    #[test]
+    fn hashed_features_cover_text() {
+        let feats = hashed_ngram_features(0, "crowdstrike", 3, 1 << 16);
+        assert_eq!(feats.len(), "crowdstrike".len() - 2);
+    }
+
+    #[test]
+    fn empty_text_no_features() {
+        assert!(hashed_ngram_features(0, "", 3, 1024).is_empty());
+        assert!(hashed_ngram_features(0, "!!", 3, 1024).is_empty());
+    }
+}

@@ -1,0 +1,211 @@
+//! Classic string similarity measures.
+//!
+//! Used by the heuristic baseline matcher, the paraphrase/typo artifacts'
+//! sanity checks, and as hand-engineered features of the trainable matcher
+//! (shared-name similarity is one of its strongest signals, mirroring what
+//! attention learns in the paper's DistilBERT).
+
+/// Levenshtein edit distance (two-row dynamic program, O(|a|·|b|) time,
+/// O(min) memory).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a_chars: Vec<char> = a.chars().collect();
+    let b_chars: Vec<char> = b.chars().collect();
+    let (short, long) = if a_chars.len() <= b_chars.len() {
+        (&a_chars, &b_chars)
+    } else {
+        (&b_chars, &a_chars)
+    };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut curr = vec![0usize; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[short.len()]
+}
+
+/// Levenshtein similarity normalized into [0, 1]: `1 - d / max_len`.
+pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Jaro similarity in [0, 1].
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a = Vec::with_capacity(a.len());
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches_a.push(ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Transpositions: compare match sequences in order.
+    let matches_b: Vec<char> = b
+        .iter()
+        .zip(b_used.iter())
+        .filter(|(_, &used)| used)
+        .map(|(&c, _)| c)
+        .collect();
+    let t = matches_a
+        .iter()
+        .zip(matches_b.iter())
+        .filter(|(x, y)| x != y)
+        .count() as f64
+        / 2.0;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity: Jaro boosted by a shared prefix (up to 4 chars,
+/// scaling factor 0.1 as standard).
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    j + prefix * 0.1 * (1.0 - j)
+}
+
+/// Jaccard similarity of two token multisets, treated as sets.
+pub fn jaccard<T: std::hash::Hash + Eq>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let set_a: gralmatch_util::FxHashSet<&T> = a.iter().collect();
+    let set_b: gralmatch_util::FxHashSet<&T> = b.iter().collect();
+    let inter = set_a.intersection(&set_b).count();
+    let union = set_a.len() + set_b.len() - inter;
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Dice coefficient over character n-grams — robust to small edits and word
+/// reordering, the workhorse similarity for company-name alignment.
+pub fn ngram_dice(a: &str, b: &str, n: usize) -> f64 {
+    let grams_a = crate::ngrams::char_ngrams(a, n);
+    let grams_b = crate::ngrams::char_ngrams(b, n);
+    if grams_a.is_empty() && grams_b.is_empty() {
+        return 1.0;
+    }
+    if grams_a.is_empty() || grams_b.is_empty() {
+        return 0.0;
+    }
+    let set_a: gralmatch_util::FxHashSet<&str> =
+        grams_a.iter().map(|s| s.as_str()).collect();
+    let mut inter = 0usize;
+    let mut seen: gralmatch_util::FxHashSet<&str> = gralmatch_util::FxHashSet::default();
+    for g in &grams_b {
+        if set_a.contains(g.as_str()) && seen.insert(g.as_str()) {
+            inter += 1;
+        }
+    }
+    let set_b_len = grams_b
+        .iter()
+        .map(|s| s.as_str())
+        .collect::<gralmatch_util::FxHashSet<_>>()
+        .len();
+    2.0 * inter as f64 / (set_a.len() + set_b_len) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        // "crowdstr|ike" -> "crowdstr|eet": three substitutions.
+        assert_eq!(levenshtein("crowdstrike", "crowdstreet"), 3);
+    }
+
+    #[test]
+    fn levenshtein_symmetric() {
+        assert_eq!(levenshtein("abcdef", "azced"), levenshtein("azced", "abcdef"));
+    }
+
+    #[test]
+    fn normalized_levenshtein_range() {
+        assert_eq!(normalized_levenshtein("", ""), 1.0);
+        assert_eq!(normalized_levenshtein("abc", "abc"), 1.0);
+        assert_eq!(normalized_levenshtein("abc", "xyz"), 0.0);
+        let v = normalized_levenshtein("microsoft", "microsft");
+        assert!(v > 0.8 && v < 1.0);
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        assert!((jaro("MARTHA", "MARHTA") - 0.944444).abs() < 1e-5);
+        assert!((jaro("DIXON", "DICKSONX") - 0.766667).abs() < 1e-5);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_prefix_boost() {
+        let jw = jaro_winkler("crowdstrike", "crowdstreet");
+        let j = jaro("crowdstrike", "crowdstreet");
+        assert!(jw > j, "shared prefix must boost");
+        assert!(jw <= 1.0);
+    }
+
+    #[test]
+    fn jaccard_token_sets() {
+        let a = ["crowd", "strike", "inc"];
+        let b = ["crowd", "strike", "holdings"];
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-9);
+        assert_eq!(jaccard::<u32>(&[], &[]), 1.0);
+        assert_eq!(jaccard(&["x"], &[]), 0.0);
+    }
+
+    #[test]
+    fn dice_identical_and_disjoint() {
+        assert_eq!(ngram_dice("acme", "acme", 3), 1.0);
+        assert_eq!(ngram_dice("aaaa", "zzzz", 3), 0.0);
+        let near = ngram_dice("crowdstrike platforms", "crowd strike platforms", 3);
+        assert!(near > 0.6, "near-identical names should be similar: {near}");
+    }
+
+    #[test]
+    fn dice_short_strings() {
+        // Strings shorter than n produce no grams -> degenerate cases.
+        assert_eq!(ngram_dice("ab", "ab", 3), 1.0);
+        assert_eq!(ngram_dice("ab", "abcdef", 3), 0.0);
+    }
+}

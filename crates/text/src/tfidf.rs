@@ -1,0 +1,140 @@
+//! TF-IDF weighting and cosine similarity.
+//!
+//! Used by diagnostics and the heuristic matcher to compare full record
+//! texts; the trainable matcher uses hashed features instead (ngrams.rs)
+//! but shares the same IDF intuition through frequency-aware training.
+
+use crate::vocab::Vocabulary;
+use gralmatch_util::FxHashMap;
+
+/// A sparse TF-IDF vector: sorted `(token_id, weight)` pairs, L2-normalized.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TfIdfVector {
+    entries: Vec<(u32, f64)>,
+}
+
+impl TfIdfVector {
+    /// Cosine similarity with another vector (both are unit-normalized, so
+    /// this is just the sparse dot product).
+    pub fn cosine(&self, other: &TfIdfVector) -> f64 {
+        let mut dot = 0.0;
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < other.entries.len() {
+            match self.entries[i].0.cmp(&other.entries[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    dot += self.entries[i].1 * other.entries[j].1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        dot
+    }
+
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// TF-IDF vectorizer bound to a [`Vocabulary`].
+#[derive(Debug, Clone)]
+pub struct TfIdf<'a> {
+    vocab: &'a Vocabulary,
+}
+
+impl<'a> TfIdf<'a> {
+    /// Create a vectorizer over a built vocabulary.
+    pub fn new(vocab: &'a Vocabulary) -> Self {
+        TfIdf { vocab }
+    }
+
+    /// Vectorize a token list: raw term frequency × smoothed IDF,
+    /// L2-normalized. Unknown tokens are ignored.
+    pub fn vectorize<S: AsRef<str>>(&self, tokens: &[S]) -> TfIdfVector {
+        let mut counts: FxHashMap<u32, f64> = FxHashMap::default();
+        for tok in tokens {
+            if let Some(id) = self.vocab.get(tok.as_ref()) {
+                *counts.entry(id).or_insert(0.0) += 1.0;
+            }
+        }
+        let mut entries: Vec<(u32, f64)> = counts
+            .into_iter()
+            .map(|(id, tf)| (id, tf * self.vocab.idf(id)))
+            .collect();
+        entries.sort_unstable_by_key(|&(id, _)| id);
+        let norm = entries.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for (_, w) in &mut entries {
+                *w /= norm;
+            }
+        }
+        TfIdfVector { entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_vocab(docs: &[&[&str]]) -> Vocabulary {
+        let mut v = Vocabulary::new();
+        for d in docs {
+            v.add_document(d);
+        }
+        v
+    }
+
+    #[test]
+    fn identical_docs_cosine_one() {
+        let vocab = build_vocab(&[&["acme", "security"], &["other", "firm"]]);
+        let tfidf = TfIdf::new(&vocab);
+        let v1 = tfidf.vectorize(&["acme", "security"]);
+        let v2 = tfidf.vectorize(&["acme", "security"]);
+        assert!((v1.cosine(&v2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_docs_cosine_zero() {
+        let vocab = build_vocab(&[&["acme"], &["other"]]);
+        let tfidf = TfIdf::new(&vocab);
+        let v1 = tfidf.vectorize(&["acme"]);
+        let v2 = tfidf.vectorize(&["other"]);
+        assert_eq!(v1.cosine(&v2), 0.0);
+    }
+
+    #[test]
+    fn rare_tokens_dominate() {
+        // "inc" appears everywhere; sharing it means little.
+        let vocab = build_vocab(&[
+            &["crowdstrike", "inc"],
+            &["crowdstreet", "inc"],
+            &["acme", "inc"],
+            &["globex", "inc"],
+        ]);
+        let tfidf = TfIdf::new(&vocab);
+        let a = tfidf.vectorize(&["crowdstrike", "inc"]);
+        let b = tfidf.vectorize(&["crowdstrike", "llc"]);
+        let c = tfidf.vectorize(&["acme", "inc"]);
+        assert!(a.cosine(&b) > a.cosine(&c), "shared rare token beats shared boilerplate");
+    }
+
+    #[test]
+    fn unknown_tokens_ignored() {
+        let vocab = build_vocab(&[&["acme"]]);
+        let tfidf = TfIdf::new(&vocab);
+        let v = tfidf.vectorize(&["never-seen", "acme"]);
+        assert_eq!(v.nnz(), 1);
+    }
+
+    #[test]
+    fn empty_doc_vectorizes_empty() {
+        let vocab = build_vocab(&[&["acme"]]);
+        let tfidf = TfIdf::new(&vocab);
+        let v = tfidf.vectorize::<&str>(&[]);
+        assert_eq!(v.nnz(), 0);
+        assert_eq!(v.cosine(&tfidf.vectorize(&["acme"])), 0.0);
+    }
+}

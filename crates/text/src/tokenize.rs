@@ -1,0 +1,92 @@
+//! Word tokenization.
+//!
+//! Records are tokenized into lowercase alphanumeric runs. This is the
+//! token space of the Token-Overlap blocking (paper Section 5.3.1) and the
+//! unit the matcher's sequence-length budget (128/256 tokens) counts.
+
+/// Tokenize into lowercase alphanumeric tokens, appending into `out`
+/// (allocation-reusing variant for hot loops).
+pub fn tokenize_into(text: &str, out: &mut Vec<String>) {
+    let mut current = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            // Lowercasing char-by-char: `to_lowercase` can expand to
+            // multiple chars (e.g. 'İ'), extend handles that.
+            current.extend(c.to_lowercase());
+        } else if !current.is_empty() {
+            out.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+}
+
+/// Tokenize into a fresh vector.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    tokenize_into(text, &mut out);
+    out
+}
+
+/// Count tokens without allocating strings (sequence-length accounting).
+pub fn count_tokens(text: &str) -> usize {
+    let mut count = 0;
+    let mut in_token = false;
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            if !in_token {
+                count += 1;
+                in_token = true;
+            }
+        } else {
+            in_token = false;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_space() {
+        assert_eq!(
+            tokenize("Crowdstrike Holdings, Inc."),
+            vec!["crowdstrike", "holdings", "inc"]
+        );
+    }
+
+    #[test]
+    fn keeps_digits() {
+        assert_eq!(tokenize("US31807756E"), vec!["us31807756e"]);
+        assert_eq!(tokenize("Web 2.0"), vec!["web", "2", "0"]);
+    }
+
+    #[test]
+    fn empty_and_punct_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("--- !!! ...").is_empty());
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        assert_eq!(tokenize("ZÜRICH Österreich"), vec!["zürich", "österreich"]);
+    }
+
+    #[test]
+    fn count_matches_tokenize() {
+        for s in ["a b c", "", "Crowd-Strike Inc.", "  x  ", "123 abc!def"] {
+            assert_eq!(count_tokens(s), tokenize(s).len(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn tokenize_into_reuses_buffer() {
+        let mut buf = Vec::with_capacity(8);
+        tokenize_into("one two", &mut buf);
+        tokenize_into("three", &mut buf);
+        assert_eq!(buf, vec!["one", "two", "three"]);
+    }
+}

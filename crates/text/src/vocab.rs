@@ -1,0 +1,155 @@
+//! Corpus vocabulary with document frequencies.
+//!
+//! The Token-Overlap blocking scores candidate records by how many tokens
+//! they share; rare tokens are far more discriminative than common corporate
+//! boilerplate ("inc", "holdings", "technologies"). The vocabulary assigns
+//! dense token ids and tracks document frequency so both the blocking and
+//! TF-IDF can downweight boilerplate.
+
+use gralmatch_util::FxHashMap;
+
+/// Dense token dictionary over a record corpus.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    token_to_id: FxHashMap<String, u32>,
+    tokens: Vec<String>,
+    doc_freq: Vec<u32>,
+    num_docs: u32,
+}
+
+impl Vocabulary {
+    /// Empty vocabulary.
+    pub fn new() -> Self {
+        Vocabulary::default()
+    }
+
+    /// Register one document's tokens (duplicates within the document count
+    /// once toward document frequency). Returns the document's token ids
+    /// (with duplicates preserved, in order).
+    pub fn add_document<S: AsRef<str>>(&mut self, tokens: &[S]) -> Vec<u32> {
+        self.num_docs += 1;
+        let mut ids = Vec::with_capacity(tokens.len());
+        let mut seen_this_doc: gralmatch_util::FxHashSet<u32> =
+            gralmatch_util::FxHashSet::default();
+        for tok in tokens {
+            let tok = tok.as_ref();
+            let id = match self.token_to_id.get(tok) {
+                Some(&id) => id,
+                None => {
+                    let id = self.tokens.len() as u32;
+                    self.token_to_id.insert(tok.to_string(), id);
+                    self.tokens.push(tok.to_string());
+                    self.doc_freq.push(0);
+                    id
+                }
+            };
+            if seen_this_doc.insert(id) {
+                self.doc_freq[id as usize] += 1;
+            }
+            ids.push(id);
+        }
+        ids
+    }
+
+    /// Look up a token id without inserting.
+    pub fn get(&self, token: &str) -> Option<u32> {
+        self.token_to_id.get(token).copied()
+    }
+
+    /// The token string of an id.
+    pub fn token(&self, id: u32) -> &str {
+        &self.tokens[id as usize]
+    }
+
+    /// Number of distinct tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Number of documents seen.
+    pub fn num_docs(&self) -> u32 {
+        self.num_docs
+    }
+
+    /// Document frequency of a token id.
+    pub fn doc_freq(&self, id: u32) -> u32 {
+        self.doc_freq[id as usize]
+    }
+
+    /// Smoothed inverse document frequency: `ln((1 + N) / (1 + df)) + 1`.
+    pub fn idf(&self, id: u32) -> f64 {
+        ((1.0 + self.num_docs as f64) / (1.0 + self.doc_freq(id) as f64)).ln() + 1.0
+    }
+
+    /// Ids of tokens whose document frequency exceeds `fraction` of the
+    /// corpus — the "boilerplate" tokens blockings may skip.
+    pub fn frequent_tokens(&self, fraction: f64) -> Vec<u32> {
+        let threshold = (self.num_docs as f64 * fraction).ceil() as u32;
+        (0..self.tokens.len() as u32)
+            .filter(|&id| self.doc_freq(id) >= threshold.max(1))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut v = Vocabulary::new();
+        let ids = v.add_document(&["acme", "inc", "acme"]);
+        assert_eq!(ids, vec![0, 1, 0]);
+        assert_eq!(v.token(0), "acme");
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn doc_freq_counts_documents_not_occurrences() {
+        let mut v = Vocabulary::new();
+        v.add_document(&["acme", "acme", "acme"]);
+        v.add_document(&["acme", "inc"]);
+        assert_eq!(v.doc_freq(v.get("acme").unwrap()), 2);
+        assert_eq!(v.doc_freq(v.get("inc").unwrap()), 1);
+        assert_eq!(v.num_docs(), 2);
+    }
+
+    #[test]
+    fn idf_orders_rarity() {
+        let mut v = Vocabulary::new();
+        for _ in 0..9 {
+            v.add_document(&["inc"]);
+        }
+        v.add_document(&["inc", "zürich"]);
+        let idf_common = v.idf(v.get("inc").unwrap());
+        let idf_rare = v.idf(v.get("zürich").unwrap());
+        assert!(idf_rare > idf_common);
+    }
+
+    #[test]
+    fn frequent_tokens_threshold() {
+        let mut v = Vocabulary::new();
+        for i in 0..10 {
+            if i < 8 {
+                v.add_document(&["inc", &format!("unique{i}")]);
+            } else {
+                v.add_document(&[format!("unique{i}").as_str()]);
+            }
+        }
+        let frequent = v.frequent_tokens(0.5);
+        assert_eq!(frequent.len(), 1);
+        assert_eq!(v.token(frequent[0]), "inc");
+    }
+
+    #[test]
+    fn unknown_token_lookup() {
+        let v = Vocabulary::new();
+        assert_eq!(v.get("nothing"), None);
+        assert!(v.is_empty());
+    }
+}

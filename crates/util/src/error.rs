@@ -1,0 +1,86 @@
+//! Shared error type for the workspace.
+
+use std::fmt;
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by GraLMatch components.
+///
+/// The workspace is a library first: errors carry enough context to be
+/// actionable by a caller, and we avoid panicking on user-facing paths
+/// (malformed CSV, inconsistent configs) while keeping internal invariant
+/// violations as debug assertions.
+#[derive(Debug)]
+pub enum Error {
+    /// I/O failure while reading or writing datasets.
+    Io(std::io::Error),
+    /// Malformed CSV input: line number and description.
+    Csv { line: usize, message: String },
+    /// A configuration value is out of its valid range.
+    InvalidConfig(String),
+    /// A referenced entity/record/source id does not exist.
+    MissingId(String),
+    /// The operation requires a non-empty input.
+    EmptyInput(&'static str),
+    /// Model training/inference failure (e.g. dimension mismatch).
+    Model(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::Csv { line, message } => write!(f, "CSV parse error at line {line}: {message}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::MissingId(id) => write!(f, "unknown id: {id}"),
+            Error::EmptyInput(what) => write!(f, "empty input: {what}"),
+            Error::Model(msg) => write!(f, "model error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::Csv {
+            line: 7,
+            message: "unterminated quote".into(),
+        };
+        assert_eq!(e.to_string(), "CSV parse error at line 7: unterminated quote");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error as _;
+        let e: Error = std::io::Error::other("inner").into();
+        assert!(e.source().is_some());
+        assert!(Error::EmptyInput("records").source().is_none());
+    }
+}

@@ -1,0 +1,156 @@
+//! FxHash-style hashing.
+//!
+//! The workspace indexes millions of short keys (record ids, token ids,
+//! identifier strings). The standard library's SipHash is collision-resistant
+//! but slow for these; the Fx algorithm (as used by rustc) is a multiply-xor
+//! construction that is dramatically faster on short keys. We implement it
+//! here rather than pulling in an extra dependency.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc Fx hash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// A fast, non-cryptographic hasher suitable for in-memory indexes.
+///
+/// Not HashDoS-resistant; never use for attacker-controlled keys crossing a
+/// trust boundary. All uses in this workspace hash internally generated ids
+/// and tokens.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            // Unwrap is fine: chunks_exact guarantees 8 bytes.
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            // Mix in the length so "a" and "a\0" differ.
+            buf[7] = rem.len() as u8;
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// Hash a byte slice in one call (used by the feature-hashing vectorizer).
+#[inline]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Hash a pair of u64s in one call (used for candidate-pair dedup keys).
+#[inline]
+pub fn hash_u64_pair(a: u64, b: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(a);
+    h.write_u64(b);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(hash_bytes(b"crowdstrike"), hash_bytes(b"crowdstrike"));
+    }
+
+    #[test]
+    fn hash_differs_for_different_inputs() {
+        assert_ne!(hash_bytes(b"crowdstrike"), hash_bytes(b"crowdstreet"));
+    }
+
+    #[test]
+    fn short_strings_with_shared_prefix_differ() {
+        assert_ne!(hash_bytes(b"a"), hash_bytes(b"aa"));
+        assert_ne!(hash_bytes(b"a"), hash_bytes(b"a\0"));
+    }
+
+    #[test]
+    fn empty_input_hashes_to_zero_state() {
+        // The empty hash is whatever the initial state finishes to; it must
+        // simply be stable and distinct from a one-byte write.
+        assert_eq!(hash_bytes(b""), hash_bytes(b""));
+        assert_ne!(hash_bytes(b""), hash_bytes(b"\0"));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<&str, u32> = FxHashMap::default();
+        m.insert("isin", 1);
+        assert_eq!(m.get("isin"), Some(&1));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(42);
+        assert!(s.contains(&42));
+    }
+
+    #[test]
+    fn pair_hash_order_sensitive() {
+        assert_ne!(hash_u64_pair(1, 2), hash_u64_pair(2, 1));
+    }
+
+    #[test]
+    fn chunked_writes_match_single_write() {
+        // Hasher state depends on write boundaries for the remainder path, so
+        // we only require that *identical* write sequences agree.
+        let mut h1 = FxHasher::default();
+        h1.write(b"0123456789abcdef");
+        let mut h2 = FxHasher::default();
+        h2.write(b"0123456789abcdef");
+        assert_eq!(h1.finish(), h2.finish());
+    }
+}

@@ -1,0 +1,24 @@
+//! Shared utilities for the GraLMatch workspace.
+//!
+//! This crate deliberately has no heavyweight dependencies; it provides the
+//! small building blocks every other crate leans on:
+//!
+//! * [`hash`] — an FxHash-style fast hasher plus [`FxHashMap`]/[`FxHashSet`]
+//!   aliases (profiling-friendly replacement for SipHash in hot indexes),
+//! * [`rng`] — deterministic, seed-splittable RNG helpers so every dataset
+//!   generation and training run is reproducible,
+//! * [`csv`] — a minimal RFC-4180-ish CSV reader/writer used for dataset
+//!   import/export,
+//! * [`timer`] — a stopwatch for the timing columns of the paper's tables,
+//! * [`error`] — the shared error type.
+
+pub mod csv;
+pub mod error;
+pub mod hash;
+pub mod rng;
+pub mod timer;
+
+pub use error::{Error, Result};
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use rng::SplitRng;
+pub use timer::{format_duration, Stopwatch};

@@ -1,0 +1,92 @@
+//! Wall-clock timing for the tables' "Training Time" / "Inference Time"
+//! columns.
+
+use std::time::{Duration, Instant};
+
+/// A simple stopwatch with human-readable formatting matching the paper's
+/// style (`23.25 h`, `6.7 min`, `31 sec`).
+#[derive(Debug, Clone)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed seconds as f64.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    /// Format the elapsed time like the paper's tables.
+    pub fn display(&self) -> String {
+        format_duration(self.elapsed())
+    }
+}
+
+/// Format a duration in the paper's table style.
+pub fn format_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 3600.0 {
+        let h = (secs / 3600.0).floor();
+        let m = ((secs - h * 3600.0) / 60.0).round();
+        if m > 0.0 {
+            format!("{h:.0}h {m:.0}min")
+        } else {
+            format!("{:.2} h", secs / 3600.0)
+        }
+    } else if secs >= 60.0 {
+        format!("{:.1} min", secs / 60.0)
+    } else if secs >= 1.0 {
+        format!("{secs:.1} sec")
+    } else {
+        format!("{:.1} ms", secs * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_hours() {
+        assert_eq!(format_duration(Duration::from_secs(3600 + 26 * 60)), "1h 26min");
+    }
+
+    #[test]
+    fn formats_minutes() {
+        assert_eq!(format_duration(Duration::from_secs_f64(402.0)), "6.7 min");
+    }
+
+    #[test]
+    fn formats_seconds() {
+        assert_eq!(format_duration(Duration::from_secs(31)), "31.0 sec");
+    }
+
+    #[test]
+    fn formats_millis() {
+        assert_eq!(format_duration(Duration::from_millis(250)), "250.0 ms");
+    }
+
+    #[test]
+    fn stopwatch_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_secs();
+        let b = sw.elapsed_secs();
+        assert!(b >= a);
+    }
+}

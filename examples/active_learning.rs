@@ -1,0 +1,67 @@
+//! Active learning: spending a labeling budget well.
+//!
+//! The paper's -15K experiments show a *small, precise* training set beats
+//! a big noisy one end-to-end. This example takes the next step the related
+//! work suggests: choose which pairs to label with uncertainty sampling
+//! instead of labeling whatever comes first, and compare the resulting
+//! matcher against random labeling at the same budget.
+//!
+//! Run with: `cargo run --example active_learning --release`
+
+use gralmatch::blocking::TokenOverlapConfig;
+use gralmatch::core::{company_candidates, pairwise_metrics};
+use gralmatch::datagen::{generate, GenerationConfig};
+use gralmatch::lm::{
+    active_learning_loop, predict_positive, ActiveConfig, ModelSpec, QueryStrategy,
+};
+
+fn main() {
+    let mut config = GenerationConfig::synthetic_full();
+    config.num_entities = 400;
+    let data = generate(&config).expect("valid config");
+    let companies = data.companies.records();
+    let gt = data.companies.ground_truth();
+    let spec = ModelSpec::DistilBert128All;
+    let encoded = spec.encode_records(companies);
+
+    // The labeling pool = blocked candidate pairs (what an annotator would
+    // actually be shown).
+    let candidates = company_candidates(
+        companies,
+        data.securities.records(),
+        &TokenOverlapConfig::default(),
+    );
+    let pool = candidates.pairs_sorted();
+    println!(
+        "{} candidate pairs; labeling budget: 600 pairs ({}% of the pool)",
+        pool.len(),
+        600 * 100 / pool.len().max(1)
+    );
+
+    for (strategy, name) in [
+        (QueryStrategy::Random, "random labeling"),
+        (QueryStrategy::Uncertainty, "uncertainty sampling"),
+    ] {
+        let al_config = ActiveConfig {
+            budget: 600,
+            batch_size: 100,
+            ..ActiveConfig::default()
+        };
+        let (matcher, reports) =
+            active_learning_loop(&encoded, &pool, &gt, strategy, &al_config).expect("loop");
+        let predicted = predict_positive(&matcher, &encoded, &pool, 4);
+        let metrics = pairwise_metrics(&predicted, &gt);
+        let positives = reports.last().map_or(0, |r| r.positives_found);
+        println!(
+            "\n{name}:\n  positives surfaced while labeling: {positives}\n  resulting matcher on the full pool: P {:.2}% R {:.2}% F1 {:.2}%",
+            metrics.precision * 100.0,
+            metrics.recall * 100.0,
+            metrics.f1 * 100.0
+        );
+    }
+
+    println!("\nUncertainty sampling spends labels at the decision boundary, so the");
+    println!("same budget surfaces more informative pairs — the practical answer to");
+    println!("the paper's observation that labeling effort, not model size, is the");
+    println!("bottleneck for entity group matching.");
+}

@@ -1,0 +1,81 @@
+//! Data drift: acquisitions, mergers, and why identifiers lie.
+//!
+//! Reproduces the paper's Section 3 narrative on a generated dataset:
+//! * records sharing an identifier are **not** necessarily matches
+//!   (mergers overwrite codes across distinct entities),
+//! * true matches may share **no** identifier (acquisitions, missing data)
+//!   and are only reachable transitively.
+//!
+//! Run with: `cargo run --example data_drift --release`
+
+use gralmatch::datagen::{generate, GenerationConfig};
+use gralmatch::records::{Record, SecurityRecord};
+use gralmatch::util::FxHashMap;
+
+fn main() {
+    let mut config = GenerationConfig::synthetic_full();
+    config.num_entities = 2_000;
+    // Crank drift up so the phenomenon is visible in a small sample.
+    config.artifacts.acquisition = 0.05;
+    config.artifacts.merger = 0.05;
+    let data = generate(&config).expect("valid config");
+    let securities = data.securities.records();
+
+    // Index securities by identifier code value.
+    let mut by_code: FxHashMap<&str, Vec<&SecurityRecord>> = FxHashMap::default();
+    for security in securities {
+        for code in security.id_codes() {
+            by_code.entry(code.value.as_str()).or_default().push(security);
+        }
+    }
+
+    // 1. Identifier overlap pairs that are NOT true matches (merger bait).
+    let mut false_id_pairs = 0u64;
+    let mut true_id_pairs = 0u64;
+    for holders in by_code.values() {
+        for i in 0..holders.len() {
+            for j in (i + 1)..holders.len() {
+                if holders[i].entity == holders[j].entity {
+                    true_id_pairs += 1;
+                } else {
+                    false_id_pairs += 1;
+                }
+            }
+        }
+    }
+    println!("identifier-overlap record pairs (the 'benchmark heuristic'):");
+    println!("  true matches : {true_id_pairs}");
+    println!("  FALSE matches: {false_id_pairs}  <- mergers overwrote codes across entities");
+
+    // 2. True matches with no identifier overlap at all.
+    let gt = data.securities.ground_truth();
+    let mut no_overlap_matches = 0u64;
+    let mut total_matches = 0u64;
+    for (_, members) in gt.groups() {
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                total_matches += 1;
+                let a = &securities[members[i].0 as usize];
+                let b = &securities[members[j].0 as usize];
+                let codes_a: gralmatch::util::FxHashSet<&str> =
+                    a.id_codes().iter().map(|c| c.value.as_str()).collect();
+                if !b.id_codes().iter().any(|c| codes_a.contains(c.value.as_str())) {
+                    no_overlap_matches += 1;
+                }
+            }
+        }
+    }
+    println!("\ntrue security matches: {total_matches}");
+    println!(
+        "  matchable only WITHOUT identifier overlap: {no_overlap_matches} ({:.1}%)",
+        no_overlap_matches as f64 / total_matches as f64 * 100.0
+    );
+    println!("  (acquisition overwrites, NoIdOverlaps artifact, missing codes)");
+
+    println!("\nconclusion, as in the paper: identifier equality is neither sound");
+    println!("nor complete — text alignment AND transitive information are needed,");
+    println!("and the false positives they introduce call for the graph cleanup.");
+
+    assert!(false_id_pairs > 0, "mergers must create false ID pairs");
+    assert!(no_overlap_matches > 0, "drift must hide some true matches");
+}

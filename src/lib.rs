@@ -1,0 +1,9 @@
+//! Facade crate re-exporting the GraLMatch workspace public API.
+pub use gralmatch_blocking as blocking;
+pub use gralmatch_core as core;
+pub use gralmatch_datagen as datagen;
+pub use gralmatch_graph as graph;
+pub use gralmatch_lm as lm;
+pub use gralmatch_records as records;
+pub use gralmatch_text as text;
+pub use gralmatch_util as util;

@@ -1,0 +1,60 @@
+//! Dataset interchange: generated benchmarks survive a CSV round trip with
+//! full fidelity, including ground truth and cross-references.
+
+use gralmatch::datagen::{generate, GenerationConfig};
+use gralmatch::records::csv_io::{
+    companies_from_csv, companies_to_csv, securities_from_csv, securities_to_csv,
+};
+use gralmatch::records::Record;
+
+#[test]
+fn generated_benchmark_round_trips_through_csv() {
+    let mut config = GenerationConfig::synthetic_full();
+    config.num_entities = 200;
+    let data = generate(&config).unwrap();
+
+    let companies_csv = companies_to_csv(&data.companies);
+    let securities_csv = securities_to_csv(&data.securities);
+
+    let companies = companies_from_csv(&companies_csv).unwrap();
+    let securities = securities_from_csv(&securities_csv).unwrap();
+
+    assert_eq!(companies.records(), data.companies.records());
+    assert_eq!(securities.records(), data.securities.records());
+
+    // Ground truth is intact after the round trip.
+    let gt_before = data.companies.ground_truth();
+    let gt_after = companies.ground_truth();
+    assert_eq!(gt_before.num_entities(), gt_after.num_entities());
+    assert_eq!(gt_before.num_true_pairs(), gt_after.num_true_pairs());
+
+    // Cross-references still resolve.
+    for security in securities.records() {
+        let issuer = companies.get(security.issuer);
+        assert_eq!(issuer.source(), security.source());
+        assert!(issuer.securities.contains(&security.id));
+    }
+}
+
+#[test]
+fn csv_headers_stable() {
+    let mut config = GenerationConfig::synthetic_full();
+    config.num_entities = 5;
+    let data = generate(&config).unwrap();
+    let companies_csv = companies_to_csv(&data.companies);
+    let securities_csv = securities_to_csv(&data.securities);
+    assert!(companies_csv.starts_with(
+        "id,source,entity,name,city,region,country_code,short_description,id_codes,securities"
+    ));
+    assert!(securities_csv.starts_with("id,source,entity,name,type,listings,id_codes,issuer"));
+}
+
+#[test]
+fn csv_sizes_are_proportional() {
+    let mut config = GenerationConfig::synthetic_full();
+    config.num_entities = 50;
+    let data = generate(&config).unwrap();
+    let csv = companies_to_csv(&data.companies);
+    let lines = csv.lines().count();
+    assert_eq!(lines, data.companies.len() + 1, "one row per record + header");
+}

@@ -1,0 +1,123 @@
+//! Property-based tests on the dataset generator and text substrate.
+
+use gralmatch::datagen::{generate, paraphrase::paraphrase, GenerationConfig};
+use gralmatch::lm::{DittoEncoder, PairEncoder, PlainEncoder};
+use gralmatch::records::Record;
+use gralmatch::text::{jaccard, jaro_winkler, levenshtein, normalized_levenshtein, tokenize};
+use gralmatch::util::{csv, SplitRng};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generation_is_deterministic_under_seed(seed in 0u64..1000, entities in 20usize..80) {
+        let mut config = GenerationConfig::synthetic_full();
+        config.seed = seed;
+        config.num_entities = entities;
+        let a = generate(&config).unwrap();
+        let b = generate(&config).unwrap();
+        prop_assert_eq!(a.companies.len(), b.companies.len());
+        prop_assert_eq!(a.securities.len(), b.securities.len());
+        let i = a.companies.len() / 2;
+        prop_assert_eq!(&a.companies.records()[i], &b.companies.records()[i]);
+    }
+
+    #[test]
+    fn generated_references_are_consistent(seed in 0u64..200) {
+        let mut config = GenerationConfig::synthetic_full();
+        config.seed = seed;
+        config.num_entities = 30;
+        let data = generate(&config).unwrap();
+        for security in data.securities.records() {
+            let issuer = data.companies.get(security.issuer);
+            prop_assert_eq!(issuer.source(), security.source());
+            prop_assert!(issuer.securities.contains(&security.id));
+        }
+        for company in data.companies.records() {
+            for &sid in &company.securities {
+                prop_assert_eq!(data.securities.get(sid).issuer, company.id);
+            }
+        }
+    }
+
+    #[test]
+    fn levenshtein_triangle_inequality(a in "[a-z]{0,12}", b in "[a-z]{0,12}", c in "[a-z]{0,12}") {
+        let ab = levenshtein(&a, &b);
+        let bc = levenshtein(&b, &c);
+        let ac = levenshtein(&a, &c);
+        prop_assert!(ac <= ab + bc);
+    }
+
+    #[test]
+    fn levenshtein_identity_and_symmetry(a in "[a-z]{0,16}", b in "[a-z]{0,16}") {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+    }
+
+    #[test]
+    fn similarity_ranges(a in ".{0,24}", b in ".{0,24}") {
+        for value in [
+            normalized_levenshtein(&a, &b),
+            jaro_winkler(&a, &b),
+        ] {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&value), "{value}");
+        }
+        let ta = tokenize(&a);
+        let tb = tokenize(&b);
+        let j = jaccard(&ta, &tb);
+        prop_assert!((0.0..=1.0).contains(&j));
+    }
+
+    #[test]
+    fn tokenize_produces_lowercase_alphanumerics(text in ".{0,60}") {
+        for token in tokenize(&text) {
+            prop_assert!(!token.is_empty());
+            prop_assert!(token.chars().all(|c| c.is_alphanumeric()));
+            // Lowercasing is idempotent: some codepoints (math capitals)
+            // report is_uppercase() but have no lowercase mapping, so the
+            // invariant is fixpoint-ness, not absence of uppercase.
+            prop_assert_eq!(token.to_lowercase(), token);
+        }
+    }
+
+    #[test]
+    fn encoders_respect_budget(name in "[A-Za-z0-9 ]{0,200}", budget in 8usize..256) {
+        let record = gralmatch::records::CompanyRecord::new(
+            gralmatch::records::RecordId(0),
+            gralmatch::records::SourceId(0),
+            name,
+        );
+        let plain = PlainEncoder::new(budget).encode(&record);
+        let ditto = DittoEncoder::new(budget).encode(&record);
+        prop_assert!(plain.len() <= budget / 2);
+        prop_assert!(ditto.len() <= budget / 2);
+    }
+
+    #[test]
+    fn csv_round_trips(rows in proptest::collection::vec(
+        proptest::collection::vec("[^\u{0}]{0,20}", 1..5), 0..8)
+    ) {
+        // Normalize \r out (the line-based reader treats \r\n as \n) and
+        // drop rows of exactly one empty field: CSV cannot distinguish them
+        // from blank lines, which parsers skip.
+        let rows: Vec<Vec<String>> = rows
+            .into_iter()
+            .map(|row| row.into_iter().map(|cell| cell.replace('\r', "")).collect::<Vec<String>>())
+            .filter(|row: &Vec<String>| !(row.len() == 1 && row[0].is_empty()))
+            .collect();
+        let text = csv::to_csv_string(&rows);
+        let parsed = csv::parse_csv(&text).unwrap();
+        prop_assert_eq!(parsed, rows);
+    }
+
+    #[test]
+    fn paraphrase_deterministic_and_keeps_length_sane(seed in 0u64..500) {
+        let text = "Provider of cloud security solutions for enterprises.";
+        let a = paraphrase(text, 0.6, &mut SplitRng::new(seed));
+        let b = paraphrase(text, 0.6, &mut SplitRng::new(seed));
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.len() < text.len() * 3);
+        prop_assert!(!a.is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! Cross-crate integration tests: datagen → blocking → lm → core pipeline.
+
+use gralmatch::blocking::TokenOverlapConfig;
+use gralmatch::core::{
+    company_candidates, run_pipeline, run_pipeline_with_oracle, security_candidates,
+    CleanupVariant, OracleMatcher, PipelineConfig,
+};
+use gralmatch::datagen::{generate, GenerationConfig};
+use gralmatch::lm::{train, ModelSpec};
+use gralmatch::records::{DatasetSplit, Record, RecordId, SplitRatios};
+use gralmatch::util::{FxHashMap, SplitRng};
+
+fn small_data(entities: usize, seed: u64) -> gralmatch::datagen::FinancialDataset {
+    let mut config = GenerationConfig::synthetic_full();
+    config.num_entities = entities;
+    config.seed = seed;
+    generate(&config).expect("valid config")
+}
+
+#[test]
+fn oracle_end_to_end_recovers_groups() {
+    let data = small_data(200, 1);
+    let companies = data.companies.records();
+    let gt = data.companies.ground_truth();
+    let candidates = company_candidates(
+        companies,
+        data.securities.records(),
+        &TokenOverlapConfig::default(),
+    );
+    let oracle = OracleMatcher::new(&gt);
+    let config = PipelineConfig::new(25, 5).with_pre_cleanup(50);
+    let outcome = run_pipeline_with_oracle(companies.len(), &candidates, &oracle, &gt, &config);
+    assert_eq!(outcome.pairwise.precision, 1.0);
+    assert!(outcome.post_cleanup.pairs.f1 > 0.65, "{:?}", outcome.post_cleanup);
+    // μ bound holds for every final group.
+    assert!(outcome.groups.iter().all(|g| g.len() <= 5));
+}
+
+#[test]
+fn trained_model_beats_untrained_threshold() {
+    let data = small_data(150, 2);
+    let companies = data.companies.records();
+    let gt = data.companies.ground_truth();
+    let split = DatasetSplit::new(&gt, SplitRatios::default(), &mut SplitRng::new(5));
+    let spec = ModelSpec::DistilBert128All;
+    let encoded = spec.encode_records(companies);
+    let (matcher, report) =
+        train(companies, &encoded, &gt, &split, &spec.train_config()).unwrap();
+    assert!(report.train_losses.last().unwrap() < &0.25);
+    let candidates = company_candidates(
+        companies,
+        data.securities.records(),
+        &TokenOverlapConfig::default(),
+    );
+    let config = PipelineConfig::new(25, 5).with_pre_cleanup(50);
+    let outcome = run_pipeline(companies.len(), &candidates, &matcher, &encoded, &gt, &config);
+    assert!(outcome.pairwise.f1 > 0.5, "pairwise {:?}", outcome.pairwise);
+    assert!(outcome.post_cleanup.cluster_purity > 0.8);
+}
+
+#[test]
+fn cleanup_never_grows_components() {
+    let data = small_data(150, 3);
+    let companies = data.companies.records();
+    let gt = data.companies.ground_truth();
+    let candidates = company_candidates(
+        companies,
+        data.securities.records(),
+        &TokenOverlapConfig::default(),
+    );
+    // A deliberately noisy matcher: flip several negatives to positives.
+    let negatives: Vec<_> = candidates
+        .pairs_sorted()
+        .into_iter()
+        .filter(|&p| !gt.is_match_pair(p))
+        .take(10)
+        .collect();
+    let oracle = OracleMatcher::with_flips(&gt, negatives);
+    let config = PipelineConfig::new(25, 5).with_pre_cleanup(50);
+    let outcome = run_pipeline_with_oracle(companies.len(), &candidates, &oracle, &gt, &config);
+    let pre_max = outcome
+        .pre_cleanup
+        .pairs
+        .fp; // false closure pairs before cleanup
+    let post_max = outcome.post_cleanup.pairs.fp;
+    assert!(
+        post_max <= pre_max,
+        "cleanup must not increase false pairs: {pre_max} -> {post_max}"
+    );
+    assert!(outcome.post_cleanup.pairs.precision >= outcome.pre_cleanup.pairs.precision);
+}
+
+#[test]
+fn sensitivity_variants_agree_on_easy_graphs() {
+    let data = small_data(120, 4);
+    let companies = data.companies.records();
+    let gt = data.companies.ground_truth();
+    let candidates = company_candidates(
+        companies,
+        data.securities.records(),
+        &TokenOverlapConfig::default(),
+    );
+    let oracle = OracleMatcher::new(&gt);
+    let mut results = Vec::new();
+    for variant in [
+        CleanupVariant::Full,
+        CleanupVariant::MinCutOnly,
+        CleanupVariant::BetweennessOnly,
+        CleanupVariant::HalfGamma,
+    ] {
+        let config = PipelineConfig {
+            cleanup: gralmatch::core::CleanupConfig::new(25, 5)
+                .with_pre_cleanup(50)
+                .variant(variant),
+            threads: 2,
+        };
+        let outcome =
+            run_pipeline_with_oracle(companies.len(), &candidates, &oracle, &gt, &config);
+        results.push(outcome.post_cleanup.pairs.f1);
+    }
+    // With perfect predictions the variants must land within a few points
+    // of each other (the paper reports near-identical scores).
+    let min = results.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = results.iter().cloned().fold(0.0, f64::max);
+    assert!(max - min < 0.05, "variants diverged: {results:?}");
+}
+
+#[test]
+fn securities_issuer_match_pipeline() {
+    let data = small_data(150, 6);
+    let securities = data.securities.records();
+    let security_gt = data.securities.ground_truth();
+    // Ground-truth company groups as issuer input (upper bound).
+    let mut issuer_groups: FxHashMap<RecordId, u32> = FxHashMap::default();
+    for company in data.companies.records() {
+        issuer_groups.insert(company.id(), company.entity.unwrap().0);
+    }
+    let candidates = security_candidates(securities, &issuer_groups);
+    let oracle = OracleMatcher::new(&security_gt);
+    let config = PipelineConfig::new(25, 5);
+    let outcome = run_pipeline_with_oracle(
+        securities.len(),
+        &candidates,
+        &oracle,
+        &security_gt,
+        &config,
+    );
+    assert!(outcome.pairwise.recall > 0.6, "{:?}", outcome.pairwise);
+    assert_eq!(outcome.pairwise.precision, 1.0);
+}
+
+#[test]
+fn pipeline_deterministic_across_runs() {
+    let run = || {
+        let data = small_data(100, 9);
+        let companies = data.companies.records();
+        let gt = data.companies.ground_truth();
+        let candidates = company_candidates(
+            companies,
+            data.securities.records(),
+            &TokenOverlapConfig::default(),
+        );
+        let oracle = OracleMatcher::new(&gt);
+        let config = PipelineConfig::new(25, 5).with_pre_cleanup(50);
+        let outcome =
+            run_pipeline_with_oracle(companies.len(), &candidates, &oracle, &gt, &config);
+        (
+            outcome.num_candidates,
+            outcome.num_predicted,
+            outcome.groups.len(),
+            outcome.post_cleanup.pairs.tp,
+        )
+    };
+    assert_eq!(run(), run());
+}

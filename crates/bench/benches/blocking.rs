@@ -32,7 +32,11 @@ fn bench_blocking(c: &mut Criterion) {
     group.bench_function("token_overlap_companies_4k", |b| {
         b.iter(|| {
             let mut set = CandidateSet::new();
-            token_overlap(black_box(companies), &TokenOverlapConfig::default(), &mut set);
+            token_overlap(
+                black_box(companies),
+                &TokenOverlapConfig::default(),
+                &mut set,
+            );
             black_box(set.len())
         });
     });

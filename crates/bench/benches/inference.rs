@@ -7,10 +7,12 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gralmatch_datagen::{generate, GenerationConfig};
 use gralmatch_lm::{
-    featurize, score_pairs, FeatureConfig, LogisticModel, ModelSpec, TrainedMatcher,
+    featurize, score_pairs_with, FeatureConfig, LogisticModel, MatcherScorer, ModelSpec,
+    TrainedMatcher,
 };
-use gralmatch_records::RecordPair;
 use gralmatch_records::RecordId;
+use gralmatch_records::RecordPair;
+use gralmatch_util::WorkerPool;
 use std::hint::black_box;
 
 fn bench_inference(c: &mut Criterion) {
@@ -31,20 +33,28 @@ fn bench_inference(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("inference");
     group.throughput(Throughput::Elements(pairs.len() as u64));
-    for spec in [ModelSpec::DistilBert128All, ModelSpec::Ditto128, ModelSpec::Ditto256] {
+    for spec in [
+        ModelSpec::DistilBert128All,
+        ModelSpec::Ditto128,
+        ModelSpec::Ditto256,
+    ] {
         let encoded = spec.encode_records(securities);
         group.bench_with_input(
             BenchmarkId::new("sequential", spec.display_name()),
             &encoded,
             |b, encoded| {
-                b.iter(|| black_box(score_pairs(&matcher, encoded, &pairs, 1)));
+                let scorer = MatcherScorer::new(&matcher, encoded);
+                let pool = WorkerPool::new(1);
+                b.iter(|| black_box(score_pairs_with(&scorer, &pairs, &pool)));
             },
         );
         group.bench_with_input(
             BenchmarkId::new("parallel4", spec.display_name()),
             &encoded,
             |b, encoded| {
-                b.iter(|| black_box(score_pairs(&matcher, encoded, &pairs, 4)));
+                let scorer = MatcherScorer::new(&matcher, encoded);
+                let pool = WorkerPool::new(4);
+                b.iter(|| black_box(score_pairs_with(&scorer, &pairs, &pool)));
             },
         );
     }

@@ -45,7 +45,10 @@ fn figure3() {
     let predicted = [pair(11, 21), pair(21, 33), pair(33, 41)];
     let graph = prediction_graph(42, &predicted);
     let components = connected_components(&graph);
-    let group = components.iter().find(|c| c.len() == 4).expect("chain group");
+    let group = components
+        .iter()
+        .find(|c| c.len() == 4)
+        .expect("chain group");
     println!("pairwise predictions: (#11,#21) (#21,#33) (#33,#41)");
     let mut implied = Vec::new();
     for i in 0..group.len() {
@@ -64,7 +67,11 @@ fn figure3() {
             .collect::<Vec<_>>()
             .join(" ")
     );
-    assert_eq!(implied.len(), 3, "the figure shows exactly 3 implied matches");
+    assert_eq!(
+        implied.len(),
+        3,
+        "the figure shows exactly 3 implied matches"
+    );
     println!();
 }
 

@@ -4,17 +4,19 @@
 //! Usage: `cargo run -p gralmatch-bench --bin repro --release [-- out.json]`
 
 use gralmatch_bench::harness::{
-    prepare_real_sim, prepare_synthetic, prepare_wdc, run_companies_table4,
-    run_securities_table4, run_wdc_table4, Scale,
+    prepare_real_sim, prepare_synthetic, prepare_wdc, run_companies_table4, run_securities_table4,
+    run_wdc_table4, Scale,
 };
 use gralmatch_core::CleanupVariant;
 use gralmatch_datagen::DatasetStats;
 use gralmatch_lm::ModelSpec;
-use serde_json::json;
+use gralmatch_util::{Json, ToJson};
 
 fn main() {
     let scale = Scale::from_env();
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "repro-report.json".into());
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "repro-report.json".into());
     eprintln!("repro: scale {} -> {}", scale.0, out_path);
 
     let synthetic = prepare_synthetic(scale);
@@ -25,34 +27,77 @@ fn main() {
     let securities = DatasetStats::for_securities(&synthetic.data.securities);
 
     let mut table4 = Vec::new();
-    let mut record_cell = |dataset: &str, model: &str, cell: &gralmatch_bench::harness::Table4Cell| {
-        eprintln!("repro: {dataset} / {model}");
-        table4.push(json!({
-            "dataset": dataset,
-            "model": model,
-            "records": cell.num_records,
-            "candidates": cell.outcome.num_candidates,
-            "pairwise": {
-                "precision": cell.outcome.pairwise.precision,
-                "recall": cell.outcome.pairwise.recall,
-                "f1": cell.outcome.pairwise.f1,
-            },
-            "pre_cleanup": {
-                "precision": cell.outcome.pre_cleanup.pairs.precision,
-                "recall": cell.outcome.pre_cleanup.pairs.recall,
-                "f1": cell.outcome.pre_cleanup.pairs.f1,
-                "cluster_purity": cell.outcome.pre_cleanup.cluster_purity,
-            },
-            "post_cleanup": {
-                "precision": cell.outcome.post_cleanup.pairs.precision,
-                "recall": cell.outcome.post_cleanup.pairs.recall,
-                "f1": cell.outcome.post_cleanup.pairs.f1,
-                "cluster_purity": cell.outcome.post_cleanup.cluster_purity,
-            },
-            "inference_seconds": cell.outcome.inference_seconds,
-            "train_seconds": cell.train_seconds,
-        }));
-    };
+    let mut record_cell =
+        |dataset: &str, model: &str, cell: &gralmatch_bench::harness::Table4Cell| {
+            eprintln!("repro: {dataset} / {model}");
+            let stages = Json::Obj(
+                cell.outcome
+                    .trace
+                    .stages
+                    .iter()
+                    .map(|stage| {
+                        (
+                            stage.stage.to_string(),
+                            Json::obj([
+                                ("seconds", stage.seconds.to_json()),
+                                ("items_in", stage.items_in.to_json()),
+                                ("items_out", stage.items_out.to_json()),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            );
+            table4.push(Json::obj([
+                ("dataset", dataset.to_json()),
+                ("model", model.to_json()),
+                ("records", cell.num_records.to_json()),
+                ("candidates", cell.outcome.num_candidates.to_json()),
+                (
+                    "pairwise",
+                    Json::obj([
+                        ("precision", cell.outcome.pairwise.precision.to_json()),
+                        ("recall", cell.outcome.pairwise.recall.to_json()),
+                        ("f1", cell.outcome.pairwise.f1.to_json()),
+                    ]),
+                ),
+                (
+                    "pre_cleanup",
+                    Json::obj([
+                        (
+                            "precision",
+                            cell.outcome.pre_cleanup.pairs.precision.to_json(),
+                        ),
+                        ("recall", cell.outcome.pre_cleanup.pairs.recall.to_json()),
+                        ("f1", cell.outcome.pre_cleanup.pairs.f1.to_json()),
+                        (
+                            "cluster_purity",
+                            cell.outcome.pre_cleanup.cluster_purity.to_json(),
+                        ),
+                    ]),
+                ),
+                (
+                    "post_cleanup",
+                    Json::obj([
+                        (
+                            "precision",
+                            cell.outcome.post_cleanup.pairs.precision.to_json(),
+                        ),
+                        ("recall", cell.outcome.post_cleanup.pairs.recall.to_json()),
+                        ("f1", cell.outcome.post_cleanup.pairs.f1.to_json()),
+                        (
+                            "cluster_purity",
+                            cell.outcome.post_cleanup.cluster_purity.to_json(),
+                        ),
+                    ]),
+                ),
+                ("stages", stages),
+                (
+                    "inference_seconds",
+                    cell.outcome.inference_seconds().to_json(),
+                ),
+                ("train_seconds", cell.train_seconds.to_json()),
+            ]));
+        };
 
     for spec in [ModelSpec::Ditto128, ModelSpec::DistilBert128All] {
         let cell = run_companies_table4(&real, spec, 40, 8, CleanupVariant::Full);
@@ -75,28 +120,45 @@ fn main() {
         record_cell("WDC Products", spec.display_name(), &cell);
     }
 
-    let report = json!({
-        "scale": scale.0,
-        "table1": {
-            "synthetic_companies": {
-                "sources": companies.num_sources,
-                "entities": companies.num_entities,
-                "records": companies.num_records,
-                "matches": companies.num_matches,
-                "avg_matches_per_entity": companies.avg_matches_per_entity,
-                "pct_with_descriptions": companies.pct_with_descriptions,
-            },
-            "synthetic_securities": {
-                "sources": securities.num_sources,
-                "entities": securities.num_entities,
-                "records": securities.num_records,
-                "matches": securities.num_matches,
-                "avg_matches_per_entity": securities.avg_matches_per_entity,
-            },
-        },
-        "table4": table4,
-    });
-    std::fs::write(&out_path, serde_json::to_string_pretty(&report).expect("serialize"))
-        .expect("write report");
+    let report = Json::obj([
+        ("scale", scale.0.to_json()),
+        (
+            "table1",
+            Json::obj([
+                (
+                    "synthetic_companies",
+                    Json::obj([
+                        ("sources", companies.num_sources.to_json()),
+                        ("entities", companies.num_entities.to_json()),
+                        ("records", companies.num_records.to_json()),
+                        ("matches", companies.num_matches.to_json()),
+                        (
+                            "avg_matches_per_entity",
+                            companies.avg_matches_per_entity.to_json(),
+                        ),
+                        (
+                            "pct_with_descriptions",
+                            companies.pct_with_descriptions.to_json(),
+                        ),
+                    ]),
+                ),
+                (
+                    "synthetic_securities",
+                    Json::obj([
+                        ("sources", securities.num_sources.to_json()),
+                        ("entities", securities.num_entities.to_json()),
+                        ("records", securities.num_records.to_json()),
+                        ("matches", securities.num_matches.to_json()),
+                        (
+                            "avg_matches_per_entity",
+                            securities.avg_matches_per_entity.to_json(),
+                        ),
+                    ]),
+                ),
+            ]),
+        ),
+        ("table4", Json::Arr(table4)),
+    ]);
+    std::fs::write(&out_path, report.to_pretty_string()).expect("write report");
     println!("wrote {out_path}");
 }

@@ -15,13 +15,13 @@ use gralmatch_bench::harness::{
     wdc_negative_pool, Scale,
 };
 use gralmatch_bench::table::{pct, render};
-use gralmatch_blocking::TokenOverlapConfig;
 use gralmatch_core::{
-    adaptive_cleanup, entity_groups, graph_cleanup, group_metrics, prediction_graph,
-    product_candidates, AdaptiveConfig, CleanupConfig, CleanupVariant,
+    adaptive_cleanup, blocked_candidates, entity_groups, graph_cleanup, group_metrics,
+    prediction_graph, AdaptiveConfig, CleanupConfig, CleanupVariant, ProductDomain,
 };
-use gralmatch_lm::{predict_positive, train_with_negative_pool, ModelSpec};
+use gralmatch_lm::{predict_positive_with, train_with_negative_pool, MatcherScorer, ModelSpec};
 use gralmatch_records::{GroundTruth, ProductRecord, RecordId};
+use gralmatch_util::Parallelism;
 
 fn label_budget_sweep() {
     println!("== Sweep 1: label budget (synthetic securities, plain-128) ==");
@@ -137,8 +137,14 @@ fn wdc_adaptive_vs_fixed() {
     }
     let encoded = spec.encode_records(&test_products);
     let gt = GroundTruth::from_records(&test_products);
-    let candidates = product_candidates(&test_products, &TokenOverlapConfig::default());
-    let predicted = predict_positive(&matcher, &encoded, &candidates.pairs_sorted(), 4);
+    let candidates = blocked_candidates(&ProductDomain::new(&test_products));
+    let pairs = candidates.pairs_sorted();
+    let scorer = MatcherScorer::new(&matcher, &encoded);
+    let predicted = predict_positive_with(
+        &scorer,
+        &pairs,
+        &Parallelism::Fixed(4).pool_for(pairs.len()),
+    );
 
     let mut rows = Vec::new();
     // Fixed μ = 5 (Table 2).

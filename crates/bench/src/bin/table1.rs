@@ -43,8 +43,17 @@ fn main() {
 
     let mut table_rows = Vec::new();
     for (label, stats, factor) in rows {
-        let paper = TABLE1.iter().find(|c| c.dataset == label).expect("known dataset");
-        let scale_value = |v: f64| if factor.is_nan() { f64::NAN } else { v * factor };
+        let paper = TABLE1
+            .iter()
+            .find(|c| c.dataset == label)
+            .expect("known dataset");
+        let scale_value = |v: f64| {
+            if factor.is_nan() {
+                f64::NAN
+            } else {
+                v * factor
+            }
+        };
         let cell = |paper_value: f64, measured: f64| {
             if paper_value.is_nan() {
                 format!("- / {}", fmt_count(measured))
@@ -58,7 +67,10 @@ fn main() {
             cell(scale_value(paper.entities), stats.num_entities as f64),
             cell(scale_value(paper.records), stats.num_records as f64),
             cell(scale_value(paper.matches), stats.num_matches as f64),
-            format!("{:.1} / {:.1}", paper.avg_matches, stats.avg_matches_per_entity),
+            format!(
+                "{:.1} / {:.1}",
+                paper.avg_matches, stats.avg_matches_per_entity
+            ),
             match (paper.pct_descriptions, stats.pct_with_descriptions) {
                 (Some(p), Some(m)) => format!("{:.0}% / {:.0}%", p * 100.0, m * 100.0),
                 _ => "- / -".to_string(),

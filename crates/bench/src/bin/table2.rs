@@ -10,8 +10,7 @@ use gralmatch_bench::harness::{
 };
 use gralmatch_bench::paper::TABLE2;
 use gralmatch_bench::table::render;
-use gralmatch_blocking::TokenOverlapConfig;
-use gralmatch_core::{company_candidates, product_candidates, security_candidates};
+use gralmatch_core::{blocked_candidates, CompanyDomain, ProductDomain, SecurityDomain};
 use gralmatch_records::{GroundTruth, ProductRecord, Record, RecordId};
 
 fn fmt_count(value: f64) -> String {
@@ -26,7 +25,10 @@ fn fmt_count(value: f64) -> String {
 
 fn main() {
     let scale = Scale::from_env();
-    println!("Table 2 — blockings and candidate pairs (scale factor {})", scale.0);
+    println!(
+        "Table 2 — blockings and candidate pairs (scale factor {})",
+        scale.0
+    );
     println!("Record/pair cells are `paper (scaled where applicable) / measured`.\n");
 
     let synthetic = prepare_synthetic(scale);
@@ -34,47 +36,58 @@ fn main() {
     let wdc = prepare_wdc();
 
     let mut rows = Vec::new();
-    let mut push_row =
-        |label: &str, records: usize, candidates: usize, scaled: bool| {
-            let paper = TABLE2.iter().find(|r| r.dataset == label).expect("known");
-            let factor = if scaled { scale.0 } else { 1.0 };
-            rows.push(vec![
-                label.to_string(),
-                paper.blockings.to_string(),
-                format!("{} / {}", fmt_count(paper.records * factor), fmt_count(records as f64)),
-                format!(
-                    "{} / {}",
-                    fmt_count(paper.candidate_pairs * factor),
-                    fmt_count(candidates as f64)
-                ),
-                paper.gamma.to_string(),
-                paper.mu.to_string(),
-            ]);
-        };
+    let mut push_row = |label: &str, records: usize, candidates: usize, scaled: bool| {
+        let paper = TABLE2.iter().find(|r| r.dataset == label).expect("known");
+        let factor = if scaled { scale.0 } else { 1.0 };
+        rows.push(vec![
+            label.to_string(),
+            paper.blockings.to_string(),
+            format!(
+                "{} / {}",
+                fmt_count(paper.records * factor),
+                fmt_count(records as f64)
+            ),
+            format!(
+                "{} / {}",
+                fmt_count(paper.candidate_pairs * factor),
+                fmt_count(candidates as f64)
+            ),
+            paper.gamma.to_string(),
+            paper.mu.to_string(),
+        ]);
+    };
 
     // Synthetic companies (test split).
     {
         let (companies, securities) = company_test_universe(&synthetic);
-        let candidates =
-            company_candidates(&companies, &securities, &TokenOverlapConfig::default());
-        push_row("Synthetic Companies", companies.len(), candidates.len(), true);
+        let candidates = blocked_candidates(&CompanyDomain::new(&companies, &securities));
+        push_row(
+            "Synthetic Companies",
+            companies.len(),
+            candidates.len(),
+            true,
+        );
     }
     // Synthetic securities (test split).
     {
         let (companies, securities) = security_test_universe(&synthetic);
         let groups = heuristic_company_groups(&companies, &securities);
-        let candidates = security_candidates(&securities, &groups);
-        push_row("Synthetic Securities", securities.len(), candidates.len(), true);
+        let candidates = blocked_candidates(&SecurityDomain::new(&securities, &groups));
+        push_row(
+            "Synthetic Securities",
+            securities.len(),
+            candidates.len(),
+            true,
+        );
     }
     // Real companies / securities (fixed-size simulator; not scaled).
     {
         let (companies, securities) = company_test_universe(&real);
-        let candidates =
-            company_candidates(&companies, &securities, &TokenOverlapConfig::default());
+        let candidates = blocked_candidates(&CompanyDomain::new(&companies, &securities));
         push_row("Real Companies", companies.len(), candidates.len(), false);
         let (companies, securities) = security_test_universe(&real);
         let groups = heuristic_company_groups(&companies, &securities);
-        let candidates = security_candidates(&securities, &groups);
+        let candidates = blocked_candidates(&SecurityDomain::new(&securities, &groups));
         push_row("Real Securities", securities.len(), candidates.len(), false);
     }
     // WDC products (test split, unscaled).
@@ -88,7 +101,7 @@ fn main() {
                 test_products.push(cloned);
             }
         }
-        let candidates = product_candidates(&test_products, &TokenOverlapConfig::default());
+        let candidates = blocked_candidates(&ProductDomain::new(&test_products));
         let _ = GroundTruth::from_records(&test_products);
         push_row("WDC Products", test_products.len(), candidates.len(), false);
     }
@@ -96,7 +109,14 @@ fn main() {
     println!(
         "{}",
         render(
-            &["Dataset", "Blockings", "# Records", "# Candidate Pairs", "γ", "μ"],
+            &[
+                "Dataset",
+                "Blockings",
+                "# Records",
+                "# Candidate Pairs",
+                "γ",
+                "μ"
+            ],
             &rows,
         )
     );

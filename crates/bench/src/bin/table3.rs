@@ -29,9 +29,9 @@ fn main() {
     let mut rows: Vec<Vec<String>> = Vec::new();
 
     let run_cell = |dataset_label: &str,
-                        records_kind: DatasetKind<'_>,
-                        spec: ModelSpec,
-                        rows: &mut Vec<Vec<String>>| {
+                    records_kind: DatasetKind<'_>,
+                    spec: ModelSpec,
+                    rows: &mut Vec<Vec<String>>| {
         let (eval, secs) = match records_kind {
             DatasetKind::Companies(prepared) => {
                 let (matcher, report) = train_spec(
@@ -98,8 +98,8 @@ fn main() {
             }
         };
         let reference = table3_reference(dataset_label, spec.display_name());
-        let (paper_precision, paper_recall, paper_f1) =
-            reference.map_or((f64::NAN, f64::NAN, f64::NAN), |r| {
+        let (paper_precision, paper_recall, paper_f1) = reference
+            .map_or((f64::NAN, f64::NAN, f64::NAN), |r| {
                 (r.precision, r.recall, r.f1)
             });
         rows.push(vec![
@@ -120,26 +120,65 @@ fn main() {
     }
 
     // The paper's row list: -15K only on the synthetic datasets.
-    for spec in [ModelSpec::Ditto128, ModelSpec::Ditto256, ModelSpec::DistilBert128All] {
-        run_cell("Real Companies", DatasetKind::Companies(&real), spec, &mut rows);
+    for spec in [
+        ModelSpec::Ditto128,
+        ModelSpec::Ditto256,
+        ModelSpec::DistilBert128All,
+    ] {
+        run_cell(
+            "Real Companies",
+            DatasetKind::Companies(&real),
+            spec,
+            &mut rows,
+        );
     }
     for spec in ModelSpec::ALL {
-        run_cell("Synthetic Companies", DatasetKind::Companies(&synthetic), spec, &mut rows);
+        run_cell(
+            "Synthetic Companies",
+            DatasetKind::Companies(&synthetic),
+            spec,
+            &mut rows,
+        );
     }
-    for spec in [ModelSpec::Ditto128, ModelSpec::Ditto256, ModelSpec::DistilBert128All] {
-        run_cell("Real Securities", DatasetKind::Securities(&real), spec, &mut rows);
+    for spec in [
+        ModelSpec::Ditto128,
+        ModelSpec::Ditto256,
+        ModelSpec::DistilBert128All,
+    ] {
+        run_cell(
+            "Real Securities",
+            DatasetKind::Securities(&real),
+            spec,
+            &mut rows,
+        );
     }
     for spec in ModelSpec::ALL {
-        run_cell("Synthetic Securities", DatasetKind::Securities(&synthetic), spec, &mut rows);
+        run_cell(
+            "Synthetic Securities",
+            DatasetKind::Securities(&synthetic),
+            spec,
+            &mut rows,
+        );
     }
-    for spec in [ModelSpec::Ditto128, ModelSpec::Ditto256, ModelSpec::DistilBert128All] {
+    for spec in [
+        ModelSpec::Ditto128,
+        ModelSpec::Ditto256,
+        ModelSpec::DistilBert128All,
+    ] {
         run_cell("WDC Products", DatasetKind::Products(&wdc), spec, &mut rows);
     }
 
     println!(
         "{}",
         render(
-            &["Dataset", "Model", "Precision", "Recall", "F1 Score", "Training Time"],
+            &[
+                "Dataset",
+                "Model",
+                "Precision",
+                "Recall",
+                "F1 Score",
+                "Training Time"
+            ],
             &rows,
         )
     );

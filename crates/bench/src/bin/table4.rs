@@ -17,27 +17,20 @@ use gralmatch_lm::ModelSpec;
 use gralmatch_util::format_duration;
 use std::time::Duration;
 
-fn push_row(
-    rows: &mut Vec<Vec<String>>,
-    dataset: &str,
-    model_label: &str,
-    cell: &Table4Cell,
-) {
+fn push_row(rows: &mut Vec<Vec<String>>, dataset: &str, model_label: &str, cell: &Table4Cell) {
     let reference = table4_reference(dataset, model_label);
     let outcome = &cell.outcome;
-    let fmt3 = |paper: Option<(f64, f64, f64)>, p: f64, r: f64, f1: f64| {
-        match paper {
-            Some((pp, pr, pf)) => format!(
-                "{}/{}/{} vs {}/{}/{}",
-                pct(pp),
-                pct(pr),
-                pct(pf),
-                pct(p),
-                pct(r),
-                pct(f1)
-            ),
-            None => format!("- vs {}/{}/{}", pct(p), pct(r), pct(f1)),
-        }
+    let fmt3 = |paper: Option<(f64, f64, f64)>, p: f64, r: f64, f1: f64| match paper {
+        Some((pp, pr, pf)) => format!(
+            "{}/{}/{} vs {}/{}/{}",
+            pct(pp),
+            pct(pr),
+            pct(pf),
+            pct(p),
+            pct(r),
+            pct(f1)
+        ),
+        None => format!("- vs {}/{}/{}", pct(p), pct(r), pct(f1)),
     };
     let purity = |paper: Option<f64>, measured: f64| match paper {
         Some(p) => format!("{p:.2} vs {measured:.2}"),
@@ -58,22 +51,47 @@ fn push_row(
             outcome.pre_cleanup.pairs.recall,
             outcome.pre_cleanup.pairs.f1,
         ),
-        purity(reference.map(|r| r.pre.3), outcome.pre_cleanup.cluster_purity),
+        purity(
+            reference.map(|r| r.pre.3),
+            outcome.pre_cleanup.cluster_purity,
+        ),
         fmt3(
             reference.map(|r| (r.post.0, r.post.1, r.post.2)),
             outcome.post_cleanup.pairs.precision,
             outcome.post_cleanup.pairs.recall,
             outcome.post_cleanup.pairs.f1,
         ),
-        purity(reference.map(|r| r.post.3), outcome.post_cleanup.cluster_purity),
-        format_duration(Duration::from_secs_f64(outcome.inference_seconds)),
+        purity(
+            reference.map(|r| r.post.3),
+            outcome.post_cleanup.cluster_purity,
+        ),
+        format_duration(Duration::from_secs_f64(outcome.inference_seconds())),
+        stage_seconds(outcome),
     ]);
     eprintln!("  done: {dataset} / {model_label}");
 }
 
+/// Compact per-stage timing cell: blocking/inference/cleanup/grouping.
+fn stage_seconds(outcome: &gralmatch_core::MatchingOutcome) -> String {
+    use gralmatch_core::stage_names;
+    [
+        stage_names::BLOCKING,
+        stage_names::INFERENCE,
+        stage_names::CLEANUP,
+        stage_names::GROUPING,
+    ]
+    .iter()
+    .map(|stage| format!("{:.2}", outcome.trace.seconds_for(stage)))
+    .collect::<Vec<_>>()
+    .join("/")
+}
+
 fn main() {
     let scale = Scale::from_env();
-    println!("Table 4 — end-to-end entity group matching (scale factor {})", scale.0);
+    println!(
+        "Table 4 — end-to-end entity group matching (scale factor {})",
+        scale.0
+    );
     println!("Stage cells are `paper P/R/F1 vs measured P/R/F1`.\n");
 
     let synthetic = prepare_synthetic(scale);
@@ -82,7 +100,11 @@ fn main() {
     let mut rows: Vec<Vec<String>> = Vec::new();
 
     // Real companies: γ=40, μ=8 (Table 2).
-    for spec in [ModelSpec::Ditto128, ModelSpec::Ditto256, ModelSpec::DistilBert128All] {
+    for spec in [
+        ModelSpec::Ditto128,
+        ModelSpec::Ditto256,
+        ModelSpec::DistilBert128All,
+    ] {
         let cell = run_companies_table4(&real, spec, 40, 8, CleanupVariant::Full);
         push_row(&mut rows, "Real Companies", spec.display_name(), &cell);
     }
@@ -122,7 +144,11 @@ fn main() {
     }
 
     // Real securities: γ=40, μ=8.
-    for spec in [ModelSpec::Ditto128, ModelSpec::Ditto256, ModelSpec::DistilBert128All] {
+    for spec in [
+        ModelSpec::Ditto128,
+        ModelSpec::Ditto256,
+        ModelSpec::DistilBert128All,
+    ] {
         let cell = run_securities_table4(&real, spec, 40, 8);
         push_row(&mut rows, "Real Securities", spec.display_name(), &cell);
     }
@@ -130,11 +156,20 @@ fn main() {
     // Synthetic securities: γ=25, μ=5.
     for spec in ModelSpec::ALL {
         let cell = run_securities_table4(&synthetic, spec, 25, 5);
-        push_row(&mut rows, "Synthetic Securities", spec.display_name(), &cell);
+        push_row(
+            &mut rows,
+            "Synthetic Securities",
+            spec.display_name(),
+            &cell,
+        );
     }
 
     // WDC products: γ=25, μ=5.
-    for spec in [ModelSpec::Ditto128, ModelSpec::Ditto256, ModelSpec::DistilBert128All] {
+    for spec in [
+        ModelSpec::Ditto128,
+        ModelSpec::Ditto256,
+        ModelSpec::DistilBert128All,
+    ] {
         let cell = run_wdc_table4(&wdc, spec, 25, 5);
         push_row(&mut rows, "WDC Products", spec.display_name(), &cell);
     }
@@ -151,6 +186,7 @@ fn main() {
                 "Post-Cleanup P/R/F1",
                 "Post ClPur",
                 "Inference",
+                "Stage secs b/i/c/g",
             ],
             &rows,
         )

@@ -14,21 +14,19 @@
 
 use gralmatch_blocking::TokenOverlapConfig;
 use gralmatch_core::{
-    company_candidates, entity_groups, group_assignment, prediction_graph, product_candidates,
-    run_pipeline, security_candidates, CleanupVariant, MatchingOutcome, PipelineConfig,
+    blocked_candidates, entity_groups, group_assignment, prediction_graph, run_domain_with_matcher,
+    CleanupVariant, CompanyDomain, MatchingOutcome, PipelineConfig, ProductDomain, SecurityDomain,
 };
-use gralmatch_datagen::{
-    generate, generate_wdc, FinancialDataset, GenerationConfig, WdcConfig,
-};
+use gralmatch_datagen::{generate, generate_wdc, FinancialDataset, GenerationConfig, WdcConfig};
 use gralmatch_lm::{
-    predict_positive, train, train_with_negative_pool, HeuristicMatcher, ModelSpec,
-    TrainedMatcher, TrainingReport,
+    predict_positive_with, train, train_with_negative_pool, HeuristicMatcher, MatcherScorer,
+    ModelSpec, TrainedMatcher, TrainingReport,
 };
 use gralmatch_records::{
-    CompanyRecord, Dataset, DatasetSplit, GroundTruth, ProductRecord, Record, RecordId,
-    RecordPair, SecurityRecord, SplitRatios,
+    CompanyRecord, Dataset, DatasetSplit, GroundTruth, ProductRecord, Record, RecordId, RecordPair,
+    SecurityRecord, SplitRatios,
 };
-use gralmatch_util::{FxHashMap, FxHashSet, SplitRng};
+use gralmatch_util::{FxHashMap, FxHashSet, Parallelism, SplitRng};
 
 /// Experiment scale factor.
 #[derive(Debug, Clone, Copy)]
@@ -288,9 +286,14 @@ pub fn evaluate_on_test_pairs<R: Record>(
         pairs.push(RecordPair::new(a, b));
         negatives += 1;
     }
-    let predicted = predict_positive(matcher, &encoded, &pairs, threads());
+    let scorer = MatcherScorer::new(matcher, &encoded);
+    let predicted =
+        predict_positive_with(&scorer, &pairs, &Parallelism::Auto.pool_for(pairs.len()));
     let positive_set: FxHashSet<RecordPair> = positives.iter().copied().collect();
-    let tp = predicted.iter().filter(|p| positive_set.contains(p)).count() as u64;
+    let tp = predicted
+        .iter()
+        .filter(|p| positive_set.contains(p))
+        .count() as u64;
     let fp = predicted.len() as u64 - tp;
     let fn_ = positives.len() as u64 - tp;
     let metrics = gralmatch_core::PairMetrics::from_counts(tp, fp, fn_);
@@ -321,8 +324,15 @@ pub fn train_spec_with_pool<R: Record>(
     pool: &[RecordPair],
 ) -> (TrainedMatcher, TrainingReport) {
     let encoded = spec.encode_records(records);
-    train_with_negative_pool(records, &encoded, gt, split, &spec.train_config(), Some(pool))
-        .expect("training succeeds")
+    train_with_negative_pool(
+        records,
+        &encoded,
+        gt,
+        split,
+        &spec.train_config(),
+        Some(pool),
+    )
+    .expect("training succeeds")
 }
 
 /// The WDC hard-negative pool: token-overlap candidates over the full
@@ -336,13 +346,8 @@ pub fn wdc_negative_pool(prepared: &PreparedWdc) -> Vec<RecordPair> {
         max_token_df: 600,
         min_overlap: 1,
     };
-    let candidates = product_candidates(prepared.products.records(), &pool_config);
-    candidates.pairs_sorted()
-}
-
-/// Number of inference threads.
-pub fn threads() -> usize {
-    std::thread::available_parallelism().map_or(4, |n| n.get())
+    let domain = ProductDomain::new(prepared.products.records()).with_token_config(pool_config);
+    blocked_candidates(&domain).pairs_sorted()
 }
 
 /// Company-level grouping used as Issuer-Match input for the securities
@@ -353,13 +358,16 @@ pub fn heuristic_company_groups(
     companies: &[CompanyRecord],
     securities: &[SecurityRecord],
 ) -> FxHashMap<RecordId, u32> {
-    let candidates = company_candidates(companies, securities, &TokenOverlapConfig::default());
+    let candidates = blocked_candidates(&CompanyDomain::new(companies, securities));
     let encoder = gralmatch_lm::PlainEncoder::new(128);
     let encoded = gralmatch_lm::encode_dataset(companies, &encoder);
     let matcher = HeuristicMatcher {
         jaccard_threshold: 0.45,
     };
-    let predicted = predict_positive(&matcher, &encoded, &candidates.pairs_sorted(), threads());
+    let pairs = candidates.pairs_sorted();
+    let scorer = MatcherScorer::new(&matcher, &encoded);
+    let predicted =
+        predict_positive_with(&scorer, &pairs, &Parallelism::Auto.pool_for(pairs.len()));
     let graph = prediction_graph(companies.len(), &predicted);
     let groups = entity_groups(&graph);
     group_assignment(&groups)
@@ -389,7 +397,15 @@ pub fn run_companies_table4(
         &prepared.company_split,
         spec,
     );
-    run_companies_table4_with(prepared, &matcher, report.train_seconds, spec, gamma, mu, variant)
+    run_companies_table4_with(
+        prepared,
+        &matcher,
+        report.train_seconds,
+        spec,
+        gamma,
+        mu,
+        variant,
+    )
 }
 
 /// Variant runner that reuses a trained matcher (sensitivity rows).
@@ -404,26 +420,15 @@ pub fn run_companies_table4_with(
 ) -> Table4Cell {
     let (test_companies, test_securities) = company_test_universe(prepared);
     let encoded = spec.encode_records(&test_companies);
-    let gt = GroundTruth::from_records(&test_companies);
-    let candidates = company_candidates(
-        &test_companies,
-        &test_securities,
-        &TokenOverlapConfig::default(),
-    );
+    let domain = CompanyDomain::new(&test_companies, &test_securities);
     let config = PipelineConfig {
         cleanup: gralmatch_core::CleanupConfig::new(gamma, mu)
             .with_pre_cleanup(50)
             .variant(variant),
-        threads: threads(),
+        parallelism: Parallelism::Auto,
     };
-    let outcome = run_pipeline(
-        test_companies.len(),
-        &candidates,
-        matcher,
-        &encoded,
-        &gt,
-        &config,
-    );
+    let outcome = run_domain_with_matcher(&domain, matcher, &encoded, &config)
+        .expect("standard pipeline succeeds");
     Table4Cell {
         num_records: test_companies.len(),
         outcome,
@@ -446,21 +451,14 @@ pub fn run_securities_table4(
     );
     let (issuer_companies, test_securities) = security_test_universe(prepared);
     let encoded = spec.encode_records(&test_securities);
-    let gt = GroundTruth::from_records(&test_securities);
     let company_groups = heuristic_company_groups(&issuer_companies, &test_securities);
-    let candidates = security_candidates(&test_securities, &company_groups);
+    let domain = SecurityDomain::new(&test_securities, &company_groups);
     let config = PipelineConfig {
         cleanup: gralmatch_core::CleanupConfig::new(gamma, mu),
-        threads: threads(),
+        parallelism: Parallelism::Auto,
     };
-    let outcome = run_pipeline(
-        test_securities.len(),
-        &candidates,
-        &matcher,
-        &encoded,
-        &gt,
-        &config,
-    );
+    let outcome = run_domain_with_matcher(&domain, &matcher, &encoded, &config)
+        .expect("standard pipeline succeeds");
     Table4Cell {
         num_records: test_securities.len(),
         outcome,
@@ -469,7 +467,12 @@ pub fn run_securities_table4(
 }
 
 /// End-to-end WDC products experiment for one spec.
-pub fn run_wdc_table4(prepared: &PreparedWdc, spec: ModelSpec, gamma: usize, mu: usize) -> Table4Cell {
+pub fn run_wdc_table4(
+    prepared: &PreparedWdc,
+    spec: ModelSpec,
+    gamma: usize,
+    mu: usize,
+) -> Table4Cell {
     let pool = wdc_negative_pool(prepared);
     let (matcher, report) = train_spec_with_pool(
         prepared.products.records(),
@@ -489,20 +492,13 @@ pub fn run_wdc_table4(prepared: &PreparedWdc, spec: ModelSpec, gamma: usize, mu:
         }
     }
     let encoded = spec.encode_records(&test_products);
-    let gt = GroundTruth::from_records(&test_products);
-    let candidates = product_candidates(&test_products, &TokenOverlapConfig::default());
+    let domain = ProductDomain::new(&test_products);
     let config = PipelineConfig {
         cleanup: gralmatch_core::CleanupConfig::new(gamma, mu),
-        threads: threads(),
+        parallelism: Parallelism::Auto,
     };
-    let outcome = run_pipeline(
-        test_products.len(),
-        &candidates,
-        &matcher,
-        &encoded,
-        &gt,
-        &config,
-    );
+    let outcome = run_domain_with_matcher(&domain, &matcher, &encoded, &config)
+        .expect("standard pipeline succeeds");
     Table4Cell {
         num_records: test_products.len(),
         outcome,

@@ -20,23 +20,125 @@ pub struct Table3Row {
 
 /// Table 3 as published.
 pub const TABLE3: &[Table3Row] = &[
-    Table3Row { dataset: "Real Companies", model: "DITTO (128)", precision: 0.6882, recall: 0.8349, f1: 0.7511 },
-    Table3Row { dataset: "Real Companies", model: "DITTO (256)", precision: 0.9990, recall: 0.9967, f1: 0.9978 },
-    Table3Row { dataset: "Real Companies", model: "DistilBERT (128)-ALL", precision: 0.9993, recall: 0.9956, f1: 0.9973 },
-    Table3Row { dataset: "Synthetic Companies", model: "DITTO (128)", precision: 0.9945, recall: 0.9670, f1: 0.9815 },
-    Table3Row { dataset: "Synthetic Companies", model: "DITTO (256)", precision: 0.9955, recall: 0.9688, f1: 0.9820 },
-    Table3Row { dataset: "Synthetic Companies", model: "DistilBERT (128)-15K", precision: 0.9935, recall: 0.9477, f1: 0.9699 },
-    Table3Row { dataset: "Synthetic Companies", model: "DistilBERT (128)-ALL", precision: 0.9928, recall: 0.9609, f1: 0.9766 },
-    Table3Row { dataset: "Real Securities", model: "DITTO (128)", precision: 0.2555, recall: 0.6900, f1: 0.3389 },
-    Table3Row { dataset: "Real Securities", model: "DITTO (256)", precision: 0.9994, recall: 0.9913, f1: 0.9953 },
-    Table3Row { dataset: "Real Securities", model: "DistilBERT (128)-ALL", precision: 0.9948, recall: 0.9948, f1: 0.9947 },
-    Table3Row { dataset: "Synthetic Securities", model: "DITTO (128)", precision: 0.5782, recall: 0.5600, f1: 0.5647 },
-    Table3Row { dataset: "Synthetic Securities", model: "DITTO (256)", precision: 0.8551, recall: 0.9135, f1: 0.8833 },
-    Table3Row { dataset: "Synthetic Securities", model: "DistilBERT (128)-15K", precision: 0.9403, recall: 0.6111, f1: 0.7326 },
-    Table3Row { dataset: "Synthetic Securities", model: "DistilBERT (128)-ALL", precision: 0.9096, recall: 0.7055, f1: 0.7946 },
-    Table3Row { dataset: "WDC Products", model: "DITTO (128)", precision: 0.3592, recall: 0.6320, f1: 0.4581 },
-    Table3Row { dataset: "WDC Products", model: "DITTO (256)", precision: 0.4845, recall: 0.7230, f1: 0.5771 },
-    Table3Row { dataset: "WDC Products", model: "DistilBERT (128)-ALL", precision: 0.4624, recall: 0.7633, f1: 0.5758 },
+    Table3Row {
+        dataset: "Real Companies",
+        model: "DITTO (128)",
+        precision: 0.6882,
+        recall: 0.8349,
+        f1: 0.7511,
+    },
+    Table3Row {
+        dataset: "Real Companies",
+        model: "DITTO (256)",
+        precision: 0.9990,
+        recall: 0.9967,
+        f1: 0.9978,
+    },
+    Table3Row {
+        dataset: "Real Companies",
+        model: "DistilBERT (128)-ALL",
+        precision: 0.9993,
+        recall: 0.9956,
+        f1: 0.9973,
+    },
+    Table3Row {
+        dataset: "Synthetic Companies",
+        model: "DITTO (128)",
+        precision: 0.9945,
+        recall: 0.9670,
+        f1: 0.9815,
+    },
+    Table3Row {
+        dataset: "Synthetic Companies",
+        model: "DITTO (256)",
+        precision: 0.9955,
+        recall: 0.9688,
+        f1: 0.9820,
+    },
+    Table3Row {
+        dataset: "Synthetic Companies",
+        model: "DistilBERT (128)-15K",
+        precision: 0.9935,
+        recall: 0.9477,
+        f1: 0.9699,
+    },
+    Table3Row {
+        dataset: "Synthetic Companies",
+        model: "DistilBERT (128)-ALL",
+        precision: 0.9928,
+        recall: 0.9609,
+        f1: 0.9766,
+    },
+    Table3Row {
+        dataset: "Real Securities",
+        model: "DITTO (128)",
+        precision: 0.2555,
+        recall: 0.6900,
+        f1: 0.3389,
+    },
+    Table3Row {
+        dataset: "Real Securities",
+        model: "DITTO (256)",
+        precision: 0.9994,
+        recall: 0.9913,
+        f1: 0.9953,
+    },
+    Table3Row {
+        dataset: "Real Securities",
+        model: "DistilBERT (128)-ALL",
+        precision: 0.9948,
+        recall: 0.9948,
+        f1: 0.9947,
+    },
+    Table3Row {
+        dataset: "Synthetic Securities",
+        model: "DITTO (128)",
+        precision: 0.5782,
+        recall: 0.5600,
+        f1: 0.5647,
+    },
+    Table3Row {
+        dataset: "Synthetic Securities",
+        model: "DITTO (256)",
+        precision: 0.8551,
+        recall: 0.9135,
+        f1: 0.8833,
+    },
+    Table3Row {
+        dataset: "Synthetic Securities",
+        model: "DistilBERT (128)-15K",
+        precision: 0.9403,
+        recall: 0.6111,
+        f1: 0.7326,
+    },
+    Table3Row {
+        dataset: "Synthetic Securities",
+        model: "DistilBERT (128)-ALL",
+        precision: 0.9096,
+        recall: 0.7055,
+        f1: 0.7946,
+    },
+    Table3Row {
+        dataset: "WDC Products",
+        model: "DITTO (128)",
+        precision: 0.3592,
+        recall: 0.6320,
+        f1: 0.4581,
+    },
+    Table3Row {
+        dataset: "WDC Products",
+        model: "DITTO (256)",
+        precision: 0.4845,
+        recall: 0.7230,
+        f1: 0.5771,
+    },
+    Table3Row {
+        dataset: "WDC Products",
+        model: "DistilBERT (128)-ALL",
+        precision: 0.4624,
+        recall: 0.7633,
+        f1: 0.5758,
+    },
 ];
 
 /// One Table 4 row: the three evaluation stages.
@@ -56,46 +158,146 @@ pub struct Table4Row {
 
 /// Table 4 as published.
 pub const TABLE4: &[Table4Row] = &[
-    Table4Row { dataset: "Real Companies", model: "DITTO (128)",
-        pairwise: (0.2366, 0.9964, 0.3824), pre: (0.0005, 0.9966, 0.0010, 0.00), post: (0.9986, 0.9823, 0.9906, 1.00) },
-    Table4Row { dataset: "Real Companies", model: "DITTO (256)",
-        pairwise: (0.2366, 0.9964, 0.3824), pre: (0.2352, 0.9968, 0.3806, 0.00), post: (0.9842, 0.9970, 0.9905, 0.99) },
-    Table4Row { dataset: "Real Companies", model: "DistilBERT (128)-ALL",
-        pairwise: (0.9406, 0.9927, 0.9653), pre: (0.4907, 0.9973, 0.5692, 0.80), post: (0.8690, 0.9698, 0.9164, 0.93) },
-    Table4Row { dataset: "Synthetic Companies", model: "DITTO (128)",
-        pairwise: (0.3316, 0.8173, 0.4718), pre: (0.0000, 0.8306, 0.0000, 0.00), post: (0.9909, 0.3694, 0.5378, 0.99) },
-    Table4Row { dataset: "Synthetic Companies", model: "DITTO (256)",
-        pairwise: (0.3316, 0.8173, 0.4718), pre: (0.0000, 0.8366, 0.0000, 0.00), post: (0.9907, 0.3806, 0.5493, 0.99) },
-    Table4Row { dataset: "Synthetic Companies", model: "DistilBERT (128)-15K",
-        pairwise: (0.8308, 0.7748, 0.8011), pre: (0.0001, 0.8231, 0.0002, 0.42), post: (0.9806, 0.5790, 0.7234, 0.98) },
-    Table4Row { dataset: "Synthetic Companies", model: "DistilBERT (128)-ALL",
-        pairwise: (0.7703, 0.7946, 0.7818), pre: (0.0000, 0.8226, 0.0000, 0.23), post: (0.9876, 0.4331, 0.6003, 0.99) },
-    Table4Row { dataset: "Synthetic Companies", model: "DistilBERT (128)-ALL-MEC",
-        pairwise: (0.7703, 0.7946, 0.7818), pre: (0.0000, 0.8226, 0.0000, 0.23), post: (0.9857, 0.4279, 0.5950, 0.99) },
-    Table4Row { dataset: "Synthetic Companies", model: "DistilBERT (128)-ALL (1/2 g)",
-        pairwise: (0.7703, 0.7946, 0.7818), pre: (0.0000, 0.8226, 0.0000, 0.23), post: (0.9879, 0.4323, 0.5996, 0.99) },
-    Table4Row { dataset: "Synthetic Companies", model: "DistilBERT (128)-ALL-BC",
-        pairwise: (0.7703, 0.7946, 0.7818), pre: (0.0000, 0.8226, 0.0000, 0.23), post: (0.9876, 0.4331, 0.6003, 0.99) },
-    Table4Row { dataset: "Real Securities", model: "DITTO (128)",
-        pairwise: (0.1996, 0.9199, 0.3280), pre: (0.1995, 0.9210, 0.3280, 0.20), post: (0.1935, 0.1759, 0.1828, 0.19) },
-    Table4Row { dataset: "Real Securities", model: "DITTO (256)",
-        pairwise: (0.1996, 0.9199, 0.3280), pre: (0.1994, 0.9211, 0.3278, 0.20), post: (0.1970, 0.2093, 0.2030, 0.19) },
-    Table4Row { dataset: "Real Securities", model: "DistilBERT (128)-ALL",
-        pairwise: (0.9976, 0.9777, 0.9876), pre: (0.9973, 0.9808, 0.9890, 1.00), post: (0.9973, 0.9800, 0.9886, 1.00) },
-    Table4Row { dataset: "Synthetic Securities", model: "DITTO (128)",
-        pairwise: (0.9726, 0.5251, 0.6820), pre: (0.9639, 0.5458, 0.6969, 0.98), post: (0.9822, 0.4488, 0.6154, 0.99) },
-    Table4Row { dataset: "Synthetic Securities", model: "DITTO (256)",
-        pairwise: (0.9726, 0.5251, 0.6820), pre: (0.9623, 0.5708, 0.7166, 0.98), post: (0.9831, 0.5668, 0.7190, 0.99) },
-    Table4Row { dataset: "Synthetic Securities", model: "DistilBERT (128)-15K",
-        pairwise: (0.9726, 0.5706, 0.7159), pre: (0.9605, 0.5706, 0.7159, 0.98), post: (0.9808, 0.5656, 0.7171, 0.98) },
-    Table4Row { dataset: "Synthetic Securities", model: "DistilBERT (128)-ALL",
-        pairwise: (0.9558, 0.5328, 0.6840), pre: (0.8781, 0.5840, 0.6982, 0.94), post: (0.9670, 0.5752, 0.7211, 0.97) },
-    Table4Row { dataset: "WDC Products", model: "DITTO (128)",
-        pairwise: (0.1971, 0.3696, 0.2571), pre: (0.0119, 0.5038, 0.0233, 0.01), post: (0.7259, 0.0902, 0.1603, 0.84) },
-    Table4Row { dataset: "WDC Products", model: "DITTO (256)",
-        pairwise: (0.1971, 0.3696, 0.2571), pre: (0.2034, 0.3997, 0.2696, 0.01), post: (0.7414, 0.1806, 0.2896, 0.85) },
-    Table4Row { dataset: "WDC Products", model: "DistilBERT (128)-ALL",
-        pairwise: (0.3964, 0.6527, 0.4932), pre: (0.0747, 0.7140, 0.1303, 0.43), post: (0.3554, 0.5793, 0.4404, 0.53) },
+    Table4Row {
+        dataset: "Real Companies",
+        model: "DITTO (128)",
+        pairwise: (0.2366, 0.9964, 0.3824),
+        pre: (0.0005, 0.9966, 0.0010, 0.00),
+        post: (0.9986, 0.9823, 0.9906, 1.00),
+    },
+    Table4Row {
+        dataset: "Real Companies",
+        model: "DITTO (256)",
+        pairwise: (0.2366, 0.9964, 0.3824),
+        pre: (0.2352, 0.9968, 0.3806, 0.00),
+        post: (0.9842, 0.9970, 0.9905, 0.99),
+    },
+    Table4Row {
+        dataset: "Real Companies",
+        model: "DistilBERT (128)-ALL",
+        pairwise: (0.9406, 0.9927, 0.9653),
+        pre: (0.4907, 0.9973, 0.5692, 0.80),
+        post: (0.8690, 0.9698, 0.9164, 0.93),
+    },
+    Table4Row {
+        dataset: "Synthetic Companies",
+        model: "DITTO (128)",
+        pairwise: (0.3316, 0.8173, 0.4718),
+        pre: (0.0000, 0.8306, 0.0000, 0.00),
+        post: (0.9909, 0.3694, 0.5378, 0.99),
+    },
+    Table4Row {
+        dataset: "Synthetic Companies",
+        model: "DITTO (256)",
+        pairwise: (0.3316, 0.8173, 0.4718),
+        pre: (0.0000, 0.8366, 0.0000, 0.00),
+        post: (0.9907, 0.3806, 0.5493, 0.99),
+    },
+    Table4Row {
+        dataset: "Synthetic Companies",
+        model: "DistilBERT (128)-15K",
+        pairwise: (0.8308, 0.7748, 0.8011),
+        pre: (0.0001, 0.8231, 0.0002, 0.42),
+        post: (0.9806, 0.5790, 0.7234, 0.98),
+    },
+    Table4Row {
+        dataset: "Synthetic Companies",
+        model: "DistilBERT (128)-ALL",
+        pairwise: (0.7703, 0.7946, 0.7818),
+        pre: (0.0000, 0.8226, 0.0000, 0.23),
+        post: (0.9876, 0.4331, 0.6003, 0.99),
+    },
+    Table4Row {
+        dataset: "Synthetic Companies",
+        model: "DistilBERT (128)-ALL-MEC",
+        pairwise: (0.7703, 0.7946, 0.7818),
+        pre: (0.0000, 0.8226, 0.0000, 0.23),
+        post: (0.9857, 0.4279, 0.5950, 0.99),
+    },
+    Table4Row {
+        dataset: "Synthetic Companies",
+        model: "DistilBERT (128)-ALL (1/2 g)",
+        pairwise: (0.7703, 0.7946, 0.7818),
+        pre: (0.0000, 0.8226, 0.0000, 0.23),
+        post: (0.9879, 0.4323, 0.5996, 0.99),
+    },
+    Table4Row {
+        dataset: "Synthetic Companies",
+        model: "DistilBERT (128)-ALL-BC",
+        pairwise: (0.7703, 0.7946, 0.7818),
+        pre: (0.0000, 0.8226, 0.0000, 0.23),
+        post: (0.9876, 0.4331, 0.6003, 0.99),
+    },
+    Table4Row {
+        dataset: "Real Securities",
+        model: "DITTO (128)",
+        pairwise: (0.1996, 0.9199, 0.3280),
+        pre: (0.1995, 0.9210, 0.3280, 0.20),
+        post: (0.1935, 0.1759, 0.1828, 0.19),
+    },
+    Table4Row {
+        dataset: "Real Securities",
+        model: "DITTO (256)",
+        pairwise: (0.1996, 0.9199, 0.3280),
+        pre: (0.1994, 0.9211, 0.3278, 0.20),
+        post: (0.1970, 0.2093, 0.2030, 0.19),
+    },
+    Table4Row {
+        dataset: "Real Securities",
+        model: "DistilBERT (128)-ALL",
+        pairwise: (0.9976, 0.9777, 0.9876),
+        pre: (0.9973, 0.9808, 0.9890, 1.00),
+        post: (0.9973, 0.9800, 0.9886, 1.00),
+    },
+    Table4Row {
+        dataset: "Synthetic Securities",
+        model: "DITTO (128)",
+        pairwise: (0.9726, 0.5251, 0.6820),
+        pre: (0.9639, 0.5458, 0.6969, 0.98),
+        post: (0.9822, 0.4488, 0.6154, 0.99),
+    },
+    Table4Row {
+        dataset: "Synthetic Securities",
+        model: "DITTO (256)",
+        pairwise: (0.9726, 0.5251, 0.6820),
+        pre: (0.9623, 0.5708, 0.7166, 0.98),
+        post: (0.9831, 0.5668, 0.7190, 0.99),
+    },
+    Table4Row {
+        dataset: "Synthetic Securities",
+        model: "DistilBERT (128)-15K",
+        pairwise: (0.9726, 0.5706, 0.7159),
+        pre: (0.9605, 0.5706, 0.7159, 0.98),
+        post: (0.9808, 0.5656, 0.7171, 0.98),
+    },
+    Table4Row {
+        dataset: "Synthetic Securities",
+        model: "DistilBERT (128)-ALL",
+        pairwise: (0.9558, 0.5328, 0.6840),
+        pre: (0.8781, 0.5840, 0.6982, 0.94),
+        post: (0.9670, 0.5752, 0.7211, 0.97),
+    },
+    Table4Row {
+        dataset: "WDC Products",
+        model: "DITTO (128)",
+        pairwise: (0.1971, 0.3696, 0.2571),
+        pre: (0.0119, 0.5038, 0.0233, 0.01),
+        post: (0.7259, 0.0902, 0.1603, 0.84),
+    },
+    Table4Row {
+        dataset: "WDC Products",
+        model: "DITTO (256)",
+        pairwise: (0.1971, 0.3696, 0.2571),
+        pre: (0.2034, 0.3997, 0.2696, 0.01),
+        post: (0.7414, 0.1806, 0.2896, 0.85),
+    },
+    Table4Row {
+        dataset: "WDC Products",
+        model: "DistilBERT (128)-ALL",
+        pairwise: (0.3964, 0.6527, 0.4932),
+        pre: (0.0747, 0.7140, 0.1303, 0.43),
+        post: (0.3554, 0.5793, 0.4404, 0.53),
+    },
 ];
 
 /// Table 1: dataset statistics (synthetic columns; real columns are
@@ -120,10 +322,42 @@ pub struct Table1Column {
 
 /// Table 1 as published.
 pub const TABLE1: &[Table1Column] = &[
-    Table1Column { dataset: "Synthetic Companies", sources: 5.0, entities: 200_000.0, records: 868_000.0, matches: 1_500_000.0, avg_matches: 7.5, pct_descriptions: Some(0.32) },
-    Table1Column { dataset: "Synthetic Securities", sources: 5.0, entities: 275_000.0, records: 984_000.0, matches: 1_500_000.0, avg_matches: 5.4, pct_descriptions: None },
-    Table1Column { dataset: "Real Companies (est.)", sources: 10.0, entities: 200_000.0, records: 600_000.0, matches: 1_000_000.0, avg_matches: 7.0, pct_descriptions: Some(0.25) },
-    Table1Column { dataset: "Real Securities (est.)", sources: 10.0, entities: 250_000.0, records: 1_000_000.0, matches: 1_500_000.0, avg_matches: 10.0, pct_descriptions: None },
+    Table1Column {
+        dataset: "Synthetic Companies",
+        sources: 5.0,
+        entities: 200_000.0,
+        records: 868_000.0,
+        matches: 1_500_000.0,
+        avg_matches: 7.5,
+        pct_descriptions: Some(0.32),
+    },
+    Table1Column {
+        dataset: "Synthetic Securities",
+        sources: 5.0,
+        entities: 275_000.0,
+        records: 984_000.0,
+        matches: 1_500_000.0,
+        avg_matches: 5.4,
+        pct_descriptions: None,
+    },
+    Table1Column {
+        dataset: "Real Companies (est.)",
+        sources: 10.0,
+        entities: 200_000.0,
+        records: 600_000.0,
+        matches: 1_000_000.0,
+        avg_matches: 7.0,
+        pct_descriptions: Some(0.25),
+    },
+    Table1Column {
+        dataset: "Real Securities (est.)",
+        sources: 10.0,
+        entities: 250_000.0,
+        records: 1_000_000.0,
+        matches: 1_500_000.0,
+        avg_matches: 10.0,
+        pct_descriptions: None,
+    },
 ];
 
 /// Table 2: blocking setup per dataset.
@@ -145,11 +379,46 @@ pub struct Table2Row {
 
 /// Table 2 as published.
 pub const TABLE2: &[Table2Row] = &[
-    Table2Row { dataset: "Real Companies", blockings: "ID Overlap + Token Overlap", records: 6_300.0, candidate_pairs: 51_000.0, gamma: 40, mu: 8 },
-    Table2Row { dataset: "Synthetic Companies", blockings: "ID Overlap + Token Overlap", records: 174_000.0, candidate_pairs: 1_140_000.0, gamma: 25, mu: 5 },
-    Table2Row { dataset: "Real Securities", blockings: "ID Overlap + Issuer Match", records: 12_800.0, candidate_pairs: 41_000.0, gamma: 40, mu: 8 },
-    Table2Row { dataset: "Synthetic Securities", blockings: "ID Overlap + Issuer Match", records: 197_000.0, candidate_pairs: 826_000.0, gamma: 25, mu: 5 },
-    Table2Row { dataset: "WDC Products", blockings: "Token Overlap", records: 1_000.0, candidate_pairs: 9_100.0, gamma: 25, mu: 5 },
+    Table2Row {
+        dataset: "Real Companies",
+        blockings: "ID Overlap + Token Overlap",
+        records: 6_300.0,
+        candidate_pairs: 51_000.0,
+        gamma: 40,
+        mu: 8,
+    },
+    Table2Row {
+        dataset: "Synthetic Companies",
+        blockings: "ID Overlap + Token Overlap",
+        records: 174_000.0,
+        candidate_pairs: 1_140_000.0,
+        gamma: 25,
+        mu: 5,
+    },
+    Table2Row {
+        dataset: "Real Securities",
+        blockings: "ID Overlap + Issuer Match",
+        records: 12_800.0,
+        candidate_pairs: 41_000.0,
+        gamma: 40,
+        mu: 8,
+    },
+    Table2Row {
+        dataset: "Synthetic Securities",
+        blockings: "ID Overlap + Issuer Match",
+        records: 197_000.0,
+        candidate_pairs: 826_000.0,
+        gamma: 25,
+        mu: 5,
+    },
+    Table2Row {
+        dataset: "WDC Products",
+        blockings: "Token Overlap",
+        records: 1_000.0,
+        candidate_pairs: 9_100.0,
+        gamma: 25,
+        mu: 5,
+    },
 ];
 
 /// Look up a Table 3 reference row.

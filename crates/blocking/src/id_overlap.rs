@@ -31,7 +31,10 @@ fn pairs_from_postings(
         for i in 0..holders.len() {
             for j in (i + 1)..holders.len() {
                 if source_of(holders[i]) != source_of(holders[j]) {
-                    out.add(RecordPair::new(holders[i], holders[j]), BlockingKind::IdOverlap);
+                    out.add(
+                        RecordPair::new(holders[i], holders[j]),
+                        BlockingKind::IdOverlap,
+                    );
                 }
             }
         }
@@ -43,14 +46,13 @@ pub fn id_overlap_securities(securities: &[SecurityRecord], out: &mut CandidateS
     let mut postings: FxHashMap<&str, Vec<RecordId>> = FxHashMap::default();
     for record in securities {
         for code in record.id_codes() {
-            postings.entry(code.value.as_str()).or_default().push(record.id());
+            postings
+                .entry(code.value.as_str())
+                .or_default()
+                .push(record.id());
         }
     }
-    pairs_from_postings(
-        &postings,
-        |id| securities[id.0 as usize].source().0,
-        out,
-    );
+    pairs_from_postings(&postings, |id| securities[id.0 as usize].source().0, out);
 }
 
 /// ID-overlap candidates among company records, via their securities'
@@ -64,11 +66,17 @@ pub fn id_overlap_companies(
     let mut postings: FxHashMap<&str, Vec<RecordId>> = FxHashMap::default();
     for company in companies {
         for code in company.id_codes() {
-            postings.entry(code.value.as_str()).or_default().push(company.id());
+            postings
+                .entry(code.value.as_str())
+                .or_default()
+                .push(company.id());
         }
         for &security_id in &company.securities {
             for code in securities[security_id.0 as usize].id_codes() {
-                postings.entry(code.value.as_str()).or_default().push(company.id());
+                postings
+                    .entry(code.value.as_str())
+                    .or_default()
+                    .push(company.id());
             }
         }
     }
@@ -78,11 +86,7 @@ pub fn id_overlap_companies(
         holders.sort_unstable();
         holders.dedup();
     }
-    pairs_from_postings(
-        &postings,
-        |id| companies[id.0 as usize].source().0,
-        out,
-    );
+    pairs_from_postings(&postings, |id| companies[id.0 as usize].source().0, out);
 }
 
 #[cfg(test)]

@@ -107,10 +107,10 @@ mod tests {
     #[test]
     fn oversized_groups_skipped() {
         let n = MAX_GROUP_SECURITIES as u32 + 10;
-        let securities: Vec<SecurityRecord> =
-            (0..n).map(|i| security(i, (i % 7) as u16, 100 + i)).collect();
-        let map: FxHashMap<RecordId, u32> =
-            (0..n).map(|i| (RecordId(100 + i), 0)).collect();
+        let securities: Vec<SecurityRecord> = (0..n)
+            .map(|i| security(i, (i % 7) as u16, 100 + i))
+            .collect();
+        let map: FxHashMap<RecordId, u32> = (0..n).map(|i| (RecordId(100 + i), 0)).collect();
         let mut set = CandidateSet::new();
         issuer_match(&securities, &map, &mut set);
         assert!(set.is_empty());

@@ -12,11 +12,18 @@
 //! Candidates carry provenance flags ([`CandidateSet`]) because the Pre
 //! Graph Cleanup removes token-overlap edges in oversized components.
 
+//!
+//! Recipes compose declaratively through the [`BlockingStrategy`] trait:
+//! each dataset's Table 2 blocking list is a `Vec<Box<dyn
+//! BlockingStrategy<R>>>` folded by [`run_strategies`] (or by the pipeline
+//! engine's blocking stage).
+
 pub mod candidates;
 pub mod id_overlap;
 pub mod issuer_match;
 pub mod recall;
 pub mod sorted_neighborhood;
+pub mod strategy;
 pub mod token_overlap;
 
 pub use candidates::{BlockingKind, CandidateSet};
@@ -24,4 +31,8 @@ pub use id_overlap::{id_overlap_companies, id_overlap_securities};
 pub use issuer_match::issuer_match;
 pub use recall::{blocking_quality, blocking_recall_by_kind, BlockingQuality};
 pub use sorted_neighborhood::{sorted_neighborhood, SortedNeighborhoodConfig};
+pub use strategy::{
+    run_strategies, BlockingStrategy, CompanyIdOverlap, IssuerMatch, SecurityIdOverlap,
+    SortedNeighborhood, TokenOverlap,
+};
 pub use token_overlap::{token_overlap, TokenOverlapConfig};

@@ -116,9 +116,18 @@ mod tests {
         set.add(pair(0, 1), BlockingKind::IdOverlap);
         set.add(pair(2, 3), BlockingKind::TokenOverlap);
         let g = gt();
-        assert_eq!(blocking_recall_by_kind(&set, &g, BlockingKind::IdOverlap), 0.5);
-        assert_eq!(blocking_recall_by_kind(&set, &g, BlockingKind::TokenOverlap), 0.5);
-        assert_eq!(blocking_recall_by_kind(&set, &g, BlockingKind::IssuerMatch), 0.0);
+        assert_eq!(
+            blocking_recall_by_kind(&set, &g, BlockingKind::IdOverlap),
+            0.5
+        );
+        assert_eq!(
+            blocking_recall_by_kind(&set, &g, BlockingKind::TokenOverlap),
+            0.5
+        );
+        assert_eq!(
+            blocking_recall_by_kind(&set, &g, BlockingKind::IssuerMatch),
+            0.0
+        );
     }
 
     #[test]

@@ -46,7 +46,11 @@ pub fn sorted_neighborhood<R: Record>(
     keyed.sort();
     for i in 0..keyed.len() {
         let (_, a) = &keyed[i];
-        for (_, b) in keyed.iter().skip(i + 1).take(config.window.saturating_sub(1)) {
+        for (_, b) in keyed
+            .iter()
+            .skip(i + 1)
+            .take(config.window.saturating_sub(1))
+        {
             if records[*a].source() == records[*b].source() {
                 continue;
             }

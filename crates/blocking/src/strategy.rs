@@ -1,0 +1,210 @@
+//! Composable blocking strategies.
+//!
+//! Table 2's per-dataset blocking recipes used to be bespoke free functions
+//! wired into each pipeline copy. The [`BlockingStrategy`] trait turns a
+//! recipe into a *declarative list of strategy values* — companies run
+//! `[CompanyIdOverlap, TokenOverlap]`, securities `[SecurityIdOverlap,
+//! IssuerMatch]`, products `[TokenOverlap]` — which the generic blocking
+//! stage folds into one provenance-tagged [`CandidateSet`]. New workloads
+//! compose their own lists (or implement the trait) without touching the
+//! engine.
+//!
+//! Strategies borrow whatever side context they need (companies reach
+//! *through* their securities' codes; issuer match needs the company-level
+//! group assignment), so building a list is free of copies.
+
+use crate::candidates::{BlockingKind, CandidateSet};
+use crate::id_overlap::{id_overlap_companies, id_overlap_securities};
+use crate::issuer_match::issuer_match;
+use crate::sorted_neighborhood::{sorted_neighborhood, SortedNeighborhoodConfig};
+use crate::token_overlap::{token_overlap, TokenOverlapConfig};
+use gralmatch_records::{CompanyRecord, Record, RecordId, SecurityRecord};
+use gralmatch_util::FxHashMap;
+
+/// One blocking recipe step over records of type `R`.
+pub trait BlockingStrategy<R: Record>: Sync {
+    /// Provenance flag recorded for pairs this strategy proposes.
+    fn kind(&self) -> BlockingKind;
+
+    /// Short label for traces and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Propose candidate pairs into `out` (merging provenance on duplicates).
+    fn block(&self, records: &[R], out: &mut CandidateSet);
+}
+
+/// Fold a strategy list into one candidate set.
+pub fn run_strategies<R: Record>(
+    records: &[R],
+    strategies: &[Box<dyn BlockingStrategy<R> + '_>],
+) -> CandidateSet {
+    let mut out = CandidateSet::new();
+    for strategy in strategies {
+        strategy.block(records, &mut out);
+    }
+    out
+}
+
+/// Token-Overlap blocking (Table 2, blocking 2) for any record type.
+#[derive(Debug, Clone, Default)]
+pub struct TokenOverlap {
+    /// Top-n / DF-cut / overlap-floor parameters.
+    pub config: TokenOverlapConfig,
+}
+
+impl TokenOverlap {
+    /// Strategy with the given parameters.
+    pub fn new(config: TokenOverlapConfig) -> Self {
+        TokenOverlap { config }
+    }
+}
+
+impl<R: Record + Sync> BlockingStrategy<R> for TokenOverlap {
+    fn kind(&self) -> BlockingKind {
+        BlockingKind::TokenOverlap
+    }
+
+    fn name(&self) -> &'static str {
+        "token-overlap"
+    }
+
+    fn block(&self, records: &[R], out: &mut CandidateSet) {
+        token_overlap(records, &self.config, out);
+    }
+}
+
+/// ID-Overlap blocking for security records (shared identifier codes).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SecurityIdOverlap;
+
+impl BlockingStrategy<SecurityRecord> for SecurityIdOverlap {
+    fn kind(&self) -> BlockingKind {
+        BlockingKind::IdOverlap
+    }
+
+    fn name(&self) -> &'static str {
+        "id-overlap"
+    }
+
+    fn block(&self, records: &[SecurityRecord], out: &mut CandidateSet) {
+        id_overlap_securities(records, out);
+    }
+}
+
+/// ID-Overlap blocking for companies, matching through the identifier codes
+/// of the securities each company issues (plus its own LEIs).
+#[derive(Debug, Clone, Copy)]
+pub struct CompanyIdOverlap<'a> {
+    /// The security universe the companies' `securities` ids point into.
+    pub securities: &'a [SecurityRecord],
+}
+
+impl BlockingStrategy<CompanyRecord> for CompanyIdOverlap<'_> {
+    fn kind(&self) -> BlockingKind {
+        BlockingKind::IdOverlap
+    }
+
+    fn name(&self) -> &'static str {
+        "id-overlap"
+    }
+
+    fn block(&self, records: &[CompanyRecord], out: &mut CandidateSet) {
+        id_overlap_companies(records, self.securities, out);
+    }
+}
+
+/// Issuer-Match blocking (securities only): securities of co-grouped
+/// issuers become candidates.
+#[derive(Debug, Clone, Copy)]
+pub struct IssuerMatch<'a> {
+    /// Company record id → matched-group id (output of a company matching).
+    pub company_group_of: &'a FxHashMap<RecordId, u32>,
+}
+
+impl BlockingStrategy<SecurityRecord> for IssuerMatch<'_> {
+    fn kind(&self) -> BlockingKind {
+        BlockingKind::IssuerMatch
+    }
+
+    fn name(&self) -> &'static str {
+        "issuer-match"
+    }
+
+    fn block(&self, records: &[SecurityRecord], out: &mut CandidateSet) {
+        issuer_match(records, self.company_group_of, out);
+    }
+}
+
+/// Sorted-neighborhood baseline (not part of the paper's recipes).
+#[derive(Debug, Clone, Default)]
+pub struct SortedNeighborhood {
+    /// Window parameters.
+    pub config: SortedNeighborhoodConfig,
+}
+
+impl<R: Record + Sync> BlockingStrategy<R> for SortedNeighborhood {
+    fn kind(&self) -> BlockingKind {
+        BlockingKind::SortedNeighborhood
+    }
+
+    fn name(&self) -> &'static str {
+        "sorted-neighborhood"
+    }
+
+    fn block(&self, records: &[R], out: &mut CandidateSet) {
+        sorted_neighborhood(records, &self.config, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gralmatch_records::{IdCode, IdKind, SourceId};
+
+    fn security(id: u32, source: u16, issuer: u32, code: &str) -> SecurityRecord {
+        SecurityRecord::new(RecordId(id), SourceId(source), "S ORD", RecordId(issuer))
+            .with_code(IdCode::new(IdKind::Isin, code))
+    }
+
+    #[test]
+    fn strategy_list_merges_provenance() {
+        let securities = vec![
+            security(0, 0, 10, "AAA"),
+            security(1, 1, 11, "AAA"),
+            security(2, 2, 12, "BBB"),
+        ];
+        let groups: FxHashMap<RecordId, u32> =
+            [(RecordId(10), 0), (RecordId(11), 0)].into_iter().collect();
+        let strategies: Vec<Box<dyn BlockingStrategy<SecurityRecord>>> = vec![
+            Box::new(SecurityIdOverlap),
+            Box::new(IssuerMatch {
+                company_group_of: &groups,
+            }),
+        ];
+        let candidates = run_strategies(&securities, &strategies);
+        let pair = gralmatch_records::RecordPair::new(RecordId(0), RecordId(1));
+        // Both strategies proposed (0,1): provenance carries both flags.
+        assert!(candidates.from_blocking(pair, BlockingKind::IdOverlap));
+        assert!(candidates.from_blocking(pair, BlockingKind::IssuerMatch));
+        assert_eq!(candidates.len(), 1);
+    }
+
+    #[test]
+    fn empty_strategy_list_yields_empty_set() {
+        let securities = vec![security(0, 0, 10, "AAA")];
+        let strategies: Vec<Box<dyn BlockingStrategy<SecurityRecord>>> = Vec::new();
+        assert!(run_strategies(&securities, &strategies).is_empty());
+    }
+
+    #[test]
+    fn names_and_kinds_align() {
+        assert_eq!(
+            BlockingStrategy::<SecurityRecord>::kind(&SecurityIdOverlap),
+            BlockingKind::IdOverlap
+        );
+        assert_eq!(
+            BlockingStrategy::<SecurityRecord>::name(&TokenOverlap::default()),
+            "token-overlap"
+        );
+    }
+}

@@ -40,7 +40,11 @@ impl Default for TokenOverlapConfig {
 }
 
 /// Run the blocking over any record collection.
-pub fn token_overlap<R: Record>(records: &[R], config: &TokenOverlapConfig, out: &mut CandidateSet) {
+pub fn token_overlap<R: Record>(
+    records: &[R],
+    config: &TokenOverlapConfig,
+    out: &mut CandidateSet,
+) {
     // Tokenize all records once.
     let token_lists: Vec<Vec<String>> = records.iter().map(|r| tokenize(&r.full_text())).collect();
 
@@ -51,9 +55,7 @@ pub fn token_overlap<R: Record>(records: &[R], config: &TokenOverlapConfig, out:
         let mut seen: gralmatch_util::FxHashSet<u32> = gralmatch_util::FxHashSet::default();
         for token in tokens {
             let next_id = postings.len() as u32;
-            let id = *token_ids.entry(token.as_str()).or_insert_with(|| {
-                next_id
-            });
+            let id = *token_ids.entry(token.as_str()).or_insert_with(|| next_id);
             if id as usize == postings.len() {
                 postings.push(Vec::new());
             }
@@ -97,7 +99,10 @@ pub fn token_overlap<R: Record>(records: &[R], config: &TokenOverlapConfig, out:
             .collect();
         ranked.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
         for &(_, other) in ranked.iter().take(config.top_n) {
-            out.add(RecordPair::new(record.id(), other), BlockingKind::TokenOverlap);
+            out.add(
+                RecordPair::new(record.id(), other),
+                BlockingKind::TokenOverlap,
+            );
         }
     }
 }
@@ -157,7 +162,11 @@ mod tests {
         // Record 0 overlaps with 20 near-identical records; top_n = 3 keeps 3.
         let mut records = vec![company(0, 0, "Quantum Edge Systems Zurich")];
         for i in 1..=20 {
-            records.push(company(i, 1 + (i % 3) as u16, "Quantum Edge Systems Zurich"));
+            records.push(company(
+                i,
+                1 + (i % 3) as u16,
+                "Quantum Edge Systems Zurich",
+            ));
         }
         let config = TokenOverlapConfig {
             top_n: 3,

@@ -1,0 +1,172 @@
+//! Property-style tests for `CandidateSet` provenance semantics.
+//!
+//! Seeded-random cases (the offline build has no `proptest`) checking the
+//! invariants the Pre Graph Cleanup depends on: duplicate pairs merge their
+//! provenance bitmasks, iteration order is deterministic, and unioning
+//! overlapping blockings never loses pairs or flags.
+
+use gralmatch_blocking::{BlockingKind, CandidateSet};
+use gralmatch_records::{RecordId, RecordPair};
+use gralmatch_util::SplitRng;
+
+const KINDS: [BlockingKind; 4] = [
+    BlockingKind::IdOverlap,
+    BlockingKind::TokenOverlap,
+    BlockingKind::IssuerMatch,
+    BlockingKind::SortedNeighborhood,
+];
+
+fn random_pair(rng: &mut SplitRng, universe: u32) -> RecordPair {
+    loop {
+        let a = rng.next_below(universe as usize) as u32;
+        let b = rng.next_below(universe as usize) as u32;
+        if a != b {
+            return RecordPair::new(RecordId(a), RecordId(b));
+        }
+    }
+}
+
+/// A random `(pair, kind)` stream plus the reference model: a plain map of
+/// pair → expected provenance bitmask.
+fn random_additions(
+    rng: &mut SplitRng,
+    n: usize,
+) -> (
+    Vec<(RecordPair, BlockingKind)>,
+    std::collections::HashMap<RecordPair, u8>,
+) {
+    let mut additions = Vec::with_capacity(n);
+    let mut expected: std::collections::HashMap<RecordPair, u8> = std::collections::HashMap::new();
+    for _ in 0..n {
+        let pair = random_pair(rng, 20);
+        let kind = KINDS[rng.next_below(KINDS.len())];
+        additions.push((pair, kind));
+        *expected.entry(pair).or_insert(0) |= kind.flag();
+    }
+    (additions, expected)
+}
+
+#[test]
+fn add_merges_bitmask_flags_on_duplicates() {
+    for case in 0..100u64 {
+        let mut rng = SplitRng::new(0xB1).split_index(case);
+        let (additions, expected) = random_additions(&mut rng, 120);
+        let mut set = CandidateSet::new();
+        for &(pair, kind) in &additions {
+            set.add(pair, kind);
+        }
+        assert_eq!(set.len(), expected.len(), "case {case}");
+        for (&pair, &flags) in &expected {
+            assert_eq!(set.provenance(pair), flags, "case {case}: {pair:?}");
+            for kind in KINDS {
+                assert_eq!(
+                    set.from_blocking(pair, kind),
+                    flags & kind.flag() != 0,
+                    "case {case}: {pair:?} {kind:?}"
+                );
+                assert_eq!(
+                    set.only_from(pair, kind),
+                    flags == kind.flag(),
+                    "case {case}: {pair:?} {kind:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn extend_is_equivalent_to_repeated_add() {
+    for case in 0..100u64 {
+        let mut rng = SplitRng::new(0xB2).split_index(case);
+        let pairs: Vec<RecordPair> = (0..rng.next_below(80))
+            .map(|_| random_pair(&mut rng, 20))
+            .collect();
+        let kind = KINDS[rng.next_below(KINDS.len())];
+
+        let mut via_extend = CandidateSet::new();
+        via_extend.extend(pairs.iter().copied(), kind);
+        let mut via_add = CandidateSet::new();
+        for &pair in &pairs {
+            via_add.add(pair, kind);
+        }
+        assert_eq!(
+            via_extend.pairs_sorted(),
+            via_add.pairs_sorted(),
+            "case {case}"
+        );
+        for &pair in &pairs {
+            assert_eq!(
+                via_extend.provenance(pair),
+                via_add.provenance(pair),
+                "case {case}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pairs_sorted_is_deterministic_and_insertion_order_free() {
+    for case in 0..100u64 {
+        let mut rng = SplitRng::new(0xB3).split_index(case);
+        let (additions, _) = random_additions(&mut rng, 100);
+
+        let mut forward = CandidateSet::new();
+        for &(pair, kind) in &additions {
+            forward.add(pair, kind);
+        }
+        let mut backward = CandidateSet::new();
+        for &(pair, kind) in additions.iter().rev() {
+            backward.add(pair, kind);
+        }
+
+        let sorted = forward.pairs_sorted();
+        // Deterministic: repeated calls agree; insertion order irrelevant.
+        assert_eq!(sorted, forward.pairs_sorted(), "case {case}");
+        assert_eq!(sorted, backward.pairs_sorted(), "case {case}");
+        // Actually sorted and duplicate-free.
+        assert!(sorted.windows(2).all(|w| w[0] < w[1]), "case {case}");
+    }
+}
+
+#[test]
+fn union_of_overlapping_blockings_preserves_counts_and_flags() {
+    for case in 0..100u64 {
+        let mut rng = SplitRng::new(0xB4).split_index(case);
+        // Two overlapping blocking outputs over the same small universe.
+        let first: Vec<RecordPair> = (0..rng.range_inclusive(1, 60))
+            .map(|_| random_pair(&mut rng, 12))
+            .collect();
+        let second: Vec<RecordPair> = (0..rng.range_inclusive(1, 60))
+            .map(|_| random_pair(&mut rng, 12))
+            .collect();
+
+        let mut union = CandidateSet::new();
+        union.extend(first.iter().copied(), BlockingKind::IdOverlap);
+        union.extend(second.iter().copied(), BlockingKind::TokenOverlap);
+
+        // Count survives the union: distinct pairs of first ∪ second.
+        let distinct: std::collections::HashSet<RecordPair> =
+            first.iter().chain(second.iter()).copied().collect();
+        assert_eq!(union.len(), distinct.len(), "case {case}");
+
+        // Every pair keeps the flags of every blocking that proposed it.
+        for pair in &distinct {
+            assert_eq!(
+                union.from_blocking(*pair, BlockingKind::IdOverlap),
+                first.contains(pair),
+                "case {case}"
+            );
+            assert_eq!(
+                union.from_blocking(*pair, BlockingKind::TokenOverlap),
+                second.contains(pair),
+                "case {case}"
+            );
+        }
+
+        // Iteration agrees with provenance lookups.
+        for (pair, flags) in union.iter() {
+            assert_eq!(union.provenance(pair), flags, "case {case}");
+            assert_ne!(flags, 0, "case {case}: stored pair without provenance");
+        }
+    }
+}

@@ -79,8 +79,7 @@ pub fn threshold_for_precision(curve: &[PrPoint], min_precision: f64) -> Option<
     curve
         .iter()
         .copied()
-        .filter(|point| point.precision >= min_precision)
-        .last()
+        .rfind(|point| point.precision >= min_precision)
 }
 
 /// The threshold maximizing F1.

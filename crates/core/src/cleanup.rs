@@ -119,7 +119,8 @@ pub fn pre_cleanup(
                 gralmatch_records::RecordId(sub.locals[a as usize]),
                 gralmatch_records::RecordId(sub.locals[b as usize]),
             );
-            if is_removable(pair) && graph.remove_edge(sub.locals[a as usize], sub.locals[b as usize])
+            if is_removable(pair)
+                && graph.remove_edge(sub.locals[a as usize], sub.locals[b as usize])
             {
                 removed += 1;
             }

@@ -42,14 +42,13 @@ fn majority<'a>(values: impl Iterator<Item = &'a str>) -> String {
     }
     let mut entries: Vec<(&str, usize)> = counts.into_iter().collect();
     entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
-    entries.first().map_or(String::new(), |(v, _)| (*v).to_string())
+    entries
+        .first()
+        .map_or(String::new(), |(v, _)| (*v).to_string())
 }
 
 /// Consolidate one matched group of company records.
-pub fn consolidate_company_group(
-    group: &[RecordId],
-    records: &[CompanyRecord],
-) -> GoldenCompany {
+pub fn consolidate_company_group(group: &[RecordId], records: &[CompanyRecord]) -> GoldenCompany {
     let members: Vec<&CompanyRecord> = group.iter().map(|&r| &records[r.0 as usize]).collect();
     let mut id_codes: Vec<IdCode> = members
         .iter()
@@ -94,8 +93,8 @@ mod tests {
     use gralmatch_records::{EntityId, IdKind, SourceId};
 
     fn company(id: u32, source: u16, name: &str, city: &str) -> CompanyRecord {
-        let mut c = CompanyRecord::new(RecordId(id), SourceId(source), name)
-            .with_entity(EntityId(1));
+        let mut c =
+            CompanyRecord::new(RecordId(id), SourceId(source), name).with_entity(EntityId(1));
         c.city = city.into();
         c
     }
@@ -107,8 +106,7 @@ mod tests {
             company(1, 1, "Crowdstrike Inc.", "Austin"),
             company(2, 2, "CROWDSTRIKE", ""),
         ];
-        let golden =
-            consolidate_company_group(&[RecordId(0), RecordId(1), RecordId(2)], &records);
+        let golden = consolidate_company_group(&[RecordId(0), RecordId(1), RecordId(2)], &records);
         assert_eq!(golden.name, "Crowdstrike Inc.");
         assert_eq!(golden.city, "Austin", "empty values never win");
         assert_eq!(golden.num_sources, 3);

@@ -79,11 +79,7 @@ mod tests {
     }
 
     fn gt_of(assignments: &[(u32, u32)]) -> GroundTruth {
-        GroundTruth::from_assignments(
-            assignments
-                .iter()
-                .map(|&(r, e)| (RecordId(r), EntityId(e))),
-        )
+        GroundTruth::from_assignments(assignments.iter().map(|&(r, e)| (RecordId(r), EntityId(e))))
     }
 
     #[test]

@@ -81,7 +81,10 @@ pub fn label_propagation_groups(
 
     let mut groups: FxHashMap<u32, Vec<RecordId>> = FxHashMap::default();
     for v in 0..n as u32 {
-        groups.entry(label[v as usize]).or_default().push(RecordId(v));
+        groups
+            .entry(label[v as usize])
+            .or_default()
+            .push(RecordId(v));
     }
     let mut out: Vec<Vec<RecordId>> = groups.into_values().collect();
     for group in &mut out {

@@ -1,38 +1,62 @@
 //! GraLMatch core: entity group matching with graph cleanup.
 //!
-//! The paper's primary contribution, end to end (Figure 1):
-//! blocking → pairwise matching → **GraLMatch Graph Cleanup** (pre-cleanup +
+//! The paper's primary contribution, end to end (Figure 1), as a
+//! **domain-generic staged execution engine**: a
+//! [`MatchingDomain`](domain::MatchingDomain) (companies, securities,
+//! products, or any future workload) plugs its records, ground truth, and
+//! declarative blocking-strategy list into the
+//! [`StagePipeline`](stage::StagePipeline), which drives blocking →
+//! pairwise matching → **GraLMatch Graph Cleanup** (pre-cleanup +
 //! Algorithm 1: minimum edge cuts above γ, max-betweenness edge removal
-//! above μ) → entity groups, with the three-stage evaluation protocol
-//! (pairwise / pre-cleanup / post-cleanup) and the Cluster Purity metric.
+//! above μ) → entity groups, with per-stage diagnostics in a
+//! [`PipelineTrace`](trace::PipelineTrace) and the three-stage evaluation
+//! protocol (pairwise / pre-cleanup / post-cleanup) with Cluster Purity.
 //!
+//! * [`domain`] — the `MatchingDomain` trait + the three paper domains,
+//! * [`stage`] — the `Stage` trait, context, and the execution engine,
+//! * [`trace`] — unified per-stage wall-clock/throughput/memory reporting,
 //! * [`groups`] — prediction graph, components, closure counting,
 //! * [`cleanup`] — Algorithm 1 + pre-cleanup + sensitivity variants,
 //! * [`metrics`] — pairwise & group metrics, Cluster Purity,
-//! * [`pipeline`] — per-dataset blocking recipes and the full pipeline.
+//! * [`pipeline`] — config, outcome, oracle scorers, deprecated shims.
 
 pub mod adaptive;
 pub mod calibration;
 pub mod cleanup;
 pub mod consolidate;
 pub mod diagnostics;
+pub mod domain;
 pub mod groups;
 pub mod label_propagation;
 pub mod metrics;
 pub mod pipeline;
+pub mod stage;
+pub mod trace;
 
 pub use adaptive::{adaptive_cleanup, AdaptiveConfig};
 pub use calibration::{
-    average_precision, best_f1_threshold, precision_recall_curve, threshold_for_precision,
-    PrPoint,
+    average_precision, best_f1_threshold, precision_recall_curve, threshold_for_precision, PrPoint,
 };
+pub use cleanup::{graph_cleanup, pre_cleanup, CleanupConfig, CleanupReport, CleanupVariant};
 pub use consolidate::{consolidate_companies, consolidate_company_group, GoldenCompany};
 pub use diagnostics::{diagnose, GraphDiagnostics};
-pub use label_propagation::{label_propagation_groups, LabelPropagationConfig};
-pub use cleanup::{graph_cleanup, pre_cleanup, CleanupConfig, CleanupReport, CleanupVariant};
+pub use domain::{
+    blocked_candidates, run_domain, run_domain_with_matcher, CompanyDomain, MatchingDomain,
+    ProductDomain, SecurityDomain,
+};
 pub use groups::{count_group_pairs, entity_groups, group_assignment, prediction_graph};
+pub use label_propagation::{label_propagation_groups, LabelPropagationConfig};
 pub use metrics::{group_metrics, pairwise_metrics, GroupMetrics, PairMetrics};
+#[allow(deprecated)]
 pub use pipeline::{
     company_candidates, product_candidates, run_pipeline, run_pipeline_with_oracle,
-    security_candidates, MatchingOutcome, OracleMatcher, PipelineConfig,
+    security_candidates,
 };
+pub use pipeline::{
+    run_with_candidates, MatchingOutcome, OracleMatcher, OracleScorer, PipelineConfig,
+};
+pub use stage::{
+    BlockingStage, CleanupStage, GroupingStage, InferenceStage, Stage, StageContext, StagePipeline,
+    StageStats,
+};
+pub use trace::{stage_names, PipelineTrace, StageTrace};

@@ -126,11 +126,7 @@ mod tests {
     use gralmatch_records::EntityId;
 
     fn gt_of(assignments: &[(u32, u32)]) -> GroundTruth {
-        GroundTruth::from_assignments(
-            assignments
-                .iter()
-                .map(|&(r, e)| (RecordId(r), EntityId(e))),
-        )
+        GroundTruth::from_assignments(assignments.iter().map(|&(r, e)| (RecordId(r), EntityId(e))))
     }
 
     fn pair(a: u32, b: u32) -> RecordPair {

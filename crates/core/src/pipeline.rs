@@ -1,37 +1,51 @@
-//! End-to-end entity group matching pipeline (paper Figure 1) and the
-//! three-stage evaluation of Section 5.3.2.
+//! Pipeline configuration, outcome, and the legacy free-function shims.
 //!
-//! 1. **Blocking** — per-dataset candidate builders
-//!    ([`company_candidates`], [`security_candidates`], [`product_candidates`]).
-//! 2. **Pairwise matching** — any [`PairwiseMatcher`] over the encoded
-//!    records, parallelized.
-//! 3. **GraLMatch Graph Cleanup** — pre-cleanup + Algorithm 1.
-//! 4. **Entity groups** — connected components of the cleaned graph.
+//! The end-to-end pipeline (paper Figure 1) is a **domain-generic staged
+//! engine**: a [`MatchingDomain`](crate::domain::MatchingDomain) supplies
+//! records, ground truth, and a declarative
+//! [`BlockingStrategy`](gralmatch_blocking::BlockingStrategy) list, and the
+//! [`StagePipeline`](crate::stage::StagePipeline) drives
 //!
-//! Evaluation reports three stages: pairwise (blocked pairs), pre-cleanup
-//! (implied transitive closure of raw predictions), post-cleanup (closure of
-//! cleaned components) — the three column groups of Table 4.
+//! ```text
+//! BlockingStage → InferenceStage → CleanupStage → GroupingStage
+//! ```
+//!
+//! over a shared context, recording wall-clock / throughput / memory per
+//! stage into a [`PipelineTrace`](crate::trace::PipelineTrace). The usual
+//! entry points are [`run_domain`](crate::domain::run_domain) /
+//! [`run_domain_with_matcher`](crate::domain::run_domain_with_matcher) with
+//! one of the paper domains ([`CompanyDomain`](crate::domain::CompanyDomain),
+//! [`SecurityDomain`](crate::domain::SecurityDomain),
+//! [`ProductDomain`](crate::domain::ProductDomain)); evaluation reports the
+//! paper's three stages (pairwise / pre-cleanup / post-cleanup — the column
+//! groups of Table 4) in a [`MatchingOutcome`].
+//!
+//! This module keeps the engine-independent pieces — [`PipelineConfig`],
+//! [`MatchingOutcome`], the oracle scorers — plus thin `#[deprecated]`
+//! shims for the pre-engine free functions (`company_candidates`,
+//! `run_pipeline`, …) for one release.
 
-use crate::cleanup::{graph_cleanup, pre_cleanup, CleanupConfig, CleanupReport};
-use crate::groups::{entity_groups, prediction_graph};
-use crate::metrics::{group_metrics, pairwise_metrics, GroupMetrics, PairMetrics};
-use gralmatch_blocking::{
-    id_overlap_companies, id_overlap_securities, issuer_match, token_overlap, BlockingKind,
-    CandidateSet, TokenOverlapConfig,
-};
-use gralmatch_lm::{predict_positive, EncodedRecord, PairwiseMatcher};
+use crate::cleanup::{CleanupConfig, CleanupReport};
+use crate::domain::{blocked_candidates, CompanyDomain, ProductDomain, SecurityDomain};
+use crate::metrics::{GroupMetrics, PairMetrics};
+use crate::stage::{StageContext, StagePipeline};
+use crate::trace::PipelineTrace;
+use gralmatch_blocking::{CandidateSet, TokenOverlapConfig};
+use gralmatch_lm::{EncodedRecord, MatcherScorer, PairScorer, PairwiseMatcher};
 use gralmatch_records::{
     CompanyRecord, GroundTruth, ProductRecord, RecordId, RecordPair, SecurityRecord,
 };
-use gralmatch_util::{FxHashMap, Stopwatch};
+use gralmatch_util::{Error, FxHashMap, FxHashSet, Parallelism};
 
-/// Pipeline knobs (γ/μ per Table 2, threading, pre-cleanup).
+/// Pipeline knobs (γ/μ per Table 2, parallelism, pre-cleanup).
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
     /// Graph-cleanup thresholds.
     pub cleanup: CleanupConfig,
-    /// Inference worker threads.
-    pub threads: usize,
+    /// Worker-pool sizing for parallel stages. `Auto` (the default) uses
+    /// all hardware threads for large inputs and runs small inputs
+    /// sequentially; `Fixed(n)` is honored regardless of input size.
+    pub parallelism: Parallelism,
 }
 
 impl PipelineConfig {
@@ -39,7 +53,7 @@ impl PipelineConfig {
     pub fn new(gamma: usize, mu: usize) -> Self {
         PipelineConfig {
             cleanup: CleanupConfig::new(gamma, mu),
-            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            parallelism: Parallelism::Auto,
         }
     }
 
@@ -47,6 +61,17 @@ impl PipelineConfig {
     pub fn with_pre_cleanup(mut self, threshold: usize) -> Self {
         self.cleanup.pre_cleanup_threshold = Some(threshold);
         self
+    }
+
+    /// Override worker-pool sizing.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Force exactly `threads` workers (legacy `threads` field migration).
+    pub fn with_threads(self, threads: usize) -> Self {
+        self.with_parallelism(Parallelism::Fixed(threads))
     }
 }
 
@@ -65,97 +90,53 @@ pub struct MatchingOutcome {
     pub post_cleanup: GroupMetrics,
     /// Final entity groups (largest first).
     pub groups: Vec<Vec<RecordId>>,
-    /// Inference wall-clock seconds (Table 4's time column).
-    pub inference_seconds: f64,
+    /// Per-stage wall-clock / throughput / memory diagnostics.
+    pub trace: PipelineTrace,
     /// Cleanup diagnostics.
     pub cleanup_report: CleanupReport,
 }
 
-/// Blocking for the companies datasets: ID Overlap (through securities) +
-/// Token Overlap (Table 2).
-pub fn company_candidates(
-    companies: &[CompanyRecord],
-    securities: &[SecurityRecord],
-    token_config: &TokenOverlapConfig,
-) -> CandidateSet {
-    let mut candidates = CandidateSet::new();
-    id_overlap_companies(companies, securities, &mut candidates);
-    token_overlap(companies, token_config, &mut candidates);
-    candidates
+impl MatchingOutcome {
+    /// Inference wall-clock seconds (Table 4's time column), read from the
+    /// trace's inference stage.
+    pub fn inference_seconds(&self) -> f64 {
+        self.trace.inference_seconds()
+    }
+
+    /// Assemble the outcome from a finished stage context.
+    ///
+    /// # Panics
+    /// If the context did not run the full inference→cleanup→grouping
+    /// lineup (engine entry points guarantee it did).
+    pub fn from_context(ctx: StageContext<'_>, trace: PipelineTrace) -> Self {
+        MatchingOutcome {
+            num_candidates: ctx.num_candidates,
+            num_predicted: ctx.predicted.as_ref().map_or(0, Vec::len),
+            pairwise: ctx.pairwise.expect("inference stage ran"),
+            pre_cleanup: ctx.pre_cleanup.expect("cleanup stage ran"),
+            post_cleanup: ctx.post_cleanup.expect("grouping stage ran"),
+            groups: ctx.groups.expect("grouping stage ran"),
+            trace,
+            cleanup_report: ctx.cleanup_report,
+        }
+    }
 }
 
-/// Blocking for the securities datasets: ID Overlap + Issuer Match, the
-/// latter fed by the company matching's group assignment (Table 2).
-pub fn security_candidates(
-    securities: &[SecurityRecord],
-    company_group_of: &FxHashMap<RecordId, u32>,
-) -> CandidateSet {
-    let mut candidates = CandidateSet::new();
-    id_overlap_securities(securities, &mut candidates);
-    issuer_match(securities, company_group_of, &mut candidates);
-    candidates
-}
-
-/// Blocking for WDC-style products: Token Overlap only (Table 2).
-pub fn product_candidates(
-    products: &[ProductRecord],
-    token_config: &TokenOverlapConfig,
-) -> CandidateSet {
-    let mut candidates = CandidateSet::new();
-    token_overlap(products, token_config, &mut candidates);
-    candidates
-}
-
-/// Run pairwise matching + cleanup + evaluation over a candidate set.
-pub fn run_pipeline<M: PairwiseMatcher>(
+/// Run the post-blocking stages (inference → cleanup → grouping) over a
+/// precomputed candidate set — for callers that ran blocking separately
+/// (cached blockings, incremental upserts) or drive a custom scorer.
+pub fn run_with_candidates(
     num_records: usize,
     candidates: &CandidateSet,
-    matcher: &M,
-    encoded: &[EncodedRecord],
+    scorer: &dyn PairScorer,
     gt: &GroundTruth,
     config: &PipelineConfig,
-) -> MatchingOutcome {
-    // Stage 1: pairwise predictions over blocked candidates.
-    let pairs = candidates.pairs_sorted();
-    let stopwatch = Stopwatch::start();
-    let predicted = predict_positive(matcher, encoded, &pairs, config.threads);
-    let inference_seconds = stopwatch.elapsed_secs();
-    let pairwise = pairwise_metrics(&predicted, gt);
-
-    // Stage 2: implied transitive closure of the raw prediction graph.
-    let mut graph = prediction_graph(num_records, &predicted);
-    let pre_groups = entity_groups(&graph);
-    let pre_cleanup_metrics = group_metrics(&pre_groups, gt);
-
-    // Stage 3: pre-cleanup + Algorithm 1, then the closure of the output.
-    let mut cleanup_report = CleanupReport::default();
-    if let Some(threshold) = config.cleanup.pre_cleanup_threshold {
-        cleanup_report.pre_cleanup_removed = pre_cleanup(&mut graph, threshold, |pair| {
-            candidates.from_blocking(pair, BlockingKind::TokenOverlap)
-                && !candidates.from_blocking(pair, BlockingKind::IdOverlap)
-                && !candidates.from_blocking(pair, BlockingKind::IssuerMatch)
-        });
-    }
-    let algo_report = graph_cleanup(&mut graph, &config.cleanup);
-    cleanup_report.mincut_removed = algo_report.mincut_removed;
-    cleanup_report.betweenness_removed = algo_report.betweenness_removed;
-    cleanup_report.mincut_rounds = algo_report.mincut_rounds;
-    cleanup_report.betweenness_rounds = algo_report.betweenness_rounds;
-    cleanup_report.seconds = algo_report.seconds;
-
-    let groups = entity_groups(&graph);
-    let post_cleanup_metrics = group_metrics(&groups, gt);
-
-    MatchingOutcome {
-        num_candidates: pairs.len(),
-        num_predicted: predicted.len(),
-        pairwise,
-        pre_cleanup: pre_cleanup_metrics,
-        post_cleanup: post_cleanup_metrics,
-        groups,
-        inference_seconds,
-        cleanup_report,
-    }
+) -> Result<MatchingOutcome, Error> {
+    let mut ctx = StageContext::new(num_records, gt, scorer, config);
+    ctx.num_candidates = candidates.len();
+    ctx.candidates = Some(std::borrow::Cow::Borrowed(candidates));
+    let trace = StagePipeline::post_blocking().run(&mut ctx)?;
+    Ok(MatchingOutcome::from_context(ctx, trace))
 }
 
 /// Oracle matcher for tests and upper-bound experiments: predicts the
@@ -163,7 +144,8 @@ pub fn run_pipeline<M: PairwiseMatcher>(
 #[derive(Debug, Clone)]
 pub struct OracleMatcher<'gt> {
     gt: &'gt GroundTruth,
-    /// id lookup: encoded index == record id by pipeline invariant.
+    /// Pairs on which the oracle deliberately predicts the opposite of the
+    /// truth — used to study false-positive effects.
     pub flip_pairs: Vec<RecordPair>,
 }
 
@@ -176,19 +158,113 @@ impl<'gt> OracleMatcher<'gt> {
         }
     }
 
-    /// Oracle with deliberate errors injected on `flip_pairs` (predicts the
-    /// opposite of the truth there) — used to study false-positive effects.
+    /// Oracle with deliberate errors injected on `flip_pairs`.
     pub fn with_flips(gt: &'gt GroundTruth, flip_pairs: Vec<RecordPair>) -> Self {
         OracleMatcher { gt, flip_pairs }
     }
+
+    /// The scorer driving this oracle through the engine.
+    pub fn scorer(&self) -> OracleScorer<'gt> {
+        OracleScorer {
+            gt: self.gt,
+            flips: self.flip_pairs.iter().copied().collect(),
+        }
+    }
 }
 
-// The oracle cheats by reading record ids out of band: the pipeline scores
-// pairs positionally, so `score` receives streams only. To stay inside the
-// PairwiseMatcher interface, the oracle is driven through
-// `run_pipeline_with_oracle` below instead.
+/// [`PairScorer`] reading the ground truth (with optional flipped pairs) —
+/// the oracle needs record ids, not encodings, so it bypasses the
+/// matcher/encoder layer entirely.
+#[derive(Debug, Clone)]
+pub struct OracleScorer<'gt> {
+    gt: &'gt GroundTruth,
+    flips: FxHashSet<RecordPair>,
+}
+
+impl<'gt> OracleScorer<'gt> {
+    /// Perfect oracle scorer.
+    pub fn new(gt: &'gt GroundTruth) -> Self {
+        OracleScorer {
+            gt,
+            flips: FxHashSet::default(),
+        }
+    }
+}
+
+impl PairScorer for OracleScorer<'_> {
+    fn score_pair(&self, pair: RecordPair) -> f32 {
+        if self.gt.is_match_pair(pair) != self.flips.contains(&pair) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+// --- Deprecated pre-engine shims ----------------------------------------
+
+/// Blocking for the companies datasets: ID Overlap (through securities) +
+/// Token Overlap (Table 2).
+#[deprecated(note = "use `CompanyDomain` with `blocked_candidates` (or the stage pipeline)")]
+pub fn company_candidates(
+    companies: &[CompanyRecord],
+    securities: &[SecurityRecord],
+    token_config: &TokenOverlapConfig,
+) -> CandidateSet {
+    blocked_candidates(
+        &CompanyDomain::new(companies, securities).with_token_config(token_config.clone()),
+    )
+}
+
+/// Blocking for the securities datasets: ID Overlap + Issuer Match, the
+/// latter fed by the company matching's group assignment (Table 2).
+#[deprecated(note = "use `SecurityDomain` with `blocked_candidates` (or the stage pipeline)")]
+pub fn security_candidates(
+    securities: &[SecurityRecord],
+    company_group_of: &FxHashMap<RecordId, u32>,
+) -> CandidateSet {
+    blocked_candidates(&SecurityDomain::new(securities, company_group_of))
+}
+
+/// Blocking for WDC-style products: Token Overlap only (Table 2).
+#[deprecated(note = "use `ProductDomain` with `blocked_candidates` (or the stage pipeline)")]
+pub fn product_candidates(
+    products: &[ProductRecord],
+    token_config: &TokenOverlapConfig,
+) -> CandidateSet {
+    blocked_candidates(&ProductDomain::new(products).with_token_config(token_config.clone()))
+}
+
+/// Run pairwise matching + cleanup + evaluation over a candidate set.
+#[deprecated(note = "use `run_domain_with_matcher` or `run_with_candidates`")]
+pub fn run_pipeline<M: PairwiseMatcher>(
+    num_records: usize,
+    candidates: &CandidateSet,
+    matcher: &M,
+    encoded: &[EncodedRecord],
+    gt: &GroundTruth,
+    config: &PipelineConfig,
+) -> MatchingOutcome {
+    run_with_candidates(
+        num_records,
+        candidates,
+        &MatcherScorer::new(matcher, encoded),
+        gt,
+        config,
+    )
+    .expect("seeded candidates satisfy all stage preconditions")
+}
+
 /// Run the pipeline with an oracle pairwise decision (ground truth with
 /// optional flipped pairs) — bypasses the matcher interface.
+///
+/// Note one unification relative to the pre-engine implementation: the
+/// engine's pre-cleanup removability predicate is the one the trained
+/// pipeline always used (`TokenOverlap`-sourced and not protected by an
+/// identifier blocking) instead of the oracle path's old
+/// `only_from(TokenOverlap)`. The two differ only for pairs additionally
+/// tagged `SortedNeighborhood`, which no paper recipe produces.
+#[deprecated(note = "use `run_with_candidates` with `OracleMatcher::scorer`")]
 pub fn run_pipeline_with_oracle(
     num_records: usize,
     candidates: &CandidateSet,
@@ -196,48 +272,15 @@ pub fn run_pipeline_with_oracle(
     gt: &GroundTruth,
     config: &PipelineConfig,
 ) -> MatchingOutcome {
-    let pairs = candidates.pairs_sorted();
-    let flip: gralmatch_util::FxHashSet<RecordPair> =
-        oracle.flip_pairs.iter().copied().collect();
-    let predicted: Vec<RecordPair> = pairs
-        .iter()
-        .copied()
-        .filter(|&pair| oracle.gt.is_match_pair(pair) != flip.contains(&pair))
-        .collect();
-    let pairwise = pairwise_metrics(&predicted, gt);
-
-    let mut graph = prediction_graph(num_records, &predicted);
-    let pre_groups = entity_groups(&graph);
-    let pre_cleanup_metrics = group_metrics(&pre_groups, gt);
-
-    let mut cleanup_report = CleanupReport::default();
-    if let Some(threshold) = config.cleanup.pre_cleanup_threshold {
-        cleanup_report.pre_cleanup_removed = pre_cleanup(&mut graph, threshold, |pair| {
-            candidates.only_from(pair, BlockingKind::TokenOverlap)
-        });
-    }
-    let algo_report = graph_cleanup(&mut graph, &config.cleanup);
-    cleanup_report.seconds = algo_report.seconds;
-    cleanup_report.mincut_removed = algo_report.mincut_removed;
-    cleanup_report.betweenness_removed = algo_report.betweenness_removed;
-
-    let groups = entity_groups(&graph);
-    let post_cleanup_metrics = group_metrics(&groups, gt);
-    MatchingOutcome {
-        num_candidates: pairs.len(),
-        num_predicted: predicted.len(),
-        pairwise,
-        pre_cleanup: pre_cleanup_metrics,
-        post_cleanup: post_cleanup_metrics,
-        groups,
-        inference_seconds: 0.0,
-        cleanup_report,
-    }
+    run_with_candidates(num_records, candidates, &oracle.scorer(), gt, config)
+        .expect("seeded candidates satisfy all stage preconditions")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::domain::{run_domain, run_domain_with_matcher, MatchingDomain};
+    use crate::trace::stage_names;
     use gralmatch_datagen::{generate, GenerationConfig};
     use gralmatch_lm::ModelSpec;
     use gralmatch_records::Record;
@@ -252,48 +295,58 @@ mod tests {
     fn oracle_pipeline_reaches_high_f1() {
         let data = dataset();
         let companies = data.companies.records();
-        let gt = data.companies.ground_truth();
-        let candidates = company_candidates(
-            companies,
-            data.securities.records(),
-            &TokenOverlapConfig::default(),
-        );
+        let domain = CompanyDomain::new(companies, data.securities.records());
         let config = PipelineConfig::new(25, 5).with_pre_cleanup(50);
-        let oracle = OracleMatcher::new(&gt);
-        let outcome =
-            run_pipeline_with_oracle(companies.len(), &candidates, &oracle, &gt, &config);
+        let gt = domain.ground_truth().clone();
+        let outcome = run_domain(&domain, &OracleScorer::new(&gt), &config).unwrap();
         // The oracle's pairwise precision is 1; recall bounded by blocking.
         assert_eq!(outcome.pairwise.precision, 1.0);
         assert!(outcome.pairwise.recall > 0.6, "{:?}", outcome.pairwise);
         assert!(outcome.post_cleanup.pairs.f1 > 0.6);
         assert!(outcome.post_cleanup.cluster_purity > 0.9);
+        // The trace covers the full standard lineup.
+        assert_eq!(
+            outcome
+                .trace
+                .stages
+                .iter()
+                .map(|s| s.stage)
+                .collect::<Vec<_>>(),
+            vec![
+                stage_names::BLOCKING,
+                stage_names::INFERENCE,
+                stage_names::CLEANUP,
+                stage_names::GROUPING
+            ]
+        );
+        assert_eq!(
+            outcome
+                .trace
+                .stage(stage_names::INFERENCE)
+                .unwrap()
+                .items_in,
+            outcome.num_candidates
+        );
     }
 
     #[test]
     fn false_positive_bridge_hurts_pre_cleanup_only() {
         let data = dataset();
         let companies = data.companies.records();
-        let gt = data.companies.ground_truth();
-        let candidates = company_candidates(
-            companies,
-            data.securities.records(),
-            &TokenOverlapConfig::default(),
-        );
+        let domain = CompanyDomain::new(companies, data.securities.records());
+        let gt = domain.ground_truth().clone();
         // Flip one candidate non-match into a predicted match.
-        let flip = candidates
+        let flip = blocked_candidates(&domain)
             .pairs_sorted()
             .into_iter()
             .find(|&pair| !gt.is_match_pair(pair))
             .expect("some negative candidate exists");
         let config = PipelineConfig::new(25, 5).with_pre_cleanup(50);
         let oracle = OracleMatcher::with_flips(&gt, vec![flip]);
-        let outcome =
-            run_pipeline_with_oracle(companies.len(), &candidates, &oracle, &gt, &config);
+        let outcome = run_domain(&domain, &oracle.scorer(), &config).unwrap();
         assert!(outcome.pairwise.precision < 1.0);
         // The cleanup should recover most of the damage.
-        assert!(
-            outcome.post_cleanup.pairs.precision >= outcome.pre_cleanup.pairs.precision
-        );
+        assert!(outcome.post_cleanup.pairs.precision >= outcome.pre_cleanup.pairs.precision);
     }
 
     #[test]
@@ -308,20 +361,9 @@ mod tests {
         let split = DatasetSplit::new(&gt, SplitRatios::default(), &mut SplitRng::new(3));
         let (matcher, _) =
             gralmatch_lm::train(companies, &encoded, &gt, &split, &spec.train_config()).unwrap();
-        let candidates = company_candidates(
-            companies,
-            data.securities.records(),
-            &TokenOverlapConfig::default(),
-        );
+        let domain = CompanyDomain::new(companies, data.securities.records());
         let config = PipelineConfig::new(25, 5).with_pre_cleanup(50);
-        let outcome = run_pipeline(
-            companies.len(),
-            &candidates,
-            &matcher,
-            &encoded,
-            &gt,
-            &config,
-        );
+        let outcome = run_domain_with_matcher(&domain, &matcher, &encoded, &config).unwrap();
         assert!(outcome.num_candidates > 0);
         assert!(outcome.pairwise.f1 > 0.5, "pairwise {:?}", outcome.pairwise);
         assert!(
@@ -333,6 +375,8 @@ mod tests {
         // μ bound: no final group exceeds the number of sources by much —
         // Algorithm 1 guarantees all components ≤ μ.
         assert!(outcome.groups.iter().all(|g| g.len() <= 5));
+        // The inference timing column reads from the trace.
+        assert!(outcome.inference_seconds() >= 0.0);
     }
 
     #[test]
@@ -340,25 +384,49 @@ mod tests {
         let data = dataset();
         let companies = data.companies.records();
         let securities = data.securities.records();
-        let company_gt = data.companies.ground_truth();
         // Perfect company grouping as issuer-match input.
         let mut group_of: FxHashMap<RecordId, u32> = FxHashMap::default();
         for company in companies {
             group_of.insert(company.id(), company.entity.unwrap().0);
         }
-        let candidates = security_candidates(securities, &group_of);
-        assert!(!candidates.is_empty());
-        let security_gt = data.securities.ground_truth();
-        let oracle = OracleMatcher::new(&security_gt);
+        let domain = SecurityDomain::new(securities, &group_of);
+        assert!(!blocked_candidates(&domain).is_empty());
+        let security_gt = domain.ground_truth().clone();
         let config = PipelineConfig::new(25, 5);
-        let outcome = run_pipeline_with_oracle(
-            securities.len(),
-            &candidates,
-            &oracle,
-            &security_gt,
-            &config,
-        );
+        let outcome = run_domain(&domain, &OracleScorer::new(&security_gt), &config).unwrap();
         assert!(outcome.pairwise.recall > 0.5, "{:?}", outcome.pairwise);
-        let _ = company_gt;
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_engine_results() {
+        let data = dataset();
+        let companies = data.companies.records();
+        let gt = data.companies.ground_truth();
+        let config = PipelineConfig::new(25, 5).with_pre_cleanup(50);
+
+        let domain = CompanyDomain::new(companies, data.securities.records());
+        let engine_candidates = blocked_candidates(&domain);
+        let shim_candidates = company_candidates(
+            companies,
+            data.securities.records(),
+            &TokenOverlapConfig::default(),
+        );
+        assert_eq!(
+            engine_candidates.pairs_sorted(),
+            shim_candidates.pairs_sorted()
+        );
+
+        let oracle = OracleMatcher::new(&gt);
+        let via_shim =
+            run_pipeline_with_oracle(companies.len(), &shim_candidates, &oracle, &gt, &config);
+        let via_engine = run_domain(&domain, &oracle.scorer(), &config).unwrap();
+        assert_eq!(via_shim.num_candidates, via_engine.num_candidates);
+        assert_eq!(via_shim.num_predicted, via_engine.num_predicted);
+        assert_eq!(via_shim.pairwise, via_engine.pairwise);
+        assert_eq!(
+            via_shim.post_cleanup.pairs.f1,
+            via_engine.post_cleanup.pairs.f1
+        );
     }
 }

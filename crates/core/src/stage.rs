@@ -1,0 +1,446 @@
+//! The domain-generic staged execution engine (paper Figure 1).
+//!
+//! A pipeline run is an ordered list of [`Stage`]s driven over a shared
+//! [`StageContext`]: each stage consumes upstream artifacts from the
+//! context (candidate set, predictions, prediction graph) and deposits its
+//! own, while the engine records wall-clock, item counts, and resident-set
+//! deltas into a [`PipelineTrace`](crate::trace::PipelineTrace). The
+//! standard lineup is
+//!
+//! ```text
+//! BlockingStage<D> → InferenceStage → CleanupStage → GroupingStage
+//! ```
+//!
+//! where `D` is any [`MatchingDomain`](crate::domain::MatchingDomain) —
+//! the only domain-aware stage is blocking; everything downstream operates
+//! on ids. Callers with precomputed candidates (streaming upserts, cached
+//! blockings, the deprecated free-function shims) seed
+//! [`StageContext::candidates`] and run [`StagePipeline::post_blocking`]
+//! instead.
+
+use crate::cleanup::{graph_cleanup, pre_cleanup, CleanupReport};
+use crate::domain::MatchingDomain;
+use crate::groups::{entity_groups, prediction_graph};
+use crate::metrics::{group_metrics, pairwise_metrics, GroupMetrics, PairMetrics};
+use crate::pipeline::PipelineConfig;
+use crate::trace::{stage_names, PipelineTrace, StageTrace};
+use gralmatch_blocking::{run_strategies, BlockingKind, CandidateSet};
+use gralmatch_graph::Graph;
+use gralmatch_lm::{predict_positive_with, PairScorer};
+use gralmatch_records::{GroundTruth, RecordId, RecordPair};
+use gralmatch_util::{current_rss_bytes, Error, Stopwatch, WorkerPool};
+use std::borrow::Cow;
+
+/// Item counts a stage reports for its trace entry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageStats {
+    /// Items the stage consumed.
+    pub items_in: usize,
+    /// Items the stage produced.
+    pub items_out: usize,
+    /// Core-work seconds, when distinct from the full stage wall-clock
+    /// (see [`StageTrace::core_seconds`](crate::trace::StageTrace)).
+    pub core_seconds: Option<f64>,
+}
+
+/// Shared state threaded through the stages of one pipeline run.
+pub struct StageContext<'a> {
+    /// Number of records in the matched dataset (dense-id invariant).
+    pub num_records: usize,
+    /// Ground truth for the three-stage evaluation.
+    pub gt: &'a GroundTruth,
+    /// The pairwise decision procedure (trained matcher, heuristic, oracle).
+    pub scorer: &'a dyn PairScorer,
+    /// Pipeline knobs.
+    pub config: &'a PipelineConfig,
+    /// Worker pool shared by all parallel steps of this run; sized lazily
+    /// from the first parallel workload (see [`StageContext::pool_for`]).
+    pub pool: Option<WorkerPool>,
+    /// Blocking output (provenance-tagged candidate pairs). Borrowed when
+    /// the caller seeded a precomputed set (no copy), owned when produced
+    /// by the blocking stage.
+    pub candidates: Option<Cow<'a, CandidateSet>>,
+    /// Number of distinct candidate pairs (survives candidate consumption).
+    pub num_candidates: usize,
+    /// Positively predicted pairs.
+    pub predicted: Option<Vec<RecordPair>>,
+    /// Stage 1 metrics: pairwise on blocked pairs.
+    pub pairwise: Option<PairMetrics>,
+    /// The (progressively cleaned) prediction graph.
+    pub graph: Option<Graph>,
+    /// Stage 2 metrics: closure of the raw prediction graph.
+    pub pre_cleanup: Option<GroupMetrics>,
+    /// What the cleanup removed.
+    pub cleanup_report: CleanupReport,
+    /// Final entity groups.
+    pub groups: Option<Vec<Vec<RecordId>>>,
+    /// Stage 3 metrics: closure of the cleaned components.
+    pub post_cleanup: Option<GroupMetrics>,
+}
+
+impl<'a> StageContext<'a> {
+    /// Fresh context for one run.
+    pub fn new(
+        num_records: usize,
+        gt: &'a GroundTruth,
+        scorer: &'a dyn PairScorer,
+        config: &'a PipelineConfig,
+    ) -> Self {
+        StageContext {
+            num_records,
+            gt,
+            scorer,
+            config,
+            pool: None,
+            candidates: None,
+            num_candidates: 0,
+            predicted: None,
+            pairwise: None,
+            graph: None,
+            pre_cleanup: None,
+            cleanup_report: CleanupReport::default(),
+            groups: None,
+            post_cleanup: None,
+        }
+    }
+
+    /// The run's shared worker pool, sized by the configured
+    /// [`Parallelism`](gralmatch_util::Parallelism) for `num_items`.
+    ///
+    /// The pool is shared across stages and only ever *grows*: a later,
+    /// larger workload upgrades the worker count, while a small workload
+    /// after a large one keeps the existing pool. This prevents an early
+    /// small stage (e.g. blocking over few records) from locking the whole
+    /// run into sequential execution under `Parallelism::Auto`.
+    pub fn pool_for(&mut self, num_items: usize) -> WorkerPool {
+        let resolved = self.config.parallelism.pool_for(num_items);
+        let pool = match self.pool {
+            Some(existing) if existing.workers() >= resolved.workers() => existing,
+            _ => resolved,
+        };
+        self.pool = Some(pool);
+        pool
+    }
+
+    fn missing(stage: &'static str, what: &str) -> Error {
+        Error::Pipeline {
+            stage,
+            message: format!("missing upstream artifact: {what}"),
+        }
+    }
+}
+
+/// One step of the execution engine.
+pub trait Stage {
+    /// Stage name recorded in the trace.
+    fn name(&self) -> &'static str;
+
+    /// Execute over the shared context.
+    fn run(&self, ctx: &mut StageContext<'_>) -> Result<StageStats, Error>;
+}
+
+/// Candidate generation: folds the domain's declarative blocking-strategy
+/// list into a provenance-tagged candidate set.
+pub struct BlockingStage<'d, D: MatchingDomain> {
+    domain: &'d D,
+}
+
+impl<'d, D: MatchingDomain> BlockingStage<'d, D> {
+    /// Blocking for the given domain.
+    pub fn new(domain: &'d D) -> Self {
+        BlockingStage { domain }
+    }
+}
+
+impl<D: MatchingDomain> Stage for BlockingStage<'_, D> {
+    fn name(&self) -> &'static str {
+        stage_names::BLOCKING
+    }
+
+    fn run(&self, ctx: &mut StageContext<'_>) -> Result<StageStats, Error> {
+        let records = self.domain.records();
+        let strategies = self.domain.blocking_strategies();
+        let candidates = run_strategies(records, &strategies);
+        ctx.num_candidates = candidates.len();
+        ctx.candidates = Some(Cow::Owned(candidates));
+        Ok(StageStats {
+            items_in: records.len(),
+            items_out: ctx.num_candidates,
+            core_seconds: None,
+        })
+    }
+}
+
+/// Pairwise matching: scores every candidate pair on the shared worker
+/// pool and keeps positive predictions, recording stage 1 metrics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InferenceStage;
+
+impl Stage for InferenceStage {
+    fn name(&self) -> &'static str {
+        stage_names::INFERENCE
+    }
+
+    fn run(&self, ctx: &mut StageContext<'_>) -> Result<StageStats, Error> {
+        let candidates = ctx
+            .candidates
+            .as_ref()
+            .ok_or_else(|| StageContext::missing(self.name(), "candidate set"))?;
+        let pairs = candidates.pairs_sorted();
+        ctx.num_candidates = pairs.len();
+        let pool = ctx.pool_for(pairs.len());
+        // Core timing covers scoring only (not the candidate sort above or
+        // the metrics pass below), matching the paper tables' inference
+        // time column.
+        let scoring = Stopwatch::start();
+        let predicted = predict_positive_with(ctx.scorer, &pairs, &pool);
+        let scoring_seconds = scoring.elapsed_secs();
+        ctx.pairwise = Some(pairwise_metrics(&predicted, ctx.gt));
+        let stats = StageStats {
+            items_in: pairs.len(),
+            items_out: predicted.len(),
+            core_seconds: Some(scoring_seconds),
+        };
+        ctx.predicted = Some(predicted);
+        Ok(stats)
+    }
+}
+
+/// GraLMatch Graph Cleanup: builds the prediction graph, records the
+/// pre-cleanup (stage 2) metrics over its transitive closure, then applies
+/// the Section 4.2.1 pre-cleanup and Algorithm 1.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CleanupStage;
+
+impl Stage for CleanupStage {
+    fn name(&self) -> &'static str {
+        stage_names::CLEANUP
+    }
+
+    fn run(&self, ctx: &mut StageContext<'_>) -> Result<StageStats, Error> {
+        let predicted = ctx
+            .predicted
+            .as_ref()
+            .ok_or_else(|| StageContext::missing(self.name(), "predicted pairs"))?;
+        let mut graph = prediction_graph(ctx.num_records, predicted);
+        let edges_before = graph.num_edges();
+        ctx.pre_cleanup = Some(group_metrics(&entity_groups(&graph), ctx.gt));
+
+        let mut report = CleanupReport::default();
+        let cleanup_work = Stopwatch::start();
+        if let Some(threshold) = ctx.config.cleanup.pre_cleanup_threshold {
+            // Only text-sourced edges are removable: a pair also proposed by
+            // an identifier blocking keeps its edge (Section 4.2.1).
+            let candidates = ctx
+                .candidates
+                .as_ref()
+                .ok_or_else(|| StageContext::missing(self.name(), "candidate provenance"))?;
+            report.pre_cleanup_removed = pre_cleanup(&mut graph, threshold, |pair| {
+                candidates.from_blocking(pair, BlockingKind::TokenOverlap)
+                    && !candidates.from_blocking(pair, BlockingKind::IdOverlap)
+                    && !candidates.from_blocking(pair, BlockingKind::IssuerMatch)
+            });
+        }
+        let algo_report = graph_cleanup(&mut graph, &ctx.config.cleanup);
+        report.mincut_removed = algo_report.mincut_removed;
+        report.betweenness_removed = algo_report.betweenness_removed;
+        report.mincut_rounds = algo_report.mincut_rounds;
+        report.betweenness_rounds = algo_report.betweenness_rounds;
+        report.seconds = algo_report.seconds;
+        let cleanup_seconds = cleanup_work.elapsed_secs();
+        ctx.cleanup_report = report;
+
+        let edges_after = graph.num_edges();
+        ctx.graph = Some(graph);
+        Ok(StageStats {
+            items_in: edges_before,
+            items_out: edges_after,
+            // Pre-cleanup + Algorithm 1, excluding graph construction and
+            // the pre-cleanup metrics evaluation.
+            core_seconds: Some(cleanup_seconds),
+        })
+    }
+}
+
+/// Entity groups: connected components of the cleaned graph plus the
+/// stage 3 (post-cleanup) metrics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GroupingStage;
+
+impl Stage for GroupingStage {
+    fn name(&self) -> &'static str {
+        stage_names::GROUPING
+    }
+
+    fn run(&self, ctx: &mut StageContext<'_>) -> Result<StageStats, Error> {
+        let graph = ctx
+            .graph
+            .as_ref()
+            .ok_or_else(|| StageContext::missing(self.name(), "cleaned prediction graph"))?;
+        let groups = entity_groups(graph);
+        ctx.post_cleanup = Some(group_metrics(&groups, ctx.gt));
+        let stats = StageStats {
+            items_in: graph.num_edges(),
+            items_out: groups.len(),
+            core_seconds: None,
+        };
+        ctx.groups = Some(groups);
+        Ok(stats)
+    }
+}
+
+/// An ordered stage list, executed with uniform tracing.
+#[derive(Default)]
+pub struct StagePipeline<'a> {
+    stages: Vec<Box<dyn Stage + 'a>>,
+}
+
+impl<'a> StagePipeline<'a> {
+    /// Empty pipeline.
+    pub fn new() -> Self {
+        StagePipeline { stages: Vec::new() }
+    }
+
+    /// Append a stage.
+    pub fn with_stage(mut self, stage: impl Stage + 'a) -> Self {
+        self.stages.push(Box::new(stage));
+        self
+    }
+
+    /// The standard Figure 1 lineup for a domain:
+    /// blocking → inference → cleanup → grouping.
+    pub fn standard<D: MatchingDomain>(domain: &'a D) -> Self {
+        StagePipeline::new()
+            .with_stage(BlockingStage::new(domain))
+            .with_stage(InferenceStage)
+            .with_stage(CleanupStage)
+            .with_stage(GroupingStage)
+    }
+
+    /// The standard lineup minus blocking, for contexts seeded with a
+    /// precomputed candidate set.
+    pub fn post_blocking() -> Self {
+        StagePipeline::new()
+            .with_stage(InferenceStage)
+            .with_stage(CleanupStage)
+            .with_stage(GroupingStage)
+    }
+
+    /// Stage names in execution order.
+    pub fn stage_names(&self) -> Vec<&'static str> {
+        self.stages.iter().map(|s| s.name()).collect()
+    }
+
+    /// Execute all stages over `ctx`, returning the per-stage trace.
+    pub fn run(&self, ctx: &mut StageContext<'_>) -> Result<PipelineTrace, Error> {
+        let mut trace = PipelineTrace::default();
+        for stage in &self.stages {
+            let rss_before = current_rss_bytes();
+            let stopwatch = Stopwatch::start();
+            let stats = stage.run(ctx)?;
+            let seconds = stopwatch.elapsed_secs();
+            let rss_delta_bytes = match (rss_before, current_rss_bytes()) {
+                (Some(before), Some(after)) => Some(after as i64 - before as i64),
+                _ => None,
+            };
+            trace.push(StageTrace {
+                stage: stage.name(),
+                seconds,
+                items_in: stats.items_in,
+                items_out: stats.items_out,
+                rss_delta_bytes,
+                core_seconds: stats.core_seconds,
+            });
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::OracleScorer;
+    use gralmatch_records::EntityId;
+
+    fn tiny_gt() -> GroundTruth {
+        GroundTruth::from_assignments([
+            (RecordId(0), EntityId(1)),
+            (RecordId(1), EntityId(1)),
+            (RecordId(2), EntityId(2)),
+        ])
+    }
+
+    fn seeded_candidates() -> CandidateSet {
+        let mut set = CandidateSet::new();
+        set.add(
+            RecordPair::new(RecordId(0), RecordId(1)),
+            BlockingKind::TokenOverlap,
+        );
+        set.add(
+            RecordPair::new(RecordId(1), RecordId(2)),
+            BlockingKind::TokenOverlap,
+        );
+        set
+    }
+
+    #[test]
+    fn post_blocking_pipeline_runs_all_stages() {
+        let gt = tiny_gt();
+        let scorer = OracleScorer::new(&gt);
+        let config = PipelineConfig::new(10, 5);
+        let mut ctx = StageContext::new(3, &gt, &scorer, &config);
+        ctx.candidates = Some(Cow::Owned(seeded_candidates()));
+        let pipeline = StagePipeline::post_blocking();
+        let trace = pipeline.run(&mut ctx).unwrap();
+        assert_eq!(
+            trace.stages.iter().map(|s| s.stage).collect::<Vec<_>>(),
+            vec![
+                stage_names::INFERENCE,
+                stage_names::CLEANUP,
+                stage_names::GROUPING
+            ]
+        );
+        assert_eq!(ctx.num_candidates, 2);
+        assert_eq!(ctx.predicted.as_ref().unwrap().len(), 1);
+        assert_eq!(ctx.pairwise.unwrap().tp, 1);
+        assert!(ctx.groups.is_some());
+    }
+
+    #[test]
+    fn inference_without_candidates_is_a_pipeline_error() {
+        let gt = tiny_gt();
+        let scorer = OracleScorer::new(&gt);
+        let config = PipelineConfig::new(10, 5);
+        let mut ctx = StageContext::new(3, &gt, &scorer, &config);
+        let err = StagePipeline::post_blocking().run(&mut ctx).unwrap_err();
+        assert!(matches!(err, Error::Pipeline { stage, .. } if stage == stage_names::INFERENCE));
+    }
+
+    #[test]
+    fn pool_is_created_once_and_shared() {
+        let gt = tiny_gt();
+        let scorer = OracleScorer::new(&gt);
+        let config =
+            PipelineConfig::new(10, 5).with_parallelism(gralmatch_util::Parallelism::Fixed(3));
+        let mut ctx = StageContext::new(3, &gt, &scorer, &config);
+        let first = ctx.pool_for(10);
+        assert_eq!(first.workers(), 3);
+        // A later, larger workload still reuses the same pool value.
+        let second = ctx.pool_for(1_000_000);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn auto_pool_grows_for_larger_workloads() {
+        let gt = tiny_gt();
+        let scorer = OracleScorer::new(&gt);
+        let config = PipelineConfig::new(10, 5);
+        let mut ctx = StageContext::new(3, &gt, &scorer, &config);
+        // A tiny first workload must not lock the run into 1 worker.
+        assert_eq!(ctx.pool_for(10).workers(), 1);
+        let grown = ctx.pool_for(1_000_000).workers();
+        assert!(grown >= 1);
+        // And a small workload afterwards keeps the grown pool.
+        assert_eq!(ctx.pool_for(10).workers(), grown);
+    }
+}

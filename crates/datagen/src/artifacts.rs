@@ -120,7 +120,9 @@ pub fn multiple_ids(
         let k = rng.range_inclusive(2, sec_records.len());
         let chosen = rng.sample_indices(sec_records.len(), k);
         for &i in &chosen {
-            securities[sec_records[i]].id_codes.extend(extra.iter().cloned());
+            securities[sec_records[i]]
+                .id_codes
+                .extend(extra.iter().cloned());
         }
     }
 }
@@ -153,11 +155,11 @@ pub fn typo_name(group: &GroupDrafts, companies: &mut [CompanyDraft], rng: &mut 
     let pos = rng.range_inclusive(1, chars.len() - 2);
     let mut out: Vec<char> = chars.clone();
     match rng.next_below(3) {
-        0 => out.swap(pos, pos + 1),          // transposition
+        0 => out.swap(pos, pos + 1), // transposition
         1 => {
-            out.remove(pos);                   // deletion
+            out.remove(pos); // deletion
         }
-        _ => out.insert(pos, chars[pos]),      // duplication
+        _ => out.insert(pos, chars[pos]), // duplication
     }
     companies[target].name = out.into_iter().collect();
 }
@@ -323,11 +325,22 @@ mod tests {
         ];
         // Start with identical bundles to prove they get wiped.
         securities[1].id_codes = securities[0].id_codes.clone();
-        no_id_overlaps(&group(0, &[2]), &mut securities, &mut factory, &mut SplitRng::new(2));
-        let codes0: gralmatch_util::FxHashSet<&str> =
-            securities[0].id_codes.iter().map(|c| c.value.as_str()).collect();
+        no_id_overlaps(
+            &group(0, &[2]),
+            &mut securities,
+            &mut factory,
+            &mut SplitRng::new(2),
+        );
+        let codes0: gralmatch_util::FxHashSet<&str> = securities[0]
+            .id_codes
+            .iter()
+            .map(|c| c.value.as_str())
+            .collect();
         assert!(
-            securities[1].id_codes.iter().all(|c| !codes0.contains(c.value.as_str())),
+            securities[1]
+                .id_codes
+                .iter()
+                .all(|c| !codes0.contains(c.value.as_str())),
             "bundles must be disjoint after the artifact"
         );
     }

@@ -188,7 +188,10 @@ impl GenerationConfig {
             ("presence", self.presence),
             ("description_rate", self.description_rate),
             ("lei_rate", self.lei_rate),
-            ("security.extra_security_rate", self.security.extra_security_rate),
+            (
+                "security.extra_security_rate",
+                self.security.extra_security_rate,
+            ),
             ("security.presence", self.security.presence),
             ("security.missing_ids", self.security.missing_ids),
         ];
@@ -199,7 +202,9 @@ impl GenerationConfig {
         }
         for (i, p) in self.artifacts.all().iter().enumerate() {
             if !(0.0..=1.0).contains(p) {
-                return Err(Error::InvalidConfig(format!("artifact rate #{i} = {p} not in [0,1]")));
+                return Err(Error::InvalidConfig(format!(
+                    "artifact rate #{i} = {p} not in [0,1]"
+                )));
             }
         }
         if self.num_entities == 0 {

@@ -147,8 +147,8 @@ impl<'cfg> Builder<'cfg> {
     /// matching — the token mass that makes encoder budgets bind.
     fn listings_blob(rng: &mut SplitRng) -> String {
         const VENUES: &[&str] = &[
-            "XNYS", "XNAS", "XLON", "XETR", "XSWX", "XPAR", "XAMS", "XTKS", "XHKG", "XASX",
-            "XTSE", "XSTO", "XMIL", "XMAD", "XBRU",
+            "XNYS", "XNAS", "XLON", "XETR", "XSWX", "XPAR", "XAMS", "XTKS", "XHKG", "XASX", "XTSE",
+            "XSTO", "XMIL", "XMAD", "XBRU",
         ];
         const CURRENCIES: &[&str] = &["USD", "EUR", "GBP", "CHF", "JPY", "CAD", "AUD", "SEK"];
         let venues = 2 + rng.next_below(4);
@@ -206,7 +206,11 @@ impl<'cfg> Builder<'cfg> {
                     SecurityType::Unit,
                     SecurityType::Adr,
                 ]);
-                security_plans.push((sec_type, factory.security_bundle(), self.next_security_entity));
+                security_plans.push((
+                    sec_type,
+                    factory.security_bundle(),
+                    self.next_security_entity,
+                ));
                 self.next_security_entity += 1;
             }
         }
@@ -423,9 +427,7 @@ impl<'cfg> Builder<'cfg> {
                     // Overwrite roughly half the codes with the donor's.
                     let keep = self.securities[sa].id_codes.len() / 2;
                     self.securities[sa].id_codes.truncate(keep);
-                    self.securities[sa]
-                        .id_codes
-                        .extend(donor.iter().cloned());
+                    self.securities[sa].id_codes.extend(donor.iter().cloned());
                 }
             }
         }
@@ -531,7 +533,6 @@ impl<'cfg> Builder<'cfg> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     fn small_config() -> GenerationConfig {
         let mut config = GenerationConfig::synthetic_full();
@@ -631,7 +632,9 @@ mod tests {
     fn artifact_log_populated() {
         let data = generate(&small_config()).unwrap();
         assert!(data.artifact_counts[&ArtifactKind::InsertCorporateTerm] > 50);
-        assert!(data.artifact_counts.contains_key(&ArtifactKind::MultipleSecurities));
+        assert!(data
+            .artifact_counts
+            .contains_key(&ArtifactKind::MultipleSecurities));
     }
 
     #[test]

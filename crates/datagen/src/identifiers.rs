@@ -61,7 +61,10 @@ impl IdFactory {
     /// SEDOL: 7 alphanumerics starting with a letter.
     pub fn sedol(&mut self) -> IdCode {
         let first = ALPHANUM[10 + (self.rng.next_u64() % 26) as usize] as char;
-        IdCode::new(IdKind::Sedol, format!("{first}{}", base36(self.next_serial(), 6)))
+        IdCode::new(
+            IdKind::Sedol,
+            format!("{first}{}", base36(self.next_serial(), 6)),
+        )
     }
 
     /// LEI: 4-digit prefix + "00" + 12 alphanumerics + 2 check digits.

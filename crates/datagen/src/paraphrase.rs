@@ -27,11 +27,17 @@ const SYNONYMS: &[(&str, &[&str])] = &[
     ("modernizes", &["upgrades", "transforms"]),
     ("unifies", &["consolidates", "integrates"]),
     ("scales", &["grows", "expands"]),
-    ("enterprises", &["large companies", "corporations", "enterprise customers"]),
+    (
+        "enterprises",
+        &["large companies", "corporations", "enterprise customers"],
+    ),
     ("consumers", &["individuals", "end users"]),
     ("retailers", &["merchants", "commerce brands"]),
     ("manufacturers", &["industrial producers", "factories"]),
-    ("worldwide", &["globally", "around the world", "internationally"]),
+    (
+        "worldwide",
+        &["globally", "around the world", "internationally"],
+    ),
     ("operations", &["workflows", "processes"]),
     ("products", &["offerings", "solutions"]),
     ("serve", &["support", "target"]),
@@ -136,7 +142,11 @@ mod tests {
     #[test]
     fn preserves_punctuation() {
         let mut rng = SplitRng::new(1);
-        let para = paraphrase("The company automates payment processing for retailers.", 1.0, &mut rng);
+        let para = paraphrase(
+            "The company automates payment processing for retailers.",
+            1.0,
+            &mut rng,
+        );
         assert!(para.ends_with('.'));
     }
 
@@ -166,7 +176,8 @@ mod tests {
         // Sequential artifact application must not oscillate back to the
         // original (checked statistically over a few rounds).
         let mut rng = SplitRng::new(5);
-        let original = "The company streamlines digital banking for financial institutions worldwide.";
+        let original =
+            "The company streamlines digital banking for financial institutions worldwide.";
         let mut current = original.to_string();
         for _ in 0..3 {
             current = paraphrase(&current, 0.7, &mut rng);

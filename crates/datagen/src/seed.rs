@@ -77,9 +77,7 @@ pub fn compose_description(rng: &mut SplitRng) -> String {
     match rng.next_below(4) {
         0 => format!("Provider of {domain} solutions for {audience}."),
         1 => format!("The company {verb} {domain} for {audience} worldwide."),
-        2 => format!(
-            "A {domain} platform that {verb} operations for {audience}."
-        ),
+        2 => format!("A {domain} platform that {verb} operations for {audience}."),
         _ => format!(
             "Develops {domain} software. Its products serve {audience} across multiple markets."
         ),

@@ -76,7 +76,10 @@ mod tests {
         // Paper full scale: 868K records / 200K entities = 4.34; matches
         // 1.5M / 200K = 7.5 per entity.
         let records_per_entity = companies.num_records as f64 / companies.num_entities as f64;
-        assert!((3.8..5.0).contains(&records_per_entity), "{records_per_entity}");
+        assert!(
+            (3.8..5.0).contains(&records_per_entity),
+            "{records_per_entity}"
+        );
         assert!((5.0..10.5).contains(&companies.avg_matches_per_entity));
         let pct = companies.pct_with_descriptions.unwrap();
         assert!((0.2..0.4).contains(&pct), "{pct}");

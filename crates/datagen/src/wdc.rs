@@ -15,17 +15,43 @@ const BRANDS: &[&str] = &[
     "Quasar", "Helix", "Argon", "Krypton", "Xenon", "Nova", "Stellar", "Apex", "Summit",
 ];
 const PRODUCT_TYPES: &[&str] = &[
-    "Laptop", "Tablet", "Camera", "Printer", "Monitor", "Router", "Keyboard", "Headset",
-    "Speaker", "Charger", "Drive", "Projector",
+    "Laptop",
+    "Tablet",
+    "Camera",
+    "Printer",
+    "Monitor",
+    "Router",
+    "Keyboard",
+    "Headset",
+    "Speaker",
+    "Charger",
+    "Drive",
+    "Projector",
 ];
 const QUALIFIERS: &[&str] = &[
     "Pro", "Max", "Mini", "Air", "Plus", "Ultra", "Lite", "SE", "XL", "Neo",
 ];
 const NOISE_WORDS: &[&str] = &[
-    "new", "sealed", "original", "2024 model", "refurbished", "black", "silver", "bundle",
-    "with case", "EU plug", "free shipping", "OEM",
+    "new",
+    "sealed",
+    "original",
+    "2024 model",
+    "refurbished",
+    "black",
+    "silver",
+    "bundle",
+    "with case",
+    "EU plug",
+    "free shipping",
+    "OEM",
 ];
-const CATEGORIES: &[&str] = &["Electronics", "Computers", "Photography", "Audio", "Accessories"];
+const CATEGORIES: &[&str] = &[
+    "Electronics",
+    "Computers",
+    "Photography",
+    "Audio",
+    "Accessories",
+];
 
 /// Configuration for the product benchmark.
 #[derive(Debug, Clone)]
@@ -69,7 +95,13 @@ fn base_model(rng: &mut SplitRng) -> (String, String, String) {
     )
 }
 
-fn offer_title(brand: &str, ptype: &str, model: &str, divergence: f64, rng: &mut SplitRng) -> String {
+fn offer_title(
+    brand: &str,
+    ptype: &str,
+    model: &str,
+    divergence: f64,
+    rng: &mut SplitRng,
+) -> String {
     let mut parts: Vec<String> = Vec::new();
     if !rng.chance(divergence * 0.4) {
         parts.push(brand.to_string());
@@ -120,16 +152,13 @@ pub fn generate_wdc(config: &WdcConfig) -> WdcDataset {
     let mut records: Vec<ProductRecord> = Vec::new();
     let mut entity_counter = 0u32;
     let mut family_of: FxHashMap<EntityId, u32> = FxHashMap::default();
-    let mut family_counter = 0u32;
 
-    for _ in 0..config.num_entities {
+    for family in 0..config.num_entities as u32 {
         let (brand, ptype, model) = base_model(&mut rng);
         let corner = rng.chance(config.corner_case_rate);
         let entity = EntityId(entity_counter);
         entity_counter += 1;
 
-        let family = family_counter;
-        family_counter += 1;
         family_of.insert(entity, family);
         let group_size = rng.range_inclusive(1, config.max_group_size);
         let divergence = if corner { 0.9 } else { 0.3 };
@@ -145,7 +174,11 @@ pub fn generate_wdc(config: &WdcConfig) -> WdcDataset {
                 record.brand = brand.clone();
             }
             if rng.chance(0.5) {
-                record.price = format!("{}.{:02} USD", 40 + rng.next_below(900), rng.next_below(100));
+                record.price = format!(
+                    "{}.{:02} USD",
+                    40 + rng.next_below(900),
+                    rng.next_below(100)
+                );
             }
             if rng.chance(0.4) {
                 record.category = (*rng.pick(CATEGORIES)).to_string();
@@ -215,7 +248,11 @@ mod tests {
         // The paper's experiment uses ~1K test records (20 % of groups), so
         // the default totals ~5K records.
         let ds = generate_wdc(&WdcConfig::default());
-        assert!((3500..7000).contains(&ds.products.len()), "{}", ds.products.len());
+        assert!(
+            (3500..7000).contains(&ds.products.len()),
+            "{}",
+            ds.products.len()
+        );
     }
 
     #[test]
@@ -229,7 +266,10 @@ mod tests {
             *per_family.entry(fam).or_insert(0) += 1;
         }
         assert!(per_family.values().all(|&n| n == 1 || n == 2));
-        assert!(per_family.values().any(|&n| n == 2), "corner siblings exist");
+        assert!(
+            per_family.values().any(|&n| n == 2),
+            "corner siblings exist"
+        );
     }
 
     #[test]
@@ -262,6 +302,10 @@ mod tests {
     #[test]
     fn products_carry_no_id_codes() {
         let ds = generate_wdc(&WdcConfig::default());
-        assert!(ds.products.records().iter().all(|r| r.id_codes().is_empty()));
+        assert!(ds
+            .products
+            .records()
+            .iter()
+            .all(|r| r.id_codes().is_empty()));
     }
 }

@@ -10,54 +10,99 @@
 
 /// Name roots. Deliberately includes families with shared prefixes.
 pub const ROOTS: &[&str] = &[
-    "crowd", "cloud", "clear", "core", "corte", "data", "data", "delta", "digi", "dyna",
-    "eco", "edge", "ever", "evo", "fin", "first", "flex", "flux", "fort", "fusion",
-    "gen", "geo", "giga", "global", "gold", "grand", "green", "grid", "ground", "grow",
-    "health", "helio", "hexa", "high", "hyper", "icon", "infra", "inno", "inter", "iron",
-    "kin", "lake", "land", "laser", "light", "lumen", "luna", "macro", "magna", "mark",
-    "med", "mega", "meta", "micro", "mind", "mono", "moon", "multi", "nano", "neo",
-    "net", "nex", "north", "nova", "omni", "open", "opti", "orbit", "pay", "peak",
-    "penta", "petro", "pharma", "photo", "pixel", "poly", "power", "prime", "pro", "pulse",
-    "quant", "quantum", "rapid", "red", "ridge", "river", "rock", "royal", "safe", "sage",
-    "sea", "shore", "silver", "sky", "smart", "solar", "south", "spark", "spring", "star",
-    "steel", "stone", "storm", "stream", "sun", "swift", "terra", "tidal", "top", "trans",
-    "tri", "true", "ultra", "uni", "urban", "vast", "vector", "velo", "verde", "vertex",
-    "vital", "vivid", "volt", "wave", "west", "wind", "wood", "zen", "zenith", "zero",
+    "crowd", "cloud", "clear", "core", "corte", "data", "data", "delta", "digi", "dyna", "eco",
+    "edge", "ever", "evo", "fin", "first", "flex", "flux", "fort", "fusion", "gen", "geo", "giga",
+    "global", "gold", "grand", "green", "grid", "ground", "grow", "health", "helio", "hexa",
+    "high", "hyper", "icon", "infra", "inno", "inter", "iron", "kin", "lake", "land", "laser",
+    "light", "lumen", "luna", "macro", "magna", "mark", "med", "mega", "meta", "micro", "mind",
+    "mono", "moon", "multi", "nano", "neo", "net", "nex", "north", "nova", "omni", "open", "opti",
+    "orbit", "pay", "peak", "penta", "petro", "pharma", "photo", "pixel", "poly", "power", "prime",
+    "pro", "pulse", "quant", "quantum", "rapid", "red", "ridge", "river", "rock", "royal", "safe",
+    "sage", "sea", "shore", "silver", "sky", "smart", "solar", "south", "spark", "spring", "star",
+    "steel", "stone", "storm", "stream", "sun", "swift", "terra", "tidal", "top", "trans", "tri",
+    "true", "ultra", "uni", "urban", "vast", "vector", "velo", "verde", "vertex", "vital", "vivid",
+    "volt", "wave", "west", "wind", "wood", "zen", "zenith", "zero",
 ];
 
 /// Compound suffixes. Families share character runs on purpose
 /// ("strike/street/stream", "logic/logix", "soft/sort").
 pub const SUFFIXES: &[&str] = &[
-    "strike", "street", "stream", "strand", "bank", "base", "beam", "bit", "box", "bridge",
-    "byte", "cast", "chain", "chart", "check", "craft", "cube", "desk", "drive", "dyne",
-    "field", "flow", "forge", "form", "gate", "gear", "grid", "guard", "hub", "jet",
-    "lab", "labs", "lane", "leaf", "level", "lift", "line", "link", "lock", "logic",
-    "logix", "loop", "mark", "mesh", "mill", "mind", "nest", "node", "path", "pay",
-    "point", "port", "press", "prise", "pulse", "rise", "scan", "scape", "scale", "sense",
-    "shift", "soft", "sort", "space", "span", "spark", "sphere", "spot", "stack", "stock",
-    "switch", "sync", "tech", "trace", "track", "trade", "vault", "view", "ware", "watch",
-    "wave", "way", "web", "wise", "works", "yard",
+    "strike", "street", "stream", "strand", "bank", "base", "beam", "bit", "box", "bridge", "byte",
+    "cast", "chain", "chart", "check", "craft", "cube", "desk", "drive", "dyne", "field", "flow",
+    "forge", "form", "gate", "gear", "grid", "guard", "hub", "jet", "lab", "labs", "lane", "leaf",
+    "level", "lift", "line", "link", "lock", "logic", "logix", "loop", "mark", "mesh", "mill",
+    "mind", "nest", "node", "path", "pay", "point", "port", "press", "prise", "pulse", "rise",
+    "scan", "scape", "scale", "sense", "shift", "soft", "sort", "space", "span", "spark", "sphere",
+    "spot", "stack", "stock", "switch", "sync", "tech", "trace", "track", "trade", "vault", "view",
+    "ware", "watch", "wave", "way", "web", "wise", "works", "yard",
 ];
 
 /// Standalone trailing industry words for two-word names.
 pub const INDUSTRY_WORDS: &[&str] = &[
-    "Analytics", "Capital", "Dynamics", "Energy", "Foods", "Industries", "Insurance",
-    "Logistics", "Media", "Mining", "Mobility", "Motors", "Networks", "Partners",
-    "Pharmaceuticals", "Resources", "Robotics", "Semiconductors", "Services", "Shipping",
-    "Software", "Solutions", "Systems", "Technologies", "Telecom", "Therapeutics",
-    "Utilities", "Ventures",
+    "Analytics",
+    "Capital",
+    "Dynamics",
+    "Energy",
+    "Foods",
+    "Industries",
+    "Insurance",
+    "Logistics",
+    "Media",
+    "Mining",
+    "Mobility",
+    "Motors",
+    "Networks",
+    "Partners",
+    "Pharmaceuticals",
+    "Resources",
+    "Robotics",
+    "Semiconductors",
+    "Services",
+    "Shipping",
+    "Software",
+    "Solutions",
+    "Systems",
+    "Technologies",
+    "Telecom",
+    "Therapeutics",
+    "Utilities",
+    "Ventures",
 ];
 
 /// Corporate terms the `InsertCorporateTerm` artifact splices into names.
 pub const CORPORATE_TERMS: &[&str] = &[
-    "Inc.", "Incorporated", "Corp.", "Corporation", "Ltd.", "Limited", "LLC", "PLC",
-    "AG", "SA", "Group", "Holdings", "Co.", "Plt.",
+    "Inc.",
+    "Incorporated",
+    "Corp.",
+    "Corporation",
+    "Ltd.",
+    "Limited",
+    "LLC",
+    "PLC",
+    "AG",
+    "SA",
+    "Group",
+    "Holdings",
+    "Co.",
+    "Plt.",
 ];
 
 /// Geographic adjectives used as optional name prefixes.
 pub const GEO_ADJECTIVES: &[&str] = &[
-    "American", "Atlantic", "Continental", "Eastern", "European", "Federal", "National",
-    "Nordic", "Northern", "Pacific", "Southern", "Swiss", "United", "Western",
+    "American",
+    "Atlantic",
+    "Continental",
+    "Eastern",
+    "European",
+    "Federal",
+    "National",
+    "Nordic",
+    "Northern",
+    "Pacific",
+    "Southern",
+    "Swiss",
+    "United",
+    "Western",
 ];
 
 /// `(city, region, country_code)` gazetteer.
@@ -121,32 +166,78 @@ pub const LOCATIONS: &[(&str, &str, &str)] = &[
 
 /// Business domains for description templates.
 pub const DOMAINS: &[&str] = &[
-    "cloud security", "payment processing", "supply chain visibility", "renewable energy",
-    "precision agriculture", "clinical diagnostics", "fleet telematics", "digital banking",
-    "industrial automation", "real estate analytics", "talent management", "data privacy",
-    "edge computing", "drug discovery", "freight brokerage", "customer engagement",
-    "fraud detection", "asset tokenization", "battery storage", "satellite imaging",
-    "cyber threat intelligence", "insurance underwriting", "retail personalization",
-    "wealth management", "smart grid optimization", "genomic sequencing",
+    "cloud security",
+    "payment processing",
+    "supply chain visibility",
+    "renewable energy",
+    "precision agriculture",
+    "clinical diagnostics",
+    "fleet telematics",
+    "digital banking",
+    "industrial automation",
+    "real estate analytics",
+    "talent management",
+    "data privacy",
+    "edge computing",
+    "drug discovery",
+    "freight brokerage",
+    "customer engagement",
+    "fraud detection",
+    "asset tokenization",
+    "battery storage",
+    "satellite imaging",
+    "cyber threat intelligence",
+    "insurance underwriting",
+    "retail personalization",
+    "wealth management",
+    "smart grid optimization",
+    "genomic sequencing",
 ];
 
 /// Customer segments for description templates.
 pub const AUDIENCES: &[&str] = &[
-    "enterprises", "small businesses", "financial institutions", "healthcare providers",
-    "retailers", "manufacturers", "logistics operators", "government agencies",
-    "developers", "consumers", "utilities", "asset managers", "insurers", "carriers",
+    "enterprises",
+    "small businesses",
+    "financial institutions",
+    "healthcare providers",
+    "retailers",
+    "manufacturers",
+    "logistics operators",
+    "government agencies",
+    "developers",
+    "consumers",
+    "utilities",
+    "asset managers",
+    "insurers",
+    "carriers",
 ];
 
 /// Verb phrases for description templates.
 pub const VALUE_VERBS: &[&str] = &[
-    "streamlines", "automates", "secures", "accelerates", "simplifies", "optimizes",
-    "modernizes", "de-risks", "unifies", "scales",
+    "streamlines",
+    "automates",
+    "secures",
+    "accelerates",
+    "simplifies",
+    "optimizes",
+    "modernizes",
+    "de-risks",
+    "unifies",
+    "scales",
 ];
 
 /// Security-name suffixes appended to issuer-derived names.
 pub const SECURITY_NAME_FORMS: &[&str] = &[
-    "Registered Shs", "Ordinary Shares", "Common Stock", "ORD", "Shs", "Registered Shares",
-    "Class A", "Class B", "Bearer Shs", "Npv",
+    "Registered Shs",
+    "Ordinary Shares",
+    "Common Stock",
+    "ORD",
+    "Shs",
+    "Registered Shares",
+    "Class A",
+    "Class B",
+    "Bearer Shs",
+    "Npv",
 ];
 
 #[cfg(test)]

@@ -114,9 +114,7 @@ impl Graph {
     /// Whether the edge `{a, b}` exists.
     #[inline]
     pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
-        self.adj
-            .get(a as usize)
-            .is_some_and(|s| s.contains(&b))
+        self.adj.get(a as usize).is_some_and(|s| s.contains(&b))
     }
 
     /// Degree of a node (0 for out-of-range ids).
@@ -151,10 +149,7 @@ impl Graph {
 
     /// Remove a batch of edges; returns how many actually existed.
     pub fn remove_edges(&mut self, edges: &[Edge]) -> usize {
-        edges
-            .iter()
-            .filter(|e| self.remove_edge(e.a, e.b))
-            .count()
+        edges.iter().filter(|e| self.remove_edge(e.a, e.b)).count()
     }
 
     /// Build a graph from an edge list.
@@ -208,10 +203,7 @@ mod tests {
         let g = Graph::from_edges([(0, 1), (1, 2), (2, 0)]);
         let mut es: Vec<_> = g.edges().collect();
         es.sort();
-        assert_eq!(
-            es,
-            vec![Edge::new(0, 1), Edge::new(0, 2), Edge::new(1, 2)]
-        );
+        assert_eq!(es, vec![Edge::new(0, 1), Edge::new(0, 2), Edge::new(1, 2)]);
     }
 
     #[test]

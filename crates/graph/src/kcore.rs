@@ -106,8 +106,18 @@ mod tests {
         // Two K4s joined by one edge: all clique nodes keep core 3; the
         // bridge doesn't raise anyone's core number.
         let sub = sub_of(&[
-            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
-            (4, 5), (4, 6), (4, 7), (5, 6), (5, 7), (6, 7),
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (4, 5),
+            (4, 6),
+            (4, 7),
+            (5, 6),
+            (5, 7),
+            (6, 7),
             (3, 4),
         ]);
         let core = core_numbers(&sub);

@@ -107,10 +107,7 @@ pub fn stoer_wagner(sub: &Subgraph) -> MinCut {
         // Maximum adjacency search starting from active[0].
         let m = active.len();
         let mut in_a = vec![false; m];
-        let mut weights_to_a: Vec<u32> = active
-            .iter()
-            .map(|&v| w[active[0] * n + v])
-            .collect();
+        let mut weights_to_a: Vec<u32> = active.iter().map(|&v| w[active[0] * n + v]).collect();
         in_a[0] = true;
         let mut prev = 0usize; // index into `active`
         let mut last = 0usize;
@@ -246,7 +243,12 @@ mod tests {
         assert_eq!(cut.weight, 2);
         assert_eq!(cut.cut_edges.len(), 2);
         let mut g = Graph::from_edges(sub.edges.iter().copied());
-        g.remove_edges(&cut.cut_edges.iter().map(|&(a, b)| Edge::new(a, b)).collect::<Vec<_>>());
+        g.remove_edges(
+            &cut.cut_edges
+                .iter()
+                .map(|&(a, b)| Edge::new(a, b))
+                .collect::<Vec<_>>(),
+        );
         assert!(crate::components::connected_components(&g).len() >= 2);
         let flow_cut = global_min_cut_flow(&sub);
         assert_eq!(flow_cut.weight, 2);

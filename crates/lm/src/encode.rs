@@ -140,10 +140,7 @@ impl PairEncoder for DittoEncoder {
 
 /// Encode every record of a dataset once (inference reuses the streams for
 /// all candidate pairs involving the record).
-pub fn encode_dataset<R: Record, E: PairEncoder>(
-    records: &[R],
-    encoder: &E,
-) -> Vec<EncodedRecord> {
+pub fn encode_dataset<R: Record, E: PairEncoder>(records: &[R], encoder: &E) -> Vec<EncodedRecord> {
     records.iter().map(|r| encoder.encode(r)).collect()
 }
 
@@ -160,9 +157,15 @@ mod tests {
     }
 
     fn security_with_codes(n: usize) -> SecurityRecord {
-        let mut s = SecurityRecord::new(RecordId(0), SourceId(0), "Crowdstrike Registered Shs", RecordId(1));
+        let mut s = SecurityRecord::new(
+            RecordId(0),
+            SourceId(0),
+            "Crowdstrike Registered Shs",
+            RecordId(1),
+        );
         for i in 0..n {
-            s.id_codes.push(IdCode::new(IdKind::Isin, format!("US{i:010}")));
+            s.id_codes
+                .push(IdCode::new(IdKind::Isin, format!("US{i:010}")));
         }
         s
     }
@@ -209,9 +212,8 @@ mod tests {
         let sec = security_with_codes(30);
         let small = DittoEncoder::new(128).encode(&sec);
         let large = DittoEncoder::new(256).encode(&sec);
-        let count_ids = |enc: &EncodedRecord| {
-            enc.tokens.iter().filter(|t| t.starts_with("us")).count()
-        };
+        let count_ids =
+            |enc: &EncodedRecord| enc.tokens.iter().filter(|t| t.starts_with("us")).count();
         assert!(count_ids(&large) > count_ids(&small));
     }
 
@@ -220,9 +222,8 @@ mod tests {
         let sec = security_with_codes(30);
         let plain = PlainEncoder::new(128).encode(&sec);
         let ditto = DittoEncoder::new(128).encode(&sec);
-        let payload = |enc: &EncodedRecord| {
-            enc.tokens.iter().filter(|t| !t.starts_with('[')).count()
-        };
+        let payload =
+            |enc: &EncodedRecord| enc.tokens.iter().filter(|t| !t.starts_with('[')).count();
         assert!(payload(&plain) >= payload(&ditto));
     }
 

@@ -244,11 +244,7 @@ mod tests {
     fn dense_slots_in_reserved_range() {
         let config = FeatureConfig::default();
         let f = featurize(&encoded(&["a1"]), &encoded(&["b2"]), &config);
-        let dense_count = f
-            .indices
-            .iter()
-            .filter(|&&i| i >= config.hash_dim)
-            .count();
+        let dense_count = f.indices.iter().filter(|&&i| i >= config.hash_dim).count();
         assert_eq!(dense_count, NUM_DENSE);
         assert!(f.indices.iter().all(|&i| (i as usize) < config.dim()));
     }

@@ -1,13 +1,32 @@
-//! Parallel batch inference over candidate pairs.
+//! Batched parallel inference over candidate pairs.
 //!
 //! The pairwise-matching stage evaluates every blocked candidate pair — up
-//! to 1.14M pairs for the synthetic companies (Table 2) — so scoring is
-//! parallelized with crossbeam scoped threads over pair chunks. Matchers
-//! are `Sync` and shared by reference; encoded records are immutable.
+//! to 1.14M pairs for the synthetic companies (Table 2) — so scoring runs
+//! on the workspace-wide [`WorkerPool`]: the pair list is cut into fixed
+//! chunks and scored by work-stealing workers, which keeps skewed matcher
+//! costs (long identifier-heavy records vs short names) from serializing
+//! the run on the slowest contiguous slice.
+//!
+//! Two entry layers:
+//!
+//! * [`PairScorer`] — the stage-level abstraction: anything that can score
+//!   a [`RecordPair`] directly. [`MatcherScorer`] adapts a
+//!   [`PairwiseMatcher`] + encoded records (the id-is-index invariant);
+//!   oracles and cached scorers implement it without encodings.
+//! * [`score_pairs_with`] / [`predict_positive_with`] — pool-driven batch
+//!   scoring used by the pipeline's inference stage.
+//!
+//! The legacy `threads: usize` entry points remain as deprecated shims.
+//! Their historical bug — silently scoring sequentially below
+//! [`SEQUENTIAL_CUTOFF`](gralmatch_util::SEQUENTIAL_CUTOFF) pairs even when
+//! the caller explicitly asked for workers — is fixed: an explicit thread
+//! count now maps to [`Parallelism::Fixed`], which always parallelizes;
+//! only [`Parallelism::Auto`] applies the small-input heuristic.
 
 use crate::encode::EncodedRecord;
 use crate::matcher::PairwiseMatcher;
 use gralmatch_records::RecordPair;
+use gralmatch_util::{Parallelism, WorkerPool};
 
 /// A scored candidate pair.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -18,62 +37,112 @@ pub struct ScoredPair {
     pub score: f32,
 }
 
+/// Scores candidate pairs by record id.
+///
+/// The pipeline's inference stage is generic over this trait so the same
+/// stage runs trained matchers, heuristics, oracles, and cached/remote
+/// scorers uniformly.
+pub trait PairScorer: Sync {
+    /// Match probability in `[0, 1]` for a candidate pair.
+    fn score_pair(&self, pair: RecordPair) -> f32;
+
+    /// Decision threshold for positive predictions (default 0.5).
+    fn threshold(&self) -> f32 {
+        0.5
+    }
+}
+
+/// Adapter scoring pairs through a [`PairwiseMatcher`] over encoded
+/// records, relying on the dataset invariant `encoded[id] == record id`.
+#[derive(Debug, Clone, Copy)]
+pub struct MatcherScorer<'a, M: PairwiseMatcher> {
+    matcher: &'a M,
+    encoded: &'a [EncodedRecord],
+}
+
+impl<'a, M: PairwiseMatcher> MatcherScorer<'a, M> {
+    /// Bind a matcher to its encoded records.
+    pub fn new(matcher: &'a M, encoded: &'a [EncodedRecord]) -> Self {
+        MatcherScorer { matcher, encoded }
+    }
+}
+
+impl<M: PairwiseMatcher> PairScorer for MatcherScorer<'_, M> {
+    fn score_pair(&self, pair: RecordPair) -> f32 {
+        self.matcher.score(
+            &self.encoded[pair.a.0 as usize],
+            &self.encoded[pair.b.0 as usize],
+        )
+    }
+
+    fn threshold(&self) -> f32 {
+        self.matcher.threshold()
+    }
+}
+
+/// Score all pairs on the given worker pool. Output order matches input
+/// order regardless of the work-stealing schedule.
+pub fn score_pairs_with(
+    scorer: &dyn PairScorer,
+    pairs: &[RecordPair],
+    pool: &WorkerPool,
+) -> Vec<ScoredPair> {
+    pool.map(pairs, |&pair| ScoredPair {
+        pair,
+        score: scorer.score_pair(pair),
+    })
+}
+
+/// Score all pairs and keep those at or above the scorer's threshold.
+pub fn predict_positive_with(
+    scorer: &dyn PairScorer,
+    pairs: &[RecordPair],
+    pool: &WorkerPool,
+) -> Vec<RecordPair> {
+    let threshold = scorer.threshold();
+    score_pairs_with(scorer, pairs, pool)
+        .into_iter()
+        .filter(|scored| scored.score >= threshold)
+        .map(|scored| scored.pair)
+        .collect()
+}
+
+fn legacy_pool(threads: usize) -> WorkerPool {
+    // An explicit thread count maps to `Parallelism::Fixed`, which always
+    // parallelizes — fixing the old silent sequential fallback for small
+    // inputs (see the module docs).
+    Parallelism::Fixed(threads).pool_for(0)
+}
+
 /// Score all pairs with `threads` worker threads (1 = sequential).
 /// Output order matches input order.
+#[deprecated(note = "use `score_pairs_with` with a `WorkerPool` (or the stage pipeline)")]
 pub fn score_pairs<M: PairwiseMatcher>(
     matcher: &M,
     encoded: &[EncodedRecord],
     pairs: &[RecordPair],
     threads: usize,
 ) -> Vec<ScoredPair> {
-    let threads = threads.max(1);
-    if threads == 1 || pairs.len() < 1024 {
-        return pairs
-            .iter()
-            .map(|&pair| ScoredPair {
-                pair,
-                score: matcher.score(&encoded[pair.a.0 as usize], &encoded[pair.b.0 as usize]),
-            })
-            .collect();
-    }
-
-    let chunk_size = pairs.len().div_ceil(threads);
-    let mut results: Vec<Vec<ScoredPair>> = Vec::with_capacity(threads);
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for chunk in pairs.chunks(chunk_size) {
-            handles.push(scope.spawn(move |_| {
-                chunk
-                    .iter()
-                    .map(|&pair| ScoredPair {
-                        pair,
-                        score: matcher
-                            .score(&encoded[pair.a.0 as usize], &encoded[pair.b.0 as usize]),
-                    })
-                    .collect::<Vec<_>>()
-            }));
-        }
-        for handle in handles {
-            results.push(handle.join().expect("inference worker panicked"));
-        }
-    })
-    .expect("inference scope");
-    results.into_iter().flatten().collect()
+    score_pairs_with(
+        &MatcherScorer::new(matcher, encoded),
+        pairs,
+        &legacy_pool(threads),
+    )
 }
 
 /// Score all pairs and keep the positively predicted ones.
+#[deprecated(note = "use `predict_positive_with` with a `WorkerPool` (or the stage pipeline)")]
 pub fn predict_positive<M: PairwiseMatcher>(
     matcher: &M,
     encoded: &[EncodedRecord],
     pairs: &[RecordPair],
     threads: usize,
 ) -> Vec<RecordPair> {
-    let threshold = matcher.threshold();
-    score_pairs(matcher, encoded, pairs, threads)
-        .into_iter()
-        .filter(|scored| scored.score >= threshold)
-        .map(|scored| scored.pair)
-        .collect()
+    predict_positive_with(
+        &MatcherScorer::new(matcher, encoded),
+        pairs,
+        &legacy_pool(threads),
+    )
 }
 
 #[cfg(test)]
@@ -106,7 +175,9 @@ mod tests {
     #[test]
     fn sequential_scoring() {
         let (streams, pairs) = setup();
-        let scored = score_pairs(&HeuristicMatcher::default(), &streams, &pairs, 1);
+        let matcher = HeuristicMatcher::default();
+        let scorer = MatcherScorer::new(&matcher, &streams);
+        let scored = score_pairs_with(&scorer, &pairs, &WorkerPool::new(1));
         assert_eq!(scored.len(), 3);
         assert_eq!(scored[0].score, 1.0);
         assert_eq!(scored[1].score, 0.0);
@@ -114,7 +185,6 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
-        // Force the parallel path with a large synthetic pair list.
         let streams: Vec<EncodedRecord> = (0..100)
             .map(|i| encoded(&[&format!("token{}", i % 10), "shared"]))
             .collect();
@@ -123,8 +193,9 @@ mod tests {
             .filter(|p| p.a != p.b)
             .collect();
         let matcher = HeuristicMatcher::default();
-        let sequential = score_pairs(&matcher, &streams, &pairs, 1);
-        let parallel = score_pairs(&matcher, &streams, &pairs, 4);
+        let scorer = MatcherScorer::new(&matcher, &streams);
+        let sequential = score_pairs_with(&scorer, &pairs, &WorkerPool::new(1));
+        let parallel = score_pairs_with(&scorer, &pairs, &WorkerPool::new(4).with_chunk_size(128));
         assert_eq!(sequential.len(), parallel.len());
         for (s, p) in sequential.iter().zip(&parallel) {
             assert_eq!(s.pair, p.pair);
@@ -135,14 +206,54 @@ mod tests {
     #[test]
     fn predict_positive_filters() {
         let (streams, pairs) = setup();
-        let positives = predict_positive(&HeuristicMatcher::default(), &streams, &pairs, 1);
+        let matcher = HeuristicMatcher::default();
+        let scorer = MatcherScorer::new(&matcher, &streams);
+        let positives = predict_positive_with(&scorer, &pairs, &WorkerPool::new(1));
         assert_eq!(positives, vec![RecordPair::new(RecordId(0), RecordId(1))]);
     }
 
     #[test]
     fn empty_pairs_ok() {
         let (streams, _) = setup();
-        let scored = score_pairs(&HeuristicMatcher::default(), &streams, &[], 4);
+        let matcher = HeuristicMatcher::default();
+        let scorer = MatcherScorer::new(&matcher, &streams);
+        let scored = score_pairs_with(&scorer, &[], &WorkerPool::new(4));
         assert!(scored.is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shims_agree_with_pool_api() {
+        let (streams, pairs) = setup();
+        let matcher = HeuristicMatcher::default();
+        let scorer = MatcherScorer::new(&matcher, &streams);
+        let via_pool = score_pairs_with(&scorer, &pairs, &WorkerPool::new(2));
+        // threads > 1 now parallelizes even below the cutoff (the old code
+        // silently went sequential here); results must be identical either way.
+        let via_legacy = score_pairs(&matcher, &streams, &pairs, 2);
+        assert_eq!(via_pool, via_legacy);
+        let positives = predict_positive(&matcher, &streams, &pairs, 1);
+        assert_eq!(positives, vec![RecordPair::new(RecordId(0), RecordId(1))]);
+    }
+
+    #[test]
+    fn custom_scorer_without_encodings() {
+        // An id-driven scorer (oracle-style) needs no encoded records.
+        struct EvenPairs;
+        impl PairScorer for EvenPairs {
+            fn score_pair(&self, pair: RecordPair) -> f32 {
+                if (pair.a.0 + pair.b.0).is_multiple_of(2) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+        let pairs = vec![
+            RecordPair::new(RecordId(0), RecordId(2)),
+            RecordPair::new(RecordId(0), RecordId(1)),
+        ];
+        let positives = predict_positive_with(&EvenPairs, &pairs, &WorkerPool::new(1));
+        assert_eq!(positives, vec![RecordPair::new(RecordId(0), RecordId(2))]);
     }
 }

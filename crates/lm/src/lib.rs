@@ -29,7 +29,11 @@ pub mod trainer;
 pub use active::{active_learning_loop, ActiveConfig, QueryStrategy, RoundReport};
 pub use encode::{encode_dataset, DittoEncoder, EncodedRecord, PairEncoder, PlainEncoder};
 pub use features::{featurize, FeatureConfig, PairFeatures};
-pub use inference::{predict_positive, score_pairs, ScoredPair};
+#[allow(deprecated)]
+pub use inference::{predict_positive, score_pairs};
+pub use inference::{
+    predict_positive_with, score_pairs_with, MatcherScorer, PairScorer, ScoredPair,
+};
 pub use llm::{LlmCostModel, SimulatedLlmMatcher};
 pub use matcher::{HeuristicMatcher, PairwiseMatcher, TrainedMatcher};
 pub use model::{log_loss, sigmoid, Adagrad, LogisticModel};

@@ -111,7 +111,8 @@ mod tests {
 
     #[test]
     fn simulated_matcher_accounts_latency() {
-        let matcher = SimulatedLlmMatcher::new(HeuristicMatcher::default(), LlmCostModel::llama2_7b());
+        let matcher =
+            SimulatedLlmMatcher::new(HeuristicMatcher::default(), LlmCostModel::llama2_7b());
         let a = EncodedRecord {
             tokens: vec!["acme".into()],
         };
@@ -127,7 +128,8 @@ mod tests {
 
     #[test]
     fn scoring_is_delegated() {
-        let matcher = SimulatedLlmMatcher::new(HeuristicMatcher::default(), LlmCostModel::llama2_7b());
+        let matcher =
+            SimulatedLlmMatcher::new(HeuristicMatcher::default(), LlmCostModel::llama2_7b());
         let a = EncodedRecord {
             tokens: vec!["acme".into()],
         };

@@ -7,7 +7,7 @@
 //! discriminative features keep learning).
 
 use crate::features::PairFeatures;
-use serde::{Deserialize, Serialize};
+use gralmatch_util::{FromJson, Json, JsonError, ToJson};
 
 /// Numerically stable logistic function.
 #[inline]
@@ -28,7 +28,7 @@ pub fn log_loss(probability: f32, label: f32) -> f32 {
 }
 
 /// Logistic-regression model over the hashed feature space.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LogisticModel {
     weights: Vec<f32>,
     bias: f32,
@@ -65,6 +65,24 @@ impl LogisticModel {
     }
 }
 
+impl ToJson for LogisticModel {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("weights", self.weights.to_json()),
+            ("bias", self.bias.to_json()),
+        ])
+    }
+}
+
+impl FromJson for LogisticModel {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(LogisticModel {
+            weights: Vec::from_json(json.field("weights")?)?,
+            bias: f32::from_json(json.field("bias")?)?,
+        })
+    }
+}
+
 /// Adagrad optimizer state for a [`LogisticModel`].
 #[derive(Debug, Clone)]
 pub struct Adagrad {
@@ -94,13 +112,11 @@ impl Adagrad {
             let i = index as usize;
             let gradient = error * value + self.l2 * model.weights[i];
             self.accumulated[i] += gradient * gradient;
-            model.weights[i] -=
-                self.learning_rate * gradient / (self.accumulated[i].sqrt() + 1e-8);
+            model.weights[i] -= self.learning_rate * gradient / (self.accumulated[i].sqrt() + 1e-8);
         }
         let bias_gradient = error;
         self.accumulated_bias += bias_gradient * bias_gradient;
-        model.bias -=
-            self.learning_rate * bias_gradient / (self.accumulated_bias.sqrt() + 1e-8);
+        model.bias -= self.learning_rate * bias_gradient / (self.accumulated_bias.sqrt() + 1e-8);
         log_loss(probability, label)
     }
 }
@@ -184,12 +200,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let mut model = LogisticModel::new(4);
         let mut optimizer = Adagrad::new(4, 0.5, 0.0);
         optimizer.step(&mut model, &features(&[0], &[1.0]), 1.0);
-        let json = serde_json::to_string(&model).unwrap();
-        let back: LogisticModel = serde_json::from_str(&json).unwrap();
+        let json = model.to_json().to_compact_string();
+        let back = LogisticModel::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back.dim(), 4);
         let f = features(&[0], &[1.0]);
         assert!((back.predict(&f) - model.predict(&f)).abs() < 1e-7);

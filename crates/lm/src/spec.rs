@@ -119,6 +119,9 @@ mod tests {
     #[test]
     fn display_names_match_paper() {
         assert_eq!(ModelSpec::Ditto128.to_string(), "DITTO (128)");
-        assert_eq!(ModelSpec::DistilBert128Low.to_string(), "DistilBERT (128)-15K");
+        assert_eq!(
+            ModelSpec::DistilBert128Low.to_string(),
+            "DistilBERT (128)-15K"
+        );
     }
 }

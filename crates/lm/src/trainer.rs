@@ -300,8 +300,14 @@ pub fn train_with_negative_pool<R: Record>(
     let mut train_cache: Vec<crate::features::PairFeatures> = Vec::new();
     let mut val_cache: Vec<crate::features::PairFeatures> = Vec::new();
     if cache_features {
-        train_cache = train_examples.iter().map(|e| featurize_pair(e.pair)).collect();
-        val_cache = val_examples.iter().map(|e| featurize_pair(e.pair)).collect();
+        train_cache = train_examples
+            .iter()
+            .map(|e| featurize_pair(e.pair))
+            .collect();
+        val_cache = val_examples
+            .iter()
+            .map(|e| featurize_pair(e.pair))
+            .collect();
     }
     // Shuffle indices rather than examples so cached features stay aligned.
     let mut train_order: Vec<usize> = (0..train_examples.len()).collect();
@@ -436,7 +442,9 @@ mod tests {
         let mut low_config = TrainConfig::low_label_15k();
         low_config.max_train_positives = Some(50);
         low_config.max_val_positives = Some(20);
-        let low = train(&records, &encoded, &gt, &split, &low_config).unwrap().1;
+        let low = train(&records, &encoded, &gt, &split, &low_config)
+            .unwrap()
+            .1;
         assert!(low.num_train_examples < full.num_train_examples);
     }
 

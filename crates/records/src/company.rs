@@ -8,11 +8,10 @@
 
 use crate::ids::{EntityId, IdCode, RecordId, SourceId};
 use crate::record::Record;
-use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
 
 /// A company record from one data source.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompanyRecord {
     /// Dense id within the company dataset.
     pub id: RecordId,
@@ -144,7 +143,14 @@ mod tests {
         let cols: Vec<&str> = r.fields().iter().map(|(c, _)| *c).collect();
         assert_eq!(
             cols,
-            vec!["name", "city", "region", "country_code", "short_description", "identifiers"]
+            vec![
+                "name",
+                "city",
+                "region",
+                "country_code",
+                "short_description",
+                "identifiers"
+            ]
         );
     }
 
@@ -167,10 +173,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
+        use gralmatch_util::{FromJson, Json, ToJson};
         let r = sample();
-        let json = serde_json::to_string(&r).unwrap();
-        let back: CompanyRecord = serde_json::from_str(&json).unwrap();
+        let json = r.to_json().to_compact_string();
+        let back = CompanyRecord::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, r);
     }
 

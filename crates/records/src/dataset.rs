@@ -18,7 +18,9 @@ pub struct Dataset<R> {
 impl<R: Record> Dataset<R> {
     /// Empty dataset.
     pub fn new() -> Self {
-        Dataset { records: Vec::new() }
+        Dataset {
+            records: Vec::new(),
+        }
     }
 
     /// Build from records, validating the dense-id invariant.

@@ -177,7 +177,13 @@ mod tests {
     #[test]
     fn avg_matches_per_entity() {
         // One group of 3 (3 pairs) + one group of 2 (1 pair): avg 2.
-        let records = vec![labeled(0, 1), labeled(1, 1), labeled(2, 1), labeled(3, 2), labeled(4, 2)];
+        let records = vec![
+            labeled(0, 1),
+            labeled(1, 1),
+            labeled(2, 1),
+            labeled(3, 2),
+            labeled(4, 2),
+        ];
         let gt = GroundTruth::from_records(&records);
         assert!((gt.avg_matches_per_entity() - 2.0).abs() < 1e-9);
     }

@@ -4,20 +4,19 @@
 //! prediction graph) compact; the newtype wrappers prevent mixing record ids
 //! with entity ids at compile time.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A record's position in its dataset (dense, 0-based).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RecordId(pub u32);
 
 /// Ground-truth real-world entity id (one per record group).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EntityId(pub u32);
 
 /// Data source (vendor) id. The paper's use case has ~10 real vendors; the
 /// synthetic benchmark uses 5.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SourceId(pub u16);
 
 impl fmt::Display for RecordId {
@@ -40,7 +39,7 @@ impl fmt::Display for SourceId {
 
 /// The international identifier standards carried by security records
 /// (paper Section 3.1, footnote 4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum IdKind {
     /// International Securities Identification Number (12 alphanumerics).
     Isin,
@@ -83,7 +82,7 @@ impl fmt::Display for IdKind {
 }
 
 /// One identifier code attached to a record: its standard plus its value.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct IdCode {
     /// Which standard the code belongs to.
     pub kind: IdKind,
@@ -116,7 +115,10 @@ mod tests {
         assert_eq!(RecordId(12).to_string(), "#12");
         assert_eq!(EntityId(3).to_string(), "E3");
         assert_eq!(SourceId(1).to_string(), "S1");
-        assert_eq!(IdCode::new(IdKind::Isin, "US31807756E").to_string(), "isin:US31807756E");
+        assert_eq!(
+            IdCode::new(IdKind::Isin, "US31807756E").to_string(),
+            "isin:US31807756E"
+        );
     }
 
     #[test]
@@ -134,10 +136,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
+        use gralmatch_util::{FromJson, Json, ToJson};
         let code = IdCode::new(IdKind::Sedol, "B1YW440");
-        let json = serde_json::to_string(&code).unwrap();
-        let back: IdCode = serde_json::from_str(&json).unwrap();
+        let json = code.to_json().to_compact_string();
+        let back = IdCode::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, code);
     }
 }

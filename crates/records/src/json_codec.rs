@@ -1,0 +1,233 @@
+//! JSON conversions for the record model.
+//!
+//! Hand-written [`ToJson`]/[`FromJson`] impls (the offline build cannot use
+//! serde derives). The layout matches what `serde_json` would have produced
+//! for the former derives: newtypes as bare numbers, enums as their variant
+//! labels, structs as objects keyed by field name.
+
+use crate::company::CompanyRecord;
+use crate::ids::{EntityId, IdCode, IdKind, RecordId, SourceId};
+use crate::pair::RecordPair;
+use crate::product::ProductRecord;
+use crate::security::{SecurityRecord, SecurityType};
+use gralmatch_util::{FromJson, Json, JsonError, ToJson};
+
+macro_rules! impl_id_newtype {
+    ($($ty:ident($inner:ty)),*) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                self.0.to_json()
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json(json: &Json) -> Result<Self, JsonError> {
+                Ok($ty(<$inner>::from_json(json)?))
+            }
+        }
+    )*};
+}
+impl_id_newtype!(RecordId(u32), EntityId(u32), SourceId(u16));
+
+impl ToJson for IdKind {
+    fn to_json(&self) -> Json {
+        Json::Str(self.as_str().to_string())
+    }
+}
+
+impl FromJson for IdKind {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let label = json.as_str().ok_or_else(|| JsonError {
+            message: "expected id-kind string".into(),
+        })?;
+        IdKind::ALL
+            .into_iter()
+            .find(|kind| kind.as_str() == label)
+            .ok_or_else(|| JsonError {
+                message: format!("unknown id kind `{label}`"),
+            })
+    }
+}
+
+impl ToJson for IdCode {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("kind", self.kind.to_json()),
+            ("value", self.value.to_json()),
+        ])
+    }
+}
+
+impl FromJson for IdCode {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(IdCode {
+            kind: IdKind::from_json(json.field("kind")?)?,
+            value: String::from_json(json.field("value")?)?,
+        })
+    }
+}
+
+impl ToJson for RecordPair {
+    fn to_json(&self) -> Json {
+        Json::obj([("a", self.a.to_json()), ("b", self.b.to_json())])
+    }
+}
+
+impl FromJson for RecordPair {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(RecordPair::new(
+            RecordId::from_json(json.field("a")?)?,
+            RecordId::from_json(json.field("b")?)?,
+        ))
+    }
+}
+
+impl ToJson for CompanyRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", self.id.to_json()),
+            ("source", self.source.to_json()),
+            ("entity", self.entity.to_json()),
+            ("name", self.name.to_json()),
+            ("city", self.city.to_json()),
+            ("region", self.region.to_json()),
+            ("country_code", self.country_code.to_json()),
+            ("short_description", self.short_description.to_json()),
+            ("id_codes", self.id_codes.to_json()),
+            ("securities", self.securities.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CompanyRecord {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(CompanyRecord {
+            id: RecordId::from_json(json.field("id")?)?,
+            source: SourceId::from_json(json.field("source")?)?,
+            entity: Option::from_json(json.field("entity")?)?,
+            name: String::from_json(json.field("name")?)?,
+            city: String::from_json(json.field("city")?)?,
+            region: String::from_json(json.field("region")?)?,
+            country_code: String::from_json(json.field("country_code")?)?,
+            short_description: String::from_json(json.field("short_description")?)?,
+            id_codes: Vec::from_json(json.field("id_codes")?)?,
+            securities: Vec::from_json(json.field("securities")?)?,
+        })
+    }
+}
+
+impl ToJson for SecurityType {
+    fn to_json(&self) -> Json {
+        Json::Str(self.as_str().to_string())
+    }
+}
+
+impl FromJson for SecurityType {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let label = json.as_str().ok_or_else(|| JsonError {
+            message: "expected security-type string".into(),
+        })?;
+        SecurityType::ALL
+            .into_iter()
+            .find(|ty| ty.as_str() == label)
+            .ok_or_else(|| JsonError {
+                message: format!("unknown security type `{label}`"),
+            })
+    }
+}
+
+impl ToJson for SecurityRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", self.id.to_json()),
+            ("source", self.source.to_json()),
+            ("entity", self.entity.to_json()),
+            ("name", self.name.to_json()),
+            ("security_type", self.security_type.to_json()),
+            ("listings", self.listings.to_json()),
+            ("id_codes", self.id_codes.to_json()),
+            ("issuer", self.issuer.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SecurityRecord {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(SecurityRecord {
+            id: RecordId::from_json(json.field("id")?)?,
+            source: SourceId::from_json(json.field("source")?)?,
+            entity: Option::from_json(json.field("entity")?)?,
+            name: String::from_json(json.field("name")?)?,
+            security_type: SecurityType::from_json(json.field("security_type")?)?,
+            listings: String::from_json(json.field("listings")?)?,
+            id_codes: Vec::from_json(json.field("id_codes")?)?,
+            issuer: RecordId::from_json(json.field("issuer")?)?,
+        })
+    }
+}
+
+impl ToJson for ProductRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", self.id.to_json()),
+            ("source", self.source.to_json()),
+            ("entity", self.entity.to_json()),
+            ("title", self.title.to_json()),
+            ("brand", self.brand.to_json()),
+            ("description", self.description.to_json()),
+            ("price", self.price.to_json()),
+            ("category", self.category.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ProductRecord {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(ProductRecord {
+            id: RecordId::from_json(json.field("id")?)?,
+            source: SourceId::from_json(json.field("source")?)?,
+            entity: Option::from_json(json.field("entity")?)?,
+            title: String::from_json(json.field("title")?)?,
+            brand: String::from_json(json.field("brand")?)?,
+            description: String::from_json(json.field("description")?)?,
+            price: String::from_json(json.field("price")?)?,
+            category: String::from_json(json.field("category")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: ToJson + FromJson + PartialEq + std::fmt::Debug>(value: &T) {
+        let text = value.to_json().to_compact_string();
+        let back = T::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(&back, value, "{text}");
+    }
+
+    #[test]
+    fn newtypes_round_trip() {
+        round_trip(&RecordId(7));
+        round_trip(&EntityId(0));
+        round_trip(&SourceId(u16::MAX));
+        round_trip(&RecordPair::new(RecordId(9), RecordId(2)));
+    }
+
+    #[test]
+    fn enums_round_trip() {
+        for kind in IdKind::ALL {
+            round_trip(&kind);
+        }
+        for ty in SecurityType::ALL {
+            round_trip(&ty);
+        }
+        assert!(IdKind::from_json(&Json::Str("nope".into())).is_err());
+    }
+
+    #[test]
+    fn optional_entity_round_trips_as_null() {
+        let record = ProductRecord::new(RecordId(1), SourceId(0), "Widget");
+        assert!(record.to_json().field("entity").unwrap().is_null());
+        round_trip(&record);
+    }
+}

@@ -18,6 +18,7 @@ pub mod csv_io;
 pub mod dataset;
 pub mod ground_truth;
 pub mod ids;
+pub mod json_codec;
 pub mod pair;
 pub mod product;
 pub mod record;

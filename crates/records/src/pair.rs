@@ -1,13 +1,12 @@
 //! Canonical unordered record pairs.
 
 use crate::ids::RecordId;
-use serde::{Deserialize, Serialize};
 
 /// An unordered pair of records, stored with `a < b`.
 ///
 /// Matching is symmetric, so every map/set keyed by pairs uses this
 /// canonical form to avoid double-counting `(x, y)` and `(y, x)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RecordPair {
     /// Smaller record id.
     pub a: RecordId,

@@ -6,11 +6,10 @@
 
 use crate::ids::{EntityId, IdCode, RecordId, SourceId};
 use crate::record::Record;
-use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
 
 /// A product offer scraped from one web source.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProductRecord {
     /// Dense id within the product dataset.
     pub id: RecordId,
@@ -114,10 +113,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
+        use gralmatch_util::{FromJson, Json, ToJson};
         let p = ProductRecord::new(RecordId(3), SourceId(1), "Tablet Pro").with_entity(EntityId(7));
-        let json = serde_json::to_string(&p).unwrap();
-        let back: ProductRecord = serde_json::from_str(&json).unwrap();
+        let json = p.to_json().to_compact_string();
+        let back = ProductRecord::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, p);
     }
 }

@@ -8,12 +8,11 @@
 
 use crate::ids::{EntityId, IdCode, RecordId, SourceId};
 use crate::record::Record;
-use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
 
 /// Type of a traded security. `MultipleSecurities` adds non-equity types to
 /// an issuer (rights, bonds, units).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SecurityType {
     /// Common equity (the default for the primary listing).
     Equity,
@@ -50,7 +49,7 @@ impl SecurityType {
 }
 
 /// A security record from one data source.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SecurityRecord {
     /// Dense id within the security dataset.
     pub id: RecordId,
@@ -78,12 +77,7 @@ pub struct SecurityRecord {
 
 impl SecurityRecord {
     /// Minimal constructor used by tests and examples.
-    pub fn new(
-        id: RecordId,
-        source: SourceId,
-        name: impl Into<String>,
-        issuer: RecordId,
-    ) -> Self {
+    pub fn new(id: RecordId, source: SourceId, name: impl Into<String>, issuer: RecordId) -> Self {
         SecurityRecord {
             id,
             source,
@@ -160,10 +154,15 @@ mod tests {
     use crate::ids::IdKind;
 
     fn sample() -> SecurityRecord {
-        SecurityRecord::new(RecordId(31), SourceId(2), "Crowdstrike Registered Shs", RecordId(12))
-            .with_entity(EntityId(40))
-            .with_code(IdCode::new(IdKind::Isin, "US31807756E"))
-            .with_code(IdCode::new(IdKind::Cusip, "31807756E"))
+        SecurityRecord::new(
+            RecordId(31),
+            SourceId(2),
+            "Crowdstrike Registered Shs",
+            RecordId(12),
+        )
+        .with_entity(EntityId(40))
+        .with_code(IdCode::new(IdKind::Isin, "US31807756E"))
+        .with_code(IdCode::new(IdKind::Cusip, "31807756E"))
     }
 
     #[test]
@@ -199,10 +198,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
+        use gralmatch_util::{FromJson, Json, ToJson};
         let r = sample();
-        let json = serde_json::to_string(&r).unwrap();
-        let back: SecurityRecord = serde_json::from_str(&json).unwrap();
+        let json = r.to_json().to_compact_string();
+        let back = SecurityRecord::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, r);
     }
 

@@ -17,7 +17,9 @@ pub mod tokenize;
 pub mod vocab;
 
 pub use ngrams::{char_ngrams, hashed_ngram_features};
-pub use similarity::{jaccard, jaro, jaro_winkler, levenshtein, ngram_dice, normalized_levenshtein};
+pub use similarity::{
+    jaccard, jaro, jaro_winkler, levenshtein, ngram_dice, normalized_levenshtein,
+};
 pub use tfidf::TfIdf;
 pub use tokenize::{tokenize, tokenize_into};
 pub use vocab::Vocabulary;

@@ -125,8 +125,7 @@ pub fn ngram_dice(a: &str, b: &str, n: usize) -> f64 {
     if grams_a.is_empty() || grams_b.is_empty() {
         return 0.0;
     }
-    let set_a: gralmatch_util::FxHashSet<&str> =
-        grams_a.iter().map(|s| s.as_str()).collect();
+    let set_a: gralmatch_util::FxHashSet<&str> = grams_a.iter().map(|s| s.as_str()).collect();
     let mut inter = 0usize;
     let mut seen: gralmatch_util::FxHashSet<&str> = gralmatch_util::FxHashSet::default();
     for g in &grams_b {
@@ -157,7 +156,10 @@ mod tests {
 
     #[test]
     fn levenshtein_symmetric() {
-        assert_eq!(levenshtein("abcdef", "azced"), levenshtein("azced", "abcdef"));
+        assert_eq!(
+            levenshtein("abcdef", "azced"),
+            levenshtein("azced", "abcdef")
+        );
     }
 
     #[test]

@@ -118,7 +118,10 @@ mod tests {
         let a = tfidf.vectorize(&["crowdstrike", "inc"]);
         let b = tfidf.vectorize(&["crowdstrike", "llc"]);
         let c = tfidf.vectorize(&["acme", "inc"]);
-        assert!(a.cosine(&b) > a.cosine(&c), "shared rare token beats shared boilerplate");
+        assert!(
+            a.cosine(&b) > a.cosine(&c),
+            "shared rare token beats shared boilerplate"
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub fn write_csv<W: Write>(writer: &mut W, rows: &[Vec<String>]) -> Result<()> {
 }
 
 /// Write a single CSV row.
-pub fn write_row<'a, W: Write>(writer: &mut W, fields: impl Iterator<Item = &'a str>) -> Result<()> {
+pub fn write_row<'a, W: Write>(
+    writer: &mut W,
+    fields: impl Iterator<Item = &'a str>,
+) -> Result<()> {
     let mut first = true;
     for field in fields {
         if !first {
@@ -117,15 +120,18 @@ impl Parser {
                         self.in_quotes = true;
                     }
                     ',' => {
-                        self.current_row.push(std::mem::take(&mut self.current_field));
+                        self.current_row
+                            .push(std::mem::take(&mut self.current_field));
                     }
                     other => self.current_field.push(other),
                 }
             }
         }
         if !self.in_quotes && self.row_started {
-            self.current_row.push(std::mem::take(&mut self.current_field));
-            self.finished_rows.push(std::mem::take(&mut self.current_row));
+            self.current_row
+                .push(std::mem::take(&mut self.current_field));
+            self.finished_rows
+                .push(std::mem::take(&mut self.current_row));
             self.row_started = false;
         }
         Ok(())
@@ -147,7 +153,8 @@ impl Parser {
             });
         }
         if self.row_started {
-            self.current_row.push(std::mem::take(&mut self.current_field));
+            self.current_row
+                .push(std::mem::take(&mut self.current_field));
             rows.push(self.current_row);
         }
         rows.append(&mut self.finished_rows);
@@ -168,13 +175,19 @@ mod tests {
     #[test]
     fn quoted_comma_and_quote() {
         let rows = parse_csv("\"a,b\",\"say \"\"hi\"\"\"\n").unwrap();
-        assert_eq!(rows, vec![vec!["a,b".to_string(), "say \"hi\"".to_string()]]);
+        assert_eq!(
+            rows,
+            vec![vec!["a,b".to_string(), "say \"hi\"".to_string()]]
+        );
     }
 
     #[test]
     fn embedded_newline() {
         let rows = parse_csv("\"line1\nline2\",x\n").unwrap();
-        assert_eq!(rows, vec![vec!["line1\nline2".to_string(), "x".to_string()]]);
+        assert_eq!(
+            rows,
+            vec![vec!["line1\nline2".to_string(), "x".to_string()]]
+        );
     }
 
     #[test]

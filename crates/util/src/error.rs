@@ -25,6 +25,14 @@ pub enum Error {
     EmptyInput(&'static str),
     /// Model training/inference failure (e.g. dimension mismatch).
     Model(String),
+    /// A pipeline stage ran without its required upstream artifact (stage
+    /// ordering bug or a custom pipeline missing a producer stage).
+    Pipeline {
+        /// The stage that failed.
+        stage: &'static str,
+        /// What was missing or wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -36,6 +44,9 @@ impl fmt::Display for Error {
             Error::MissingId(id) => write!(f, "unknown id: {id}"),
             Error::EmptyInput(what) => write!(f, "empty input: {what}"),
             Error::Model(msg) => write!(f, "model error: {msg}"),
+            Error::Pipeline { stage, message } => {
+                write!(f, "pipeline stage `{stage}` failed: {message}")
+            }
         }
     }
 }
@@ -65,7 +76,10 @@ mod tests {
             line: 7,
             message: "unterminated quote".into(),
         };
-        assert_eq!(e.to_string(), "CSV parse error at line 7: unterminated quote");
+        assert_eq!(
+            e.to_string(),
+            "CSV parse error at line 7: unterminated quote"
+        );
     }
 
     #[test]

@@ -1,0 +1,662 @@
+//! Minimal JSON tree, writer, and parser.
+//!
+//! The build environment is offline, so the workspace cannot pull in
+//! `serde`/`serde_json`. This module provides the small subset the project
+//! needs: a [`Json`] value tree with a compact writer, a pretty writer, a
+//! strict parser, and [`ToJson`]/[`FromJson`] conversion traits that record
+//! types implement by hand. Numbers are `f64` (like JSON itself); `f32`
+//! payloads round-trip exactly because every `f32` is representable as `f64`
+//! and the writer emits shortest round-trip decimal forms.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Insertion order is preserved (JSON objects are unordered,
+    /// but stable output keeps diffs and golden files readable).
+    Obj(Vec<(String, Json)>),
+}
+
+/// Error from parsing or converting JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl JsonError {
+    fn new(message: impl Into<String>) -> Self {
+        JsonError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Convert a value into a [`Json`] tree.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+/// Reconstruct a value from a [`Json`] tree.
+pub trait FromJson: Sized {
+    /// Parse `json` into `Self`, or describe what is wrong.
+    fn from_json(json: &Json) -> Result<Self, JsonError>;
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn obj(fields: impl IntoIterator<Item = (impl Into<String>, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Look up a key in an object (None for other variants).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Object field, as an error when missing.
+    pub fn field(&self, key: &str) -> Result<&Json, JsonError> {
+        self.get(key)
+            .ok_or_else(|| JsonError::new(format!("missing field `{key}`")))
+    }
+
+    /// String payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array payload.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Compact serialization.
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Pretty serialization with two-space indentation.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_number(*n, out),
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        const INDENT: &str = "  ";
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&INDENT.repeat(depth + 1));
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                out.push_str(&INDENT.repeat(depth));
+                out.push(']');
+            }
+            Json::Obj(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&INDENT.repeat(depth + 1));
+                    write_string(key, out);
+                    out.push_str(": ");
+                    value.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                out.push_str(&INDENT.repeat(depth));
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+
+    /// Parse JSON text.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_whitespace();
+        let value = parser.value()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(JsonError::new(format!(
+                "trailing input at byte {}",
+                parser.pos
+            )));
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_compact_string())
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON has no NaN/Inf; null is the least-bad lossy encoding.
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 1e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        // `{:?}` prints the shortest string that round-trips the double.
+        out.push_str(&format!("{n:?}"));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(format!(
+                "expected `{}` at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(JsonError::new(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(JsonError::new(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(JsonError::new(format!("bad array at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            fields.push((key, self.value()?));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(JsonError::new(format!("bad object at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while self
+                .peek()
+                .is_some_and(|b| b != b'"' && b != b'\\' && b >= 0x20)
+            {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| JsonError::new("invalid utf-8"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let code = self.unicode_escape()?;
+                            out.push(code);
+                            continue;
+                        }
+                        _ => return Err(JsonError::new("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(JsonError::new("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| JsonError::new("truncated \\u escape"))?;
+        let text = std::str::from_utf8(slice).map_err(|_| JsonError::new("bad \\u escape"))?;
+        let value = u32::from_str_radix(text, 16).map_err(|_| JsonError::new("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(value)
+    }
+
+    /// Parses the 4 hex digits after `\u` (cursor on the `u`), handling
+    /// surrogate pairs. Leaves the cursor after the final consumed digit.
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        self.pos += 1; // consume 'u'
+        let high = self.hex4()?;
+        let code = if (0xD800..0xDC00).contains(&high) {
+            if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                return Err(JsonError::new("lone high surrogate"));
+            }
+            self.pos += 2;
+            let low = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&low) {
+                return Err(JsonError::new("invalid low surrogate"));
+            }
+            0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00)
+        } else {
+            high
+        };
+        char::from_u32(code).ok_or_else(|| JsonError::new("invalid codepoint"))
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| JsonError::new(format!("bad number `{text}`")))
+    }
+}
+
+// --- Conversions for primitives and containers --------------------------
+
+macro_rules! impl_json_int {
+    ($($ty:ty),*) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json(json: &Json) -> Result<Self, JsonError> {
+                let n = json
+                    .as_f64()
+                    .ok_or_else(|| JsonError::new("expected number"))?;
+                if n.fract() != 0.0 {
+                    return Err(JsonError::new(format!("expected integer, got {n}")));
+                }
+                // Range-check before casting: float-to-int casts saturate,
+                // which would turn corrupt input into plausible values.
+                if n < <$ty>::MIN as f64 || n > <$ty>::MAX as f64 {
+                    return Err(JsonError::new(format!(
+                        "{n} out of range for {}",
+                        stringify!($ty)
+                    )));
+                }
+                Ok(n as $ty)
+            }
+        }
+    )*};
+}
+impl_json_int!(u16, u32, u64, usize, i64);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+impl FromJson for f64 {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_f64()
+            .ok_or_else(|| JsonError::new("expected number"))
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        Json::Num(f64::from(*self))
+    }
+}
+impl FromJson for f32 {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let n = f64::from_json(json)?;
+        let v = n as f32;
+        // The cast saturates to ±inf for finite doubles beyond f32 range;
+        // reject those instead of smuggling infinities into models.
+        if v.is_infinite() && n.is_finite() {
+            return Err(JsonError::new(format!("{n} out of range for f32")));
+        }
+        Ok(v)
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+impl FromJson for bool {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_bool()
+            .ok_or_else(|| JsonError::new("expected bool"))
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+impl FromJson for String {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| JsonError::new("expected string"))
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_arr()
+            .ok_or_else(|| JsonError::new("expected array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(value) => value.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        if json.is_null() {
+            Ok(None)
+        } else {
+            T::from_json(json).map(Some)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for text in ["null", "true", "false", "0", "-3", "2.5", "\"hi\""] {
+            let value = Json::parse(text).unwrap();
+            assert_eq!(value.to_compact_string(), text);
+        }
+    }
+
+    #[test]
+    fn nested_round_trip() {
+        let value = Json::obj([
+            ("a", Json::Arr(vec![Json::Num(1.0), Json::Null])),
+            ("b", Json::obj([("c", Json::Str("x\"y\n".into()))])),
+        ]);
+        let text = value.to_compact_string();
+        assert_eq!(Json::parse(&text).unwrap(), value);
+        let pretty = value.to_pretty_string();
+        assert_eq!(Json::parse(&pretty).unwrap(), value);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let parsed = Json::parse(r#""tab\tquote\"uAsurrogate😀""#).unwrap();
+        assert_eq!(parsed.as_str().unwrap(), "tab\tquote\"uAsurrogate😀");
+    }
+
+    #[test]
+    fn f32_round_trips_exactly() {
+        for value in [0.1f32, 1.0 / 3.0, f32::MIN_POSITIVE, 123456.78] {
+            let json = value.to_json().to_compact_string();
+            let back = f32::from_json(&Json::parse(&json).unwrap()).unwrap();
+            assert_eq!(back, value);
+        }
+    }
+
+    #[test]
+    fn integers_reject_fractions() {
+        assert!(u32::from_json(&Json::Num(1.5)).is_err());
+        assert_eq!(u32::from_json(&Json::Num(7.0)).unwrap(), 7);
+    }
+
+    #[test]
+    fn integers_reject_out_of_range() {
+        assert!(u32::from_json(&Json::Num(-1.0)).is_err());
+        assert!(u16::from_json(&Json::Num(1e6)).is_err());
+        assert!(u32::from_json(&Json::Num(f64::from(u32::MAX))).is_ok());
+    }
+
+    #[test]
+    fn f32_rejects_out_of_range() {
+        assert!(f32::from_json(&Json::Num(1e300)).is_err());
+        assert!(f32::from_json(&Json::Num(-1e300)).is_err());
+        assert!(f32::from_json(&Json::Num(3.0e38)).is_ok());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("tru").is_err());
+        assert!(Json::parse("1 2").is_err());
+    }
+
+    #[test]
+    fn object_lookup() {
+        let value = Json::obj([("k", Json::Num(3.0))]);
+        assert_eq!(value.field("k").unwrap().as_f64(), Some(3.0));
+        assert!(value.field("missing").is_err());
+    }
+}

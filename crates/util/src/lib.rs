@@ -9,16 +9,27 @@
 //!   generation and training run is reproducible,
 //! * [`csv`] — a minimal RFC-4180-ish CSV reader/writer used for dataset
 //!   import/export,
+//! * [`json`] — a dependency-free JSON tree/parser/writer with
+//!   [`ToJson`]/[`FromJson`] conversion traits,
+//! * [`parallel`] — the shared batched [`WorkerPool`] (work-stealing over
+//!   fixed chunks) used by every parallel pipeline step,
 //! * [`timer`] — a stopwatch for the timing columns of the paper's tables,
+//! * [`mem`] — resident-set probe for per-stage memory diagnostics,
 //! * [`error`] — the shared error type.
 
 pub mod csv;
 pub mod error;
 pub mod hash;
+pub mod json;
+pub mod mem;
+pub mod parallel;
 pub mod rng;
 pub mod timer;
 
 pub use error::{Error, Result};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use json::{FromJson, Json, JsonError, ToJson};
+pub use mem::current_rss_bytes;
+pub use parallel::{Parallelism, WorkerPool, DEFAULT_CHUNK_SIZE, SEQUENTIAL_CUTOFF};
 pub use rng::SplitRng;
 pub use timer::{format_duration, Stopwatch};

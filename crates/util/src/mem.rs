@@ -1,0 +1,34 @@
+//! Process memory probe for stage diagnostics.
+//!
+//! The pipeline trace reports per-stage resident-set deltas. On Linux this
+//! reads the `VmRSS` line of `/proc/self/status` (reported in kB, so no
+//! page-size assumption — kernels ship 4K/16K/64K pages depending on
+//! architecture); elsewhere it returns `None` and the trace simply omits
+//! memory numbers.
+
+/// Current resident set size in bytes, when the platform exposes it.
+pub fn current_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+        let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+        Some(kb * 1024)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn rss_is_positive_on_linux() {
+        let rss = current_rss_bytes().expect("statm readable");
+        assert!(rss > 0);
+    }
+}

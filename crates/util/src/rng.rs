@@ -40,7 +40,10 @@ impl SplitRng {
     /// Derive an independent child stream identified by an index (e.g. one
     /// stream per entity group).
     pub fn split_index(&self, index: u64) -> SplitRng {
-        SplitRng::new(self.state.wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9)))
+        SplitRng::new(
+            self.state
+                .wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9)),
+        )
     }
 
     /// Next raw 64 bits.

@@ -19,7 +19,9 @@ impl Default for Stopwatch {
 impl Stopwatch {
     /// Start timing now.
     pub fn start() -> Self {
-        Stopwatch { start: Instant::now() }
+        Stopwatch {
+            start: Instant::now(),
+        }
     }
 
     /// Elapsed time since start.
@@ -64,7 +66,10 @@ mod tests {
 
     #[test]
     fn formats_hours() {
-        assert_eq!(format_duration(Duration::from_secs(3600 + 26 * 60)), "1h 26min");
+        assert_eq!(
+            format_duration(Duration::from_secs(3600 + 26 * 60)),
+            "1h 26min"
+        );
     }
 
     #[test]

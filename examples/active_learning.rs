@@ -8,12 +8,13 @@
 //!
 //! Run with: `cargo run --example active_learning --release`
 
-use gralmatch::blocking::TokenOverlapConfig;
-use gralmatch::core::{company_candidates, pairwise_metrics};
+use gralmatch::core::{blocked_candidates, pairwise_metrics, CompanyDomain};
 use gralmatch::datagen::{generate, GenerationConfig};
 use gralmatch::lm::{
-    active_learning_loop, predict_positive, ActiveConfig, ModelSpec, QueryStrategy,
+    active_learning_loop, predict_positive_with, ActiveConfig, MatcherScorer, ModelSpec,
+    QueryStrategy,
 };
+use gralmatch::util::Parallelism;
 
 fn main() {
     let mut config = GenerationConfig::synthetic_full();
@@ -26,11 +27,7 @@ fn main() {
 
     // The labeling pool = blocked candidate pairs (what an annotator would
     // actually be shown).
-    let candidates = company_candidates(
-        companies,
-        data.securities.records(),
-        &TokenOverlapConfig::default(),
-    );
+    let candidates = blocked_candidates(&CompanyDomain::new(companies, data.securities.records()));
     let pool = candidates.pairs_sorted();
     println!(
         "{} candidate pairs; labeling budget: 600 pairs ({}% of the pool)",
@@ -49,7 +46,9 @@ fn main() {
         };
         let (matcher, reports) =
             active_learning_loop(&encoded, &pool, &gt, strategy, &al_config).expect("loop");
-        let predicted = predict_positive(&matcher, &encoded, &pool, 4);
+        let scorer = MatcherScorer::new(&matcher, &encoded);
+        let predicted =
+            predict_positive_with(&scorer, &pool, &Parallelism::Fixed(4).pool_for(pool.len()));
         let metrics = pairwise_metrics(&predicted, &gt);
         let positives = reports.last().map_or(0, |r| r.positives_found);
         println!(

@@ -25,7 +25,10 @@ fn main() {
     let mut by_code: FxHashMap<&str, Vec<&SecurityRecord>> = FxHashMap::default();
     for security in securities {
         for code in security.id_codes() {
-            by_code.entry(code.value.as_str()).or_default().push(security);
+            by_code
+                .entry(code.value.as_str())
+                .or_default()
+                .push(security);
         }
     }
 
@@ -59,7 +62,11 @@ fn main() {
                 let b = &securities[members[j].0 as usize];
                 let codes_a: gralmatch::util::FxHashSet<&str> =
                     a.id_codes().iter().map(|c| c.value.as_str()).collect();
-                if !b.id_codes().iter().any(|c| codes_a.contains(c.value.as_str())) {
+                if !b
+                    .id_codes()
+                    .iter()
+                    .any(|c| codes_a.contains(c.value.as_str()))
+                {
                     no_overlap_matches += 1;
                 }
             }

@@ -54,12 +54,14 @@ fn main() {
     for pair in candidates.pairs_sorted() {
         let a = &securities[pair.a.0 as usize];
         let b = &securities[pair.b.0 as usize];
-        let verdict = if a.entity == b.entity { "TRUE match" } else { "FALSE (drift!)" };
+        let verdict = if a.entity == b.entity {
+            "TRUE match"
+        } else {
+            "FALSE (drift!)"
+        };
         println!(
             "  {} <-> {}  [{}]  {}",
-            a.name, b.name,
-            a.id_codes[0].value,
-            verdict
+            a.name, b.name, a.id_codes[0].value, verdict
         );
         assert!(candidates.from_blocking(pair, BlockingKind::IdOverlap));
     }

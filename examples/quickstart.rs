@@ -6,8 +6,7 @@
 //!
 //! Run with: `cargo run --example quickstart --release`
 
-use gralmatch::blocking::TokenOverlapConfig;
-use gralmatch::core::{company_candidates, run_pipeline, PipelineConfig};
+use gralmatch::core::{run_domain_with_matcher, CompanyDomain, PipelineConfig};
 use gralmatch::datagen::{generate, GenerationConfig};
 use gralmatch::lm::{train, ModelSpec};
 use gralmatch::records::{DatasetSplit, SplitRatios};
@@ -40,23 +39,18 @@ fn main() {
         report.val_losses[report.best_epoch]
     );
 
-    // 3. Blocking: ID overlap (through securities) + token overlap.
-    let candidates = company_candidates(
-        companies,
-        data.securities.records(),
-        &TokenOverlapConfig::default(),
-    );
-    println!("blocking produced {} candidate pairs", candidates.len());
+    // 3. The company matching domain: its Table 2 blocking recipe is
+    // ID overlap (through securities) + token overlap.
+    let domain = CompanyDomain::new(companies, data.securities.records());
 
-    // 4-5. Pairwise matching + GraLMatch Graph Cleanup (γ=25, μ=5).
+    // 4-5. The staged pipeline: blocking -> pairwise matching -> GraLMatch
+    // Graph Cleanup (γ=25, μ=5) -> entity groups.
     let pipeline = PipelineConfig::new(25, 5).with_pre_cleanup(50);
-    let outcome = run_pipeline(
-        companies.len(),
-        &candidates,
-        &matcher,
-        &encoded,
-        &gt,
-        &pipeline,
+    let outcome =
+        run_domain_with_matcher(&domain, &matcher, &encoded, &pipeline).expect("pipeline runs");
+    println!(
+        "blocking produced {} candidate pairs",
+        outcome.num_candidates
     );
 
     // 6. The three-stage evaluation of the paper's Table 4.
@@ -88,4 +82,5 @@ fn main() {
         outcome.cleanup_report.betweenness_removed,
         outcome.groups.len()
     );
+    println!("\nper-stage trace:\n{}", outcome.trace);
 }

@@ -8,15 +8,14 @@
 //!
 //! Run with: `cargo run --example securities_matching --release`
 
-use gralmatch::blocking::TokenOverlapConfig;
 use gralmatch::core::{
-    company_candidates, entity_groups, group_assignment, prediction_graph, run_pipeline,
-    security_candidates, PipelineConfig,
+    blocked_candidates, entity_groups, group_assignment, prediction_graph, run_domain_with_matcher,
+    CompanyDomain, PipelineConfig, SecurityDomain,
 };
 use gralmatch::datagen::{generate, GenerationConfig};
-use gralmatch::lm::{predict_positive, train, ModelSpec};
+use gralmatch::lm::{predict_positive_with, train, MatcherScorer, ModelSpec};
 use gralmatch::records::{DatasetSplit, SplitRatios};
-use gralmatch::util::SplitRng;
+use gralmatch::util::{Parallelism, SplitRng};
 
 fn main() {
     let mut config = GenerationConfig::synthetic_full();
@@ -43,16 +42,13 @@ fn main() {
         &spec.train_config(),
     )
     .expect("company training");
-    let company_cands = company_candidates(
-        companies,
-        securities,
-        &TokenOverlapConfig::default(),
-    );
-    let predicted = predict_positive(
-        &company_matcher,
-        &encoded_companies,
-        &company_cands.pairs_sorted(),
-        4,
+    let company_cands = blocked_candidates(&CompanyDomain::new(companies, securities));
+    let company_pairs = company_cands.pairs_sorted();
+    let company_scorer = MatcherScorer::new(&company_matcher, &encoded_companies);
+    let predicted = predict_positive_with(
+        &company_scorer,
+        &company_pairs,
+        &Parallelism::Fixed(4).pool_for(company_pairs.len()),
     );
     let company_graph = prediction_graph(companies.len(), &predicted);
     let company_groups = entity_groups(&company_graph);
@@ -77,20 +73,20 @@ fn main() {
     .expect("security training");
 
     let issuer_groups = group_assignment(&company_groups);
-    let security_cands = security_candidates(securities, &issuer_groups);
+    let security_domain = SecurityDomain::new(securities, &issuer_groups);
+    let security_cands = blocked_candidates(&security_domain);
     println!(
         "level 2: issuer-match + ID-overlap blocking -> {} candidate pairs",
         security_cands.len()
     );
 
-    let outcome = run_pipeline(
-        securities.len(),
-        &security_cands,
+    let outcome = run_domain_with_matcher(
+        &security_domain,
         &security_matcher,
         &encoded_securities,
-        &security_gt,
         &PipelineConfig::new(25, 5),
-    );
+    )
+    .expect("pipeline runs");
     println!(
         "securities post-cleanup: P {:.2}% R {:.2}% F1 {:.2}% ClPur {:.2} ({} groups)",
         outcome.post_cleanup.pairs.precision * 100.0,
@@ -104,7 +100,9 @@ fn main() {
         security_cands
             .pairs_sorted()
             .iter()
-            .filter(|&&p| security_cands.only_from(p, gralmatch::blocking::BlockingKind::IssuerMatch))
+            .filter(
+                |&&p| security_cands.only_from(p, gralmatch::blocking::BlockingKind::IssuerMatch)
+            )
             .count()
     );
 }

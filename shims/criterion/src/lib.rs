@@ -1,0 +1,285 @@
+//! Offline stand-in for the crates.io `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so this workspace ships a
+//! minimal, API-compatible subset of Criterion covering exactly what the
+//! benches under `crates/bench/benches/` use: `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`
+//! / `iter_batched`, `BenchmarkId`, `Throughput`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — warm-up plus `sample_size` timed
+//! samples, reporting mean wall-clock per iteration — which is enough for
+//! relative comparisons during development. Swap the `[workspace.dependencies]`
+//! entry back to crates.io `criterion` for statistically rigorous runs.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a batched iteration sizes its batches. All variants behave the same
+/// here (one setup per timed routine call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per sample.
+    PerIteration,
+}
+
+/// Declared throughput of a benchmark, used to report rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean seconds per iteration of the last `iter`/`iter_batched` call.
+    last_mean: Option<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            last_mean: None,
+        }
+    }
+
+    /// Time `routine` over `samples` iterations (after one warm-up call).
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.last_mean = Some(start.elapsed() / self.samples as u32);
+    }
+
+    /// Time `routine` with a fresh `setup()` input per call; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.last_mean = Some(total / self.samples as u32);
+    }
+}
+
+fn report(group: &str, id: &str, mean: Option<Duration>, throughput: Option<Throughput>) {
+    let name = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    match mean {
+        Some(mean) => {
+            let rate = throughput.map_or(String::new(), |t| {
+                let secs = mean.as_secs_f64().max(1e-12);
+                match t {
+                    Throughput::Elements(n) => format!("  ({:.0} elem/s)", n as f64 / secs),
+                    Throughput::Bytes(n) => format!("  ({:.0} B/s)", n as f64 / secs),
+                }
+            });
+            println!("bench: {name:<56} {mean:>12.3?}/iter{rate}");
+        }
+        None => println!("bench: {name:<56} (no measurement)"),
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        report("", id, bencher.last_mean, None);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        report(
+            &self.name,
+            &id.to_string(),
+            bencher.last_mean,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Run a benchmark parameterized by a shared input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        report(
+            &self.name,
+            &id.to_string(),
+            bencher.last_mean,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Finish the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function, mirroring Criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_mean() {
+        let mut bencher = Bencher::new(3);
+        bencher.iter(|| 1 + 1);
+        assert!(bencher.last_mean.is_some());
+        bencher.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        assert!(bencher.last_mean.is_some());
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut criterion = Criterion::default().sample_size(2);
+        let mut group = criterion.benchmark_group("g");
+        let mut runs = 0;
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("a", |b| {
+            b.iter(|| runs += 1);
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+}

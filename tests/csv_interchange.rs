@@ -56,5 +56,9 @@ fn csv_sizes_are_proportional() {
     let data = generate(&config).unwrap();
     let csv = companies_to_csv(&data.companies);
     let lines = csv.lines().count();
-    assert_eq!(lines, data.companies.len() + 1, "one row per record + header");
+    assert_eq!(
+        lines,
+        data.companies.len() + 1,
+        "one row per record + header"
+    );
 }

@@ -1,14 +1,13 @@
 //! Cross-crate integration tests: datagen → blocking → lm → core pipeline.
 
-use gralmatch::blocking::TokenOverlapConfig;
 use gralmatch::core::{
-    company_candidates, run_pipeline, run_pipeline_with_oracle, security_candidates,
-    CleanupVariant, OracleMatcher, PipelineConfig,
+    blocked_candidates, run_domain, run_domain_with_matcher, CleanupVariant, CompanyDomain,
+    OracleMatcher, OracleScorer, PipelineConfig, SecurityDomain,
 };
 use gralmatch::datagen::{generate, GenerationConfig};
 use gralmatch::lm::{train, ModelSpec};
 use gralmatch::records::{DatasetSplit, Record, RecordId, SplitRatios};
-use gralmatch::util::{FxHashMap, SplitRng};
+use gralmatch::util::{FxHashMap, Parallelism, SplitRng};
 
 fn small_data(entities: usize, seed: u64) -> gralmatch::datagen::FinancialDataset {
     let mut config = GenerationConfig::synthetic_full();
@@ -22,16 +21,15 @@ fn oracle_end_to_end_recovers_groups() {
     let data = small_data(200, 1);
     let companies = data.companies.records();
     let gt = data.companies.ground_truth();
-    let candidates = company_candidates(
-        companies,
-        data.securities.records(),
-        &TokenOverlapConfig::default(),
-    );
-    let oracle = OracleMatcher::new(&gt);
+    let domain = CompanyDomain::new(companies, data.securities.records());
     let config = PipelineConfig::new(25, 5).with_pre_cleanup(50);
-    let outcome = run_pipeline_with_oracle(companies.len(), &candidates, &oracle, &gt, &config);
+    let outcome = run_domain(&domain, &OracleScorer::new(&gt), &config).unwrap();
     assert_eq!(outcome.pairwise.precision, 1.0);
-    assert!(outcome.post_cleanup.pairs.f1 > 0.65, "{:?}", outcome.post_cleanup);
+    assert!(
+        outcome.post_cleanup.pairs.f1 > 0.65,
+        "{:?}",
+        outcome.post_cleanup
+    );
     // μ bound holds for every final group.
     assert!(outcome.groups.iter().all(|g| g.len() <= 5));
 }
@@ -44,16 +42,11 @@ fn trained_model_beats_untrained_threshold() {
     let split = DatasetSplit::new(&gt, SplitRatios::default(), &mut SplitRng::new(5));
     let spec = ModelSpec::DistilBert128All;
     let encoded = spec.encode_records(companies);
-    let (matcher, report) =
-        train(companies, &encoded, &gt, &split, &spec.train_config()).unwrap();
+    let (matcher, report) = train(companies, &encoded, &gt, &split, &spec.train_config()).unwrap();
     assert!(report.train_losses.last().unwrap() < &0.25);
-    let candidates = company_candidates(
-        companies,
-        data.securities.records(),
-        &TokenOverlapConfig::default(),
-    );
+    let domain = CompanyDomain::new(companies, data.securities.records());
     let config = PipelineConfig::new(25, 5).with_pre_cleanup(50);
-    let outcome = run_pipeline(companies.len(), &candidates, &matcher, &encoded, &gt, &config);
+    let outcome = run_domain_with_matcher(&domain, &matcher, &encoded, &config).unwrap();
     assert!(outcome.pairwise.f1 > 0.5, "pairwise {:?}", outcome.pairwise);
     assert!(outcome.post_cleanup.cluster_purity > 0.8);
 }
@@ -63,13 +56,9 @@ fn cleanup_never_grows_components() {
     let data = small_data(150, 3);
     let companies = data.companies.records();
     let gt = data.companies.ground_truth();
-    let candidates = company_candidates(
-        companies,
-        data.securities.records(),
-        &TokenOverlapConfig::default(),
-    );
+    let domain = CompanyDomain::new(companies, data.securities.records());
     // A deliberately noisy matcher: flip several negatives to positives.
-    let negatives: Vec<_> = candidates
+    let negatives: Vec<_> = blocked_candidates(&domain)
         .pairs_sorted()
         .into_iter()
         .filter(|&p| !gt.is_match_pair(p))
@@ -77,11 +66,8 @@ fn cleanup_never_grows_components() {
         .collect();
     let oracle = OracleMatcher::with_flips(&gt, negatives);
     let config = PipelineConfig::new(25, 5).with_pre_cleanup(50);
-    let outcome = run_pipeline_with_oracle(companies.len(), &candidates, &oracle, &gt, &config);
-    let pre_max = outcome
-        .pre_cleanup
-        .pairs
-        .fp; // false closure pairs before cleanup
+    let outcome = run_domain(&domain, &oracle.scorer(), &config).unwrap();
+    let pre_max = outcome.pre_cleanup.pairs.fp; // false closure pairs before cleanup
     let post_max = outcome.post_cleanup.pairs.fp;
     assert!(
         post_max <= pre_max,
@@ -95,11 +81,7 @@ fn sensitivity_variants_agree_on_easy_graphs() {
     let data = small_data(120, 4);
     let companies = data.companies.records();
     let gt = data.companies.ground_truth();
-    let candidates = company_candidates(
-        companies,
-        data.securities.records(),
-        &TokenOverlapConfig::default(),
-    );
+    let domain = CompanyDomain::new(companies, data.securities.records());
     let oracle = OracleMatcher::new(&gt);
     let mut results = Vec::new();
     for variant in [
@@ -112,10 +94,9 @@ fn sensitivity_variants_agree_on_easy_graphs() {
             cleanup: gralmatch::core::CleanupConfig::new(25, 5)
                 .with_pre_cleanup(50)
                 .variant(variant),
-            threads: 2,
+            parallelism: Parallelism::Fixed(2),
         };
-        let outcome =
-            run_pipeline_with_oracle(companies.len(), &candidates, &oracle, &gt, &config);
+        let outcome = run_domain(&domain, &oracle.scorer(), &config).unwrap();
         results.push(outcome.post_cleanup.pairs.f1);
     }
     // With perfect predictions the variants must land within a few points
@@ -135,16 +116,10 @@ fn securities_issuer_match_pipeline() {
     for company in data.companies.records() {
         issuer_groups.insert(company.id(), company.entity.unwrap().0);
     }
-    let candidates = security_candidates(securities, &issuer_groups);
+    let domain = SecurityDomain::new(securities, &issuer_groups);
     let oracle = OracleMatcher::new(&security_gt);
     let config = PipelineConfig::new(25, 5);
-    let outcome = run_pipeline_with_oracle(
-        securities.len(),
-        &candidates,
-        &oracle,
-        &security_gt,
-        &config,
-    );
+    let outcome = run_domain(&domain, &oracle.scorer(), &config).unwrap();
     assert!(outcome.pairwise.recall > 0.6, "{:?}", outcome.pairwise);
     assert_eq!(outcome.pairwise.precision, 1.0);
 }
@@ -155,15 +130,10 @@ fn pipeline_deterministic_across_runs() {
         let data = small_data(100, 9);
         let companies = data.companies.records();
         let gt = data.companies.ground_truth();
-        let candidates = company_candidates(
-            companies,
-            data.securities.records(),
-            &TokenOverlapConfig::default(),
-        );
+        let domain = CompanyDomain::new(companies, data.securities.records());
         let oracle = OracleMatcher::new(&gt);
         let config = PipelineConfig::new(25, 5).with_pre_cleanup(50);
-        let outcome =
-            run_pipeline_with_oracle(companies.len(), &candidates, &oracle, &gt, &config);
+        let outcome = run_domain(&domain, &oracle.scorer(), &config).unwrap();
         (
             outcome.num_candidates,
             outcome.num_predicted,

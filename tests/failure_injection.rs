@@ -1,14 +1,14 @@
 //! Failure-injection and degenerate-input tests: the pipeline must stay
 //! well-behaved (no panics, sane metrics) under hostile conditions.
 
-use gralmatch::blocking::{CandidateSet, TokenOverlapConfig};
+use gralmatch::blocking::CandidateSet;
 use gralmatch::core::{
-    company_candidates, entity_groups, graph_cleanup, group_metrics, prediction_graph,
-    run_pipeline, CleanupConfig, PipelineConfig,
+    blocked_candidates, entity_groups, graph_cleanup, group_metrics, prediction_graph,
+    run_with_candidates, CleanupConfig, CompanyDomain, PipelineConfig,
 };
 use gralmatch::datagen::{generate, GenerationConfig};
 use gralmatch::graph::Graph;
-use gralmatch::lm::{EncodedRecord, PairwiseMatcher};
+use gralmatch::lm::{EncodedRecord, MatcherScorer, PairwiseMatcher};
 use gralmatch::records::{GroundTruth, RecordId, RecordPair};
 
 /// A matcher that predicts EVERYTHING as a match (worst-case precision).
@@ -39,19 +39,35 @@ fn small_setup() -> (
     let companies = data.companies.records();
     let encoded = gralmatch::lm::ModelSpec::DistilBert128All.encode_records(companies);
     let gt = data.companies.ground_truth();
-    let candidates = company_candidates(
-        companies,
-        data.securities.records(),
-        &TokenOverlapConfig::default(),
-    );
+    let candidates = blocked_candidates(&CompanyDomain::new(companies, data.securities.records()));
     (data, encoded, gt, candidates)
+}
+
+/// Drive the post-blocking stages with a custom matcher over a candidate
+/// set (the engine path the old `run_pipeline` free function wrapped).
+fn run_matching<M: PairwiseMatcher>(
+    num_records: usize,
+    candidates: &CandidateSet,
+    matcher: &M,
+    encoded: &[EncodedRecord],
+    gt: &GroundTruth,
+    config: &PipelineConfig,
+) -> gralmatch::core::MatchingOutcome {
+    run_with_candidates(
+        num_records,
+        candidates,
+        &MatcherScorer::new(matcher, encoded),
+        gt,
+        config,
+    )
+    .expect("pipeline runs")
 }
 
 #[test]
 fn always_yes_matcher_is_repaired_by_cleanup() {
     let (data, encoded, gt, candidates) = small_setup();
     let config = PipelineConfig::new(25, 5).with_pre_cleanup(50);
-    let outcome = run_pipeline(
+    let outcome = run_matching(
         data.companies.len(),
         &candidates,
         &AlwaysYes,
@@ -70,7 +86,7 @@ fn always_yes_matcher_is_repaired_by_cleanup() {
 fn always_no_matcher_yields_singletons() {
     let (data, encoded, gt, candidates) = small_setup();
     let config = PipelineConfig::new(25, 5);
-    let outcome = run_pipeline(
+    let outcome = run_matching(
         data.companies.len(),
         &candidates,
         &AlwaysNo,
@@ -90,7 +106,7 @@ fn empty_candidate_set_is_fine() {
     let (data, encoded, gt, _) = small_setup();
     let empty = CandidateSet::new();
     let config = PipelineConfig::new(25, 5);
-    let outcome = run_pipeline(
+    let outcome = run_matching(
         data.companies.len(),
         &empty,
         &AlwaysYes,
@@ -143,17 +159,16 @@ fn single_record_dataset() {
     let mut config = GenerationConfig::synthetic_full();
     config.num_entities = 1;
     let data = generate(&config).unwrap();
-    assert!(data.companies.len() >= 1);
+    assert!(!data.companies.is_empty());
     let gt = data.companies.ground_truth();
     // Blocking on a single entity across sources still works.
-    let candidates = company_candidates(
+    let candidates = blocked_candidates(&CompanyDomain::new(
         data.companies.records(),
         data.securities.records(),
-        &TokenOverlapConfig::default(),
-    );
+    ));
     let encoded =
         gralmatch::lm::ModelSpec::DistilBert128All.encode_records(data.companies.records());
-    let outcome = run_pipeline(
+    let outcome = run_matching(
         data.companies.len(),
         &candidates,
         &AlwaysYes,
@@ -170,10 +185,7 @@ fn scores_are_always_finite_probabilities() {
     let (_, encoded, _, candidates) = small_setup();
     let matcher = gralmatch::lm::HeuristicMatcher::default();
     for pair in candidates.pairs_sorted().into_iter().take(500) {
-        let score = matcher.score(
-            &encoded[pair.a.0 as usize],
-            &encoded[pair.b.0 as usize],
-        );
+        let score = matcher.score(&encoded[pair.a.0 as usize], &encoded[pair.b.0 as usize]);
         assert!(score.is_finite());
         assert!((0.0..=1.0).contains(&score));
     }

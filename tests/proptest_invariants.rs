@@ -1,37 +1,34 @@
-//! Property-based tests on the core algorithmic invariants.
+//! Property-style tests on the core algorithmic invariants.
+//!
+//! The offline build cannot pull in `proptest`, so these run the same
+//! invariants over deterministic seeded random instances: every case draws
+//! its structure from a [`SplitRng`] stream, so failures reproduce exactly
+//! by seed (printed in every assertion message).
 
 use gralmatch::core::{entity_groups, graph_cleanup, prediction_graph, CleanupConfig};
 use gralmatch::graph::{
-    connected_components, edge_betweenness, find_bridges, global_min_cut, mincut::stoer_wagner,
-    min_st_cut, Graph, Subgraph, UnionFind,
+    connected_components, edge_betweenness, find_bridges, global_min_cut, min_st_cut,
+    mincut::stoer_wagner, Graph, Subgraph, UnionFind,
 };
 use gralmatch::records::{RecordId, RecordPair};
-use proptest::prelude::*;
+use gralmatch::util::SplitRng;
 
 /// Random connected graph: a random tree plus extra random edges.
-fn connected_graph(max_nodes: usize, extra_edges: usize) -> impl Strategy<Value = Graph> {
-    (2..max_nodes)
-        .prop_flat_map(move |n| {
-            (
-                Just(n),
-                proptest::collection::vec(0..1_000_000u32, n - 1),
-                proptest::collection::vec((0..n as u32, 0..n as u32), 0..extra_edges),
-            )
-        })
-        .prop_map(|(n, parents, extras)| {
-            let mut graph = Graph::with_nodes(n);
-            for (i, r) in parents.iter().enumerate() {
-                let child = (i + 1) as u32;
-                let parent = r % child; // parent in [0, child)
-                graph.add_edge(parent, child);
-            }
-            for (a, b) in extras {
-                if a != b {
-                    graph.add_edge(a, b);
-                }
-            }
-            graph
-        })
+fn connected_graph(rng: &mut SplitRng, max_nodes: usize, extra_edges: usize) -> Graph {
+    let n = rng.range_inclusive(2, max_nodes.max(2));
+    let mut graph = Graph::with_nodes(n);
+    for child in 1..n as u32 {
+        let parent = rng.next_below(child as usize) as u32;
+        graph.add_edge(parent, child);
+    }
+    for _ in 0..rng.next_below(extra_edges + 1) {
+        let a = rng.next_below(n) as u32;
+        let b = rng.next_below(n) as u32;
+        if a != b {
+            graph.add_edge(a, b);
+        }
+    }
+    graph
 }
 
 fn full_subgraph(graph: &Graph) -> Subgraph {
@@ -39,26 +36,32 @@ fn full_subgraph(graph: &Graph) -> Subgraph {
     Subgraph::induce(graph, &nodes)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn mincut_disconnects(graph in connected_graph(24, 20)) {
+#[test]
+fn mincut_disconnects() {
+    for case in 0..64u64 {
+        let mut rng = SplitRng::new(0xC1).split_index(case);
+        let graph = connected_graph(&mut rng, 24, 20);
         let sub = full_subgraph(&graph);
-        prop_assume!(sub.is_connected());
         let cut = global_min_cut(&sub).expect("connected, >=2 nodes");
         let mut pruned = graph.clone();
         for &(a, b) in &cut.cut_edges {
             pruned.remove_edge(a, b);
         }
         let comps = connected_components(&pruned);
-        prop_assert!(comps.len() >= 2, "cut of weight {} failed to disconnect", cut.weight);
+        assert!(
+            comps.len() >= 2,
+            "case {case}: cut of weight {} failed to disconnect",
+            cut.weight
+        );
     }
+}
 
-    #[test]
-    fn stoer_wagner_matches_flow_cut_weight(graph in connected_graph(16, 12)) {
+#[test]
+fn stoer_wagner_matches_flow_cut_weight() {
+    for case in 0..64u64 {
+        let mut rng = SplitRng::new(0xC2).split_index(case);
+        let graph = connected_graph(&mut rng, 16, 12);
         let sub = full_subgraph(&graph);
-        prop_assume!(sub.is_connected());
         let sw = stoer_wagner(&sub);
         // Global min cut == min over t of min s-t cut for fixed s.
         let n = sub.num_nodes() as u32;
@@ -67,95 +70,130 @@ proptest! {
             let (flow, _) = min_st_cut(&sub, 0, t);
             best = best.min(flow);
         }
-        prop_assert_eq!(sw.weight, best);
+        assert_eq!(sw.weight, best, "case {case}");
     }
+}
 
-    #[test]
-    fn bridges_are_weight_one_cuts(graph in connected_graph(20, 8)) {
+#[test]
+fn bridges_are_weight_one_cuts() {
+    for case in 0..64u64 {
+        let mut rng = SplitRng::new(0xC3).split_index(case);
+        let graph = connected_graph(&mut rng, 20, 8);
         let sub = full_subgraph(&graph);
-        prop_assume!(sub.is_connected());
         let bridges = find_bridges(&sub);
         for &(a, b) in &bridges {
             let mut pruned = graph.clone();
             pruned.remove_edge(a, b);
-            prop_assert!(connected_components(&pruned).len() == 2,
-                "removing bridge ({a},{b}) must split into exactly 2 components");
+            assert_eq!(
+                connected_components(&pruned).len(),
+                2,
+                "case {case}: removing bridge ({a},{b}) must split into exactly 2 components"
+            );
         }
         // Conversely: a min cut of weight 1 implies at least one bridge.
         if let Some(cut) = global_min_cut(&sub) {
             if cut.weight == 1 {
-                prop_assert!(!bridges.is_empty());
+                assert!(!bridges.is_empty(), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn betweenness_nonnegative_and_bridge_dominant(graph in connected_graph(16, 10)) {
+#[test]
+fn betweenness_nonnegative_and_bridge_dominant() {
+    for case in 0..64u64 {
+        let mut rng = SplitRng::new(0xC4).split_index(case);
+        let graph = connected_graph(&mut rng, 16, 10);
         let sub = full_subgraph(&graph);
-        prop_assume!(sub.is_connected());
         let centrality = edge_betweenness(&sub);
-        prop_assert!(centrality.iter().all(|&c| c >= 0.0));
         // Every edge lies on at least its own endpoints' shortest path.
-        prop_assert!(centrality.iter().all(|&c| c >= 1.0 - 1e-9));
+        assert!(
+            centrality.iter().all(|&c| c >= 1.0 - 1e-9),
+            "case {case}: {centrality:?}"
+        );
     }
+}
 
-    #[test]
-    fn unionfind_agrees_with_bfs(edges in proptest::collection::vec((0..30u32, 0..30u32), 0..60)) {
+#[test]
+fn unionfind_agrees_with_bfs() {
+    for case in 0..64u64 {
+        let mut rng = SplitRng::new(0xC5).split_index(case);
         let mut graph = Graph::with_nodes(30);
         let mut uf = UnionFind::new(30);
-        for &(a, b) in &edges {
+        for _ in 0..rng.next_below(60) {
+            let a = rng.next_below(30) as u32;
+            let b = rng.next_below(30) as u32;
             if a != b {
                 graph.add_edge(a, b);
                 uf.union(a, b);
             }
         }
         let comps = connected_components(&graph);
-        prop_assert_eq!(comps.len(), uf.num_sets());
+        assert_eq!(comps.len(), uf.num_sets(), "case {case}");
         for comp in comps {
             for pair in comp.windows(2) {
-                prop_assert!(uf.connected(pair[0], pair[1]));
+                assert!(uf.connected(pair[0], pair[1]), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn cleanup_caps_component_sizes(graph in connected_graph(40, 50), mu in 2usize..8) {
-        let mut working = graph.clone();
+#[test]
+fn cleanup_caps_component_sizes() {
+    for case in 0..64u64 {
+        let mut rng = SplitRng::new(0xC6).split_index(case);
+        let graph = connected_graph(&mut rng, 40, 50);
+        let mu = rng.range_inclusive(2, 7);
         let gamma = mu + 4;
+        let mut working = graph.clone();
         graph_cleanup(&mut working, &CleanupConfig::new(gamma, mu));
         for comp in connected_components(&working) {
-            prop_assert!(comp.len() <= mu, "component of {} > mu {}", comp.len(), mu);
+            assert!(
+                comp.len() <= mu,
+                "case {case}: component of {} > mu {mu}",
+                comp.len()
+            );
         }
     }
+}
 
-    #[test]
-    fn cleanup_only_removes_edges(graph in connected_graph(30, 30)) {
+#[test]
+fn cleanup_only_removes_edges() {
+    for case in 0..64u64 {
+        let mut rng = SplitRng::new(0xC7).split_index(case);
+        let graph = connected_graph(&mut rng, 30, 30);
         let mut working = graph.clone();
         graph_cleanup(&mut working, &CleanupConfig::new(10, 5));
-        prop_assert!(working.num_edges() <= graph.num_edges());
+        assert!(working.num_edges() <= graph.num_edges(), "case {case}");
         // Every surviving edge existed before.
         for edge in working.edges() {
-            prop_assert!(graph.has_edge(edge.a, edge.b));
+            assert!(graph.has_edge(edge.a, edge.b), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn groups_partition_records(pairs in proptest::collection::vec((0..50u32, 0..50u32), 0..80)) {
-        let record_pairs: Vec<RecordPair> = pairs
-            .into_iter()
-            .filter(|(a, b)| a != b)
-            .map(|(a, b)| RecordPair::new(RecordId(a), RecordId(b)))
-            .collect();
+#[test]
+fn groups_partition_records() {
+    for case in 0..64u64 {
+        let mut rng = SplitRng::new(0xC8).split_index(case);
+        let mut record_pairs: Vec<RecordPair> = Vec::new();
+        for _ in 0..rng.next_below(80) {
+            let a = rng.next_below(50) as u32;
+            let b = rng.next_below(50) as u32;
+            if a != b {
+                record_pairs.push(RecordPair::new(RecordId(a), RecordId(b)));
+            }
+        }
         let graph = prediction_graph(50, &record_pairs);
         let groups = entity_groups(&graph);
         let mut seen = std::collections::HashSet::new();
         let mut total = 0usize;
         for group in &groups {
             for &record in group {
-                prop_assert!(seen.insert(record), "record {record:?} in two groups");
+                assert!(seen.insert(record), "case {case}: {record:?} in two groups");
                 total += 1;
             }
         }
-        prop_assert_eq!(total, 50);
+        assert_eq!(total, 50, "case {case}");
     }
 }

@@ -2,9 +2,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gralmatch_blocking::{
-    id_overlap_companies, id_overlap_securities, token_overlap, CandidateSet, TokenOverlapConfig,
+    Blocker, BlockingContext, CandidateSet, CompanyIdOverlap, SecurityIdOverlap, TokenOverlap,
+    TokenOverlapConfig,
 };
 use gralmatch_datagen::{generate, GenerationConfig};
+use gralmatch_util::WorkerPool;
 use std::hint::black_box;
 
 fn bench_blocking(c: &mut Criterion) {
@@ -13,28 +15,47 @@ fn bench_blocking(c: &mut Criterion) {
     let data = generate(&config).expect("valid config");
     let companies = data.companies.records();
     let securities = data.securities.records();
+    let sequential = BlockingContext::sequential();
 
     let mut group = c.benchmark_group("blocking");
     group.bench_function("id_overlap_securities_5k", |b| {
         b.iter(|| {
             let mut set = CandidateSet::new();
-            id_overlap_securities(black_box(securities), &mut set);
+            SecurityIdOverlap.block(black_box(securities), &sequential, &mut set);
             black_box(set.len())
         });
     });
     group.bench_function("id_overlap_companies_4k", |b| {
         b.iter(|| {
             let mut set = CandidateSet::new();
-            id_overlap_companies(black_box(companies), black_box(securities), &mut set);
+            CompanyIdOverlap {
+                securities: black_box(securities),
+            }
+            .block(black_box(companies), &sequential, &mut set);
             black_box(set.len())
         });
     });
     group.bench_function("token_overlap_companies_4k", |b| {
         b.iter(|| {
             let mut set = CandidateSet::new();
-            token_overlap(
+            TokenOverlap::new(TokenOverlapConfig::default()).block(
                 black_box(companies),
-                &TokenOverlapConfig::default(),
+                &sequential,
+                &mut set,
+            );
+            black_box(set.len())
+        });
+    });
+    // The parallelized hot path: per-record overlap counting on the pool.
+    let parallel = BlockingContext::with_pool(WorkerPool::new(
+        std::thread::available_parallelism().map_or(4, |n| n.get()),
+    ));
+    group.bench_function("token_overlap_companies_4k_parallel", |b| {
+        b.iter(|| {
+            let mut set = CandidateSet::new();
+            TokenOverlap::new(TokenOverlapConfig::default()).block(
+                black_box(companies),
+                &parallel,
                 &mut set,
             );
             black_box(set.len())

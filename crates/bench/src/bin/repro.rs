@@ -1,11 +1,14 @@
 //! Runs the full reproduction (Tables 1–4 + figures) and writes a combined
 //! JSON report next to the printed tables.
 //!
-//! Usage: `cargo run -p gralmatch-bench --bin repro --release [-- out.json]`
+//! Usage: `cargo run -p gralmatch-bench --bin repro --release [-- [--shards N] out.json]`
+//!
+//! `--shards N` (or `GRALMATCH_SHARDS`) runs every end-to-end experiment
+//! through the sharded pipeline (entity-keyed partition + merge stage).
 
 use gralmatch_bench::harness::{
-    prepare_real_sim, prepare_synthetic, prepare_wdc, run_companies_table4, run_securities_table4,
-    run_wdc_table4, Scale,
+    parse_shards_arg, prepare_real_sim, prepare_synthetic, prepare_wdc, run_companies_table4,
+    run_securities_table4, run_wdc_table4, Scale,
 };
 use gralmatch_core::CleanupVariant;
 use gralmatch_datagen::DatasetStats;
@@ -14,10 +17,12 @@ use gralmatch_util::{Json, ToJson};
 
 fn main() {
     let scale = Scale::from_env();
-    let out_path = std::env::args()
-        .nth(1)
+    let (shards, positional) = parse_shards_arg();
+    let out_path = positional
+        .into_iter()
+        .next()
         .unwrap_or_else(|| "repro-report.json".into());
-    eprintln!("repro: scale {} -> {}", scale.0, out_path);
+    eprintln!("repro: scale {} shards {shards} -> {}", scale.0, out_path);
 
     let synthetic = prepare_synthetic(scale);
     let real = prepare_real_sim();
@@ -100,28 +105,29 @@ fn main() {
         };
 
     for spec in [ModelSpec::Ditto128, ModelSpec::DistilBert128All] {
-        let cell = run_companies_table4(&real, spec, 40, 8, CleanupVariant::Full);
+        let cell = run_companies_table4(&real, spec, 40, 8, CleanupVariant::Full, shards);
         record_cell("Real Companies", spec.display_name(), &cell);
     }
     for spec in ModelSpec::ALL {
-        let cell = run_companies_table4(&synthetic, spec, 25, 5, CleanupVariant::Full);
+        let cell = run_companies_table4(&synthetic, spec, 25, 5, CleanupVariant::Full, shards);
         record_cell("Synthetic Companies", spec.display_name(), &cell);
     }
     for spec in [ModelSpec::Ditto128, ModelSpec::DistilBert128All] {
-        let cell = run_securities_table4(&real, spec, 40, 8);
+        let cell = run_securities_table4(&real, spec, 40, 8, shards);
         record_cell("Real Securities", spec.display_name(), &cell);
     }
     for spec in ModelSpec::ALL {
-        let cell = run_securities_table4(&synthetic, spec, 25, 5);
+        let cell = run_securities_table4(&synthetic, spec, 25, 5, shards);
         record_cell("Synthetic Securities", spec.display_name(), &cell);
     }
     for spec in [ModelSpec::Ditto128, ModelSpec::DistilBert128All] {
-        let cell = run_wdc_table4(&wdc, spec, 25, 5);
+        let cell = run_wdc_table4(&wdc, spec, 25, 5, shards);
         record_cell("WDC Products", spec.display_name(), &cell);
     }
 
     let report = Json::obj([
         ("scale", scale.0.to_json()),
+        ("shards", shards.to_json()),
         (
             "table1",
             Json::obj([

@@ -89,6 +89,7 @@ fn gamma_sweep() {
             gamma,
             mu,
             CleanupVariant::Full,
+            1,
         );
         let label = if gamma == usize::MAX {
             "inf (BC only)".to_string()

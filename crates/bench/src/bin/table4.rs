@@ -6,7 +6,7 @@
 //! (pairwise on blocked pairs, pre graph cleanup, post graph cleanup).
 
 use gralmatch_bench::harness::{
-    prepare_real_sim, prepare_synthetic, prepare_wdc, run_companies_table4,
+    parse_shards_arg, prepare_real_sim, prepare_synthetic, prepare_wdc, run_companies_table4,
     run_companies_table4_with, run_securities_table4, run_wdc_table4, train_spec, Scale,
     Table4Cell,
 };
@@ -88,9 +88,12 @@ fn stage_seconds(outcome: &gralmatch_core::MatchingOutcome) -> String {
 
 fn main() {
     let scale = Scale::from_env();
+    let (shards, _) = parse_shards_arg();
     println!(
-        "Table 4 — end-to-end entity group matching (scale factor {})",
-        scale.0
+        "Table 4 — end-to-end entity group matching (scale factor {}, {} shard{})",
+        scale.0,
+        shards,
+        if shards == 1 { "" } else { "s" }
     );
     println!("Stage cells are `paper P/R/F1 vs measured P/R/F1`.\n");
 
@@ -105,7 +108,7 @@ fn main() {
         ModelSpec::Ditto256,
         ModelSpec::DistilBert128All,
     ] {
-        let cell = run_companies_table4(&real, spec, 40, 8, CleanupVariant::Full);
+        let cell = run_companies_table4(&real, spec, 40, 8, CleanupVariant::Full, shards);
         push_row(&mut rows, "Real Companies", spec.display_name(), &cell);
     }
 
@@ -134,11 +137,12 @@ fn main() {
                     25,
                     5,
                     variant,
+                    shards,
                 );
                 push_row(&mut rows, "Synthetic Companies", label, &cell);
             }
         } else {
-            let cell = run_companies_table4(&synthetic, spec, 25, 5, CleanupVariant::Full);
+            let cell = run_companies_table4(&synthetic, spec, 25, 5, CleanupVariant::Full, shards);
             push_row(&mut rows, "Synthetic Companies", spec.display_name(), &cell);
         }
     }
@@ -149,13 +153,13 @@ fn main() {
         ModelSpec::Ditto256,
         ModelSpec::DistilBert128All,
     ] {
-        let cell = run_securities_table4(&real, spec, 40, 8);
+        let cell = run_securities_table4(&real, spec, 40, 8, shards);
         push_row(&mut rows, "Real Securities", spec.display_name(), &cell);
     }
 
     // Synthetic securities: γ=25, μ=5.
     for spec in ModelSpec::ALL {
-        let cell = run_securities_table4(&synthetic, spec, 25, 5);
+        let cell = run_securities_table4(&synthetic, spec, 25, 5, shards);
         push_row(
             &mut rows,
             "Synthetic Securities",
@@ -170,7 +174,7 @@ fn main() {
         ModelSpec::Ditto256,
         ModelSpec::DistilBert128All,
     ] {
-        let cell = run_wdc_table4(&wdc, spec, 25, 5);
+        let cell = run_wdc_table4(&wdc, spec, 25, 5, shards);
         push_row(&mut rows, "WDC Products", spec.display_name(), &cell);
     }
 

@@ -15,7 +15,8 @@
 use gralmatch_blocking::TokenOverlapConfig;
 use gralmatch_core::{
     blocked_candidates, entity_groups, group_assignment, prediction_graph, run_domain_with_matcher,
-    CleanupVariant, CompanyDomain, MatchingOutcome, PipelineConfig, ProductDomain, SecurityDomain,
+    run_sharded, CleanupVariant, CompanyDomain, MatchingDomain, MatchingOutcome, PipelineConfig,
+    ProductDomain, SecurityDomain, ShardPlan,
 };
 use gralmatch_datagen::{generate, generate_wdc, FinancialDataset, GenerationConfig, WdcConfig};
 use gralmatch_lm::{
@@ -41,6 +42,57 @@ impl Scale {
             .unwrap_or(0.02);
         assert!(factor > 0.0 && factor <= 1.0, "scale must be in (0, 1]");
         Scale(factor)
+    }
+}
+
+/// Parse the `--shards N` knob (also `--shards=N`; fallback:
+/// `GRALMATCH_SHARDS`, default 1 = unsharded) out of the program's argv,
+/// returning `(shards, remaining positional args)`.
+pub fn parse_shards_arg() -> (usize, Vec<String>) {
+    let mut shards: usize = std::env::var("GRALMATCH_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let mut positional = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--shards" {
+            shards = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--shards needs a shard count");
+        } else if let Some(value) = arg.strip_prefix("--shards=") {
+            shards = value.parse().expect("--shards needs a shard count");
+        } else {
+            positional.push(arg);
+        }
+    }
+    (shards.max(1), positional)
+}
+
+/// Run a domain through the engine — sharded via [`ShardPlan`] when
+/// `shards > 1` (entity-keyed partition, the benchmark setting), unsharded
+/// otherwise. The sharded outcome's trace carries the per-stage roll-up
+/// plus the merge stage, so Table 4 columns read identically either way.
+pub fn run_domain_maybe_sharded<D>(
+    domain: &D,
+    matcher: &TrainedMatcher,
+    encoded: &[gralmatch_lm::EncodedRecord],
+    config: &PipelineConfig,
+    shards: usize,
+) -> MatchingOutcome
+where
+    D: MatchingDomain,
+    D::Rec: Clone,
+{
+    if shards > 1 {
+        let scorer = MatcherScorer::new(matcher, encoded);
+        run_sharded(domain, &scorer, config, &ShardPlan::new(shards))
+            .expect("sharded pipeline succeeds")
+            .outcome
+    } else {
+        run_domain_with_matcher(domain, matcher, encoded, config)
+            .expect("standard pipeline succeeds")
     }
 }
 
@@ -383,13 +435,15 @@ pub struct Table4Cell {
     pub train_seconds: f64,
 }
 
-/// End-to-end companies experiment for one spec.
+/// End-to-end companies experiment for one spec. `shards > 1` runs the
+/// sharded pipeline (entity-keyed [`ShardPlan`]).
 pub fn run_companies_table4(
     prepared: &PreparedFinancial,
     spec: ModelSpec,
     gamma: usize,
     mu: usize,
     variant: CleanupVariant,
+    shards: usize,
 ) -> Table4Cell {
     let (matcher, report) = train_spec(
         prepared.data.companies.records(),
@@ -405,10 +459,12 @@ pub fn run_companies_table4(
         gamma,
         mu,
         variant,
+        shards,
     )
 }
 
 /// Variant runner that reuses a trained matcher (sensitivity rows).
+#[allow(clippy::too_many_arguments)]
 pub fn run_companies_table4_with(
     prepared: &PreparedFinancial,
     matcher: &TrainedMatcher,
@@ -417,6 +473,7 @@ pub fn run_companies_table4_with(
     gamma: usize,
     mu: usize,
     variant: CleanupVariant,
+    shards: usize,
 ) -> Table4Cell {
     let (test_companies, test_securities) = company_test_universe(prepared);
     let encoded = spec.encode_records(&test_companies);
@@ -427,8 +484,7 @@ pub fn run_companies_table4_with(
             .variant(variant),
         parallelism: Parallelism::Auto,
     };
-    let outcome = run_domain_with_matcher(&domain, matcher, &encoded, &config)
-        .expect("standard pipeline succeeds");
+    let outcome = run_domain_maybe_sharded(&domain, matcher, &encoded, &config, shards);
     Table4Cell {
         num_records: test_companies.len(),
         outcome,
@@ -436,12 +492,14 @@ pub fn run_companies_table4_with(
     }
 }
 
-/// End-to-end securities experiment for one spec.
+/// End-to-end securities experiment for one spec. `shards > 1` runs the
+/// sharded pipeline (entity-keyed [`ShardPlan`]).
 pub fn run_securities_table4(
     prepared: &PreparedFinancial,
     spec: ModelSpec,
     gamma: usize,
     mu: usize,
+    shards: usize,
 ) -> Table4Cell {
     let (matcher, report) = train_spec(
         prepared.data.securities.records(),
@@ -457,8 +515,7 @@ pub fn run_securities_table4(
         cleanup: gralmatch_core::CleanupConfig::new(gamma, mu),
         parallelism: Parallelism::Auto,
     };
-    let outcome = run_domain_with_matcher(&domain, &matcher, &encoded, &config)
-        .expect("standard pipeline succeeds");
+    let outcome = run_domain_maybe_sharded(&domain, &matcher, &encoded, &config, shards);
     Table4Cell {
         num_records: test_securities.len(),
         outcome,
@@ -466,12 +523,14 @@ pub fn run_securities_table4(
     }
 }
 
-/// End-to-end WDC products experiment for one spec.
+/// End-to-end WDC products experiment for one spec. `shards > 1` runs the
+/// sharded pipeline (entity-keyed [`ShardPlan`]).
 pub fn run_wdc_table4(
     prepared: &PreparedWdc,
     spec: ModelSpec,
     gamma: usize,
     mu: usize,
+    shards: usize,
 ) -> Table4Cell {
     let pool = wdc_negative_pool(prepared);
     let (matcher, report) = train_spec_with_pool(
@@ -497,8 +556,7 @@ pub fn run_wdc_table4(
         cleanup: gralmatch_core::CleanupConfig::new(gamma, mu),
         parallelism: Parallelism::Auto,
     };
-    let outcome = run_domain_with_matcher(&domain, &matcher, &encoded, &config)
-        .expect("standard pipeline succeeds");
+    let outcome = run_domain_maybe_sharded(&domain, &matcher, &encoded, &config, shards);
     Table4Cell {
         num_records: test_products.len(),
         outcome,

@@ -57,6 +57,23 @@ impl CandidateSet {
         }
     }
 
+    /// Add a pair with a raw provenance bitmask (ORed on duplicates) —
+    /// used when re-tagging pairs whose flags were already folded.
+    pub fn add_flags(&mut self, pair: RecordPair, flags: u8) {
+        if flags != 0 {
+            *self.pairs.entry(pair).or_insert(0) |= flags;
+        }
+    }
+
+    /// Union another set into this one, merging provenance on shared pairs.
+    /// Blockers running concurrently each fill a private set; the blocking
+    /// stage folds them with this.
+    pub fn merge(&mut self, other: &CandidateSet) {
+        for (&pair, &flags) in &other.pairs {
+            *self.pairs.entry(pair).or_insert(0) |= flags;
+        }
+    }
+
     /// Number of distinct candidate pairs.
     pub fn len(&self) -> usize {
         self.pairs.len()
@@ -121,6 +138,31 @@ mod tests {
         set.add(pair(2, 3), BlockingKind::TokenOverlap);
         assert!(set.only_from(pair(2, 3), BlockingKind::TokenOverlap));
         assert!(!set.from_blocking(pair(2, 3), BlockingKind::IdOverlap));
+    }
+
+    #[test]
+    fn merge_unions_pairs_and_flags() {
+        let mut left = CandidateSet::new();
+        left.add(pair(0, 1), BlockingKind::IdOverlap);
+        left.add(pair(2, 3), BlockingKind::TokenOverlap);
+        let mut right = CandidateSet::new();
+        right.add(pair(0, 1), BlockingKind::IssuerMatch);
+        right.add(pair(4, 5), BlockingKind::IdOverlap);
+        left.merge(&right);
+        assert_eq!(left.len(), 3);
+        assert!(left.from_blocking(pair(0, 1), BlockingKind::IdOverlap));
+        assert!(left.from_blocking(pair(0, 1), BlockingKind::IssuerMatch));
+        assert!(left.from_blocking(pair(4, 5), BlockingKind::IdOverlap));
+    }
+
+    #[test]
+    fn add_flags_preserves_bitmask() {
+        let mut set = CandidateSet::new();
+        let flags = BlockingKind::IdOverlap.flag() | BlockingKind::IssuerMatch.flag();
+        set.add_flags(pair(1, 2), flags);
+        set.add_flags(pair(3, 4), 0); // no provenance -> not stored
+        assert_eq!(set.provenance(pair(1, 2)), flags);
+        assert_eq!(set.len(), 1);
     }
 
     #[test]

@@ -10,18 +10,24 @@
 //! This blocking is "equivalent to the benchmark heuristic often used to
 //! match these types of financial records"; data drift makes some of its
 //! pairs false (mergers) and misses others (overwritten/missing codes).
+//! Being a near-linear hash join, both variants are flagged
+//! [`cross_shard`](crate::strategy::Blocker::cross_shard)-capable: the
+//! sharded pipeline re-runs them globally to propose boundary candidates.
 
 use crate::candidates::{BlockingKind, CandidateSet};
-use gralmatch_records::{CompanyRecord, Record, RecordId, RecordPair, SecurityRecord};
+use crate::strategy::{Blocker, BlockingContext};
+use gralmatch_records::{CompanyRecord, Record, RecordPair, SecurityRecord};
 use gralmatch_util::FxHashMap;
 
 /// Guard against degenerate codes shared by huge numbers of records: codes
 /// with more than this many holders are skipped (quadratic pair blowup).
 pub const MAX_CODE_HOLDERS: usize = 64;
 
-fn pairs_from_postings(
-    postings: &FxHashMap<&str, Vec<RecordId>>,
-    source_of: impl Fn(RecordId) -> u16,
+/// Pair up positions sharing a posting; positions index the record slice
+/// handed to the blocker (ids need not be dense).
+fn pairs_from_postings<R: Record>(
+    postings: &FxHashMap<&str, Vec<u32>>,
+    records: &[R],
     out: &mut CandidateSet,
 ) {
     for holders in postings.values() {
@@ -30,73 +36,119 @@ fn pairs_from_postings(
         }
         for i in 0..holders.len() {
             for j in (i + 1)..holders.len() {
-                if source_of(holders[i]) != source_of(holders[j]) {
-                    out.add(
-                        RecordPair::new(holders[i], holders[j]),
-                        BlockingKind::IdOverlap,
-                    );
+                let (a, b) = (&records[holders[i] as usize], &records[holders[j] as usize]);
+                if a.source() != b.source() {
+                    out.add(RecordPair::new(a.id(), b.id()), BlockingKind::IdOverlap);
                 }
             }
         }
     }
 }
 
-/// ID-overlap candidates among security records.
-pub fn id_overlap_securities(securities: &[SecurityRecord], out: &mut CandidateSet) {
-    let mut postings: FxHashMap<&str, Vec<RecordId>> = FxHashMap::default();
-    for record in securities {
-        for code in record.id_codes() {
-            postings
-                .entry(code.value.as_str())
-                .or_default()
-                .push(record.id());
-        }
-    }
-    pairs_from_postings(&postings, |id| securities[id.0 as usize].source().0, out);
-}
+/// ID-Overlap blocking for security records (shared identifier codes).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SecurityIdOverlap;
 
-/// ID-overlap candidates among company records, via their securities'
-/// identifiers and their own LEIs.
-pub fn id_overlap_companies(
-    companies: &[CompanyRecord],
-    securities: &[SecurityRecord],
-    out: &mut CandidateSet,
-) {
-    // code value -> company records whose securities (or self) carry it.
-    let mut postings: FxHashMap<&str, Vec<RecordId>> = FxHashMap::default();
-    for company in companies {
-        for code in company.id_codes() {
-            postings
-                .entry(code.value.as_str())
-                .or_default()
-                .push(company.id());
-        }
-        for &security_id in &company.securities {
-            for code in securities[security_id.0 as usize].id_codes() {
+impl Blocker<SecurityRecord> for SecurityIdOverlap {
+    fn kind(&self) -> BlockingKind {
+        BlockingKind::IdOverlap
+    }
+
+    fn name(&self) -> &'static str {
+        "id-overlap"
+    }
+
+    fn cross_shard(&self) -> bool {
+        true
+    }
+
+    fn block(&self, records: &[SecurityRecord], _ctx: &BlockingContext, out: &mut CandidateSet) {
+        let mut postings: FxHashMap<&str, Vec<u32>> = FxHashMap::default();
+        for (position, record) in records.iter().enumerate() {
+            for code in record.id_codes() {
                 postings
                     .entry(code.value.as_str())
                     .or_default()
-                    .push(company.id());
+                    .push(position as u32);
             }
         }
+        pairs_from_postings(&postings, records, out);
     }
-    // A company may hold the same code through several securities; dedup
-    // holders per code before pairing.
-    for holders in postings.values_mut() {
-        holders.sort_unstable();
-        holders.dedup();
+}
+
+/// ID-Overlap blocking for companies, matching through the identifier codes
+/// of the securities each company issues (plus its own LEIs).
+#[derive(Debug, Clone, Copy)]
+pub struct CompanyIdOverlap<'a> {
+    /// The security universe the companies' `securities` ids point into
+    /// (always the **full** universe, even when the company slice is a
+    /// shard — security ids index it directly).
+    pub securities: &'a [SecurityRecord],
+}
+
+impl Blocker<CompanyRecord> for CompanyIdOverlap<'_> {
+    fn kind(&self) -> BlockingKind {
+        BlockingKind::IdOverlap
     }
-    pairs_from_postings(&postings, |id| companies[id.0 as usize].source().0, out);
+
+    fn name(&self) -> &'static str {
+        "id-overlap"
+    }
+
+    fn cross_shard(&self) -> bool {
+        true
+    }
+
+    fn block(&self, records: &[CompanyRecord], _ctx: &BlockingContext, out: &mut CandidateSet) {
+        // code value -> positions of companies whose securities (or self)
+        // carry it.
+        let mut postings: FxHashMap<&str, Vec<u32>> = FxHashMap::default();
+        for (position, company) in records.iter().enumerate() {
+            for code in company.id_codes() {
+                postings
+                    .entry(code.value.as_str())
+                    .or_default()
+                    .push(position as u32);
+            }
+            for &security_id in &company.securities {
+                for code in self.securities[security_id.0 as usize].id_codes() {
+                    postings
+                        .entry(code.value.as_str())
+                        .or_default()
+                        .push(position as u32);
+                }
+            }
+        }
+        // A company may hold the same code through several securities; dedup
+        // holders per code before pairing.
+        for holders in postings.values_mut() {
+            holders.sort_unstable();
+            holders.dedup();
+        }
+        pairs_from_postings(&postings, records, out);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gralmatch_records::{IdCode, IdKind, SourceId};
+    use gralmatch_records::{IdCode, IdKind, RecordId, SourceId};
 
     fn security(id: u32, source: u16, isin: &str, issuer: u32) -> SecurityRecord {
         SecurityRecord::new(RecordId(id), SourceId(source), "S ORD", RecordId(issuer))
             .with_code(IdCode::new(IdKind::Isin, isin))
+    }
+
+    fn block_securities(securities: &[SecurityRecord]) -> CandidateSet {
+        let mut set = CandidateSet::new();
+        SecurityIdOverlap.block(securities, &BlockingContext::sequential(), &mut set);
+        set
+    }
+
+    fn block_companies(companies: &[CompanyRecord], securities: &[SecurityRecord]) -> CandidateSet {
+        let mut set = CandidateSet::new();
+        CompanyIdOverlap { securities }.block(companies, &BlockingContext::sequential(), &mut set);
+        set
     }
 
     #[test]
@@ -106,8 +158,7 @@ mod tests {
             security(1, 1, "US111", 1),
             security(2, 2, "US222", 2),
         ];
-        let mut set = CandidateSet::new();
-        id_overlap_securities(&securities, &mut set);
+        let set = block_securities(&securities);
         assert_eq!(set.len(), 1);
         assert!(set.from_blocking(
             RecordPair::new(RecordId(0), RecordId(1)),
@@ -118,9 +169,7 @@ mod tests {
     #[test]
     fn same_source_pairs_skipped() {
         let securities = vec![security(0, 0, "US111", 0), security(1, 0, "US111", 1)];
-        let mut set = CandidateSet::new();
-        id_overlap_securities(&securities, &mut set);
-        assert!(set.is_empty());
+        assert!(block_securities(&securities).is_empty());
     }
 
     #[test]
@@ -128,9 +177,21 @@ mod tests {
         let securities: Vec<SecurityRecord> = (0..(MAX_CODE_HOLDERS as u32 + 10))
             .map(|i| security(i, (i % 5) as u16, "SHARED", i))
             .collect();
-        let mut set = CandidateSet::new();
-        id_overlap_securities(&securities, &mut set);
-        assert!(set.is_empty(), "over-shared code must be skipped");
+        assert!(
+            block_securities(&securities).is_empty(),
+            "over-shared code must be skipped"
+        );
+    }
+
+    #[test]
+    fn sparse_id_slices_emit_record_ids() {
+        // Shard slice: positions 0/1 but global ids 40/70.
+        let securities = vec![security(40, 0, "US111", 0), security(70, 1, "US111", 1)];
+        let set = block_securities(&securities);
+        assert!(set.from_blocking(
+            RecordPair::new(RecordId(40), RecordId(70)),
+            BlockingKind::IdOverlap
+        ));
     }
 
     #[test]
@@ -142,9 +203,7 @@ mod tests {
         ];
         companies[0].securities = vec![RecordId(0)];
         companies[1].securities = vec![RecordId(1)];
-        let mut set = CandidateSet::new();
-        id_overlap_companies(&companies, &securities, &mut set);
-        assert_eq!(set.len(), 1);
+        assert_eq!(block_companies(&companies, &securities).len(), 1);
     }
 
     #[test]
@@ -161,9 +220,7 @@ mod tests {
                 c
             },
         ];
-        let mut set = CandidateSet::new();
-        id_overlap_companies(&companies, &[], &mut set);
-        assert_eq!(set.len(), 1);
+        assert_eq!(block_companies(&companies, &[]).len(), 1);
     }
 
     #[test]
@@ -172,8 +229,6 @@ mod tests {
             CompanyRecord::new(RecordId(0), SourceId(0), "Acme"),
             CompanyRecord::new(RecordId(1), SourceId(1), "Acme"),
         ];
-        let mut set = CandidateSet::new();
-        id_overlap_companies(&companies, &[], &mut set);
-        assert!(set.is_empty());
+        assert!(block_companies(&companies, &[]).is_empty());
     }
 }

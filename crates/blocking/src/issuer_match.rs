@@ -6,42 +6,60 @@
 //! the company matching pipeline), securities of co-grouped issuers become
 //! candidates — this finds security pairs with non-matching identifiers and
 //! generic names ("Registered Shs") that only their issuer context can link.
+//! Like the identifier joins, it is near-linear and runs globally for
+//! cross-shard boundary candidates in a sharded pipeline.
 
 use crate::candidates::{BlockingKind, CandidateSet};
+use crate::strategy::{Blocker, BlockingContext};
 use gralmatch_records::{Record, RecordId, RecordPair, SecurityRecord};
 use gralmatch_util::FxHashMap;
 
 /// Guard against pathological company groups pulling in quadratic pairs.
 pub const MAX_GROUP_SECURITIES: usize = 128;
 
-/// Run the blocking.
-///
-/// `company_group_of` maps a company record id to its matched-group id
-/// (any dense labeling — typically the connected-component index of the
-/// company matching output). Companies missing from the map are singletons.
-pub fn issuer_match(
-    securities: &[SecurityRecord],
-    company_group_of: &FxHashMap<RecordId, u32>,
-    out: &mut CandidateSet,
-) {
-    // group id -> securities issued by members of the group.
-    let mut by_group: FxHashMap<u32, Vec<RecordId>> = FxHashMap::default();
-    for security in securities {
-        if let Some(&group) = company_group_of.get(&security.issuer) {
-            by_group.entry(group).or_default().push(security.id());
-        }
+/// Issuer-Match blocking (securities only): securities of co-grouped
+/// issuers become candidates.
+#[derive(Debug, Clone, Copy)]
+pub struct IssuerMatch<'a> {
+    /// Company record id → matched-group id (output of a company matching;
+    /// any dense labeling — typically the connected-component index).
+    /// Companies missing from the map are singletons.
+    pub company_group_of: &'a FxHashMap<RecordId, u32>,
+}
+
+impl Blocker<SecurityRecord> for IssuerMatch<'_> {
+    fn kind(&self) -> BlockingKind {
+        BlockingKind::IssuerMatch
     }
-    for members in by_group.values() {
-        if members.len() < 2 || members.len() > MAX_GROUP_SECURITIES {
-            continue;
+
+    fn name(&self) -> &'static str {
+        "issuer-match"
+    }
+
+    fn cross_shard(&self) -> bool {
+        true
+    }
+
+    fn block(&self, records: &[SecurityRecord], _ctx: &BlockingContext, out: &mut CandidateSet) {
+        // group id -> positions of securities issued by members of the group.
+        let mut by_group: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+        for (position, security) in records.iter().enumerate() {
+            if let Some(&group) = self.company_group_of.get(&security.issuer) {
+                by_group.entry(group).or_default().push(position as u32);
+            }
         }
-        for i in 0..members.len() {
-            for j in (i + 1)..members.len() {
-                let (a, b) = (members[i], members[j]);
-                if securities[a.0 as usize].source() == securities[b.0 as usize].source() {
-                    continue;
+        for members in by_group.values() {
+            if members.len() < 2 || members.len() > MAX_GROUP_SECURITIES {
+                continue;
+            }
+            for i in 0..members.len() {
+                for j in (i + 1)..members.len() {
+                    let (a, b) = (&records[members[i] as usize], &records[members[j] as usize]);
+                    if a.source() == b.source() {
+                        continue;
+                    }
+                    out.add(RecordPair::new(a.id(), b.id()), BlockingKind::IssuerMatch);
                 }
-                out.add(RecordPair::new(a, b), BlockingKind::IssuerMatch);
             }
         }
     }
@@ -63,13 +81,21 @@ mod tests {
             .collect()
     }
 
+    fn run(securities: &[SecurityRecord], map: &FxHashMap<RecordId, u32>) -> CandidateSet {
+        let mut set = CandidateSet::new();
+        IssuerMatch {
+            company_group_of: map,
+        }
+        .block(securities, &BlockingContext::sequential(), &mut set);
+        set
+    }
+
     #[test]
     fn securities_of_matched_issuers_paired() {
         let securities = vec![security(0, 0, 10), security(1, 1, 11), security(2, 2, 12)];
         // Companies 10 and 11 matched into group 0; 12 alone in group 1.
         let map = groups(&[(10, 0), (11, 0), (12, 1)]);
-        let mut set = CandidateSet::new();
-        issuer_match(&securities, &map, &mut set);
+        let set = run(&securities, &map);
         assert_eq!(set.len(), 1);
         assert!(set.from_blocking(
             RecordPair::new(RecordId(0), RecordId(1)),
@@ -81,27 +107,21 @@ mod tests {
     fn unmatched_issuers_no_pairs() {
         let securities = vec![security(0, 0, 10), security(1, 1, 11)];
         let map = groups(&[(10, 0), (11, 1)]);
-        let mut set = CandidateSet::new();
-        issuer_match(&securities, &map, &mut set);
-        assert!(set.is_empty());
+        assert!(run(&securities, &map).is_empty());
     }
 
     #[test]
     fn same_source_skipped() {
         let securities = vec![security(0, 0, 10), security(1, 0, 11)];
         let map = groups(&[(10, 0), (11, 0)]);
-        let mut set = CandidateSet::new();
-        issuer_match(&securities, &map, &mut set);
-        assert!(set.is_empty());
+        assert!(run(&securities, &map).is_empty());
     }
 
     #[test]
     fn missing_issuer_mapping_ignored() {
         let securities = vec![security(0, 0, 10), security(1, 1, 11)];
         let map = groups(&[(10, 0)]); // issuer 11 unmapped
-        let mut set = CandidateSet::new();
-        issuer_match(&securities, &map, &mut set);
-        assert!(set.is_empty());
+        assert!(run(&securities, &map).is_empty());
     }
 
     #[test]
@@ -111,9 +131,7 @@ mod tests {
             .map(|i| security(i, (i % 7) as u16, 100 + i))
             .collect();
         let map: FxHashMap<RecordId, u32> = (0..n).map(|i| (RecordId(100 + i), 0)).collect();
-        let mut set = CandidateSet::new();
-        issuer_match(&securities, &map, &mut set);
-        assert!(set.is_empty());
+        assert!(run(&securities, &map).is_empty());
     }
 
     #[test]
@@ -127,8 +145,18 @@ mod tests {
             security(3, 1, 11),
         ];
         let map = groups(&[(10, 0), (11, 0)]);
-        let mut set = CandidateSet::new();
-        issuer_match(&securities, &map, &mut set);
-        assert_eq!(set.len(), 4);
+        assert_eq!(run(&securities, &map).len(), 4);
+    }
+
+    #[test]
+    fn sparse_id_slices_emit_record_ids() {
+        // A shard slice with non-dense ids still pairs by issuer group.
+        let securities = vec![security(33, 0, 10), security(77, 1, 11)];
+        let map = groups(&[(10, 0), (11, 0)]);
+        let set = run(&securities, &map);
+        assert!(set.from_blocking(
+            RecordPair::new(RecordId(33), RecordId(77)),
+            BlockingKind::IssuerMatch
+        ));
     }
 }

@@ -3,20 +3,22 @@
 //! Evaluating all n·(n−1)/2 record pairs is prohibitive, so the pipeline
 //! first selects candidate pairs through blockings:
 //!
-//! * [`id_overlap_securities`] / [`id_overlap_companies`] — identifier-code
+//! * [`SecurityIdOverlap`] / [`CompanyIdOverlap`] — identifier-code
 //!   overlap (companies go through their securities' codes),
-//! * [`token_overlap`] — top-n most token-overlapping records across
+//! * [`TokenOverlap`] — top-n most token-overlapping records across
 //!   sources (text alignment candidates),
-//! * [`issuer_match`] — securities of previously matched issuers.
+//! * [`IssuerMatch`] — securities of previously matched issuers.
 //!
 //! Candidates carry provenance flags ([`CandidateSet`]) because the Pre
 //! Graph Cleanup removes token-overlap edges in oversized components.
-
 //!
-//! Recipes compose declaratively through the [`BlockingStrategy`] trait:
-//! each dataset's Table 2 blocking list is a `Vec<Box<dyn
-//! BlockingStrategy<R>>>` folded by [`run_strategies`] (or by the pipeline
-//! engine's blocking stage).
+//! Every strategy implements the unified [`Blocker`] trait; recipes are
+//! `Vec<Box<dyn Blocker<R>>>` lists executed by [`run_blockers`] (or the
+//! pipeline engine's blocking stage), which runs independent recipes
+//! concurrently on the shared [`WorkerPool`](gralmatch_util::WorkerPool)
+//! carried by the [`BlockingContext`]. Identifier-join blockers advertise
+//! [`Blocker::cross_shard`] so a sharded pipeline can re-run them globally
+//! for boundary candidates.
 
 pub mod candidates;
 pub mod id_overlap;
@@ -27,12 +29,9 @@ pub mod strategy;
 pub mod token_overlap;
 
 pub use candidates::{BlockingKind, CandidateSet};
-pub use id_overlap::{id_overlap_companies, id_overlap_securities};
-pub use issuer_match::issuer_match;
+pub use id_overlap::{CompanyIdOverlap, SecurityIdOverlap, MAX_CODE_HOLDERS};
+pub use issuer_match::{IssuerMatch, MAX_GROUP_SECURITIES};
 pub use recall::{blocking_quality, blocking_recall_by_kind, BlockingQuality};
-pub use sorted_neighborhood::{sorted_neighborhood, SortedNeighborhoodConfig};
-pub use strategy::{
-    run_strategies, BlockingStrategy, CompanyIdOverlap, IssuerMatch, SecurityIdOverlap,
-    SortedNeighborhood, TokenOverlap,
-};
-pub use token_overlap::{token_overlap, TokenOverlapConfig};
+pub use sorted_neighborhood::{SortedNeighborhood, SortedNeighborhoodConfig};
+pub use strategy::{run_blockers, Blocker, BlockingContext};
+pub use token_overlap::{TokenOverlap, TokenOverlapConfig};

@@ -8,6 +8,7 @@
 //! variants that token overlap catches — measured by [`crate::recall`]).
 
 use crate::candidates::{BlockingKind, CandidateSet};
+use crate::strategy::{Blocker, BlockingContext};
 use gralmatch_records::{Record, RecordPair};
 
 /// Sorted-neighborhood parameters.
@@ -23,6 +24,13 @@ impl Default for SortedNeighborhoodConfig {
     }
 }
 
+/// Sorted-neighborhood baseline (not part of the paper's recipes).
+#[derive(Debug, Clone, Default)]
+pub struct SortedNeighborhood {
+    /// Window parameters.
+    pub config: SortedNeighborhoodConfig,
+}
+
 /// Sort key: lowercase alphanumeric-only name.
 fn sort_key(name: &str) -> String {
     name.chars()
@@ -31,33 +39,37 @@ fn sort_key(name: &str) -> String {
         .collect()
 }
 
-/// Run the blocking. Pairs are tagged as [`BlockingKind::TokenOverlap`]'s
-/// sibling — they carry their own kind so provenance stays auditable.
-pub fn sorted_neighborhood<R: Record>(
-    records: &[R],
-    config: &SortedNeighborhoodConfig,
-    out: &mut CandidateSet,
-) {
-    let mut keyed: Vec<(String, usize)> = records
-        .iter()
-        .enumerate()
-        .map(|(i, r)| (sort_key(r.name()), i))
-        .collect();
-    keyed.sort();
-    for i in 0..keyed.len() {
-        let (_, a) = &keyed[i];
-        for (_, b) in keyed
+impl<R: Record + Sync> Blocker<R> for SortedNeighborhood {
+    fn kind(&self) -> BlockingKind {
+        BlockingKind::SortedNeighborhood
+    }
+
+    fn name(&self) -> &'static str {
+        "sorted-neighborhood"
+    }
+
+    fn block(&self, records: &[R], _ctx: &BlockingContext, out: &mut CandidateSet) {
+        let mut keyed: Vec<(String, usize)> = records
             .iter()
-            .skip(i + 1)
-            .take(config.window.saturating_sub(1))
-        {
-            if records[*a].source() == records[*b].source() {
-                continue;
+            .enumerate()
+            .map(|(i, r)| (sort_key(r.name()), i))
+            .collect();
+        keyed.sort();
+        for i in 0..keyed.len() {
+            let (_, a) = &keyed[i];
+            for (_, b) in keyed
+                .iter()
+                .skip(i + 1)
+                .take(self.config.window.saturating_sub(1))
+            {
+                if records[*a].source() == records[*b].source() {
+                    continue;
+                }
+                out.add(
+                    RecordPair::new(records[*a].id(), records[*b].id()),
+                    BlockingKind::SortedNeighborhood,
+                );
             }
-            out.add(
-                RecordPair::new(records[*a].id(), records[*b].id()),
-                BlockingKind::SortedNeighborhood,
-            );
         }
     }
 }
@@ -71,6 +83,15 @@ mod tests {
         CompanyRecord::new(RecordId(id), SourceId(source), name)
     }
 
+    fn run(records: &[CompanyRecord], window: usize) -> CandidateSet {
+        let mut set = CandidateSet::new();
+        SortedNeighborhood {
+            config: SortedNeighborhoodConfig { window },
+        }
+        .block(records, &BlockingContext::sequential(), &mut set);
+        set
+    }
+
     #[test]
     fn adjacent_names_paired() {
         let records = vec![
@@ -78,8 +99,7 @@ mod tests {
             company(1, 1, "Crowdstrike Inc"),
             company(2, 2, "Zymurgy Labs"),
         ];
-        let mut set = CandidateSet::new();
-        sorted_neighborhood(&records, &SortedNeighborhoodConfig { window: 2 }, &mut set);
+        let set = run(&records, 2);
         assert!(set.from_blocking(
             RecordPair::new(RecordId(0), RecordId(1)),
             BlockingKind::SortedNeighborhood
@@ -95,8 +115,7 @@ mod tests {
         let records: Vec<CompanyRecord> = (0..20)
             .map(|i| company(i, (i % 4) as u16, &format!("Name{i:02}")))
             .collect();
-        let mut set = CandidateSet::new();
-        sorted_neighborhood(&records, &SortedNeighborhoodConfig { window: 3 }, &mut set);
+        let set = run(&records, 3);
         // Each record pairs with <= 2 successors.
         assert!(set.len() <= 20 * 2);
     }
@@ -114,8 +133,7 @@ mod tests {
             company(4, 0, "Mango Networks"),
             company(5, 1, "Quartz Mining"),
         ];
-        let mut set = CandidateSet::new();
-        sorted_neighborhood(&records, &SortedNeighborhoodConfig { window: 2 }, &mut set);
+        let set = run(&records, 2);
         assert!(
             !set.from_blocking(
                 RecordPair::new(RecordId(0), RecordId(1)),
@@ -128,8 +146,7 @@ mod tests {
     #[test]
     fn same_source_skipped() {
         let records = vec![company(0, 0, "Acme"), company(1, 0, "Acme B")];
-        let mut set = CandidateSet::new();
-        sorted_neighborhood(&records, &SortedNeighborhoodConfig::default(), &mut set);
+        let set = run(&records, SortedNeighborhoodConfig::default().window);
         assert!(set.is_empty());
     }
 }

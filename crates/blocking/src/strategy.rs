@@ -1,173 +1,132 @@
-//! Composable blocking strategies.
+//! The unified [`Blocker`] trait and recipe execution.
 //!
 //! Table 2's per-dataset blocking recipes used to be bespoke free functions
-//! wired into each pipeline copy. The [`BlockingStrategy`] trait turns a
-//! recipe into a *declarative list of strategy values* — companies run
-//! `[CompanyIdOverlap, TokenOverlap]`, securities `[SecurityIdOverlap,
-//! IssuerMatch]`, products `[TokenOverlap]` — which the generic blocking
-//! stage folds into one provenance-tagged [`CandidateSet`]. New workloads
-//! compose their own lists (or implement the trait) without touching the
-//! engine.
+//! wired into each pipeline copy. Every strategy now implements the one
+//! [`Blocker`] trait — companies run `[CompanyIdOverlap, TokenOverlap]`,
+//! securities `[SecurityIdOverlap, IssuerMatch]`, products `[TokenOverlap]`
+//! — so recipes are *declarative lists of trait objects* the blocking stage
+//! dispatches uniformly: [`run_blockers`] executes independent recipes
+//! concurrently on the shared worker pool and folds their outputs into one
+//! provenance-tagged [`CandidateSet`]. New workloads compose their own
+//! lists (or implement the trait) without touching the engine.
 //!
 //! Strategies borrow whatever side context they need (companies reach
 //! *through* their securities' codes; issuer match needs the company-level
-//! group assignment), so building a list is free of copies.
+//! group assignment), so building a list is free of copies. The records
+//! slice handed to [`Blocker::block`] may be any subset of a dataset — a
+//! shard, a delta batch — as long as side context (e.g. the security
+//! universe) stays addressable; blockers emit global record ids.
 
 use crate::candidates::{BlockingKind, CandidateSet};
-use crate::id_overlap::{id_overlap_companies, id_overlap_securities};
-use crate::issuer_match::issuer_match;
-use crate::sorted_neighborhood::{sorted_neighborhood, SortedNeighborhoodConfig};
-use crate::token_overlap::{token_overlap, TokenOverlapConfig};
-use gralmatch_records::{CompanyRecord, Record, RecordId, SecurityRecord};
-use gralmatch_util::FxHashMap;
+use gralmatch_records::Record;
+use gralmatch_util::WorkerPool;
 
-/// One blocking recipe step over records of type `R`.
-pub trait BlockingStrategy<R: Record>: Sync {
-    /// Provenance flag recorded for pairs this strategy proposes.
+/// Execution context handed to every blocker: the worker pool shared with
+/// the rest of the pipeline run, so parallel blockers (token overlap's
+/// per-record counting) scale with the same knob as pairwise inference.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockingContext {
+    /// Worker pool for parallel steps inside a blocker.
+    pub pool: WorkerPool,
+}
+
+impl BlockingContext {
+    /// Single-worker context (deterministic sequential execution).
+    pub fn sequential() -> Self {
+        BlockingContext {
+            pool: WorkerPool::new(1),
+        }
+    }
+
+    /// Context sharing an existing pool.
+    pub fn with_pool(pool: WorkerPool) -> Self {
+        BlockingContext { pool }
+    }
+}
+
+impl Default for BlockingContext {
+    fn default() -> Self {
+        BlockingContext::sequential()
+    }
+}
+
+/// One blocking strategy over records of type `R`.
+pub trait Blocker<R: Record>: Sync {
+    /// Provenance flag recorded for pairs this blocker proposes.
     fn kind(&self) -> BlockingKind;
 
     /// Short label for traces and diagnostics.
     fn name(&self) -> &'static str;
 
-    /// Propose candidate pairs into `out` (merging provenance on duplicates).
-    fn block(&self, records: &[R], out: &mut CandidateSet);
+    /// Whether the blocker is cheap enough (hash-join style, near-linear)
+    /// to re-run globally for cross-shard boundary candidates. Quadratic
+    /// text blockers keep the default `false` and stay shard-local.
+    fn cross_shard(&self) -> bool {
+        false
+    }
+
+    /// Propose candidate pairs from `records` into `out` (merging
+    /// provenance on duplicates). `records` need not be a full dataset;
+    /// emitted pairs carry the records' own (global) ids.
+    fn block(&self, records: &[R], ctx: &BlockingContext, out: &mut CandidateSet);
 }
 
-/// Fold a strategy list into one candidate set.
-pub fn run_strategies<R: Record>(
+/// Execute a recipe into one candidate set.
+///
+/// With a multi-worker context and more than one blocker, independent
+/// recipes run concurrently on the shared pool, each into a private set,
+/// merged (provenance-ORed) at the end — the merge is commutative, so the
+/// result is schedule-independent.
+pub fn run_blockers<R: Record + Sync>(
     records: &[R],
-    strategies: &[Box<dyn BlockingStrategy<R> + '_>],
+    blockers: &[Box<dyn Blocker<R> + '_>],
+    ctx: &BlockingContext,
 ) -> CandidateSet {
-    let mut out = CandidateSet::new();
-    for strategy in strategies {
-        strategy.block(records, &mut out);
-    }
-    out
-}
-
-/// Token-Overlap blocking (Table 2, blocking 2) for any record type.
-#[derive(Debug, Clone, Default)]
-pub struct TokenOverlap {
-    /// Top-n / DF-cut / overlap-floor parameters.
-    pub config: TokenOverlapConfig,
-}
-
-impl TokenOverlap {
-    /// Strategy with the given parameters.
-    pub fn new(config: TokenOverlapConfig) -> Self {
-        TokenOverlap { config }
-    }
-}
-
-impl<R: Record + Sync> BlockingStrategy<R> for TokenOverlap {
-    fn kind(&self) -> BlockingKind {
-        BlockingKind::TokenOverlap
-    }
-
-    fn name(&self) -> &'static str {
-        "token-overlap"
-    }
-
-    fn block(&self, records: &[R], out: &mut CandidateSet) {
-        token_overlap(records, &self.config, out);
-    }
-}
-
-/// ID-Overlap blocking for security records (shared identifier codes).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct SecurityIdOverlap;
-
-impl BlockingStrategy<SecurityRecord> for SecurityIdOverlap {
-    fn kind(&self) -> BlockingKind {
-        BlockingKind::IdOverlap
-    }
-
-    fn name(&self) -> &'static str {
-        "id-overlap"
-    }
-
-    fn block(&self, records: &[SecurityRecord], out: &mut CandidateSet) {
-        id_overlap_securities(records, out);
-    }
-}
-
-/// ID-Overlap blocking for companies, matching through the identifier codes
-/// of the securities each company issues (plus its own LEIs).
-#[derive(Debug, Clone, Copy)]
-pub struct CompanyIdOverlap<'a> {
-    /// The security universe the companies' `securities` ids point into.
-    pub securities: &'a [SecurityRecord],
-}
-
-impl BlockingStrategy<CompanyRecord> for CompanyIdOverlap<'_> {
-    fn kind(&self) -> BlockingKind {
-        BlockingKind::IdOverlap
-    }
-
-    fn name(&self) -> &'static str {
-        "id-overlap"
-    }
-
-    fn block(&self, records: &[CompanyRecord], out: &mut CandidateSet) {
-        id_overlap_companies(records, self.securities, out);
-    }
-}
-
-/// Issuer-Match blocking (securities only): securities of co-grouped
-/// issuers become candidates.
-#[derive(Debug, Clone, Copy)]
-pub struct IssuerMatch<'a> {
-    /// Company record id → matched-group id (output of a company matching).
-    pub company_group_of: &'a FxHashMap<RecordId, u32>,
-}
-
-impl BlockingStrategy<SecurityRecord> for IssuerMatch<'_> {
-    fn kind(&self) -> BlockingKind {
-        BlockingKind::IssuerMatch
-    }
-
-    fn name(&self) -> &'static str {
-        "issuer-match"
-    }
-
-    fn block(&self, records: &[SecurityRecord], out: &mut CandidateSet) {
-        issuer_match(records, self.company_group_of, out);
-    }
-}
-
-/// Sorted-neighborhood baseline (not part of the paper's recipes).
-#[derive(Debug, Clone, Default)]
-pub struct SortedNeighborhood {
-    /// Window parameters.
-    pub config: SortedNeighborhoodConfig,
-}
-
-impl<R: Record + Sync> BlockingStrategy<R> for SortedNeighborhood {
-    fn kind(&self) -> BlockingKind {
-        BlockingKind::SortedNeighborhood
-    }
-
-    fn name(&self) -> &'static str {
-        "sorted-neighborhood"
-    }
-
-    fn block(&self, records: &[R], out: &mut CandidateSet) {
-        sorted_neighborhood(records, &self.config, out);
+    if blockers.len() > 1 && ctx.pool.workers() > 1 {
+        let sets = ctx.pool.map(blockers, |blocker| {
+            let mut set = CandidateSet::new();
+            blocker.block(records, ctx, &mut set);
+            set
+        });
+        let mut out = CandidateSet::new();
+        for set in &sets {
+            out.merge(set);
+        }
+        out
+    } else {
+        let mut out = CandidateSet::new();
+        for blocker in blockers {
+            blocker.block(records, ctx, &mut out);
+        }
+        out
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gralmatch_records::{IdCode, IdKind, SourceId};
+    use crate::id_overlap::SecurityIdOverlap;
+    use crate::issuer_match::IssuerMatch;
+    use crate::token_overlap::TokenOverlap;
+    use gralmatch_records::{IdCode, IdKind, RecordId, SecurityRecord, SourceId};
+    use gralmatch_util::FxHashMap;
 
     fn security(id: u32, source: u16, issuer: u32, code: &str) -> SecurityRecord {
         SecurityRecord::new(RecordId(id), SourceId(source), "S ORD", RecordId(issuer))
             .with_code(IdCode::new(IdKind::Isin, code))
     }
 
+    fn recipe(groups: &FxHashMap<RecordId, u32>) -> Vec<Box<dyn Blocker<SecurityRecord> + '_>> {
+        vec![
+            Box::new(SecurityIdOverlap),
+            Box::new(IssuerMatch {
+                company_group_of: groups,
+            }),
+        ]
+    }
+
     #[test]
-    fn strategy_list_merges_provenance() {
+    fn blocker_list_merges_provenance() {
         let securities = vec![
             security(0, 0, 10, "AAA"),
             security(1, 1, 11, "AAA"),
@@ -175,36 +134,62 @@ mod tests {
         ];
         let groups: FxHashMap<RecordId, u32> =
             [(RecordId(10), 0), (RecordId(11), 0)].into_iter().collect();
-        let strategies: Vec<Box<dyn BlockingStrategy<SecurityRecord>>> = vec![
-            Box::new(SecurityIdOverlap),
-            Box::new(IssuerMatch {
-                company_group_of: &groups,
-            }),
-        ];
-        let candidates = run_strategies(&securities, &strategies);
+        let candidates = run_blockers(
+            &securities,
+            &recipe(&groups),
+            &BlockingContext::sequential(),
+        );
         let pair = gralmatch_records::RecordPair::new(RecordId(0), RecordId(1));
-        // Both strategies proposed (0,1): provenance carries both flags.
+        // Both blockers proposed (0,1): provenance carries both flags.
         assert!(candidates.from_blocking(pair, BlockingKind::IdOverlap));
         assert!(candidates.from_blocking(pair, BlockingKind::IssuerMatch));
         assert_eq!(candidates.len(), 1);
     }
 
     #[test]
-    fn empty_strategy_list_yields_empty_set() {
-        let securities = vec![security(0, 0, 10, "AAA")];
-        let strategies: Vec<Box<dyn BlockingStrategy<SecurityRecord>>> = Vec::new();
-        assert!(run_strategies(&securities, &strategies).is_empty());
+    fn concurrent_recipes_match_sequential() {
+        let securities: Vec<SecurityRecord> = (0..40)
+            .map(|i| security(i, (i % 4) as u16, 100 + i / 2, &format!("C{}", i / 2)))
+            .collect();
+        let groups: FxHashMap<RecordId, u32> =
+            (0..20).map(|g| (RecordId(100 + g), g % 7)).collect();
+        let sequential = run_blockers(
+            &securities,
+            &recipe(&groups),
+            &BlockingContext::sequential(),
+        );
+        let concurrent = run_blockers(
+            &securities,
+            &recipe(&groups),
+            &BlockingContext::with_pool(WorkerPool::new(4)),
+        );
+        assert_eq!(sequential.pairs_sorted(), concurrent.pairs_sorted());
+        for (pair, flags) in sequential.iter() {
+            assert_eq!(concurrent.provenance(pair), flags);
+        }
     }
 
     #[test]
-    fn names_and_kinds_align() {
+    fn empty_blocker_list_yields_empty_set() {
+        let securities = vec![security(0, 0, 10, "AAA")];
+        let blockers: Vec<Box<dyn Blocker<SecurityRecord>>> = Vec::new();
+        assert!(run_blockers(&securities, &blockers, &BlockingContext::sequential()).is_empty());
+    }
+
+    #[test]
+    fn names_kinds_and_scopes_align() {
         assert_eq!(
-            BlockingStrategy::<SecurityRecord>::kind(&SecurityIdOverlap),
+            Blocker::<SecurityRecord>::kind(&SecurityIdOverlap),
             BlockingKind::IdOverlap
         );
         assert_eq!(
-            BlockingStrategy::<SecurityRecord>::name(&TokenOverlap::default()),
+            Blocker::<SecurityRecord>::name(&TokenOverlap::default()),
             "token-overlap"
         );
+        // Identifier joins are cheap enough to cross shards; text is not.
+        assert!(Blocker::<SecurityRecord>::cross_shard(&SecurityIdOverlap));
+        assert!(!Blocker::<SecurityRecord>::cross_shard(
+            &TokenOverlap::default()
+        ));
     }
 }

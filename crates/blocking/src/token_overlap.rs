@@ -8,15 +8,20 @@
 //! "networks", "energy", geographic terms) are shared across unrelated
 //! companies.
 //!
-//! Implementation: an inverted token index. Tokens present in more than
-//! `max_token_df` records are skipped when *counting* overlaps (they blow up
-//! postings quadratically and carry no signal — the standard DF-cut used by
-//! set-similarity joins).
+//! Implementation: an inverted token index with the DF-cut applied while
+//! *building* it — tokens present in more than `max_token_df` records (they
+//! blow up postings quadratically and carry no signal — the standard cut
+//! used by set-similarity joins) never get a postings list allocated, and
+//! neither do singleton tokens, which cannot form a pair. The per-record
+//! overlap counting — the blocking stage's hot path on the securities-scale
+//! datasets — runs on the shared worker pool over stealable chunks, each
+//! worker reusing one scratch count map across the records it claims.
 
 use crate::candidates::{BlockingKind, CandidateSet};
+use crate::strategy::{Blocker, BlockingContext};
 use gralmatch_records::{Record, RecordId, RecordPair};
 use gralmatch_text::tokenize;
-use gralmatch_util::FxHashMap;
+use gralmatch_util::{FxHashMap, FxHashSet, WorkerPool};
 
 /// Token-overlap blocking parameters.
 #[derive(Debug, Clone)]
@@ -39,70 +44,123 @@ impl Default for TokenOverlapConfig {
     }
 }
 
-/// Run the blocking over any record collection.
-pub fn token_overlap<R: Record>(
+/// Token-Overlap blocking (Table 2, blocking 2) for any record type.
+#[derive(Debug, Clone, Default)]
+pub struct TokenOverlap {
+    /// Top-n / DF-cut / overlap-floor parameters.
+    pub config: TokenOverlapConfig,
+}
+
+impl TokenOverlap {
+    /// Strategy with the given parameters.
+    pub fn new(config: TokenOverlapConfig) -> Self {
+        TokenOverlap { config }
+    }
+}
+
+impl<R: Record + Sync> Blocker<R> for TokenOverlap {
+    fn kind(&self) -> BlockingKind {
+        BlockingKind::TokenOverlap
+    }
+
+    fn name(&self) -> &'static str {
+        "token-overlap"
+    }
+
+    fn block(&self, records: &[R], ctx: &BlockingContext, out: &mut CandidateSet) {
+        token_overlap_blocking(records, &self.config, &ctx.pool, out);
+    }
+}
+
+/// The blocking over any record slice (ids need not be dense — positions
+/// index the slice, emitted pairs carry the records' own ids).
+fn token_overlap_blocking<R: Record + Sync>(
     records: &[R],
     config: &TokenOverlapConfig,
+    pool: &WorkerPool,
     out: &mut CandidateSet,
 ) {
-    // Tokenize all records once.
-    let token_lists: Vec<Vec<String>> = records.iter().map(|r| tokenize(&r.full_text())).collect();
+    // Tokenize all records once (pure per record, so it parallelizes too).
+    let token_lists: Vec<Vec<String>> = pool.map(records, |r| tokenize(&r.full_text()));
 
-    // Build postings with dense token ids.
-    let mut token_ids: FxHashMap<&str, u32> = FxHashMap::default();
-    let mut postings: Vec<Vec<RecordId>> = Vec::new();
-    for (record, tokens) in records.iter().zip(&token_lists) {
-        let mut seen: gralmatch_util::FxHashSet<u32> = gralmatch_util::FxHashSet::default();
+    // Pass 1: document frequency per token (distinct tokens per record).
+    let mut df: FxHashMap<&str, u32> = FxHashMap::default();
+    let mut seen_text: FxHashSet<&str> = FxHashSet::default();
+    for tokens in &token_lists {
+        seen_text.clear();
         for token in tokens {
-            let next_id = postings.len() as u32;
-            let id = *token_ids.entry(token.as_str()).or_insert_with(|| next_id);
-            if id as usize == postings.len() {
-                postings.push(Vec::new());
-            }
-            if seen.insert(id) {
-                postings[id as usize].push(record.id());
+            if seen_text.insert(token.as_str()) {
+                *df.entry(token.as_str()).or_insert(0) += 1;
             }
         }
     }
 
-    // For each record, count token overlaps against postings.
-    let mut counts: FxHashMap<RecordId, usize> = FxHashMap::default();
-    for (record, tokens) in records.iter().zip(&token_lists) {
-        counts.clear();
-        let mut seen: gralmatch_util::FxHashSet<&str> = gralmatch_util::FxHashSet::default();
+    // Pass 2: postings with dense token ids, DF-cut applied at build time —
+    // stop tokens (df > cap) and singleton tokens (df < 2) are never
+    // materialized. `kept_tokens[i]` lists record i's distinct useful
+    // token ids so the counting pass needs no re-deduplication.
+    let mut token_ids: FxHashMap<&str, u32> = FxHashMap::default();
+    let mut postings: Vec<Vec<u32>> = Vec::new();
+    let mut kept_tokens: Vec<Vec<u32>> = Vec::with_capacity(records.len());
+    for (position, tokens) in token_lists.iter().enumerate() {
+        let mut kept: Vec<u32> = Vec::new();
+        let mut seen: FxHashSet<u32> = FxHashSet::default();
         for token in tokens {
-            if !seen.insert(token.as_str()) {
+            let frequency = df[token.as_str()] as usize;
+            if frequency < 2 || frequency > config.max_token_df {
                 continue;
             }
-            let Some(&token_id) = token_ids.get(token.as_str()) else {
-                continue;
-            };
-            let holders = &postings[token_id as usize];
-            if holders.len() > config.max_token_df {
-                continue;
+            let next_id = postings.len() as u32;
+            let id = *token_ids.entry(token.as_str()).or_insert(next_id);
+            if id as usize == postings.len() {
+                postings.push(Vec::with_capacity(frequency));
             }
-            for &other in holders {
-                if other == record.id() {
-                    continue;
-                }
-                if records[other.0 as usize].source() == record.source() {
-                    continue;
-                }
-                *counts.entry(other).or_insert(0) += 1;
+            if seen.insert(id) {
+                postings[id as usize].push(position as u32);
+                kept.push(id);
             }
         }
-        // Top-n by overlap count, ties broken by record id for determinism.
-        let mut ranked: Vec<(usize, RecordId)> = counts
-            .iter()
-            .filter(|(_, &count)| count >= config.min_overlap)
-            .map(|(&other, &count)| (count, other))
-            .collect();
-        ranked.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-        for &(_, other) in ranked.iter().take(config.top_n) {
-            out.add(
-                RecordPair::new(record.id(), other),
-                BlockingKind::TokenOverlap,
-            );
+        kept_tokens.push(kept);
+    }
+
+    // Pass 3 (the hot path): per-record overlap counting over stealable
+    // chunks; each worker reuses one scratch count map, and the per-record
+    // top-n pair lists are merged into `out` at the end.
+    let positions: Vec<u32> = (0..records.len() as u32).collect();
+    let per_record: Vec<Vec<RecordPair>> = pool.map_init(
+        &positions,
+        FxHashMap::<u32, usize>::default,
+        |counts, &position| {
+            counts.clear();
+            let record = &records[position as usize];
+            for &token_id in &kept_tokens[position as usize] {
+                for &other in &postings[token_id as usize] {
+                    if other == position {
+                        continue;
+                    }
+                    if records[other as usize].source() == record.source() {
+                        continue;
+                    }
+                    *counts.entry(other).or_insert(0) += 1;
+                }
+            }
+            // Top-n by overlap count, ties broken by record id for determinism.
+            let mut ranked: Vec<(usize, RecordId)> = counts
+                .iter()
+                .filter(|(_, &count)| count >= config.min_overlap)
+                .map(|(&other, &count)| (count, records[other as usize].id()))
+                .collect();
+            ranked.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            ranked
+                .iter()
+                .take(config.top_n)
+                .map(|&(_, other)| RecordPair::new(record.id(), other))
+                .collect()
+        },
+    );
+    for pairs in per_record {
+        for pair in pairs {
+            out.add(pair, BlockingKind::TokenOverlap);
         }
     }
 }
@@ -116,6 +174,12 @@ mod tests {
         CompanyRecord::new(RecordId(id), SourceId(source), name)
     }
 
+    fn run(records: &[CompanyRecord], config: &TokenOverlapConfig) -> CandidateSet {
+        let mut set = CandidateSet::new();
+        TokenOverlap::new(config.clone()).block(records, &BlockingContext::sequential(), &mut set);
+        set
+    }
+
     #[test]
     fn overlapping_names_become_candidates() {
         let records = vec![
@@ -123,8 +187,7 @@ mod tests {
             company(1, 1, "Crowdstrike Holdings Inc Austin"),
             company(2, 2, "Globex Paris Energy"),
         ];
-        let mut set = CandidateSet::new();
-        token_overlap(&records, &TokenOverlapConfig::default(), &mut set);
+        let set = run(&records, &TokenOverlapConfig::default());
         assert!(set.from_blocking(
             RecordPair::new(RecordId(0), RecordId(1)),
             BlockingKind::TokenOverlap
@@ -141,8 +204,7 @@ mod tests {
             company(0, 0, "Acme Energy Zurich"),
             company(1, 1, "Globex Energy Paris"),
         ];
-        let mut set = CandidateSet::new();
-        token_overlap(&records, &TokenOverlapConfig::default(), &mut set);
+        let set = run(&records, &TokenOverlapConfig::default());
         assert!(set.is_empty(), "one shared token is below min_overlap");
     }
 
@@ -152,8 +214,7 @@ mod tests {
             company(0, 0, "Acme Energy Zurich"),
             company(1, 0, "Acme Energy Zurich"),
         ];
-        let mut set = CandidateSet::new();
-        token_overlap(&records, &TokenOverlapConfig::default(), &mut set);
+        let set = run(&records, &TokenOverlapConfig::default());
         assert!(set.is_empty());
     }
 
@@ -172,8 +233,7 @@ mod tests {
             top_n: 3,
             ..TokenOverlapConfig::default()
         };
-        let mut set = CandidateSet::new();
-        token_overlap(&records, &config, &mut set);
+        let set = run(&records, &config);
         let involving_zero = set
             .pairs_sorted()
             .iter()
@@ -197,8 +257,7 @@ mod tests {
             min_overlap: 1,
             ..TokenOverlapConfig::default()
         };
-        let mut set = CandidateSet::new();
-        token_overlap(&records, &config, &mut set);
+        let set = run(&records, &config);
         assert!(set.is_empty());
     }
 
@@ -209,11 +268,46 @@ mod tests {
             company(1, 1, "Crowdstrike Holdings Austin"),
             company(2, 2, "Crowdstrike Platforms Austin Texas"),
         ];
-        let run = || {
-            let mut set = CandidateSet::new();
-            token_overlap(&records, &TokenOverlapConfig::default(), &mut set);
-            set.pairs_sorted()
-        };
-        assert_eq!(run(), run());
+        let once = run(&records, &TokenOverlapConfig::default()).pairs_sorted();
+        let twice = run(&records, &TokenOverlapConfig::default()).pairs_sorted();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn parallel_counting_matches_sequential() {
+        // Enough records that the pool actually chunks the counting pass.
+        let records: Vec<CompanyRecord> = (0..300)
+            .map(|i| {
+                company(
+                    i,
+                    (i % 4) as u16,
+                    &format!("Cluster{} Widget Systems Node{}", i % 30, i % 7),
+                )
+            })
+            .collect();
+        let sequential = run(&records, &TokenOverlapConfig::default());
+        let mut parallel = CandidateSet::new();
+        TokenOverlap::default().block(
+            &records,
+            &BlockingContext::with_pool(WorkerPool::new(4).with_chunk_size(16)),
+            &mut parallel,
+        );
+        assert_eq!(sequential.pairs_sorted(), parallel.pairs_sorted());
+    }
+
+    #[test]
+    fn works_on_sparse_id_slices() {
+        // A shard hands the blocker a slice whose ids are NOT 0..n; pairs
+        // must carry the records' own ids, indexed by slice position.
+        let records = vec![
+            company(17, 0, "Crowdstrike Holdings Austin"),
+            company(42, 1, "Crowdstrike Holdings Inc Austin"),
+            company(99, 2, "Globex Paris Energy"),
+        ];
+        let set = run(&records, &TokenOverlapConfig::default());
+        assert!(set.from_blocking(
+            RecordPair::new(RecordId(17), RecordId(42)),
+            BlockingKind::TokenOverlap
+        ));
     }
 }

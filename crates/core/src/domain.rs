@@ -14,7 +14,7 @@
 use crate::pipeline::{MatchingOutcome, PipelineConfig};
 use crate::stage::{StageContext, StagePipeline};
 use gralmatch_blocking::{
-    run_strategies, BlockingStrategy, CandidateSet, CompanyIdOverlap, IssuerMatch,
+    run_blockers, Blocker, BlockingContext, CandidateSet, CompanyIdOverlap, IssuerMatch,
     SecurityIdOverlap, TokenOverlap, TokenOverlapConfig,
 };
 use gralmatch_lm::{EncodedRecord, MatcherScorer, ModelSpec, PairScorer, PairwiseMatcher};
@@ -39,8 +39,8 @@ pub trait MatchingDomain {
     /// Ground truth used by the three-stage evaluation.
     fn ground_truth(&self) -> &GroundTruth;
 
-    /// The Table 2 blocking recipe as a strategy list.
-    fn blocking_strategies(&self) -> Vec<Box<dyn BlockingStrategy<Self::Rec> + '_>>;
+    /// The Table 2 blocking recipe as a [`Blocker`] list.
+    fn blocking_strategies(&self) -> Vec<Box<dyn Blocker<Self::Rec> + '_>>;
 
     /// Encode the records under a model spec's encoder.
     fn encode(&self, spec: ModelSpec) -> Vec<EncodedRecord> {
@@ -48,9 +48,14 @@ pub trait MatchingDomain {
     }
 }
 
-/// Run a domain's blocking recipe without the rest of the pipeline.
+/// Run a domain's blocking recipe without the rest of the pipeline
+/// (sequential; the staged engine parallelizes through its own context).
 pub fn blocked_candidates<D: MatchingDomain>(domain: &D) -> CandidateSet {
-    run_strategies(domain.records(), &domain.blocking_strategies())
+    run_blockers(
+        domain.records(),
+        &domain.blocking_strategies(),
+        &BlockingContext::sequential(),
+    )
 }
 
 /// Run the standard staged pipeline over a domain with any pair scorer.
@@ -125,7 +130,7 @@ impl MatchingDomain for CompanyDomain<'_> {
             .get_or_init(|| GroundTruth::from_records(self.companies))
     }
 
-    fn blocking_strategies(&self) -> Vec<Box<dyn BlockingStrategy<CompanyRecord> + '_>> {
+    fn blocking_strategies(&self) -> Vec<Box<dyn Blocker<CompanyRecord> + '_>> {
         vec![
             Box::new(CompanyIdOverlap {
                 securities: self.securities,
@@ -175,7 +180,7 @@ impl MatchingDomain for SecurityDomain<'_> {
             .get_or_init(|| GroundTruth::from_records(self.securities))
     }
 
-    fn blocking_strategies(&self) -> Vec<Box<dyn BlockingStrategy<SecurityRecord> + '_>> {
+    fn blocking_strategies(&self) -> Vec<Box<dyn Blocker<SecurityRecord> + '_>> {
         vec![
             Box::new(SecurityIdOverlap),
             Box::new(IssuerMatch {
@@ -226,7 +231,7 @@ impl MatchingDomain for ProductDomain<'_> {
             .get_or_init(|| GroundTruth::from_records(self.products))
     }
 
-    fn blocking_strategies(&self) -> Vec<Box<dyn BlockingStrategy<ProductRecord> + '_>> {
+    fn blocking_strategies(&self) -> Vec<Box<dyn Blocker<ProductRecord> + '_>> {
         vec![Box::new(TokenOverlap::new(self.token_config.clone()))]
     }
 }

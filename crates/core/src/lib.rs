@@ -2,23 +2,24 @@
 //!
 //! The paper's primary contribution, end to end (Figure 1), as a
 //! **domain-generic staged execution engine**: a
-//! [`MatchingDomain`](domain::MatchingDomain) (companies, securities,
+//! [`MatchingDomain`] (companies, securities,
 //! products, or any future workload) plugs its records, ground truth, and
 //! declarative blocking-strategy list into the
-//! [`StagePipeline`](stage::StagePipeline), which drives blocking →
+//! [`StagePipeline`], which drives blocking →
 //! pairwise matching → **GraLMatch Graph Cleanup** (pre-cleanup +
 //! Algorithm 1: minimum edge cuts above γ, max-betweenness edge removal
 //! above μ) → entity groups, with per-stage diagnostics in a
-//! [`PipelineTrace`](trace::PipelineTrace) and the three-stage evaluation
+//! [`PipelineTrace`] and the three-stage evaluation
 //! protocol (pairwise / pre-cleanup / post-cleanup) with Cluster Purity.
 //!
 //! * [`domain`] — the `MatchingDomain` trait + the three paper domains,
 //! * [`stage`] — the `Stage` trait, context, and the execution engine,
+//! * [`shard`] — hash-partitioned sharded execution + the merge stage,
 //! * [`trace`] — unified per-stage wall-clock/throughput/memory reporting,
 //! * [`groups`] — prediction graph, components, closure counting,
 //! * [`cleanup`] — Algorithm 1 + pre-cleanup + sensitivity variants,
 //! * [`metrics`] — pairwise & group metrics, Cluster Purity,
-//! * [`pipeline`] — config, outcome, oracle scorers, deprecated shims.
+//! * [`pipeline`] — config, outcome, oracle scorers.
 
 pub mod adaptive;
 pub mod calibration;
@@ -30,6 +31,7 @@ pub mod groups;
 pub mod label_propagation;
 pub mod metrics;
 pub mod pipeline;
+pub mod shard;
 pub mod stage;
 pub mod trace;
 
@@ -47,14 +49,10 @@ pub use domain::{
 pub use groups::{count_group_pairs, entity_groups, group_assignment, prediction_graph};
 pub use label_propagation::{label_propagation_groups, LabelPropagationConfig};
 pub use metrics::{group_metrics, pairwise_metrics, GroupMetrics, PairMetrics};
-#[allow(deprecated)]
-pub use pipeline::{
-    company_candidates, product_candidates, run_pipeline, run_pipeline_with_oracle,
-    security_candidates,
-};
 pub use pipeline::{
     run_with_candidates, MatchingOutcome, OracleMatcher, OracleScorer, PipelineConfig,
 };
+pub use shard::{run_sharded, MergeResult, MergeStage, ShardKey, ShardPlan, ShardedOutcome};
 pub use stage::{
     BlockingStage, CleanupStage, GroupingStage, InferenceStage, Stage, StageContext, StagePipeline,
     StageStats,

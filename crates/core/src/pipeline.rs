@@ -1,17 +1,17 @@
-//! Pipeline configuration, outcome, and the legacy free-function shims.
+//! Pipeline configuration, outcome, and the oracle scorers.
 //!
 //! The end-to-end pipeline (paper Figure 1) is a **domain-generic staged
 //! engine**: a [`MatchingDomain`](crate::domain::MatchingDomain) supplies
 //! records, ground truth, and a declarative
-//! [`BlockingStrategy`](gralmatch_blocking::BlockingStrategy) list, and the
-//! [`StagePipeline`](crate::stage::StagePipeline) drives
+//! [`Blocker`](gralmatch_blocking::Blocker) list, and the
+//! [`StagePipeline`] drives
 //!
 //! ```text
 //! BlockingStage → InferenceStage → CleanupStage → GroupingStage
 //! ```
 //!
 //! over a shared context, recording wall-clock / throughput / memory per
-//! stage into a [`PipelineTrace`](crate::trace::PipelineTrace). The usual
+//! stage into a [`PipelineTrace`]. The usual
 //! entry points are [`run_domain`](crate::domain::run_domain) /
 //! [`run_domain_with_matcher`](crate::domain::run_domain_with_matcher) with
 //! one of the paper domains ([`CompanyDomain`](crate::domain::CompanyDomain),
@@ -21,21 +21,18 @@
 //! groups of Table 4) in a [`MatchingOutcome`].
 //!
 //! This module keeps the engine-independent pieces — [`PipelineConfig`],
-//! [`MatchingOutcome`], the oracle scorers — plus thin `#[deprecated]`
-//! shims for the pre-engine free functions (`company_candidates`,
-//! `run_pipeline`, …) for one release.
+//! [`MatchingOutcome`], the oracle scorers. (The pre-engine free-function
+//! shims — `company_candidates`, `run_pipeline`, … — served their one
+//! deprecation release and are gone; use the domain/engine entry points.)
 
 use crate::cleanup::{CleanupConfig, CleanupReport};
-use crate::domain::{blocked_candidates, CompanyDomain, ProductDomain, SecurityDomain};
 use crate::metrics::{GroupMetrics, PairMetrics};
 use crate::stage::{StageContext, StagePipeline};
 use crate::trace::PipelineTrace;
-use gralmatch_blocking::{CandidateSet, TokenOverlapConfig};
-use gralmatch_lm::{EncodedRecord, MatcherScorer, PairScorer, PairwiseMatcher};
-use gralmatch_records::{
-    CompanyRecord, GroundTruth, ProductRecord, RecordId, RecordPair, SecurityRecord,
-};
-use gralmatch_util::{Error, FxHashMap, FxHashSet, Parallelism};
+use gralmatch_blocking::CandidateSet;
+use gralmatch_lm::PairScorer;
+use gralmatch_records::{GroundTruth, RecordId, RecordPair};
+use gralmatch_util::{Error, FxHashSet, Parallelism};
 
 /// Pipeline knobs (γ/μ per Table 2, parallelism, pre-cleanup).
 #[derive(Debug, Clone)]
@@ -201,89 +198,18 @@ impl PairScorer for OracleScorer<'_> {
     }
 }
 
-// --- Deprecated pre-engine shims ----------------------------------------
-
-/// Blocking for the companies datasets: ID Overlap (through securities) +
-/// Token Overlap (Table 2).
-#[deprecated(note = "use `CompanyDomain` with `blocked_candidates` (or the stage pipeline)")]
-pub fn company_candidates(
-    companies: &[CompanyRecord],
-    securities: &[SecurityRecord],
-    token_config: &TokenOverlapConfig,
-) -> CandidateSet {
-    blocked_candidates(
-        &CompanyDomain::new(companies, securities).with_token_config(token_config.clone()),
-    )
-}
-
-/// Blocking for the securities datasets: ID Overlap + Issuer Match, the
-/// latter fed by the company matching's group assignment (Table 2).
-#[deprecated(note = "use `SecurityDomain` with `blocked_candidates` (or the stage pipeline)")]
-pub fn security_candidates(
-    securities: &[SecurityRecord],
-    company_group_of: &FxHashMap<RecordId, u32>,
-) -> CandidateSet {
-    blocked_candidates(&SecurityDomain::new(securities, company_group_of))
-}
-
-/// Blocking for WDC-style products: Token Overlap only (Table 2).
-#[deprecated(note = "use `ProductDomain` with `blocked_candidates` (or the stage pipeline)")]
-pub fn product_candidates(
-    products: &[ProductRecord],
-    token_config: &TokenOverlapConfig,
-) -> CandidateSet {
-    blocked_candidates(&ProductDomain::new(products).with_token_config(token_config.clone()))
-}
-
-/// Run pairwise matching + cleanup + evaluation over a candidate set.
-#[deprecated(note = "use `run_domain_with_matcher` or `run_with_candidates`")]
-pub fn run_pipeline<M: PairwiseMatcher>(
-    num_records: usize,
-    candidates: &CandidateSet,
-    matcher: &M,
-    encoded: &[EncodedRecord],
-    gt: &GroundTruth,
-    config: &PipelineConfig,
-) -> MatchingOutcome {
-    run_with_candidates(
-        num_records,
-        candidates,
-        &MatcherScorer::new(matcher, encoded),
-        gt,
-        config,
-    )
-    .expect("seeded candidates satisfy all stage preconditions")
-}
-
-/// Run the pipeline with an oracle pairwise decision (ground truth with
-/// optional flipped pairs) — bypasses the matcher interface.
-///
-/// Note one unification relative to the pre-engine implementation: the
-/// engine's pre-cleanup removability predicate is the one the trained
-/// pipeline always used (`TokenOverlap`-sourced and not protected by an
-/// identifier blocking) instead of the oracle path's old
-/// `only_from(TokenOverlap)`. The two differ only for pairs additionally
-/// tagged `SortedNeighborhood`, which no paper recipe produces.
-#[deprecated(note = "use `run_with_candidates` with `OracleMatcher::scorer`")]
-pub fn run_pipeline_with_oracle(
-    num_records: usize,
-    candidates: &CandidateSet,
-    oracle: &OracleMatcher<'_>,
-    gt: &GroundTruth,
-    config: &PipelineConfig,
-) -> MatchingOutcome {
-    run_with_candidates(num_records, candidates, &oracle.scorer(), gt, config)
-        .expect("seeded candidates satisfy all stage preconditions")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::domain::{run_domain, run_domain_with_matcher, MatchingDomain};
+    use crate::domain::{
+        blocked_candidates, run_domain, run_domain_with_matcher, CompanyDomain, MatchingDomain,
+        SecurityDomain,
+    };
     use crate::trace::stage_names;
     use gralmatch_datagen::{generate, GenerationConfig};
     use gralmatch_lm::ModelSpec;
     use gralmatch_records::Record;
+    use gralmatch_util::FxHashMap;
 
     fn dataset() -> gralmatch_datagen::FinancialDataset {
         let mut config = GenerationConfig::synthetic_full();
@@ -398,34 +324,26 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_engine_results() {
+    fn seeded_candidates_match_engine_results() {
+        // `run_with_candidates` over a domain's blocked set must agree with
+        // the engine running blocking itself (cached-blocking contract).
         let data = dataset();
         let companies = data.companies.records();
         let gt = data.companies.ground_truth();
         let config = PipelineConfig::new(25, 5).with_pre_cleanup(50);
 
         let domain = CompanyDomain::new(companies, data.securities.records());
-        let engine_candidates = blocked_candidates(&domain);
-        let shim_candidates = company_candidates(
-            companies,
-            data.securities.records(),
-            &TokenOverlapConfig::default(),
-        );
-        assert_eq!(
-            engine_candidates.pairs_sorted(),
-            shim_candidates.pairs_sorted()
-        );
-
+        let candidates = blocked_candidates(&domain);
         let oracle = OracleMatcher::new(&gt);
-        let via_shim =
-            run_pipeline_with_oracle(companies.len(), &shim_candidates, &oracle, &gt, &config);
+        let via_seeded =
+            run_with_candidates(companies.len(), &candidates, &oracle.scorer(), &gt, &config)
+                .unwrap();
         let via_engine = run_domain(&domain, &oracle.scorer(), &config).unwrap();
-        assert_eq!(via_shim.num_candidates, via_engine.num_candidates);
-        assert_eq!(via_shim.num_predicted, via_engine.num_predicted);
-        assert_eq!(via_shim.pairwise, via_engine.pairwise);
+        assert_eq!(via_seeded.num_candidates, via_engine.num_candidates);
+        assert_eq!(via_seeded.num_predicted, via_engine.num_predicted);
+        assert_eq!(via_seeded.pairwise, via_engine.pairwise);
         assert_eq!(
-            via_shim.post_cleanup.pairs.f1,
+            via_seeded.post_cleanup.pairs.f1,
             via_engine.post_cleanup.pairs.f1
         );
     }

@@ -4,17 +4,17 @@
 //! [`StageContext`]: each stage consumes upstream artifacts from the
 //! context (candidate set, predictions, prediction graph) and deposits its
 //! own, while the engine records wall-clock, item counts, and resident-set
-//! deltas into a [`PipelineTrace`](crate::trace::PipelineTrace). The
+//! deltas into a [`PipelineTrace`]. The
 //! standard lineup is
 //!
 //! ```text
 //! BlockingStage<D> → InferenceStage → CleanupStage → GroupingStage
 //! ```
 //!
-//! where `D` is any [`MatchingDomain`](crate::domain::MatchingDomain) —
+//! where `D` is any [`MatchingDomain`] —
 //! the only domain-aware stage is blocking; everything downstream operates
 //! on ids. Callers with precomputed candidates (streaming upserts, cached
-//! blockings, the deprecated free-function shims) seed
+//! blockings, the sharded pipeline's per-shard runs) seed
 //! [`StageContext::candidates`] and run [`StagePipeline::post_blocking`]
 //! instead.
 
@@ -24,7 +24,7 @@ use crate::groups::{entity_groups, prediction_graph};
 use crate::metrics::{group_metrics, pairwise_metrics, GroupMetrics, PairMetrics};
 use crate::pipeline::PipelineConfig;
 use crate::trace::{stage_names, PipelineTrace, StageTrace};
-use gralmatch_blocking::{run_strategies, BlockingKind, CandidateSet};
+use gralmatch_blocking::{run_blockers, BlockingContext, BlockingKind, CandidateSet};
 use gralmatch_graph::Graph;
 use gralmatch_lm::{predict_positive_with, PairScorer};
 use gralmatch_records::{GroundTruth, RecordId, RecordPair};
@@ -139,8 +139,11 @@ pub trait Stage {
     fn run(&self, ctx: &mut StageContext<'_>) -> Result<StageStats, Error>;
 }
 
-/// Candidate generation: folds the domain's declarative blocking-strategy
-/// list into a provenance-tagged candidate set.
+/// Candidate generation: folds the domain's declarative
+/// [`Blocker`](gralmatch_blocking::Blocker) list into a provenance-tagged candidate
+/// set. Independent recipes run concurrently on the run's shared worker
+/// pool, and parallel blockers (token overlap's per-record counting) scale
+/// through the same pool.
 pub struct BlockingStage<'d, D: MatchingDomain> {
     domain: &'d D,
 }
@@ -160,7 +163,8 @@ impl<D: MatchingDomain> Stage for BlockingStage<'_, D> {
     fn run(&self, ctx: &mut StageContext<'_>) -> Result<StageStats, Error> {
         let records = self.domain.records();
         let strategies = self.domain.blocking_strategies();
-        let candidates = run_strategies(records, &strategies);
+        let pool = ctx.pool_for(records.len());
+        let candidates = run_blockers(records, &strategies, &BlockingContext::with_pool(pool));
         ctx.num_candidates = candidates.len();
         ctx.candidates = Some(Cow::Owned(candidates));
         Ok(StageStats {

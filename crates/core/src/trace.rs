@@ -18,6 +18,9 @@ pub mod stage_names {
     pub const CLEANUP: &str = "cleanup";
     /// Connected components → entity groups.
     pub const GROUPING: &str = "grouping";
+    /// Cross-shard merge (sharded pipelines only): boundary blocking +
+    /// scoring, component union, boundary cleanup.
+    pub const MERGE: &str = "merge";
 }
 
 /// Diagnostics of one executed stage.
@@ -62,6 +65,36 @@ impl PipelineTrace {
     /// Record a finished stage.
     pub fn push(&mut self, stage: StageTrace) {
         self.stages.push(stage);
+    }
+
+    /// Roll several traces (e.g. one per shard) up into one: same-named
+    /// stages are summed — seconds, item counts, RSS deltas, and core
+    /// timings — in first-appearance order, so a sharded run reports one
+    /// aggregate line per stage like an unsharded run does.
+    pub fn rolled_up(traces: &[PipelineTrace]) -> PipelineTrace {
+        let mut rolled = PipelineTrace::default();
+        for trace in traces {
+            for stage in &trace.stages {
+                match rolled.stages.iter_mut().find(|s| s.stage == stage.stage) {
+                    Some(existing) => {
+                        existing.seconds += stage.seconds;
+                        existing.items_in += stage.items_in;
+                        existing.items_out += stage.items_out;
+                        existing.rss_delta_bytes =
+                            match (existing.rss_delta_bytes, stage.rss_delta_bytes) {
+                                (Some(a), Some(b)) => Some(a + b),
+                                (a, b) => a.or(b),
+                            };
+                        existing.core_seconds = match (existing.core_seconds, stage.core_seconds) {
+                            (Some(a), Some(b)) => Some(a + b),
+                            (a, b) => a.or(b),
+                        };
+                    }
+                    None => rolled.stages.push(stage.clone()),
+                }
+            }
+        }
+        rolled
     }
 
     /// Total wall-clock seconds across all stages.
@@ -160,6 +193,22 @@ mod tests {
             core_seconds: None,
         };
         assert_eq!(instant.throughput(), 0.0);
+    }
+
+    #[test]
+    fn rolled_up_sums_same_named_stages() {
+        let shard_a = sample();
+        let shard_b = sample();
+        let rolled = PipelineTrace::rolled_up(&[shard_a, shard_b]);
+        assert_eq!(rolled.stages.len(), 2, "one aggregate line per stage");
+        let blocking = rolled.stage(stage_names::BLOCKING).unwrap();
+        assert!((blocking.seconds - 1.0).abs() < 1e-12);
+        assert_eq!(blocking.items_in, 200);
+        assert_eq!(blocking.rss_delta_bytes, Some(2 << 20));
+        let inference = rolled.stage(stage_names::INFERENCE).unwrap();
+        assert_eq!(inference.core_seconds, Some(3.0));
+        // Order is first-appearance: blocking before inference.
+        assert_eq!(rolled.stages[0].stage, stage_names::BLOCKING);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! Artifacts operate on drafts (cheap field mutation, index-based
 //! cross-references); materialization then shuffles the drafts, assigns
-//! dense [`RecordId`]s, resolves references, and produces the immutable
+//! dense [`RecordId`](gralmatch_records::RecordId)s, resolves references, and produces the immutable
 //! datasets.
 
 use gralmatch_records::{IdCode, SecurityType, SourceId};

@@ -16,17 +16,16 @@
 //! * [`score_pairs_with`] / [`predict_positive_with`] — pool-driven batch
 //!   scoring used by the pipeline's inference stage.
 //!
-//! The legacy `threads: usize` entry points remain as deprecated shims.
-//! Their historical bug — silently scoring sequentially below
-//! [`SEQUENTIAL_CUTOFF`](gralmatch_util::SEQUENTIAL_CUTOFF) pairs even when
-//! the caller explicitly asked for workers — is fixed: an explicit thread
-//! count now maps to [`Parallelism::Fixed`], which always parallelizes;
-//! only [`Parallelism::Auto`] applies the small-input heuristic.
+//! (The legacy `threads: usize` entry points served their one deprecation
+//! release and are gone; size a [`WorkerPool`] through
+//! [`Parallelism`](gralmatch_util::Parallelism) instead — an explicit
+//! worker count maps to `Parallelism::Fixed`, which always parallelizes;
+//! only `Parallelism::Auto` applies the small-input heuristic.)
 
 use crate::encode::EncodedRecord;
 use crate::matcher::PairwiseMatcher;
 use gralmatch_records::RecordPair;
-use gralmatch_util::{Parallelism, WorkerPool};
+use gralmatch_util::WorkerPool;
 
 /// A scored candidate pair.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -107,44 +106,6 @@ pub fn predict_positive_with(
         .collect()
 }
 
-fn legacy_pool(threads: usize) -> WorkerPool {
-    // An explicit thread count maps to `Parallelism::Fixed`, which always
-    // parallelizes — fixing the old silent sequential fallback for small
-    // inputs (see the module docs).
-    Parallelism::Fixed(threads).pool_for(0)
-}
-
-/// Score all pairs with `threads` worker threads (1 = sequential).
-/// Output order matches input order.
-#[deprecated(note = "use `score_pairs_with` with a `WorkerPool` (or the stage pipeline)")]
-pub fn score_pairs<M: PairwiseMatcher>(
-    matcher: &M,
-    encoded: &[EncodedRecord],
-    pairs: &[RecordPair],
-    threads: usize,
-) -> Vec<ScoredPair> {
-    score_pairs_with(
-        &MatcherScorer::new(matcher, encoded),
-        pairs,
-        &legacy_pool(threads),
-    )
-}
-
-/// Score all pairs and keep the positively predicted ones.
-#[deprecated(note = "use `predict_positive_with` with a `WorkerPool` (or the stage pipeline)")]
-pub fn predict_positive<M: PairwiseMatcher>(
-    matcher: &M,
-    encoded: &[EncodedRecord],
-    pairs: &[RecordPair],
-    threads: usize,
-) -> Vec<RecordPair> {
-    predict_positive_with(
-        &MatcherScorer::new(matcher, encoded),
-        pairs,
-        &legacy_pool(threads),
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,18 +183,17 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_shims_agree_with_pool_api() {
+    fn explicit_workers_parallelize_below_cutoff() {
+        // A `Parallelism::Fixed` pool parallelizes even tiny inputs and
+        // agrees with the sequential result exactly.
         let (streams, pairs) = setup();
         let matcher = HeuristicMatcher::default();
         let scorer = MatcherScorer::new(&matcher, &streams);
-        let via_pool = score_pairs_with(&scorer, &pairs, &WorkerPool::new(2));
-        // threads > 1 now parallelizes even below the cutoff (the old code
-        // silently went sequential here); results must be identical either way.
-        let via_legacy = score_pairs(&matcher, &streams, &pairs, 2);
-        assert_eq!(via_pool, via_legacy);
-        let positives = predict_positive(&matcher, &streams, &pairs, 1);
-        assert_eq!(positives, vec![RecordPair::new(RecordId(0), RecordId(1))]);
+        let fixed = gralmatch_util::Parallelism::Fixed(2).pool_for(pairs.len());
+        assert_eq!(fixed.workers(), 2);
+        let via_pool = score_pairs_with(&scorer, &pairs, &fixed);
+        let via_sequential = score_pairs_with(&scorer, &pairs, &WorkerPool::new(1));
+        assert_eq!(via_pool, via_sequential);
     }
 
     #[test]

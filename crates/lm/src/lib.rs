@@ -29,8 +29,6 @@ pub mod trainer;
 pub use active::{active_learning_loop, ActiveConfig, QueryStrategy, RoundReport};
 pub use encode::{encode_dataset, DittoEncoder, EncodedRecord, PairEncoder, PlainEncoder};
 pub use features::{featurize, FeatureConfig, PairFeatures};
-#[allow(deprecated)]
-pub use inference::{predict_positive, score_pairs};
 pub use inference::{
     predict_positive_with, score_pairs_with, MatcherScorer, PairScorer, ScoredPair,
 };

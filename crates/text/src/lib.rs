@@ -3,7 +3,7 @@
 //! The pairwise matcher and the token-overlap blocking both view records as
 //! text. This crate provides the shared machinery:
 //!
-//! * [`tokenize`] — lowercase alphanumeric word tokenization,
+//! * [`tokenize()`] — lowercase alphanumeric word tokenization,
 //! * [`similarity`] — Levenshtein, Jaro(-Winkler), Jaccard, n-gram Dice,
 //! * [`Vocabulary`] — corpus token dictionary with document frequencies,
 //! * [`TfIdf`] — TF-IDF weighting with cosine similarity,

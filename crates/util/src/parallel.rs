@@ -111,8 +111,25 @@ impl WorkerPool {
         U: Send,
         F: Fn(&T) -> U + Sync,
     {
+        self.map_init(items, || (), move |(), item| f(item))
+    }
+
+    /// Like [`WorkerPool::map`], but each worker thread builds one scratch
+    /// state with `init` and reuses it across every chunk it steals —
+    /// `f(&mut state, item)` can keep allocations (hash maps, buffers)
+    /// alive for the whole run instead of paying per item. Output order
+    /// matches input order; the per-worker states are dropped at the end,
+    /// so `f` must fold everything it wants to keep into its return value.
+    pub fn map_init<T, U, S, I, F>(&self, items: &[T], init: I, f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, &T) -> U + Sync,
+    {
         if self.workers == 1 || items.len() < 2 {
-            return items.iter().map(f).collect();
+            let mut state = init();
+            return items.iter().map(|item| f(&mut state, item)).collect();
         }
 
         // Honor multi-worker pools even for inputs smaller than the default
@@ -126,6 +143,7 @@ impl WorkerPool {
         let workers = self.workers.min(num_chunks);
         let cursor = AtomicUsize::new(0);
         let f = &f;
+        let init = &init;
 
         let mut tagged: Vec<(usize, Vec<U>)> = Vec::with_capacity(num_chunks);
         std::thread::scope(|scope| {
@@ -133,6 +151,7 @@ impl WorkerPool {
             for _ in 0..workers {
                 let cursor = &cursor;
                 handles.push(scope.spawn(move || {
+                    let mut state = init();
                     let mut produced: Vec<(usize, Vec<U>)> = Vec::new();
                     loop {
                         let index = cursor.fetch_add(1, Ordering::Relaxed);
@@ -141,7 +160,13 @@ impl WorkerPool {
                         }
                         let start = index * chunk_size;
                         let end = (start + chunk_size).min(items.len());
-                        produced.push((index, items[start..end].iter().map(f).collect()));
+                        produced.push((
+                            index,
+                            items[start..end]
+                                .iter()
+                                .map(|item| f(&mut state, item))
+                                .collect(),
+                        ));
                     }
                 }));
             }
@@ -209,6 +234,47 @@ mod tests {
         // The explicit override is honored even below the cutoff.
         assert_eq!(Parallelism::Fixed(3).worker_count(10), 3);
         assert_eq!(Parallelism::Fixed(0).worker_count(10), 1);
+    }
+
+    #[test]
+    fn map_init_reuses_state_within_workers() {
+        // The scratch buffer must survive across chunks: count how many
+        // items each state instance saw — total must equal the input size,
+        // and with 4 workers at most 4 states are ever built.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let states = AtomicUsize::new(0);
+        let items: Vec<u64> = (0..10_000).collect();
+        let pool = WorkerPool::new(4).with_chunk_size(128);
+        let out = pool.map_init(
+            &items,
+            || {
+                states.fetch_add(1, Ordering::Relaxed);
+                Vec::<u64>::new()
+            },
+            |scratch, &x| {
+                scratch.clear();
+                scratch.push(x);
+                scratch[0] * 2
+            },
+        );
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        assert!(states.load(Ordering::Relaxed) <= 4);
+    }
+
+    #[test]
+    fn map_init_sequential_single_state() {
+        let items: Vec<u32> = (0..10).collect();
+        let pool = WorkerPool::new(1);
+        // The sequential path threads one state through all items.
+        let out = pool.map_init(
+            &items,
+            || 0u32,
+            |seen, &x| {
+                *seen += 1;
+                (x, *seen)
+            },
+        );
+        assert_eq!(out.last(), Some(&(9, 10)));
     }
 
     #[test]

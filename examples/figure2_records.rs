@@ -8,7 +8,9 @@
 //!
 //! Run with: `cargo run --example figure2_records --release`
 
-use gralmatch::blocking::{id_overlap_securities, BlockingKind, CandidateSet};
+use gralmatch::blocking::{
+    Blocker, BlockingContext, BlockingKind, CandidateSet, SecurityIdOverlap,
+};
 use gralmatch::records::{
     CompanyRecord, EntityId, IdCode, IdKind, RecordId, SecurityRecord, SourceId,
 };
@@ -48,7 +50,7 @@ fn main() {
     ];
 
     let mut candidates = CandidateSet::new();
-    id_overlap_securities(&securities, &mut candidates);
+    SecurityIdOverlap.block(&securities, &BlockingContext::sequential(), &mut candidates);
 
     println!("ID-overlap candidate security pairs (Figure 2's colored links):");
     for pair in candidates.pairs_sorted() {

@@ -44,7 +44,7 @@ fn small_setup() -> (
 }
 
 /// Drive the post-blocking stages with a custom matcher over a candidate
-/// set (the engine path the old `run_pipeline` free function wrapped).
+/// set (the cached-blocking engine path, `run_with_candidates`).
 fn run_matching<M: PairwiseMatcher>(
     num_records: usize,
     candidates: &CandidateSet,

@@ -1,0 +1,164 @@
+//! Property test: sharded execution is transparent.
+//!
+//! For seeded random datasets, running the pipeline through a
+//! [`ShardPlan`](gralmatch::core::ShardPlan) with the entity-keyed
+//! partition (shards ∈ {2, 4, 8}) must produce the **same final groups**
+//! as the unsharded pipeline — sharding is an execution strategy, not a
+//! semantics change. The offline build has no `proptest`, so cases are
+//! deterministic seeded instances (the seed is printed in every assertion
+//! message).
+
+use gralmatch::core::{
+    run_domain, run_sharded, CompanyDomain, MatchingDomain, OracleScorer, PipelineConfig,
+    SecurityDomain, ShardPlan,
+};
+use gralmatch::datagen::{generate, FinancialDataset, GenerationConfig};
+use gralmatch::records::{Record, RecordId};
+use gralmatch::util::FxHashMap;
+
+const SHARD_COUNTS: [usize; 3] = [2, 4, 8];
+
+fn dataset(seed: u64) -> FinancialDataset {
+    let mut config = GenerationConfig::synthetic_full();
+    config.num_entities = 100;
+    config.seed = seed;
+    generate(&config).unwrap()
+}
+
+/// Order-insensitive normal form: sorted members, groups sorted.
+fn normalize(groups: &[Vec<RecordId>]) -> Vec<Vec<RecordId>> {
+    let mut out: Vec<Vec<RecordId>> = groups
+        .iter()
+        .map(|group| {
+            let mut g = group.clone();
+            g.sort_unstable();
+            g
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn sharded_security_pipeline_matches_unsharded_groups() {
+    for seed in [3u64, 11, 29] {
+        let data = dataset(seed);
+        let securities = data.securities.records();
+        // Perfect company grouping as issuer-match input.
+        let mut group_of: FxHashMap<RecordId, u32> = FxHashMap::default();
+        for company in data.companies.records() {
+            group_of.insert(company.id(), company.entity().unwrap().0);
+        }
+        let domain = SecurityDomain::new(securities, &group_of);
+        let gt = domain.ground_truth().clone();
+        let scorer = OracleScorer::new(&gt);
+        let config = PipelineConfig::new(25, 5);
+        let unsharded = run_domain(&domain, &scorer, &config).unwrap();
+
+        for shards in SHARD_COUNTS {
+            let sharded = run_sharded(&domain, &scorer, &config, &ShardPlan::new(shards)).unwrap();
+            assert_eq!(
+                normalize(&sharded.outcome.groups),
+                normalize(&unsharded.groups),
+                "seed {seed}, {shards} shards: final groups diverged"
+            );
+            assert_eq!(
+                sharded.outcome.pairwise, unsharded.pairwise,
+                "seed {seed}, {shards} shards"
+            );
+            assert_eq!(
+                sharded.outcome.post_cleanup.pairs.f1, unsharded.post_cleanup.pairs.f1,
+                "seed {seed}, {shards} shards"
+            );
+            assert_eq!(
+                sharded.outcome.post_cleanup.cluster_purity, unsharded.post_cleanup.cluster_purity,
+                "seed {seed}, {shards} shards"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_company_pipeline_matches_unsharded_groups() {
+    for seed in [5u64, 17] {
+        let data = dataset(seed);
+        let companies = data.companies.records();
+        let domain = CompanyDomain::new(companies, data.securities.records());
+        let gt = domain.ground_truth().clone();
+        let scorer = OracleScorer::new(&gt);
+        let config = PipelineConfig::new(25, 5).with_pre_cleanup(50);
+        let unsharded = run_domain(&domain, &scorer, &config).unwrap();
+
+        for shards in SHARD_COUNTS {
+            let sharded = run_sharded(&domain, &scorer, &config, &ShardPlan::new(shards)).unwrap();
+            assert_eq!(
+                normalize(&sharded.outcome.groups),
+                normalize(&unsharded.groups),
+                "seed {seed}, {shards} shards: final groups diverged"
+            );
+            assert_eq!(
+                sharded.outcome.post_cleanup.pairs.f1, unsharded.post_cleanup.pairs.f1,
+                "seed {seed}, {shards} shards"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_trained_security_pipeline_matches_unsharded_groups() {
+    // Identifier-join recipes shard exactly (the hash joins run globally,
+    // so guards and candidates coincide), so equality must hold for an
+    // imperfect trained matcher too — not just the oracle.
+    use gralmatch::lm::{train, MatcherScorer, ModelSpec};
+    use gralmatch::records::{DatasetSplit, SplitRatios};
+    use gralmatch::util::SplitRng;
+
+    let data = dataset(41);
+    let securities = data.securities.records();
+    let gt = data.securities.ground_truth();
+    let spec = ModelSpec::DistilBert128All;
+    let encoded = spec.encode_records(securities);
+    let split = DatasetSplit::new(&gt, SplitRatios::default(), &mut SplitRng::new(9));
+    let (matcher, _) =
+        train(securities, &encoded, &gt, &split, &spec.train_config()).expect("training");
+    let scorer = MatcherScorer::new(&matcher, &encoded);
+
+    let mut group_of: FxHashMap<RecordId, u32> = FxHashMap::default();
+    for company in data.companies.records() {
+        group_of.insert(company.id(), company.entity().unwrap().0);
+    }
+    let domain = SecurityDomain::new(securities, &group_of);
+    let config = PipelineConfig::new(25, 5);
+    let unsharded = run_domain(&domain, &scorer, &config).unwrap();
+    for shards in SHARD_COUNTS {
+        let sharded = run_sharded(&domain, &scorer, &config, &ShardPlan::new(shards)).unwrap();
+        assert_eq!(sharded.outcome.num_candidates, unsharded.num_candidates);
+        assert_eq!(
+            normalize(&sharded.outcome.groups),
+            normalize(&unsharded.groups),
+            "{shards} shards: trained-matcher groups diverged"
+        );
+        assert_eq!(sharded.outcome.pairwise, unsharded.pairwise);
+    }
+}
+
+#[test]
+fn sharded_candidate_total_is_consistent() {
+    // Shard + boundary candidates partition the candidate space: every
+    // pair lives in exactly one shard or crosses shards, so the sharded
+    // candidate count for the identifier-join recipes (securities) equals
+    // the unsharded count exactly.
+    let data = dataset(23);
+    let securities = data.securities.records();
+    let mut group_of: FxHashMap<RecordId, u32> = FxHashMap::default();
+    for company in data.companies.records() {
+        group_of.insert(company.id(), company.entity().unwrap().0);
+    }
+    let domain = SecurityDomain::new(securities, &group_of);
+    let gt = domain.ground_truth().clone();
+    let scorer = OracleScorer::new(&gt);
+    let config = PipelineConfig::new(25, 5);
+    let unsharded = run_domain(&domain, &scorer, &config).unwrap();
+    let sharded = run_sharded(&domain, &scorer, &config, &ShardPlan::new(4)).unwrap();
+    assert_eq!(sharded.outcome.num_candidates, unsharded.num_candidates);
+}

@@ -1,0 +1,80 @@
+//! Perf-regression comparator for the CI `perf-gate` job.
+//!
+//! Usage:
+//! `cargo run -p gralmatch-bench --bin perfcmp -- baseline.json current.json [--threshold 0.30] [--min-seconds 0.05]`
+//!
+//! Reads two repro reports, aggregates per-stage (and per-blocking-recipe)
+//! wall-clock across all Table 4 cells, and exits non-zero when any stage
+//! regressed beyond the threshold — or when the trace shapes diverge
+//! (missing stage/recipe lines are treated as failures, not as skips).
+
+use gralmatch_bench::perfgate::{compare, render_comparison, GateConfig};
+use gralmatch_util::Json;
+
+fn read_report(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("perfcmp: cannot read {path}: {e}"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("perfcmp: {path} is not valid JSON: {e}"))
+}
+
+fn main() {
+    let mut config = GateConfig::default();
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threshold" {
+            config.max_regression = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--threshold needs a fraction");
+        } else if let Some(value) = arg.strip_prefix("--threshold=") {
+            config.max_regression = value.parse().expect("--threshold needs a fraction");
+        } else if arg == "--min-seconds" {
+            config.min_seconds = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--min-seconds needs a number");
+        } else if let Some(value) = arg.strip_prefix("--min-seconds=") {
+            config.min_seconds = value.parse().expect("--min-seconds needs a number");
+        } else {
+            paths.push(arg);
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        eprintln!(
+            "usage: perfcmp <baseline.json> <current.json> [--threshold F] [--min-seconds S]"
+        );
+        std::process::exit(2);
+    };
+
+    let baseline = read_report(baseline_path);
+    let current = read_report(current_path);
+    print!("{}", render_comparison(&baseline, &current));
+
+    match compare(&baseline, &current, &config) {
+        Ok(regressions) if regressions.is_empty() => {
+            println!(
+                "perfcmp: OK — no stage regressed more than {:.0}% (floor {:.0} ms)",
+                config.max_regression * 100.0,
+                config.min_seconds * 1000.0
+            );
+        }
+        Ok(regressions) => {
+            for regression in &regressions {
+                eprintln!(
+                    "perfcmp: FAIL — {} regressed {:+.0}% ({:.3}s -> {:.3}s, threshold {:.0}%)",
+                    regression.stage,
+                    regression.slowdown() * 100.0,
+                    regression.baseline,
+                    regression.current,
+                    config.max_regression * 100.0
+                );
+            }
+            std::process::exit(1);
+        }
+        Err(message) => {
+            eprintln!("perfcmp: FAIL — {message}");
+            std::process::exit(1);
+        }
+    }
+}

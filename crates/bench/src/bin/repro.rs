@@ -52,6 +52,23 @@ fn main() {
                     })
                     .collect(),
             );
+            // Per-recipe blocking lines: shape-stable (zero-candidate
+            // recipes still report), so the perf gate can diff them.
+            let recipes = Json::Obj(
+                cell.outcome
+                    .blocker_runs
+                    .iter()
+                    .map(|run| {
+                        (
+                            run.name.to_string(),
+                            Json::obj([
+                                ("seconds", run.seconds.to_json()),
+                                ("candidates", run.candidates.to_json()),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            );
             table4.push(Json::obj([
                 ("dataset", dataset.to_json()),
                 ("model", model.to_json()),
@@ -96,6 +113,7 @@ fn main() {
                     ]),
                 ),
                 ("stages", stages),
+                ("recipes", recipes),
                 (
                     "inference_seconds",
                     cell.outcome.inference_seconds().to_json(),

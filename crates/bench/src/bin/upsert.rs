@@ -1,0 +1,130 @@
+//! Incremental-upsert replay benchmark: loads a synthetic dataset as
+//! initial load + K delta batches through `core::incremental` and reports
+//! per-batch reconciliation latency next to the one-shot wall-clock.
+//!
+//! Usage:
+//! `cargo run -p gralmatch-bench --bin upsert --release -- [--shards N] [--batches K] [out.json]`
+//!
+//! `GRALMATCH_SCALE` sizes the dataset (default 0.02), `--shards`
+//! (default 4) the standing [`ShardPlan`], `--batches` (default 3) the
+//! number of delta batches replayed over the trailing 30 % of the
+//! records. The scorer is the heuristic name matcher — deterministic and
+//! training-free, so the numbers isolate the reconciliation engine.
+
+use gralmatch_bench::harness::{parse_shards_opt, prepare_synthetic, Scale};
+use gralmatch_core::{CompanyDomain, PipelineConfig, ShardPlan};
+use gralmatch_lm::{encode_dataset, HeuristicMatcher, MatcherScorer, PlainEncoder};
+use gralmatch_util::{Json, ToJson};
+
+fn main() {
+    let scale = Scale::from_env();
+    let (shards, mut positional) = parse_shards_opt();
+    let shards = shards.unwrap_or(4);
+    let mut batches = 3usize;
+    let mut out_path = "upsert-report.json".to_string();
+    let mut iter = std::mem::take(&mut positional).into_iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--batches" {
+            batches = iter
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--batches needs a count");
+        } else if let Some(value) = arg.strip_prefix("--batches=") {
+            batches = value.parse().expect("--batches needs a count");
+        } else {
+            out_path = arg;
+        }
+    }
+    eprintln!(
+        "upsert: scale {} shards {shards} batches {batches} -> {out_path}",
+        scale.0
+    );
+
+    let prepared = prepare_synthetic(scale);
+    let companies = prepared.data.companies.records();
+    let domain = CompanyDomain::new(companies, prepared.data.securities.records());
+    let encoded = encode_dataset(companies, &PlainEncoder::new(128));
+    let matcher = HeuristicMatcher {
+        jaccard_threshold: 0.45,
+    };
+    let scorer = MatcherScorer::new(&matcher, &encoded);
+    let config = PipelineConfig::new(25, 5).with_pre_cleanup(50);
+
+    let replay = gralmatch_bench::harness::run_upsert_replay(
+        &domain,
+        &scorer,
+        &config,
+        ShardPlan::new(shards),
+        batches,
+        0.3,
+    );
+
+    let mut batch_rows = Vec::new();
+    let mut delta_seconds = 0.0;
+    for batch in &replay.batches {
+        let label = if batch.index == 0 {
+            "initial load"
+        } else {
+            "delta"
+        };
+        eprintln!(
+            "upsert: batch {} ({label}): {:.3}s, +{} records, {} pairs scored, {} shards re-blocked",
+            batch.index,
+            batch.seconds,
+            batch.outcome.inserted,
+            batch.outcome.pairs_scored,
+            batch.outcome.touched_shards,
+        );
+        if batch.index > 0 {
+            delta_seconds += batch.seconds;
+        }
+        let stages = Json::Obj(
+            batch
+                .outcome
+                .trace
+                .stages
+                .iter()
+                .map(|stage| {
+                    (
+                        stage.stage.to_string(),
+                        Json::obj([
+                            ("seconds", stage.seconds.to_json()),
+                            ("items_in", stage.items_in.to_json()),
+                            ("items_out", stage.items_out.to_json()),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        batch_rows.push(Json::obj([
+            ("index", batch.index.to_json()),
+            ("seconds", batch.seconds.to_json()),
+            ("inserted", batch.outcome.inserted.to_json()),
+            ("pairs_scored", batch.outcome.pairs_scored.to_json()),
+            ("new_predictions", batch.outcome.new_predictions.to_json()),
+            ("touched_shards", batch.outcome.touched_shards.to_json()),
+            (
+                "touched_components",
+                batch.outcome.touched_components.to_json(),
+            ),
+            ("stages", stages),
+        ]));
+    }
+    eprintln!(
+        "upsert: {} delta batches in {delta_seconds:.3}s vs one-shot {:.3}s (groups match: {})",
+        batches, replay.one_shot_seconds, replay.matches_one_shot
+    );
+
+    let report = Json::obj([
+        ("scale", scale.0.to_json()),
+        ("shards", shards.to_json()),
+        ("num_batches", batches.to_json()),
+        ("num_groups", replay.num_groups.to_json()),
+        ("matches_one_shot", replay.matches_one_shot.to_json()),
+        ("one_shot_seconds", replay.one_shot_seconds.to_json()),
+        ("delta_seconds_total", delta_seconds.to_json()),
+        ("batches", Json::Arr(batch_rows)),
+    ]);
+    std::fs::write(&out_path, report.to_pretty_string()).expect("write report");
+    println!("wrote {out_path}");
+}

@@ -16,7 +16,7 @@ use gralmatch_blocking::TokenOverlapConfig;
 use gralmatch_core::{
     blocked_candidates, entity_groups, group_assignment, prediction_graph, run_domain_with_matcher,
     run_sharded, CleanupVariant, CompanyDomain, MatchingDomain, MatchingOutcome, PipelineConfig,
-    ProductDomain, SecurityDomain, ShardPlan,
+    PipelineState, ProductDomain, SecurityDomain, ShardPlan, UpsertBatch, UpsertOutcome,
 };
 use gralmatch_datagen::{generate, generate_wdc, FinancialDataset, GenerationConfig, WdcConfig};
 use gralmatch_lm::{
@@ -46,28 +46,35 @@ impl Scale {
 }
 
 /// Parse the `--shards N` knob (also `--shards=N`; fallback:
-/// `GRALMATCH_SHARDS`, default 1 = unsharded) out of the program's argv,
-/// returning `(shards, remaining positional args)`.
-pub fn parse_shards_arg() -> (usize, Vec<String>) {
-    let mut shards: usize = std::env::var("GRALMATCH_SHARDS")
+/// `GRALMATCH_SHARDS`) out of the program's argv, returning
+/// `(Some(shards) if explicitly set, remaining positional args)` — so
+/// binaries with different defaults can tell "absent" from "`--shards 1`".
+pub fn parse_shards_opt() -> (Option<usize>, Vec<String>) {
+    let mut shards: Option<usize> = std::env::var("GRALMATCH_SHARDS")
         .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+        .and_then(|s| s.parse().ok());
     let mut positional = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--shards" {
-            shards = args
-                .next()
-                .and_then(|v| v.parse().ok())
-                .expect("--shards needs a shard count");
+            shards = Some(
+                args.next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--shards needs a shard count"),
+            );
         } else if let Some(value) = arg.strip_prefix("--shards=") {
-            shards = value.parse().expect("--shards needs a shard count");
+            shards = Some(value.parse().expect("--shards needs a shard count"));
         } else {
             positional.push(arg);
         }
     }
-    (shards.max(1), positional)
+    (shards.map(|s| s.max(1)), positional)
+}
+
+/// [`parse_shards_opt`] with the table/repro default of 1 (unsharded).
+pub fn parse_shards_arg() -> (usize, Vec<String>) {
+    let (shards, positional) = parse_shards_opt();
+    (shards.unwrap_or(1), positional)
 }
 
 /// Run a domain through the engine — sharded via [`ShardPlan`] when
@@ -93,6 +100,114 @@ where
     } else {
         run_domain_with_matcher(domain, matcher, encoded, config)
             .expect("standard pipeline succeeds")
+    }
+}
+
+/// One batch of an upsert replay: the upsert outcome plus its wall-clock.
+pub struct ReplayBatch {
+    /// Batch index (0 = initial load).
+    pub index: usize,
+    /// What the batch did (counts, per-stage trace, groups).
+    pub outcome: UpsertOutcome,
+    /// End-to-end wall-clock seconds of the `apply` call.
+    pub seconds: f64,
+}
+
+/// Result of [`run_upsert_replay`]: per-batch latency plus the end-state
+/// comparison against a one-shot sharded run.
+pub struct UpsertReplay {
+    /// Initial load followed by the delta batches.
+    pub batches: Vec<ReplayBatch>,
+    /// Final group count.
+    pub num_groups: usize,
+    /// Whether the final incremental groups equal a one-shot
+    /// [`run_sharded`] over the full population (they must for
+    /// deterministic scorers; reported rather than asserted so the bench
+    /// binary stays a measurement tool).
+    pub matches_one_shot: bool,
+    /// Wall-clock seconds of the one-shot run, for the speedup column.
+    pub one_shot_seconds: f64,
+}
+
+/// Replay a domain's records as an initial load (the first
+/// `1 - delta_fraction` of the records) plus `num_batches` delta batches,
+/// measuring per-batch reconciliation latency, then compare the end state
+/// against a one-shot sharded run over the full population.
+pub fn run_upsert_replay<D>(
+    domain: &D,
+    scorer: &dyn gralmatch_lm::PairScorer,
+    config: &PipelineConfig,
+    plan: ShardPlan,
+    num_batches: usize,
+    delta_fraction: f64,
+) -> UpsertReplay
+where
+    D: MatchingDomain,
+    D::Rec: Clone,
+{
+    let records = domain.records();
+    let strategies = domain.blocking_strategies();
+    let delta_len = ((records.len() as f64 * delta_fraction) as usize)
+        .clamp(num_batches.min(records.len()), records.len());
+    let initial = records.len() - delta_len;
+
+    let mut batches = Vec::with_capacity(num_batches + 1);
+    let watch = gralmatch_util::Stopwatch::start();
+    let (mut state, load) = PipelineState::initial_load(
+        plan,
+        records[..initial].to_vec(),
+        &strategies,
+        scorer,
+        config,
+    )
+    .expect("initial load succeeds");
+    batches.push(ReplayBatch {
+        index: 0,
+        outcome: load,
+        seconds: watch.elapsed_secs(),
+    });
+
+    let remainder = &records[initial..];
+    let chunk = remainder.len().div_ceil(num_batches.max(1)).max(1);
+    let mut groups = Vec::new();
+    for (index, slice) in remainder.chunks(chunk).enumerate() {
+        let watch = gralmatch_util::Stopwatch::start();
+        let outcome = state
+            .apply(
+                &UpsertBatch::inserting(slice.to_vec()),
+                &strategies,
+                scorer,
+                config,
+            )
+            .expect("delta batch succeeds");
+        groups = outcome.groups.clone();
+        batches.push(ReplayBatch {
+            index: index + 1,
+            outcome,
+            seconds: watch.elapsed_secs(),
+        });
+    }
+
+    let one_shot_watch = gralmatch_util::Stopwatch::start();
+    let one_shot = run_sharded(domain, scorer, config, &plan).expect("one-shot run succeeds");
+    let one_shot_seconds = one_shot_watch.elapsed_secs();
+    let normalize = |groups: &[Vec<RecordId>]| {
+        let mut out: Vec<Vec<RecordId>> = groups
+            .iter()
+            .map(|g| {
+                let mut g = g.clone();
+                g.sort_unstable();
+                g
+            })
+            .collect();
+        out.sort();
+        out
+    };
+    UpsertReplay {
+        num_groups: groups.len(),
+        matches_one_shot: normalize(&groups) == normalize(&one_shot.outcome.groups),
+        one_shot_seconds,
+        batches,
     }
 }
 

@@ -7,11 +7,16 @@
 //! * `table3` — fine-tuning scores,
 //! * `table4` — end-to-end entity group matching (+ sensitivity variants),
 //! * `figures` — the scenario reproductions of Figures 2–4,
-//! * `repro` — runs everything and writes a combined report.
+//! * `repro` — runs everything and writes a combined report,
+//! * `upsert` — incremental-upsert replay (initial load + K delta
+//!   batches) with per-batch reconciliation latency,
+//! * `perfcmp` — the CI perf gate: diffs two repro reports per stage and
+//!   fails on regressions or trace-shape changes.
 //!
 //! Criterion benches under `benches/` cover the component ablations
 //! (min-cut vs betweenness, blocking throughput, inference, cleanup).
 
 pub mod harness;
 pub mod paper;
+pub mod perfgate;
 pub mod table;

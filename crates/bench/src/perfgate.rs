@@ -1,0 +1,323 @@
+//! CI perf-regression gate: compare two repro reports stage by stage.
+//!
+//! The `perf-gate` CI job runs the repro binary at a small scale, writes
+//! `BENCH_ci.json`, and fails the build when any pipeline stage's
+//! aggregated wall-clock regresses more than a threshold against the
+//! checked-in baseline (`ci/BENCH_baseline.json`, refreshed whenever the
+//! pipeline legitimately changes speed). Stages are aggregated across all
+//! Table 4 cells — per-cell times at CI scale are noise, sums are not —
+//! and an absolute noise floor substitutes for sub-floor baselines so
+//! millisecond stages neither flake the gate nor escape it.
+//!
+//! Trace **shape** is part of the contract: the baseline and current
+//! reports must expose the same stage names and the same blocking-recipe
+//! names (zero-candidate recipes still report, see
+//! [`gralmatch_blocking::run_blockers_traced`]), so a silently dropped
+//! stage or recipe fails the gate instead of skewing the comparison.
+
+use gralmatch_util::Json;
+
+/// Gate thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct GateConfig {
+    /// Maximum tolerated relative slowdown per stage (0.30 = +30 %).
+    pub max_regression: f64,
+    /// Noise floor in seconds: a stage is compared against
+    /// `max(baseline, min_seconds)`, so sub-floor baselines neither flake
+    /// on timer noise nor grant a free pass — a 1 ms stage blowing up to
+    /// seconds still trips the gate.
+    pub min_seconds: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            max_regression: 0.30,
+            // Sub-tenth-second aggregates swing tens of percent from
+            // thread scheduling alone (observed ±40 % on a 50 ms recipe
+            // line between back-to-back local runs); everything the gate
+            // is meant to protect aggregates well above this.
+            min_seconds: 0.1,
+        }
+    }
+}
+
+/// One stage that regressed beyond the threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Stage (or `recipe:<name>`) label.
+    pub stage: String,
+    /// Baseline aggregate seconds.
+    pub baseline: f64,
+    /// Current aggregate seconds.
+    pub current: f64,
+}
+
+impl Regression {
+    /// Relative slowdown (0.5 = +50 %).
+    pub fn slowdown(&self) -> f64 {
+        if self.baseline > 0.0 {
+            self.current / self.baseline - 1.0
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Aggregate a repro report's per-cell stage seconds into ordered
+/// `(label, total_seconds)` lines: one per pipeline stage, then one per
+/// blocking recipe (prefixed `recipe:`). Fails on structurally invalid
+/// reports.
+pub fn stage_totals(report: &Json) -> Result<Vec<(String, f64)>, String> {
+    let cells = report
+        .get("table4")
+        .and_then(Json::as_arr)
+        .ok_or("report has no table4 array")?;
+    if cells.is_empty() {
+        return Err("report has an empty table4".into());
+    }
+    let mut totals: Vec<(String, f64)> = Vec::new();
+    let mut add = |label: String, seconds: f64| match totals.iter_mut().find(|(l, _)| *l == label) {
+        Some((_, total)) => *total += seconds,
+        None => totals.push((label, seconds)),
+    };
+    for cell in cells {
+        let stages = cell.get("stages").ok_or("cell has no stages object")?;
+        let Json::Obj(fields) = stages else {
+            return Err("cell stages is not an object".into());
+        };
+        for (stage, value) in fields {
+            let seconds = value
+                .get("seconds")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("stage `{stage}` has no seconds"))?;
+            add(stage.clone(), seconds);
+        }
+        if let Some(Json::Obj(recipes)) = cell.get("recipes") {
+            for (recipe, value) in recipes {
+                let seconds = value
+                    .get("seconds")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("recipe `{recipe}` has no seconds"))?;
+                add(format!("recipe:{recipe}"), seconds);
+            }
+        }
+    }
+    Ok(totals)
+}
+
+/// Compare two repro reports. `Err` means the comparison itself is invalid
+/// (malformed report or trace-shape mismatch); `Ok` carries the stages
+/// that regressed beyond the threshold (empty = gate passes).
+pub fn compare(
+    baseline: &Json,
+    current: &Json,
+    config: &GateConfig,
+) -> Result<Vec<Regression>, String> {
+    let baseline_totals = stage_totals(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let current_totals = stage_totals(current).map_err(|e| format!("current: {e}"))?;
+
+    let baseline_labels: Vec<&str> = baseline_totals.iter().map(|(l, _)| l.as_str()).collect();
+    let current_labels: Vec<&str> = current_totals.iter().map(|(l, _)| l.as_str()).collect();
+    for label in &baseline_labels {
+        if !current_labels.contains(label) {
+            return Err(format!(
+                "trace shape changed: `{label}` present in baseline but missing from current run"
+            ));
+        }
+    }
+    for label in &current_labels {
+        if !baseline_labels.contains(label) {
+            return Err(format!(
+                "trace shape changed: `{label}` present in current run but missing from baseline \
+                 (refresh ci/BENCH_baseline.json if the pipeline gained a stage)"
+            ));
+        }
+    }
+
+    let mut regressions = Vec::new();
+    for (label, baseline_seconds) in &baseline_totals {
+        let current_seconds = current_totals
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, s)| *s)
+            .expect("shape-checked above");
+        // The noise floor substitutes for tiny baselines instead of
+        // skipping them: a sub-floor stage cannot flake the gate on timer
+        // noise, but a real blowup (1 ms → seconds) still fails.
+        let reference = baseline_seconds.max(config.min_seconds);
+        if current_seconds > reference * (1.0 + config.max_regression) {
+            regressions.push(Regression {
+                stage: label.clone(),
+                baseline: *baseline_seconds,
+                current: current_seconds,
+            });
+        }
+    }
+    Ok(regressions)
+}
+
+/// Render the side-by-side comparison table.
+pub fn render_comparison(baseline: &Json, current: &Json) -> String {
+    let mut out = format!(
+        "{:<24} {:>12} {:>12} {:>9}\n",
+        "stage", "baseline s", "current s", "delta"
+    );
+    let (Ok(baseline_totals), Ok(current_totals)) = (stage_totals(baseline), stage_totals(current))
+    else {
+        return "<malformed report>".into();
+    };
+    for (label, baseline_seconds) in &baseline_totals {
+        let current_seconds = current_totals
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, s)| *s)
+            .unwrap_or(f64::NAN);
+        let delta = if *baseline_seconds > 0.0 {
+            format!(
+                "{:+.0}%",
+                (current_seconds / baseline_seconds - 1.0) * 100.0
+            )
+        } else {
+            "-".into()
+        };
+        out.push_str(&format!(
+            "{label:<24} {baseline_seconds:>12.3} {current_seconds:>12.3} {delta:>9}\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gralmatch_util::ToJson;
+
+    fn report(cells: &[&[(&str, f64)]]) -> Json {
+        Json::obj([(
+            "table4",
+            Json::Arr(
+                cells
+                    .iter()
+                    .map(|stages| {
+                        Json::obj([(
+                            "stages",
+                            Json::Obj(
+                                stages
+                                    .iter()
+                                    .map(|(name, seconds)| {
+                                        (
+                                            name.to_string(),
+                                            Json::obj([("seconds", seconds.to_json())]),
+                                        )
+                                    })
+                                    .collect(),
+                            ),
+                        )])
+                    })
+                    .collect(),
+            ),
+        )])
+    }
+
+    #[test]
+    fn aggregates_across_cells() {
+        let r = report(&[
+            &[("blocking", 1.0), ("inference", 2.0)],
+            &[("blocking", 0.5), ("inference", 1.0)],
+        ]);
+        let totals = stage_totals(&r).unwrap();
+        assert_eq!(totals[0], ("blocking".to_string(), 1.5));
+        assert_eq!(totals[1], ("inference".to_string(), 3.0));
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(&[&[("blocking", 1.0), ("cleanup", 0.4)]]);
+        assert!(compare(&r, &r, &GateConfig::default()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn injected_2x_slowdown_fails_the_gate() {
+        let baseline = report(&[&[("blocking", 1.0), ("inference", 2.0)]]);
+        let slowed = report(&[&[("blocking", 1.0), ("inference", 4.0)]]);
+        let regressions = compare(&baseline, &slowed, &GateConfig::default()).unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].stage, "inference");
+        assert!((regressions[0].slowdown() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slowdown_within_threshold_passes() {
+        let baseline = report(&[&[("inference", 2.0)]]);
+        let slightly = report(&[&[("inference", 2.5)]]);
+        assert!(compare(&baseline, &slightly, &GateConfig::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn below_floor_noise_is_ignored() {
+        // 10x regression on a 1 ms stage: timer noise, not a regression.
+        let baseline = report(&[&[("grouping", 0.001)]]);
+        let slowed = report(&[&[("grouping", 0.010)]]);
+        assert!(compare(&baseline, &slowed, &GateConfig::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn below_floor_baseline_does_not_grant_a_free_pass() {
+        // The floor substitutes for the tiny baseline; a genuine blowup
+        // on a millisecond stage still trips the gate.
+        let baseline = report(&[&[("grouping", 0.001)]]);
+        let blown_up = report(&[&[("grouping", 60.0)]]);
+        let regressions = compare(&baseline, &blown_up, &GateConfig::default()).unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].stage, "grouping");
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error_not_a_pass() {
+        let baseline = report(&[&[("blocking", 1.0), ("merge", 0.5)]]);
+        let missing = report(&[&[("blocking", 1.0)]]);
+        assert!(compare(&baseline, &missing, &GateConfig::default()).is_err());
+        assert!(compare(&missing, &baseline, &GateConfig::default()).is_err());
+    }
+
+    #[test]
+    fn recipe_lines_participate_in_shape_and_comparison() {
+        let with_recipes = |seconds: f64| {
+            Json::obj([(
+                "table4",
+                Json::Arr(vec![Json::obj([
+                    (
+                        "stages",
+                        Json::obj([("blocking", Json::obj([("seconds", 1.0f64.to_json())]))]),
+                    ),
+                    (
+                        "recipes",
+                        Json::obj([
+                            ("token-overlap", Json::obj([("seconds", seconds.to_json())])),
+                            ("id-overlap", Json::obj([("seconds", 0.2f64.to_json())])),
+                        ]),
+                    ),
+                ])]),
+            )])
+        };
+        let baseline = with_recipes(0.5);
+        let slowed = with_recipes(1.5);
+        let regressions = compare(&baseline, &slowed, &GateConfig::default()).unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].stage, "recipe:token-overlap");
+        // Dropping a recipe line is a shape error.
+        let without = report(&[&[("blocking", 1.0)]]);
+        assert!(compare(&baseline, &without, &GateConfig::default()).is_err());
+    }
+
+    #[test]
+    fn malformed_reports_are_rejected() {
+        assert!(stage_totals(&Json::obj([("scale", 1.0f64.to_json())])).is_err());
+        assert!(stage_totals(&Json::obj([("table4", Json::Arr(vec![]))])).is_err());
+    }
+}

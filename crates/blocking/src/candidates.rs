@@ -5,8 +5,8 @@
 //! edges inside oversized components. So candidate pairs carry a provenance
 //! bitmask; a pair found by several blockings keeps all its flags.
 
-use gralmatch_records::RecordPair;
-use gralmatch_util::FxHashMap;
+use gralmatch_records::{RecordId, RecordPair};
+use gralmatch_util::{FromJson, FxHashMap, Json, JsonError, ToJson};
 
 /// Which blocking(s) proposed a pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -89,6 +89,17 @@ impl CandidateSet {
         self.pairs.get(&pair).copied().unwrap_or(0)
     }
 
+    /// Whether the pair is in the set (proposed by any blocking).
+    pub fn contains(&self, pair: RecordPair) -> bool {
+        self.pairs.contains_key(&pair)
+    }
+
+    /// Keep only the pairs for which `keep(pair, flags)` holds (e.g. drop
+    /// pairs touching a retired record when maintaining a set in place).
+    pub fn retain(&mut self, mut keep: impl FnMut(RecordPair, u8) -> bool) {
+        self.pairs.retain(|&pair, flags| keep(pair, *flags));
+    }
+
     /// Whether a pair was proposed by the given blocking.
     pub fn from_blocking(&self, pair: RecordPair, kind: BlockingKind) -> bool {
         self.provenance(pair) & kind.flag() != 0
@@ -109,6 +120,68 @@ impl CandidateSet {
     /// Iterate `(pair, provenance)`.
     pub fn iter(&self) -> impl Iterator<Item = (RecordPair, u8)> + '_ {
         self.pairs.iter().map(|(&p, &f)| (p, f))
+    }
+}
+
+/// The Section 4.2.1 pre-cleanup removability rule over a provenance
+/// bitmask: the pair is Token-Overlap-sourced and **not** protected by an
+/// identifier blocking (ID overlap or issuer match). One definition shared
+/// by the cleanup stage, the sharded merge, and the incremental engine —
+/// the rule is load-bearing for one-shot ≡ incremental exactness, so it
+/// must not drift between execution paths.
+pub fn text_only_provenance(flags: u8) -> bool {
+    flags & BlockingKind::TokenOverlap.flag() != 0
+        && flags & BlockingKind::IdOverlap.flag() == 0
+        && flags & BlockingKind::IssuerMatch.flag() == 0
+}
+
+/// Compact persistence form: a sorted array of `[a, b, flags]` triplets
+/// (sorted for deterministic output; the standing candidate sets of a
+/// persisted incremental-pipeline state dominate its size, so the flat
+/// triplet form beats per-pair objects).
+impl ToJson for CandidateSet {
+    fn to_json(&self) -> Json {
+        let mut entries: Vec<(RecordPair, u8)> = self.iter().collect();
+        entries.sort_unstable_by_key(|&(pair, _)| pair);
+        Json::Arr(
+            entries
+                .into_iter()
+                .map(|(pair, flags)| {
+                    Json::Arr(vec![
+                        Json::Num(pair.a.0 as f64),
+                        Json::Num(pair.b.0 as f64),
+                        Json::Num(flags as f64),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+impl FromJson for CandidateSet {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let entries = json.as_arr().ok_or_else(|| JsonError {
+            message: "expected candidate-set array".into(),
+        })?;
+        let mut set = CandidateSet::new();
+        for entry in entries {
+            let triple = entry
+                .as_arr()
+                .filter(|t| t.len() == 3)
+                .ok_or_else(|| JsonError {
+                    message: "expected [a, b, flags] triplet".into(),
+                })?;
+            let a = u32::from_json(&triple[0])?;
+            let b = u32::from_json(&triple[1])?;
+            let flags = u32::from_json(&triple[2])?;
+            if flags == 0 || flags > u8::MAX as u32 {
+                return Err(JsonError {
+                    message: format!("bad provenance flags {flags}"),
+                });
+            }
+            set.add_flags(RecordPair::new(RecordId(a), RecordId(b)), flags as u8);
+        }
+        Ok(set)
     }
 }
 
@@ -178,6 +251,49 @@ mod tests {
         set.add(pair(5, 1), BlockingKind::IdOverlap);
         set.add(pair(0, 3), BlockingKind::IdOverlap);
         assert_eq!(set.pairs_sorted(), vec![pair(0, 3), pair(1, 5)]);
+    }
+
+    #[test]
+    fn retain_drops_pairs_touching_a_record() {
+        let mut set = CandidateSet::new();
+        set.add(pair(0, 1), BlockingKind::IdOverlap);
+        set.add(pair(1, 2), BlockingKind::TokenOverlap);
+        set.add(pair(3, 4), BlockingKind::TokenOverlap);
+        let gone = RecordId(1);
+        set.retain(|p, _| p.a != gone && p.b != gone);
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(pair(3, 4)));
+        assert!(!set.contains(pair(0, 1)));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_pairs_and_flags() {
+        let mut set = CandidateSet::new();
+        set.add(pair(5, 1), BlockingKind::IdOverlap);
+        set.add(pair(5, 1), BlockingKind::TokenOverlap);
+        set.add(pair(0, 3), BlockingKind::IssuerMatch);
+        let text = gralmatch_util::ToJson::to_json(&set).to_compact_string();
+        let back = <CandidateSet as gralmatch_util::FromJson>::from_json(
+            &gralmatch_util::Json::parse(&text).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(back.len(), set.len());
+        for (p, flags) in set.iter() {
+            assert_eq!(back.provenance(p), flags);
+        }
+        // Deterministic output: serializing twice gives identical text.
+        assert_eq!(
+            gralmatch_util::ToJson::to_json(&set).to_compact_string(),
+            text
+        );
+    }
+
+    #[test]
+    fn json_rejects_malformed_entries() {
+        use gralmatch_util::{FromJson, Json};
+        assert!(CandidateSet::from_json(&Json::parse("[[1,2]]").unwrap()).is_err());
+        assert!(CandidateSet::from_json(&Json::parse("[[1,2,0]]").unwrap()).is_err());
+        assert!(CandidateSet::from_json(&Json::parse("{}").unwrap()).is_err());
     }
 
     #[test]

@@ -15,19 +15,26 @@
 //! sharded pipeline re-runs them globally to propose boundary candidates.
 
 use crate::candidates::{BlockingKind, CandidateSet};
-use crate::strategy::{Blocker, BlockingContext};
+use crate::strategy::{Blocker, BlockingContext, SplitSlice};
 use gralmatch_records::{CompanyRecord, Record, RecordPair, SecurityRecord};
 use gralmatch_util::FxHashMap;
 
 /// Guard against degenerate codes shared by huge numbers of records: codes
 /// with more than this many holders are skipped (quadratic pair blowup).
+///
+/// The guard makes this blocking **non-monotone**: an upsert batch that
+/// pushes a code past the cap retracts pairs the standing population held,
+/// and a delete can resurrect them. That is why the incremental engine
+/// re-runs the hash joins over the full live population instead of joining
+/// only the delta against a standing index — exactness would otherwise
+/// need per-code retraction bookkeeping.
 pub const MAX_CODE_HOLDERS: usize = 64;
 
-/// Pair up positions sharing a posting; positions index the record slice
+/// Pair up positions sharing a posting; positions index the record view
 /// handed to the blocker (ids need not be dense).
 fn pairs_from_postings<R: Record>(
     postings: &FxHashMap<&str, Vec<u32>>,
-    records: &[R],
+    records: &SplitSlice<'_, R>,
     out: &mut CandidateSet,
 ) {
     for holders in postings.values() {
@@ -36,13 +43,30 @@ fn pairs_from_postings<R: Record>(
         }
         for i in 0..holders.len() {
             for j in (i + 1)..holders.len() {
-                let (a, b) = (&records[holders[i] as usize], &records[holders[j] as usize]);
+                let (a, b) = (
+                    records.get(holders[i] as usize),
+                    records.get(holders[j] as usize),
+                );
                 if a.source() != b.source() {
                     out.add(RecordPair::new(a.id(), b.id()), BlockingKind::IdOverlap);
                 }
             }
         }
     }
+}
+
+/// Security join over a split view: code value → holder positions.
+fn security_join(records: &SplitSlice<'_, SecurityRecord>, out: &mut CandidateSet) {
+    let mut postings: FxHashMap<&str, Vec<u32>> = FxHashMap::default();
+    for (position, record) in records.iter().enumerate() {
+        for code in record.id_codes() {
+            postings
+                .entry(code.value.as_str())
+                .or_default()
+                .push(position as u32);
+        }
+    }
+    pairs_from_postings(&postings, records, out);
 }
 
 /// ID-Overlap blocking for security records (shared identifier codes).
@@ -63,16 +87,20 @@ impl Blocker<SecurityRecord> for SecurityIdOverlap {
     }
 
     fn block(&self, records: &[SecurityRecord], _ctx: &BlockingContext, out: &mut CandidateSet) {
-        let mut postings: FxHashMap<&str, Vec<u32>> = FxHashMap::default();
-        for (position, record) in records.iter().enumerate() {
-            for code in record.id_codes() {
-                postings
-                    .entry(code.value.as_str())
-                    .or_default()
-                    .push(position as u32);
-            }
-        }
-        pairs_from_postings(&postings, records, out);
+        security_join(&SplitSlice::new(records, &[]), out);
+    }
+
+    /// Zero-copy delta path: the join runs over both slices so the
+    /// [`MAX_CODE_HOLDERS`] guard sees true union statistics (a code can
+    /// cross the cap in either direction when the delta lands).
+    fn block_delta(
+        &self,
+        new_records: &[SecurityRecord],
+        standing_records: &[SecurityRecord],
+        _ctx: &BlockingContext,
+        out: &mut CandidateSet,
+    ) {
+        security_join(&SplitSlice::new(new_records, standing_records), out);
     }
 }
 
@@ -100,6 +128,23 @@ impl Blocker<CompanyRecord> for CompanyIdOverlap<'_> {
     }
 
     fn block(&self, records: &[CompanyRecord], _ctx: &BlockingContext, out: &mut CandidateSet) {
+        self.join(&SplitSlice::new(records, &[]), out);
+    }
+
+    /// Zero-copy delta path; see [`SecurityIdOverlap::block_delta`].
+    fn block_delta(
+        &self,
+        new_records: &[CompanyRecord],
+        standing_records: &[CompanyRecord],
+        _ctx: &BlockingContext,
+        out: &mut CandidateSet,
+    ) {
+        self.join(&SplitSlice::new(new_records, standing_records), out);
+    }
+}
+
+impl CompanyIdOverlap<'_> {
+    fn join(&self, records: &SplitSlice<'_, CompanyRecord>, out: &mut CandidateSet) {
         // code value -> positions of companies whose securities (or self)
         // carry it.
         let mut postings: FxHashMap<&str, Vec<u32>> = FxHashMap::default();

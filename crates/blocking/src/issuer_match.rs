@@ -10,7 +10,7 @@
 //! cross-shard boundary candidates in a sharded pipeline.
 
 use crate::candidates::{BlockingKind, CandidateSet};
-use crate::strategy::{Blocker, BlockingContext};
+use crate::strategy::{Blocker, BlockingContext, SplitSlice};
 use gralmatch_records::{Record, RecordId, RecordPair, SecurityRecord};
 use gralmatch_util::FxHashMap;
 
@@ -41,6 +41,25 @@ impl Blocker<SecurityRecord> for IssuerMatch<'_> {
     }
 
     fn block(&self, records: &[SecurityRecord], _ctx: &BlockingContext, out: &mut CandidateSet) {
+        self.join(&SplitSlice::new(records, &[]), out);
+    }
+
+    /// Zero-copy delta path: the per-group quadratic guard
+    /// ([`MAX_GROUP_SECURITIES`]) must see the union's group sizes, so the
+    /// join runs over both slices without a concatenation copy.
+    fn block_delta(
+        &self,
+        new_records: &[SecurityRecord],
+        standing_records: &[SecurityRecord],
+        _ctx: &BlockingContext,
+        out: &mut CandidateSet,
+    ) {
+        self.join(&SplitSlice::new(new_records, standing_records), out);
+    }
+}
+
+impl IssuerMatch<'_> {
+    fn join(&self, records: &SplitSlice<'_, SecurityRecord>, out: &mut CandidateSet) {
         // group id -> positions of securities issued by members of the group.
         let mut by_group: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
         for (position, security) in records.iter().enumerate() {
@@ -54,7 +73,10 @@ impl Blocker<SecurityRecord> for IssuerMatch<'_> {
             }
             for i in 0..members.len() {
                 for j in (i + 1)..members.len() {
-                    let (a, b) = (&records[members[i] as usize], &records[members[j] as usize]);
+                    let (a, b) = (
+                        records.get(members[i] as usize),
+                        records.get(members[j] as usize),
+                    );
                     if a.source() == b.source() {
                         continue;
                     }

@@ -28,10 +28,13 @@ pub mod sorted_neighborhood;
 pub mod strategy;
 pub mod token_overlap;
 
-pub use candidates::{BlockingKind, CandidateSet};
+pub use candidates::{text_only_provenance, BlockingKind, CandidateSet};
 pub use id_overlap::{CompanyIdOverlap, SecurityIdOverlap, MAX_CODE_HOLDERS};
 pub use issuer_match::{IssuerMatch, MAX_GROUP_SECURITIES};
 pub use recall::{blocking_quality, blocking_recall_by_kind, BlockingQuality};
 pub use sorted_neighborhood::{SortedNeighborhood, SortedNeighborhoodConfig};
-pub use strategy::{run_blockers, Blocker, BlockingContext};
+pub use strategy::{
+    run_blocker_refs_traced, run_blockers, run_blockers_traced, Blocker, BlockerRun,
+    BlockingContext,
+};
 pub use token_overlap::{TokenOverlap, TokenOverlapConfig};

@@ -19,7 +19,7 @@
 
 use crate::candidates::{BlockingKind, CandidateSet};
 use gralmatch_records::Record;
-use gralmatch_util::WorkerPool;
+use gralmatch_util::{Stopwatch, WorkerPool};
 
 /// Execution context handed to every blocker: the worker pool shared with
 /// the rest of the pipeline run, so parallel blockers (token overlap's
@@ -69,6 +69,98 @@ pub trait Blocker<R: Record>: Sync {
     /// provenance on duplicates). `records` need not be a full dataset;
     /// emitted pairs carry the records' own (global) ids.
     fn block(&self, records: &[R], ctx: &BlockingContext, out: &mut CandidateSet);
+
+    /// Propose the blocker's **complete** candidate set over
+    /// `standing_records ∪ new_records` — the incremental-upsert entry
+    /// point, called when `new_records` (a delta batch) arrives against an
+    /// already-blocked standing population.
+    ///
+    /// The contract is exactness, not incrementality: the output must equal
+    /// `block` over the union, because global statistics (document
+    /// frequencies, top-n ranks, degeneracy guards) can re-rank *standing*
+    /// pairs when a delta arrives. Overrides exploit the split to avoid
+    /// materializing a combined record buffer (see
+    /// [`TokenOverlap`](crate::token_overlap::TokenOverlap)); this default
+    /// falls back to a full re-block over a concatenated copy.
+    fn block_delta(
+        &self,
+        new_records: &[R],
+        standing_records: &[R],
+        ctx: &BlockingContext,
+        out: &mut CandidateSet,
+    ) where
+        R: Clone,
+    {
+        let mut combined: Vec<R> = Vec::with_capacity(standing_records.len() + new_records.len());
+        combined.extend_from_slice(standing_records);
+        combined.extend_from_slice(new_records);
+        self.block(&combined, ctx, out);
+    }
+}
+
+/// Positional view over `standing ⧺ new` without materializing the
+/// concatenation: positions `0..standing.len()` index the standing slice,
+/// the rest the new slice. Shared by the zero-copy `block_delta`
+/// overrides, whose exactness contract forces them to look at *all*
+/// records (global statistics), just not to copy them.
+pub(crate) struct SplitSlice<'a, R> {
+    standing: &'a [R],
+    new: &'a [R],
+}
+
+impl<'a, R> SplitSlice<'a, R> {
+    pub(crate) fn new(new: &'a [R], standing: &'a [R]) -> Self {
+        SplitSlice { standing, new }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.standing.len() + self.new.len()
+    }
+
+    pub(crate) fn get(&self, position: usize) -> &'a R {
+        if position < self.standing.len() {
+            &self.standing[position]
+        } else {
+            &self.new[position - self.standing.len()]
+        }
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &'a R> + '_ {
+        self.standing.iter().chain(self.new.iter())
+    }
+}
+
+/// Per-recipe diagnostics of one [`run_blockers_traced`] execution.
+///
+/// Every recipe in the list produces exactly one run entry — **including
+/// recipes that yielded zero candidates** — so the trace shape is stable
+/// across runs of the same recipe list. (The CI perf gate diffs trace
+/// shapes between a baseline and the current run; a dropped label would
+/// read as a pipeline change.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockerRun {
+    /// The recipe's [`Blocker::name`].
+    pub name: &'static str,
+    /// Distinct candidate pairs the recipe proposed (before merging with
+    /// the other recipes; overlapping proposals count in every recipe).
+    pub candidates: usize,
+    /// Wall-clock seconds of the recipe.
+    pub seconds: f64,
+}
+
+impl BlockerRun {
+    /// Fold `run` into `runs`, summing counts and seconds on a name match
+    /// (per-shard runs roll up into one line per recipe, in
+    /// first-appearance order).
+    pub fn accumulate(runs: &mut Vec<BlockerRun>, run: BlockerRun) {
+        match runs.iter_mut().find(|r| r.name == run.name) {
+            Some(existing) => {
+                existing.candidates += run.candidates;
+                existing.seconds += run.seconds;
+            }
+            None => runs.push(run),
+        }
+    }
 }
 
 /// Execute a recipe into one candidate set.
@@ -82,24 +174,57 @@ pub fn run_blockers<R: Record + Sync>(
     blockers: &[Box<dyn Blocker<R> + '_>],
     ctx: &BlockingContext,
 ) -> CandidateSet {
-    if blockers.len() > 1 && ctx.pool.workers() > 1 {
-        let sets = ctx.pool.map(blockers, |blocker| {
-            let mut set = CandidateSet::new();
-            blocker.block(records, ctx, &mut set);
-            set
-        });
-        let mut out = CandidateSet::new();
-        for set in &sets {
-            out.merge(set);
-        }
-        out
+    run_blockers_traced(records, blockers, ctx).0
+}
+
+/// [`run_blockers`] plus per-recipe diagnostics.
+///
+/// Returns one [`BlockerRun`] per recipe in list order. A recipe that
+/// proposes zero candidates still emits its entry (with `candidates = 0`):
+/// consumers that diff traces across runs (the CI perf gate) rely on the
+/// shape being a function of the recipe list alone, not of the data.
+pub fn run_blockers_traced<R: Record + Sync>(
+    records: &[R],
+    blockers: &[Box<dyn Blocker<R> + '_>],
+    ctx: &BlockingContext,
+) -> (CandidateSet, Vec<BlockerRun>) {
+    let refs: Vec<&dyn Blocker<R>> = blockers.iter().map(|b| b.as_ref()).collect();
+    run_blocker_refs_traced(records, &refs, ctx)
+}
+
+/// [`run_blockers_traced`] over borrowed trait objects — the sharded and
+/// incremental engines dispatch recipe *subsets* (e.g. only the
+/// cross-shard hash joins) this way. One implementation of the
+/// "concurrent when >1 recipe and >1 worker, per-recipe stopwatch,
+/// shape-stable run list" contract serves every execution path, so the
+/// perf gate's trace semantics cannot drift between them.
+pub fn run_blocker_refs_traced<R: Record + Sync>(
+    records: &[R],
+    blockers: &[&dyn Blocker<R>],
+    ctx: &BlockingContext,
+) -> (CandidateSet, Vec<BlockerRun>) {
+    let run_one = |blocker: &&dyn Blocker<R>| {
+        let watch = Stopwatch::start();
+        let mut set = CandidateSet::new();
+        blocker.block(records, ctx, &mut set);
+        (set, watch.elapsed_secs())
+    };
+    let sets: Vec<(CandidateSet, f64)> = if blockers.len() > 1 && ctx.pool.workers() > 1 {
+        ctx.pool.map(blockers, run_one)
     } else {
-        let mut out = CandidateSet::new();
-        for blocker in blockers {
-            blocker.block(records, ctx, &mut out);
-        }
-        out
+        blockers.iter().map(run_one).collect()
+    };
+    let mut out = CandidateSet::new();
+    let mut runs = Vec::with_capacity(blockers.len());
+    for (blocker, (set, seconds)) in blockers.iter().zip(&sets) {
+        runs.push(BlockerRun {
+            name: blocker.name(),
+            candidates: set.len(),
+            seconds: *seconds,
+        });
+        out.merge(set);
     }
+    (out, runs)
 }
 
 #[cfg(test)]
@@ -174,6 +299,120 @@ mod tests {
         let securities = vec![security(0, 0, 10, "AAA")];
         let blockers: Vec<Box<dyn Blocker<SecurityRecord>>> = Vec::new();
         assert!(run_blockers(&securities, &blockers, &BlockingContext::sequential()).is_empty());
+    }
+
+    #[test]
+    fn traced_run_keeps_zero_candidate_recipe_labels() {
+        // One security with a code, nothing to pair: both recipes yield
+        // zero candidates, yet both trace entries must survive so trace
+        // shapes stay comparable across runs (the perf gate diffs them).
+        let securities = vec![security(0, 0, 10, "AAA")];
+        let groups: FxHashMap<RecordId, u32> = FxHashMap::default();
+        let (set, runs) = run_blockers_traced(
+            &securities,
+            &recipe(&groups),
+            &BlockingContext::sequential(),
+        );
+        assert!(set.is_empty());
+        assert_eq!(runs.len(), 2, "every recipe emits an entry");
+        assert_eq!(runs[0].name, "id-overlap");
+        assert_eq!(runs[1].name, "issuer-match");
+        assert!(runs.iter().all(|r| r.candidates == 0));
+    }
+
+    #[test]
+    fn traced_run_counts_per_recipe_candidates() {
+        let securities = vec![
+            security(0, 0, 10, "AAA"),
+            security(1, 1, 11, "AAA"),
+            security(2, 2, 12, "BBB"),
+        ];
+        let groups: FxHashMap<RecordId, u32> =
+            [(RecordId(10), 0), (RecordId(11), 0)].into_iter().collect();
+        let (set, runs) = run_blockers_traced(
+            &securities,
+            &recipe(&groups),
+            &BlockingContext::sequential(),
+        );
+        // Both recipes proposed the same (0,1) pair: one merged candidate,
+        // but each recipe's own count is 1.
+        assert_eq!(set.len(), 1);
+        assert_eq!(runs[0].candidates, 1);
+        assert_eq!(runs[1].candidates, 1);
+    }
+
+    #[test]
+    fn blocker_run_accumulates_by_name() {
+        let mut runs = Vec::new();
+        BlockerRun::accumulate(
+            &mut runs,
+            BlockerRun {
+                name: "id-overlap",
+                candidates: 3,
+                seconds: 0.5,
+            },
+        );
+        BlockerRun::accumulate(
+            &mut runs,
+            BlockerRun {
+                name: "token-overlap",
+                candidates: 0,
+                seconds: 0.1,
+            },
+        );
+        BlockerRun::accumulate(
+            &mut runs,
+            BlockerRun {
+                name: "id-overlap",
+                candidates: 2,
+                seconds: 0.25,
+            },
+        );
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].candidates, 5);
+        assert!((runs[0].seconds - 0.75).abs() < 1e-12);
+        assert_eq!(runs[1].candidates, 0, "zero-candidate line kept");
+    }
+
+    #[test]
+    fn default_block_delta_falls_back_to_full_reblock() {
+        // SortedNeighborhood keeps the trait's default `block_delta`: a
+        // full re-block over the concatenated union.
+        use crate::sorted_neighborhood::SortedNeighborhood;
+        use gralmatch_records::CompanyRecord;
+        let all: Vec<CompanyRecord> = (0..12)
+            .map(|i| {
+                CompanyRecord::new(
+                    RecordId(i),
+                    SourceId((i % 3) as u16),
+                    format!("Name{:02}", i / 2),
+                )
+            })
+            .collect();
+        let (standing, new) = all.split_at(8);
+        let ctx = BlockingContext::sequential();
+        let mut full = CandidateSet::new();
+        SortedNeighborhood::default().block(&all, &ctx, &mut full);
+        let mut delta = CandidateSet::new();
+        SortedNeighborhood::default().block_delta(new, standing, &ctx, &mut delta);
+        assert_eq!(full.pairs_sorted(), delta.pairs_sorted());
+    }
+
+    #[test]
+    fn hash_join_block_delta_matches_full_reblock() {
+        let all: Vec<SecurityRecord> = (0..20)
+            .map(|i| security(i, (i % 4) as u16, 100 + i / 2, &format!("C{}", i / 2)))
+            .collect();
+        let (standing, new) = all.split_at(14);
+        let ctx = BlockingContext::sequential();
+        let mut full = CandidateSet::new();
+        SecurityIdOverlap.block(&all, &ctx, &mut full);
+        let mut delta = CandidateSet::new();
+        SecurityIdOverlap.block_delta(new, standing, &ctx, &mut delta);
+        assert_eq!(full.pairs_sorted(), delta.pairs_sorted());
+        for (pair, flags) in full.iter() {
+            assert_eq!(delta.provenance(pair), flags);
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! worker reusing one scratch count map across the records it claims.
 
 use crate::candidates::{BlockingKind, CandidateSet};
-use crate::strategy::{Blocker, BlockingContext};
+use crate::strategy::{Blocker, BlockingContext, SplitSlice};
 use gralmatch_records::{Record, RecordId, RecordPair};
 use gralmatch_text::tokenize;
 use gralmatch_util::{FxHashMap, FxHashSet, WorkerPool};
@@ -68,20 +68,46 @@ impl<R: Record + Sync> Blocker<R> for TokenOverlap {
     }
 
     fn block(&self, records: &[R], ctx: &BlockingContext, out: &mut CandidateSet) {
-        token_overlap_blocking(records, &self.config, &ctx.pool, out);
+        token_overlap_blocking(&SplitSlice::new(records, &[]), &self.config, &ctx.pool, out);
+    }
+
+    /// Token overlap's delta path: the same algorithm over the
+    /// standing/new split without materializing a combined record buffer.
+    /// Exact by construction — document frequencies and per-record top-n
+    /// ranks are **global** properties, so a delta batch can re-rank pairs
+    /// between standing records; anything cheaper than a full recount over
+    /// the union would silently diverge from a one-shot run.
+    fn block_delta(
+        &self,
+        new_records: &[R],
+        standing_records: &[R],
+        ctx: &BlockingContext,
+        out: &mut CandidateSet,
+    ) where
+        R: Clone,
+    {
+        token_overlap_blocking(
+            &SplitSlice::new(new_records, standing_records),
+            &self.config,
+            &ctx.pool,
+            out,
+        );
     }
 }
 
 /// The blocking over any record slice (ids need not be dense — positions
-/// index the slice, emitted pairs carry the records' own ids).
+/// index the view, emitted pairs carry the records' own ids).
 fn token_overlap_blocking<R: Record + Sync>(
-    records: &[R],
+    records: &SplitSlice<'_, R>,
     config: &TokenOverlapConfig,
     pool: &WorkerPool,
     out: &mut CandidateSet,
 ) {
     // Tokenize all records once (pure per record, so it parallelizes too).
-    let token_lists: Vec<Vec<String>> = pool.map(records, |r| tokenize(&r.full_text()));
+    let all_positions: Vec<u32> = (0..records.len() as u32).collect();
+    let token_lists: Vec<Vec<String>> = pool.map(&all_positions, |&p| {
+        tokenize(&records.get(p as usize).full_text())
+    });
 
     // Pass 1: document frequency per token (distinct tokens per record).
     let mut df: FxHashMap<&str, u32> = FxHashMap::default();
@@ -126,19 +152,18 @@ fn token_overlap_blocking<R: Record + Sync>(
     // Pass 3 (the hot path): per-record overlap counting over stealable
     // chunks; each worker reuses one scratch count map, and the per-record
     // top-n pair lists are merged into `out` at the end.
-    let positions: Vec<u32> = (0..records.len() as u32).collect();
     let per_record: Vec<Vec<RecordPair>> = pool.map_init(
-        &positions,
+        &all_positions,
         FxHashMap::<u32, usize>::default,
         |counts, &position| {
             counts.clear();
-            let record = &records[position as usize];
+            let record = records.get(position as usize);
             for &token_id in &kept_tokens[position as usize] {
                 for &other in &postings[token_id as usize] {
                     if other == position {
                         continue;
                     }
-                    if records[other as usize].source() == record.source() {
+                    if records.get(other as usize).source() == record.source() {
                         continue;
                     }
                     *counts.entry(other).or_insert(0) += 1;
@@ -148,7 +173,7 @@ fn token_overlap_blocking<R: Record + Sync>(
             let mut ranked: Vec<(usize, RecordId)> = counts
                 .iter()
                 .filter(|(_, &count)| count >= config.min_overlap)
-                .map(|(&other, &count)| (count, records[other as usize].id()))
+                .map(|(&other, &count)| (count, records.get(other as usize).id()))
                 .collect();
             ranked.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
             ranked
@@ -293,6 +318,39 @@ mod tests {
             &mut parallel,
         );
         assert_eq!(sequential.pairs_sorted(), parallel.pairs_sorted());
+    }
+
+    #[test]
+    fn delta_path_matches_full_reblock() {
+        // The zero-copy two-slice recount must equal a one-shot block over
+        // the union — including re-ranked standing pairs: the delta records
+        // share tokens with the standing ones, shifting DFs and top-n.
+        let all: Vec<CompanyRecord> = (0..60)
+            .map(|i| {
+                company(
+                    i,
+                    (i % 4) as u16,
+                    &format!("Cluster{} Widget Systems Node{}", i % 12, i % 5),
+                )
+            })
+            .collect();
+        for split in [0, 20, 45, 60] {
+            let (standing, new) = all.split_at(split);
+            let mut full = CandidateSet::new();
+            TokenOverlap::default().block(&all, &BlockingContext::sequential(), &mut full);
+            let mut delta = CandidateSet::new();
+            TokenOverlap::default().block_delta(
+                new,
+                standing,
+                &BlockingContext::sequential(),
+                &mut delta,
+            );
+            assert_eq!(
+                full.pairs_sorted(),
+                delta.pairs_sorted(),
+                "split at {split}"
+            );
+        }
     }
 
     #[test]

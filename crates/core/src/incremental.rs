@@ -1,0 +1,1051 @@
+//! Incremental upserts: apply delta batches against a persisted
+//! [`PipelineState`] instead of re-running the pipeline from scratch.
+//!
+//! Real catalogs (companies, securities, products) mutate daily, and the
+//! paper's pairwise-to-group propagation (Section 4) means a handful of
+//! changed records can rewire whole transitive components. The engine here
+//! treats a delta batch as a synthetic shard over the standing
+//! [`ShardPlan`]:
+//!
+//! 1. **Re-block only what moved.** The cheap cross-shard hash joins
+//!    ([`Blocker::cross_shard`]) re-run over the full live population —
+//!    they are near-linear, and their degeneracy guards are *non-monotone*
+//!    (a code crossing [`MAX_CODE_HOLDERS`] retracts standing pairs), so a
+//!    probe-only join could not stay exact. The quadratic text blockers
+//!    re-run **only for touched shards**, through
+//!    [`Blocker::block_delta`] (zero-copy over the shard's standing/new
+//!    split); untouched shards keep their standing candidate sets
+//!    verbatim.
+//! 2. **Re-score only new or invalidated pairs.** Every standing candidate
+//!    pair whose endpoints did not change keeps its score; pairs touching
+//!    an updated/deleted record, and pairs the re-block newly proposed,
+//!    go to the scorer.
+//! 3. **Reconcile through [`MergeStage`].** Retained predictions and new
+//!    positives union via `UnionFind`; components containing a dirty node
+//!    (changed record or retracted raw edge endpoint) or a new positive
+//!    edge are rebuilt from raw predictions and pass through pre-cleanup +
+//!    Algorithm 1 again — all other components keep their standing cleaned
+//!    edges untouched.
+//!
+//! Because every step preserves the pipeline's observable state exactly —
+//! the candidate set (with provenance), the raw positive predictions, and
+//! the per-component cleanup of the raw prediction graph — an initial load
+//! followed by **any** partition of the remaining records into upsert
+//! batches lands on the same groups as a one-shot [`run_sharded`] over the
+//! final population (property-tested in `tests/upsert_equivalence.rs`).
+//! The initial load itself is just an insert-only batch against an empty
+//! state, so there is one reconciliation code path, not two.
+//!
+//! [`run_sharded`]: crate::shard::run_sharded
+//! [`MAX_CODE_HOLDERS`]: gralmatch_blocking::MAX_CODE_HOLDERS
+
+use crate::groups::entity_groups;
+use crate::pipeline::PipelineConfig;
+use crate::shard::{MergeStage, ShardKey, ShardPlan};
+use crate::trace::{stage_names, PipelineTrace, StageTrace};
+use gralmatch_blocking::{
+    text_only_provenance, Blocker, BlockerRun, BlockingContext, CandidateSet,
+};
+use gralmatch_graph::Graph;
+use gralmatch_lm::{predict_positive_with, PairScorer};
+use gralmatch_records::{Record, RecordId, RecordPair};
+use gralmatch_util::{Error, FromJson, FxHashMap, FxHashSet, Json, JsonError, Stopwatch, ToJson};
+
+/// One delta batch in the global record-id space.
+///
+/// Ids are **stable**: an update carries the same id as the record it
+/// replaces, a delete names a live id, an insert brings a previously
+/// unseen id. Deleted ids may be re-inserted by a later batch.
+#[derive(Debug, Clone, Default)]
+pub struct UpsertBatch<R> {
+    /// Records with ids not currently live.
+    pub inserts: Vec<R>,
+    /// New versions of currently live records (matched by id).
+    pub updates: Vec<R>,
+    /// Ids of live records to remove.
+    pub deletes: Vec<RecordId>,
+}
+
+impl<R> UpsertBatch<R> {
+    /// Empty batch.
+    pub fn new() -> Self {
+        UpsertBatch {
+            inserts: Vec::new(),
+            updates: Vec::new(),
+            deletes: Vec::new(),
+        }
+    }
+
+    /// Insert-only batch.
+    pub fn inserting(inserts: Vec<R>) -> Self {
+        UpsertBatch {
+            inserts,
+            updates: Vec::new(),
+            deletes: Vec::new(),
+        }
+    }
+
+    /// Total mutations in the batch.
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.updates.len() + self.deletes.len()
+    }
+
+    /// Whether the batch mutates nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// What one [`PipelineState::apply`] call did — per-batch latency lives in
+/// `trace`, reconciliation scope in the counters.
+#[derive(Debug, Clone)]
+pub struct UpsertOutcome {
+    /// Entity groups after the batch (largest first, dead singletons
+    /// dropped).
+    pub groups: Vec<Vec<RecordId>>,
+    /// Blocking / inference / merge wall-clock for this batch.
+    pub trace: PipelineTrace,
+    /// Per-recipe blocking diagnostics for this batch (shape-stable: every
+    /// executed recipe reports, zero-candidate ones included).
+    pub blocker_runs: Vec<BlockerRun>,
+    /// Records inserted.
+    pub inserted: usize,
+    /// Records updated (replaced in place by id).
+    pub updated: usize,
+    /// Records deleted.
+    pub deleted: usize,
+    /// Shards whose text blocking re-ran.
+    pub touched_shards: usize,
+    /// Candidate pairs sent to the scorer (new or invalidated).
+    pub pairs_scored: usize,
+    /// Positive predictions gained this batch.
+    pub new_predictions: usize,
+    /// Standing positive predictions retracted (endpoint changed, or the
+    /// pair fell out of the candidate set).
+    pub retracted_predictions: usize,
+    /// Raw-graph components rebuilt and re-cleaned.
+    pub touched_components: usize,
+    /// New positive edges that connected two previously distinct
+    /// components.
+    pub boundary_merges: usize,
+}
+
+/// The standing state an incremental pipeline reconciles against:
+/// live records with their shard membership, per-shard text-blocking
+/// candidates, the global hash-join candidates, raw positive predictions,
+/// and the cleaned prediction graph. Round-trips through
+/// [`ToJson`]/[`FromJson`] so a long-running matcher can persist between
+/// batches.
+#[derive(Debug, Clone)]
+pub struct PipelineState<R> {
+    plan: ShardPlan,
+    /// Id-space size (max record id ever seen + 1); deleted ids stay
+    /// inside the space so graphs and union-finds stay index-stable.
+    num_ids: usize,
+    /// Live records, unordered.
+    records: Vec<R>,
+    /// Record id → position in `records`.
+    index_of: FxHashMap<u32, u32>,
+    /// Record id → shard (under `plan`).
+    shard_of: FxHashMap<u32, u32>,
+    /// Per-shard candidates from the shard-local (text) blockers.
+    local: Vec<CandidateSet>,
+    /// Candidates from the cross-shard hash joins over the full live
+    /// population (within-shard and boundary pairs alike).
+    global: CandidateSet,
+    /// Union of `global` and all `local` sets (derived; kept because the
+    /// next batch diffs against it to skip already-scored pairs).
+    candidates: CandidateSet,
+    /// Standing positive predictions (sorted raw edges).
+    predicted: Vec<RecordPair>,
+    /// Standing cleaned prediction graph (per-component cleanup of
+    /// `predicted`).
+    cleaned: Graph,
+}
+
+impl<R: Record + Clone + Sync> PipelineState<R> {
+    /// Empty state under a shard plan.
+    pub fn new(plan: ShardPlan) -> Self {
+        PipelineState {
+            plan,
+            num_ids: 0,
+            records: Vec::new(),
+            index_of: FxHashMap::default(),
+            shard_of: FxHashMap::default(),
+            local: (0..plan.num_shards).map(|_| CandidateSet::new()).collect(),
+            global: CandidateSet::new(),
+            candidates: CandidateSet::new(),
+            predicted: Vec::new(),
+            cleaned: Graph::new(),
+        }
+    }
+
+    /// Build a state by loading `records` as one insert-only batch — the
+    /// initial load of an incremental pipeline. Exactly equivalent to
+    /// `PipelineState::new(plan)` + [`apply`](PipelineState::apply).
+    pub fn initial_load(
+        plan: ShardPlan,
+        records: Vec<R>,
+        strategies: &[Box<dyn Blocker<R> + '_>],
+        scorer: &dyn PairScorer,
+        config: &PipelineConfig,
+    ) -> Result<(Self, UpsertOutcome), Error> {
+        let mut state = PipelineState::new(plan);
+        let outcome = state.apply(&UpsertBatch::inserting(records), strategies, scorer, config)?;
+        Ok((state, outcome))
+    }
+
+    /// The shard plan the state reconciles under.
+    pub fn plan(&self) -> ShardPlan {
+        self.plan
+    }
+
+    /// Live records (unordered).
+    pub fn live_records(&self) -> &[R] {
+        &self.records
+    }
+
+    /// Number of live records.
+    pub fn num_live(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Id-space size (max id ever seen + 1).
+    pub fn num_ids(&self) -> usize {
+        self.num_ids
+    }
+
+    /// Whether a record id is currently live.
+    pub fn is_live(&self, id: RecordId) -> bool {
+        self.index_of.contains_key(&id.0)
+    }
+
+    /// Standing candidate pairs (union over all blockings, with
+    /// provenance).
+    pub fn candidates(&self) -> &CandidateSet {
+        &self.candidates
+    }
+
+    /// Standing raw positive predictions, sorted.
+    pub fn predicted(&self) -> &[RecordPair] {
+        &self.predicted
+    }
+
+    /// Current entity groups: components of the standing cleaned graph,
+    /// largest first, singleton components of non-live ids dropped.
+    pub fn groups(&self) -> Vec<Vec<RecordId>> {
+        entity_groups(&self.cleaned)
+            .into_iter()
+            .filter(|group| group.len() > 1 || self.index_of.contains_key(&group[0].0))
+            .collect()
+    }
+
+    fn upsert_error(message: String) -> Error {
+        Error::Pipeline {
+            stage: "upsert",
+            message,
+        }
+    }
+
+    /// Remove a live record, returning its old shard. Swap-remove keeps
+    /// `records` dense; blockers are order-insensitive (ties break on
+    /// record ids, never positions).
+    fn remove_record(&mut self, id: u32) -> u32 {
+        let position = self.index_of.remove(&id).expect("caller validated id") as usize;
+        self.records.swap_remove(position);
+        if position < self.records.len() {
+            let moved = self.records[position].id().0;
+            self.index_of.insert(moved, position as u32);
+        }
+        self.shard_of
+            .remove(&id)
+            .expect("shard tracked per live id")
+    }
+
+    fn add_record(&mut self, record: R) -> u32 {
+        let id = record.id().0;
+        let shard = self.plan.assign_record(&record);
+        self.num_ids = self.num_ids.max(id as usize + 1);
+        self.index_of.insert(id, self.records.len() as u32);
+        self.shard_of.insert(id, shard);
+        self.records.push(record);
+        shard
+    }
+
+    /// Apply one delta batch: re-block touched shards, re-score new and
+    /// invalidated pairs, reconcile into the standing groups. See the
+    /// module docs for the exactness argument.
+    pub fn apply(
+        &mut self,
+        batch: &UpsertBatch<R>,
+        strategies: &[Box<dyn Blocker<R> + '_>],
+        scorer: &dyn PairScorer,
+        config: &PipelineConfig,
+    ) -> Result<UpsertOutcome, Error> {
+        // -- 1. Validate + apply the record mutations. ---------------------
+        for record in &batch.inserts {
+            if self.is_live(record.id()) {
+                return Err(Self::upsert_error(format!(
+                    "insert of live record id {}",
+                    record.id().0
+                )));
+            }
+        }
+        for record in &batch.updates {
+            if !self.is_live(record.id()) {
+                return Err(Self::upsert_error(format!(
+                    "update of unknown record id {}",
+                    record.id().0
+                )));
+            }
+        }
+        for &id in &batch.deletes {
+            if !self.is_live(id) {
+                return Err(Self::upsert_error(format!(
+                    "delete of unknown record id {}",
+                    id.0
+                )));
+            }
+        }
+        let mut seen: FxHashSet<u32> = FxHashSet::default();
+        for id in batch
+            .inserts
+            .iter()
+            .map(|r| r.id().0)
+            .chain(batch.updates.iter().map(|r| r.id().0))
+            .chain(batch.deletes.iter().map(|id| id.0))
+        {
+            if !seen.insert(id) {
+                return Err(Self::upsert_error(format!(
+                    "record id {id} appears twice in one batch"
+                )));
+            }
+        }
+
+        let mut dirty: FxHashSet<u32> = FxHashSet::default();
+        let mut touched_shards: FxHashSet<u32> = FxHashSet::default();
+        let mut added_ids: FxHashSet<u32> = FxHashSet::default();
+        for &id in &batch.deletes {
+            touched_shards.insert(self.remove_record(id.0));
+            dirty.insert(id.0);
+        }
+        for record in &batch.updates {
+            let id = record.id().0;
+            touched_shards.insert(self.remove_record(id));
+            touched_shards.insert(self.add_record(record.clone()));
+            dirty.insert(id);
+            added_ids.insert(id);
+        }
+        for record in &batch.inserts {
+            let id = record.id().0;
+            touched_shards.insert(self.add_record(record.clone()));
+            dirty.insert(id);
+            added_ids.insert(id);
+        }
+
+        // -- 2. Re-block: global hash joins + touched shards' text recipes.
+        let blocking_watch = Stopwatch::start();
+        let pool = config.parallelism.pool_for(self.records.len());
+        let ctx = BlockingContext::with_pool(pool);
+        let mut blocker_runs: Vec<BlockerRun> = Vec::new();
+
+        // Independent hash joins run concurrently on the shared pool,
+        // through the same dispatch `run_sharded` uses for this subset.
+        let cross_blockers: Vec<&dyn Blocker<R>> = strategies
+            .iter()
+            .filter(|b| b.cross_shard())
+            .map(|b| b.as_ref())
+            .collect();
+        let (global, global_runs) =
+            gralmatch_blocking::run_blocker_refs_traced(&self.records, &cross_blockers, &ctx);
+        for run in global_runs {
+            BlockerRun::accumulate(&mut blocker_runs, run);
+        }
+        self.global = global;
+
+        // Collect each touched shard's records once, split standing/new.
+        let mut standing_of: FxHashMap<u32, Vec<R>> = FxHashMap::default();
+        let mut new_of: FxHashMap<u32, Vec<R>> = FxHashMap::default();
+        for record in &self.records {
+            let id = record.id().0;
+            let shard = self.shard_of[&id];
+            if !touched_shards.contains(&shard) {
+                continue;
+            }
+            if added_ids.contains(&id) {
+                new_of.entry(shard).or_default().push(record.clone());
+            } else {
+                standing_of.entry(shard).or_default().push(record.clone());
+            }
+        }
+        for &shard in &touched_shards {
+            let standing = standing_of.remove(&shard).unwrap_or_default();
+            let new = new_of.remove(&shard).unwrap_or_default();
+            let mut set = CandidateSet::new();
+            for blocker in strategies.iter().filter(|b| !b.cross_shard()) {
+                let watch = Stopwatch::start();
+                let mut recipe_set = CandidateSet::new();
+                blocker.block_delta(&new, &standing, &ctx, &mut recipe_set);
+                BlockerRun::accumulate(
+                    &mut blocker_runs,
+                    BlockerRun {
+                        name: blocker.name(),
+                        candidates: recipe_set.len(),
+                        seconds: watch.elapsed_secs(),
+                    },
+                );
+                set.merge(&recipe_set);
+            }
+            self.local[shard as usize] = set;
+        }
+
+        let mut candidates_now = self.global.clone();
+        for local in &self.local {
+            candidates_now.merge(local);
+        }
+        let blocking_seconds = blocking_watch.elapsed_secs();
+
+        // -- 3. Re-score new and invalidated pairs. ------------------------
+        let inference_watch = Stopwatch::start();
+        let untouched =
+            |pair: &RecordPair| !dirty.contains(&pair.a.0) && !dirty.contains(&pair.b.0);
+        let mut to_score: Vec<RecordPair> = candidates_now
+            .iter()
+            .map(|(pair, _)| pair)
+            .filter(|pair| !(self.candidates.contains(*pair) && untouched(pair)))
+            .collect();
+        to_score.sort_unstable();
+        let scoring_pool = config.parallelism.pool_for(to_score.len());
+        let scoring_watch = Stopwatch::start();
+        let new_positives = predict_positive_with(scorer, &to_score, &scoring_pool);
+        let scoring_seconds = scoring_watch.elapsed_secs();
+
+        // Standing positives persist while both endpoints are unchanged and
+        // the pair is still a candidate; anything else is retracted, and
+        // its endpoints go dirty so the merge re-cleans their components.
+        let mut persisting: Vec<RecordPair> = Vec::with_capacity(self.predicted.len());
+        let mut dirty_nodes: FxHashSet<u32> = dirty.clone();
+        let mut retracted = 0usize;
+        for &pair in &self.predicted {
+            if untouched(&pair) && candidates_now.contains(pair) {
+                persisting.push(pair);
+            } else {
+                retracted += 1;
+                dirty_nodes.insert(pair.a.0);
+                dirty_nodes.insert(pair.b.0);
+            }
+        }
+        let inference_seconds = inference_watch.elapsed_secs();
+
+        // -- 4. Reconcile through the merge stage. -------------------------
+        let merge_watch = Stopwatch::start();
+        let is_removable = |pair: RecordPair| text_only_provenance(candidates_now.provenance(pair));
+        let merge = MergeStage::new(config).merge(
+            self.num_ids,
+            std::slice::from_ref(&self.cleaned),
+            &persisting,
+            &new_positives,
+            &dirty_nodes,
+            &is_removable,
+        );
+
+        let mut predicted_now = persisting;
+        predicted_now.extend(new_positives.iter().copied());
+        predicted_now.sort_unstable();
+        let new_prediction_count = new_positives.len();
+        self.predicted = predicted_now;
+        self.cleaned = merge.graph;
+        self.candidates = candidates_now;
+        let groups = self.groups();
+        let merge_seconds = merge_watch.elapsed_secs();
+
+        let mut trace = PipelineTrace::default();
+        trace.push(StageTrace {
+            stage: stage_names::BLOCKING,
+            seconds: blocking_seconds,
+            items_in: batch.len(),
+            items_out: self.candidates.len(),
+            rss_delta_bytes: None,
+            core_seconds: None,
+        });
+        trace.push(StageTrace {
+            stage: stage_names::INFERENCE,
+            seconds: inference_seconds,
+            items_in: to_score.len(),
+            items_out: new_prediction_count,
+            rss_delta_bytes: None,
+            core_seconds: Some(scoring_seconds),
+        });
+        trace.push(StageTrace {
+            stage: stage_names::MERGE,
+            seconds: merge_seconds,
+            items_in: new_prediction_count,
+            items_out: groups.len(),
+            rss_delta_bytes: None,
+            core_seconds: Some(merge.cleanup.seconds),
+        });
+
+        Ok(UpsertOutcome {
+            groups,
+            trace,
+            blocker_runs,
+            inserted: batch.inserts.len(),
+            updated: batch.updates.len(),
+            deleted: batch.deletes.len(),
+            touched_shards: touched_shards.len(),
+            pairs_scored: to_score.len(),
+            new_predictions: new_prediction_count,
+            retracted_predictions: retracted,
+            touched_components: merge.touched_components,
+            boundary_merges: merge.boundary_merges,
+        })
+    }
+}
+
+// --- Persistence --------------------------------------------------------
+
+fn pair_to_json(pair: &RecordPair) -> Json {
+    Json::Arr(vec![Json::Num(pair.a.0 as f64), Json::Num(pair.b.0 as f64)])
+}
+
+fn pair_from_json(json: &Json) -> Result<RecordPair, JsonError> {
+    let parts = json
+        .as_arr()
+        .filter(|p| p.len() == 2)
+        .ok_or_else(|| JsonError {
+            message: "expected [a, b] pair".into(),
+        })?;
+    Ok(RecordPair::new(
+        RecordId(u32::from_json(&parts[0])?),
+        RecordId(u32::from_json(&parts[1])?),
+    ))
+}
+
+impl ToJson for ShardKey {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                ShardKey::Entity => "entity",
+                ShardKey::Source => "source",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for ShardKey {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json.as_str() {
+            Some("entity") => Ok(ShardKey::Entity),
+            Some("source") => Ok(ShardKey::Source),
+            other => Err(JsonError {
+                message: format!("unknown shard key {other:?}"),
+            }),
+        }
+    }
+}
+
+impl ToJson for ShardPlan {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("num_shards", self.num_shards.to_json()),
+            ("key", self.key.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ShardPlan {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let num_shards = usize::from_json(json.field("num_shards")?)?;
+        if num_shards == 0 {
+            return Err(JsonError {
+                message: "num_shards must be positive".into(),
+            });
+        }
+        Ok(ShardPlan::new(num_shards).with_key(ShardKey::from_json(json.field("key")?)?))
+    }
+}
+
+impl<R: Record + ToJson> ToJson for PipelineState<R> {
+    fn to_json(&self) -> Json {
+        // Records sorted by id and edge lists sorted, so equal states
+        // serialize identically regardless of mutation history.
+        let mut by_id: Vec<&R> = self.records.iter().collect();
+        by_id.sort_unstable_by_key(|r| r.id());
+        let mut cleaned: Vec<RecordPair> = self
+            .cleaned
+            .edges()
+            .map(|edge| RecordPair::new(RecordId(edge.a), RecordId(edge.b)))
+            .collect();
+        cleaned.sort_unstable();
+        Json::obj([
+            ("plan", self.plan.to_json()),
+            ("num_ids", self.num_ids.to_json()),
+            (
+                "records",
+                Json::Arr(by_id.into_iter().map(|r| r.to_json()).collect()),
+            ),
+            (
+                "local",
+                Json::Arr(self.local.iter().map(|set| set.to_json()).collect()),
+            ),
+            ("global", self.global.to_json()),
+            (
+                "predicted",
+                Json::Arr(self.predicted.iter().map(pair_to_json).collect()),
+            ),
+            (
+                "cleaned",
+                Json::Arr(cleaned.iter().map(pair_to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl<R: Record + Clone + Sync + FromJson> FromJson for PipelineState<R> {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let plan = ShardPlan::from_json(json.field("plan")?)?;
+        let num_ids = usize::from_json(json.field("num_ids")?)?;
+        let records: Vec<R> = Vec::from_json(json.field("records")?)?;
+        let local: Vec<CandidateSet> = Vec::from_json(json.field("local")?)?;
+        if local.len() != plan.num_shards {
+            return Err(JsonError {
+                message: format!(
+                    "{} local candidate sets for {} shards",
+                    local.len(),
+                    plan.num_shards
+                ),
+            });
+        }
+        let global = CandidateSet::from_json(json.field("global")?)?;
+        // Candidate pairs feed the scorer (which indexes encodings by id)
+        // before the merge's union-find, so out-of-space pairs must error
+        // here like out-of-space predicted/cleaned edges do. `b` bounds
+        // both endpoints (RecordPair canonicalizes a ≤ b).
+        for set in local.iter().chain(std::iter::once(&global)) {
+            for (pair, _) in set.iter() {
+                if pair.b.0 as usize >= num_ids {
+                    return Err(JsonError {
+                        message: format!("candidate pair endpoint {} outside num_ids", pair.b.0),
+                    });
+                }
+            }
+        }
+        let predicted_json = json.field("predicted")?.as_arr().ok_or_else(|| JsonError {
+            message: "expected predicted array".into(),
+        })?;
+        let mut predicted = predicted_json
+            .iter()
+            .map(pair_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        for pair in &predicted {
+            // `RecordPair::new` canonicalizes a ≤ b, so checking b bounds
+            // both endpoints; an out-of-space edge would panic deep in the
+            // merge's union-find instead of erroring here.
+            if pair.b.0 as usize >= num_ids {
+                return Err(JsonError {
+                    message: format!("predicted edge endpoint {} outside num_ids", pair.b.0),
+                });
+            }
+        }
+        predicted.sort_unstable();
+        let cleaned_json = json.field("cleaned")?.as_arr().ok_or_else(|| JsonError {
+            message: "expected cleaned array".into(),
+        })?;
+
+        // Derived structures: id index, shard membership (a pure function
+        // of each record under the plan), merged candidate union.
+        let mut index_of = FxHashMap::default();
+        let mut shard_of = FxHashMap::default();
+        for (position, record) in records.iter().enumerate() {
+            let id = record.id().0;
+            if (id as usize) >= num_ids {
+                return Err(JsonError {
+                    message: format!("record id {id} outside num_ids {num_ids}"),
+                });
+            }
+            if index_of.insert(id, position as u32).is_some() {
+                return Err(JsonError {
+                    message: format!("duplicate record id {id}"),
+                });
+            }
+            shard_of.insert(id, plan.assign_record(record));
+        }
+        let mut candidates = global.clone();
+        for set in &local {
+            candidates.merge(set);
+        }
+        let mut cleaned = Graph::with_nodes(num_ids);
+        for entry in cleaned_json {
+            let pair = pair_from_json(entry)?;
+            if pair.b.0 as usize >= num_ids {
+                return Err(JsonError {
+                    message: format!("cleaned edge endpoint {} outside num_ids", pair.b.0),
+                });
+            }
+            cleaned.add_edge(pair.a.0, pair.b.0);
+        }
+        Ok(PipelineState {
+            plan,
+            num_ids,
+            records,
+            index_of,
+            shard_of,
+            local,
+            global,
+            candidates,
+            predicted,
+            cleaned,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::{MatchingDomain, SecurityDomain};
+    use crate::pipeline::OracleScorer;
+    use crate::shard::run_sharded;
+    use gralmatch_datagen::{generate, GenerationConfig};
+    use gralmatch_records::SecurityRecord;
+    use gralmatch_util::FxHashMap;
+
+    fn dataset() -> gralmatch_datagen::FinancialDataset {
+        let mut config = GenerationConfig::synthetic_full();
+        config.num_entities = 80;
+        generate(&config).unwrap()
+    }
+
+    fn company_groups(data: &gralmatch_datagen::FinancialDataset) -> FxHashMap<RecordId, u32> {
+        data.companies
+            .records()
+            .iter()
+            .map(|company| (company.id, company.entity.unwrap().0))
+            .collect()
+    }
+
+    fn normalize(groups: &[Vec<RecordId>]) -> Vec<Vec<RecordId>> {
+        let mut out: Vec<Vec<RecordId>> = groups
+            .iter()
+            .map(|group| {
+                let mut g = group.clone();
+                g.sort_unstable();
+                g
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn initial_load_matches_one_shot_sharded_run() {
+        let data = dataset();
+        let securities = data.securities.records();
+        let group_of = company_groups(&data);
+        let domain = SecurityDomain::new(securities, &group_of);
+        let gt = domain.ground_truth().clone();
+        let scorer = OracleScorer::new(&gt);
+        let config = PipelineConfig::new(25, 5);
+        let plan = ShardPlan::new(4);
+
+        let one_shot = run_sharded(&domain, &scorer, &config, &plan).unwrap();
+        let (state, outcome) = PipelineState::initial_load(
+            plan,
+            securities.to_vec(),
+            &domain.blocking_strategies(),
+            &scorer,
+            &config,
+        )
+        .unwrap();
+        assert_eq!(
+            normalize(&outcome.groups),
+            normalize(&one_shot.outcome.groups)
+        );
+        assert_eq!(state.candidates().len(), one_shot.outcome.num_candidates);
+        assert_eq!(state.predicted().len(), one_shot.outcome.num_predicted);
+        assert_eq!(outcome.inserted, securities.len());
+        assert_eq!(outcome.touched_shards, 4);
+        // Every recipe reports, including those local to a single shard.
+        assert!(outcome
+            .blocker_runs
+            .iter()
+            .any(|run| run.name == "id-overlap"));
+    }
+
+    #[test]
+    fn delete_then_reinsert_restores_the_standing_groups() {
+        let data = dataset();
+        let securities = data.securities.records();
+        let group_of = company_groups(&data);
+        let domain = SecurityDomain::new(securities, &group_of);
+        let gt = domain.ground_truth().clone();
+        let scorer = OracleScorer::new(&gt);
+        let config = PipelineConfig::new(25, 5);
+        let strategies = domain.blocking_strategies();
+
+        let (mut state, load) = PipelineState::initial_load(
+            ShardPlan::new(2),
+            securities.to_vec(),
+            &strategies,
+            &scorer,
+            &config,
+        )
+        .unwrap();
+        let baseline = normalize(&load.groups);
+
+        // Delete the members of the largest multi-record group.
+        let victim: Vec<RecordId> = load
+            .groups
+            .iter()
+            .find(|g| g.len() > 1)
+            .expect("some multi-record group")
+            .clone();
+        let deleted = state
+            .apply(
+                &UpsertBatch {
+                    inserts: Vec::new(),
+                    updates: Vec::new(),
+                    deletes: victim.clone(),
+                },
+                &strategies,
+                &scorer,
+                &config,
+            )
+            .unwrap();
+        assert_eq!(deleted.deleted, victim.len());
+        assert!(deleted.retracted_predictions > 0);
+        for &id in &victim {
+            assert!(!state.is_live(id));
+            assert!(deleted.groups.iter().all(|g| !g.contains(&id)));
+        }
+
+        // Re-insert them: the standing groups must be restored exactly.
+        let reinserts: Vec<SecurityRecord> = securities
+            .iter()
+            .filter(|record| victim.contains(&record.id))
+            .cloned()
+            .collect();
+        let restored = state
+            .apply(
+                &UpsertBatch::inserting(reinserts),
+                &strategies,
+                &scorer,
+                &config,
+            )
+            .unwrap();
+        assert_eq!(normalize(&restored.groups), baseline);
+    }
+
+    #[test]
+    fn noop_batch_changes_nothing_and_scores_nothing() {
+        let data = dataset();
+        let securities = data.securities.records();
+        let group_of = company_groups(&data);
+        let domain = SecurityDomain::new(securities, &group_of);
+        let gt = domain.ground_truth().clone();
+        let scorer = OracleScorer::new(&gt);
+        let config = PipelineConfig::new(25, 5);
+        let strategies = domain.blocking_strategies();
+        let (mut state, load) = PipelineState::initial_load(
+            ShardPlan::new(2),
+            securities.to_vec(),
+            &strategies,
+            &scorer,
+            &config,
+        )
+        .unwrap();
+        let outcome = state
+            .apply(&UpsertBatch::new(), &strategies, &scorer, &config)
+            .unwrap();
+        assert_eq!(outcome.pairs_scored, 0);
+        assert_eq!(outcome.touched_shards, 0);
+        assert_eq!(outcome.retracted_predictions, 0);
+        assert_eq!(normalize(&outcome.groups), normalize(&load.groups));
+    }
+
+    #[test]
+    fn invalid_batches_are_rejected() {
+        let data = dataset();
+        let securities = data.securities.records();
+        let group_of = company_groups(&data);
+        let domain = SecurityDomain::new(securities, &group_of);
+        let gt = domain.ground_truth().clone();
+        let scorer = OracleScorer::new(&gt);
+        let config = PipelineConfig::new(25, 5);
+        let strategies = domain.blocking_strategies();
+        let (mut state, _) = PipelineState::initial_load(
+            ShardPlan::new(2),
+            securities.to_vec(),
+            &strategies,
+            &scorer,
+            &config,
+        )
+        .unwrap();
+
+        // Insert of a live id.
+        let err = state
+            .apply(
+                &UpsertBatch::inserting(vec![securities[0].clone()]),
+                &strategies,
+                &scorer,
+                &config,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Pipeline {
+                stage: "upsert",
+                ..
+            }
+        ));
+        // Delete of an unknown id.
+        let err = state
+            .apply(
+                &UpsertBatch {
+                    inserts: Vec::new(),
+                    updates: Vec::new(),
+                    deletes: vec![RecordId(9_999_999)],
+                },
+                &strategies,
+                &scorer,
+                &config,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Pipeline {
+                stage: "upsert",
+                ..
+            }
+        ));
+        // Update of an unknown id.
+        let mut ghost = securities[0].clone();
+        ghost.id = RecordId(9_999_998);
+        let err = state
+            .apply(
+                &UpsertBatch {
+                    inserts: Vec::new(),
+                    updates: vec![ghost],
+                    deletes: Vec::new(),
+                },
+                &strategies,
+                &scorer,
+                &config,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Pipeline {
+                stage: "upsert",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn state_round_trips_through_json() {
+        let data = dataset();
+        let securities = data.securities.records();
+        let group_of = company_groups(&data);
+        let domain = SecurityDomain::new(securities, &group_of);
+        let gt = domain.ground_truth().clone();
+        let scorer = OracleScorer::new(&gt);
+        let config = PipelineConfig::new(25, 5);
+        let strategies = domain.blocking_strategies();
+        let (state, _) = PipelineState::initial_load(
+            ShardPlan::new(3),
+            securities.to_vec(),
+            &strategies,
+            &scorer,
+            &config,
+        )
+        .unwrap();
+
+        let text = state.to_json().to_compact_string();
+        let back: PipelineState<SecurityRecord> =
+            PipelineState::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.num_ids(), state.num_ids());
+        assert_eq!(back.num_live(), state.num_live());
+        assert_eq!(back.plan(), state.plan());
+        assert_eq!(back.candidates().len(), state.candidates().len());
+        for (pair, flags) in state.candidates().iter() {
+            assert_eq!(back.candidates().provenance(pair), flags);
+        }
+        assert_eq!(back.predicted(), state.predicted());
+        assert_eq!(normalize(&back.groups()), normalize(&state.groups()));
+        // Serialization is canonical: a round-tripped state re-serializes
+        // to the identical text.
+        assert_eq!(back.to_json().to_compact_string(), text);
+
+        // And an upsert applied to the restored state behaves like one
+        // applied to the original.
+        let victim = state.live_records()[0].id();
+        let mut original = state.clone();
+        let mut restored = back;
+        let batch = UpsertBatch {
+            inserts: Vec::new(),
+            updates: Vec::new(),
+            deletes: vec![victim],
+        };
+        let a = original
+            .apply(&batch, &strategies, &scorer, &config)
+            .unwrap();
+        let b = restored
+            .apply(&batch, &strategies, &scorer, &config)
+            .unwrap();
+        assert_eq!(normalize(&a.groups), normalize(&b.groups));
+    }
+
+    #[test]
+    fn state_json_rejects_out_of_space_edges() {
+        let data = dataset();
+        let securities = data.securities.records();
+        let group_of = company_groups(&data);
+        let domain = SecurityDomain::new(securities, &group_of);
+        let gt = domain.ground_truth().clone();
+        let scorer = OracleScorer::new(&gt);
+        let config = PipelineConfig::new(25, 5);
+        let strategies = domain.blocking_strategies();
+        let (state, _) = PipelineState::initial_load(
+            ShardPlan::new(2),
+            securities.to_vec(),
+            &strategies,
+            &scorer,
+            &config,
+        )
+        .unwrap();
+        assert!(!state.predicted().is_empty(), "fixture needs predictions");
+        let text = state.to_json().to_compact_string();
+        // A corrupted predicted edge pointing outside the id space must be
+        // rejected at load time, not panic inside the next merge.
+        let tampered = text.replace("\"predicted\":[", "\"predicted\":[[0,999999],");
+        assert_ne!(tampered, text);
+        let err = PipelineState::<SecurityRecord>::from_json(&Json::parse(&tampered).unwrap())
+            .unwrap_err();
+        assert!(err.message.contains("outside num_ids"), "{}", err.message);
+        // Same for a candidate pair: it would reach the scorer (which
+        // indexes encodings by id) before the merge.
+        let tampered = text.replace("\"global\":[", "\"global\":[[0,999999,1],");
+        assert_ne!(tampered, text);
+        let err = PipelineState::<SecurityRecord>::from_json(&Json::parse(&tampered).unwrap())
+            .unwrap_err();
+        assert!(err.message.contains("outside num_ids"), "{}", err.message);
+    }
+
+    #[test]
+    fn shard_plan_json_round_trips() {
+        for plan in [
+            ShardPlan::new(1),
+            ShardPlan::new(4),
+            ShardPlan::new(8).with_key(ShardKey::Source),
+        ] {
+            let text = plan.to_json().to_compact_string();
+            let back = ShardPlan::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, plan);
+        }
+        assert!(ShardPlan::from_json(
+            &Json::parse("{\"num_shards\":0,\"key\":\"entity\"}").unwrap()
+        )
+        .is_err());
+    }
+}

@@ -15,6 +15,7 @@
 //! * [`domain`] — the `MatchingDomain` trait + the three paper domains,
 //! * [`stage`] — the `Stage` trait, context, and the execution engine,
 //! * [`shard`] — hash-partitioned sharded execution + the merge stage,
+//! * [`incremental`] — upsert batches against a persisted `PipelineState`,
 //! * [`trace`] — unified per-stage wall-clock/throughput/memory reporting,
 //! * [`groups`] — prediction graph, components, closure counting,
 //! * [`cleanup`] — Algorithm 1 + pre-cleanup + sensitivity variants,
@@ -28,6 +29,7 @@ pub mod consolidate;
 pub mod diagnostics;
 pub mod domain;
 pub mod groups;
+pub mod incremental;
 pub mod label_propagation;
 pub mod metrics;
 pub mod pipeline;
@@ -47,6 +49,7 @@ pub use domain::{
     ProductDomain, SecurityDomain,
 };
 pub use groups::{count_group_pairs, entity_groups, group_assignment, prediction_graph};
+pub use incremental::{PipelineState, UpsertBatch, UpsertOutcome};
 pub use label_propagation::{label_propagation_groups, LabelPropagationConfig};
 pub use metrics::{group_metrics, pairwise_metrics, GroupMetrics, PairMetrics};
 pub use pipeline::{

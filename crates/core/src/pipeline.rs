@@ -29,7 +29,7 @@ use crate::cleanup::{CleanupConfig, CleanupReport};
 use crate::metrics::{GroupMetrics, PairMetrics};
 use crate::stage::{StageContext, StagePipeline};
 use crate::trace::PipelineTrace;
-use gralmatch_blocking::CandidateSet;
+use gralmatch_blocking::{BlockerRun, CandidateSet};
 use gralmatch_lm::PairScorer;
 use gralmatch_records::{GroundTruth, RecordId, RecordPair};
 use gralmatch_util::{Error, FxHashSet, Parallelism};
@@ -89,6 +89,11 @@ pub struct MatchingOutcome {
     pub groups: Vec<Vec<RecordId>>,
     /// Per-stage wall-clock / throughput / memory diagnostics.
     pub trace: PipelineTrace,
+    /// Per-recipe blocking diagnostics: one entry per recipe of the
+    /// domain's blocking list, zero-candidate recipes included, so report
+    /// shapes are stable across runs. Empty when blocking ran outside the
+    /// engine (seeded candidate sets).
+    pub blocker_runs: Vec<BlockerRun>,
     /// Cleanup diagnostics.
     pub cleanup_report: CleanupReport,
 }
@@ -114,6 +119,7 @@ impl MatchingOutcome {
             post_cleanup: ctx.post_cleanup.expect("grouping stage ran"),
             groups: ctx.groups.expect("grouping stage ran"),
             trace,
+            blocker_runs: ctx.blocker_runs,
             cleanup_report: ctx.cleanup_report,
         }
     }

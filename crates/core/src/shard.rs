@@ -43,7 +43,9 @@ use crate::metrics::{group_metrics, pairwise_metrics};
 use crate::pipeline::{MatchingOutcome, PipelineConfig};
 use crate::stage::{StageContext, StagePipeline};
 use crate::trace::{stage_names, PipelineTrace, StageTrace};
-use gralmatch_blocking::{BlockingContext, BlockingKind, CandidateSet};
+use gralmatch_blocking::{
+    run_blocker_refs_traced, text_only_provenance, BlockerRun, BlockingContext, CandidateSet,
+};
 use gralmatch_graph::{Graph, UnionFind};
 use gralmatch_lm::{predict_positive_with, PairScorer};
 use gralmatch_records::{Record, RecordPair};
@@ -66,7 +68,7 @@ pub enum ShardKey {
 }
 
 /// A hash partition of a domain's records into `num_shards` shards.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardPlan {
     /// Number of shards (1 = unsharded).
     pub num_shards: usize,
@@ -92,25 +94,32 @@ impl ShardPlan {
         self
     }
 
+    /// Shard index of one record under this plan — a pure function of the
+    /// record's own fields, so an upserted record lands on the same shard
+    /// a one-shot run would put it on.
+    pub fn assign_record<R: Record>(&self, record: &R) -> u32 {
+        match self.key {
+            ShardKey::Entity => {
+                let key = record
+                    .entity()
+                    .map(|e| e.0 as u64)
+                    // Disambiguate unlabeled records from entity ids.
+                    .unwrap_or(record.id().0 as u64 | 1 << 63);
+                (gralmatch_util::hash::hash_u64_pair(key, SHARD_SALT) % self.num_shards as u64)
+                    as u32
+            }
+            // Source ids are small dense integers (a handful of
+            // vendors); hashing them can collapse every source into one
+            // shard, so partition by the id directly.
+            ShardKey::Source => record.source().0 as u32 % self.num_shards as u32,
+        }
+    }
+
     /// Shard index for each record, in record order.
     pub fn assign<R: Record>(&self, records: &[R]) -> Vec<u32> {
         records
             .iter()
-            .map(|record| match self.key {
-                ShardKey::Entity => {
-                    let key = record
-                        .entity()
-                        .map(|e| e.0 as u64)
-                        // Disambiguate unlabeled records from entity ids.
-                        .unwrap_or(record.id().0 as u64 | 1 << 63);
-                    (gralmatch_util::hash::hash_u64_pair(key, SHARD_SALT) % self.num_shards as u64)
-                        as u32
-                }
-                // Source ids are small dense integers (a handful of
-                // vendors); hashing them can collapse every source into one
-                // shard, so partition by the id directly.
-                ShardKey::Source => record.source().0 as u32 % self.num_shards as u32,
-            })
+            .map(|record| self.assign_record(record))
             .collect()
     }
 }
@@ -142,20 +151,29 @@ impl<'a> MergeStage<'a> {
 
     /// Reconcile per-shard results into one graph.
     ///
-    /// Components containing a boundary edge are rebuilt from their **raw**
-    /// predictions (`shard_predicted` + `boundary_predicted`) and pass
-    /// through pre-cleanup and Algorithm 1 again — exactly what an
-    /// unsharded run would do to them, since the cleanup is deterministic
-    /// per component. Untouched components keep their shard-cleaned edges
-    /// (already ≤ μ), so the re-cleanup cost is proportional to the
-    /// cross-shard surface. `is_removable` is the pre-cleanup predicate
-    /// over the combined candidate provenance.
+    /// Components containing a boundary edge — or any node in
+    /// `dirty_nodes` — are rebuilt from their **raw** predictions
+    /// (`shard_predicted` + `boundary_predicted`) and pass through
+    /// pre-cleanup and Algorithm 1 again — exactly what an unsharded run
+    /// would do to them, since the cleanup is deterministic per component.
+    /// Untouched components keep their shard-cleaned edges (already ≤ μ),
+    /// so the re-cleanup cost is proportional to the cross-shard surface.
+    /// `is_removable` is the pre-cleanup predicate over the combined
+    /// candidate provenance.
+    ///
+    /// `dirty_nodes` is the incremental-upsert hook: an upsert batch marks
+    /// inserted/updated/deleted records *and the endpoints of retracted
+    /// raw edges* dirty, forcing every component whose raw edge set
+    /// changed through a re-clean even when no new positive edge touches
+    /// it (a delete can split a component without proposing anything new).
+    /// Sharded one-shot runs pass an empty set.
     pub fn merge(
         &self,
         num_records: usize,
         shard_graphs: &[Graph],
         shard_predicted: &[RecordPair],
         boundary_predicted: &[RecordPair],
+        dirty_nodes: &FxHashSet<u32>,
         is_removable: &dyn Fn(RecordPair) -> bool,
     ) -> MergeResult {
         // Components of the raw merged prediction graph.
@@ -173,13 +191,23 @@ impl<'a> MergeStage<'a> {
         for pair in boundary_predicted {
             touched.insert(components.find(pair.a.0));
         }
+        for &node in dirty_nodes {
+            if (node as usize) < num_records {
+                touched.insert(components.find(node));
+            }
+        }
 
         // Untouched components keep their shard-cleaned edges; touched ones
-        // are rebuilt raw and re-cleaned below.
+        // are rebuilt raw and re-cleaned below. Both endpoints are checked:
+        // a retracted raw edge can leave its endpoints in *different*
+        // current components, and a standing cleaned edge between them must
+        // not survive either side's rebuild.
         let mut merged = Graph::with_nodes(num_records);
         for graph in shard_graphs {
             for edge in graph.edges() {
-                if !touched.contains(&components.find(edge.a)) {
+                if !touched.contains(&components.find(edge.a))
+                    && !touched.contains(&components.find(edge.b))
+                {
                     merged.add_edge(edge.a, edge.b);
                 }
             }
@@ -278,32 +306,22 @@ where
         (0..plan.num_shards).map(|_| CandidateSet::new()).collect();
     let mut boundary = CandidateSet::new();
     // Independent hash joins run concurrently on the pool, like the
-    // unsharded blocking stage runs its recipe list.
-    let cross_blockers: Vec<_> = strategies.iter().filter(|b| b.cross_shard()).collect();
-    let global_sets: Vec<CandidateSet> = if cross_blockers.len() > 1 && pool.workers() > 1 {
-        pool.map(&cross_blockers, |blocker| {
-            let mut set = CandidateSet::new();
-            blocker.block(records, &blocking_ctx, &mut set);
-            set
-        })
-    } else {
-        cross_blockers
-            .iter()
-            .map(|blocker| {
-                let mut set = CandidateSet::new();
-                blocker.block(records, &blocking_ctx, &mut set);
-                set
-            })
-            .collect()
-    };
-    for global in &global_sets {
-        for (pair, flags) in global.iter() {
-            let (shard_a, shard_b) = (assignment[pair.a.0 as usize], assignment[pair.b.0 as usize]);
-            if shard_a == shard_b {
-                shard_seeds[shard_a as usize].add_flags(pair, flags);
-            } else {
-                boundary.add_flags(pair, flags);
-            }
+    // unsharded blocking stage runs its recipe list. Per-recipe
+    // diagnostics: every recipe keeps its line (cross-shard joins here,
+    // shard-local recipes below), zero candidates included.
+    let cross_blockers: Vec<&dyn gralmatch_blocking::Blocker<D::Rec>> = strategies
+        .iter()
+        .filter(|b| b.cross_shard())
+        .map(|b| b.as_ref())
+        .collect();
+    let (global_set, mut blocker_runs) =
+        run_blocker_refs_traced(records, &cross_blockers, &blocking_ctx);
+    for (pair, flags) in global_set.iter() {
+        let (shard_a, shard_b) = (assignment[pair.a.0 as usize], assignment[pair.b.0 as usize]);
+        if shard_a == shard_b {
+            shard_seeds[shard_a as usize].add_flags(pair, flags);
+        } else {
+            boundary.add_flags(pair, flags);
         }
     }
     let global_join_seconds = global_watch.elapsed_secs();
@@ -332,7 +350,18 @@ where
         let stopwatch = Stopwatch::start();
         let mut candidates = std::mem::take(&mut shard_seeds[shard as usize]);
         for blocker in strategies.iter().filter(|b| !b.cross_shard()) {
-            blocker.block(&shard_records, &blocking_ctx, &mut candidates);
+            let recipe_watch = Stopwatch::start();
+            let mut recipe_set = CandidateSet::new();
+            blocker.block(&shard_records, &blocking_ctx, &mut recipe_set);
+            BlockerRun::accumulate(
+                &mut blocker_runs,
+                BlockerRun {
+                    name: blocker.name(),
+                    candidates: recipe_set.len(),
+                    seconds: recipe_watch.elapsed_secs(),
+                },
+            );
+            candidates.merge(&recipe_set);
         }
         let blocking_trace = StageTrace {
             stage: stage_names::BLOCKING,
@@ -390,15 +419,14 @@ where
             | shard_candidates
                 .iter()
                 .fold(0u8, |acc, set| acc | set.provenance(pair));
-        flags & BlockingKind::TokenOverlap.flag() != 0
-            && flags & BlockingKind::IdOverlap.flag() == 0
-            && flags & BlockingKind::IssuerMatch.flag() == 0
+        text_only_provenance(flags)
     };
     let merge = MergeStage::new(config).merge(
         num_records,
         &shard_graphs,
         &all_predicted,
         &boundary_predicted,
+        &FxHashSet::default(),
         &is_removable,
     );
     accumulate(&mut cleanup_report, &merge.cleanup);
@@ -445,6 +473,7 @@ where
             post_cleanup,
             groups,
             trace,
+            blocker_runs,
             cleanup_report,
         },
         shard_traces,

@@ -24,7 +24,9 @@ use crate::groups::{entity_groups, prediction_graph};
 use crate::metrics::{group_metrics, pairwise_metrics, GroupMetrics, PairMetrics};
 use crate::pipeline::PipelineConfig;
 use crate::trace::{stage_names, PipelineTrace, StageTrace};
-use gralmatch_blocking::{run_blockers, BlockingContext, BlockingKind, CandidateSet};
+use gralmatch_blocking::{
+    run_blockers_traced, text_only_provenance, BlockerRun, BlockingContext, CandidateSet,
+};
 use gralmatch_graph::Graph;
 use gralmatch_lm::{predict_positive_with, PairScorer};
 use gralmatch_records::{GroundTruth, RecordId, RecordPair};
@@ -60,6 +62,10 @@ pub struct StageContext<'a> {
     /// the caller seeded a precomputed set (no copy), owned when produced
     /// by the blocking stage.
     pub candidates: Option<Cow<'a, CandidateSet>>,
+    /// Per-recipe blocking diagnostics (one entry per recipe, zero-candidate
+    /// recipes included — trace shapes are stable across runs). Empty when
+    /// the caller seeded precomputed candidates.
+    pub blocker_runs: Vec<BlockerRun>,
     /// Number of distinct candidate pairs (survives candidate consumption).
     pub num_candidates: usize,
     /// Positively predicted pairs.
@@ -93,6 +99,7 @@ impl<'a> StageContext<'a> {
             config,
             pool: None,
             candidates: None,
+            blocker_runs: Vec::new(),
             num_candidates: 0,
             predicted: None,
             pairwise: None,
@@ -164,7 +171,9 @@ impl<D: MatchingDomain> Stage for BlockingStage<'_, D> {
         let records = self.domain.records();
         let strategies = self.domain.blocking_strategies();
         let pool = ctx.pool_for(records.len());
-        let candidates = run_blockers(records, &strategies, &BlockingContext::with_pool(pool));
+        let (candidates, runs) =
+            run_blockers_traced(records, &strategies, &BlockingContext::with_pool(pool));
+        ctx.blocker_runs = runs;
         ctx.num_candidates = candidates.len();
         ctx.candidates = Some(Cow::Owned(candidates));
         Ok(StageStats {
@@ -240,9 +249,7 @@ impl Stage for CleanupStage {
                 .as_ref()
                 .ok_or_else(|| StageContext::missing(self.name(), "candidate provenance"))?;
             report.pre_cleanup_removed = pre_cleanup(&mut graph, threshold, |pair| {
-                candidates.from_blocking(pair, BlockingKind::TokenOverlap)
-                    && !candidates.from_blocking(pair, BlockingKind::IdOverlap)
-                    && !candidates.from_blocking(pair, BlockingKind::IssuerMatch)
+                text_only_provenance(candidates.provenance(pair))
             });
         }
         let algo_report = graph_cleanup(&mut graph, &ctx.config.cleanup);
@@ -364,6 +371,7 @@ impl<'a> StagePipeline<'a> {
 mod tests {
     use super::*;
     use crate::pipeline::OracleScorer;
+    use gralmatch_blocking::BlockingKind;
     use gralmatch_records::EntityId;
 
     fn tiny_gt() -> GroundTruth {

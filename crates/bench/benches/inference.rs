@@ -7,8 +7,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gralmatch_datagen::{generate, GenerationConfig};
 use gralmatch_lm::{
-    featurize, score_pairs_with, FeatureConfig, LogisticModel, MatcherScorer, ModelSpec,
-    TrainedMatcher,
+    featurize, score_pairs_with, CompiledDataset, CompiledScorer, FeatureConfig, FeatureScratch,
+    LogisticModel, MatcherScorer, ModelSpec, PairFeatures, TrainedMatcher,
 };
 use gralmatch_records::RecordId;
 use gralmatch_records::RecordPair;
@@ -57,12 +57,42 @@ fn bench_inference(c: &mut Criterion) {
                 b.iter(|| black_box(score_pairs_with(&scorer, &pairs, &pool)));
             },
         );
+        // The compiled path: same scores, interned sorted-merge
+        // featurization instead of per-pair hashing.
+        let compiled = CompiledDataset::compile(&encoded, &features);
+        group.bench_with_input(
+            BenchmarkId::new("compiled_sequential", spec.display_name()),
+            &compiled,
+            |b, compiled| {
+                let scorer = CompiledScorer::new(&matcher, compiled);
+                let pool = WorkerPool::new(1);
+                b.iter(|| black_box(score_pairs_with(&scorer, &pairs, &pool)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("compiled_parallel4", spec.display_name()),
+            &compiled,
+            |b, compiled| {
+                let scorer = CompiledScorer::new(&matcher, compiled);
+                let pool = WorkerPool::new(4);
+                b.iter(|| black_box(score_pairs_with(&scorer, &pairs, &pool)));
+            },
+        );
     }
 
-    // Featurization microbench.
+    // Featurization microbench: reference vs compiled on one pair.
     let encoded = ModelSpec::DistilBert128All.encode_records(securities);
     group.bench_function("featurize_one_pair", |b| {
         b.iter(|| black_box(featurize(&encoded[0], &encoded[1], &features)));
+    });
+    let compiled = CompiledDataset::compile(&encoded, &features);
+    group.bench_function("featurize_one_pair_compiled", |b| {
+        let mut scratch = FeatureScratch::default();
+        let mut out = PairFeatures::default();
+        b.iter(|| {
+            compiled.featurize_into(0, 1, &mut scratch, &mut out);
+            black_box(&out);
+        });
     });
     group.finish();
 }

@@ -1,0 +1,141 @@
+//! Featurization microbenchmark: reference (set-based) vs compiled
+//! (interned sorted-merge) pair featurization.
+//!
+//! Usage:
+//! `cargo run -p gralmatch-bench --bin featbench --release -- [out.json]`
+//!
+//! `GRALMATCH_SCALE` sizes the dataset (default 0.02). The binary reports
+//! pairs/sec for both paths, the one-time compile cost and arena footprint
+//! (how many pairs it takes to amortize the compile), and a bit-identity
+//! parity check — the compiled path must be an optimization, never a
+//! semantic change.
+
+use gralmatch_bench::harness::{prepare_synthetic, Scale};
+use gralmatch_lm::{
+    featurize, CompiledDataset, FeatureConfig, FeatureScratch, ModelSpec, PairFeatures,
+};
+use gralmatch_records::{RecordId, RecordPair};
+use gralmatch_util::{Json, Stopwatch, ToJson};
+use std::hint::black_box;
+
+/// Run `f` over the pair list repeatedly until the clock budget is spent
+/// (at least one full pass), returning pairs/second.
+fn throughput(pairs: &[RecordPair], mut f: impl FnMut(RecordPair)) -> f64 {
+    const BUDGET_SECONDS: f64 = 0.5;
+    let watch = Stopwatch::start();
+    let mut scored = 0usize;
+    loop {
+        for &pair in pairs {
+            f(pair);
+        }
+        scored += pairs.len();
+        if watch.elapsed_secs() >= BUDGET_SECONDS {
+            break;
+        }
+    }
+    scored as f64 / watch.elapsed_secs()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "featbench-report.json".into());
+    eprintln!("featbench: scale {} -> {out_path}", scale.0);
+
+    let prepared = prepare_synthetic(scale);
+    let securities = prepared.data.securities.records();
+    let encoded = ModelSpec::DistilBert128All.encode_records(securities);
+    let config = FeatureConfig::default();
+
+    // A fixed mixed workload: adjacent pairs (often same-entity, feature
+    // heavy) plus strided pairs (mostly disjoint records).
+    let n = encoded.len() as u32;
+    assert!(n >= 2, "dataset too small for a pair workload");
+    let pairs: Vec<RecordPair> = (0..n - 1)
+        .map(|i| RecordPair::new(RecordId(i), RecordId(i + 1)))
+        .chain((0..n).filter_map(|i| {
+            let j = (i * 7 + 13) % n;
+            (i != j).then(|| RecordPair::new(RecordId(i), RecordId(j)))
+        }))
+        .collect();
+
+    let compile_watch = Stopwatch::start();
+    let compiled = CompiledDataset::compile(&encoded, &config);
+    let compile_seconds = compile_watch.elapsed_secs();
+
+    // Parity: the compiled path must be bit-for-bit the reference path.
+    let parity = pairs.iter().take(2_000).all(|&pair| {
+        let reference = featurize(
+            &encoded[pair.a.0 as usize],
+            &encoded[pair.b.0 as usize],
+            &config,
+        );
+        let fast = compiled.featurize_pair(pair.a.0, pair.b.0);
+        reference.indices == fast.indices
+            && reference
+                .values
+                .iter()
+                .zip(&fast.values)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    });
+    // The parity check is a CI gate, not a statistic: a compiled path that
+    // stops being bit-identical must fail the bench-smoke job, not write
+    // `parity: false` into a report nobody diffs.
+    assert!(
+        parity,
+        "compiled featurization diverged from the reference path"
+    );
+
+    let reference_pps = throughput(&pairs, |pair| {
+        black_box(featurize(
+            &encoded[pair.a.0 as usize],
+            &encoded[pair.b.0 as usize],
+            &config,
+        ));
+    });
+    let mut scratch = FeatureScratch::default();
+    let mut out = PairFeatures::default();
+    let compiled_pps = throughput(&pairs, |pair| {
+        compiled.featurize_into(pair.a.0, pair.b.0, &mut scratch, &mut out);
+        black_box(&out);
+    });
+    let speedup = compiled_pps / reference_pps;
+    // Pairs after which the one-time compile pays for itself.
+    let break_even_pairs = if compiled_pps > reference_pps {
+        (compile_seconds / (1.0 / reference_pps - 1.0 / compiled_pps)).ceil() as u64
+    } else {
+        u64::MAX
+    };
+
+    eprintln!(
+        "featbench: {} records, {} pairs, {} symbols",
+        encoded.len(),
+        pairs.len(),
+        compiled.num_symbols()
+    );
+    eprintln!(
+        "featbench: compile {compile_seconds:.3}s, arena {:.1} MiB",
+        compiled.arena_bytes() as f64 / (1024.0 * 1024.0)
+    );
+    eprintln!(
+        "featbench: reference {reference_pps:.0} pairs/s, compiled {compiled_pps:.0} pairs/s \
+         ({speedup:.1}x, break-even after {break_even_pairs} pairs, parity: {parity})"
+    );
+
+    let report = Json::obj([
+        ("scale", scale.0.to_json()),
+        ("records", encoded.len().to_json()),
+        ("pairs", pairs.len().to_json()),
+        ("num_symbols", compiled.num_symbols().to_json()),
+        ("arena_bytes", compiled.arena_bytes().to_json()),
+        ("compile_seconds", compile_seconds.to_json()),
+        ("reference_pairs_per_sec", reference_pps.to_json()),
+        ("compiled_pairs_per_sec", compiled_pps.to_json()),
+        ("speedup", speedup.to_json()),
+        ("break_even_pairs", break_even_pairs.to_json()),
+        ("parity", parity.to_json()),
+    ]);
+    std::fs::write(&out_path, report.to_pretty_string()).expect("write report");
+    println!("wrote {out_path}");
+}

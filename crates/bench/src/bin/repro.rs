@@ -8,7 +8,7 @@
 
 use gralmatch_bench::harness::{
     parse_shards_arg, prepare_real_sim, prepare_synthetic, prepare_wdc, run_companies_table4,
-    run_securities_table4, run_wdc_table4, Scale,
+    run_securities_table4, run_wdc_table4, stage_trace_json, Scale,
 };
 use gralmatch_core::CleanupVariant;
 use gralmatch_datagen::DatasetStats;
@@ -40,16 +40,7 @@ fn main() {
                     .trace
                     .stages
                     .iter()
-                    .map(|stage| {
-                        (
-                            stage.stage.to_string(),
-                            Json::obj([
-                                ("seconds", stage.seconds.to_json()),
-                                ("items_in", stage.items_in.to_json()),
-                                ("items_out", stage.items_out.to_json()),
-                            ]),
-                        )
-                    })
+                    .map(|stage| (stage.stage.to_string(), stage_trace_json(stage)))
                     .collect(),
             );
             // Per-recipe blocking lines: shape-stable (zero-candidate

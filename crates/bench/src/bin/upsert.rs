@@ -11,10 +11,92 @@
 //! records. The scorer is the heuristic name matcher — deterministic and
 //! training-free, so the numbers isolate the reconciliation engine.
 
-use gralmatch_bench::harness::{parse_shards_opt, prepare_synthetic, Scale};
-use gralmatch_core::{CompanyDomain, PipelineConfig, ShardPlan};
-use gralmatch_lm::{encode_dataset, HeuristicMatcher, MatcherScorer, PlainEncoder};
+use gralmatch_bench::harness::{
+    parse_shards_opt, prepare_synthetic, stage_trace_json, ReplayScorer, Scale,
+};
+use gralmatch_core::{CompanyDomain, PipelineConfig, ShardPlan, UpsertBatch};
+use gralmatch_lm::{
+    CompiledDataset, CompiledMatcher, HeuristicMatcher, PairEncoder, PairScorer, PairwiseMatcher,
+    PlainEncoder, ScoreScratch,
+};
+use gralmatch_records::{CompanyRecord, Record, RecordPair};
 use gralmatch_util::{Json, ToJson};
+
+/// Replay scorer maintaining a compiled featurization view incrementally:
+/// each batch encodes and recompiles exactly its touched records
+/// (`recompile_record`/`clear_record`); untouched records keep their
+/// standing compiled spans across batches — the upsert-side counterpart of
+/// the pipeline state's own delta reconciliation.
+struct CompiledReplayScorer {
+    matcher: HeuristicMatcher,
+    encoder: PlainEncoder,
+    compiled: CompiledDataset,
+    /// Encoded streams as applied so far, by record id (deletes become
+    /// empty streams) — the input for the independent one-shot recompile.
+    encoded: Vec<gralmatch_lm::EncodedRecord>,
+}
+
+impl CompiledReplayScorer {
+    fn new(matcher: HeuristicMatcher, encoder: PlainEncoder) -> Self {
+        let compiled = CompiledDataset::new(&matcher.feature_config());
+        CompiledReplayScorer {
+            matcher,
+            encoder,
+            compiled,
+            encoded: Vec::new(),
+        }
+    }
+
+    fn remember(&mut self, id: u32, stream: gralmatch_lm::EncodedRecord) {
+        if id as usize >= self.encoded.len() {
+            self.encoded.resize_with(id as usize + 1, Default::default);
+        }
+        self.encoded[id as usize] = stream;
+    }
+}
+
+impl PairScorer for CompiledReplayScorer {
+    fn score_pair(&self, pair: RecordPair) -> f32 {
+        self.score_pair_scratch(pair, &mut ScoreScratch::default())
+    }
+
+    fn score_pair_scratch(&self, pair: RecordPair, scratch: &mut ScoreScratch) -> f32 {
+        self.matcher
+            .score_compiled(&self.compiled, pair.a.0, pair.b.0, scratch)
+    }
+
+    fn threshold(&self) -> f32 {
+        self.matcher.threshold()
+    }
+
+    fn memory_bytes(&self) -> Option<usize> {
+        Some(self.compiled.arena_bytes())
+    }
+}
+
+impl ReplayScorer<CompanyRecord> for CompiledReplayScorer {
+    fn for_batch(&mut self, batch: &UpsertBatch<CompanyRecord>) -> &dyn PairScorer {
+        for record in batch.inserts.iter().chain(&batch.updates) {
+            let stream = self.encoder.encode(record);
+            self.compiled.recompile_record(record.id().0, &stream);
+            self.remember(record.id().0, stream);
+        }
+        for &id in &batch.deletes {
+            self.compiled.clear_record(id.0);
+            self.remember(id.0, Default::default());
+        }
+        self
+    }
+
+    fn for_one_shot(&mut self) -> &dyn PairScorer {
+        // Rebuild the view from scratch so the one-shot run is independent
+        // of the incremental recompiles: if per-batch maintenance ever
+        // corrupted a span, the replay-vs-one-shot groups check fails
+        // instead of self-agreeing through the same corrupted arena.
+        self.compiled = CompiledDataset::compile(&self.encoded, &self.matcher.feature_config());
+        self
+    }
+}
 
 fn main() {
     let scale = Scale::from_env();
@@ -43,16 +125,15 @@ fn main() {
     let prepared = prepare_synthetic(scale);
     let companies = prepared.data.companies.records();
     let domain = CompanyDomain::new(companies, prepared.data.securities.records());
-    let encoded = encode_dataset(companies, &PlainEncoder::new(128));
     let matcher = HeuristicMatcher {
         jaccard_threshold: 0.45,
     };
-    let scorer = MatcherScorer::new(&matcher, &encoded);
+    let mut scorer = CompiledReplayScorer::new(matcher, PlainEncoder::new(128));
     let config = PipelineConfig::new(25, 5).with_pre_cleanup(50);
 
-    let replay = gralmatch_bench::harness::run_upsert_replay(
+    let replay = gralmatch_bench::harness::run_upsert_replay_with(
         &domain,
-        &scorer,
+        &mut scorer,
         &config,
         ShardPlan::new(shards),
         batches,
@@ -84,16 +165,7 @@ fn main() {
                 .trace
                 .stages
                 .iter()
-                .map(|stage| {
-                    (
-                        stage.stage.to_string(),
-                        Json::obj([
-                            ("seconds", stage.seconds.to_json()),
-                            ("items_in", stage.items_in.to_json()),
-                            ("items_out", stage.items_out.to_json()),
-                        ]),
-                    )
-                })
+                .map(|stage| (stage.stage.to_string(), stage_trace_json(stage)))
                 .collect(),
         );
         batch_rows.push(Json::obj([

@@ -20,14 +20,32 @@ use gralmatch_core::{
 };
 use gralmatch_datagen::{generate, generate_wdc, FinancialDataset, GenerationConfig, WdcConfig};
 use gralmatch_lm::{
-    predict_positive_with, train, train_with_negative_pool, HeuristicMatcher, MatcherScorer,
-    ModelSpec, TrainedMatcher, TrainingReport,
+    predict_positive_with, train, train_with_negative_pool, CompiledDataset, CompiledScorer,
+    HeuristicMatcher, ModelSpec, PairwiseMatcher, TrainedMatcher, TrainingReport,
 };
 use gralmatch_records::{
     CompanyRecord, Dataset, DatasetSplit, GroundTruth, ProductRecord, Record, RecordId, RecordPair,
     SecurityRecord, SplitRatios,
 };
 use gralmatch_util::{FxHashMap, FxHashSet, Parallelism, SplitRng};
+
+/// JSON for one [`StageTrace`](gralmatch_core::StageTrace) entry —
+/// seconds, item counts, and (when the stage observed one) the compiled
+/// featurization arena's footprint. Shared by the repro and upsert report
+/// writers so a new trace field cannot silently ship in only one report.
+pub fn stage_trace_json(stage: &gralmatch_core::StageTrace) -> gralmatch_util::Json {
+    use gralmatch_util::ToJson;
+    let mut fields = vec![
+        ("seconds".to_string(), stage.seconds.to_json()),
+        ("items_in".to_string(), stage.items_in.to_json()),
+        ("items_out".to_string(), stage.items_out.to_json()),
+    ];
+    // Memory next to wall-clock: the compiled arena backing the scoring.
+    if let Some(bytes) = stage.arena_bytes {
+        fields.push(("arena_bytes".to_string(), bytes.to_json()));
+    }
+    gralmatch_util::Json::Obj(fields)
+}
 
 /// Experiment scale factor.
 #[derive(Debug, Clone, Copy)]
@@ -93,7 +111,10 @@ where
     D::Rec: Clone,
 {
     if shards > 1 {
-        let scorer = MatcherScorer::new(matcher, encoded);
+        // Compile once, score every shard (and the boundary pass) through
+        // the zero-allocation path — same scores, no per-pair hashing.
+        let compiled = CompiledDataset::compile(encoded, &matcher.feature_config());
+        let scorer = CompiledScorer::new(matcher, &compiled);
         run_sharded(domain, &scorer, config, &ShardPlan::new(shards))
             .expect("sharded pipeline succeeds")
             .outcome
@@ -129,6 +150,39 @@ pub struct UpsertReplay {
     pub one_shot_seconds: f64,
 }
 
+/// Provides the scorer for each replay batch, absorbing the batch's record
+/// mutations first. The incremental hook for compiled featurization: a
+/// provider holding a [`CompiledDataset`] recompiles exactly the touched
+/// records (`recompile_record`/`clear_record`) before handing back its
+/// scorer, so the compiled view persists across batches instead of being
+/// rebuilt per batch. Stateless scorers use [`FixedReplayScorer`].
+pub trait ReplayScorer<R> {
+    /// Absorb `batch`'s mutations into any scorer-side state, then return
+    /// the scorer to apply the batch with.
+    fn for_batch(&mut self, batch: &UpsertBatch<R>) -> &dyn gralmatch_lm::PairScorer;
+
+    /// Scorer for the final one-shot comparison run over the full
+    /// population. Providers maintaining incremental state should return
+    /// an *independently built* view here, so the replay-vs-one-shot
+    /// groups check cross-checks the incremental maintenance itself (a
+    /// corrupted incremental view scoring both sides would self-agree).
+    /// The default returns the standing scorer (correct for stateless
+    /// providers like [`FixedReplayScorer`]).
+    fn for_one_shot(&mut self) -> &dyn gralmatch_lm::PairScorer {
+        self.for_batch(&UpsertBatch::new())
+    }
+}
+
+/// [`ReplayScorer`] adapter for scorers without per-batch state (oracles,
+/// encoded-record scorers over a pre-encoded full population).
+pub struct FixedReplayScorer<'a>(pub &'a dyn gralmatch_lm::PairScorer);
+
+impl<R> ReplayScorer<R> for FixedReplayScorer<'_> {
+    fn for_batch(&mut self, _batch: &UpsertBatch<R>) -> &dyn gralmatch_lm::PairScorer {
+        self.0
+    }
+}
+
 /// Replay a domain's records as an initial load (the first
 /// `1 - delta_fraction` of the records) plus `num_batches` delta batches,
 /// measuring per-batch reconciliation latency, then compare the end state
@@ -136,6 +190,31 @@ pub struct UpsertReplay {
 pub fn run_upsert_replay<D>(
     domain: &D,
     scorer: &dyn gralmatch_lm::PairScorer,
+    config: &PipelineConfig,
+    plan: ShardPlan,
+    num_batches: usize,
+    delta_fraction: f64,
+) -> UpsertReplay
+where
+    D: MatchingDomain,
+    D::Rec: Clone,
+{
+    run_upsert_replay_with(
+        domain,
+        &mut FixedReplayScorer(scorer),
+        config,
+        plan,
+        num_batches,
+        delta_fraction,
+    )
+}
+
+/// [`run_upsert_replay`] with a per-batch scorer provider (see
+/// [`ReplayScorer`]) — the entry point for scorers whose compiled views
+/// are maintained incrementally alongside the pipeline state.
+pub fn run_upsert_replay_with<D>(
+    domain: &D,
+    provider: &mut dyn ReplayScorer<D::Rec>,
     config: &PipelineConfig,
     plan: ShardPlan,
     num_batches: usize,
@@ -153,14 +232,12 @@ where
 
     let mut batches = Vec::with_capacity(num_batches + 1);
     let watch = gralmatch_util::Stopwatch::start();
-    let (mut state, load) = PipelineState::initial_load(
-        plan,
-        records[..initial].to_vec(),
-        &strategies,
-        scorer,
-        config,
-    )
-    .expect("initial load succeeds");
+    let load_batch = UpsertBatch::inserting(records[..initial].to_vec());
+    let scorer = provider.for_batch(&load_batch);
+    let mut state = PipelineState::new(plan);
+    let load = state
+        .apply(&load_batch, &strategies, scorer, config)
+        .expect("initial load succeeds");
     batches.push(ReplayBatch {
         index: 0,
         outcome: load,
@@ -172,13 +249,10 @@ where
     let mut groups = Vec::new();
     for (index, slice) in remainder.chunks(chunk).enumerate() {
         let watch = gralmatch_util::Stopwatch::start();
+        let batch = UpsertBatch::inserting(slice.to_vec());
+        let scorer = provider.for_batch(&batch);
         let outcome = state
-            .apply(
-                &UpsertBatch::inserting(slice.to_vec()),
-                &strategies,
-                scorer,
-                config,
-            )
+            .apply(&batch, &strategies, scorer, config)
             .expect("delta batch succeeds");
         groups = outcome.groups.clone();
         batches.push(ReplayBatch {
@@ -189,6 +263,7 @@ where
     }
 
     let one_shot_watch = gralmatch_util::Stopwatch::start();
+    let scorer = provider.for_one_shot();
     let one_shot = run_sharded(domain, scorer, config, &plan).expect("one-shot run succeeds");
     let one_shot_seconds = one_shot_watch.elapsed_secs();
     let normalize = |groups: &[Vec<RecordId>]| {
@@ -453,7 +528,8 @@ pub fn evaluate_on_test_pairs<R: Record>(
         pairs.push(RecordPair::new(a, b));
         negatives += 1;
     }
-    let scorer = MatcherScorer::new(matcher, &encoded);
+    let compiled = CompiledDataset::compile(&encoded, &matcher.feature_config());
+    let scorer = CompiledScorer::new(matcher, &compiled);
     let predicted =
         predict_positive_with(&scorer, &pairs, &Parallelism::Auto.pool_for(pairs.len()));
     let positive_set: FxHashSet<RecordPair> = positives.iter().copied().collect();
@@ -532,7 +608,8 @@ pub fn heuristic_company_groups(
         jaccard_threshold: 0.45,
     };
     let pairs = candidates.pairs_sorted();
-    let scorer = MatcherScorer::new(&matcher, &encoded);
+    let compiled = CompiledDataset::compile(&encoded, &matcher.feature_config());
+    let scorer = CompiledScorer::new(&matcher, &compiled);
     let predicted =
         predict_positive_with(&scorer, &pairs, &Parallelism::Auto.pool_for(pairs.len()));
     let graph = prediction_graph(companies.len(), &predicted);

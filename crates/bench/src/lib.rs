@@ -10,6 +10,8 @@
 //! * `repro` — runs everything and writes a combined report,
 //! * `upsert` — incremental-upsert replay (initial load + K delta
 //!   batches) with per-batch reconciliation latency,
+//! * `featbench` — reference vs compiled featurization throughput with a
+//!   bit-identity parity gate,
 //! * `perfcmp` — the CI perf gate: diffs two repro reports per stage and
 //!   fails on regressions or trace-shape changes.
 //!

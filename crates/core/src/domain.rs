@@ -17,7 +17,9 @@ use gralmatch_blocking::{
     run_blockers, Blocker, BlockingContext, CandidateSet, CompanyIdOverlap, IssuerMatch,
     SecurityIdOverlap, TokenOverlap, TokenOverlapConfig,
 };
-use gralmatch_lm::{EncodedRecord, MatcherScorer, ModelSpec, PairScorer, PairwiseMatcher};
+use gralmatch_lm::{
+    CompiledDataset, CompiledMatcher, CompiledScorer, EncodedRecord, ModelSpec, PairScorer,
+};
 use gralmatch_records::{
     CompanyRecord, GroundTruth, ProductRecord, Record, RecordId, SecurityRecord,
 };
@@ -76,13 +78,20 @@ pub fn run_domain<D: MatchingDomain>(
 
 /// Run the standard staged pipeline over a domain with a pairwise matcher
 /// and pre-encoded records (the common trained-model path).
-pub fn run_domain_with_matcher<D: MatchingDomain, M: PairwiseMatcher>(
+///
+/// The encoded streams are compiled once up front
+/// ([`CompiledDataset::compile`]) and all candidate pairs score through
+/// the zero-allocation [`CompiledScorer`] path — identical scores to
+/// [`MatcherScorer`](gralmatch_lm::MatcherScorer), without the per-pair
+/// hashing.
+pub fn run_domain_with_matcher<D: MatchingDomain, M: CompiledMatcher>(
     domain: &D,
     matcher: &M,
     encoded: &[EncodedRecord],
     config: &PipelineConfig,
 ) -> Result<MatchingOutcome, Error> {
-    run_domain(domain, &MatcherScorer::new(matcher, encoded), config)
+    let compiled = CompiledDataset::compile(encoded, &matcher.feature_config());
+    run_domain(domain, &CompiledScorer::new(matcher, &compiled), config)
 }
 
 /// Companies: ID Overlap (through their securities' codes) + Token Overlap.

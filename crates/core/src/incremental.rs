@@ -466,6 +466,7 @@ impl<R: Record + Clone + Sync> PipelineState<R> {
             items_in: batch.len(),
             items_out: self.candidates.len(),
             rss_delta_bytes: None,
+            arena_bytes: None,
             core_seconds: None,
         });
         trace.push(StageTrace {
@@ -474,6 +475,10 @@ impl<R: Record + Clone + Sync> PipelineState<R> {
             items_in: to_score.len(),
             items_out: new_prediction_count,
             rss_delta_bytes: None,
+            // The scorer's compiled view persists across batches and is
+            // rebuilt only for touched records; report its footprint so
+            // the upsert JSON shows memory next to wall-clock.
+            arena_bytes: scorer.memory_bytes(),
             core_seconds: Some(scoring_seconds),
         });
         trace.push(StageTrace {
@@ -482,6 +487,7 @@ impl<R: Record + Clone + Sync> PipelineState<R> {
             items_in: new_prediction_count,
             items_out: groups.len(),
             rss_delta_bytes: None,
+            arena_bytes: None,
             core_seconds: Some(merge.cleanup.seconds),
         });
 

@@ -372,6 +372,7 @@ where
                 (Some(before), Some(after)) => Some(after as i64 - before as i64),
                 _ => None,
             },
+            arena_bytes: None,
             core_seconds: None,
         };
         num_candidates += candidates.len();
@@ -461,6 +462,7 @@ where
         items_in: boundary_pairs.len(),
         items_out: groups.len(),
         rss_delta_bytes: None,
+        arena_bytes: None,
         core_seconds: Some(merge.cleanup.seconds),
     });
 

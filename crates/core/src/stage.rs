@@ -43,6 +43,9 @@ pub struct StageStats {
     /// Core-work seconds, when distinct from the full stage wall-clock
     /// (see [`StageTrace::core_seconds`](crate::trace::StageTrace)).
     pub core_seconds: Option<f64>,
+    /// Scorer-owned compiled-arena bytes (inference stages with a
+    /// compiled scorer; see [`PairScorer::memory_bytes`]).
+    pub arena_bytes: Option<usize>,
 }
 
 /// Shared state threaded through the stages of one pipeline run.
@@ -180,6 +183,7 @@ impl<D: MatchingDomain> Stage for BlockingStage<'_, D> {
             items_in: records.len(),
             items_out: ctx.num_candidates,
             core_seconds: None,
+            arena_bytes: None,
         })
     }
 }
@@ -213,6 +217,7 @@ impl Stage for InferenceStage {
             items_in: pairs.len(),
             items_out: predicted.len(),
             core_seconds: Some(scoring_seconds),
+            arena_bytes: ctx.scorer.memory_bytes(),
         };
         ctx.predicted = Some(predicted);
         Ok(stats)
@@ -269,6 +274,7 @@ impl Stage for CleanupStage {
             // Pre-cleanup + Algorithm 1, excluding graph construction and
             // the pre-cleanup metrics evaluation.
             core_seconds: Some(cleanup_seconds),
+            arena_bytes: None,
         })
     }
 }
@@ -294,6 +300,7 @@ impl Stage for GroupingStage {
             items_in: graph.num_edges(),
             items_out: groups.len(),
             core_seconds: None,
+            arena_bytes: None,
         };
         ctx.groups = Some(groups);
         Ok(stats)
@@ -360,6 +367,7 @@ impl<'a> StagePipeline<'a> {
                 items_in: stats.items_in,
                 items_out: stats.items_out,
                 rss_delta_bytes,
+                arena_bytes: stats.arena_bytes,
                 core_seconds: stats.core_seconds,
             });
         }

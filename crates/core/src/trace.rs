@@ -36,6 +36,11 @@ pub struct StageTrace {
     pub items_out: usize,
     /// Resident-set change across the stage, when the platform exposes RSS.
     pub rss_delta_bytes: Option<i64>,
+    /// Heap bytes of the scorer's compiled featurization arena (symbol
+    /// arena + per-symbol feature tables + interner), reported by
+    /// inference stages driven by a compiled scorer — the memory side of
+    /// the compile-once/score-many tradeoff, next to the wall-clock.
+    pub arena_bytes: Option<usize>,
     /// Seconds of the stage's core work only, when the stage distinguishes
     /// it from setup/evaluation bookkeeping (e.g. pair scoring without the
     /// candidate sort and metrics pass). `seconds` is always the full
@@ -85,6 +90,12 @@ impl PipelineTrace {
                                 (Some(a), Some(b)) => Some(a + b),
                                 (a, b) => a.or(b),
                             };
+                        // Shards share one compiled arena: report the
+                        // largest observation, not a double-counting sum.
+                        existing.arena_bytes = match (existing.arena_bytes, stage.arena_bytes) {
+                            (Some(a), Some(b)) => Some(a.max(b)),
+                            (a, b) => a.or(b),
+                        };
                         existing.core_seconds = match (existing.core_seconds, stage.core_seconds) {
                             (Some(a), Some(b)) => Some(a + b),
                             (a, b) => a.or(b),
@@ -156,6 +167,7 @@ mod tests {
             items_in: 100,
             items_out: 400,
             rss_delta_bytes: Some(1 << 20),
+            arena_bytes: None,
             core_seconds: None,
         });
         trace.push(StageTrace {
@@ -164,6 +176,7 @@ mod tests {
             items_in: 400,
             items_out: 120,
             rss_delta_bytes: None,
+            arena_bytes: Some(1 << 16),
             core_seconds: Some(1.5),
         });
         trace
@@ -190,6 +203,7 @@ mod tests {
             items_in: 10,
             items_out: 10,
             rss_delta_bytes: None,
+            arena_bytes: None,
             core_seconds: None,
         };
         assert_eq!(instant.throughput(), 0.0);
@@ -207,6 +221,8 @@ mod tests {
         assert_eq!(blocking.rss_delta_bytes, Some(2 << 20));
         let inference = rolled.stage(stage_names::INFERENCE).unwrap();
         assert_eq!(inference.core_seconds, Some(3.0));
+        // Arena sizes roll up as a max (shards share one compiled view).
+        assert_eq!(inference.arena_bytes, Some(1 << 16));
         // Order is first-appearance: blocking before inference.
         assert_eq!(rolled.stages[0].stage, stage_names::BLOCKING);
     }

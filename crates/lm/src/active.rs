@@ -14,8 +14,9 @@
 //!
 //! The harness compares it against random sampling at equal budgets.
 
+use crate::compiled::{CompiledDataset, FeatureScratch};
 use crate::encode::EncodedRecord;
-use crate::features::{featurize, FeatureConfig};
+use crate::features::{FeatureConfig, PairFeatures};
 use crate::matcher::TrainedMatcher;
 use crate::model::{Adagrad, LogisticModel};
 use gralmatch_records::{GroundTruth, RecordPair};
@@ -86,6 +87,11 @@ pub fn active_learning_loop(
     let dim = config.features.dim();
     let mut model = LogisticModel::new(dim);
     let mut optimizer = Adagrad::new(dim, config.learning_rate, 1e-7);
+    // The loop featurizes pool pairs every scoring round and labeled pairs
+    // every retraining epoch — compile the streams once up front.
+    let compiled = CompiledDataset::compile(encoded, &config.features);
+    let mut scratch = FeatureScratch::default();
+    let mut workspace = PairFeatures::default();
 
     let mut unlabeled: Vec<RecordPair> = pool.to_vec();
     rng.shuffle(&mut unlabeled);
@@ -110,12 +116,13 @@ pub fn active_learning_loop(
                         .iter()
                         .enumerate()
                         .map(|(i, &pair)| {
-                            let features = featurize(
-                                &encoded[pair.a.0 as usize],
-                                &encoded[pair.b.0 as usize],
-                                &config.features,
+                            compiled.featurize_into(
+                                pair.a.0,
+                                pair.b.0,
+                                &mut scratch,
+                                &mut workspace,
                             );
-                            ((model.predict(&features) - 0.5).abs(), i)
+                            ((model.predict(&workspace) - 0.5).abs(), i)
                         })
                         .collect();
                     scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
@@ -137,12 +144,8 @@ pub fn active_learning_loop(
         // Retrain from the full labeled set.
         for _ in 0..config.epochs_per_round {
             for &(pair, label) in &labeled {
-                let features = featurize(
-                    &encoded[pair.a.0 as usize],
-                    &encoded[pair.b.0 as usize],
-                    &config.features,
-                );
-                optimizer.step(&mut model, &features, label);
+                compiled.featurize_into(pair.a.0, pair.b.0, &mut scratch, &mut workspace);
+                optimizer.step(&mut model, &workspace, label);
             }
         }
         reports.push(RoundReport {

@@ -1,0 +1,512 @@
+//! Compiled featurization: dataset-level symbol interning + per-symbol
+//! feature tables, turning per-pair featurization into integer merges.
+//!
+//! [`featurize`](crate::features::featurize) is a pure function of a
+//! pair's token and trigram *sets*, but each record participates in many
+//! candidate pairs — up to 1.14M pairs for the synthetic companies
+//! (paper Table 2) — and the reference path re-derives both sets and
+//! re-hashes every gram for every pair. The compile pass here does all
+//! string work **once per record**:
+//!
+//! * a [`SymbolInterner`] maps every distinct token and character trigram
+//!   to a dense `u32` symbol id,
+//! * each [`EncodedRecord`] becomes a `RecordSpan`: two sorted, deduped
+//!   symbol slices (tokens, trigrams) in one shared columnar arena
+//!   (a single `Vec<u32>` — no per-record allocations),
+//! * for every distinct symbol, [`hash_feature`] is precomputed for all
+//!   four namespaces (shared/diff × token/trigram) into flat `(index,
+//!   signed value)` tables, so hashing happens once per unique symbol
+//!   instead of once per pair-side occurrence.
+//!
+//! Per-pair featurization is then a branch-light sorted-merge over two
+//! `u32` slices with table lookups, writing into caller-provided scratch —
+//! zero allocation in the steady state — and finishes through the same
+//! `finalize` canonicalization as the
+//! reference path, so the output is **bit-for-bit identical** (including
+//! the L2 norm, whose summation order is part of the canonical contract).
+//!
+//! The dataset view is indexed by record id (the dense-id invariant the
+//! scorers already rely on) and supports **incremental maintenance**:
+//! [`CompiledDataset::recompile_record`] rebuilds exactly one record's
+//! spans when an upsert touches it, appending to the arena and interning
+//! only genuinely new symbols; untouched records keep their compiled form.
+
+use crate::encode::EncodedRecord;
+use crate::features::{
+    dense_slots, finalize, FeatureConfig, PairFeatures, NS_DIFF_TOKEN, NS_DIFF_TRIGRAM,
+    NS_SHARED_TOKEN, NS_SHARED_TRIGRAM, WEIGHT_DIFF_TOKEN, WEIGHT_DIFF_TRIGRAM,
+    WEIGHT_SHARED_TOKEN, WEIGHT_SHARED_TRIGRAM,
+};
+use gralmatch_text::ngrams::hash_feature;
+use gralmatch_text::SymbolInterner;
+
+/// One record's compiled form: offsets into the shared symbol arena.
+#[derive(Debug, Clone, Copy, Default)]
+struct RecordSpan {
+    token_start: u32,
+    token_len: u32,
+    trigram_start: u32,
+    trigram_len: u32,
+}
+
+/// Reusable per-worker scratch for compiled featurization (merge output
+/// and the canonicalization sort buffer).
+#[derive(Debug, Clone, Default)]
+pub struct FeatureScratch {
+    sort_keys: Vec<(u32, u32)>,
+}
+
+/// Per-worker scratch for pair *scoring*: the featurization buffers plus
+/// the assembled feature vector. One lives per worker thread of a scoring
+/// pool (`WorkerPool::map_init`), so steady-state scoring allocates
+/// nothing per pair.
+#[derive(Debug, Clone, Default)]
+pub struct ScoreScratch {
+    /// Feature vector assembled for the current pair.
+    pub features: PairFeatures,
+    /// Merge/sort buffers behind the feature vector.
+    pub merge: FeatureScratch,
+}
+
+/// A precomputed hashed feature: weight-vector index and signed value
+/// (`sign * namespace_weight`), ready to push without hashing.
+type TableEntry = (u32, f32);
+
+/// A dataset compiled for fast pair featurization. Indexed by record id —
+/// the same `encoded[id]` invariant [`MatcherScorer`](crate::MatcherScorer)
+/// uses.
+#[derive(Debug, Clone)]
+pub struct CompiledDataset {
+    config: FeatureConfig,
+    interner: SymbolInterner,
+    /// Shared columnar symbol storage: every record's sorted token ids and
+    /// sorted trigram ids live here back to back.
+    arena: Vec<u32>,
+    spans: Vec<RecordSpan>,
+    /// Per-symbol precomputed features, indexed by symbol id.
+    shared_token: Vec<TableEntry>,
+    diff_token: Vec<TableEntry>,
+    shared_trigram: Vec<TableEntry>,
+    diff_trigram: Vec<TableEntry>,
+    /// Scratch reused across `recompile_record` calls (symbol collection).
+    scratch_ids: Vec<u32>,
+    scratch_gram: String,
+}
+
+impl CompiledDataset {
+    /// Empty dataset under a feature configuration; records arrive through
+    /// [`CompiledDataset::recompile_record`] (the incremental entry point).
+    pub fn new(config: &FeatureConfig) -> Self {
+        CompiledDataset {
+            config: *config,
+            interner: SymbolInterner::new(),
+            arena: Vec::new(),
+            spans: Vec::new(),
+            shared_token: Vec::new(),
+            diff_token: Vec::new(),
+            shared_trigram: Vec::new(),
+            diff_trigram: Vec::new(),
+            scratch_ids: Vec::new(),
+            scratch_gram: String::new(),
+        }
+    }
+
+    /// One-time compile pass over a dataset's encoded records
+    /// (`encoded[i]` is record id `i`).
+    pub fn compile(encoded: &[EncodedRecord], config: &FeatureConfig) -> Self {
+        let mut compiled = CompiledDataset::new(config);
+        compiled.spans.reserve(encoded.len());
+        for (id, record) in encoded.iter().enumerate() {
+            compiled.recompile_record(id as u32, record);
+        }
+        compiled
+    }
+
+    /// The feature configuration the tables were built for.
+    pub fn config(&self) -> &FeatureConfig {
+        &self.config
+    }
+
+    /// Number of record slots (max compiled id + 1).
+    pub fn num_records(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Number of distinct symbols (tokens + trigrams) interned.
+    pub fn num_symbols(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Approximate heap footprint of the compiled view: symbol arena,
+    /// record spans, per-symbol feature tables, and the interner. This is
+    /// the number the inference stage reports as its compiled-arena size.
+    pub fn arena_bytes(&self) -> usize {
+        self.arena.len() * std::mem::size_of::<u32>()
+            + self.spans.len() * std::mem::size_of::<RecordSpan>()
+            + (self.shared_token.len()
+                + self.diff_token.len()
+                + self.shared_trigram.len()
+                + self.diff_trigram.len())
+                * std::mem::size_of::<TableEntry>()
+            + self.interner.heap_bytes()
+    }
+
+    /// A record's sorted, deduped content-token symbols (markers excluded
+    /// at compile time).
+    pub fn tokens_of(&self, id: u32) -> &[u32] {
+        let span = &self.spans[id as usize];
+        &self.arena[span.token_start as usize..(span.token_start + span.token_len) as usize]
+    }
+
+    /// A record's sorted, deduped trigram symbols.
+    pub fn trigrams_of(&self, id: u32) -> &[u32] {
+        let span = &self.spans[id as usize];
+        &self.arena[span.trigram_start as usize..(span.trigram_start + span.trigram_len) as usize]
+    }
+
+    /// Intern one symbol, extending the per-namespace tables on first
+    /// appearance (four `hash_feature` calls per *distinct* symbol — ever).
+    fn intern_symbol(&mut self, symbol: &str) -> u32 {
+        let id = self.interner.intern(symbol);
+        if id as usize == self.shared_token.len() {
+            let dim = self.config.hash_dim;
+            let entry = |namespace: u8, weight: f32| {
+                let hashed = hash_feature(namespace, symbol, dim);
+                (hashed.index, hashed.sign * weight)
+            };
+            self.shared_token
+                .push(entry(NS_SHARED_TOKEN, WEIGHT_SHARED_TOKEN));
+            self.diff_token
+                .push(entry(NS_DIFF_TOKEN, WEIGHT_DIFF_TOKEN));
+            self.shared_trigram
+                .push(entry(NS_SHARED_TRIGRAM, WEIGHT_SHARED_TRIGRAM));
+            self.diff_trigram
+                .push(entry(NS_DIFF_TRIGRAM, WEIGHT_DIFF_TRIGRAM));
+        }
+        id
+    }
+
+    /// Sort + dedup the staged symbol ids and append them to the arena,
+    /// returning `(start, len)`.
+    fn commit_scratch(&mut self) -> (u32, u32) {
+        self.scratch_ids.sort_unstable();
+        self.scratch_ids.dedup();
+        let start = self.arena.len();
+        self.arena.extend_from_slice(&self.scratch_ids);
+        // Spans store u32 offsets and the arena is append-only under
+        // `recompile_record` (abandoned segments are not reclaimed), so a
+        // long-lived state must fail loudly at the offset ceiling instead
+        // of wrapping into other records' symbols.
+        assert!(
+            self.arena.len() <= u32::MAX as usize,
+            "compiled arena exceeded u32 offsets; rebuild via CompiledDataset::compile to compact"
+        );
+        (start as u32, self.scratch_ids.len() as u32)
+    }
+
+    /// (Re)build one record's compiled spans from its encoded token
+    /// stream — the incremental-upsert hook: only records an upsert batch
+    /// touched pay a recompile; everything else keeps its standing spans.
+    /// New symbols extend the shared tables;
+    /// replaced arena segments are abandoned in place (the arena is
+    /// append-only — a long-lived state can rebuild via
+    /// [`CompiledDataset::compile`] to compact).
+    pub fn recompile_record(&mut self, id: u32, encoded: &EncodedRecord) {
+        if id as usize >= self.spans.len() {
+            self.spans.resize(id as usize + 1, RecordSpan::default());
+        }
+        // Tokens: deduped content tokens (encoder markers carry no
+        // feature content and are excluded here once instead of per pair).
+        self.scratch_ids.clear();
+        for token in &encoded.tokens {
+            if token.starts_with('[') {
+                continue;
+            }
+            let symbol = self.intern_symbol(token);
+            self.scratch_ids.push(symbol);
+        }
+        let (token_start, token_len) = self.commit_scratch();
+
+        // Trigrams: length-3 char windows per content token; sub-3-char
+        // tokens contribute themselves (the reference-path rule).
+        self.scratch_ids.clear();
+        for token in &encoded.tokens {
+            if token.starts_with('[') {
+                continue;
+            }
+            if token.chars().count() < 3 {
+                let symbol = self.intern_symbol(token);
+                self.scratch_ids.push(symbol);
+                continue;
+            }
+            let mut window: [char; 3] = [' '; 3];
+            for (position, c) in token.chars().enumerate() {
+                window.rotate_left(1);
+                window[2] = c;
+                if position >= 2 {
+                    let mut gram = std::mem::take(&mut self.scratch_gram);
+                    gram.clear();
+                    gram.extend(window);
+                    let symbol = self.intern_symbol(&gram);
+                    self.scratch_gram = gram;
+                    self.scratch_ids.push(symbol);
+                }
+            }
+        }
+        let (trigram_start, trigram_len) = self.commit_scratch();
+
+        self.spans[id as usize] = RecordSpan {
+            token_start,
+            token_len,
+            trigram_start,
+            trigram_len,
+        };
+    }
+
+    /// Drop a record's compiled form (deleted record): both spans become
+    /// empty. Scoring a cleared record is valid and behaves like an empty
+    /// token stream.
+    pub fn clear_record(&mut self, id: u32) {
+        if (id as usize) < self.spans.len() {
+            self.spans[id as usize] = RecordSpan::default();
+        }
+    }
+
+    /// Featurize a compiled pair into `out`, reusing `scratch` — the
+    /// zero-allocation hot path. Output is bit-for-bit identical to
+    /// [`featurize`](crate::features::featurize) over the same encoded
+    /// records (see the module docs for why).
+    pub fn featurize_into(
+        &self,
+        a: u32,
+        b: u32,
+        scratch: &mut FeatureScratch,
+        out: &mut PairFeatures,
+    ) {
+        out.indices.clear();
+        out.values.clear();
+
+        let tokens_a = self.tokens_of(a);
+        let tokens_b = self.tokens_of(b);
+        let shared_tokens = merge_emit(
+            tokens_a,
+            tokens_b,
+            &self.shared_token,
+            &self.diff_token,
+            out,
+        );
+
+        let trigrams_a = self.trigrams_of(a);
+        let trigrams_b = self.trigrams_of(b);
+        let shared_trigrams = merge_emit(
+            trigrams_a,
+            trigrams_b,
+            &self.shared_trigram,
+            &self.diff_trigram,
+            out,
+        );
+
+        let dense = dense_slots(
+            shared_tokens,
+            tokens_a.len(),
+            tokens_b.len(),
+            shared_trigrams,
+            trigrams_a.len(),
+            trigrams_b.len(),
+        );
+        finalize(out, &mut scratch.sort_keys, &dense, self.config.hash_dim);
+    }
+
+    /// Featurize into a fresh [`PairFeatures`] (convenience / tests; hot
+    /// loops use [`CompiledDataset::featurize_into`]).
+    pub fn featurize_pair(&self, a: u32, b: u32) -> PairFeatures {
+        let mut scratch = FeatureScratch::default();
+        let mut out = PairFeatures::default();
+        self.featurize_into(a, b, &mut scratch, &mut out);
+        out
+    }
+
+    /// Sorted-merge intersection size of two records' token symbols (the
+    /// compiled form of the heuristic matcher's Jaccard numerator).
+    pub fn shared_token_count(&self, a: u32, b: u32) -> usize {
+        sorted_intersection_len(self.tokens_of(a), self.tokens_of(b))
+    }
+}
+
+/// Walk two sorted, deduped symbol slices; emit the shared-table entry for
+/// symbols present in both and the diff-table entry for one-sided symbols.
+/// Returns the intersection size.
+fn merge_emit(
+    a: &[u32],
+    b: &[u32],
+    shared: &[TableEntry],
+    diff: &[TableEntry],
+    out: &mut PairFeatures,
+) -> usize {
+    let mut push = |(index, value): TableEntry| {
+        out.indices.push(index);
+        out.values.push(value);
+    };
+    let mut shared_count = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        match x.cmp(&y) {
+            std::cmp::Ordering::Equal => {
+                shared_count += 1;
+                push(shared[x as usize]);
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => {
+                push(diff[x as usize]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                push(diff[y as usize]);
+                j += 1;
+            }
+        }
+    }
+    for &x in &a[i..] {
+        push(diff[x as usize]);
+    }
+    for &y in &b[j..] {
+        push(diff[y as usize]);
+    }
+    shared_count
+}
+
+/// Intersection size of two sorted, deduped slices.
+fn sorted_intersection_len(a: &[u32], b: &[u32]) -> usize {
+    let mut count = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::featurize;
+
+    fn encoded(tokens: &[&str]) -> EncodedRecord {
+        EncodedRecord {
+            tokens: tokens.iter().map(|t| t.to_string()).collect(),
+        }
+    }
+
+    fn assert_bit_identical(reference: &PairFeatures, compiled: &PairFeatures) {
+        assert_eq!(reference.indices, compiled.indices);
+        let ref_bits: Vec<u32> = reference.values.iter().map(|v| v.to_bits()).collect();
+        let compiled_bits: Vec<u32> = compiled.values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ref_bits, compiled_bits);
+    }
+
+    #[test]
+    fn compiled_matches_reference_on_handcrafted_records() {
+        let config = FeatureConfig::default();
+        let records = vec![
+            encoded(&["crowdstrike", "holdings", "austin", "usa"]),
+            encoded(&["crowdstreet", "austin", "tx"]),
+            encoded(&["[col]", "name", "[val]", "acme", "ag"]),
+            encoded(&[]),
+            encoded(&["ab", "x", "acme", "acme"]), // sub-3-char + duplicate
+            encoded(&["zürich", "österreich"]),    // multi-byte chars
+        ];
+        let compiled = CompiledDataset::compile(&records, &config);
+        for a in 0..records.len() {
+            for b in 0..records.len() {
+                let reference = featurize(&records[a], &records[b], &config);
+                let fast = compiled.featurize_pair(a as u32, b as u32);
+                assert_bit_identical(&reference, &fast);
+            }
+        }
+    }
+
+    #[test]
+    fn spans_are_sorted_and_deduped() {
+        let config = FeatureConfig::default();
+        let compiled = CompiledDataset::compile(
+            &[encoded(&["beta", "alpha", "beta", "[col]", "alpha"])],
+            &config,
+        );
+        let tokens = compiled.tokens_of(0);
+        assert_eq!(tokens.len(), 2, "deduped, markers dropped");
+        assert!(tokens.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn recompile_updates_one_record_only() {
+        let config = FeatureConfig::default();
+        let records = vec![
+            encoded(&["acme", "zurich"]),
+            encoded(&["globex", "paris"]),
+            encoded(&["initech", "austin"]),
+        ];
+        let mut compiled = CompiledDataset::compile(&records, &config);
+        let before_other = featurize(&records[2], &records[1], &config);
+
+        let replacement = encoded(&["acme", "geneva", "brand-new-token"]);
+        compiled.recompile_record(0, &replacement);
+        // The touched record now featurizes like its replacement...
+        let reference = featurize(&replacement, &records[1], &config);
+        assert_bit_identical(&reference, &compiled.featurize_pair(0, 1));
+        // ...and untouched records are unaffected.
+        assert_bit_identical(&before_other, &compiled.featurize_pair(2, 1));
+    }
+
+    #[test]
+    fn recompile_extends_the_id_space() {
+        let config = FeatureConfig::default();
+        let mut compiled = CompiledDataset::new(&config);
+        compiled.recompile_record(3, &encoded(&["late", "arrival"]));
+        assert_eq!(compiled.num_records(), 4);
+        // Interleaving ids compile as empty records until filled.
+        let reference = featurize(&encoded(&[]), &encoded(&["late", "arrival"]), &config);
+        assert_bit_identical(&reference, &compiled.featurize_pair(1, 3));
+    }
+
+    #[test]
+    fn clear_record_behaves_like_empty_stream() {
+        let config = FeatureConfig::default();
+        let records = vec![encoded(&["acme", "zurich"]), encoded(&["acme", "geneva"])];
+        let mut compiled = CompiledDataset::compile(&records, &config);
+        compiled.clear_record(0);
+        let reference = featurize(&encoded(&[]), &records[1], &config);
+        assert_bit_identical(&reference, &compiled.featurize_pair(0, 1));
+    }
+
+    #[test]
+    fn arena_bytes_reports_growth() {
+        let config = FeatureConfig::default();
+        let empty = CompiledDataset::new(&config);
+        let populated = CompiledDataset::compile(
+            &[encoded(&["crowdstrike", "holdings", "austin", "texas"])],
+            &config,
+        );
+        assert!(populated.arena_bytes() > empty.arena_bytes());
+        assert!(populated.num_symbols() > 0);
+    }
+
+    #[test]
+    fn shared_token_count_matches_set_intersection() {
+        let config = FeatureConfig::default();
+        let records = vec![
+            encoded(&["acme", "zurich", "ag"]),
+            encoded(&["acme", "geneva", "ag", "[col]"]),
+        ];
+        let compiled = CompiledDataset::compile(&records, &config);
+        assert_eq!(compiled.shared_token_count(0, 1), 2);
+    }
+}

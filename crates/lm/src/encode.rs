@@ -25,23 +25,31 @@ use gralmatch_text::tokenize_into;
 const SUBWORD_MAX: usize = 6;
 const SUBWORD_CHUNK: usize = 3;
 
-fn subword_split(tokens: Vec<String>) -> Vec<String> {
-    let mut out = Vec::with_capacity(tokens.len() + 8);
-    for token in tokens {
-        if token.chars().count() <= SUBWORD_MAX || token.starts_with('[') {
-            out.push(token);
-        } else {
-            let chars: Vec<char> = token.chars().collect();
-            for chunk in chars.chunks(SUBWORD_CHUNK) {
-                out.push(chunk.iter().collect());
-            }
+/// Append `token` (or its subword chunks) to `out`. Streams the char
+/// iterator directly into chunk strings — no intermediate `Vec<char>`
+/// per token, and short tokens move through untouched.
+fn subword_split_into(token: String, out: &mut Vec<String>) {
+    if token.chars().count() <= SUBWORD_MAX || token.starts_with('[') {
+        out.push(token);
+        return;
+    }
+    let mut chunk = String::with_capacity(SUBWORD_CHUNK * 2);
+    let mut chunk_chars = 0usize;
+    for c in token.chars() {
+        chunk.push(c);
+        chunk_chars += 1;
+        if chunk_chars == SUBWORD_CHUNK {
+            out.push(std::mem::take(&mut chunk));
+            chunk_chars = 0;
         }
     }
-    out
+    if !chunk.is_empty() {
+        out.push(chunk);
+    }
 }
 
 /// A record serialized to a (possibly truncated) token stream.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EncodedRecord {
     /// Lowercased tokens, truncated to the encoder's per-record budget.
     pub tokens: Vec<String>,
@@ -61,14 +69,19 @@ impl EncodedRecord {
 
 /// A record-to-token-stream serializer with a pair sequence budget.
 pub trait PairEncoder: Sync {
-    /// Maximum tokens for the *pair* (both records plus separators), like
-    /// the transformer max sequence length it models.
+    /// Maximum tokens for the *pair*, like the transformer max sequence
+    /// length it models. No separator tokens are emitted between the two
+    /// records — the budget is split evenly, each record keeping
+    /// `max_seq_len / 2` tokens (see [`PairEncoder::encode`]).
     fn max_seq_len(&self) -> usize;
 
     /// Serialize one record's fields into tokens (no truncation).
     fn serialize<R: Record>(&self, record: &R) -> Vec<String>;
 
-    /// Encode a record, truncated to its half of the pair budget.
+    /// Encode a record, truncated to its half of the pair budget
+    /// (`max_seq_len / 2` tokens — the entire budget is record content;
+    /// markers like `[col]`/`[val]` count because they are real emitted
+    /// tokens, but no pair-separator token exists to account for).
     fn encode<R: Record>(&self, record: &R) -> EncodedRecord {
         let mut tokens = self.serialize(record);
         tokens.truncate(self.max_seq_len() / 2);
@@ -96,11 +109,15 @@ impl PairEncoder for PlainEncoder {
     }
 
     fn serialize<R: Record>(&self, record: &R) -> Vec<String> {
-        let mut tokens = Vec::with_capacity(32);
+        let mut raw = Vec::with_capacity(32);
         for (_, value) in record.fields() {
-            tokenize_into(&value, &mut tokens);
+            tokenize_into(&value, &mut raw);
         }
-        subword_split(tokens)
+        let mut tokens = Vec::with_capacity(raw.len() + 8);
+        for token in raw {
+            subword_split_into(token, &mut tokens);
+        }
+        tokens
     }
 }
 
@@ -126,13 +143,18 @@ impl PairEncoder for DittoEncoder {
 
     fn serialize<R: Record>(&self, record: &R) -> Vec<String> {
         let mut tokens = Vec::with_capacity(48);
+        // One value-token buffer reused across all fields: `drain` hands
+        // each token on to the subword splitter while keeping the buffer's
+        // capacity for the next field.
+        let mut value_tokens: Vec<String> = Vec::with_capacity(8);
         for (column, value) in record.fields() {
             tokens.push("[col]".to_string());
             tokens.push(column.to_string());
             tokens.push("[val]".to_string());
-            let mut value_tokens = Vec::new();
             tokenize_into(&value, &mut value_tokens);
-            tokens.extend(subword_split(value_tokens));
+            for token in value_tokens.drain(..) {
+                subword_split_into(token, &mut tokens);
+            }
         }
         tokens
     }
@@ -184,7 +206,10 @@ mod tests {
 
     #[test]
     fn subword_split_rules() {
-        let split = subword_split(vec!["austin".into(), "us31807756e".into(), "[col]".into()]);
+        let mut split = Vec::new();
+        for token in ["austin", "us31807756e", "[col]"] {
+            subword_split_into(token.to_string(), &mut split);
+        }
         assert_eq!(split, vec!["austin", "us3", "180", "775", "6e", "[col]"]);
     }
 

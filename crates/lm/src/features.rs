@@ -13,6 +13,20 @@
 //!
 //! The featurization is symmetric by construction (set operations), so
 //! `score(a, b) == score(b, a)` holds exactly.
+//!
+//! **Canonical output order.** The hashed section of a [`PairFeatures`] is
+//! emitted sorted by `(index, value bit pattern)`, followed by the dense
+//! slots in slot order, and the L2 norm is accumulated in exactly that
+//! order. This makes the output independent of *how* the feature multiset
+//! was produced — the set-based reference implementation here and the
+//! sorted-merge compiled path in [`crate::compiled`] produce bit-for-bit
+//! identical vectors (property-tested in `tests/compiled_featurization.rs`).
+//!
+//! [`featurize`] is the **reference oracle**: allocation-heavy but
+//! obviously faithful to the definition above. Hot loops go through
+//! [`CompiledDataset`](crate::compiled::CompiledDataset), which interns
+//! every token/trigram once per dataset and replaces the per-pair hashing
+//! with integer merges over precomputed per-symbol tables.
 
 use crate::encode::EncodedRecord;
 use gralmatch_text::ngrams::hash_feature;
@@ -35,10 +49,16 @@ impl Default for FeatureConfig {
 /// Number of dense feature slots appended after the hashed space.
 pub const NUM_DENSE: usize = 6;
 
-const NS_SHARED_TOKEN: u8 = 1;
-const NS_DIFF_TOKEN: u8 = 2;
-const NS_SHARED_TRIGRAM: u8 = 3;
-const NS_DIFF_TRIGRAM: u8 = 4;
+pub(crate) const NS_SHARED_TOKEN: u8 = 1;
+pub(crate) const NS_DIFF_TOKEN: u8 = 2;
+pub(crate) const NS_SHARED_TRIGRAM: u8 = 3;
+pub(crate) const NS_DIFF_TRIGRAM: u8 = 4;
+
+/// Per-namespace feature weights (multiplied by the hash sign).
+pub(crate) const WEIGHT_SHARED_TOKEN: f32 = 1.0;
+pub(crate) const WEIGHT_DIFF_TOKEN: f32 = 0.5;
+pub(crate) const WEIGHT_SHARED_TRIGRAM: f32 = 0.5;
+pub(crate) const WEIGHT_DIFF_TRIGRAM: f32 = 0.25;
 
 /// A featurized pair: parallel arrays of weight indexes and values,
 /// L2-normalized. Indexes may repeat (hash collisions within one pair are
@@ -74,7 +94,91 @@ fn char_trigrams_of_tokens(tokens: &[String], out: &mut FxHashSet<String>) {
     }
 }
 
-/// Featurize an encoded pair.
+/// The dense similarity slots, a pure function of the pair's set counts.
+/// Shared by the reference and compiled paths so both compute identical
+/// bit patterns from identical counts.
+pub(crate) fn dense_slots(
+    shared_tokens: usize,
+    content_a: usize,
+    content_b: usize,
+    shared_trigrams: usize,
+    num_trigrams_a: usize,
+    num_trigrams_b: usize,
+) -> [f32; NUM_DENSE] {
+    let union = (content_a + content_b).saturating_sub(shared_tokens);
+    let jaccard = if union == 0 {
+        1.0
+    } else {
+        shared_tokens as f32 / union as f32
+    };
+    let trigram_union = (num_trigrams_a + num_trigrams_b).saturating_sub(shared_trigrams);
+    let trigram_jaccard = if trigram_union == 0 {
+        1.0
+    } else {
+        shared_trigrams as f32 / trigram_union as f32
+    };
+    let len_ratio = if content_a.max(content_b) == 0 {
+        1.0
+    } else {
+        content_a.min(content_b) as f32 / content_a.max(content_b) as f32
+    };
+    [
+        jaccard,
+        trigram_jaccard,
+        len_ratio,
+        (shared_tokens as f32 / 8.0).min(1.0),
+        if shared_tokens == 0 { 1.0 } else { 0.0 },
+        1.0, // bias-adjacent always-on slot
+    ]
+}
+
+/// Canonicalize a pair vector in place: sort the hashed section by
+/// `(index, value bit pattern)` through `scratch`, append the dense slots
+/// after `hash_dim`, and L2-normalize in that exact order. Both featurize
+/// paths finish through here, which is what makes their outputs bit-for-bit
+/// comparable (float summation order is part of the contract).
+pub(crate) fn finalize(
+    features: &mut PairFeatures,
+    scratch: &mut Vec<(u32, u32)>,
+    dense: &[f32; NUM_DENSE],
+    hash_dim: u32,
+) {
+    scratch.clear();
+    scratch.extend(
+        features
+            .indices
+            .iter()
+            .zip(&features.values)
+            .map(|(&index, &value)| (index, value.to_bits())),
+    );
+    scratch.sort_unstable();
+    features.indices.clear();
+    features.values.clear();
+    for &(index, bits) in scratch.iter() {
+        features.indices.push(index);
+        features.values.push(f32::from_bits(bits));
+    }
+    for (slot, value) in dense.iter().enumerate() {
+        features.indices.push(hash_dim + slot as u32);
+        features.values.push(*value);
+    }
+
+    // L2 normalization keeps gradient magnitudes comparable across pairs of
+    // very different record lengths.
+    let norm = features.values.iter().map(|v| v * v).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for value in &mut features.values {
+            *value /= norm;
+        }
+    }
+}
+
+/// Featurize an encoded pair — the set-based **reference** implementation.
+///
+/// Hot loops (inference over candidate pairs, training epochs) should go
+/// through [`CompiledDataset`](crate::compiled::CompiledDataset) instead,
+/// which produces bit-for-bit identical output without per-pair hashing or
+/// string allocation.
 pub fn featurize(a: &EncodedRecord, b: &EncodedRecord, config: &FeatureConfig) -> PairFeatures {
     let set_a: FxHashSet<&str> = a.tokens.iter().map(|t| t.as_str()).collect();
     let set_b: FxHashSet<&str> = b.tokens.iter().map(|t| t.as_str()).collect();
@@ -93,16 +197,16 @@ pub fn featurize(a: &EncodedRecord, b: &EncodedRecord, config: &FeatureConfig) -
         }
         if set_b.contains(token) {
             shared_tokens += 1;
-            push(NS_SHARED_TOKEN, token, 1.0);
+            push(NS_SHARED_TOKEN, token, WEIGHT_SHARED_TOKEN);
         } else {
-            push(NS_DIFF_TOKEN, token, 0.5);
+            push(NS_DIFF_TOKEN, token, WEIGHT_DIFF_TOKEN);
         }
     }
     for &token in &set_b {
         if token.starts_with('[') || set_a.contains(token) {
             continue;
         }
-        push(NS_DIFF_TOKEN, token, 0.5);
+        push(NS_DIFF_TOKEN, token, WEIGHT_DIFF_TOKEN);
     }
 
     let mut trigrams_a = FxHashSet::default();
@@ -113,58 +217,29 @@ pub fn featurize(a: &EncodedRecord, b: &EncodedRecord, config: &FeatureConfig) -
     for gram in &trigrams_a {
         if trigrams_b.contains(gram) {
             shared_trigrams += 1;
-            push(NS_SHARED_TRIGRAM, gram, 0.5);
+            push(NS_SHARED_TRIGRAM, gram, WEIGHT_SHARED_TRIGRAM);
         } else {
-            push(NS_DIFF_TRIGRAM, gram, 0.25);
+            push(NS_DIFF_TRIGRAM, gram, WEIGHT_DIFF_TRIGRAM);
         }
     }
     for gram in &trigrams_b {
         if !trigrams_a.contains(gram) {
-            push(NS_DIFF_TRIGRAM, gram, 0.25);
+            push(NS_DIFF_TRIGRAM, gram, WEIGHT_DIFF_TRIGRAM);
         }
     }
 
-    // Dense similarity slots.
     let content_a = set_a.iter().filter(|t| !t.starts_with('[')).count();
     let content_b = set_b.iter().filter(|t| !t.starts_with('[')).count();
-    let union = (content_a + content_b).saturating_sub(shared_tokens);
-    let jaccard = if union == 0 {
-        1.0
-    } else {
-        shared_tokens as f32 / union as f32
-    };
-    let trigram_union = (trigrams_a.len() + trigrams_b.len()).saturating_sub(shared_trigrams);
-    let trigram_jaccard = if trigram_union == 0 {
-        1.0
-    } else {
-        shared_trigrams as f32 / trigram_union as f32
-    };
-    let len_ratio = if content_a.max(content_b) == 0 {
-        1.0
-    } else {
-        content_a.min(content_b) as f32 / content_a.max(content_b) as f32
-    };
-    let dense = [
-        jaccard,
-        trigram_jaccard,
-        len_ratio,
-        (shared_tokens as f32 / 8.0).min(1.0),
-        if shared_tokens == 0 { 1.0 } else { 0.0 },
-        1.0, // bias-adjacent always-on slot
-    ];
-    for (slot, value) in dense.iter().enumerate() {
-        features.indices.push(config.hash_dim + slot as u32);
-        features.values.push(*value);
-    }
-
-    // L2 normalization keeps gradient magnitudes comparable across pairs of
-    // very different record lengths.
-    let norm = features.values.iter().map(|v| v * v).sum::<f32>().sqrt();
-    if norm > 0.0 {
-        for value in &mut features.values {
-            *value /= norm;
-        }
-    }
+    let dense = dense_slots(
+        shared_tokens,
+        content_a,
+        content_b,
+        shared_trigrams,
+        trigrams_a.len(),
+        trigrams_b.len(),
+    );
+    let mut scratch = Vec::with_capacity(features.indices.len());
+    finalize(&mut features, &mut scratch, &dense, config.hash_dim);
     features
 }
 

@@ -12,7 +12,9 @@
 //! * [`PairScorer`] — the stage-level abstraction: anything that can score
 //!   a [`RecordPair`] directly. [`MatcherScorer`] adapts a
 //!   [`PairwiseMatcher`] + encoded records (the id-is-index invariant);
-//!   oracles and cached scorers implement it without encodings.
+//!   [`CompiledScorer`] adapts a [`CompiledMatcher`] + compiled dataset
+//!   view (the zero-allocation fast path); oracles and cached scorers
+//!   implement it without encodings.
 //! * [`score_pairs_with`] / [`predict_positive_with`] — pool-driven batch
 //!   scoring used by the pipeline's inference stage.
 //!
@@ -22,8 +24,9 @@
 //! worker count maps to `Parallelism::Fixed`, which always parallelizes;
 //! only `Parallelism::Auto` applies the small-input heuristic.)
 
+use crate::compiled::{CompiledDataset, ScoreScratch};
 use crate::encode::EncodedRecord;
-use crate::matcher::PairwiseMatcher;
+use crate::matcher::{CompiledMatcher, PairwiseMatcher};
 use gralmatch_records::RecordPair;
 use gralmatch_util::WorkerPool;
 
@@ -45,9 +48,25 @@ pub trait PairScorer: Sync {
     /// Match probability in `[0, 1]` for a candidate pair.
     fn score_pair(&self, pair: RecordPair) -> f32;
 
+    /// Scratch-reusing variant of [`PairScorer::score_pair`]: the batch
+    /// entry points hand every worker thread one [`ScoreScratch`] and
+    /// route all scoring through here, so scorers with a compiled view
+    /// ([`CompiledScorer`]) allocate nothing per pair. The default ignores
+    /// the scratch and delegates.
+    fn score_pair_scratch(&self, pair: RecordPair, _scratch: &mut ScoreScratch) -> f32 {
+        self.score_pair(pair)
+    }
+
     /// Decision threshold for positive predictions (default 0.5).
     fn threshold(&self) -> f32 {
         0.5
+    }
+
+    /// Approximate heap bytes of scorer-owned acceleration structures
+    /// (the compiled featurization arena), reported by the inference
+    /// stage's trace entry. `None` for scorers without such state.
+    fn memory_bytes(&self) -> Option<usize> {
+        None
     }
 }
 
@@ -79,31 +98,74 @@ impl<M: PairwiseMatcher> PairScorer for MatcherScorer<'_, M> {
     }
 }
 
+/// Adapter scoring pairs through a [`CompiledMatcher`] over a
+/// [`CompiledDataset`] — the fast-path sibling of [`MatcherScorer`].
+/// Scores are exactly equal to the encoded-record path (the compiled
+/// featurization contract), so the two scorers are interchangeable; this
+/// one does no per-pair hashing or allocation and reports the compiled
+/// arena's footprint to the stage trace.
+#[derive(Debug, Clone, Copy)]
+pub struct CompiledScorer<'a, M: CompiledMatcher> {
+    matcher: &'a M,
+    compiled: &'a CompiledDataset,
+}
+
+impl<'a, M: CompiledMatcher> CompiledScorer<'a, M> {
+    /// Bind a matcher to a compiled dataset view (built with the matcher's
+    /// [`feature_config`](PairwiseMatcher::feature_config)).
+    pub fn new(matcher: &'a M, compiled: &'a CompiledDataset) -> Self {
+        CompiledScorer { matcher, compiled }
+    }
+}
+
+impl<M: CompiledMatcher> PairScorer for CompiledScorer<'_, M> {
+    fn score_pair(&self, pair: RecordPair) -> f32 {
+        self.score_pair_scratch(pair, &mut ScoreScratch::default())
+    }
+
+    fn score_pair_scratch(&self, pair: RecordPair, scratch: &mut ScoreScratch) -> f32 {
+        self.matcher
+            .score_compiled(self.compiled, pair.a.0, pair.b.0, scratch)
+    }
+
+    fn threshold(&self) -> f32 {
+        self.matcher.threshold()
+    }
+
+    fn memory_bytes(&self) -> Option<usize> {
+        Some(self.compiled.arena_bytes())
+    }
+}
+
 /// Score all pairs on the given worker pool. Output order matches input
-/// order regardless of the work-stealing schedule.
+/// order regardless of the work-stealing schedule; each worker reuses one
+/// [`ScoreScratch`] across every pair it scores.
 pub fn score_pairs_with(
     scorer: &dyn PairScorer,
     pairs: &[RecordPair],
     pool: &WorkerPool,
 ) -> Vec<ScoredPair> {
-    pool.map(pairs, |&pair| ScoredPair {
+    pool.map_init(pairs, ScoreScratch::default, |scratch, &pair| ScoredPair {
         pair,
-        score: scorer.score_pair(pair),
+        score: scorer.score_pair_scratch(pair, scratch),
     })
 }
 
 /// Score all pairs and keep those at or above the scorer's threshold.
+///
+/// The filter runs pool-side ([`WorkerPool::filter_map_init`]): negative
+/// pairs — the overwhelming majority under realistic blocking — never
+/// allocate an output slot, instead of materializing every
+/// [`ScoredPair`] and filtering afterwards.
 pub fn predict_positive_with(
     scorer: &dyn PairScorer,
     pairs: &[RecordPair],
     pool: &WorkerPool,
 ) -> Vec<RecordPair> {
     let threshold = scorer.threshold();
-    score_pairs_with(scorer, pairs, pool)
-        .into_iter()
-        .filter(|scored| scored.score >= threshold)
-        .map(|scored| scored.pair)
-        .collect()
+    pool.filter_map_init(pairs, ScoreScratch::default, |scratch, &pair| {
+        (scorer.score_pair_scratch(pair, scratch) >= threshold).then_some(pair)
+    })
 }
 
 #[cfg(test)]

@@ -9,7 +9,9 @@
 //! selection).
 //!
 //! * [`encode`] — encoders + truncation (the DITTO(128) failure mechanism),
-//! * [`features`] — symmetric pair featurization,
+//! * [`features`] — symmetric pair featurization (the reference path),
+//! * [`compiled`] — interned, precomputed featurization (the hot path;
+//!   bit-for-bit identical to [`features`]),
 //! * [`model`] — logistic head + Adagrad,
 //! * [`trainer`] — the fine-tuning loop and the low-label -15K variant,
 //! * [`matcher`] — the [`PairwiseMatcher`] abstraction + heuristic baseline,
@@ -17,6 +19,7 @@
 //! * [`spec`] — the Table 3/4 model lineup.
 
 pub mod active;
+pub mod compiled;
 pub mod encode;
 pub mod features;
 pub mod inference;
@@ -27,13 +30,14 @@ pub mod spec;
 pub mod trainer;
 
 pub use active::{active_learning_loop, ActiveConfig, QueryStrategy, RoundReport};
+pub use compiled::{CompiledDataset, FeatureScratch, ScoreScratch};
 pub use encode::{encode_dataset, DittoEncoder, EncodedRecord, PairEncoder, PlainEncoder};
 pub use features::{featurize, FeatureConfig, PairFeatures};
 pub use inference::{
-    predict_positive_with, score_pairs_with, MatcherScorer, PairScorer, ScoredPair,
+    predict_positive_with, score_pairs_with, CompiledScorer, MatcherScorer, PairScorer, ScoredPair,
 };
 pub use llm::{LlmCostModel, SimulatedLlmMatcher};
-pub use matcher::{HeuristicMatcher, PairwiseMatcher, TrainedMatcher};
+pub use matcher::{CompiledMatcher, HeuristicMatcher, PairwiseMatcher, TrainedMatcher};
 pub use model::{log_loss, sigmoid, Adagrad, LogisticModel};
 pub use spec::ModelSpec;
 pub use trainer::{train, train_with_negative_pool, TrainConfig, TrainingReport};

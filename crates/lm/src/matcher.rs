@@ -5,6 +5,7 @@
 //! matches" (paper Section 1). Everything downstream (blocking evaluation,
 //! graph cleanup, the tables) consumes this trait.
 
+use crate::compiled::{CompiledDataset, ScoreScratch};
 use crate::encode::EncodedRecord;
 use crate::features::{featurize, FeatureConfig};
 use crate::model::LogisticModel;
@@ -24,6 +25,31 @@ pub trait PairwiseMatcher: Sync {
     fn predict(&self, a: &EncodedRecord, b: &EncodedRecord) -> bool {
         self.score(a, b) >= self.threshold()
     }
+
+    /// Feature-space configuration a [`CompiledDataset`] view for this
+    /// matcher must be built with. Matchers that never featurize (the
+    /// heuristic baseline) keep the default.
+    fn feature_config(&self) -> FeatureConfig {
+        FeatureConfig::default()
+    }
+}
+
+/// Matchers that can score through a [`CompiledDataset`] view — the
+/// zero-allocation hot path of the inference stage. Implementations must
+/// return **exactly** the score [`PairwiseMatcher::score`] would return
+/// over the encoded records the view was compiled from (the compiled
+/// featurization is bit-for-bit identical to the reference path, so this
+/// is an equality contract, not an approximation).
+pub trait CompiledMatcher: PairwiseMatcher {
+    /// Match probability for records `a` and `b` (compiled record ids),
+    /// reusing the caller's scratch buffers.
+    fn score_compiled(
+        &self,
+        compiled: &CompiledDataset,
+        a: u32,
+        b: u32,
+        scratch: &mut ScoreScratch,
+    ) -> f32;
 }
 
 /// A fine-tuned model: logistic head over hashed pair features.
@@ -38,6 +64,28 @@ pub struct TrainedMatcher {
 impl PairwiseMatcher for TrainedMatcher {
     fn score(&self, a: &EncodedRecord, b: &EncodedRecord) -> f32 {
         self.model.predict(&featurize(a, b, &self.features))
+    }
+
+    fn feature_config(&self) -> FeatureConfig {
+        self.features
+    }
+}
+
+impl CompiledMatcher for TrainedMatcher {
+    fn score_compiled(
+        &self,
+        compiled: &CompiledDataset,
+        a: u32,
+        b: u32,
+        scratch: &mut ScoreScratch,
+    ) -> f32 {
+        debug_assert_eq!(
+            *compiled.config(),
+            self.features,
+            "compiled view built under a different feature space"
+        );
+        compiled.featurize_into(a, b, &mut scratch.merge, &mut scratch.features);
+        self.model.predict(&scratch.features)
     }
 }
 
@@ -85,6 +133,32 @@ impl PairwiseMatcher for HeuristicMatcher {
 
     fn threshold(&self) -> f32 {
         self.jaccard_threshold
+    }
+}
+
+impl CompiledMatcher for HeuristicMatcher {
+    fn score_compiled(
+        &self,
+        compiled: &CompiledDataset,
+        a: u32,
+        b: u32,
+        _scratch: &mut ScoreScratch,
+    ) -> f32 {
+        // The compiled token slices are exactly the marker-free token sets
+        // the set-based path builds, so the Jaccard is identical — with a
+        // sorted-merge intersection instead of two hash sets per pair.
+        let tokens_a = compiled.tokens_of(a);
+        let tokens_b = compiled.tokens_of(b);
+        if tokens_a.is_empty() && tokens_b.is_empty() {
+            return 1.0;
+        }
+        let intersection = compiled.shared_token_count(a, b);
+        let union = tokens_a.len() + tokens_b.len() - intersection;
+        if union == 0 {
+            1.0
+        } else {
+            intersection as f32 / union as f32
+        }
     }
 }
 

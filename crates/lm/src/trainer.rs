@@ -9,8 +9,9 @@
 //!   discarding pairs that cannot be matched via identifier overlaps
 //!   (the cheap-to-label subset a real team would annotate first).
 
+use crate::compiled::{CompiledDataset, FeatureScratch};
 use crate::encode::EncodedRecord;
-use crate::features::{featurize, FeatureConfig};
+use crate::features::FeatureConfig;
 use crate::matcher::TrainedMatcher;
 use crate::model::{log_loss, Adagrad, LogisticModel};
 use gralmatch_records::{DatasetSplit, GroundTruth, Record, RecordId, RecordPair};
@@ -285,18 +286,17 @@ pub fn train_with_negative_pool<R: Record>(
     };
     let mut best: Option<(f32, LogisticModel)> = None;
 
-    // Features are pure functions of the (cached) encoded streams, so they
-    // can be computed once and reused across epochs. The cache is skipped
-    // above a budget to bound memory at paper scale (9M+ examples).
+    // Every epoch re-featurizes the same labeled pairs, so the encoded
+    // streams are compiled once (symbols interned, per-symbol feature
+    // tables precomputed) and every epoch's featurization is an integer
+    // merge. Fully materialized feature vectors are additionally cached
+    // below a budget that bounds memory at paper scale (9M+ examples);
+    // above it, the compiled path re-featurizes into one reused scratch
+    // buffer per epoch — no per-example allocation either way.
     const CACHE_BUDGET: usize = 1_500_000;
     let cache_features = train_examples.len() + val_examples.len() <= CACHE_BUDGET;
-    let featurize_pair = |pair: RecordPair| {
-        featurize(
-            &encoded[pair.a.0 as usize],
-            &encoded[pair.b.0 as usize],
-            &config.features,
-        )
-    };
+    let compiled = CompiledDataset::compile(encoded, &config.features);
+    let featurize_pair = |pair: RecordPair| compiled.featurize_pair(pair.a.0, pair.b.0);
     let mut train_cache: Vec<crate::features::PairFeatures> = Vec::new();
     let mut val_cache: Vec<crate::features::PairFeatures> = Vec::new();
     if cache_features {
@@ -309,6 +309,8 @@ pub fn train_with_negative_pool<R: Record>(
             .map(|e| featurize_pair(e.pair))
             .collect();
     }
+    let mut scratch = FeatureScratch::default();
+    let mut workspace = crate::features::PairFeatures::default();
     // Shuffle indices rather than examples so cached features stay aligned.
     let mut train_order: Vec<usize> = (0..train_examples.len()).collect();
 
@@ -320,8 +322,13 @@ pub fn train_with_negative_pool<R: Record>(
             let loss = if cache_features {
                 optimizer.step(&mut model, &train_cache[i], example.label)
             } else {
-                let features = featurize_pair(example.pair);
-                optimizer.step(&mut model, &features, example.label)
+                compiled.featurize_into(
+                    example.pair.a.0,
+                    example.pair.b.0,
+                    &mut scratch,
+                    &mut workspace,
+                );
+                optimizer.step(&mut model, &workspace, example.label)
             };
             train_loss += loss as f64;
         }
@@ -334,8 +341,13 @@ pub fn train_with_negative_pool<R: Record>(
             let loss = if cache_features {
                 log_loss(model.predict(&val_cache[i]), example.label)
             } else {
-                let features = featurize_pair(example.pair);
-                log_loss(model.predict(&features), example.label)
+                compiled.featurize_into(
+                    example.pair.a.0,
+                    example.pair.b.0,
+                    &mut scratch,
+                    &mut workspace,
+                );
+                log_loss(model.predict(&workspace), example.label)
             };
             val_loss += loss as f64;
         }

@@ -1,0 +1,129 @@
+//! String interning: dense `u32` symbol ids for tokens and grams.
+//!
+//! The pairwise featurization in `gralmatch-lm` compares the same record
+//! against many candidates; interning every token and character trigram
+//! once per *dataset* turns the per-pair work from string hashing and
+//! allocation into integer comparisons over dense ids. The interner is the
+//! substrate of that compile pass: it owns each distinct string exactly
+//! once and hands out ids in first-appearance order, so id spaces stay
+//! dense and side tables (per-symbol precomputed features) can be plain
+//! vectors indexed by symbol.
+
+use gralmatch_util::FxHashMap;
+use std::sync::Arc;
+
+/// A dense string-to-`u32` interner.
+///
+/// Ids are assigned in first-appearance order starting at 0 and are never
+/// reused, so `Vec`s indexed by symbol id stay valid as the interner grows.
+/// Each distinct string is heap-allocated exactly once (`Arc<str>` shared
+/// between the lookup map and the id-indexed vec).
+#[derive(Debug, Clone, Default)]
+pub struct SymbolInterner {
+    map: FxHashMap<Arc<str>, u32>,
+    strings: Vec<Arc<str>>,
+}
+
+impl SymbolInterner {
+    /// Empty interner.
+    pub fn new() -> Self {
+        SymbolInterner::default()
+    }
+
+    /// Id of `symbol`, interning it if unseen. Allocates only on first
+    /// appearance.
+    pub fn intern(&mut self, symbol: &str) -> u32 {
+        if let Some(&id) = self.map.get(symbol) {
+            return id;
+        }
+        let id = self.strings.len() as u32;
+        let owned: Arc<str> = Arc::from(symbol);
+        self.strings.push(Arc::clone(&owned));
+        self.map.insert(owned, id);
+        id
+    }
+
+    /// Id of `symbol` if already interned.
+    pub fn get(&self, symbol: &str) -> Option<u32> {
+        self.map.get(symbol).copied()
+    }
+
+    /// The string behind a symbol id.
+    ///
+    /// # Panics
+    /// If `id` was never returned by [`SymbolInterner::intern`].
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.strings[id as usize]
+    }
+
+    /// Number of distinct symbols interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether no symbol has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Approximate heap footprint: string bytes plus per-entry bookkeeping
+    /// (`Arc` refcount header, map + vec pointer slots, the id), for
+    /// memory diagnostics.
+    pub fn heap_bytes(&self) -> usize {
+        // Two `usize` refcounts precede each Arc'd string's bytes.
+        const ARC_HEADER: usize = 2 * std::mem::size_of::<usize>();
+        let string_bytes: usize = self.strings.iter().map(|s| s.len() + ARC_HEADER).sum();
+        string_bytes
+            + self.strings.len()
+                * (std::mem::size_of::<Arc<str>>() * 2 + std::mem::size_of::<u32>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut interner = SymbolInterner::new();
+        let a = interner.intern("acme");
+        let b = interner.intern("zurich");
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(interner.intern("acme"), a, "re-intern returns the same id");
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut interner = SymbolInterner::new();
+        for word in ["one", "two", "three"] {
+            let id = interner.intern(word);
+            assert_eq!(interner.resolve(id), word);
+        }
+        assert_eq!(interner.get("two"), Some(1));
+        assert_eq!(interner.get("missing"), None);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let interner = SymbolInterner::new();
+        assert!(interner.is_empty());
+        assert_eq!(interner.get(""), None);
+    }
+
+    #[test]
+    fn empty_string_is_a_symbol() {
+        let mut interner = SymbolInterner::new();
+        let id = interner.intern("");
+        assert_eq!(interner.resolve(id), "");
+        assert_eq!(interner.len(), 1);
+    }
+
+    #[test]
+    fn heap_bytes_grows_with_content() {
+        let mut interner = SymbolInterner::new();
+        let before = interner.heap_bytes();
+        interner.intern("some-reasonably-long-symbol");
+        assert!(interner.heap_bytes() > before);
+    }
+}

@@ -8,14 +8,18 @@
 //! * [`Vocabulary`] — corpus token dictionary with document frequencies,
 //! * [`TfIdf`] — TF-IDF weighting with cosine similarity,
 //! * [`ngrams`] — character n-gram extraction and feature hashing (the
-//!   feature space of the trainable matcher in `gralmatch-lm`).
+//!   feature space of the trainable matcher in `gralmatch-lm`),
+//! * [`SymbolInterner`] — dense `u32` ids for tokens/grams (the substrate
+//!   of the compiled featurization in `gralmatch-lm`).
 
+pub mod intern;
 pub mod ngrams;
 pub mod similarity;
 pub mod tfidf;
 pub mod tokenize;
 pub mod vocab;
 
+pub use intern::SymbolInterner;
 pub use ngrams::{char_ngrams, hashed_ngram_features};
 pub use similarity::{
     jaccard, jaro, jaro_winkler, levenshtein, ngram_dice, normalized_levenshtein,

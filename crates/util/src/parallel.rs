@@ -127,9 +127,28 @@ impl WorkerPool {
         I: Fn() -> S + Sync,
         F: Fn(&mut S, &T) -> U + Sync,
     {
+        self.filter_map_init(items, init, move |state, item| Some(f(state, item)))
+    }
+
+    /// [`WorkerPool::map_init`] with a pool-side filter: items mapped to
+    /// `None` never allocate an output slot — workers drop them inside
+    /// their chunks instead of materializing a full-width intermediate
+    /// vector for the caller to filter. The surviving items keep input
+    /// order. This is the shape of threshold scoring, where the
+    /// overwhelming majority of candidate pairs are negative.
+    pub fn filter_map_init<T, U, S, I, F>(&self, items: &[T], init: I, f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, &T) -> Option<U> + Sync,
+    {
         if self.workers == 1 || items.len() < 2 {
             let mut state = init();
-            return items.iter().map(|item| f(&mut state, item)).collect();
+            return items
+                .iter()
+                .filter_map(|item| f(&mut state, item))
+                .collect();
         }
 
         // Honor multi-worker pools even for inputs smaller than the default
@@ -164,7 +183,7 @@ impl WorkerPool {
                             index,
                             items[start..end]
                                 .iter()
-                                .map(|item| f(&mut state, item))
+                                .filter_map(|item| f(&mut state, item))
                                 .collect(),
                         ));
                     }
@@ -176,7 +195,7 @@ impl WorkerPool {
         });
 
         tagged.sort_unstable_by_key(|(index, _)| *index);
-        let mut out = Vec::with_capacity(items.len());
+        let mut out = Vec::with_capacity(tagged.iter().map(|(_, chunk)| chunk.len()).sum());
         for (_, chunk) in tagged {
             out.extend(chunk);
         }
@@ -259,6 +278,23 @@ mod tests {
         );
         assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
         assert!(states.load(Ordering::Relaxed) <= 4);
+    }
+
+    #[test]
+    fn filter_map_init_drops_and_keeps_order() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let expected: Vec<u64> = items.iter().copied().filter(|x| x % 3 == 0).collect();
+        for workers in [1, 2, 4] {
+            let pool = WorkerPool::new(workers).with_chunk_size(128);
+            let out = pool.filter_map_init(&items, || (), |(), &x| (x % 3 == 0).then_some(x));
+            assert_eq!(out, expected, "{workers} workers");
+        }
+        // All-dropped and all-kept edges.
+        let pool = WorkerPool::new(4).with_chunk_size(64);
+        assert!(pool
+            .filter_map_init(&items, || (), |(), _| None::<u64>)
+            .is_empty());
+        assert_eq!(pool.filter_map_init(&items, || (), |(), &x| Some(x)), items);
     }
 
     #[test]

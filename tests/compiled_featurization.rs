@@ -1,0 +1,194 @@
+//! Compiled featurization ≡ reference featurization, property-style.
+//!
+//! The compiled path (`lm::compiled`) claims **bit-for-bit** equality with
+//! the set-based reference `featurize` — indices, value bit patterns, and
+//! the L2 normalization included, because both paths canonicalize through
+//! the same `(index, value-bits)` sort before accumulating the norm. Like
+//! `tests/proptest_invariants.rs`, these run seeded random instances (no
+//! external proptest crate): every case draws from a [`SplitRng`] stream
+//! and reproduces exactly by the seed printed in each assertion.
+
+use gralmatch::datagen::{generate, GenerationConfig};
+use gralmatch::lm::{
+    featurize, CompiledDataset, CompiledScorer, EncodedRecord, FeatureConfig, HeuristicMatcher,
+    MatcherScorer, ModelSpec, PairFeatures, PairScorer, PairwiseMatcher, TrainedMatcher,
+};
+use gralmatch::records::{RecordId, RecordPair};
+use gralmatch::util::SplitRng;
+
+fn assert_bit_identical(
+    case: u64,
+    pair: (u32, u32),
+    reference: &PairFeatures,
+    fast: &PairFeatures,
+) {
+    assert_eq!(
+        reference.indices, fast.indices,
+        "case {case}: indices diverge for pair {pair:?}"
+    );
+    for (slot, (a, b)) in reference.values.iter().zip(&fast.values).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "case {case}: value bits diverge at slot {slot} of pair {pair:?} ({a} vs {b})"
+        );
+    }
+    assert_eq!(reference.values.len(), fast.values.len(), "case {case}");
+}
+
+/// Random token stream exercising every reference-path edge: encoder
+/// markers (skipped), empty records, sub-3-char tokens (whole-token
+/// trigrams), duplicates (set semantics), and multi-byte characters.
+fn random_stream(rng: &mut SplitRng) -> EncodedRecord {
+    const WORDS: &[&str] = &[
+        "crowdstrike",
+        "crowdstreet",
+        "holdings",
+        "austin",
+        "zürich",
+        "a",
+        "ab",
+        "x9",
+        "inc",
+        "us31807756e",
+        "[col]",
+        "[val]",
+        "[unk]",
+        "name",
+        "œstrogen",
+    ];
+    let len = rng.next_below(12);
+    let tokens = (0..len)
+        .map(|_| WORDS[rng.next_below(WORDS.len())].to_string())
+        .collect();
+    EncodedRecord { tokens }
+}
+
+#[test]
+fn compiled_equals_reference_on_random_streams() {
+    let config = FeatureConfig::default();
+    for case in 0..48u64 {
+        let mut rng = SplitRng::new(0xFEA7).split_index(case);
+        let num_records = rng.range_inclusive(2, 24);
+        let records: Vec<EncodedRecord> =
+            (0..num_records).map(|_| random_stream(&mut rng)).collect();
+        let compiled = CompiledDataset::compile(&records, &config);
+        for _ in 0..32 {
+            let a = rng.next_below(num_records);
+            let b = rng.next_below(num_records);
+            let reference = featurize(&records[a], &records[b], &config);
+            let fast = compiled.featurize_pair(a as u32, b as u32);
+            assert_bit_identical(case, (a as u32, b as u32), &reference, &fast);
+        }
+    }
+}
+
+#[test]
+fn compiled_equals_reference_on_company_and_security_records() {
+    let mut gen_config = GenerationConfig::synthetic_full();
+    gen_config.num_entities = 60;
+    let data = generate(&gen_config).unwrap();
+    let config = FeatureConfig::default();
+    // Plain (no markers) and DITTO (marker-heavy) encoders, both domains.
+    for spec in [ModelSpec::DistilBert128All, ModelSpec::Ditto128] {
+        for encoded in [
+            spec.encode_records(data.companies.records()),
+            spec.encode_records(data.securities.records()),
+        ] {
+            let compiled = CompiledDataset::compile(&encoded, &config);
+            let mut rng = SplitRng::new(0xFEA8).split(spec.display_name());
+            for case in 0..200u64 {
+                let a = rng.next_below(encoded.len());
+                let b = rng.next_below(encoded.len());
+                let reference = featurize(&encoded[a], &encoded[b], &config);
+                let fast = compiled.featurize_pair(a as u32, b as u32);
+                assert_bit_identical(case, (a as u32, b as u32), &reference, &fast);
+            }
+        }
+    }
+}
+
+#[test]
+fn compiled_scorers_match_encoded_scorers_exactly() {
+    use gralmatch::records::{DatasetSplit, SplitRatios};
+    let mut gen_config = GenerationConfig::synthetic_full();
+    gen_config.num_entities = 80;
+    let data = generate(&gen_config).unwrap();
+    let companies = data.companies.records();
+    let encoded = ModelSpec::DistilBert128All.encode_records(companies);
+    let gt = data.companies.ground_truth();
+    let split = DatasetSplit::new(&gt, SplitRatios::default(), &mut SplitRng::new(7));
+    let (trained, _): (TrainedMatcher, _) = gralmatch::lm::train(
+        companies,
+        &encoded,
+        &gt,
+        &split,
+        &ModelSpec::DistilBert128All.train_config(),
+    )
+    .unwrap();
+    let heuristic = HeuristicMatcher::default();
+
+    let compiled = CompiledDataset::compile(&encoded, &trained.feature_config());
+    let mut rng = SplitRng::new(0xFEA9);
+    for case in 0..300u64 {
+        let a = rng.next_below(companies.len()) as u32;
+        let b = rng.next_below(companies.len()) as u32;
+        if a == b {
+            continue;
+        }
+        let pair = RecordPair::new(RecordId(a), RecordId(b));
+        let via_encoded = MatcherScorer::new(&trained, &encoded).score_pair(pair);
+        let via_compiled = CompiledScorer::new(&trained, &compiled).score_pair(pair);
+        assert_eq!(
+            via_encoded.to_bits(),
+            via_compiled.to_bits(),
+            "case {case}: trained scorer diverges on {pair:?}"
+        );
+        let heuristic_encoded = MatcherScorer::new(&heuristic, &encoded).score_pair(pair);
+        let heuristic_compiled = CompiledScorer::new(&heuristic, &compiled).score_pair(pair);
+        assert_eq!(
+            heuristic_encoded.to_bits(),
+            heuristic_compiled.to_bits(),
+            "case {case}: heuristic scorer diverges on {pair:?}"
+        );
+    }
+}
+
+#[test]
+fn incremental_recompiles_converge_to_a_fresh_compile() {
+    // Mutating records one at a time (the upsert path) must land on the
+    // same featurization as compiling the final dataset from scratch.
+    let config = FeatureConfig::default();
+    for case in 0..24u64 {
+        let mut rng = SplitRng::new(0xFEAA).split_index(case);
+        let num_records = rng.range_inclusive(3, 16);
+        let initial: Vec<EncodedRecord> =
+            (0..num_records).map(|_| random_stream(&mut rng)).collect();
+        let mut live = initial.clone();
+        let mut compiled = CompiledDataset::compile(&initial, &config);
+
+        // A churn burst: replace / clear / re-fill random slots.
+        for _ in 0..rng.range_inclusive(1, 8) {
+            let id = rng.next_below(num_records);
+            if rng.next_below(4) == 0 {
+                live[id] = EncodedRecord { tokens: Vec::new() };
+                compiled.clear_record(id as u32);
+            } else {
+                let replacement = random_stream(&mut rng);
+                live[id] = replacement.clone();
+                compiled.recompile_record(id as u32, &replacement);
+            }
+        }
+
+        let fresh = CompiledDataset::compile(&live, &config);
+        for a in 0..num_records {
+            for b in 0..num_records {
+                let incremental = compiled.featurize_pair(a as u32, b as u32);
+                let from_scratch = fresh.featurize_pair(a as u32, b as u32);
+                assert_bit_identical(case, (a as u32, b as u32), &from_scratch, &incremental);
+                let reference = featurize(&live[a], &live[b], &config);
+                assert_bit_identical(case, (a as u32, b as u32), &reference, &incremental);
+            }
+        }
+    }
+}

@@ -21,10 +21,7 @@ fn bench_inference(c: &mut Criterion) {
     let data = generate(&config).expect("valid config");
     let securities = data.securities.records();
     let features = FeatureConfig::default();
-    let matcher = TrainedMatcher {
-        model: LogisticModel::new(features.dim()),
-        features,
-    };
+    let matcher = TrainedMatcher::new(LogisticModel::new(features.dim()), features);
 
     // A fixed pair workload.
     let pairs: Vec<RecordPair> = (0..securities.len() as u32 - 1)

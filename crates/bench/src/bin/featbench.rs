@@ -10,6 +10,7 @@
 //! parity check — the compiled path must be an optimization, never a
 //! semantic change.
 
+use gralmatch_bench::cli::BenchCli;
 use gralmatch_bench::harness::{prepare_synthetic, Scale};
 use gralmatch_lm::{
     featurize, CompiledDataset, FeatureConfig, FeatureScratch, ModelSpec, PairFeatures,
@@ -38,9 +39,7 @@ fn throughput(pairs: &[RecordPair], mut f: impl FnMut(RecordPair)) -> f64 {
 
 fn main() {
     let scale = Scale::from_env();
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "featbench-report.json".into());
+    let out_path = BenchCli::parse(&[]).out_path("featbench-report.json");
     eprintln!("featbench: scale {} -> {out_path}", scale.0);
 
     let prepared = prepare_synthetic(scale);

@@ -1,14 +1,17 @@
 //! Runs the full reproduction (Tables 1–4 + figures) and writes a combined
 //! JSON report next to the printed tables.
 //!
-//! Usage: `cargo run -p gralmatch-bench --bin repro --release [-- [--shards N] out.json]`
+//! Usage: `cargo run -p gralmatch-bench --bin repro --release [-- [--shards N] [--save-model DIR] [--load-model DIR] out.json]`
 //!
 //! `--shards N` (or `GRALMATCH_SHARDS`) runs every end-to-end experiment
-//! through the sharded pipeline (entity-keyed partition + merge stage).
+//! through the engine under a multi-shard plan. `--save-model DIR`
+//! persists every trained matcher as `SavedModel` JSON; `--load-model
+//! DIR` skips training for models already present (bit-identical scores).
 
+use gralmatch_bench::cli::BenchCli;
 use gralmatch_bench::harness::{
-    parse_shards_arg, prepare_real_sim, prepare_synthetic, prepare_wdc, run_companies_table4,
-    run_securities_table4, run_wdc_table4, stage_trace_json, Scale,
+    prepare_real_sim, prepare_synthetic, prepare_wdc, run_companies_table4, run_securities_table4,
+    run_wdc_table4, stage_trace_json, ModelStore, Scale,
 };
 use gralmatch_core::CleanupVariant;
 use gralmatch_datagen::DatasetStats;
@@ -17,11 +20,10 @@ use gralmatch_util::{Json, ToJson};
 
 fn main() {
     let scale = Scale::from_env();
-    let (shards, positional) = parse_shards_arg();
-    let out_path = positional
-        .into_iter()
-        .next()
-        .unwrap_or_else(|| "repro-report.json".into());
+    let cli = BenchCli::parse(&["shards", "save-model", "load-model"]);
+    let shards = cli.shards_or(1);
+    let store = ModelStore::from_cli(&cli);
+    let out_path = cli.out_path("repro-report.json");
     eprintln!("repro: scale {} shards {shards} -> {}", scale.0, out_path);
 
     let synthetic = prepare_synthetic(scale);
@@ -114,23 +116,41 @@ fn main() {
         };
 
     for spec in [ModelSpec::Ditto128, ModelSpec::DistilBert128All] {
-        let cell = run_companies_table4(&real, spec, 40, 8, CleanupVariant::Full, shards);
+        let cell = run_companies_table4(
+            &real,
+            spec,
+            40,
+            8,
+            CleanupVariant::Full,
+            shards,
+            &store,
+            "real",
+        );
         record_cell("Real Companies", spec.display_name(), &cell);
     }
     for spec in ModelSpec::ALL {
-        let cell = run_companies_table4(&synthetic, spec, 25, 5, CleanupVariant::Full, shards);
+        let cell = run_companies_table4(
+            &synthetic,
+            spec,
+            25,
+            5,
+            CleanupVariant::Full,
+            shards,
+            &store,
+            "synthetic",
+        );
         record_cell("Synthetic Companies", spec.display_name(), &cell);
     }
     for spec in [ModelSpec::Ditto128, ModelSpec::DistilBert128All] {
-        let cell = run_securities_table4(&real, spec, 40, 8, shards);
+        let cell = run_securities_table4(&real, spec, 40, 8, shards, &store, "real");
         record_cell("Real Securities", spec.display_name(), &cell);
     }
     for spec in ModelSpec::ALL {
-        let cell = run_securities_table4(&synthetic, spec, 25, 5, shards);
+        let cell = run_securities_table4(&synthetic, spec, 25, 5, shards, &store, "synthetic");
         record_cell("Synthetic Securities", spec.display_name(), &cell);
     }
     for spec in [ModelSpec::Ditto128, ModelSpec::DistilBert128All] {
-        let cell = run_wdc_table4(&wdc, spec, 25, 5, shards);
+        let cell = run_wdc_table4(&wdc, spec, 25, 5, shards, &store);
         record_cell("WDC Products", spec.display_name(), &cell);
     }
 

@@ -1,0 +1,194 @@
+//! The match *service*: a long-lived `MatchEngine` over securities that
+//! loads a persisted `PipelineState` + trained matcher from disk, applies
+//! `UpsertBatch` streams from files and stdin, and answers group lookups
+//! with per-batch latency traces.
+//!
+//! Two subcommands:
+//!
+//! ```text
+//! serve bootstrap [--shards N] [--deltas K] [--model model.json]
+//!                 [--state serve-state.json] [--deltas-out serve-deltas]
+//! ```
+//! generates the synthetic securities benchmark (`GRALMATCH_SCALE`),
+//! bootstraps an engine over the leading 70 % of the records, persists
+//! its state, and writes `K` delta-batch files over the remainder —
+//! **with delete/re-insert churn woven through them**, so replaying the
+//! deltas exercises component re-cleaning, not just growth.
+//!
+//! ```text
+//! serve run --state serve-state.json [--model model.json]
+//!           [--apply delta-1.json]… [--save-state out.json]
+//! ```
+//! resumes the engine from the state file (scoring through the loaded
+//! model, or the heuristic matcher when none is given), applies each
+//! `--apply` batch with a latency trace, then reads protocol lines from
+//! stdin until EOF: `group_of <id>`, `members <id>`, `stats`,
+//! `apply <file>`, `save_state <file>`, or an inline batch JSON object.
+
+use gralmatch_bench::cli::BenchCli;
+use gralmatch_bench::harness::{prepare_synthetic, Scale};
+use gralmatch_bench::serve::{
+    latency_line, load_batch, save_batch, scorer_fingerprint, serve_provider, ServeSession,
+};
+use gralmatch_core::{ShardPlan, UpsertBatch};
+use gralmatch_lm::SavedModel;
+use gralmatch_records::{Record, SecurityRecord};
+use std::io::BufRead;
+use std::path::Path;
+
+fn load_model(cli: &BenchCli) -> Option<SavedModel> {
+    cli.value("model").map(|path| {
+        SavedModel::load(Path::new(path)).unwrap_or_else(|e| panic!("loading {path}: {e:?}"))
+    })
+}
+
+/// Sidecar recording which scorer a state file was built with.
+fn fingerprint_path(state_path: &str) -> String {
+    format!("{state_path}.scorer")
+}
+
+fn bootstrap(cli: &BenchCli) {
+    let scale = Scale::from_env();
+    let shards = cli.shards_or(4);
+    let deltas = cli.usize_value("deltas").unwrap_or(3);
+    let state_path = cli.value("state").unwrap_or("serve-state.json").to_string();
+    let deltas_dir = cli
+        .value("deltas-out")
+        .unwrap_or("serve-deltas")
+        .to_string();
+    eprintln!(
+        "serve bootstrap: scale {} shards {shards} deltas {deltas} -> {state_path}, {deltas_dir}/",
+        scale.0
+    );
+
+    let prepared = prepare_synthetic(scale);
+    let records: Vec<SecurityRecord> = prepared.data.securities.records().to_vec();
+    let initial = records.len() * 7 / 10;
+
+    let model = load_model(cli);
+    let fingerprint = scorer_fingerprint(model.as_ref());
+    let (session, outcome) = ServeSession::bootstrap(
+        records[..initial].to_vec(),
+        ShardPlan::new(shards),
+        serve_provider(model),
+    )
+    .expect("bootstrap succeeds");
+    eprintln!("serve bootstrap: {}", latency_line(&outcome, 0.0));
+    std::fs::write(&state_path, session.state_json()).expect("write state");
+    // Record which scorer produced the standing predictions — `run`
+    // refuses to reconcile this state under a different one.
+    std::fs::write(fingerprint_path(&state_path), &fingerprint).expect("write scorer sidecar");
+
+    // Delta files over the remainder, with churn: batch j deletes a small
+    // slice of already-loaded records, batch j+1 re-inserts it — so a
+    // replay exercises retraction and component re-cleaning.
+    std::fs::create_dir_all(&deltas_dir).expect("create deltas dir");
+    let remainder = &records[initial..];
+    let chunk = remainder.len().div_ceil(deltas.max(1)).max(1);
+    let mut pending: Vec<SecurityRecord> = Vec::new();
+    for (j, slice) in remainder.chunks(chunk).take(deltas).enumerate() {
+        let churn: Vec<SecurityRecord> = records[gralmatch_core::churn_window(initial, j, 5)]
+            .iter()
+            .filter(|record| !pending.iter().any(|p| p.id == record.id))
+            .cloned()
+            .collect();
+        let mut batch = UpsertBatch::inserting(slice.to_vec());
+        batch.inserts.append(&mut pending);
+        batch.deletes = churn.iter().map(|record| record.id()).collect();
+        pending = churn;
+        let path = format!("{deltas_dir}/delta-{}.json", j + 1);
+        save_batch(&path, &batch).expect("write delta batch");
+        eprintln!(
+            "serve bootstrap: wrote {path} (+{} inserts, -{} deletes)",
+            batch.inserts.len(),
+            batch.deletes.len()
+        );
+    }
+    // A final restore batch keeps the delta set closed: applying every
+    // file ends with the full population live.
+    let mut delta_files = remainder.chunks(chunk).take(deltas).count();
+    if !pending.is_empty() {
+        let path = format!("{deltas_dir}/delta-{}.json", delta_files + 1);
+        save_batch(&path, &UpsertBatch::inserting(pending)).expect("write restore batch");
+        eprintln!("serve bootstrap: wrote {path} (churn restore)");
+        delta_files += 1;
+    }
+    println!(
+        "bootstrapped {state_path} ({initial} records live, {delta_files} delta files — \
+         apply all of them to reach the full population)"
+    );
+}
+
+fn run(cli: &BenchCli) {
+    let state_path = cli.value("state").unwrap_or("serve-state.json");
+    let text =
+        std::fs::read_to_string(state_path).unwrap_or_else(|e| panic!("reading {state_path}: {e}"));
+    let model = load_model(cli);
+    // Standing predictions were scored under the bootstrap scorer; mixing
+    // in a different one would silently blend scoring regimes. The
+    // sidecar is advisory (absent for hand-built states) but a recorded
+    // mismatch is fatal.
+    let fingerprint = scorer_fingerprint(model.as_ref());
+    if let Ok(recorded) = std::fs::read_to_string(fingerprint_path(state_path)) {
+        assert_eq!(
+            recorded.trim(),
+            fingerprint,
+            "{state_path} was built with a different scorer — pass the matching --model"
+        );
+    }
+    let load_watch = gralmatch_util::Stopwatch::start();
+    let mut session = ServeSession::resume(&text, serve_provider(model))
+        .unwrap_or_else(|e| panic!("resuming {state_path}: {e:?}"));
+    let stats = session.stats();
+    eprintln!(
+        "serve: resumed {state_path} in {:.3}s ({} live records, {} groups)",
+        load_watch.elapsed_secs(),
+        stats.num_live,
+        stats.num_groups
+    );
+
+    for path in cli.all("apply") {
+        let batch = load_batch(path).unwrap_or_else(|e| panic!("{path}: {e:?}"));
+        let (outcome, seconds) = session.apply(&batch).expect("batch applies");
+        println!("{path}: {}", latency_line(&outcome, seconds));
+    }
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.expect("stdin readable");
+        match session.command(&line) {
+            Ok(response) if response.is_empty() => {}
+            Ok(response) => println!("{response}"),
+            Err(message) => eprintln!("error: {message}"),
+        }
+    }
+
+    if let Some(path) = cli.value("save-state") {
+        std::fs::write(path, session.state_json()).expect("write state");
+        eprintln!("serve: state saved to {path}");
+    }
+}
+
+fn main() {
+    let cli = BenchCli::parse(&[
+        "shards",
+        "deltas",
+        "deltas-out",
+        "state",
+        "model",
+        "apply",
+        "save-state",
+    ]);
+    match cli.positional().first().map(String::as_str) {
+        Some("bootstrap") => bootstrap(&cli),
+        Some("run") => run(&cli),
+        other => {
+            eprintln!(
+                "usage: serve bootstrap|run [--shards N] [--deltas K] [--deltas-out DIR] \
+                 [--state FILE] [--model FILE] [--apply FILE]... [--save-state FILE] \
+                 (got {other:?})"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,14 +1,17 @@
 //! Regenerates Table 4: end-to-end entity group matching with blocking and
 //! GraLMatch, including the sensitivity variants (MEC, ½γ, BC).
 //!
-//! Usage: `cargo run -p gralmatch-bench --bin table4 --release`
+//! Usage: `cargo run -p gralmatch-bench --bin table4 --release -- [--shards N] [--save-model DIR] [--load-model DIR]`
 //! Cells print `paper / measured` percentages for each of the three stages
 //! (pairwise on blocked pairs, pre graph cleanup, post graph cleanup).
+//! `--save-model` / `--load-model` persist / reuse the trained matchers
+//! (`SavedModel` JSON, bit-identical scores on reload).
 
+use gralmatch_bench::cli::BenchCli;
 use gralmatch_bench::harness::{
-    parse_shards_arg, prepare_real_sim, prepare_synthetic, prepare_wdc, run_companies_table4,
-    run_companies_table4_with, run_securities_table4, run_wdc_table4, train_spec, Scale,
-    Table4Cell,
+    prepare_real_sim, prepare_synthetic, prepare_wdc, run_companies_table4,
+    run_companies_table4_with, run_securities_table4, run_wdc_table4, train_spec, ModelStore,
+    Scale, Table4Cell,
 };
 use gralmatch_bench::paper::table4_reference;
 use gralmatch_bench::table::{pct, render};
@@ -71,14 +74,14 @@ fn push_row(rows: &mut Vec<Vec<String>>, dataset: &str, model_label: &str, cell:
     eprintln!("  done: {dataset} / {model_label}");
 }
 
-/// Compact per-stage timing cell: blocking/inference/cleanup/grouping.
+/// Compact per-stage timing cell: the engine lineup
+/// blocking/inference/merge (the merge covers cleanup + grouping).
 fn stage_seconds(outcome: &gralmatch_core::MatchingOutcome) -> String {
     use gralmatch_core::stage_names;
     [
         stage_names::BLOCKING,
         stage_names::INFERENCE,
-        stage_names::CLEANUP,
-        stage_names::GROUPING,
+        stage_names::MERGE,
     ]
     .iter()
     .map(|stage| format!("{:.2}", outcome.trace.seconds_for(stage)))
@@ -88,7 +91,9 @@ fn stage_seconds(outcome: &gralmatch_core::MatchingOutcome) -> String {
 
 fn main() {
     let scale = Scale::from_env();
-    let (shards, _) = parse_shards_arg();
+    let cli = BenchCli::parse(&["shards", "save-model", "load-model"]);
+    let shards = cli.shards_or(1);
+    let store = ModelStore::from_cli(&cli);
     println!(
         "Table 4 — end-to-end entity group matching (scale factor {}, {} shard{})",
         scale.0,
@@ -108,20 +113,32 @@ fn main() {
         ModelSpec::Ditto256,
         ModelSpec::DistilBert128All,
     ] {
-        let cell = run_companies_table4(&real, spec, 40, 8, CleanupVariant::Full, shards);
+        let cell = run_companies_table4(
+            &real,
+            spec,
+            40,
+            8,
+            CleanupVariant::Full,
+            shards,
+            &store,
+            "real",
+        );
         push_row(&mut rows, "Real Companies", spec.display_name(), &cell);
     }
 
     // Synthetic companies: γ=25, μ=5 + sensitivity variants on -ALL.
     for spec in ModelSpec::ALL {
         if spec == ModelSpec::DistilBert128All {
-            // Train once, reuse across the Full/MEC/½γ/BC variants.
-            let (matcher, report) = train_spec(
-                synthetic.data.companies.records(),
-                &synthetic.company_gt,
-                &synthetic.company_split,
-                spec,
-            );
+            // Train (or load) once, reuse across the Full/MEC/½γ/BC
+            // variants.
+            let (matcher, train_seconds) = store.load_or_train("synthetic-companies", spec, || {
+                train_spec(
+                    synthetic.data.companies.records(),
+                    &synthetic.company_gt,
+                    &synthetic.company_split,
+                    spec,
+                )
+            });
             let variants = [
                 (CleanupVariant::Full, "DistilBERT (128)-ALL"),
                 (CleanupVariant::MinCutOnly, "DistilBERT (128)-ALL-MEC"),
@@ -132,7 +149,7 @@ fn main() {
                 let cell = run_companies_table4_with(
                     &synthetic,
                     &matcher,
-                    report.train_seconds,
+                    train_seconds,
                     spec,
                     25,
                     5,
@@ -142,7 +159,16 @@ fn main() {
                 push_row(&mut rows, "Synthetic Companies", label, &cell);
             }
         } else {
-            let cell = run_companies_table4(&synthetic, spec, 25, 5, CleanupVariant::Full, shards);
+            let cell = run_companies_table4(
+                &synthetic,
+                spec,
+                25,
+                5,
+                CleanupVariant::Full,
+                shards,
+                &store,
+                "synthetic",
+            );
             push_row(&mut rows, "Synthetic Companies", spec.display_name(), &cell);
         }
     }
@@ -153,13 +179,13 @@ fn main() {
         ModelSpec::Ditto256,
         ModelSpec::DistilBert128All,
     ] {
-        let cell = run_securities_table4(&real, spec, 40, 8, shards);
+        let cell = run_securities_table4(&real, spec, 40, 8, shards, &store, "real");
         push_row(&mut rows, "Real Securities", spec.display_name(), &cell);
     }
 
     // Synthetic securities: γ=25, μ=5.
     for spec in ModelSpec::ALL {
-        let cell = run_securities_table4(&synthetic, spec, 25, 5, shards);
+        let cell = run_securities_table4(&synthetic, spec, 25, 5, shards, &store, "synthetic");
         push_row(
             &mut rows,
             "Synthetic Securities",
@@ -174,7 +200,7 @@ fn main() {
         ModelSpec::Ditto256,
         ModelSpec::DistilBert128All,
     ] {
-        let cell = run_wdc_table4(&wdc, spec, 25, 5, shards);
+        let cell = run_wdc_table4(&wdc, spec, 25, 5, shards, &store);
         push_row(&mut rows, "WDC Products", spec.display_name(), &cell);
     }
 
@@ -190,7 +216,7 @@ fn main() {
                 "Post-Cleanup P/R/F1",
                 "Post ClPur",
                 "Inference",
-                "Stage secs b/i/c/g",
+                "Stage secs b/i/m",
             ],
             &rows,
         )

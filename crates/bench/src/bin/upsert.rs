@@ -1,122 +1,32 @@
 //! Incremental-upsert replay benchmark: loads a synthetic dataset as
-//! initial load + K delta batches through `core::incremental` and reports
-//! per-batch reconciliation latency next to the one-shot wall-clock.
+//! initial load + K delta batches through one long-lived `MatchEngine`
+//! and reports per-batch reconciliation latency next to the one-shot
+//! wall-clock of the legacy sharded oracle.
 //!
 //! Usage:
 //! `cargo run -p gralmatch-bench --bin upsert --release -- [--shards N] [--batches K] [out.json]`
 //!
 //! `GRALMATCH_SCALE` sizes the dataset (default 0.02), `--shards`
-//! (default 4) the standing [`ShardPlan`], `--batches` (default 3) the
+//! (default 4) the standing `ShardPlan`, `--batches` (default 3) the
 //! number of delta batches replayed over the trailing 30 % of the
 //! records. The scorer is the heuristic name matcher — deterministic and
-//! training-free, so the numbers isolate the reconciliation engine.
+//! training-free, so the numbers isolate the reconciliation engine. Its
+//! compiled featurization view lives in the engine's
+//! `CompiledScorerProvider`, which recompiles exactly the records each
+//! batch touches.
 
-use gralmatch_bench::harness::{
-    parse_shards_opt, prepare_synthetic, stage_trace_json, ReplayScorer, Scale,
-};
-use gralmatch_core::{CompanyDomain, PipelineConfig, ShardPlan, UpsertBatch};
-use gralmatch_lm::{
-    CompiledDataset, CompiledMatcher, HeuristicMatcher, PairEncoder, PairScorer, PairwiseMatcher,
-    PlainEncoder, ScoreScratch,
-};
-use gralmatch_records::{CompanyRecord, Record, RecordPair};
+use gralmatch_bench::cli::BenchCli;
+use gralmatch_bench::harness::{prepare_synthetic, stage_trace_json, Scale};
+use gralmatch_core::{CompanyDomain, CompiledScorerProvider, PipelineConfig, ShardPlan};
+use gralmatch_lm::{HeuristicMatcher, PlainEncoder};
 use gralmatch_util::{Json, ToJson};
-
-/// Replay scorer maintaining a compiled featurization view incrementally:
-/// each batch encodes and recompiles exactly its touched records
-/// (`recompile_record`/`clear_record`); untouched records keep their
-/// standing compiled spans across batches — the upsert-side counterpart of
-/// the pipeline state's own delta reconciliation.
-struct CompiledReplayScorer {
-    matcher: HeuristicMatcher,
-    encoder: PlainEncoder,
-    compiled: CompiledDataset,
-    /// Encoded streams as applied so far, by record id (deletes become
-    /// empty streams) — the input for the independent one-shot recompile.
-    encoded: Vec<gralmatch_lm::EncodedRecord>,
-}
-
-impl CompiledReplayScorer {
-    fn new(matcher: HeuristicMatcher, encoder: PlainEncoder) -> Self {
-        let compiled = CompiledDataset::new(&matcher.feature_config());
-        CompiledReplayScorer {
-            matcher,
-            encoder,
-            compiled,
-            encoded: Vec::new(),
-        }
-    }
-
-    fn remember(&mut self, id: u32, stream: gralmatch_lm::EncodedRecord) {
-        if id as usize >= self.encoded.len() {
-            self.encoded.resize_with(id as usize + 1, Default::default);
-        }
-        self.encoded[id as usize] = stream;
-    }
-}
-
-impl PairScorer for CompiledReplayScorer {
-    fn score_pair(&self, pair: RecordPair) -> f32 {
-        self.score_pair_scratch(pair, &mut ScoreScratch::default())
-    }
-
-    fn score_pair_scratch(&self, pair: RecordPair, scratch: &mut ScoreScratch) -> f32 {
-        self.matcher
-            .score_compiled(&self.compiled, pair.a.0, pair.b.0, scratch)
-    }
-
-    fn threshold(&self) -> f32 {
-        self.matcher.threshold()
-    }
-
-    fn memory_bytes(&self) -> Option<usize> {
-        Some(self.compiled.arena_bytes())
-    }
-}
-
-impl ReplayScorer<CompanyRecord> for CompiledReplayScorer {
-    fn for_batch(&mut self, batch: &UpsertBatch<CompanyRecord>) -> &dyn PairScorer {
-        for record in batch.inserts.iter().chain(&batch.updates) {
-            let stream = self.encoder.encode(record);
-            self.compiled.recompile_record(record.id().0, &stream);
-            self.remember(record.id().0, stream);
-        }
-        for &id in &batch.deletes {
-            self.compiled.clear_record(id.0);
-            self.remember(id.0, Default::default());
-        }
-        self
-    }
-
-    fn for_one_shot(&mut self) -> &dyn PairScorer {
-        // Rebuild the view from scratch so the one-shot run is independent
-        // of the incremental recompiles: if per-batch maintenance ever
-        // corrupted a span, the replay-vs-one-shot groups check fails
-        // instead of self-agreeing through the same corrupted arena.
-        self.compiled = CompiledDataset::compile(&self.encoded, &self.matcher.feature_config());
-        self
-    }
-}
 
 fn main() {
     let scale = Scale::from_env();
-    let (shards, mut positional) = parse_shards_opt();
-    let shards = shards.unwrap_or(4);
-    let mut batches = 3usize;
-    let mut out_path = "upsert-report.json".to_string();
-    let mut iter = std::mem::take(&mut positional).into_iter();
-    while let Some(arg) = iter.next() {
-        if arg == "--batches" {
-            batches = iter
-                .next()
-                .and_then(|v| v.parse().ok())
-                .expect("--batches needs a count");
-        } else if let Some(value) = arg.strip_prefix("--batches=") {
-            batches = value.parse().expect("--batches needs a count");
-        } else {
-            out_path = arg;
-        }
-    }
+    let cli = BenchCli::parse(&["shards", "batches"]);
+    let shards = cli.shards_or(4);
+    let batches = cli.usize_value("batches").unwrap_or(3);
+    let out_path = cli.out_path("upsert-report.json");
     eprintln!(
         "upsert: scale {} shards {shards} batches {batches} -> {out_path}",
         scale.0
@@ -125,15 +35,17 @@ fn main() {
     let prepared = prepare_synthetic(scale);
     let companies = prepared.data.companies.records();
     let domain = CompanyDomain::new(companies, prepared.data.securities.records());
-    let matcher = HeuristicMatcher {
-        jaccard_threshold: 0.45,
-    };
-    let mut scorer = CompiledReplayScorer::new(matcher, PlainEncoder::new(128));
+    let provider = CompiledScorerProvider::new(
+        HeuristicMatcher {
+            jaccard_threshold: 0.45,
+        },
+        PlainEncoder::new(128),
+    );
     let config = PipelineConfig::new(25, 5).with_pre_cleanup(50);
 
     let replay = gralmatch_bench::harness::run_upsert_replay_with(
         &domain,
-        &mut scorer,
+        Box::new(provider),
         &config,
         ShardPlan::new(shards),
         batches,
@@ -195,6 +107,10 @@ fn main() {
         ("matches_one_shot", replay.matches_one_shot.to_json()),
         ("one_shot_seconds", replay.one_shot_seconds.to_json()),
         ("delta_seconds_total", delta_seconds.to_json()),
+        (
+            "engine_apply_seconds",
+            replay.final_stats.total_apply_seconds.to_json(),
+        ),
         ("batches", Json::Arr(batch_rows)),
     ]);
     std::fs::write(&out_path, report.to_pretty_string()).expect("write report");

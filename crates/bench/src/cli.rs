@@ -1,0 +1,163 @@
+//! Shared CLI parsing for the bench binaries.
+//!
+//! Every binary in this crate takes the same small argument families —
+//! `--shards N` (env fallback `GRALMATCH_SHARDS`), a scale factor from
+//! `GRALMATCH_SCALE`, value flags like `--batches K` or `--save-model
+//! DIR`, and positional output paths. [`BenchCli`] parses them once, with
+//! one `--flag value` / `--flag=value` / repeated-flag convention, instead
+//! of each binary hand-rolling its own `args()` loop.
+
+use gralmatch_util::FxHashMap;
+
+/// Parsed bench-binary arguments.
+#[derive(Debug, Clone, Default)]
+pub struct BenchCli {
+    /// Flag → values in argv order (`--apply a --apply b` keeps both).
+    values: FxHashMap<String, Vec<String>>,
+    /// Non-flag arguments in argv order.
+    positional: Vec<String>,
+}
+
+impl BenchCli {
+    /// Parse the process arguments. `value_flags` names the flags that
+    /// consume a value (`--flag value` or `--flag=value`); anything else
+    /// starting with `--` is rejected so a typo fails loudly instead of
+    /// becoming an output path.
+    pub fn parse(value_flags: &[&str]) -> Self {
+        match Self::parse_from(std::env::args().skip(1), value_flags) {
+            Ok(cli) => cli,
+            Err(message) => panic!("{message}"),
+        }
+    }
+
+    /// [`BenchCli::parse`] over an explicit argument stream (testable).
+    pub fn parse_from(
+        args: impl IntoIterator<Item = String>,
+        value_flags: &[&str],
+    ) -> Result<Self, String> {
+        let mut cli = BenchCli::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            if let Some(rest) = arg.strip_prefix("--") {
+                let (name, inline) = match rest.split_once('=') {
+                    Some((name, value)) => (name.to_string(), Some(value.to_string())),
+                    None => (rest.to_string(), None),
+                };
+                if !value_flags.contains(&name.as_str()) {
+                    return Err(format!("unknown flag --{name}"));
+                }
+                let value = match inline {
+                    Some(value) => value,
+                    None => args
+                        .next()
+                        .ok_or_else(|| format!("--{name} needs a value"))?,
+                };
+                cli.values.entry(name).or_default().push(value);
+            } else {
+                cli.positional.push(arg);
+            }
+        }
+        Ok(cli)
+    }
+
+    /// Last value of a flag.
+    pub fn value(&self, flag: &str) -> Option<&str> {
+        self.values
+            .get(flag)
+            .and_then(|values| values.last())
+            .map(String::as_str)
+    }
+
+    /// All values of a repeatable flag, in argv order.
+    pub fn all(&self, flag: &str) -> &[String] {
+        self.values.get(flag).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Last value of a flag parsed as `usize`.
+    pub fn usize_value(&self, flag: &str) -> Option<usize> {
+        self.value(flag).map(|value| {
+            value
+                .parse()
+                .unwrap_or_else(|_| panic!("--{flag} needs a number, got {value:?}"))
+        })
+    }
+
+    /// The `--shards` knob with its `GRALMATCH_SHARDS` env fallback;
+    /// `None` when neither is set (binaries pick their own default).
+    pub fn shards(&self) -> Option<usize> {
+        self.usize_value("shards")
+            .or_else(|| {
+                std::env::var("GRALMATCH_SHARDS")
+                    .ok()
+                    .and_then(|value| value.parse().ok())
+            })
+            .map(|shards: usize| shards.max(1))
+    }
+
+    /// [`BenchCli::shards`] with a binary-specific default.
+    pub fn shards_or(&self, default: usize) -> usize {
+        self.shards().unwrap_or(default)
+    }
+
+    /// First positional argument, or `default` — the output-path
+    /// convention shared by the report-writing binaries.
+    pub fn out_path(&self, default: &str) -> String {
+        self.positional
+            .first()
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Non-flag arguments in argv order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_value_flags_both_spellings_and_positionals() {
+        let cli = BenchCli::parse_from(
+            args(&["--shards", "4", "--batches=7", "out.json"]),
+            &["shards", "batches"],
+        )
+        .unwrap();
+        assert_eq!(cli.usize_value("shards"), Some(4));
+        assert_eq!(cli.usize_value("batches"), Some(7));
+        assert_eq!(cli.out_path("default.json"), "out.json");
+        assert_eq!(cli.value("missing"), None);
+    }
+
+    #[test]
+    fn repeatable_flags_keep_every_value() {
+        let cli = BenchCli::parse_from(
+            args(&["--apply", "a.json", "--apply", "b.json"]),
+            &["apply"],
+        )
+        .unwrap();
+        assert_eq!(
+            cli.all("apply"),
+            &["a.json".to_string(), "b.json".to_string()]
+        );
+        assert_eq!(cli.value("apply"), Some("b.json"));
+    }
+
+    #[test]
+    fn unknown_and_valueless_flags_error() {
+        assert!(BenchCli::parse_from(args(&["--bogus"]), &["shards"]).is_err());
+        assert!(BenchCli::parse_from(args(&["--shards"]), &["shards"]).is_err());
+    }
+
+    #[test]
+    fn out_path_falls_back_to_default() {
+        let cli = BenchCli::parse_from(args(&[]), &[]).unwrap();
+        assert_eq!(cli.out_path("report.json"), "report.json");
+    }
+}

@@ -12,22 +12,25 @@
 //! * the securities pipeline receives issuer groups from a heuristic
 //!   company matching (see EXPERIMENTS.md for this simplification).
 
+use crate::cli::BenchCli;
 use gralmatch_blocking::TokenOverlapConfig;
 use gralmatch_core::{
-    blocked_candidates, entity_groups, group_assignment, prediction_graph, run_domain_with_matcher,
-    run_sharded, CleanupVariant, CompanyDomain, MatchingDomain, MatchingOutcome, PipelineConfig,
-    PipelineState, ProductDomain, SecurityDomain, ShardPlan, UpsertBatch, UpsertOutcome,
+    blocked_candidates, entity_groups, group_assignment, prediction_graph, run_sharded,
+    CleanupVariant, CompanyDomain, EngineStats, FixedScorerProvider, MatchEngine, MatchingDomain,
+    MatchingOutcome, PipelineConfig, ProductDomain, ScorerProvider, SecurityDomain, ShardPlan,
+    UpsertBatch, UpsertOutcome,
 };
 use gralmatch_datagen::{generate, generate_wdc, FinancialDataset, GenerationConfig, WdcConfig};
 use gralmatch_lm::{
     predict_positive_with, train, train_with_negative_pool, CompiledDataset, CompiledScorer,
-    HeuristicMatcher, ModelSpec, PairwiseMatcher, TrainedMatcher, TrainingReport,
+    HeuristicMatcher, ModelSpec, PairwiseMatcher, SavedModel, TrainedMatcher, TrainingReport,
 };
 use gralmatch_records::{
     CompanyRecord, Dataset, DatasetSplit, GroundTruth, ProductRecord, Record, RecordId, RecordPair,
     SecurityRecord, SplitRatios,
 };
 use gralmatch_util::{FxHashMap, FxHashSet, Parallelism, SplitRng};
+use std::path::PathBuf;
 
 /// JSON for one [`StageTrace`](gralmatch_core::StageTrace) entry —
 /// seconds, item counts, and (when the stage observed one) the compiled
@@ -63,42 +66,107 @@ impl Scale {
     }
 }
 
-/// Parse the `--shards N` knob (also `--shards=N`; fallback:
-/// `GRALMATCH_SHARDS`) out of the program's argv, returning
-/// `(Some(shards) if explicitly set, remaining positional args)` — so
-/// binaries with different defaults can tell "absent" from "`--shards 1`".
-pub fn parse_shards_opt() -> (Option<usize>, Vec<String>) {
-    let mut shards: Option<usize> = std::env::var("GRALMATCH_SHARDS")
-        .ok()
-        .and_then(|s| s.parse().ok());
-    let mut positional = Vec::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        if arg == "--shards" {
-            shards = Some(
-                args.next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--shards needs a shard count"),
-            );
-        } else if let Some(value) = arg.strip_prefix("--shards=") {
-            shards = Some(value.parse().expect("--shards needs a shard count"));
-        } else {
-            positional.push(arg);
+/// On-disk trained-model cache behind the `--save-model DIR` /
+/// `--load-model DIR` flags of the repro/table4 binaries: models are
+/// stored as [`SavedModel`] JSON under
+/// `DIR/<tag>-s<scale>-<spec-key>.json` — the scale factor is part of
+/// the key, so a cache warmed at one `GRALMATCH_SCALE` is never silently
+/// reused for a differently sized dataset. With a load dir, a present
+/// file skips training entirely (bit-identical scores — see
+/// `lm::persist`); with a save dir, every freshly trained model is
+/// written back. Pointing both at the same directory makes it a warm
+/// cache across runs.
+#[derive(Debug, Clone)]
+pub struct ModelStore {
+    save_dir: Option<PathBuf>,
+    load_dir: Option<PathBuf>,
+    scale: Scale,
+}
+
+impl ModelStore {
+    /// No persistence: always train.
+    pub fn disabled() -> Self {
+        ModelStore {
+            save_dir: None,
+            load_dir: None,
+            scale: Scale(1.0),
         }
     }
-    (shards.map(|s| s.max(1)), positional)
+
+    /// Read `--save-model` / `--load-model` from parsed CLI flags (the
+    /// scale comes from `GRALMATCH_SCALE` like the datasets themselves),
+    /// creating the save directory eagerly so a typoed path fails before
+    /// hours of training.
+    pub fn from_cli(cli: &BenchCli) -> Self {
+        let save_dir = cli.value("save-model").map(PathBuf::from);
+        if let Some(dir) = &save_dir {
+            std::fs::create_dir_all(dir).expect("--save-model directory is creatable");
+        }
+        ModelStore {
+            save_dir,
+            load_dir: cli.value("load-model").map(PathBuf::from),
+            scale: Scale::from_env(),
+        }
+    }
+
+    fn file_name(&self, tag: &str, spec: ModelSpec) -> String {
+        let slug: String = tag
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        format!("{slug}-s{}-{}.json", self.scale.0, spec.key())
+    }
+
+    /// Load `tag`'s model for `spec` if persisted, else run `train` (and
+    /// persist the result when saving is on). Returns the matcher and the
+    /// training wall-clock (0 for a loaded model — the time column then
+    /// reflects that no training happened).
+    pub fn load_or_train(
+        &self,
+        tag: &str,
+        spec: ModelSpec,
+        train: impl FnOnce() -> (TrainedMatcher, TrainingReport),
+    ) -> (TrainedMatcher, f64) {
+        let file = self.file_name(tag, spec);
+        if let Some(dir) = &self.load_dir {
+            let path = dir.join(&file);
+            if path.exists() {
+                let saved = SavedModel::load(&path)
+                    .unwrap_or_else(|e| panic!("loading {}: {e:?}", path.display()));
+                assert_eq!(
+                    saved.spec,
+                    spec,
+                    "{} was saved under a different model spec",
+                    path.display()
+                );
+                eprintln!("model-store: loaded {}", path.display());
+                return (saved.matcher, 0.0);
+            }
+        }
+        let (matcher, report) = train();
+        if let Some(dir) = &self.save_dir {
+            let path = dir.join(&file);
+            SavedModel::new(spec, matcher.clone())
+                .save(&path)
+                .unwrap_or_else(|e| panic!("saving {}: {e:?}", path.display()));
+            eprintln!("model-store: saved {}", path.display());
+        }
+        (matcher, report.train_seconds)
+    }
 }
 
-/// [`parse_shards_opt`] with the table/repro default of 1 (unsharded).
-pub fn parse_shards_arg() -> (usize, Vec<String>) {
-    let (shards, positional) = parse_shards_opt();
-    (shards.unwrap_or(1), positional)
-}
-
-/// Run a domain through the engine — sharded via [`ShardPlan`] when
-/// `shards > 1` (entity-keyed partition, the benchmark setting), unsharded
-/// otherwise. The sharded outcome's trace carries the per-stage roll-up
-/// plus the merge stage, so Table 4 columns read identically either way.
+/// Run a domain through the [`MatchEngine`]: one bootstrap batch under an
+/// entity-keyed [`ShardPlan`] (`shards` = 1 is the unsharded setting),
+/// evaluated under the paper's three-stage protocol. Scores go through
+/// the compiled zero-allocation path; the trace reports the engine lineup
+/// (`blocking → inference → merge`), identical for sharded and unsharded
+/// runs.
 pub fn run_domain_maybe_sharded<D>(
     domain: &D,
     matcher: &TrainedMatcher,
@@ -110,18 +178,18 @@ where
     D: MatchingDomain,
     D::Rec: Clone,
 {
-    if shards > 1 {
-        // Compile once, score every shard (and the boundary pass) through
-        // the zero-allocation path — same scores, no per-pair hashing.
-        let compiled = CompiledDataset::compile(encoded, &matcher.feature_config());
-        let scorer = CompiledScorer::new(matcher, &compiled);
-        run_sharded(domain, &scorer, config, &ShardPlan::new(shards))
-            .expect("sharded pipeline succeeds")
-            .outcome
-    } else {
-        run_domain_with_matcher(domain, matcher, encoded, config)
-            .expect("standard pipeline succeeds")
-    }
+    // Compile once, score every batch through the zero-allocation path —
+    // same scores as the reference featurization, no per-pair hashing.
+    let compiled = CompiledDataset::compile(encoded, &matcher.feature_config());
+    let scorer = CompiledScorer::new(matcher, &compiled);
+    let (engine, load) = MatchEngine::bootstrap_domain(
+        domain,
+        ShardPlan::new(shards),
+        Box::new(FixedScorerProvider(&scorer)),
+        config.clone(),
+    )
+    .expect("engine bootstrap succeeds");
+    engine.evaluate(domain.ground_truth(), &load)
 }
 
 /// One batch of an upsert replay: the upsert outcome plus its wall-clock.
@@ -130,63 +198,34 @@ pub struct ReplayBatch {
     pub index: usize,
     /// What the batch did (counts, per-stage trace, groups).
     pub outcome: UpsertOutcome,
-    /// End-to-end wall-clock seconds of the `apply` call.
+    /// End-to-end wall-clock seconds of the `apply_batch` call.
     pub seconds: f64,
 }
 
 /// Result of [`run_upsert_replay`]: per-batch latency plus the end-state
-/// comparison against a one-shot sharded run.
+/// comparison against a one-shot run of the legacy sharded oracle.
 pub struct UpsertReplay {
     /// Initial load followed by the delta batches.
     pub batches: Vec<ReplayBatch>,
     /// Final group count.
     pub num_groups: usize,
-    /// Whether the final incremental groups equal a one-shot
-    /// [`run_sharded`] over the full population (they must for
-    /// deterministic scorers; reported rather than asserted so the bench
-    /// binary stays a measurement tool).
+    /// Whether the engine's final groups equal a one-shot
+    /// [`run_sharded`] (the legacy staged oracle) over the full
+    /// population (they must for deterministic scorers; reported rather
+    /// than asserted so the bench binary stays a measurement tool).
     pub matches_one_shot: bool,
-    /// Wall-clock seconds of the one-shot run, for the speedup column.
+    /// Wall-clock seconds of the one-shot oracle run, for the speedup
+    /// column.
     pub one_shot_seconds: f64,
-}
-
-/// Provides the scorer for each replay batch, absorbing the batch's record
-/// mutations first. The incremental hook for compiled featurization: a
-/// provider holding a [`CompiledDataset`] recompiles exactly the touched
-/// records (`recompile_record`/`clear_record`) before handing back its
-/// scorer, so the compiled view persists across batches instead of being
-/// rebuilt per batch. Stateless scorers use [`FixedReplayScorer`].
-pub trait ReplayScorer<R> {
-    /// Absorb `batch`'s mutations into any scorer-side state, then return
-    /// the scorer to apply the batch with.
-    fn for_batch(&mut self, batch: &UpsertBatch<R>) -> &dyn gralmatch_lm::PairScorer;
-
-    /// Scorer for the final one-shot comparison run over the full
-    /// population. Providers maintaining incremental state should return
-    /// an *independently built* view here, so the replay-vs-one-shot
-    /// groups check cross-checks the incremental maintenance itself (a
-    /// corrupted incremental view scoring both sides would self-agree).
-    /// The default returns the standing scorer (correct for stateless
-    /// providers like [`FixedReplayScorer`]).
-    fn for_one_shot(&mut self) -> &dyn gralmatch_lm::PairScorer {
-        self.for_batch(&UpsertBatch::new())
-    }
-}
-
-/// [`ReplayScorer`] adapter for scorers without per-batch state (oracles,
-/// encoded-record scorers over a pre-encoded full population).
-pub struct FixedReplayScorer<'a>(pub &'a dyn gralmatch_lm::PairScorer);
-
-impl<R> ReplayScorer<R> for FixedReplayScorer<'_> {
-    fn for_batch(&mut self, _batch: &UpsertBatch<R>) -> &dyn gralmatch_lm::PairScorer {
-        self.0
-    }
+    /// Engine counters after the last batch.
+    pub final_stats: EngineStats,
 }
 
 /// Replay a domain's records as an initial load (the first
 /// `1 - delta_fraction` of the records) plus `num_batches` delta batches,
 /// measuring per-batch reconciliation latency, then compare the end state
-/// against a one-shot sharded run over the full population.
+/// against a one-shot run of the legacy sharded oracle over the full
+/// population.
 pub fn run_upsert_replay<D>(
     domain: &D,
     scorer: &dyn gralmatch_lm::PairScorer,
@@ -201,7 +240,7 @@ where
 {
     run_upsert_replay_with(
         domain,
-        &mut FixedReplayScorer(scorer),
+        Box::new(FixedScorerProvider(scorer)),
         config,
         plan,
         num_batches,
@@ -209,12 +248,15 @@ where
     )
 }
 
-/// [`run_upsert_replay`] with a per-batch scorer provider (see
-/// [`ReplayScorer`]) — the entry point for scorers whose compiled views
-/// are maintained incrementally alongside the pipeline state.
-pub fn run_upsert_replay_with<D>(
-    domain: &D,
-    provider: &mut dyn ReplayScorer<D::Rec>,
+/// [`run_upsert_replay`] with a scorer provider — the entry point for
+/// scorers whose compiled views are maintained incrementally alongside
+/// the engine state (see
+/// [`CompiledScorerProvider`](gralmatch_core::CompiledScorerProvider)).
+/// The whole replay drives one [`MatchEngine`]: bootstrap with the
+/// initial slice, then one `apply_batch` per delta.
+pub fn run_upsert_replay_with<'a, D>(
+    domain: &'a D,
+    provider: Box<dyn ScorerProvider<D::Rec> + 'a>,
     config: &PipelineConfig,
     plan: ShardPlan,
     num_batches: usize,
@@ -225,19 +267,20 @@ where
     D::Rec: Clone,
 {
     let records = domain.records();
-    let strategies = domain.blocking_strategies();
     let delta_len = ((records.len() as f64 * delta_fraction) as usize)
         .clamp(num_batches.min(records.len()), records.len());
     let initial = records.len() - delta_len;
 
     let mut batches = Vec::with_capacity(num_batches + 1);
     let watch = gralmatch_util::Stopwatch::start();
-    let load_batch = UpsertBatch::inserting(records[..initial].to_vec());
-    let scorer = provider.for_batch(&load_batch);
-    let mut state = PipelineState::new(plan);
-    let load = state
-        .apply(&load_batch, &strategies, scorer, config)
-        .expect("initial load succeeds");
+    let (mut engine, load) = MatchEngine::bootstrap(
+        plan,
+        records[..initial].to_vec(),
+        domain.blocking_strategies(),
+        provider,
+        config.clone(),
+    )
+    .expect("initial load succeeds");
     batches.push(ReplayBatch {
         index: 0,
         outcome: load,
@@ -249,10 +292,8 @@ where
     let mut groups = Vec::new();
     for (index, slice) in remainder.chunks(chunk).enumerate() {
         let watch = gralmatch_util::Stopwatch::start();
-        let batch = UpsertBatch::inserting(slice.to_vec());
-        let scorer = provider.for_batch(&batch);
-        let outcome = state
-            .apply(&batch, &strategies, scorer, config)
+        let outcome = engine
+            .apply_batch(&UpsertBatch::inserting(slice.to_vec()))
             .expect("delta batch succeeds");
         groups = outcome.groups.clone();
         batches.push(ReplayBatch {
@@ -261,9 +302,14 @@ where
             seconds: watch.elapsed_secs(),
         });
     }
+    let final_stats = engine.stats();
 
+    // The comparison run goes through the *legacy staged oracle* with an
+    // independently built scorer view (`verify_scorer`), so the check
+    // cross-checks both the engine's reconciliation and any incremental
+    // scorer maintenance.
     let one_shot_watch = gralmatch_util::Stopwatch::start();
-    let scorer = provider.for_one_shot();
+    let scorer = engine.provider_mut().verify_scorer();
     let one_shot = run_sharded(domain, scorer, config, &plan).expect("one-shot run succeeds");
     let one_shot_seconds = one_shot_watch.elapsed_secs();
     let normalize = |groups: &[Vec<RecordId>]| {
@@ -283,6 +329,7 @@ where
         matches_one_shot: normalize(&groups) == normalize(&one_shot.outcome.groups),
         one_shot_seconds,
         batches,
+        final_stats,
     }
 }
 
@@ -628,7 +675,9 @@ pub struct Table4Cell {
 }
 
 /// End-to-end companies experiment for one spec. `shards > 1` runs the
-/// sharded pipeline (entity-keyed [`ShardPlan`]).
+/// engine under a multi-shard entity-keyed [`ShardPlan`]. `tag` names the
+/// dataset for the [`ModelStore`]'s files.
+#[allow(clippy::too_many_arguments)]
 pub fn run_companies_table4(
     prepared: &PreparedFinancial,
     spec: ModelSpec,
@@ -636,17 +685,21 @@ pub fn run_companies_table4(
     mu: usize,
     variant: CleanupVariant,
     shards: usize,
+    store: &ModelStore,
+    tag: &str,
 ) -> Table4Cell {
-    let (matcher, report) = train_spec(
-        prepared.data.companies.records(),
-        &prepared.company_gt,
-        &prepared.company_split,
-        spec,
-    );
+    let (matcher, train_seconds) = store.load_or_train(&format!("{tag}-companies"), spec, || {
+        train_spec(
+            prepared.data.companies.records(),
+            &prepared.company_gt,
+            &prepared.company_split,
+            spec,
+        )
+    });
     run_companies_table4_with(
         prepared,
         &matcher,
-        report.train_seconds,
+        train_seconds,
         spec,
         gamma,
         mu,
@@ -685,20 +738,25 @@ pub fn run_companies_table4_with(
 }
 
 /// End-to-end securities experiment for one spec. `shards > 1` runs the
-/// sharded pipeline (entity-keyed [`ShardPlan`]).
+/// engine under a multi-shard entity-keyed [`ShardPlan`]. `tag` names the
+/// dataset for the [`ModelStore`]'s files.
 pub fn run_securities_table4(
     prepared: &PreparedFinancial,
     spec: ModelSpec,
     gamma: usize,
     mu: usize,
     shards: usize,
+    store: &ModelStore,
+    tag: &str,
 ) -> Table4Cell {
-    let (matcher, report) = train_spec(
-        prepared.data.securities.records(),
-        &prepared.security_gt,
-        &prepared.security_split,
-        spec,
-    );
+    let (matcher, train_seconds) = store.load_or_train(&format!("{tag}-securities"), spec, || {
+        train_spec(
+            prepared.data.securities.records(),
+            &prepared.security_gt,
+            &prepared.security_split,
+            spec,
+        )
+    });
     let (issuer_companies, test_securities) = security_test_universe(prepared);
     let encoded = spec.encode_records(&test_securities);
     let company_groups = heuristic_company_groups(&issuer_companies, &test_securities);
@@ -711,27 +769,30 @@ pub fn run_securities_table4(
     Table4Cell {
         num_records: test_securities.len(),
         outcome,
-        train_seconds: report.train_seconds,
+        train_seconds,
     }
 }
 
 /// End-to-end WDC products experiment for one spec. `shards > 1` runs the
-/// sharded pipeline (entity-keyed [`ShardPlan`]).
+/// engine under a multi-shard entity-keyed [`ShardPlan`].
 pub fn run_wdc_table4(
     prepared: &PreparedWdc,
     spec: ModelSpec,
     gamma: usize,
     mu: usize,
     shards: usize,
+    store: &ModelStore,
 ) -> Table4Cell {
-    let pool = wdc_negative_pool(prepared);
-    let (matcher, report) = train_spec_with_pool(
-        prepared.products.records(),
-        &prepared.gt,
-        &prepared.split,
-        spec,
-        &pool,
-    );
+    let (matcher, train_seconds) = store.load_or_train("wdc-products", spec, || {
+        let pool = wdc_negative_pool(prepared);
+        train_spec_with_pool(
+            prepared.products.records(),
+            &prepared.gt,
+            &prepared.split,
+            spec,
+            &pool,
+        )
+    });
     // Restrict to the test split (100 % unseen entities).
     let keep = prepared.split.test_set();
     let mut test_products: Vec<ProductRecord> = Vec::new();
@@ -752,7 +813,7 @@ pub fn run_wdc_table4(
     Table4Cell {
         num_records: test_products.len(),
         outcome,
-        train_seconds: report.train_seconds,
+        train_seconds,
     }
 }
 

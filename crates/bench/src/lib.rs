@@ -10,6 +10,9 @@
 //! * `repro` — runs everything and writes a combined report,
 //! * `upsert` — incremental-upsert replay (initial load + K delta
 //!   batches) with per-batch reconciliation latency,
+//! * `serve` — the match *service*: bootstrap a `MatchEngine`, persist
+//!   its state, resume it with a trained matcher from disk, stream
+//!   `UpsertBatch`es, answer group lookups (see [`serve`]),
 //! * `featbench` — reference vs compiled featurization throughput with a
 //!   bit-identity parity gate,
 //! * `perfcmp` — the CI perf gate: diffs two repro reports per stage and
@@ -18,7 +21,9 @@
 //! Criterion benches under `benches/` cover the component ablations
 //! (min-cut vs betweenness, blocking throughput, inference, cleanup).
 
+pub mod cli;
 pub mod harness;
 pub mod paper;
 pub mod perfgate;
+pub mod serve;
 pub mod table;

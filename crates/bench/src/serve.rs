@@ -1,0 +1,400 @@
+//! The serve layer: a long-lived [`MatchEngine`] session over securities,
+//! persisted to and resumed from disk.
+//!
+//! This is the ROADMAP's "serve-style binary" made concrete: a
+//! [`ServeSession`] wraps an engine whose state round-trips through the
+//! `PipelineState` JSON codec and whose matcher loads from a
+//! [`SavedModel`] (falling back to the training-free heuristic matcher),
+//! applies [`UpsertBatch`] streams, and answers group lookups through a
+//! tiny line protocol:
+//!
+//! ```text
+//! group_of <record-id>     → the record's group id + members
+//! members <group-id>       → one group's members
+//! stats                    → engine counters
+//! apply <path>             → apply a batch file, print its latency trace
+//! save_state <path>        → persist the standing state
+//! {"inserts":[…],…}        → apply an inline JSON batch
+//! ```
+//!
+//! The `serve` binary is a thin CLI over this module (`bootstrap` builds
+//! a state + delta-batch files from the synthetic benchmark; `run` loads
+//! and serves); the smoke tests below drive the same session API the
+//! binary uses.
+
+use gralmatch_blocking::{Blocker, SecurityIdOverlap, TokenOverlap, TokenOverlapConfig};
+use gralmatch_core::{
+    CompiledScorerProvider, EngineStats, MatchEngine, PipelineConfig, PipelineState,
+    ScorerProvider, ShardPlan, UpsertBatch, UpsertOutcome,
+};
+use gralmatch_lm::{HeuristicMatcher, ModelSpec, SavedModel};
+use gralmatch_records::{RecordId, SecurityRecord};
+use gralmatch_util::{Error, FromJson, Json, ToJson};
+
+/// The serve lineup: the cross-shard identifier hash join plus the
+/// shard-local token-overlap recipe — self-contained (no companion
+/// company grouping needed), and the same list must be used at bootstrap
+/// and at serve time so incremental re-blocking reconciles against the
+/// candidates the state was built with.
+pub fn security_strategies() -> Vec<Box<dyn Blocker<SecurityRecord> + 'static>> {
+    vec![
+        Box::new(SecurityIdOverlap),
+        Box::new(TokenOverlap::new(TokenOverlapConfig::default())),
+    ]
+}
+
+/// The serve pipeline configuration (synthetic-benchmark γ/μ).
+pub fn serve_config() -> PipelineConfig {
+    PipelineConfig::new(25, 5)
+}
+
+/// Jaccard threshold of the fallback heuristic scorer — shared by
+/// [`serve_provider`] and [`scorer_fingerprint`] so the mismatch guard
+/// can never drift from the scorer it describes.
+const SERVE_HEURISTIC_JACCARD: f32 = 0.45;
+
+/// Scorer provider for a serve session: a compiled view over the loaded
+/// [`SavedModel`]'s matcher + encoder, or the training-free heuristic
+/// matcher when no model file is given.
+pub fn serve_provider(
+    model: Option<SavedModel>,
+) -> Box<dyn ScorerProvider<SecurityRecord> + 'static> {
+    match model {
+        Some(saved) => Box::new(CompiledScorerProvider::new(
+            saved.matcher,
+            saved.spec.encoder(),
+        )),
+        None => Box::new(CompiledScorerProvider::new(
+            HeuristicMatcher {
+                jaccard_threshold: SERVE_HEURISTIC_JACCARD,
+            },
+            ModelSpec::DistilBert128All.encoder(),
+        )),
+    }
+}
+
+/// Identity of the scorer a state was built with — written next to the
+/// state file at bootstrap and checked at resume, because standing
+/// predictions scored under one matcher must not be reconciled against
+/// pairs scored under another (the groups would silently mix regimes).
+/// The digest covers the model's full canonical serialization (weights
+/// included), so two same-shape models trained on different data do not
+/// collide.
+pub fn scorer_fingerprint(model: Option<&SavedModel>) -> String {
+    match model {
+        Some(saved) => format!(
+            "saved-model spec={} digest={:016x}",
+            saved.spec.key(),
+            fnv1a(saved.to_json().to_compact_string().as_bytes())
+        ),
+        None => format!("heuristic jaccard={SERVE_HEURISTIC_JACCARD}"),
+    }
+}
+
+/// FNV-1a over a byte stream (content digest for the scorer sidecar; not
+/// cryptographic, just collision-resistant enough to catch a swapped
+/// weight file).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One batch application's latency summary, for the per-batch trace the
+/// serve binary prints.
+pub fn latency_line(outcome: &UpsertOutcome, seconds: f64) -> String {
+    use gralmatch_core::stage_names;
+    let stage = |name: &str| outcome.trace.stage(name).map_or(0.0, |stage| stage.seconds);
+    format!(
+        "applied +{}~{}-{} in {seconds:.4}s (blocking {:.4}s, inference {:.4}s over {} pairs, \
+         merge {:.4}s, {} components re-cleaned) → {} groups",
+        outcome.inserted,
+        outcome.updated,
+        outcome.deleted,
+        stage(stage_names::BLOCKING),
+        stage(stage_names::INFERENCE),
+        outcome.pairs_scored,
+        stage(stage_names::MERGE),
+        outcome.touched_components,
+        outcome.groups.len(),
+    )
+}
+
+/// A live serve session: the engine plus the lookup protocol.
+pub struct ServeSession {
+    engine: MatchEngine<'static, SecurityRecord>,
+}
+
+impl ServeSession {
+    /// Bootstrap a fresh session from records (one insert-only batch).
+    pub fn bootstrap(
+        records: Vec<SecurityRecord>,
+        plan: ShardPlan,
+        provider: Box<dyn ScorerProvider<SecurityRecord> + 'static>,
+    ) -> Result<(Self, UpsertOutcome), Error> {
+        let (engine, outcome) = MatchEngine::bootstrap(
+            plan,
+            records,
+            security_strategies(),
+            provider,
+            serve_config(),
+        )?;
+        Ok((ServeSession { engine }, outcome))
+    }
+
+    /// Resume from a persisted state (JSON text of
+    /// [`PipelineState::to_json`]).
+    pub fn resume(
+        state_json: &str,
+        provider: Box<dyn ScorerProvider<SecurityRecord> + 'static>,
+    ) -> Result<Self, Error> {
+        let json = Json::parse(state_json).map_err(|e| Error::InvalidConfig(e.message))?;
+        let state: PipelineState<SecurityRecord> =
+            PipelineState::from_json(&json).map_err(|e| Error::InvalidConfig(e.message))?;
+        Ok(ServeSession {
+            engine: MatchEngine::from_state(state, security_strategies(), provider, serve_config()),
+        })
+    }
+
+    /// Apply one batch, returning the outcome and its wall-clock seconds.
+    pub fn apply(
+        &mut self,
+        batch: &UpsertBatch<SecurityRecord>,
+    ) -> Result<(UpsertOutcome, f64), Error> {
+        let watch = gralmatch_util::Stopwatch::start();
+        let outcome = self.engine.apply_batch(batch)?;
+        Ok((outcome, watch.elapsed_secs()))
+    }
+
+    /// The wrapped engine (lookups, stats).
+    pub fn engine(&self) -> &MatchEngine<'static, SecurityRecord> {
+        &self.engine
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+
+    /// Serialize the standing state.
+    pub fn state_json(&self) -> String {
+        self.engine.state().to_json().to_pretty_string()
+    }
+
+    /// Execute one protocol line (see the [module docs](self)), returning
+    /// the response text. Unknown or malformed commands return `Err` with
+    /// a usage message — the session stays usable.
+    pub fn command(&mut self, line: &str) -> Result<String, String> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Ok(String::new());
+        }
+        if line.starts_with('{') {
+            let json = Json::parse(line).map_err(|e| format!("bad batch JSON: {}", e.message))?;
+            let batch = UpsertBatch::<SecurityRecord>::from_json(&json)
+                .map_err(|e| format!("bad batch: {}", e.message))?;
+            let (outcome, seconds) = self
+                .apply(&batch)
+                .map_err(|e| format!("apply failed: {e:?}"))?;
+            return Ok(latency_line(&outcome, seconds));
+        }
+        let mut parts = line.split_whitespace();
+        let verb = parts.next().unwrap_or_default();
+        match verb {
+            "group_of" => {
+                let id = Self::parse_id(parts.next())?;
+                match self.engine.group_of(RecordId(id)) {
+                    Some(group) => {
+                        let members = self
+                            .engine
+                            .group_members(group)
+                            .expect("group id came from the index");
+                        Ok(format!(
+                            "record {id} → group {} ({} member{}): {}",
+                            group.0,
+                            members.len(),
+                            if members.len() == 1 { "" } else { "s" },
+                            Self::render_members(members),
+                        ))
+                    }
+                    None => Ok(format!("record {id} is not live")),
+                }
+            }
+            "members" => {
+                let id = Self::parse_id(parts.next())?;
+                match self.engine.group_members(RecordId(id)) {
+                    Some(members) => Ok(format!("group {id}: {}", Self::render_members(members))),
+                    None => Ok(format!("{id} is not a group id")),
+                }
+            }
+            "stats" => {
+                let stats = self.stats();
+                Ok(format!(
+                    "{} live records ({} ids), {} groups (largest {}), {} candidates, \
+                     {} predictions, {} batches applied in {:.4}s",
+                    stats.num_live,
+                    stats.num_ids,
+                    stats.num_groups,
+                    stats.largest_group,
+                    stats.num_candidates,
+                    stats.num_predicted,
+                    stats.batches_applied,
+                    stats.total_apply_seconds,
+                ))
+            }
+            "apply" => {
+                let path = parts.next().ok_or("usage: apply <batch.json>")?;
+                let batch = load_batch(path).map_err(|e| format!("{path}: {e:?}"))?;
+                let (outcome, seconds) = self
+                    .apply(&batch)
+                    .map_err(|e| format!("apply failed: {e:?}"))?;
+                Ok(latency_line(&outcome, seconds))
+            }
+            "save_state" => {
+                let path = parts.next().ok_or("usage: save_state <state.json>")?;
+                std::fs::write(path, self.state_json()).map_err(|e| format!("{path}: {e}"))?;
+                Ok(format!("state saved to {path}"))
+            }
+            other => Err(format!(
+                "unknown command {other:?} (try: group_of <id> | members <id> | stats | \
+                 apply <file> | save_state <file> | inline batch JSON)"
+            )),
+        }
+    }
+
+    fn parse_id(token: Option<&str>) -> Result<u32, String> {
+        token
+            .ok_or("missing record id")?
+            .parse()
+            .map_err(|_| "record ids are unsigned integers".to_string())
+    }
+
+    fn render_members(members: &[RecordId]) -> String {
+        const SHOWN: usize = 16;
+        let mut rendered: Vec<String> = members
+            .iter()
+            .take(SHOWN)
+            .map(|id| id.0.to_string())
+            .collect();
+        if members.len() > SHOWN {
+            rendered.push(format!("… +{}", members.len() - SHOWN));
+        }
+        format!("[{}]", rendered.join(", "))
+    }
+}
+
+/// Read one [`UpsertBatch`] from a JSON file.
+pub fn load_batch(path: &str) -> Result<UpsertBatch<SecurityRecord>, Error> {
+    let text = std::fs::read_to_string(path).map_err(Error::Io)?;
+    let json = Json::parse(&text).map_err(|e| Error::InvalidConfig(e.message))?;
+    UpsertBatch::from_json(&json).map_err(|e| Error::InvalidConfig(e.message))
+}
+
+/// Write one [`UpsertBatch`] as a JSON file.
+pub fn save_batch(path: &str, batch: &UpsertBatch<SecurityRecord>) -> Result<(), Error> {
+    std::fs::write(path, batch.to_json().to_pretty_string()).map_err(Error::Io)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gralmatch_datagen::{generate, GenerationConfig};
+
+    fn securities() -> Vec<SecurityRecord> {
+        let mut config = GenerationConfig::synthetic_full();
+        config.num_entities = 60;
+        generate(&config).unwrap().securities.records().to_vec()
+    }
+
+    /// The satellite smoke: persist a bootstrapped state, resume it from
+    /// JSON, apply a delete-bearing batch, and check the lookups reflect
+    /// the re-cleaned components.
+    #[test]
+    fn resumed_session_reflects_delete_bearing_batches_in_lookups() {
+        let records = securities();
+        let (session, load) =
+            ServeSession::bootstrap(records.clone(), ShardPlan::new(3), serve_provider(None))
+                .unwrap();
+        assert_eq!(load.inserted, records.len());
+        let state = session.state_json();
+
+        // Resume from disk-shaped state with a fresh provider.
+        let mut resumed = ServeSession::resume(&state, serve_provider(None)).unwrap();
+        assert_eq!(resumed.engine().groups(), session.engine().groups());
+
+        // Delete one member of a multi-record group.
+        let group = resumed
+            .engine()
+            .groups()
+            .into_iter()
+            .find(|group| group.len() > 1)
+            .expect("some multi-record group");
+        let victim = group[0];
+        let survivors: Vec<RecordId> = group[1..].to_vec();
+        let (outcome, _) = resumed
+            .apply(&UpsertBatch {
+                inserts: Vec::new(),
+                updates: Vec::new(),
+                deletes: vec![victim],
+            })
+            .unwrap();
+        assert_eq!(outcome.deleted, 1);
+
+        // The deleted id no longer resolves; the survivors' group was
+        // re-cleaned and no longer contains it.
+        assert_eq!(resumed.engine().group_of(victim), None);
+        for &id in &survivors {
+            let root = resumed.engine().group_of(id).expect("survivor stays live");
+            let members = resumed.engine().group_members(root).unwrap();
+            assert!(!members.contains(&victim), "lookup still sees deleted id");
+        }
+    }
+
+    #[test]
+    fn scorer_fingerprints_distinguish_models() {
+        use gralmatch_lm::{FeatureConfig, LogisticModel, TrainedMatcher};
+        assert_eq!(scorer_fingerprint(None), "heuristic jaccard=0.45");
+        let matcher = TrainedMatcher::new(
+            LogisticModel::new(FeatureConfig::default().dim()),
+            FeatureConfig::default(),
+        );
+        let a = SavedModel::new(ModelSpec::Ditto128, matcher.clone());
+        // Same shape, different parameters → different digest.
+        let b = SavedModel::new(ModelSpec::Ditto128, matcher.with_threshold(0.7));
+        assert_ne!(
+            scorer_fingerprint(Some(&a)),
+            scorer_fingerprint(Some(&b)),
+            "fingerprint must cover model contents, not just its shape"
+        );
+    }
+
+    #[test]
+    fn command_protocol_round_trips() {
+        let records = securities();
+        let subset = records[..records.len() / 2].to_vec();
+        let (mut session, _) =
+            ServeSession::bootstrap(subset, ShardPlan::new(2), serve_provider(None)).unwrap();
+
+        let stats = session.command("stats").unwrap();
+        assert!(stats.contains("live records"), "{stats}");
+        let lookup = session.command("group_of 0").unwrap();
+        assert!(lookup.contains("group"), "{lookup}");
+        assert!(session.command("group_of notanid").is_err());
+        assert!(session.command("bogus").is_err());
+        assert_eq!(session.command("").unwrap(), "");
+
+        // Inline batch JSON: insert one held-out record, then look it up.
+        let held_out = records.last().unwrap().clone();
+        let id = held_out.id;
+        let batch = UpsertBatch::inserting(vec![held_out]);
+        let response = session
+            .command(&batch.to_json().to_compact_string())
+            .unwrap();
+        assert!(response.contains("applied +1"), "{response}");
+        let lookup = session.command(&format!("group_of {}", id.0)).unwrap();
+        assert!(lookup.contains(&format!("record {}", id.0)), "{lookup}");
+    }
+}

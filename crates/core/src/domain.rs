@@ -11,7 +11,9 @@
 //! overlap + issuer match fed by a company-level grouping), and
 //! [`ProductDomain`] (token overlap only).
 
+use crate::engine::{FixedScorerProvider, MatchEngine};
 use crate::pipeline::{MatchingOutcome, PipelineConfig};
+use crate::shard::ShardPlan;
 use crate::stage::{StageContext, StagePipeline};
 use gralmatch_blocking::{
     run_blockers, Blocker, BlockingContext, CandidateSet, CompanyIdOverlap, IssuerMatch,
@@ -60,8 +62,40 @@ pub fn blocked_candidates<D: MatchingDomain>(domain: &D) -> CandidateSet {
     )
 }
 
-/// Run the standard staged pipeline over a domain with any pair scorer.
-pub fn run_domain<D: MatchingDomain>(
+/// Run a one-shot match over a domain with any pair scorer — a thin
+/// wrapper over [`MatchEngine::bootstrap`] under a single-shard plan (one
+/// insert-only batch against an empty state), evaluated under the paper's
+/// three-stage protocol. The trace reports the engine's stage lineup
+/// (`blocking → inference → merge`).
+pub fn run_domain<D>(
+    domain: &D,
+    scorer: &dyn PairScorer,
+    config: &PipelineConfig,
+) -> Result<MatchingOutcome, Error>
+where
+    D: MatchingDomain,
+    D::Rec: Clone,
+{
+    let (engine, load) = MatchEngine::bootstrap_domain(
+        domain,
+        ShardPlan::new(1),
+        Box::new(FixedScorerProvider(scorer)),
+        config.clone(),
+    )?;
+    Ok(engine.evaluate(domain.ground_truth(), &load))
+}
+
+/// Run the **legacy staged** one-shot pipeline
+/// (`BlockingStage → InferenceStage → CleanupStage → GroupingStage`).
+///
+/// This is the pre-engine reference implementation, kept as the
+/// *independent oracle* the equivalence suites compare
+/// [`MatchEngine`]-routed runs against
+/// (`tests/engine_equivalence.rs`, `tests/shard_equivalence.rs`); the
+/// legacy sharded runner's single-shard branch also lands here so the
+/// oracle never routes through the engine. Production callers use
+/// [`run_domain`] or the engine directly.
+pub fn run_domain_staged<D: MatchingDomain>(
     domain: &D,
     scorer: &dyn PairScorer,
     config: &PipelineConfig,
@@ -76,20 +110,25 @@ pub fn run_domain<D: MatchingDomain>(
     Ok(MatchingOutcome::from_context(ctx, trace))
 }
 
-/// Run the standard staged pipeline over a domain with a pairwise matcher
-/// and pre-encoded records (the common trained-model path).
+/// Run a one-shot match over a domain with a pairwise matcher and
+/// pre-encoded records (the common trained-model path) — engine-routed
+/// like [`run_domain`].
 ///
 /// The encoded streams are compiled once up front
 /// ([`CompiledDataset::compile`]) and all candidate pairs score through
 /// the zero-allocation [`CompiledScorer`] path — identical scores to
 /// [`MatcherScorer`](gralmatch_lm::MatcherScorer), without the per-pair
 /// hashing.
-pub fn run_domain_with_matcher<D: MatchingDomain, M: CompiledMatcher>(
+pub fn run_domain_with_matcher<D, M: CompiledMatcher>(
     domain: &D,
     matcher: &M,
     encoded: &[EncodedRecord],
     config: &PipelineConfig,
-) -> Result<MatchingOutcome, Error> {
+) -> Result<MatchingOutcome, Error>
+where
+    D: MatchingDomain,
+    D::Rec: Clone,
+{
     let compiled = CompiledDataset::compile(encoded, &matcher.feature_config());
     run_domain(domain, &CompiledScorer::new(matcher, &compiled), config)
 }

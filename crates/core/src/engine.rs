@@ -1,0 +1,703 @@
+//! The long-lived match engine: incremental execution as the *only* code
+//! path, with group lookups served from a standing index.
+//!
+//! Earlier revisions had three parallel ways to run the Figure 1 pipeline
+//! — the one-shot staged lineup
+//! ([`run_domain`](crate::domain::run_domain)), the sharded runner
+//! ([`run_sharded`](crate::shard::run_sharded)), and the incremental
+//! upsert reconciliation ([`PipelineState::apply`]) — plus bespoke
+//! scorer-state threading in the bench replay. A [`MatchEngine`] collapses
+//! them: it owns the [`PipelineState`], the blocking-strategy list, the
+//! scorer (with any compiled featurization view, see
+//! [`CompiledScorerProvider`]), and a record-id → group index for its
+//! whole lifetime, and **every** execution shape is expressed through
+//! [`MatchEngine::apply_batch`]:
+//!
+//! * a **one-shot run** is [`MatchEngine::bootstrap`] — a single
+//!   insert-only batch against an empty state (already property-tested
+//!   equivalent to the staged one-shot),
+//! * a **sharded run** is the same bootstrap under a multi-shard
+//!   [`ShardPlan`],
+//! * an **incremental run** is the bootstrap followed by more batches,
+//! * a **serving process** is [`MatchEngine::from_state`] — a state and a
+//!   trained matcher loaded from disk — followed by batches and lookups.
+//!
+//! The legacy staged/sharded runners survive only as the *reference
+//! oracle* the equivalence suites compare against
+//! (`tests/engine_equivalence.rs`, `tests/upsert_equivalence.rs`); the
+//! public one-shot entry points are thin wrappers over this engine.
+//!
+//! ## Group lookups
+//!
+//! The engine answers [`group_of`](MatchEngine::group_of) /
+//! [`group_members`](MatchEngine::group_members) from a [`GroupIndex`]
+//! maintained **incrementally**: each applied batch reports the exact
+//! invalidation set of the dirty-component merge
+//! ([`UpsertOutcome::changed_nodes`] — batch ids plus every member of a
+//! rebuilt component), and only those entries are recomputed. Lookup cost
+//! is a hash probe; maintenance cost is proportional to the reconciled
+//! surface, not the dataset. A group's id is its smallest member's record
+//! id — stable under any mutation that does not change the group's
+//! membership.
+
+use crate::domain::MatchingDomain;
+use crate::groups::{entity_groups, prediction_graph};
+use crate::incremental::{PipelineState, UpsertBatch, UpsertOutcome};
+use crate::metrics::{group_metrics, pairwise_metrics};
+use crate::pipeline::{MatchingOutcome, PipelineConfig};
+use crate::shard::ShardPlan;
+use gralmatch_blocking::Blocker;
+use gralmatch_lm::{
+    CompiledDataset, CompiledMatcher, EncodedRecord, PairEncoder, PairScorer, ScoreScratch,
+};
+use gralmatch_records::{GroundTruth, Record, RecordId, RecordPair};
+use gralmatch_util::{Error, FxHashMap, FxHashSet, Stopwatch};
+
+/// Supplies the engine's pair scorer across the engine's lifetime,
+/// absorbing record mutations into any scorer-side state first.
+///
+/// This is where the old bench-side `ReplayScorer` plumbing lives now:
+/// a provider holding a compiled featurization view
+/// ([`CompiledScorerProvider`]) recompiles exactly the records a batch
+/// touches, so the expensive per-record string work persists across
+/// batches. Stateless scorers (oracles, pre-encoded views) use
+/// [`FixedScorerProvider`].
+pub trait ScorerProvider<R> {
+    /// Absorb an already-standing population (engine resume from a
+    /// persisted state): called once by [`MatchEngine::from_state`] with
+    /// the live records before any batch arrives. Default: no-op.
+    fn prime(&mut self, records: &[R]) {
+        let _ = records;
+    }
+
+    /// Absorb one batch's record mutations into scorer-side state, before
+    /// the batch is reconciled. Default: no-op.
+    fn absorb(&mut self, batch: &UpsertBatch<R>) {
+        let _ = batch;
+    }
+
+    /// The scorer reflecting everything absorbed so far.
+    fn scorer(&self) -> &dyn PairScorer;
+
+    /// A scorer for *independent verification* runs (replay-vs-one-shot
+    /// cross-checks). Providers maintaining incremental state should
+    /// rebuild their view from scratch here so a corrupted incremental
+    /// view cannot self-agree; the default returns the standing scorer,
+    /// which is correct for stateless providers.
+    fn verify_scorer(&mut self) -> &dyn PairScorer {
+        self.scorer()
+    }
+}
+
+/// [`ScorerProvider`] for scorers without per-batch state: oracles, or
+/// compiled scorers built over a pre-encoded full population.
+pub struct FixedScorerProvider<'s>(pub &'s dyn PairScorer);
+
+impl<R> ScorerProvider<R> for FixedScorerProvider<'_> {
+    fn scorer(&self) -> &dyn PairScorer {
+        self.0
+    }
+}
+
+/// [`ScorerProvider`] owning a matcher, its encoder, and a
+/// [`CompiledDataset`] view maintained incrementally: each absorbed batch
+/// encodes and recompiles exactly its touched records
+/// (`recompile_record`/`clear_record`); untouched records keep their
+/// compiled spans for the engine's whole lifetime.
+pub struct CompiledScorerProvider<M: CompiledMatcher, E: PairEncoder> {
+    matcher: M,
+    encoder: E,
+    compiled: CompiledDataset,
+    /// Encoded streams as absorbed so far, by record id (deletes become
+    /// empty streams) — the input for [`ScorerProvider::verify_scorer`]'s
+    /// independent recompile.
+    encoded: Vec<EncodedRecord>,
+}
+
+impl<M: CompiledMatcher, E: PairEncoder> CompiledScorerProvider<M, E> {
+    /// Empty provider; records arrive via `prime`/`absorb`.
+    pub fn new(matcher: M, encoder: E) -> Self {
+        let compiled = CompiledDataset::new(&matcher.feature_config());
+        CompiledScorerProvider {
+            matcher,
+            encoder,
+            compiled,
+            encoded: Vec::new(),
+        }
+    }
+
+    /// The wrapped matcher.
+    pub fn matcher(&self) -> &M {
+        &self.matcher
+    }
+
+    /// Heap footprint of the compiled view.
+    pub fn arena_bytes(&self) -> usize {
+        self.compiled.arena_bytes()
+    }
+
+    fn remember(&mut self, id: u32, stream: EncodedRecord) {
+        if id as usize >= self.encoded.len() {
+            self.encoded.resize_with(id as usize + 1, Default::default);
+        }
+        self.encoded[id as usize] = stream;
+    }
+
+    fn recompile<R: Record>(&mut self, record: &R) {
+        let stream = self.encoder.encode(record);
+        self.compiled.recompile_record(record.id().0, &stream);
+        self.remember(record.id().0, stream);
+    }
+}
+
+impl<M: CompiledMatcher, E: PairEncoder> PairScorer for CompiledScorerProvider<M, E> {
+    fn score_pair(&self, pair: RecordPair) -> f32 {
+        self.score_pair_scratch(pair, &mut ScoreScratch::default())
+    }
+
+    fn score_pair_scratch(&self, pair: RecordPair, scratch: &mut ScoreScratch) -> f32 {
+        self.matcher
+            .score_compiled(&self.compiled, pair.a.0, pair.b.0, scratch)
+    }
+
+    fn threshold(&self) -> f32 {
+        self.matcher.threshold()
+    }
+
+    fn memory_bytes(&self) -> Option<usize> {
+        Some(self.compiled.arena_bytes())
+    }
+}
+
+impl<M: CompiledMatcher, E: PairEncoder, R: Record> ScorerProvider<R>
+    for CompiledScorerProvider<M, E>
+{
+    fn prime(&mut self, records: &[R]) {
+        for record in records {
+            self.recompile(record);
+        }
+    }
+
+    fn absorb(&mut self, batch: &UpsertBatch<R>) {
+        for record in batch.inserts.iter().chain(&batch.updates) {
+            self.recompile(record);
+        }
+        for &id in &batch.deletes {
+            self.compiled.clear_record(id.0);
+            self.remember(id.0, Default::default());
+        }
+    }
+
+    fn scorer(&self) -> &dyn PairScorer {
+        self
+    }
+
+    fn verify_scorer(&mut self) -> &dyn PairScorer {
+        // Rebuild the view from the remembered streams so verification is
+        // independent of the incremental recompiles: if per-batch
+        // maintenance ever corrupted a span, a replay-vs-one-shot groups
+        // check fails instead of self-agreeing through the same arena.
+        self.compiled = CompiledDataset::compile(&self.encoded, &self.matcher.feature_config());
+        self
+    }
+}
+
+/// Record-id → group index over the standing cleaned graph. A group's id
+/// is its **smallest member's record id**; every live record belongs to
+/// exactly one group (possibly a singleton).
+#[derive(Debug, Clone, Default)]
+pub struct GroupIndex {
+    root_of: FxHashMap<u32, u32>,
+    members: FxHashMap<u32, Vec<RecordId>>,
+}
+
+impl GroupIndex {
+    /// Group id of a record (`None` when the id is not live).
+    pub fn group_of(&self, id: RecordId) -> Option<RecordId> {
+        self.root_of.get(&id.0).map(|&root| RecordId(root))
+    }
+
+    /// Sorted members of a group (`None` when `group` is not a group id).
+    pub fn group_members(&self, group: RecordId) -> Option<&[RecordId]> {
+        self.members.get(&group.0).map(Vec::as_slice)
+    }
+
+    /// Number of groups (singletons included).
+    pub fn num_groups(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Records in the largest group.
+    pub fn largest_group(&self) -> usize {
+        self.members.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// All groups, largest first (ties by ascending group id) — the same
+    /// observable ordering contract as
+    /// [`PipelineState::groups`].
+    pub fn groups(&self) -> Vec<Vec<RecordId>> {
+        let mut roots: Vec<u32> = self.members.keys().copied().collect();
+        roots.sort_unstable_by_key(|root| (usize::MAX - self.members[root].len(), *root));
+        roots
+            .into_iter()
+            .map(|root| self.members[&root].clone())
+            .collect()
+    }
+
+    /// Rebuild from scratch (engine resume from a persisted state).
+    fn rebuild<R: Record + Clone + Sync>(state: &PipelineState<R>) -> Self {
+        let mut index = GroupIndex::default();
+        for group in state.groups() {
+            index.insert_group(group);
+        }
+        index
+    }
+
+    fn insert_group(&mut self, mut group: Vec<RecordId>) {
+        group.sort_unstable();
+        let root = group[0].0;
+        for &member in &group {
+            self.root_of.insert(member.0, root);
+        }
+        self.members.insert(root, group);
+    }
+
+    /// Reconcile the index after one applied batch. `changed` is the
+    /// merge's invalidation set ([`UpsertOutcome::changed_nodes`]); the
+    /// update walks the *closure* of changed nodes — their standing
+    /// groups, plus everything reachable in the new cleaned graph — and
+    /// recomputes components only there. Entries outside the closure are
+    /// untouched, so maintenance cost tracks the reconciled surface.
+    fn apply<R: Record + Clone + Sync>(&mut self, state: &PipelineState<R>, changed: &[u32]) {
+        // 1. Affected closure: changed nodes, the full membership of any
+        //    standing group containing one, and the new-graph neighborhood
+        //    (so component recomputation below cannot escape the closure).
+        let graph = state.cleaned();
+        let mut affected: FxHashSet<u32> = FxHashSet::default();
+        let mut queue: Vec<u32> = changed.to_vec();
+        while let Some(node) = queue.pop() {
+            if !affected.insert(node) {
+                continue;
+            }
+            if let Some(root) = self.root_of.get(&node) {
+                if let Some(members) = self.members.get(root) {
+                    queue.extend(members.iter().map(|member| member.0));
+                }
+            }
+            if (node as usize) < graph.num_nodes() {
+                queue.extend(graph.neighbors(node));
+            }
+        }
+
+        // 2. Drop the closure's standing entries.
+        let roots: FxHashSet<u32> = affected
+            .iter()
+            .filter_map(|node| self.root_of.get(node).copied())
+            .collect();
+        for root in roots {
+            self.members.remove(&root);
+        }
+        for node in &affected {
+            self.root_of.remove(node);
+        }
+
+        // 3. Recompute components among the live part of the closure.
+        //    Dead ids simply stay removed (they are isolated in the
+        //    cleaned graph — their edges were retracted by the merge).
+        let mut ordered: Vec<u32> = affected.iter().copied().collect();
+        ordered.sort_unstable();
+        let mut assigned: FxHashSet<u32> = FxHashSet::default();
+        for &start in &ordered {
+            if assigned.contains(&start) || !state.is_live(RecordId(start)) {
+                continue;
+            }
+            let mut component = vec![start];
+            assigned.insert(start);
+            let mut cursor = 0;
+            while cursor < component.len() {
+                let node = component[cursor];
+                cursor += 1;
+                for next in graph.neighbors(node) {
+                    if assigned.insert(next) {
+                        component.push(next);
+                    }
+                }
+            }
+            self.insert_group(component.into_iter().map(RecordId).collect());
+        }
+    }
+}
+
+/// Aggregate engine counters for dashboards and the serve binary's
+/// `stats` command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineStats {
+    /// Live records.
+    pub num_live: usize,
+    /// Id-space size (max id ever seen + 1).
+    pub num_ids: usize,
+    /// Standing entity groups (live singletons included).
+    pub num_groups: usize,
+    /// Records in the largest group.
+    pub largest_group: usize,
+    /// Standing candidate pairs.
+    pub num_candidates: usize,
+    /// Standing positive predictions.
+    pub num_predicted: usize,
+    /// Batches applied over the engine's lifetime (bootstrap included).
+    pub batches_applied: usize,
+    /// Total wall-clock seconds spent in `apply_batch`.
+    pub total_apply_seconds: f64,
+}
+
+/// The long-lived execution engine. See the [module docs](self) for the
+/// lifecycle (bootstrap / apply / lookup) and what it replaced.
+pub struct MatchEngine<'a, R: Record + Clone + Sync> {
+    state: PipelineState<R>,
+    strategies: Vec<Box<dyn Blocker<R> + 'a>>,
+    provider: Box<dyn ScorerProvider<R> + 'a>,
+    config: PipelineConfig,
+    index: GroupIndex,
+    batches_applied: usize,
+    total_apply_seconds: f64,
+}
+
+impl<'a, R: Record + Clone + Sync> MatchEngine<'a, R> {
+    /// Empty engine under a shard plan; records arrive via
+    /// [`apply_batch`](MatchEngine::apply_batch).
+    pub fn new(
+        plan: ShardPlan,
+        strategies: Vec<Box<dyn Blocker<R> + 'a>>,
+        provider: Box<dyn ScorerProvider<R> + 'a>,
+        config: PipelineConfig,
+    ) -> Self {
+        MatchEngine {
+            state: PipelineState::new(plan),
+            strategies,
+            provider,
+            config,
+            index: GroupIndex::default(),
+            batches_applied: 0,
+            total_apply_seconds: 0.0,
+        }
+    }
+
+    /// One-shot load: an empty engine plus a single insert-only batch.
+    /// This **is** the engine's one-shot run — under a single-shard plan
+    /// it replaces the staged `run_domain` lineup, under a multi-shard
+    /// plan the sharded runner.
+    pub fn bootstrap(
+        plan: ShardPlan,
+        records: Vec<R>,
+        strategies: Vec<Box<dyn Blocker<R> + 'a>>,
+        provider: Box<dyn ScorerProvider<R> + 'a>,
+        config: PipelineConfig,
+    ) -> Result<(Self, UpsertOutcome), Error> {
+        let mut engine = MatchEngine::new(plan, strategies, provider, config);
+        let outcome = engine.apply_batch(&UpsertBatch::inserting(records))?;
+        Ok((engine, outcome))
+    }
+
+    /// Resume from a persisted [`PipelineState`] (the serve path): primes
+    /// the provider with the live records and rebuilds the group index;
+    /// no pairs are re-scored.
+    pub fn from_state(
+        state: PipelineState<R>,
+        strategies: Vec<Box<dyn Blocker<R> + 'a>>,
+        mut provider: Box<dyn ScorerProvider<R> + 'a>,
+        config: PipelineConfig,
+    ) -> Self {
+        provider.prime(state.live_records());
+        let index = GroupIndex::rebuild(&state);
+        MatchEngine {
+            state,
+            strategies,
+            provider,
+            config,
+            index,
+            batches_applied: 0,
+            total_apply_seconds: 0.0,
+        }
+    }
+
+    /// Bootstrap over a domain's records and blocking recipe.
+    pub fn bootstrap_domain<D>(
+        domain: &'a D,
+        plan: ShardPlan,
+        provider: Box<dyn ScorerProvider<R> + 'a>,
+        config: PipelineConfig,
+    ) -> Result<(Self, UpsertOutcome), Error>
+    where
+        D: MatchingDomain<Rec = R>,
+    {
+        MatchEngine::bootstrap(
+            plan,
+            domain.records().to_vec(),
+            domain.blocking_strategies(),
+            provider,
+            config,
+        )
+    }
+
+    /// Apply one delta batch: absorb it into the scorer, reconcile the
+    /// pipeline state, and update the group index from the merge's
+    /// invalidation set.
+    pub fn apply_batch(&mut self, batch: &UpsertBatch<R>) -> Result<UpsertOutcome, Error> {
+        let watch = Stopwatch::start();
+        self.provider.absorb(batch);
+        let outcome = self.state.apply(
+            batch,
+            &self.strategies,
+            self.provider.scorer(),
+            &self.config,
+        )?;
+        self.index.apply(&self.state, &outcome.changed_nodes);
+        self.batches_applied += 1;
+        self.total_apply_seconds += watch.elapsed_secs();
+        debug_assert_eq!(
+            {
+                let mut from_index: Vec<Vec<RecordId>> = self.index.groups();
+                from_index.sort();
+                from_index
+            },
+            {
+                let mut from_state: Vec<Vec<RecordId>> = self
+                    .state
+                    .groups()
+                    .into_iter()
+                    .map(|mut group| {
+                        group.sort_unstable();
+                        group
+                    })
+                    .collect();
+                from_state.sort();
+                from_state
+            },
+            "incremental group index diverged from the standing graph"
+        );
+        Ok(outcome)
+    }
+
+    /// Group id of a record: the smallest record id in its group. `None`
+    /// when `id` is not live.
+    pub fn group_of(&self, id: RecordId) -> Option<RecordId> {
+        self.index.group_of(id)
+    }
+
+    /// Sorted members of a group. `None` when `group` is not a current
+    /// group id (group ids are smallest members — see
+    /// [`group_of`](MatchEngine::group_of)).
+    pub fn group_members(&self, group: RecordId) -> Option<&[RecordId]> {
+        self.index.group_members(group)
+    }
+
+    /// All standing groups, largest first (from the index — equal to
+    /// [`PipelineState::groups`] up to member ordering).
+    pub fn groups(&self) -> Vec<Vec<RecordId>> {
+        self.index.groups()
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            num_live: self.state.num_live(),
+            num_ids: self.state.num_ids(),
+            num_groups: self.index.num_groups(),
+            largest_group: self.index.largest_group(),
+            num_candidates: self.state.candidates().len(),
+            num_predicted: self.state.predicted().len(),
+            batches_applied: self.batches_applied,
+            total_apply_seconds: self.total_apply_seconds,
+        }
+    }
+
+    /// The standing pipeline state (persist it with `to_json`).
+    pub fn state(&self) -> &PipelineState<R> {
+        &self.state
+    }
+
+    /// The engine's pipeline configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The shard plan the engine reconciles under.
+    pub fn plan(&self) -> ShardPlan {
+        self.state.plan()
+    }
+
+    /// Mutable access to the scorer provider (verification runs).
+    pub fn provider_mut(&mut self) -> &mut dyn ScorerProvider<R> {
+        self.provider.as_mut()
+    }
+
+    /// Evaluate the standing state under the paper's three-stage protocol
+    /// (pairwise / pre-cleanup / post-cleanup), packaging a
+    /// [`MatchingOutcome`] exactly like the legacy one-shot entry points
+    /// did. `load` supplies the per-stage trace and blocking diagnostics
+    /// of the batch that produced the standing state (usually the
+    /// bootstrap batch).
+    pub fn evaluate(&self, gt: &GroundTruth, load: &UpsertOutcome) -> MatchingOutcome {
+        let predicted = self.state.predicted();
+        let pairwise = pairwise_metrics(predicted, gt);
+        // The raw-prediction graph spans the full id space; after
+        // delete-bearing batches, dead ids sit in it as isolated nodes
+        // and must not count as phantom singleton groups (the
+        // post-cleanup path filters them inside `PipelineState::groups`).
+        let pre_groups: Vec<Vec<RecordId>> =
+            entity_groups(&prediction_graph(self.state.num_ids(), predicted))
+                .into_iter()
+                .filter(|group| group.len() > 1 || self.state.is_live(group[0]))
+                .collect();
+        let pre_cleanup = group_metrics(&pre_groups, gt);
+        let groups = self.state.groups();
+        let post_cleanup = group_metrics(&groups, gt);
+        MatchingOutcome {
+            num_candidates: self.state.candidates().len(),
+            num_predicted: predicted.len(),
+            pairwise,
+            pre_cleanup,
+            post_cleanup,
+            groups,
+            trace: load.trace.clone(),
+            blocker_runs: load.blocker_runs.clone(),
+            cleanup_report: load.cleanup.clone(),
+        }
+    }
+
+    /// Tear down into the standing state (persistence at shutdown).
+    pub fn into_state(self) -> PipelineState<R> {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::{MatchingDomain, SecurityDomain};
+    use crate::pipeline::OracleScorer;
+    use gralmatch_datagen::{generate, GenerationConfig};
+    use gralmatch_records::SecurityRecord;
+
+    fn dataset() -> gralmatch_datagen::FinancialDataset {
+        let mut config = GenerationConfig::synthetic_full();
+        config.num_entities = 80;
+        generate(&config).unwrap()
+    }
+
+    fn company_groups(data: &gralmatch_datagen::FinancialDataset) -> FxHashMap<RecordId, u32> {
+        data.companies
+            .records()
+            .iter()
+            .map(|company| (company.id, company.entity.unwrap().0))
+            .collect()
+    }
+
+    #[test]
+    fn lookups_agree_with_groups_across_delete_bearing_batches() {
+        let data = dataset();
+        let securities: Vec<SecurityRecord> = data.securities.records().to_vec();
+        let group_of = company_groups(&data);
+        let domain = SecurityDomain::new(&securities, &group_of);
+        let gt = domain.ground_truth().clone();
+        let scorer = OracleScorer::new(&gt);
+        let config = PipelineConfig::new(25, 5);
+        let strategies = domain.blocking_strategies();
+
+        let split = securities.len() * 2 / 3;
+        let (mut engine, load) = MatchEngine::bootstrap(
+            ShardPlan::new(3),
+            securities[..split].to_vec(),
+            strategies,
+            Box::new(FixedScorerProvider(&scorer)),
+            config,
+        )
+        .unwrap();
+        assert_eq!(load.inserted, split);
+
+        // Every live record resolves; the group id is its smallest member
+        // and membership is closed under lookup.
+        let check = |engine: &MatchEngine<'_, SecurityRecord>| {
+            for group in engine.groups() {
+                let root = group[0];
+                for &member in &group {
+                    assert_eq!(engine.group_of(member), Some(root));
+                }
+                assert_eq!(engine.group_members(root).unwrap(), &group[..]);
+            }
+        };
+        check(&engine);
+
+        // Delete a multi-record group's members; lookups must reflect the
+        // re-cleaned components immediately.
+        let victim: Vec<RecordId> = engine
+            .groups()
+            .into_iter()
+            .find(|group| group.len() > 1)
+            .expect("some multi-record group");
+        engine
+            .apply_batch(&UpsertBatch {
+                inserts: Vec::new(),
+                updates: Vec::new(),
+                deletes: victim.clone(),
+            })
+            .unwrap();
+        for &id in &victim {
+            assert_eq!(engine.group_of(id), None, "deleted id still resolves");
+        }
+        check(&engine);
+
+        // Insert the remainder (plus re-insert the victims) and re-check.
+        let mut rest: Vec<SecurityRecord> = securities[split..].to_vec();
+        rest.extend(
+            securities[..split]
+                .iter()
+                .filter(|record| victim.contains(&record.id))
+                .cloned(),
+        );
+        engine.apply_batch(&UpsertBatch::inserting(rest)).unwrap();
+        check(&engine);
+        let stats = engine.stats();
+        assert_eq!(stats.num_live, securities.len());
+        assert_eq!(stats.batches_applied, 3);
+        assert_eq!(stats.num_groups, engine.groups().len());
+        assert!(stats.total_apply_seconds > 0.0);
+    }
+
+    #[test]
+    fn from_state_serves_the_persisted_groups() {
+        use gralmatch_util::{FromJson, Json, ToJson};
+        let data = dataset();
+        let securities: Vec<SecurityRecord> = data.securities.records().to_vec();
+        let group_of = company_groups(&data);
+        let domain = SecurityDomain::new(&securities, &group_of);
+        let gt = domain.ground_truth().clone();
+        let scorer = OracleScorer::new(&gt);
+        let config = PipelineConfig::new(25, 5);
+
+        let (engine, _) = MatchEngine::bootstrap(
+            ShardPlan::new(2),
+            securities.clone(),
+            domain.blocking_strategies(),
+            Box::new(FixedScorerProvider(&scorer)),
+            config.clone(),
+        )
+        .unwrap();
+        let expected = engine.groups();
+
+        // Round-trip the state through JSON and resume a fresh engine.
+        let text = engine.state().to_json().to_compact_string();
+        let state: PipelineState<SecurityRecord> =
+            PipelineState::from_json(&Json::parse(&text).unwrap()).unwrap();
+        let resumed = MatchEngine::from_state(
+            state,
+            domain.blocking_strategies(),
+            Box::new(FixedScorerProvider(&scorer)),
+            config,
+        );
+        assert_eq!(resumed.groups(), expected);
+        for group in &expected {
+            assert_eq!(resumed.group_of(group[0]), Some(group[0]));
+        }
+    }
+}

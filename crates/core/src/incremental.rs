@@ -39,6 +39,7 @@
 //! [`run_sharded`]: crate::shard::run_sharded
 //! [`MAX_CODE_HOLDERS`]: gralmatch_blocking::MAX_CODE_HOLDERS
 
+use crate::cleanup::CleanupReport;
 use crate::groups::entity_groups;
 use crate::pipeline::PipelineConfig;
 use crate::shard::{MergeStage, ShardKey, ShardPlan};
@@ -96,6 +97,43 @@ impl<R> UpsertBatch<R> {
     }
 }
 
+/// The `j`-th delete/re-insert churn window over an initially loaded
+/// prefix of `initial` records: a small slice (width 3) of already-loaded
+/// records that replay harnesses delete in batch `j` and re-insert in
+/// batch `j + 1`, so a replay exercises retraction and component
+/// re-cleaning, not just growth. One definition shared by the equivalence
+/// suites and the serve bootstrap, so the windowing arithmetic cannot
+/// drift between copies (`stride` staggers successive windows apart).
+pub fn churn_window(initial: usize, j: usize, stride: usize) -> std::ops::Range<usize> {
+    const WIDTH: usize = 3;
+    let start = (j * stride) % initial.saturating_sub(WIDTH + 1).max(1);
+    start..(start + WIDTH).min(initial)
+}
+
+impl<R: ToJson> ToJson for UpsertBatch<R> {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("inserts", self.inserts.to_json()),
+            ("updates", self.updates.to_json()),
+            ("deletes", self.deletes.to_json()),
+        ])
+    }
+}
+
+impl<R: FromJson> FromJson for UpsertBatch<R> {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        // Absent sections default to empty so hand-written batch files
+        // (serve stdin/`--apply`) can name only what they mutate.
+        let empty = Json::Arr(Vec::new());
+        let section = |key: &str| json.field(key).unwrap_or(&empty);
+        Ok(UpsertBatch {
+            inserts: Vec::from_json(section("inserts"))?,
+            updates: Vec::from_json(section("updates"))?,
+            deletes: Vec::from_json(section("deletes"))?,
+        })
+    }
+}
+
 /// What one [`PipelineState::apply`] call did — per-batch latency lives in
 /// `trace`, reconciliation scope in the counters.
 #[derive(Debug, Clone)]
@@ -128,6 +166,13 @@ pub struct UpsertOutcome {
     /// New positive edges that connected two previously distinct
     /// components.
     pub boundary_merges: usize,
+    /// Every record id whose group membership may have changed this batch
+    /// (the batch's own ids plus all members of rebuilt components),
+    /// sorted. Records outside this set kept their exact standing group —
+    /// the invalidation set for the engine's record-id → group index.
+    pub changed_nodes: Vec<u32>,
+    /// Edges removed by this batch's component re-cleanup.
+    pub cleanup: CleanupReport,
 }
 
 /// The standing state an incremental pipeline reconciles against:
@@ -229,6 +274,21 @@ impl<R: Record + Clone + Sync> PipelineState<R> {
     /// Standing raw positive predictions, sorted.
     pub fn predicted(&self) -> &[RecordPair] {
         &self.predicted
+    }
+
+    /// The standing cleaned prediction graph (per-component cleanup of the
+    /// raw predictions, in the full id space — deleted ids are isolated
+    /// nodes). Group lookups traverse this directly; the engine's group
+    /// index is derived from it.
+    pub fn cleaned(&self) -> &Graph {
+        &self.cleaned
+    }
+
+    /// Look up one record by id.
+    pub fn record(&self, id: RecordId) -> Option<&R> {
+        self.index_of
+            .get(&id.0)
+            .map(|&position| &self.records[position as usize])
     }
 
     /// Current entity groups: components of the standing cleaned graph,
@@ -453,6 +513,7 @@ impl<R: Record + Clone + Sync> PipelineState<R> {
         predicted_now.extend(new_positives.iter().copied());
         predicted_now.sort_unstable();
         let new_prediction_count = new_positives.len();
+        let changed_nodes = merge.touched_nodes;
         self.predicted = predicted_now;
         self.cleaned = merge.graph;
         self.candidates = candidates_now;
@@ -504,6 +565,8 @@ impl<R: Record + Clone + Sync> PipelineState<R> {
             retracted_predictions: retracted,
             touched_components: merge.touched_components,
             boundary_merges: merge.boundary_merges,
+            changed_nodes,
+            cleanup: merge.cleanup,
         })
     }
 }

@@ -13,8 +13,12 @@
 //! protocol (pairwise / pre-cleanup / post-cleanup) with Cluster Purity.
 //!
 //! * [`domain`] — the `MatchingDomain` trait + the three paper domains,
-//! * [`stage`] — the `Stage` trait, context, and the execution engine,
-//! * [`shard`] — hash-partitioned sharded execution + the merge stage,
+//! * [`engine`] — the long-lived `MatchEngine`: bootstrap / apply-batch /
+//!   group-lookup lifecycle, the single production execution path,
+//! * [`stage`] — the `Stage` trait, context, and the legacy staged lineup
+//!   (kept as the equivalence-test oracle),
+//! * [`shard`] — the `ShardPlan` partition, the dirty-component
+//!   `MergeStage`, and the legacy sharded oracle runner,
 //! * [`incremental`] — upsert batches against a persisted `PipelineState`,
 //! * [`trace`] — unified per-stage wall-clock/throughput/memory reporting,
 //! * [`groups`] — prediction graph, components, closure counting,
@@ -28,6 +32,7 @@ pub mod cleanup;
 pub mod consolidate;
 pub mod diagnostics;
 pub mod domain;
+pub mod engine;
 pub mod groups;
 pub mod incremental;
 pub mod label_propagation;
@@ -45,11 +50,15 @@ pub use cleanup::{graph_cleanup, pre_cleanup, CleanupConfig, CleanupReport, Clea
 pub use consolidate::{consolidate_companies, consolidate_company_group, GoldenCompany};
 pub use diagnostics::{diagnose, GraphDiagnostics};
 pub use domain::{
-    blocked_candidates, run_domain, run_domain_with_matcher, CompanyDomain, MatchingDomain,
-    ProductDomain, SecurityDomain,
+    blocked_candidates, run_domain, run_domain_staged, run_domain_with_matcher, CompanyDomain,
+    MatchingDomain, ProductDomain, SecurityDomain,
+};
+pub use engine::{
+    CompiledScorerProvider, EngineStats, FixedScorerProvider, GroupIndex, MatchEngine,
+    ScorerProvider,
 };
 pub use groups::{count_group_pairs, entity_groups, group_assignment, prediction_graph};
-pub use incremental::{PipelineState, UpsertBatch, UpsertOutcome};
+pub use incremental::{churn_window, PipelineState, UpsertBatch, UpsertOutcome};
 pub use label_propagation::{label_propagation_groups, LabelPropagationConfig};
 pub use metrics::{group_metrics, pairwise_metrics, GroupMetrics, PairMetrics};
 pub use pipeline::{

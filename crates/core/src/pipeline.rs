@@ -236,7 +236,8 @@ mod tests {
         assert!(outcome.pairwise.recall > 0.6, "{:?}", outcome.pairwise);
         assert!(outcome.post_cleanup.pairs.f1 > 0.6);
         assert!(outcome.post_cleanup.cluster_purity > 0.9);
-        // The trace covers the full standard lineup.
+        // The trace covers the engine's bootstrap lineup: one insert-only
+        // batch through blocking → inference → dirty-component merge.
         assert_eq!(
             outcome
                 .trace
@@ -247,8 +248,7 @@ mod tests {
             vec![
                 stage_names::BLOCKING,
                 stage_names::INFERENCE,
-                stage_names::CLEANUP,
-                stage_names::GROUPING
+                stage_names::MERGE
             ]
         );
         assert_eq!(

@@ -139,6 +139,16 @@ pub struct MergeResult {
     pub boundary_merges: usize,
     /// Components a boundary edge touched (rebuilt and re-cleaned).
     pub touched_components: usize,
+    /// Members of the rebuilt components (raw-edge endpoints in touched
+    /// components, plus the dirty nodes themselves), sorted. Exactness
+    /// rests on the [`merge`](MergeStage::merge) caller contract: when
+    /// raw edges were retracted since the standing graphs were built,
+    /// `dirty_nodes` must name their endpoints (the upsert path does) —
+    /// then everything *outside* this set kept its cleaned edges
+    /// verbatim, making it the invalidation set for any index derived
+    /// from the cleaned graph (the engine's record-id → group index
+    /// updates only these).
+    pub touched_nodes: Vec<u32>,
     /// Edges removed by the post-merge cleanup.
     pub cleanup: CleanupReport,
 }
@@ -191,9 +201,11 @@ impl<'a> MergeStage<'a> {
         for pair in boundary_predicted {
             touched.insert(components.find(pair.a.0));
         }
+        let mut touched_nodes: FxHashSet<u32> = FxHashSet::default();
         for &node in dirty_nodes {
             if (node as usize) < num_records {
                 touched.insert(components.find(node));
+                touched_nodes.insert(node);
             }
         }
 
@@ -215,10 +227,14 @@ impl<'a> MergeStage<'a> {
         for pair in shard_predicted {
             if touched.contains(&components.find(pair.a.0)) {
                 merged.add_edge(pair.a.0, pair.b.0);
+                touched_nodes.insert(pair.a.0);
+                touched_nodes.insert(pair.b.0);
             }
         }
         for pair in boundary_predicted {
             merged.add_edge(pair.a.0, pair.b.0);
+            touched_nodes.insert(pair.a.0);
+            touched_nodes.insert(pair.b.0);
         }
 
         // Re-clean: only the rebuilt (touched) components exceed the
@@ -229,10 +245,13 @@ impl<'a> MergeStage<'a> {
         }
         let mut cleanup = graph_cleanup(&mut merged, &self.config.cleanup);
         cleanup.pre_cleanup_removed += pre_removed;
+        let mut touched_nodes: Vec<u32> = touched_nodes.into_iter().collect();
+        touched_nodes.sort_unstable();
         MergeResult {
             graph: merged,
             boundary_merges,
             touched_components: touched.len(),
+            touched_nodes,
             cleanup,
         }
     }
@@ -262,9 +281,18 @@ fn accumulate(total: &mut CleanupReport, part: &CleanupReport) {
     total.seconds += part.seconds;
 }
 
-/// Run the staged pipeline sharded: per-shard Figure 1 lineups plus the
-/// cross-shard [`MergeStage`]. With one shard this is exactly
-/// [`run_domain`](crate::domain::run_domain).
+/// Run the **legacy staged** pipeline sharded: per-shard Figure 1 lineups
+/// plus the cross-shard [`MergeStage`]. With one shard this is exactly
+/// [`run_domain_staged`](crate::domain::run_domain_staged).
+///
+/// Like `run_domain_staged`, this is the pre-engine reference
+/// implementation, kept as the *independent oracle* the equivalence
+/// suites replay [`MatchEngine`](crate::engine::MatchEngine) batches
+/// against (`tests/engine_equivalence.rs`,
+/// `tests/upsert_equivalence.rs`). Production one-shot/sharded runs flow
+/// through the engine (`run_domain`, the bench harness's
+/// `run_domain_maybe_sharded`), which reproduces these groups exactly —
+/// property-tested, deletes included.
 pub fn run_sharded<D>(
     domain: &D,
     scorer: &dyn PairScorer,
@@ -280,7 +308,7 @@ where
     let gt = domain.ground_truth();
 
     if plan.num_shards <= 1 {
-        let outcome = crate::domain::run_domain(domain, scorer, config)?;
+        let outcome = crate::domain::run_domain_staged(domain, scorer, config)?;
         let shard_traces = vec![outcome.trace.clone()];
         return Ok(ShardedOutcome {
             outcome,

@@ -154,13 +154,7 @@ pub fn active_learning_loop(
         });
     }
 
-    Ok((
-        TrainedMatcher {
-            model,
-            features: config.features,
-        },
-        reports,
-    ))
+    Ok((TrainedMatcher::new(model, config.features), reports))
 }
 
 #[cfg(test)]

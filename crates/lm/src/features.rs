@@ -30,7 +30,7 @@
 
 use crate::encode::EncodedRecord;
 use gralmatch_text::ngrams::hash_feature;
-use gralmatch_util::FxHashSet;
+use gralmatch_util::{FromJson, FxHashSet, Json, JsonError, ToJson};
 
 /// Feature-space configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +43,24 @@ pub struct FeatureConfig {
 impl Default for FeatureConfig {
     fn default() -> Self {
         FeatureConfig { hash_dim: 1 << 18 }
+    }
+}
+
+impl ToJson for FeatureConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([("hash_dim", self.hash_dim.to_json())])
+    }
+}
+
+impl FromJson for FeatureConfig {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let hash_dim = u32::from_json(json.field("hash_dim")?)?;
+        if hash_dim == 0 || !hash_dim.is_power_of_two() {
+            return Err(JsonError {
+                message: format!("hash_dim {hash_dim} is not a power of two"),
+            });
+        }
+        Ok(FeatureConfig { hash_dim })
     }
 }
 

@@ -26,6 +26,7 @@ pub mod inference;
 pub mod llm;
 pub mod matcher;
 pub mod model;
+pub mod persist;
 pub mod spec;
 pub mod trainer;
 
@@ -39,5 +40,6 @@ pub use inference::{
 pub use llm::{LlmCostModel, SimulatedLlmMatcher};
 pub use matcher::{CompiledMatcher, HeuristicMatcher, PairwiseMatcher, TrainedMatcher};
 pub use model::{log_loss, sigmoid, Adagrad, LogisticModel};
-pub use spec::ModelSpec;
+pub use persist::SavedModel;
+pub use spec::{ModelSpec, SpecEncoder};
 pub use trainer::{train, train_with_negative_pool, TrainConfig, TrainingReport};

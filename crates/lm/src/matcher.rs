@@ -9,6 +9,7 @@ use crate::compiled::{CompiledDataset, ScoreScratch};
 use crate::encode::EncodedRecord;
 use crate::features::{featurize, FeatureConfig};
 use crate::model::LogisticModel;
+use gralmatch_util::{FromJson, Json, JsonError, ToJson};
 
 /// A symmetric pairwise match scorer over encoded records.
 pub trait PairwiseMatcher: Sync {
@@ -59,6 +60,25 @@ pub struct TrainedMatcher {
     pub model: LogisticModel,
     /// Feature-space configuration used at training time.
     pub features: FeatureConfig,
+    /// Decision threshold (0.5 unless recalibrated).
+    pub threshold: f32,
+}
+
+impl TrainedMatcher {
+    /// Matcher with the paper's default 0.5 decision threshold.
+    pub fn new(model: LogisticModel, features: FeatureConfig) -> Self {
+        TrainedMatcher {
+            model,
+            features,
+            threshold: 0.5,
+        }
+    }
+
+    /// Override the decision threshold (calibration output).
+    pub fn with_threshold(mut self, threshold: f32) -> Self {
+        self.threshold = threshold;
+        self
+    }
 }
 
 impl PairwiseMatcher for TrainedMatcher {
@@ -66,8 +86,43 @@ impl PairwiseMatcher for TrainedMatcher {
         self.model.predict(&featurize(a, b, &self.features))
     }
 
+    fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
     fn feature_config(&self) -> FeatureConfig {
         self.features
+    }
+}
+
+impl ToJson for TrainedMatcher {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("model", self.model.to_json()),
+            ("features", self.features.to_json()),
+            ("threshold", self.threshold.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TrainedMatcher {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let model = LogisticModel::from_json(json.field("model")?)?;
+        let features = FeatureConfig::from_json(json.field("features")?)?;
+        if model.dim() != features.dim() {
+            return Err(JsonError {
+                message: format!(
+                    "model dimension {} does not match feature space {}",
+                    model.dim(),
+                    features.dim()
+                ),
+            });
+        }
+        Ok(TrainedMatcher {
+            model,
+            features,
+            threshold: f32::from_json(json.field("threshold")?)?,
+        })
     }
 }
 
@@ -194,10 +249,10 @@ mod tests {
 
     #[test]
     fn trained_matcher_is_symmetric() {
-        let matcher = TrainedMatcher {
-            model: LogisticModel::new(FeatureConfig::default().dim()),
-            features: FeatureConfig::default(),
-        };
+        let matcher = TrainedMatcher::new(
+            LogisticModel::new(FeatureConfig::default().dim()),
+            FeatureConfig::default(),
+        );
         let a = encoded(&["crowdstrike", "austin"]);
         let b = encoded(&["crowdstreet", "austin"]);
         assert!((matcher.score(&a, &b) - matcher.score(&b, &a)).abs() < 1e-6);
@@ -205,10 +260,10 @@ mod tests {
 
     #[test]
     fn untrained_model_scores_half() {
-        let matcher = TrainedMatcher {
-            model: LogisticModel::new(FeatureConfig::default().dim()),
-            features: FeatureConfig::default(),
-        };
+        let matcher = TrainedMatcher::new(
+            LogisticModel::new(FeatureConfig::default().dim()),
+            FeatureConfig::default(),
+        );
         let score = matcher.score(&encoded(&["a"]), &encoded(&["b"]));
         assert!((score - 0.5).abs() < 1e-6);
     }

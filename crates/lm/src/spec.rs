@@ -14,6 +14,7 @@
 use crate::encode::{DittoEncoder, EncodedRecord, PairEncoder, PlainEncoder};
 use crate::trainer::TrainConfig;
 use gralmatch_records::Record;
+use gralmatch_util::{FromJson, Json, JsonError, ToJson};
 
 /// One row of the paper's model lineup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -62,13 +63,34 @@ impl ModelSpec {
 
     /// Encode a record slice under this spec's encoder.
     pub fn encode_records<R: Record>(&self, records: &[R]) -> Vec<EncodedRecord> {
+        let encoder = self.encoder();
+        records.iter().map(|r| encoder.encode(r)).collect()
+    }
+
+    /// This spec's encoder as a value — for callers that encode records
+    /// one at a time over a long lifetime (the engine's compiled-view
+    /// providers, the serve binary) rather than a slice up front.
+    pub fn encoder(&self) -> SpecEncoder {
         if self.is_ditto() {
-            let encoder = DittoEncoder::new(self.max_seq_len());
-            records.iter().map(|r| encoder.encode(r)).collect()
+            SpecEncoder::Ditto(DittoEncoder::new(self.max_seq_len()))
         } else {
-            let encoder = PlainEncoder::new(self.max_seq_len());
-            records.iter().map(|r| encoder.encode(r)).collect()
+            SpecEncoder::Plain(PlainEncoder::new(self.max_seq_len()))
         }
+    }
+
+    /// Stable identifier used by model persistence ([`crate::persist`]).
+    pub fn key(&self) -> &'static str {
+        match self {
+            ModelSpec::Ditto128 => "ditto-128",
+            ModelSpec::Ditto256 => "ditto-256",
+            ModelSpec::DistilBert128All => "distilbert-128-all",
+            ModelSpec::DistilBert128Low => "distilbert-128-15k",
+        }
+    }
+
+    /// Inverse of [`ModelSpec::key`].
+    pub fn from_key(key: &str) -> Option<ModelSpec> {
+        ModelSpec::ALL.into_iter().find(|spec| spec.key() == key)
     }
 
     /// The training configuration for this spec.
@@ -83,6 +105,49 @@ impl ModelSpec {
 impl std::fmt::Display for ModelSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.display_name())
+    }
+}
+
+impl ToJson for ModelSpec {
+    fn to_json(&self) -> Json {
+        Json::Str(self.key().to_string())
+    }
+}
+
+impl FromJson for ModelSpec {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let key = json.as_str().ok_or_else(|| JsonError {
+            message: "expected model-spec string".into(),
+        })?;
+        ModelSpec::from_key(key).ok_or_else(|| JsonError {
+            message: format!("unknown model spec {key:?}"),
+        })
+    }
+}
+
+/// A [`ModelSpec`]'s encoder as one owned value (the [`PairEncoder`] trait
+/// has generic methods, so it cannot be boxed as a trait object).
+#[derive(Debug, Clone)]
+pub enum SpecEncoder {
+    /// DITTO `[col]…[val]…` serialization.
+    Ditto(DittoEncoder),
+    /// Plain value serialization.
+    Plain(PlainEncoder),
+}
+
+impl PairEncoder for SpecEncoder {
+    fn max_seq_len(&self) -> usize {
+        match self {
+            SpecEncoder::Ditto(encoder) => encoder.max_seq_len(),
+            SpecEncoder::Plain(encoder) => encoder.max_seq_len(),
+        }
+    }
+
+    fn serialize<R: Record>(&self, record: &R) -> Vec<String> {
+        match self {
+            SpecEncoder::Ditto(encoder) => encoder.serialize(record),
+            SpecEncoder::Plain(encoder) => encoder.serialize(record),
+        }
     }
 }
 

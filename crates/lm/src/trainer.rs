@@ -366,13 +366,7 @@ pub fn train_with_negative_pool<R: Record>(
 
     let (_, best_model) = best.expect("at least one epoch ran");
     report.train_seconds = stopwatch.elapsed_secs();
-    Ok((
-        TrainedMatcher {
-            model: best_model,
-            features: config.features,
-        },
-        report,
-    ))
+    Ok((TrainedMatcher::new(best_model, config.features), report))
 }
 
 #[cfg(test)]

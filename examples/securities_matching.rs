@@ -10,7 +10,8 @@
 
 use gralmatch::core::{
     blocked_candidates, entity_groups, group_assignment, prediction_graph, run_domain_with_matcher,
-    run_sharded, CompanyDomain, PipelineConfig, SecurityDomain, ShardPlan,
+    CompanyDomain, FixedScorerProvider, MatchEngine, MatchingDomain, PipelineConfig,
+    SecurityDomain, ShardPlan,
 };
 use gralmatch::datagen::{generate, GenerationConfig};
 use gralmatch::lm::{predict_positive_with, train, MatcherScorer, ModelSpec};
@@ -106,27 +107,37 @@ fn main() {
             .count()
     );
 
-    // --- Same pipeline, sharded 4 ways ---------------------------------
-    // Identifier-join recipes shard transparently: per-shard runs plus the
-    // cross-shard boundary pass reproduce the unsharded groups.
+    // --- Same match as a long-lived engine, sharded 4 ways --------------
+    // One bootstrap batch under a 4-shard plan; the engine then serves
+    // group lookups from its standing index and would absorb upsert
+    // batches from here (see the `serve` binary for the full lifecycle).
     let scorer = MatcherScorer::new(&security_matcher, &encoded_securities);
-    let sharded = run_sharded(
+    let (engine, load) = MatchEngine::bootstrap_domain(
         &security_domain,
-        &scorer,
-        &PipelineConfig::new(25, 5),
-        &ShardPlan::new(4),
+        ShardPlan::new(4),
+        Box::new(FixedScorerProvider(&scorer)),
+        PipelineConfig::new(25, 5),
     )
-    .expect("sharded pipeline runs");
+    .expect("engine bootstrap runs");
+    let sharded = engine.evaluate(security_domain.ground_truth(), &load);
     println!(
-        "\nsharded x4: shard sizes {:?}, {} boundary candidates, {} boundary merges",
-        sharded.shard_sizes, sharded.boundary_candidates, sharded.boundary_merges
+        "\nengine x4 shards: {} candidates, {} components re-cleaned in the merge",
+        sharded.num_candidates, load.touched_components
     );
     println!(
-        "sharded post-cleanup F1 {:.2}% vs unsharded {:.2}% ({} vs {} groups)",
-        sharded.outcome.post_cleanup.pairs.f1 * 100.0,
+        "engine post-cleanup F1 {:.2}% vs one-shot wrapper {:.2}% ({} vs {} groups)",
+        sharded.post_cleanup.pairs.f1 * 100.0,
         outcome.post_cleanup.pairs.f1 * 100.0,
-        sharded.outcome.groups.len(),
+        sharded.groups.len(),
         outcome.groups.len()
     );
-    println!("per-stage roll-up:\n{}", sharded.outcome.trace);
+    let probe = sharded.groups[0][0];
+    let group = engine.group_of(probe).expect("live record resolves");
+    println!(
+        "lookup: record {} -> group {} with members {:?}",
+        probe.0,
+        group.0,
+        engine.group_members(group).unwrap()
+    );
+    println!("per-stage trace:\n{}", sharded.trace);
 }

@@ -86,8 +86,7 @@ where
     for (j, slice) in remainder.chunks(chunk.max(1)).enumerate() {
         // Churn: retract a small slice of the initially loaded records;
         // the next batch brings it back.
-        let churn_start = (j * 4) % initial.saturating_sub(4).max(1);
-        let churn: Vec<R> = records[churn_start..churn_start + 3.min(initial)]
+        let churn: Vec<R> = records[gralmatch::core::churn_window(initial, j, 4)]
             .iter()
             .filter(|r| state.is_live(r.id()))
             .cloned()

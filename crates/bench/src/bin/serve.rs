@@ -24,17 +24,29 @@
 //! `--apply` batch with a latency trace, then reads protocol lines from
 //! stdin until EOF: `group_of <id>`, `members <id>`, `stats`,
 //! `apply <file>`, `save_state <file>`, or an inline batch JSON object.
+//! Malformed lines (bad commands, broken batch JSON, even invalid UTF-8)
+//! answer with an `error: …` line and the service keeps running.
+//!
+//! With `--listen ADDR` the session serves the same line protocol over
+//! TCP instead of stdin: `--readers N` lookup threads answer from epoch
+//! snapshots while the main thread applies writes (see
+//! `gralmatch_bench::net`); a client sending `shutdown` stops the server.
 
 use gralmatch_bench::cli::BenchCli;
 use gralmatch_bench::harness::{prepare_synthetic, Scale};
+use gralmatch_bench::net::serve_tcp;
 use gralmatch_bench::serve::{
-    latency_line, load_batch, save_batch, scorer_fingerprint, serve_provider, ServeSession,
+    latency_line, load_batch, parse_request, save_batch, scorer_fingerprint, serve_provider,
+    ServeRequest, ServeSession,
 };
 use gralmatch_core::{ShardPlan, UpsertBatch};
 use gralmatch_lm::SavedModel;
 use gralmatch_records::{Record, SecurityRecord};
+use gralmatch_util::LatencyHistogram;
 use std::io::BufRead;
+use std::net::TcpListener;
 use std::path::Path;
+use std::time::Duration;
 
 fn load_model(cli: &BenchCli) -> Option<SavedModel> {
     cli.value("model").map(|path| {
@@ -147,25 +159,85 @@ fn run(cli: &BenchCli) {
         stats.num_groups
     );
 
+    let mut apply_latency = LatencyHistogram::new();
     for path in cli.all("apply") {
         let batch = load_batch(path).unwrap_or_else(|e| panic!("{path}: {e:?}"));
         let (outcome, seconds) = session.apply(&batch).expect("batch applies");
+        apply_latency.record_duration(Duration::from_secs_f64(seconds));
         println!("{path}: {}", latency_line(&outcome, seconds));
     }
 
-    let stdin = std::io::stdin();
-    for line in stdin.lock().lines() {
-        let line = line.expect("stdin readable");
-        match session.command(&line) {
-            Ok(response) if response.is_empty() => {}
-            Ok(response) => println!("{response}"),
-            Err(message) => eprintln!("error: {message}"),
-        }
+    if let Some(addr) = cli.value("listen") {
+        let readers = cli.usize_value("readers").unwrap_or(4);
+        let listener = TcpListener::bind(addr).unwrap_or_else(|e| panic!("binding {addr}: {e}"));
+        eprintln!(
+            "serve: listening on {} with {readers} reader thread(s); send `shutdown` to stop",
+            listener.local_addr().expect("bound socket has an address")
+        );
+        let (finished, report) = serve_tcp(listener, session, readers).expect("serve loop");
+        session = finished;
+        eprintln!(
+            "serve: served {} request(s) over {} connection(s)",
+            report.requests, report.connections
+        );
+    } else {
+        serve_stdin(&mut session, &mut apply_latency);
     }
 
+    if apply_latency.count() > 0 {
+        eprintln!("serve: batch apply latency {}", apply_latency.summary());
+    }
     if let Some(path) = cli.value("save-state") {
         std::fs::write(path, session.state_json()).expect("write state");
         eprintln!("serve: state saved to {path}");
+    }
+}
+
+/// The stdin protocol loop. Every failure — unknown command, malformed
+/// inline batch JSON, rejected apply, even non-UTF-8 input — answers with
+/// an in-stream `error: …` line; only EOF (or an unreadable stdin) ends
+/// the loop.
+fn serve_stdin(session: &mut ServeSession, apply_latency: &mut LatencyHistogram) {
+    let stdin = std::io::stdin();
+    let mut input = stdin.lock();
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        match input.read_until(b'\n', &mut buf) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                println!("error: stdin read failed: {e}");
+                break;
+            }
+        }
+        // Invalid UTF-8 turns into replacement characters and falls
+        // through to a protocol error instead of terminating the service.
+        let line = String::from_utf8_lossy(&buf);
+        let request = match parse_request(&line) {
+            Ok(Some(request)) => request,
+            Ok(None) => continue,
+            Err(message) => {
+                println!("error: {message}");
+                continue;
+            }
+        };
+        let applies_batch = matches!(
+            request,
+            ServeRequest::InlineBatch(_) | ServeRequest::ApplyFile(_)
+        );
+        let watch = gralmatch_util::Stopwatch::start();
+        match session.execute(&request) {
+            Ok(response) => {
+                if applies_batch {
+                    apply_latency.record_duration(Duration::from_secs_f64(watch.elapsed_secs()));
+                }
+                if !response.is_empty() {
+                    println!("{response}");
+                }
+            }
+            Err(message) => println!("error: {message}"),
+        }
     }
 }
 
@@ -178,6 +250,8 @@ fn main() {
         "model",
         "apply",
         "save-state",
+        "listen",
+        "readers",
     ]);
     match cli.positional().first().map(String::as_str) {
         Some("bootstrap") => bootstrap(&cli),
@@ -186,7 +260,7 @@ fn main() {
             eprintln!(
                 "usage: serve bootstrap|run [--shards N] [--deltas K] [--deltas-out DIR] \
                  [--state FILE] [--model FILE] [--apply FILE]... [--save-state FILE] \
-                 (got {other:?})"
+                 [--listen ADDR] [--readers N] (got {other:?})"
             );
             std::process::exit(2);
         }

@@ -12,7 +12,11 @@
 //!   batches) with per-batch reconciliation latency,
 //! * `serve` — the match *service*: bootstrap a `MatchEngine`, persist
 //!   its state, resume it with a trained matcher from disk, stream
-//!   `UpsertBatch`es, answer group lookups (see [`serve`]),
+//!   `UpsertBatch`es, answer group lookups (see [`serve`]) — over stdin
+//!   or as a multi-client TCP front-end (see [`net`]),
+//! * `loadgen` — concurrent lookup/churn load generator measuring
+//!   lookups/sec and p50/p99/p999 lookup latency against the epoch-
+//!   snapshot serving path,
 //! * `featbench` — reference vs compiled featurization throughput with a
 //!   bit-identity parity gate,
 //! * `perfcmp` — the CI perf gate: diffs two repro reports per stage and
@@ -23,6 +27,7 @@
 
 pub mod cli;
 pub mod harness;
+pub mod net;
 pub mod paper;
 pub mod perfgate;
 pub mod serve;

@@ -1,0 +1,469 @@
+//! Concurrent serving: the calling thread as single writer owning the
+//! [`ServeSession`], N reader threads answering lookups from the current
+//! epoch snapshot, and a line-protocol TCP front-end over `std::net`.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!                        ┌────────────────────────────────┐
+//!   write queue (mpsc)   │ writer (caller thread):        │
+//!  ─────────────────────▶│  ServeSession::apply_batch     ├──▶ Published<GroupSnapshot>
+//!                        │  → advance + publish epoch     │        │ (Arc swap)
+//!                        └────────────────────────────────┘        ▼
+//!   TCP clients ──▶ acceptor ──▶ connection queue ──▶ N readers on a WorkerPool,
+//!                                                     each with a PublishedReader —
+//!                                                     lookups never wait on the writer
+//! ```
+//!
+//! The split is strict: only the writer thread touches the engine (the
+//! engine's scorer providers and blockers are not `Send`, so the session
+//! never migrates — the *readers* are the spawned threads). Readers hold
+//! a [`PublishedReader`] over the engine's snapshot slot and serve
+//! `group_of`/`members`/`stats` from whichever epoch is current; a batch
+//! mid-apply is invisible until its snapshot is published. Write
+//! requests arriving on a reader's connection are forwarded to the
+//! writer over the [`WriteQueue`] channel and the response sent back on
+//! the same connection, so one TCP connection can mix reads and writes
+//! freely.
+
+use crate::serve::{lookup_response, parse_request, ServeRequest, ServeSession};
+use gralmatch_core::{GroupSnapshot, UpsertBatch, UpsertOutcome};
+use gralmatch_records::SecurityRecord;
+use gralmatch_util::{PublishedReader, WorkerPool};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// One unit of work for the writer, with a reply channel.
+enum WriteRequest {
+    /// A mutating protocol request (apply/save_state/inline batch);
+    /// replies with the protocol response line.
+    Request(ServeRequest, Sender<Result<String, String>>),
+    /// A direct batch (the loadgen churn driver); replies with the
+    /// outcome so callers can read the publish metrics.
+    Batch(
+        Box<UpsertBatch<SecurityRecord>>,
+        Sender<Result<UpsertOutcome, String>>,
+    ),
+}
+
+/// Split a session into its write queue (drained by the calling thread)
+/// and a cloneable per-reader [`SessionHandle`]. [`WriteQueue::drain`]
+/// returns once every handle clone is dropped.
+pub fn session_channel(session: &ServeSession) -> (WriteQueue, SessionHandle) {
+    let (sender, receiver) = channel();
+    let handle = SessionHandle {
+        reader: PublishedReader::new(session.engine().snapshot_source()),
+        sender,
+    };
+    (WriteQueue { receiver }, handle)
+}
+
+/// The writer side of [`session_channel`]: the single consumer of
+/// enqueued writes.
+pub struct WriteQueue {
+    receiver: Receiver<WriteRequest>,
+}
+
+impl WriteQueue {
+    /// Serve writes on the current thread until every [`SessionHandle`]
+    /// is dropped. Returns the number of writes served. Failed applies
+    /// answer their sender and keep the queue running.
+    pub fn drain(self, session: &mut ServeSession) -> u64 {
+        let mut served = 0;
+        while let Ok(request) = self.receiver.recv() {
+            served += 1;
+            match request {
+                WriteRequest::Request(request, reply) => {
+                    let _ = reply.send(session.execute(&request));
+                }
+                WriteRequest::Batch(batch, reply) => {
+                    let _ = reply.send(
+                        session
+                            .apply(&batch)
+                            .map(|(outcome, _)| outcome)
+                            .map_err(|e| format!("apply failed: {e:?}")),
+                    );
+                }
+            }
+        }
+        served
+    }
+}
+
+/// A per-reader-thread view of a serving session: lock-free snapshot
+/// lookups plus a channel to the single writer. `Send`, cheap to clone —
+/// one per thread.
+pub struct SessionHandle {
+    reader: PublishedReader<GroupSnapshot>,
+    sender: Sender<WriteRequest>,
+}
+
+impl Clone for SessionHandle {
+    fn clone(&self) -> Self {
+        SessionHandle {
+            reader: self.reader.clone(),
+            sender: self.sender.clone(),
+        }
+    }
+}
+
+impl SessionHandle {
+    /// The current epoch's snapshot (refreshes the cached `Arc` only when
+    /// the writer published a new epoch).
+    pub fn snapshot(&mut self) -> &Arc<GroupSnapshot> {
+        self.reader.current()
+    }
+
+    /// Execute one protocol line: lookups answer on this thread from the
+    /// current snapshot; writes round-trip through the writer.
+    pub fn command(&mut self, line: &str) -> Result<String, String> {
+        let Some(request) = parse_request(line)? else {
+            return Ok(String::new());
+        };
+        if let Some(response) = lookup_response(self.reader.current(), &request) {
+            return Ok(response);
+        }
+        let (reply, responses) = channel();
+        self.sender
+            .send(WriteRequest::Request(request, reply))
+            .map_err(|_| "writer is gone".to_string())?;
+        responses
+            .recv()
+            .map_err(|_| "writer dropped the request".to_string())?
+    }
+
+    /// Apply one batch through the writer, blocking until it is
+    /// reconciled and its snapshot published.
+    pub fn apply_batch(&self, batch: UpsertBatch<SecurityRecord>) -> Result<UpsertOutcome, String> {
+        let (reply, responses) = channel();
+        self.sender
+            .send(WriteRequest::Batch(Box::new(batch), reply))
+            .map_err(|_| "writer is gone".to_string())?;
+        responses
+            .recv()
+            .map_err(|_| "writer dropped the batch".to_string())?
+    }
+}
+
+/// How the TCP front-end ran: connections served and requests answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Request lines answered (errors included).
+    pub requests: u64,
+}
+
+/// Poll interval of the accept loop and the per-connection read timeout —
+/// the latency bound on noticing a `shutdown`.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Serve the line protocol on `listener` until a client sends
+/// `shutdown`: the calling thread is the single writer draining the
+/// write queue; an acceptor plus `readers` reader threads run on a
+/// [`WorkerPool`], each reader pulling accepted connections from a
+/// shared queue and answering request lines from its own epoch-snapshot
+/// view. Responses are one line per request line; protocol failures
+/// answer `error: …` and keep the connection open.
+///
+/// Returns the session (persist its state with
+/// [`ServeSession::state_json`]) and a run report.
+pub fn serve_tcp(
+    listener: TcpListener,
+    mut session: ServeSession,
+    readers: usize,
+) -> std::io::Result<(ServeSession, ServeReport)> {
+    listener.set_nonblocking(true)?;
+    let (queue, handle) = session_channel(&session);
+    let stop = AtomicBool::new(false);
+    let connections: Mutex<Vec<TcpStream>> = Mutex::new(Vec::new());
+    let available = Condvar::new();
+    let accepted = AtomicU64::new(0);
+    let answered = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        {
+            // Worker 0 accepts; workers 1..=readers serve connections.
+            // When broadcast returns every handle clone is dropped, which
+            // ends the writer's drain below.
+            let (stop, connections, available) = (&stop, &connections, &available);
+            let (accepted, answered, listener) = (&accepted, &answered, &listener);
+            let base = handle;
+            scope.spawn(move || {
+                WorkerPool::new(readers.max(1) + 1).broadcast(|worker| {
+                    if worker == 0 {
+                        accept_loop(listener, stop, connections, available, accepted);
+                        return;
+                    }
+                    let mut handle = base.clone();
+                    while let Some(stream) = next_connection(stop, connections, available) {
+                        // A dropped connection only ends that client.
+                        let _ = serve_connection(stream, &mut handle, stop, answered);
+                    }
+                });
+            });
+        }
+        queue.drain(&mut session);
+    });
+
+    Ok((
+        session,
+        ServeReport {
+            connections: accepted.load(Ordering::Relaxed),
+            requests: answered.load(Ordering::Relaxed),
+        },
+    ))
+}
+
+/// Feed the connection queue until the stop flag rises.
+fn accept_loop(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    connections: &Mutex<Vec<TcpStream>>,
+    available: &Condvar,
+    accepted: &AtomicU64,
+) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                accepted.fetch_add(1, Ordering::Relaxed);
+                connections
+                    .lock()
+                    .expect("connection queue poisoned")
+                    .push(stream);
+                available.notify_one();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => break,
+        }
+    }
+    available.notify_all();
+}
+
+/// Pop the next accepted connection, or `None` once the stop flag rises.
+fn next_connection(
+    stop: &AtomicBool,
+    connections: &Mutex<Vec<TcpStream>>,
+    available: &Condvar,
+) -> Option<TcpStream> {
+    let mut queue = connections.lock().expect("connection queue poisoned");
+    loop {
+        if let Some(stream) = queue.pop() {
+            return Some(stream);
+        }
+        if stop.load(Ordering::Acquire) {
+            return None;
+        }
+        let (next, _) = available
+            .wait_timeout(queue, POLL_INTERVAL)
+            .expect("connection queue poisoned");
+        queue = next;
+    }
+}
+
+/// Serve one connection until EOF, error, or `shutdown`.
+fn serve_connection(
+    stream: TcpStream,
+    handle: &mut SessionHandle,
+    stop: &AtomicBool,
+    answered: &AtomicU64,
+) -> std::io::Result<()> {
+    // Readers must notice a shutdown triggered on another connection, so
+    // reads time out and re-check the stop flag instead of blocking
+    // indefinitely on an idle client. Partial lines survive timeouts in
+    // `pending` (`read_until` keeps bytes read before an error).
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut pending: Vec<u8> = Vec::new();
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let at_eof = match reader.read_until(b'\n', &mut pending) {
+            Ok(0) => true,
+            Ok(_) => false,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if !at_eof && pending.last() != Some(&b'\n') {
+            // Mid-line (the delimiter hasn't arrived yet): keep reading.
+            continue;
+        }
+        if pending.is_empty() {
+            return Ok(()); // clean EOF
+        }
+        // Invalid UTF-8 becomes replacement characters: a garbage line
+        // must produce a protocol error response, not kill the reader.
+        let line = String::from_utf8_lossy(&pending).trim().to_string();
+        pending.clear();
+        if line == "shutdown" {
+            stop.store(true, Ordering::Release);
+            writeln!(writer, "shutting down")?;
+            return Ok(());
+        }
+        answered.fetch_add(1, Ordering::Relaxed);
+        match handle.command(&line) {
+            Ok(response) if response.is_empty() => {}
+            Ok(response) => writeln!(writer, "{response}")?,
+            Err(message) => writeln!(writer, "error: {message}")?,
+        }
+        if at_eof {
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::serve_provider;
+    use gralmatch_core::ShardPlan;
+    use gralmatch_datagen::{generate, GenerationConfig};
+    use gralmatch_records::RecordId;
+
+    fn securities() -> Vec<SecurityRecord> {
+        let mut config = GenerationConfig::synthetic_full();
+        config.num_entities = 40;
+        generate(&config).unwrap().securities.records().to_vec()
+    }
+
+    fn session(records: Vec<SecurityRecord>) -> ServeSession {
+        ServeSession::bootstrap(records, ShardPlan::new(2), serve_provider(None))
+            .unwrap()
+            .0
+    }
+
+    #[test]
+    fn handles_serve_reads_and_route_writes_to_the_drain() {
+        let records = securities();
+        let held_out = records.last().unwrap().clone();
+        let held_id = held_out.id;
+        let mut session = session(records[..records.len() - 1].to_vec());
+        let (queue, handle) = session_channel(&session);
+
+        let outcome = std::thread::scope(|scope| {
+            let reader = scope.spawn(move || {
+                let mut handle = handle;
+                assert_eq!(handle.snapshot().epoch(), 1);
+                let response = handle.command("group_of 0").unwrap();
+                assert!(response.contains("record 0"), "{response}");
+                assert!(handle.command("nonsense").is_err());
+
+                // A write through the queue becomes visible to another
+                // handle's next snapshot load.
+                let mut other = handle.clone();
+                let outcome = handle
+                    .apply_batch(UpsertBatch::inserting(vec![held_out]))
+                    .unwrap();
+                assert_eq!(other.snapshot().epoch(), outcome.epoch);
+                assert!(other.snapshot().group_of(held_id).is_some());
+                outcome
+            });
+            // This thread is the writer.
+            assert_eq!(queue.drain(&mut session), 1);
+            reader.join().expect("reader panicked")
+        });
+        assert_eq!(outcome.epoch, 2);
+        assert!(outcome.snapshot_publish_seconds >= 0.0);
+        assert!(session.engine().group_of(held_id).is_some());
+        assert_eq!(session.stats().batches_applied, 2);
+    }
+
+    #[test]
+    fn rejected_writes_report_errors_without_killing_the_drain() {
+        let records = securities();
+        let live = records[0].clone();
+        let mut session = session(records);
+        let (queue, handle) = session_channel(&session);
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let handle = handle;
+                // Insert of a live id: rejected, writer stays up.
+                let err = handle
+                    .apply_batch(UpsertBatch::inserting(vec![live.clone()]))
+                    .unwrap_err();
+                assert!(err.contains("apply failed"), "{err}");
+                let err = handle
+                    .apply_batch(UpsertBatch::inserting(vec![live]))
+                    .unwrap_err();
+                assert!(err.contains("apply failed"), "{err}");
+            });
+            assert_eq!(queue.drain(&mut session), 2);
+        });
+        assert_eq!(session.stats().batches_applied, 1);
+    }
+
+    #[test]
+    fn tcp_round_trip_with_concurrent_clients() {
+        let records = securities();
+        let expected_stats_live = records.len();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let session = session(records);
+
+        fn client(addr: std::net::SocketAddr, lines: &[&str]) -> Vec<String> {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            lines
+                .iter()
+                .map(|line| {
+                    writeln!(writer, "{line}").unwrap();
+                    let mut response = String::new();
+                    reader.read_line(&mut response).unwrap();
+                    response.trim_end().to_string()
+                })
+                .collect()
+        }
+
+        // The session is not `Send` (the writer stays on this thread), so
+        // the *clients* run on spawned threads while serve_tcp blocks here.
+        let clients = std::thread::spawn(move || {
+            let lookups: Vec<_> = (0..2)
+                .map(|_| {
+                    std::thread::spawn(move || {
+                        client(
+                            addr,
+                            &["group_of 0", "members 0", "stats", "bogus", "{broken json"],
+                        )
+                    })
+                })
+                .collect();
+            let concurrent: Vec<Vec<String>> =
+                lookups.into_iter().map(|c| c.join().unwrap()).collect();
+            // A delete over TCP, then shutdown.
+            let last = client(addr, &["{\"deletes\":[0]}", "shutdown"]);
+            (concurrent, last)
+        });
+        let (session, report) = serve_tcp(listener, session, 3).unwrap();
+        let (concurrent, last) = clients.join().unwrap();
+
+        for responses in concurrent {
+            assert!(responses[0].contains("record 0"), "{responses:?}");
+            assert!(
+                responses[2].contains(&format!("{expected_stats_live} live records")),
+                "{responses:?}"
+            );
+            assert!(responses[3].starts_with("error: "), "{responses:?}");
+            assert!(responses[4].starts_with("error: "), "{responses:?}");
+        }
+        assert!(last[0].contains("applied +0~0-1"), "{last:?}");
+        assert_eq!(last[1], "shutting down");
+        assert_eq!(session.engine().group_of(RecordId(0)), None);
+        assert_eq!(report.connections, 3);
+        assert!(report.requests >= 11, "{report:?}");
+    }
+}

@@ -103,6 +103,23 @@ pub fn stage_totals(report: &Json) -> Result<Vec<(String, f64)>, String> {
             }
         }
     }
+    // Optional serving-latency aggregates merged in by the loadgen binary
+    // (`--merge-into`). Every value is seconds with bigger = worse —
+    // counts, ratios, and speedups belong in the ungated `loadgen_info`
+    // section, since the gate's `current > baseline` direction would
+    // misread them.
+    match report.get("loadgen") {
+        None => {}
+        Some(Json::Obj(fields)) => {
+            for (label, value) in fields {
+                let seconds = value
+                    .as_f64()
+                    .ok_or_else(|| format!("loadgen `{label}` is not a number"))?;
+                add(format!("loadgen:{label}"), seconds);
+            }
+        }
+        Some(_) => return Err("loadgen section is not an object".into()),
+    }
     Ok(totals)
 }
 
@@ -319,5 +336,40 @@ mod tests {
     fn malformed_reports_are_rejected() {
         assert!(stage_totals(&Json::obj([("scale", 1.0f64.to_json())])).is_err());
         assert!(stage_totals(&Json::obj([("table4", Json::Arr(vec![]))])).is_err());
+    }
+
+    #[test]
+    fn loadgen_section_gates_like_a_stage() {
+        let with_loadgen = |seconds: f64| {
+            let mut base = report(&[&[("blocking", 1.0)]]);
+            if let Json::Obj(fields) = &mut base {
+                fields.push((
+                    "loadgen".to_string(),
+                    Json::obj([
+                        ("serial_s_per_m_lookups", seconds.to_json()),
+                        ("lookup_p99_s", 0.0005f64.to_json()),
+                    ]),
+                ));
+            }
+            base
+        };
+        let baseline = with_loadgen(2.0);
+        let totals = stage_totals(&baseline).unwrap();
+        assert!(totals.contains(&("loadgen:serial_s_per_m_lookups".to_string(), 2.0)));
+        assert!(totals.contains(&("loadgen:lookup_p99_s".to_string(), 0.0005)));
+
+        // A 2x lookup-throughput regression fails the gate.
+        let slowed = with_loadgen(4.0);
+        let regressions = compare(&baseline, &slowed, &GateConfig::default()).unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].stage, "loadgen:serial_s_per_m_lookups");
+
+        // Dropping the loadgen section is a shape error, and reports
+        // without it on either side still compare fine.
+        let without = report(&[&[("blocking", 1.0)]]);
+        assert!(compare(&baseline, &without, &GateConfig::default()).is_err());
+        assert!(compare(&without, &without, &GateConfig::default())
+            .unwrap()
+            .is_empty());
     }
 }

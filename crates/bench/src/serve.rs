@@ -11,11 +11,17 @@
 //! ```text
 //! group_of <record-id>     → the record's group id + members
 //! members <group-id>       → one group's members
-//! stats                    → engine counters
+//! stats                    → engine counters + snapshot epoch
 //! apply <path>             → apply a batch file, print its latency trace
 //! save_state <path>        → persist the standing state
 //! {"inserts":[…],…}        → apply an inline JSON batch
 //! ```
+//!
+//! Protocol lines parse into a [`ServeRequest`]; the read-only requests
+//! (`group_of`/`members`/`stats`) are answered by [`lookup_response`]
+//! against a [`GroupSnapshot`] — the same function serves both the
+//! single-threaded [`ServeSession::command`] loop and the concurrent TCP
+//! readers in [`crate::net`], so the two paths cannot drift.
 //!
 //! The `serve` binary is a thin CLI over this module (`bootstrap` builds
 //! a state + delta-batch files from the synthetic benchmark; `run` loads
@@ -24,7 +30,7 @@
 
 use gralmatch_blocking::{Blocker, SecurityIdOverlap, TokenOverlap, TokenOverlapConfig};
 use gralmatch_core::{
-    CompiledScorerProvider, EngineStats, MatchEngine, PipelineConfig, PipelineState,
+    CompiledScorerProvider, EngineStats, GroupSnapshot, MatchEngine, PipelineConfig, PipelineState,
     ScorerProvider, ShardPlan, UpsertBatch, UpsertOutcome,
 };
 use gralmatch_lm::{HeuristicMatcher, ModelSpec, SavedModel};
@@ -123,6 +129,140 @@ pub fn latency_line(outcome: &UpsertOutcome, seconds: f64) -> String {
     )
 }
 
+/// One parsed protocol line. Read-only requests are answerable from a
+/// [`GroupSnapshot`] alone (any thread, any epoch); the rest mutate the
+/// engine and belong to the single writer.
+#[derive(Debug, Clone)]
+pub enum ServeRequest {
+    /// `group_of <record-id>`
+    GroupOf(RecordId),
+    /// `members <group-id>`
+    Members(RecordId),
+    /// `stats`
+    Stats,
+    /// `apply <path>`
+    ApplyFile(String),
+    /// An inline `{"inserts":…}` batch.
+    InlineBatch(UpsertBatch<SecurityRecord>),
+    /// `save_state <path>`
+    SaveState(String),
+}
+
+impl ServeRequest {
+    /// Whether [`lookup_response`] can answer this request (no engine
+    /// mutation needed).
+    pub fn is_lookup(&self) -> bool {
+        matches!(
+            self,
+            ServeRequest::GroupOf(_) | ServeRequest::Members(_) | ServeRequest::Stats
+        )
+    }
+}
+
+/// Parse one protocol line. `Ok(None)` is an empty line (no response);
+/// `Err` is a usage message for the client — the connection or session
+/// stays usable either way.
+pub fn parse_request(line: &str) -> Result<Option<ServeRequest>, String> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    if line.starts_with('{') {
+        let json = Json::parse(line).map_err(|e| format!("bad batch JSON: {}", e.message))?;
+        let batch = UpsertBatch::<SecurityRecord>::from_json(&json)
+            .map_err(|e| format!("bad batch: {}", e.message))?;
+        return Ok(Some(ServeRequest::InlineBatch(batch)));
+    }
+    let mut parts = line.split_whitespace();
+    match parts.next().unwrap_or_default() {
+        "group_of" => Ok(Some(ServeRequest::GroupOf(RecordId(parse_id(
+            parts.next(),
+        )?)))),
+        "members" => Ok(Some(ServeRequest::Members(RecordId(parse_id(
+            parts.next(),
+        )?)))),
+        "stats" => Ok(Some(ServeRequest::Stats)),
+        "apply" => Ok(Some(ServeRequest::ApplyFile(
+            parts.next().ok_or("usage: apply <batch.json>")?.to_string(),
+        ))),
+        "save_state" => Ok(Some(ServeRequest::SaveState(
+            parts
+                .next()
+                .ok_or("usage: save_state <state.json>")?
+                .to_string(),
+        ))),
+        other => Err(format!(
+            "unknown command {other:?} (try: group_of <id> | members <id> | stats | \
+             apply <file> | save_state <file> | inline batch JSON)"
+        )),
+    }
+}
+
+/// Answer a read-only request from a snapshot (`None` when the request
+/// mutates the engine and must go to the writer). Every response is one
+/// line, internally consistent with the snapshot's epoch.
+pub fn lookup_response(snapshot: &GroupSnapshot, request: &ServeRequest) -> Option<String> {
+    match request {
+        ServeRequest::GroupOf(id) => Some(match snapshot.group_of(*id) {
+            Some(group) => {
+                let members = snapshot
+                    .group_members(group)
+                    .expect("group id came from the snapshot");
+                format!(
+                    "record {} → group {} ({} member{}): {}",
+                    id.0,
+                    group.0,
+                    members.len(),
+                    if members.len() == 1 { "" } else { "s" },
+                    render_members(members),
+                )
+            }
+            None => format!("record {} is not live", id.0),
+        }),
+        ServeRequest::Members(id) => Some(match snapshot.group_members(*id) {
+            Some(members) => format!("group {}: {}", id.0, render_members(members)),
+            None => format!("{} is not a group id", id.0),
+        }),
+        ServeRequest::Stats => {
+            let stats = snapshot.stats();
+            Some(format!(
+                "{} live records ({} ids), {} groups (largest {}), {} candidates, \
+                 {} predictions, {} batches applied in {:.4}s, snapshot epoch {}",
+                stats.num_live,
+                stats.num_ids,
+                stats.num_groups,
+                stats.largest_group,
+                stats.num_candidates,
+                stats.num_predicted,
+                stats.batches_applied,
+                stats.total_apply_seconds,
+                snapshot.epoch(),
+            ))
+        }
+        _ => None,
+    }
+}
+
+fn parse_id(token: Option<&str>) -> Result<u32, String> {
+    token
+        .ok_or("missing record id")?
+        .parse()
+        .map_err(|_| "record ids are unsigned integers".to_string())
+}
+
+fn render_members(members: &[RecordId]) -> String {
+    const SHOWN: usize = 16;
+    let mut rendered: Vec<String> = members
+        .iter()
+        .take(SHOWN)
+        .map(|id| id.0.to_string())
+        .collect();
+    if members.len() > SHOWN {
+        rendered.push(format!("… +{}", members.len() - SHOWN));
+    }
+    format!("[{}]", rendered.join(", "))
+}
+
 /// A live serve session: the engine plus the lookup protocol.
 pub struct ServeSession {
     engine: MatchEngine<'static, SecurityRecord>,
@@ -188,101 +328,39 @@ impl ServeSession {
     /// the response text. Unknown or malformed commands return `Err` with
     /// a usage message — the session stays usable.
     pub fn command(&mut self, line: &str) -> Result<String, String> {
-        let line = line.trim();
-        if line.is_empty() {
+        let Some(request) = parse_request(line)? else {
             return Ok(String::new());
+        };
+        self.execute(&request)
+    }
+
+    /// Execute one parsed request: lookups answer from the engine's
+    /// current snapshot (the same path concurrent readers take), writes
+    /// go through the engine.
+    pub fn execute(&mut self, request: &ServeRequest) -> Result<String, String> {
+        if let Some(response) = lookup_response(&self.engine.snapshot(), request) {
+            return Ok(response);
         }
-        if line.starts_with('{') {
-            let json = Json::parse(line).map_err(|e| format!("bad batch JSON: {}", e.message))?;
-            let batch = UpsertBatch::<SecurityRecord>::from_json(&json)
-                .map_err(|e| format!("bad batch: {}", e.message))?;
-            let (outcome, seconds) = self
-                .apply(&batch)
-                .map_err(|e| format!("apply failed: {e:?}"))?;
-            return Ok(latency_line(&outcome, seconds));
-        }
-        let mut parts = line.split_whitespace();
-        let verb = parts.next().unwrap_or_default();
-        match verb {
-            "group_of" => {
-                let id = Self::parse_id(parts.next())?;
-                match self.engine.group_of(RecordId(id)) {
-                    Some(group) => {
-                        let members = self
-                            .engine
-                            .group_members(group)
-                            .expect("group id came from the index");
-                        Ok(format!(
-                            "record {id} → group {} ({} member{}): {}",
-                            group.0,
-                            members.len(),
-                            if members.len() == 1 { "" } else { "s" },
-                            Self::render_members(members),
-                        ))
-                    }
-                    None => Ok(format!("record {id} is not live")),
-                }
+        match request {
+            ServeRequest::InlineBatch(batch) => {
+                let (outcome, seconds) = self
+                    .apply(batch)
+                    .map_err(|e| format!("apply failed: {e:?}"))?;
+                Ok(latency_line(&outcome, seconds))
             }
-            "members" => {
-                let id = Self::parse_id(parts.next())?;
-                match self.engine.group_members(RecordId(id)) {
-                    Some(members) => Ok(format!("group {id}: {}", Self::render_members(members))),
-                    None => Ok(format!("{id} is not a group id")),
-                }
-            }
-            "stats" => {
-                let stats = self.stats();
-                Ok(format!(
-                    "{} live records ({} ids), {} groups (largest {}), {} candidates, \
-                     {} predictions, {} batches applied in {:.4}s",
-                    stats.num_live,
-                    stats.num_ids,
-                    stats.num_groups,
-                    stats.largest_group,
-                    stats.num_candidates,
-                    stats.num_predicted,
-                    stats.batches_applied,
-                    stats.total_apply_seconds,
-                ))
-            }
-            "apply" => {
-                let path = parts.next().ok_or("usage: apply <batch.json>")?;
+            ServeRequest::ApplyFile(path) => {
                 let batch = load_batch(path).map_err(|e| format!("{path}: {e:?}"))?;
                 let (outcome, seconds) = self
                     .apply(&batch)
                     .map_err(|e| format!("apply failed: {e:?}"))?;
                 Ok(latency_line(&outcome, seconds))
             }
-            "save_state" => {
-                let path = parts.next().ok_or("usage: save_state <state.json>")?;
+            ServeRequest::SaveState(path) => {
                 std::fs::write(path, self.state_json()).map_err(|e| format!("{path}: {e}"))?;
                 Ok(format!("state saved to {path}"))
             }
-            other => Err(format!(
-                "unknown command {other:?} (try: group_of <id> | members <id> | stats | \
-                 apply <file> | save_state <file> | inline batch JSON)"
-            )),
+            lookup => unreachable!("lookup request {lookup:?} not answered by snapshot"),
         }
-    }
-
-    fn parse_id(token: Option<&str>) -> Result<u32, String> {
-        token
-            .ok_or("missing record id")?
-            .parse()
-            .map_err(|_| "record ids are unsigned integers".to_string())
-    }
-
-    fn render_members(members: &[RecordId]) -> String {
-        const SHOWN: usize = 16;
-        let mut rendered: Vec<String> = members
-            .iter()
-            .take(SHOWN)
-            .map(|id| id.0.to_string())
-            .collect();
-        if members.len() > SHOWN {
-            rendered.push(format!("… +{}", members.len() - SHOWN));
-        }
-        format!("[{}]", rendered.join(", "))
     }
 }
 
@@ -380,11 +458,15 @@ mod tests {
 
         let stats = session.command("stats").unwrap();
         assert!(stats.contains("live records"), "{stats}");
+        assert!(stats.contains("snapshot epoch 1"), "{stats}");
         let lookup = session.command("group_of 0").unwrap();
         assert!(lookup.contains("group"), "{lookup}");
         assert!(session.command("group_of notanid").is_err());
         assert!(session.command("bogus").is_err());
         assert_eq!(session.command("").unwrap(), "");
+        // Malformed inline JSON is a protocol error, not a session killer.
+        assert!(session.command("{not json").is_err());
+        assert!(session.command("stats").is_ok());
 
         // Inline batch JSON: insert one held-out record, then look it up.
         let held_out = records.last().unwrap().clone();
@@ -396,5 +478,39 @@ mod tests {
         assert!(response.contains("applied +1"), "{response}");
         let lookup = session.command(&format!("group_of {}", id.0)).unwrap();
         assert!(lookup.contains(&format!("record {}", id.0)), "{lookup}");
+        // The batch bumped the epoch.
+        let stats = session.command("stats").unwrap();
+        assert!(stats.contains("snapshot epoch 2"), "{stats}");
+    }
+
+    /// Snapshot-served lookups and the session's command loop are the
+    /// same code path — byte-identical responses for every read request.
+    #[test]
+    fn snapshot_lookups_match_session_responses() {
+        let records = securities();
+        let (mut session, _) =
+            ServeSession::bootstrap(records, ShardPlan::new(2), serve_provider(None)).unwrap();
+        let snapshot = session.engine().snapshot();
+        let max_id = session.stats().num_ids as u32;
+        for id in 0..max_id.min(64) {
+            for line in [format!("group_of {id}"), format!("members {id}")] {
+                let request = parse_request(&line).unwrap().unwrap();
+                assert!(request.is_lookup());
+                assert_eq!(
+                    lookup_response(&snapshot, &request),
+                    Some(session.command(&line).unwrap()),
+                    "{line}"
+                );
+            }
+        }
+        let stats_request = parse_request("stats").unwrap().unwrap();
+        assert_eq!(
+            lookup_response(&snapshot, &stats_request).unwrap(),
+            session.command("stats").unwrap()
+        );
+        // Write requests are not answerable from a snapshot.
+        let write = parse_request("apply some.json").unwrap().unwrap();
+        assert!(!write.is_lookup());
+        assert_eq!(lookup_response(&snapshot, &write), None);
     }
 }

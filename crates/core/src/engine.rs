@@ -46,12 +46,14 @@ use crate::incremental::{PipelineState, UpsertBatch, UpsertOutcome};
 use crate::metrics::{group_metrics, pairwise_metrics};
 use crate::pipeline::{MatchingOutcome, PipelineConfig};
 use crate::shard::ShardPlan;
+use crate::snapshot::GroupSnapshot;
 use gralmatch_blocking::Blocker;
 use gralmatch_lm::{
     CompiledDataset, CompiledMatcher, EncodedRecord, PairEncoder, PairScorer, ScoreScratch,
 };
 use gralmatch_records::{GroundTruth, Record, RecordId, RecordPair};
-use gralmatch_util::{Error, FxHashMap, FxHashSet, Stopwatch};
+use gralmatch_util::{Error, FxHashMap, FxHashSet, Published, Stopwatch};
+use std::sync::Arc;
 
 /// Supplies the engine's pair scorer across the engine's lifetime,
 /// absorbing record mutations into any scorer-side state first.
@@ -253,7 +255,24 @@ impl GroupIndex {
         index
     }
 
-    fn insert_group(&mut self, mut group: Vec<RecordId>) {
+    /// Raw root-id lookup (snapshot construction).
+    pub(crate) fn root_of_raw(&self, id: u32) -> Option<u32> {
+        self.root_of.get(&id).copied()
+    }
+
+    /// Members of the group rooted at `root`, if `root` is a group id
+    /// (snapshot construction).
+    pub(crate) fn members_of_root(&self, root: u32) -> Option<&Vec<RecordId>> {
+        self.members.get(&root)
+    }
+
+    /// Iterate `(root, members)` over all groups in arbitrary order
+    /// (snapshot construction).
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (u32, &Vec<RecordId>)> {
+        self.members.iter().map(|(&root, members)| (root, members))
+    }
+
+    pub(crate) fn insert_group(&mut self, mut group: Vec<RecordId>) {
         group.sort_unstable();
         let root = group[0].0;
         for &member in &group {
@@ -268,7 +287,15 @@ impl GroupIndex {
     /// groups, plus everything reachable in the new cleaned graph — and
     /// recomputes components only there. Entries outside the closure are
     /// untouched, so maintenance cost tracks the reconciled surface.
-    fn apply<R: Record + Clone + Sync>(&mut self, state: &PipelineState<R>, changed: &[u32]) {
+    ///
+    /// Returns the affected closure (sorted, deduplicated): every id
+    /// whose root assignment or rooted group may differ from before —
+    /// exactly the set a derived [`GroupSnapshot`] must re-examine.
+    fn apply<R: Record + Clone + Sync>(
+        &mut self,
+        state: &PipelineState<R>,
+        changed: &[u32],
+    ) -> Vec<u32> {
         // 1. Affected closure: changed nodes, the full membership of any
         //    standing group containing one, and the new-graph neighborhood
         //    (so component recomputation below cannot escape the closure).
@@ -325,12 +352,13 @@ impl GroupIndex {
             }
             self.insert_group(component.into_iter().map(RecordId).collect());
         }
+        ordered
     }
 }
 
 /// Aggregate engine counters for dashboards and the serve binary's
 /// `stats` command.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct EngineStats {
     /// Live records.
     pub num_live: usize,
@@ -358,6 +386,10 @@ pub struct MatchEngine<'a, R: Record + Clone + Sync> {
     provider: Box<dyn ScorerProvider<R> + 'a>,
     config: PipelineConfig,
     index: GroupIndex,
+    /// The epoch-published read path: after every applied batch the
+    /// engine advances an immutable [`GroupSnapshot`] here; concurrent
+    /// readers hold [`gralmatch_util::PublishedReader`]s over this slot.
+    published: Arc<Published<GroupSnapshot>>,
     batches_applied: usize,
     total_apply_seconds: f64,
 }
@@ -377,6 +409,7 @@ impl<'a, R: Record + Clone + Sync> MatchEngine<'a, R> {
             provider,
             config,
             index: GroupIndex::default(),
+            published: Arc::new(Published::new(GroupSnapshot::empty(EngineStats::default()))),
             batches_applied: 0,
             total_apply_seconds: 0.0,
         }
@@ -409,15 +442,25 @@ impl<'a, R: Record + Clone + Sync> MatchEngine<'a, R> {
     ) -> Self {
         provider.prime(state.live_records());
         let index = GroupIndex::rebuild(&state);
-        MatchEngine {
+        let mut engine = MatchEngine {
             state,
             strategies,
             provider,
             config,
             index,
+            published: Arc::new(Published::new(GroupSnapshot::empty(EngineStats::default()))),
             batches_applied: 0,
             total_apply_seconds: 0.0,
-        }
+        };
+        // Resumed engines serve from epoch 0 too — but over a full
+        // snapshot of the persisted groups, not an empty one.
+        engine.published = Arc::new(Published::new(GroupSnapshot::rebuild_full(
+            &engine.index,
+            0,
+            engine.stats_for_snapshot(),
+            engine.state.num_ids(),
+        )));
+        engine
     }
 
     /// Bootstrap over a domain's records and blocking recipe.
@@ -439,21 +482,42 @@ impl<'a, R: Record + Clone + Sync> MatchEngine<'a, R> {
         )
     }
 
-    /// Apply one delta batch: absorb it into the scorer, reconcile the
-    /// pipeline state, and update the group index from the merge's
-    /// invalidation set.
+    /// Apply one delta batch: validate it, absorb it into the scorer,
+    /// reconcile the pipeline state, update the group index from the
+    /// merge's invalidation set, and publish the next epoch's
+    /// [`GroupSnapshot`] for concurrent readers.
     pub fn apply_batch(&mut self, batch: &UpsertBatch<R>) -> Result<UpsertOutcome, Error> {
         let watch = Stopwatch::start();
+        // Validate *before* the provider absorbs the batch: a rejected
+        // batch must leave both the pipeline state and any scorer-side
+        // compiled view untouched, or the two diverge.
+        self.state.validate(batch)?;
         self.provider.absorb(batch);
-        let outcome = self.state.apply(
+        let mut outcome = self.state.apply(
             batch,
             &self.strategies,
             self.provider.scorer(),
             &self.config,
         )?;
-        self.index.apply(&self.state, &outcome.changed_nodes);
+        let affected = self.index.apply(&self.state, &outcome.changed_nodes);
         self.batches_applied += 1;
         self.total_apply_seconds += watch.elapsed_secs();
+
+        let publish_watch = Stopwatch::start();
+        let (next, buckets_rebuilt) = self.published.load().advance(
+            &self.index,
+            &affected,
+            self.stats_for_snapshot(),
+            self.state.num_ids(),
+        );
+        let next = Arc::new(next);
+        self.published.publish(next.clone());
+        let publish_seconds = publish_watch.elapsed_secs();
+        self.total_apply_seconds += publish_seconds;
+        outcome.epoch = next.epoch();
+        outcome.snapshot_publish_seconds = publish_seconds;
+        outcome.snapshot_buckets_rebuilt = buckets_rebuilt;
+
         debug_assert_eq!(
             {
                 let mut from_index: Vec<Vec<RecordId>> = self.index.groups();
@@ -475,7 +539,36 @@ impl<'a, R: Record + Clone + Sync> MatchEngine<'a, R> {
             },
             "incremental group index diverged from the standing graph"
         );
+        debug_assert_eq!(
+            {
+                let mut from_snapshot: Vec<Vec<RecordId>> = next.groups();
+                from_snapshot.sort();
+                from_snapshot
+            },
+            {
+                let mut from_index: Vec<Vec<RecordId>> = self.index.groups();
+                from_index.sort();
+                from_index
+            },
+            "incrementally advanced snapshot diverged from the group index"
+        );
         Ok(outcome)
+    }
+
+    /// Engine counters with the group counters left for the snapshot to
+    /// recompute from its own buckets (an O(num_buckets) fold instead of
+    /// an O(num_groups) scan per publish).
+    fn stats_for_snapshot(&self) -> EngineStats {
+        EngineStats {
+            num_live: self.state.num_live(),
+            num_ids: self.state.num_ids(),
+            num_groups: 0,
+            largest_group: 0,
+            num_candidates: self.state.candidates().len(),
+            num_predicted: self.state.predicted().len(),
+            batches_applied: self.batches_applied,
+            total_apply_seconds: self.total_apply_seconds,
+        }
     }
 
     /// Group id of a record: the smallest record id in its group. `None`
@@ -509,6 +602,18 @@ impl<'a, R: Record + Clone + Sync> MatchEngine<'a, R> {
             batches_applied: self.batches_applied,
             total_apply_seconds: self.total_apply_seconds,
         }
+    }
+
+    /// The current epoch's published [`GroupSnapshot`].
+    pub fn snapshot(&self) -> Arc<GroupSnapshot> {
+        self.published.load()
+    }
+
+    /// The publish slot concurrent readers subscribe to (wrap it in a
+    /// [`gralmatch_util::PublishedReader`] per reader thread). The engine
+    /// keeps publishing into this same slot for its whole lifetime.
+    pub fn snapshot_source(&self) -> Arc<Published<GroupSnapshot>> {
+        self.published.clone()
     }
 
     /// The standing pipeline state (persist it with `to_json`).
@@ -665,6 +770,84 @@ mod tests {
     }
 
     #[test]
+    fn snapshots_publish_per_batch_and_stay_frozen() {
+        let data = dataset();
+        let securities: Vec<SecurityRecord> = data.securities.records().to_vec();
+        let group_of = company_groups(&data);
+        let domain = SecurityDomain::new(&securities, &group_of);
+        let gt = domain.ground_truth().clone();
+        let scorer = OracleScorer::new(&gt);
+        let config = PipelineConfig::new(25, 5);
+
+        let split = securities.len() / 2;
+        let (mut engine, load) = MatchEngine::bootstrap(
+            ShardPlan::new(2),
+            securities[..split].to_vec(),
+            domain.blocking_strategies(),
+            Box::new(FixedScorerProvider(&scorer)),
+            config,
+        )
+        .unwrap();
+        assert_eq!(load.epoch, 1);
+        assert!(load.snapshot_buckets_rebuilt > 0);
+        let first = engine.snapshot();
+        assert_eq!(first.epoch(), 1);
+
+        let outcome = engine
+            .apply_batch(&UpsertBatch::inserting(securities[split..].to_vec()))
+            .unwrap();
+        assert_eq!(outcome.epoch, 2);
+        let second = engine.snapshot();
+        assert_eq!(second.epoch(), 2);
+        assert_eq!(engine.snapshot_source().version(), 2);
+
+        // The new epoch answers exactly like the live engine; the old
+        // epoch still serves its own frozen pre-batch state.
+        for group in engine.groups() {
+            assert_eq!(second.group_of(group[0]), Some(group[0]));
+            assert_eq!(second.group_members(group[0]).unwrap(), &group[..]);
+        }
+        let stats = engine.stats();
+        assert_eq!(second.stats().num_groups, stats.num_groups);
+        assert_eq!(second.stats().largest_group, stats.largest_group);
+        assert_eq!(second.stats().num_live, stats.num_live);
+        assert_eq!(first.stats().num_live, split);
+        let late_id = securities[split..]
+            .iter()
+            .map(|record| record.id)
+            .find(|id| first.group_of(*id).is_none())
+            .expect("some id first live in batch 2");
+        assert!(second.group_of(late_id).is_some());
+    }
+
+    #[test]
+    fn rejected_batches_leave_the_engine_untouched() {
+        let data = dataset();
+        let securities: Vec<SecurityRecord> = data.securities.records().to_vec();
+        let group_of = company_groups(&data);
+        let domain = SecurityDomain::new(&securities, &group_of);
+        let gt = domain.ground_truth().clone();
+        let scorer = OracleScorer::new(&gt);
+        let (mut engine, _) = MatchEngine::bootstrap(
+            ShardPlan::new(2),
+            securities.clone(),
+            domain.blocking_strategies(),
+            Box::new(FixedScorerProvider(&scorer)),
+            PipelineConfig::new(25, 5),
+        )
+        .unwrap();
+        let groups = engine.groups();
+        // Insert of a live id is rejected before anything absorbs it: no
+        // epoch is published and the stats are unchanged.
+        assert!(engine
+            .apply_batch(&UpsertBatch::inserting(vec![securities[0].clone()]))
+            .is_err());
+        assert_eq!(engine.snapshot().epoch(), 1);
+        assert_eq!(engine.stats().batches_applied, 1);
+        assert_eq!(engine.groups(), groups);
+    }
+
+    #[test]
     fn from_state_serves_the_persisted_groups() {
         use gralmatch_util::{FromJson, Json, ToJson};
         let data = dataset();
@@ -699,5 +882,11 @@ mod tests {
         for group in &expected {
             assert_eq!(resumed.group_of(group[0]), Some(group[0]));
         }
+        // Resume publishes a full snapshot at epoch 0, ready for readers
+        // before any batch arrives.
+        let snapshot = resumed.snapshot();
+        assert_eq!(snapshot.epoch(), 0);
+        assert_eq!(snapshot.groups(), expected);
+        assert_eq!(snapshot.stats().num_live, securities.len());
     }
 }

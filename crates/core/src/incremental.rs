@@ -173,6 +173,19 @@ pub struct UpsertOutcome {
     pub changed_nodes: Vec<u32>,
     /// Edges removed by this batch's component re-cleanup.
     pub cleanup: CleanupReport,
+    /// Epoch of the [`GroupSnapshot`] published for this batch (0 when the
+    /// batch was applied directly to a [`PipelineState`], outside an
+    /// engine).
+    ///
+    /// [`GroupSnapshot`]: crate::snapshot::GroupSnapshot
+    pub epoch: u64,
+    /// Wall-clock seconds the engine spent building and publishing the
+    /// batch's snapshot (0 outside an engine).
+    pub snapshot_publish_seconds: f64,
+    /// Snapshot buckets rebuilt for this batch — the unit of publish cost;
+    /// everything else was shared with the previous epoch (0 outside an
+    /// engine).
+    pub snapshot_buckets_rebuilt: usize,
 }
 
 /// The standing state an incremental pipeline reconciles against:
@@ -332,17 +345,15 @@ impl<R: Record + Clone + Sync> PipelineState<R> {
         shard
     }
 
-    /// Apply one delta batch: re-block touched shards, re-score new and
-    /// invalidated pairs, reconcile into the standing groups. See the
-    /// module docs for the exactness argument.
-    pub fn apply(
-        &mut self,
-        batch: &UpsertBatch<R>,
-        strategies: &[Box<dyn Blocker<R> + '_>],
-        scorer: &dyn PairScorer,
-        config: &PipelineConfig,
-    ) -> Result<UpsertOutcome, Error> {
-        // -- 1. Validate + apply the record mutations. ---------------------
+    /// Check a batch against the standing state without mutating
+    /// anything: inserts must bring unseen ids, updates and deletes must
+    /// name live ids, and no id may appear twice in one batch.
+    ///
+    /// [`apply`](PipelineState::apply) runs this itself, but callers that
+    /// absorb the batch into *other* state first (the engine's scorer
+    /// provider) must call it up front so a rejected batch leaves every
+    /// view untouched.
+    pub fn validate(&self, batch: &UpsertBatch<R>) -> Result<(), Error> {
         for record in &batch.inserts {
             if self.is_live(record.id()) {
                 return Err(Self::upsert_error(format!(
@@ -381,6 +392,21 @@ impl<R: Record + Clone + Sync> PipelineState<R> {
                 )));
             }
         }
+        Ok(())
+    }
+
+    /// Apply one delta batch: re-block touched shards, re-score new and
+    /// invalidated pairs, reconcile into the standing groups. See the
+    /// module docs for the exactness argument.
+    pub fn apply(
+        &mut self,
+        batch: &UpsertBatch<R>,
+        strategies: &[Box<dyn Blocker<R> + '_>],
+        scorer: &dyn PairScorer,
+        config: &PipelineConfig,
+    ) -> Result<UpsertOutcome, Error> {
+        // -- 1. Validate + apply the record mutations. ---------------------
+        self.validate(batch)?;
 
         let mut dirty: FxHashSet<u32> = FxHashSet::default();
         let mut touched_shards: FxHashSet<u32> = FxHashSet::default();
@@ -567,6 +593,9 @@ impl<R: Record + Clone + Sync> PipelineState<R> {
             boundary_merges: merge.boundary_merges,
             changed_nodes,
             cleanup: merge.cleanup,
+            epoch: 0,
+            snapshot_publish_seconds: 0.0,
+            snapshot_buckets_rebuilt: 0,
         })
     }
 }

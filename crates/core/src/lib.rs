@@ -20,6 +20,8 @@
 //! * [`shard`] — the `ShardPlan` partition, the dirty-component
 //!   `MergeStage`, and the legacy sharded oracle runner,
 //! * [`incremental`] — upsert batches against a persisted `PipelineState`,
+//! * [`snapshot`] — immutable epoch-published `GroupSnapshot` for
+//!   lock-free concurrent group lookups,
 //! * [`trace`] — unified per-stage wall-clock/throughput/memory reporting,
 //! * [`groups`] — prediction graph, components, closure counting,
 //! * [`cleanup`] — Algorithm 1 + pre-cleanup + sensitivity variants,
@@ -39,6 +41,7 @@ pub mod label_propagation;
 pub mod metrics;
 pub mod pipeline;
 pub mod shard;
+pub mod snapshot;
 pub mod stage;
 pub mod trace;
 
@@ -65,6 +68,7 @@ pub use pipeline::{
     run_with_candidates, MatchingOutcome, OracleMatcher, OracleScorer, PipelineConfig,
 };
 pub use shard::{run_sharded, MergeResult, MergeStage, ShardKey, ShardPlan, ShardedOutcome};
+pub use snapshot::GroupSnapshot;
 pub use stage::{
     BlockingStage, CleanupStage, GroupingStage, InferenceStage, Stage, StageContext, StagePipeline,
     StageStats,

@@ -1,0 +1,376 @@
+//! Immutable, epoch-published snapshots of the group-lookup read path.
+//!
+//! The engine's standing [`GroupIndex`] is a
+//! mutable structure the writer reconciles in place; concurrent readers
+//! can never touch it mid-batch. A [`GroupSnapshot`] is the frozen view
+//! the writer derives *after* each batch and hands to readers through
+//! [`Published`](gralmatch_util::Published): lookups
+//! ([`group_of`](GroupSnapshot::group_of),
+//! [`group_members`](GroupSnapshot::group_members),
+//! [`stats`](GroupSnapshot::stats)) run against whichever snapshot the
+//! reader holds, with no locks and no coordination with the writer.
+//!
+//! ## Incremental construction
+//!
+//! Publishing must not cost a full index copy per batch — that would put
+//! an O(total state) wall between batches at serving time. Snapshots are
+//! therefore **persistent** in the functional-data-structure sense: the
+//! record-id space is cut into fixed buckets of `2^`[`BUCKET_BITS`] ids,
+//! and each bucket's storage is held behind an `Arc`. Advancing a
+//! snapshot rebuilds only the buckets containing ids in the batch's
+//! affected closure (the same invalidation set the in-place
+//! [`GroupIndex`] update walks) and shares
+//! every other bucket's `Arc` with the previous epoch — publish cost
+//! scales with the delta, not with the dataset.
+
+use crate::engine::{EngineStats, GroupIndex};
+use gralmatch_records::RecordId;
+use gralmatch_util::FxHashMap;
+use std::sync::Arc;
+
+/// Log2 of the number of record ids per snapshot bucket.
+pub const BUCKET_BITS: u32 = 10;
+/// Record ids per bucket.
+pub const BUCKET_SIZE: usize = 1 << BUCKET_BITS;
+/// Root-slot sentinel for "this id is not live".
+const NO_ROOT: u32 = u32::MAX;
+
+/// All groups whose root id falls inside one id bucket, plus the bucket's
+/// aggregate counters (so snapshot-wide stats fold over buckets instead
+/// of groups).
+#[derive(Debug, Default)]
+struct GroupBucket {
+    /// Root id → sorted members, for roots in this bucket.
+    members: FxHashMap<u32, Arc<Vec<RecordId>>>,
+    /// Size of the largest group rooted in this bucket.
+    largest: usize,
+}
+
+impl GroupBucket {
+    fn recompute_largest(&mut self) {
+        self.largest = self
+            .members
+            .values()
+            .map(|group| group.len())
+            .max()
+            .unwrap_or(0);
+    }
+}
+
+/// An immutable view of the engine's groups and counters as of one epoch.
+///
+/// # Epoch-publication invariant
+///
+/// A `GroupSnapshot` is **never mutated after publication**. The single
+/// writer builds snapshot `N+1` from snapshot `N` plus one batch's
+/// affected closure, then publishes it with a single pointer swap; a
+/// reader that loaded epoch `N` keeps a fully self-consistent view — the
+/// root table, member lists, and [`stats`](GroupSnapshot::stats) all
+/// describe the *same* post-batch (or pre-batch) state, and no
+/// interleaving of reads can observe a half-applied batch. Unchanged
+/// buckets are physically shared (`Arc`) between consecutive epochs;
+/// sharing is safe precisely because published buckets are frozen.
+#[derive(Debug)]
+pub struct GroupSnapshot {
+    epoch: u64,
+    /// Per-bucket root slots: `roots[id >> BUCKET_BITS][id & (BUCKET_SIZE
+    /// - 1)]` is the record's group id, or [`NO_ROOT`] when not live.
+    roots: Vec<Arc<Vec<u32>>>,
+    groups: Vec<Arc<GroupBucket>>,
+    stats: EngineStats,
+}
+
+fn bucket_of(id: u32) -> usize {
+    (id >> BUCKET_BITS) as usize
+}
+
+fn empty_roots() -> Arc<Vec<u32>> {
+    Arc::new(vec![NO_ROOT; BUCKET_SIZE])
+}
+
+impl GroupSnapshot {
+    /// The empty snapshot at epoch 0 (a fresh engine before any batch).
+    pub fn empty(stats: EngineStats) -> Self {
+        GroupSnapshot {
+            epoch: 0,
+            roots: Vec::new(),
+            groups: Vec::new(),
+            stats,
+        }
+    }
+
+    /// Build a snapshot of the whole `index` from scratch (engine resume
+    /// from a persisted state). `stats`' group counters are overwritten
+    /// with the snapshot's own aggregation.
+    pub fn rebuild_full(
+        index: &GroupIndex,
+        epoch: u64,
+        stats: EngineStats,
+        num_ids: usize,
+    ) -> Self {
+        let num_buckets = num_ids.div_ceil(BUCKET_SIZE);
+        let mut roots: Vec<Vec<u32>> = vec![vec![NO_ROOT; BUCKET_SIZE]; num_buckets];
+        let mut groups: Vec<GroupBucket> = Vec::with_capacity(num_buckets);
+        groups.resize_with(num_buckets, GroupBucket::default);
+        for (root, members) in index.iter() {
+            let shared = Arc::new(members.clone());
+            for member in shared.iter() {
+                roots[bucket_of(member.0)][member.0 as usize & (BUCKET_SIZE - 1)] = root;
+            }
+            let bucket = &mut groups[bucket_of(root)];
+            bucket.largest = bucket.largest.max(shared.len());
+            bucket.members.insert(root, shared);
+        }
+        let mut snapshot = GroupSnapshot {
+            epoch,
+            roots: roots.into_iter().map(Arc::new).collect(),
+            groups: groups.into_iter().map(Arc::new).collect(),
+            stats,
+        };
+        snapshot.refresh_group_stats();
+        snapshot
+    }
+
+    /// Derive the next epoch's snapshot from this one plus one batch's
+    /// affected closure (the ids whose group assignment may have changed
+    /// — [`UpsertOutcome::changed_nodes`]' closure as computed by the
+    /// group-index update). Only buckets containing affected ids are
+    /// rebuilt; every other bucket is shared with `self`. Returns the new
+    /// snapshot and the number of buckets rebuilt.
+    ///
+    /// `stats`' group counters are overwritten with the snapshot's own
+    /// aggregation.
+    ///
+    /// [`UpsertOutcome::changed_nodes`]: crate::incremental::UpsertOutcome::changed_nodes
+    pub fn advance(
+        &self,
+        index: &GroupIndex,
+        affected: &[u32],
+        stats: EngineStats,
+        num_ids: usize,
+    ) -> (Self, usize) {
+        let num_buckets = num_ids.div_ceil(BUCKET_SIZE).max(self.roots.len());
+        let mut roots = self.roots.clone();
+        let mut groups = self.groups.clone();
+        roots.resize_with(num_buckets, empty_roots);
+        groups.resize_with(num_buckets, || Arc::new(GroupBucket::default()));
+
+        // Group the affected ids by bucket; each dirty bucket is rebuilt
+        // once, by patching a copy of its previous storage.
+        let mut dirty: FxHashMap<usize, Vec<u32>> = FxHashMap::default();
+        for &id in affected {
+            dirty.entry(bucket_of(id)).or_default().push(id);
+        }
+        let buckets_rebuilt = dirty.len();
+        for (bucket, ids) in dirty {
+            let mut slots = roots[bucket].as_ref().clone();
+            let mut group_bucket = GroupBucket {
+                members: groups[bucket].members.clone(),
+                largest: groups[bucket].largest,
+            };
+            for &id in &ids {
+                slots[id as usize & (BUCKET_SIZE - 1)] = index.root_of_raw(id).unwrap_or(NO_ROOT);
+                // An affected id is also a potential group root: its group
+                // entry here is stale either way.
+                match index.members_of_root(id) {
+                    Some(members) => {
+                        group_bucket.members.insert(id, Arc::new(members.clone()));
+                    }
+                    None => {
+                        group_bucket.members.remove(&id);
+                    }
+                }
+            }
+            group_bucket.recompute_largest();
+            roots[bucket] = Arc::new(slots);
+            groups[bucket] = Arc::new(group_bucket);
+        }
+
+        let mut next = GroupSnapshot {
+            epoch: self.epoch + 1,
+            roots,
+            groups,
+            stats,
+        };
+        next.refresh_group_stats();
+        (next, buckets_rebuilt)
+    }
+
+    fn refresh_group_stats(&mut self) {
+        self.stats.num_groups = self.groups.iter().map(|bucket| bucket.members.len()).sum();
+        self.stats.largest_group = self
+            .groups
+            .iter()
+            .map(|bucket| bucket.largest)
+            .max()
+            .unwrap_or(0);
+    }
+
+    /// The epoch this snapshot was published at (0 = pre-first-batch).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Group id of a record (`None` when the id is not live in this
+    /// epoch).
+    pub fn group_of(&self, id: RecordId) -> Option<RecordId> {
+        let slot = *self
+            .roots
+            .get(bucket_of(id.0))?
+            .get(id.0 as usize & (BUCKET_SIZE - 1))?;
+        (slot != NO_ROOT).then_some(RecordId(slot))
+    }
+
+    /// Sorted members of a group (`None` when `group` is not a group id
+    /// in this epoch).
+    pub fn group_members(&self, group: RecordId) -> Option<&[RecordId]> {
+        self.groups
+            .get(bucket_of(group.0))?
+            .members
+            .get(&group.0)
+            .map(|members| members.as_slice())
+    }
+
+    /// Aggregate engine counters as of this epoch (group counters
+    /// recomputed from the snapshot itself).
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Number of groups in this epoch.
+    pub fn num_groups(&self) -> usize {
+        self.stats.num_groups
+    }
+
+    /// All groups, largest first (ties by ascending group id) — same
+    /// ordering contract as the live index's `groups()`.
+    pub fn groups(&self) -> Vec<Vec<RecordId>> {
+        let mut all: Vec<(u32, &Arc<Vec<RecordId>>)> = self
+            .groups
+            .iter()
+            .flat_map(|bucket| {
+                bucket
+                    .members
+                    .iter()
+                    .map(|(&root, members)| (root, members))
+            })
+            .collect();
+        all.sort_unstable_by_key(|(root, members)| (usize::MAX - members.len(), *root));
+        all.into_iter()
+            .map(|(_, members)| members.as_ref().clone())
+            .collect()
+    }
+
+    /// True when `other` physically shares this snapshot's storage for
+    /// the bucket containing `id` (test hook for the sharing guarantee).
+    pub fn shares_bucket_with(&self, other: &GroupSnapshot, id: RecordId) -> bool {
+        let bucket = bucket_of(id.0);
+        match (self.roots.get(bucket), other.roots.get(bucket)) {
+            (Some(mine), Some(theirs)) => {
+                Arc::ptr_eq(mine, theirs)
+                    && Arc::ptr_eq(&self.groups[bucket], &other.groups[bucket])
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index_of(groups: &[&[u32]]) -> GroupIndex {
+        let mut index = GroupIndex::default();
+        for group in groups {
+            index.insert_group(group.iter().map(|&id| RecordId(id)).collect());
+        }
+        index
+    }
+
+    fn sorted_groups(snapshot: &GroupSnapshot) -> Vec<Vec<RecordId>> {
+        let mut groups = snapshot.groups();
+        groups.sort();
+        groups
+    }
+
+    #[test]
+    fn full_rebuild_serves_the_index_exactly() {
+        let index = index_of(&[&[0, 1, 7], &[2048, 2049], &[5000]]);
+        let snapshot = GroupSnapshot::rebuild_full(&index, 3, EngineStats::default(), 5001);
+        assert_eq!(snapshot.epoch(), 3);
+        assert_eq!(snapshot.num_groups(), 3);
+        assert_eq!(snapshot.stats().largest_group, 3);
+        assert_eq!(snapshot.group_of(RecordId(7)), Some(RecordId(0)));
+        assert_eq!(snapshot.group_of(RecordId(2049)), Some(RecordId(2048)));
+        assert_eq!(snapshot.group_of(RecordId(5000)), Some(RecordId(5000)));
+        // Not live / out of space.
+        assert_eq!(snapshot.group_of(RecordId(3)), None);
+        assert_eq!(snapshot.group_of(RecordId(1 << 20)), None);
+        assert_eq!(
+            snapshot.group_members(RecordId(0)).unwrap(),
+            &[RecordId(0), RecordId(1), RecordId(7)]
+        );
+        // A member id is not a group id.
+        assert_eq!(snapshot.group_members(RecordId(1)), None);
+        let mut from_index = index.groups();
+        from_index.sort();
+        assert_eq!(sorted_groups(&snapshot), from_index);
+    }
+
+    #[test]
+    fn advance_matches_full_rebuild_and_shares_untouched_buckets() {
+        let before = index_of(&[&[0, 1], &[2048], &[5000, 5001]]);
+        let old = GroupSnapshot::rebuild_full(&before, 0, EngineStats::default(), 5002);
+
+        // One batch grows the group at 2048 and rewires 5000..=5002; the
+        // bucket holding ids 0..1023 is untouched.
+        let after = index_of(&[&[0, 1], &[2048, 2049], &[5000], &[5001, 5002]]);
+        let affected = [2048, 2049, 5000, 5001, 5002];
+        let (new, buckets_rebuilt) = old.advance(&after, &affected, EngineStats::default(), 5003);
+
+        assert_eq!(new.epoch(), 1);
+        assert_eq!(buckets_rebuilt, 2, "ids 2048/2049 and 5000..5002");
+        let full = GroupSnapshot::rebuild_full(&after, 1, EngineStats::default(), 5003);
+        assert_eq!(sorted_groups(&new), sorted_groups(&full));
+        assert_eq!(new.stats().num_groups, full.stats().num_groups);
+        assert_eq!(new.stats().largest_group, full.stats().largest_group);
+
+        // The untouched bucket physically shares storage with the old
+        // epoch; rebuilt buckets do not.
+        assert!(new.shares_bucket_with(&old, RecordId(0)));
+        assert!(!new.shares_bucket_with(&old, RecordId(2048)));
+        assert!(!new.shares_bucket_with(&old, RecordId(5000)));
+        // The old epoch still answers from its own frozen state.
+        assert_eq!(old.group_of(RecordId(2049)), None);
+        assert_eq!(new.group_of(RecordId(2049)), Some(RecordId(2048)));
+    }
+
+    #[test]
+    fn advance_handles_deletes_and_id_space_growth() {
+        let before = index_of(&[&[0, 1], &[10, 11]]);
+        let old = GroupSnapshot::rebuild_full(&before, 0, EngineStats::default(), 12);
+        // Delete the group at 10 and insert a record in a new bucket.
+        let after = index_of(&[&[0, 1], &[9000]]);
+        let (new, _) = old.advance(&after, &[10, 11, 9000], EngineStats::default(), 9001);
+        assert_eq!(new.group_of(RecordId(10)), None);
+        assert_eq!(new.group_members(RecordId(10)), None);
+        assert_eq!(new.group_of(RecordId(9000)), Some(RecordId(9000)));
+        assert_eq!(new.num_groups(), 2);
+        // Chained advances stay equivalent to a fresh full rebuild.
+        let final_index = index_of(&[&[0, 1, 9000]]);
+        let (newer, _) = new.advance(&final_index, &[0, 1, 9000], EngineStats::default(), 9001);
+        let full = GroupSnapshot::rebuild_full(&final_index, 2, EngineStats::default(), 9001);
+        assert_eq!(sorted_groups(&newer), sorted_groups(&full));
+        assert_eq!(newer.epoch(), 2);
+    }
+
+    #[test]
+    fn empty_snapshot_answers_nothing() {
+        let snapshot = GroupSnapshot::empty(EngineStats::default());
+        assert_eq!(snapshot.epoch(), 0);
+        assert_eq!(snapshot.group_of(RecordId(0)), None);
+        assert_eq!(snapshot.group_members(RecordId(0)), None);
+        assert_eq!(snapshot.num_groups(), 0);
+        assert!(snapshot.groups().is_empty());
+    }
+}

@@ -1,0 +1,258 @@
+//! Fixed-bucket log-linear latency histogram.
+//!
+//! Latency distributions span many orders of magnitude (a cached lookup
+//! is hundreds of nanoseconds; a lookup racing a snapshot refresh can be
+//! tens of microseconds; a batch apply is milliseconds), so linear
+//! buckets either blow up in count or lose all tail resolution.
+//! [`LatencyHistogram`] buckets by the value's binary octave, with each
+//! octave split into `SUB_BUCKETS` linear sub-buckets — relative
+//! quantile error is bounded by `1 / SUB_BUCKETS` (12.5%) at every
+//! scale, and the whole histogram is a flat array of 512 counters that
+//! records in a handful of instructions with no allocation.
+//!
+//! Histograms from independent threads [`merge`](LatencyHistogram::merge)
+//! by adding counters, so closed-loop load generators can keep one
+//! histogram per client thread and combine at the end.
+
+/// Linear sub-buckets per binary octave (power of two).
+const SUB_BUCKETS: u64 = 8;
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
+/// Bucket count covering the full `u64` range: `2 * SUB_BUCKETS` exact
+/// buckets plus `SUB_BUCKETS` per octave above them.
+const NUM_BUCKETS: usize = ((64 - SUB_BITS as u64 + 1) << SUB_BITS) as usize;
+
+/// A mergeable log-linear histogram of `u64` samples (by convention,
+/// nanoseconds). See the [module docs](self) for the bucketing scheme.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; NUM_BUCKETS],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        // Values below 2 * SUB_BUCKETS index their own exact bucket;
+        // above that each binary octave splits into SUB_BUCKETS linear
+        // sub-buckets keyed by the top SUB_BITS mantissa bits, packed
+        // contiguously after the exact range.
+        if value < 2 * SUB_BUCKETS {
+            return value as usize;
+        }
+        let octave = 63 - value.leading_zeros();
+        let sub = (value >> (octave - SUB_BITS)) & (SUB_BUCKETS - 1);
+        ((u64::from(octave) - u64::from(SUB_BITS) + 1) << SUB_BITS | sub) as usize
+    }
+
+    /// Upper bound (inclusive) of the values mapped to `bucket` — the
+    /// value reported for any quantile landing in it.
+    fn bucket_upper(bucket: usize) -> u64 {
+        let bucket = bucket as u64;
+        if bucket < 2 * SUB_BUCKETS {
+            return bucket;
+        }
+        let octave = ((bucket >> SUB_BITS) + u64::from(SUB_BITS) - 1) as u32;
+        let sub = bucket & (SUB_BUCKETS - 1);
+        let step = 1u64 << (octave - SUB_BITS);
+        // `base - 1 + width` instead of `base + width - 1`: the very last
+        // bucket's bound is exactly u64::MAX and must not overflow.
+        (1u64 << octave) - 1 + (sub + 1) * step
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.total += 1;
+        self.sum += u128::from(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Record a duration as nanoseconds (saturating past ~584 years).
+    pub fn record_duration(&mut self, duration: std::time::Duration) {
+        self.record(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Fold another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (upper bound of the bucket
+    /// holding the q-th sample; within 12.5% of the true sample). 0 when
+    /// empty.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (bucket, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                // Never report past the true max (the last bucket's upper
+                // bound can overshoot it by up to 12.5%).
+                return Self::bucket_upper(bucket).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median sample.
+    pub fn p50(&self) -> u64 {
+        self.value_at_quantile(0.50)
+    }
+
+    /// 99th-percentile sample.
+    pub fn p99(&self) -> u64 {
+        self.value_at_quantile(0.99)
+    }
+
+    /// 99.9th-percentile sample.
+    pub fn p999(&self) -> u64 {
+        self.value_at_quantile(0.999)
+    }
+
+    /// One-line summary with nanosecond quantiles, for log/trace output.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} mean={:.0}ns p50={}ns p99={}ns p999={}ns max={}ns",
+            self.total,
+            self.mean(),
+            self.p50(),
+            self.p99(),
+            self.p999(),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_round_trip_bounds() {
+        // Every value must land in a bucket whose range contains it.
+        for value in (0..4096u64).chain([1 << 20, (1 << 20) + 12_345, u64::MAX / 2, u64::MAX - 1]) {
+            let bucket = LatencyHistogram::bucket_of(value);
+            assert!(
+                LatencyHistogram::bucket_upper(bucket) >= value,
+                "value {value} above upper bound of its bucket {bucket}"
+            );
+            if bucket > 0 {
+                assert!(
+                    LatencyHistogram::bucket_upper(bucket - 1) < value,
+                    "value {value} not above previous bucket {bucket}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p999(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_within_relative_error() {
+        let mut h = LatencyHistogram::new();
+        for value in 1..=100_000u64 {
+            h.record(value);
+        }
+        assert_eq!(h.count(), 100_000);
+        assert_eq!(h.max(), 100_000);
+        for (q, exact) in [(0.50, 50_000u64), (0.99, 99_000), (0.999, 99_900)] {
+            let got = h.value_at_quantile(q);
+            let err = got.abs_diff(exact) as f64 / exact as f64;
+            assert!(err <= 0.125, "q={q}: got {got}, exact {exact}, err {err}");
+        }
+        // Never beyond the recorded max.
+        assert!(h.value_at_quantile(1.0) <= h.max());
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let samples_a = [3u64, 17, 1_000, 250_000, 9];
+        let samples_b = [1u64, 1 << 30, 42];
+        let mut merged = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for &s in &samples_a {
+            merged.record(s);
+            all.record(s);
+        }
+        for &s in &samples_b {
+            b.record(s);
+            all.record(s);
+        }
+        merged.merge(&b);
+        assert_eq!(merged.count(), all.count());
+        assert_eq!(merged.max(), all.max());
+        assert_eq!(merged.mean(), all.mean());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(merged.value_at_quantile(q), all.value_at_quantile(q));
+        }
+    }
+
+    #[test]
+    fn skewed_distribution_tail() {
+        // 996 fast samples and 4 slow ones: p999 must land in the outlier
+        // region while p50 stays fast.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..996 {
+            h.record(100);
+        }
+        for _ in 0..4 {
+            h.record(1_000_000);
+        }
+        assert!(h.p50() <= 112); // 100 within 12.5%
+        assert!(h.p999() >= 875_000); // the outliers within 12.5%
+        let s = h.summary();
+        assert!(s.contains("n=1000"), "{s}");
+    }
+}

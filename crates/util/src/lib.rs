@@ -13,21 +13,29 @@
 //!   [`ToJson`]/[`FromJson`] conversion traits,
 //! * [`parallel`] — the shared batched [`WorkerPool`] (work-stealing over
 //!   fixed chunks) used by every parallel pipeline step,
+//! * [`epoch`] — single-writer/many-reader epoch publication
+//!   ([`Published`]/[`PublishedReader`]) for snapshot serving,
+//! * [`histogram`] — a mergeable log-linear [`LatencyHistogram`] with
+//!   p50/p99/p999 extraction for latency benches,
 //! * [`timer`] — a stopwatch for the timing columns of the paper's tables,
 //! * [`mem`] — resident-set probe for per-stage memory diagnostics,
 //! * [`error`] — the shared error type.
 
 pub mod csv;
+pub mod epoch;
 pub mod error;
 pub mod hash;
+pub mod histogram;
 pub mod json;
 pub mod mem;
 pub mod parallel;
 pub mod rng;
 pub mod timer;
 
+pub use epoch::{Published, PublishedReader};
 pub use error::{Error, Result};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use histogram::LatencyHistogram;
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use mem::current_rss_bytes;
 pub use parallel::{Parallelism, WorkerPool, DEFAULT_CHUNK_SIZE, SEQUENTIAL_CUTOFF};

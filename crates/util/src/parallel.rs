@@ -130,6 +130,34 @@ impl WorkerPool {
         self.filter_map_init(items, init, move |state, item| Some(f(state, item)))
     }
 
+    /// Run `f(worker_index)` once on each of the pool's workers
+    /// concurrently and collect the results in worker order.
+    ///
+    /// Where [`WorkerPool::map`] splits one input across workers,
+    /// `broadcast` gives every worker the *same* long-running job — the
+    /// shape of serving threads and closed-loop load clients, where each
+    /// worker owns a loop over shared state rather than a slice of items.
+    /// With a single worker the closure runs on the calling thread.
+    pub fn broadcast<U, F>(&self, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        if self.workers == 1 {
+            return vec![f(0)];
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.workers)
+                .map(|index| scope.spawn(move || f(index)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("broadcast worker panicked"))
+                .collect()
+        })
+    }
+
     /// [`WorkerPool::map_init`] with a pool-side filter: items mapped to
     /// `None` never allocate an output slot — workers drop them inside
     /// their chunks instead of materializing a full-width intermediate
@@ -311,6 +339,25 @@ mod tests {
             },
         );
         assert_eq!(out.last(), Some(&(9, 10)));
+    }
+
+    #[test]
+    fn broadcast_runs_every_worker_once() {
+        let pool = WorkerPool::new(4);
+        let mut out = pool.broadcast(|index| index * 10);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 10, 20, 30]);
+        // Single-worker pools run inline.
+        assert_eq!(WorkerPool::new(1).broadcast(|index| index + 7), vec![7]);
+    }
+
+    #[test]
+    fn broadcast_workers_share_state() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        let pool = WorkerPool::new(3);
+        pool.broadcast(|_| counter.fetch_add(1, Ordering::Relaxed));
+        assert_eq!(counter.load(Ordering::Relaxed), 3);
     }
 
     #[test]

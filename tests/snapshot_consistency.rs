@@ -1,0 +1,216 @@
+//! Property test: concurrent readers never observe a half-applied batch.
+//!
+//! A writer drives a `MatchEngine` through a seeded sequence of
+//! delete-bearing churn batches while reader threads hammer the published
+//! [`GroupSnapshot`](gralmatch::core::GroupSnapshot) through their own
+//! [`PublishedReader`]s. The oracle is a second engine replaying the
+//! *same* batch sequence up front, recording the exact normalized groups
+//! at every epoch. Every snapshot a racing reader loads must then:
+//!
+//! * carry a monotonically non-decreasing epoch,
+//! * match the oracle's groups for that epoch **exactly** — i.e. it is
+//!   the pre-batch state or the post-batch state of some batch, never a
+//!   blend, and
+//! * be internally consistent: every member of every group maps back to
+//!   that group via `group_of`, and the group's root answers `members`
+//!   with the same member list.
+
+use gralmatch::core::{
+    churn_window, FixedScorerProvider, MatchEngine, MatchingDomain, OracleScorer, PipelineConfig,
+    SecurityDomain, ShardPlan, UpsertBatch,
+};
+use gralmatch::datagen::{generate, FinancialDataset, GenerationConfig};
+use gralmatch::records::{Record, RecordId, SecurityRecord};
+use gralmatch::util::{FxHashMap, PublishedReader};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+const READERS: usize = 3;
+
+fn dataset(seed: u64) -> FinancialDataset {
+    let mut config = GenerationConfig::synthetic_full();
+    config.num_entities = 60;
+    config.seed = seed;
+    generate(&config).unwrap()
+}
+
+fn company_groups(data: &FinancialDataset) -> FxHashMap<RecordId, u32> {
+    data.companies
+        .records()
+        .iter()
+        .map(|company| (company.id, company.entity.unwrap().0))
+        .collect()
+}
+
+/// Order-insensitive normal form: sorted members, groups sorted.
+fn normalize(groups: &[Vec<RecordId>]) -> Vec<Vec<RecordId>> {
+    let mut out: Vec<Vec<RecordId>> = groups
+        .iter()
+        .map(|group| {
+            let mut g = group.clone();
+            g.sort_unstable();
+            g
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// The deterministic batch sequence both engines replay: inserts over the
+/// held-out remainder with delete/re-insert churn woven through (batch
+/// `j` deletes a small window of loaded records, batch `j + 1` restores
+/// it), ending back at the full population.
+fn batch_sequence(
+    records: &[SecurityRecord],
+    initial: usize,
+    k: usize,
+) -> Vec<UpsertBatch<SecurityRecord>> {
+    let remainder = &records[initial..];
+    let chunk = remainder.len().div_ceil(k).max(1);
+    let mut batches = Vec::new();
+    let mut pending: Vec<SecurityRecord> = Vec::new();
+    for (j, slice) in remainder.chunks(chunk).enumerate() {
+        let churn: Vec<SecurityRecord> = records[churn_window(initial, j, 4)]
+            .iter()
+            .filter(|record| !pending.iter().any(|p| p.id == record.id))
+            .cloned()
+            .collect();
+        batches.push(UpsertBatch {
+            inserts: slice.iter().cloned().chain(pending.drain(..)).collect(),
+            updates: Vec::new(),
+            deletes: churn.iter().map(|record| record.id()).collect(),
+        });
+        pending = churn;
+    }
+    if !pending.is_empty() {
+        batches.push(UpsertBatch::inserting(pending));
+    }
+    batches
+}
+
+/// One reader's pass over a loaded snapshot: exact oracle match plus
+/// internal `group_of` ↔ `members` agreement.
+fn check_snapshot(
+    snapshot: &gralmatch::core::GroupSnapshot,
+    oracle: &FxHashMap<u64, Vec<Vec<RecordId>>>,
+) {
+    let epoch = snapshot.epoch();
+    let expected = oracle
+        .get(&epoch)
+        .unwrap_or_else(|| panic!("reader loaded unknown epoch {epoch}"));
+    let groups = normalize(&snapshot.groups());
+    assert_eq!(
+        &groups, expected,
+        "epoch {epoch} snapshot diverged from the oracle replay"
+    );
+    for group in &groups {
+        // Roots are the smallest member of their group.
+        let root = *group.first().expect("snapshot groups are non-empty");
+        let mut members = snapshot
+            .group_members(root)
+            .unwrap_or_else(|| panic!("epoch {epoch}: group {root:?} lost its member list"))
+            .to_vec();
+        members.sort_unstable();
+        assert_eq!(&members, group, "epoch {epoch}: members({root:?}) disagree");
+        for &id in group {
+            assert_eq!(
+                snapshot.group_of(id),
+                Some(root),
+                "epoch {epoch}: member {id:?} does not map back to its group"
+            );
+        }
+    }
+}
+
+#[test]
+fn racing_readers_observe_only_oracle_epochs() {
+    let data = dataset(77);
+    let securities = data.securities.records();
+    let group_of = company_groups(&data);
+    let domain = SecurityDomain::new(securities, &group_of);
+    let gt = domain.ground_truth().clone();
+    let scorer = OracleScorer::new(&gt);
+    let config = PipelineConfig::new(25, 5);
+    let plan = ShardPlan::new(2);
+    let initial = securities.len() * 3 / 5;
+    let batches = batch_sequence(securities, initial, 6);
+    assert!(
+        batches.iter().any(|batch| !batch.deletes.is_empty()),
+        "the sequence must bear deletes to exercise retraction"
+    );
+
+    // Oracle replay: the exact groups at every epoch.
+    let mut oracle: FxHashMap<u64, Vec<Vec<RecordId>>> = FxHashMap::default();
+    {
+        let (mut engine, outcome) = MatchEngine::bootstrap(
+            plan,
+            securities[..initial].to_vec(),
+            domain.blocking_strategies(),
+            Box::new(FixedScorerProvider(&scorer)),
+            config.clone(),
+        )
+        .expect("oracle bootstrap");
+        oracle.insert(outcome.epoch, normalize(&engine.groups()));
+        for batch in &batches {
+            let outcome = engine.apply_batch(batch).expect("oracle batch applies");
+            oracle.insert(outcome.epoch, normalize(&engine.groups()));
+        }
+    }
+    let final_epoch = batches.len() as u64 + 1;
+    assert!(oracle.contains_key(&1) && oracle.contains_key(&final_epoch));
+
+    // Live run: readers race the writer through the same sequence.
+    let (mut engine, _) = MatchEngine::bootstrap(
+        plan,
+        securities[..initial].to_vec(),
+        domain.blocking_strategies(),
+        Box::new(FixedScorerProvider(&scorer)),
+        config.clone(),
+    )
+    .expect("live bootstrap");
+    let source = engine.snapshot_source();
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..READERS)
+            .map(|_| {
+                let source = source.clone();
+                let (stop, oracle) = (&stop, &oracle);
+                scope.spawn(move || {
+                    let mut reader = PublishedReader::new(source);
+                    let mut last_epoch = 0;
+                    let mut checks: u64 = 0;
+                    loop {
+                        // Read the stop flag *before* loading: seeing it
+                        // set guarantees the final publish is visible, so
+                        // the loop always ends on the final epoch.
+                        let done = stop.load(Ordering::Acquire);
+                        let snapshot = reader.current();
+                        assert!(
+                            snapshot.epoch() >= last_epoch,
+                            "epoch regressed: {last_epoch} -> {}",
+                            snapshot.epoch()
+                        );
+                        last_epoch = snapshot.epoch();
+                        check_snapshot(snapshot, oracle);
+                        checks += 1;
+                        if done && last_epoch == final_epoch {
+                            return checks;
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        for batch in &batches {
+            engine.apply_batch(batch).expect("live batch applies");
+        }
+        stop.store(true, Ordering::Release);
+
+        for handle in handles {
+            let checks = handle.join().expect("reader panicked");
+            assert!(checks > 0, "reader never checked a snapshot");
+        }
+    });
+    assert_eq!(engine.snapshot().epoch(), final_epoch);
+    assert_eq!(engine.stats().num_live, securities.len());
+}

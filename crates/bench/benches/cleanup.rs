@@ -61,7 +61,7 @@ fn bench_cleanup(c: &mut Criterion) {
     group.bench_function("pre_cleanup_hairball", |b| {
         b.iter_batched(
             || noisy_prediction_graph(200, 300),
-            |mut graph| black_box(pre_cleanup(&mut graph, 50, |_| true)),
+            |mut graph| black_box(pre_cleanup(&mut graph, 50, |_, _| true)),
             criterion::BatchSize::SmallInput,
         );
     });

@@ -47,6 +47,19 @@ pub fn stage_trace_json(stage: &gralmatch_core::StageTrace) -> gralmatch_util::J
     if let Some(bytes) = stage.arena_bytes {
         fields.push(("arena_bytes".to_string(), bytes.to_json()));
     }
+    // Cleanup-bearing stages expose their per-phase wall-clock split. The
+    // perf gate ignores nested objects inside a stage, so adding this is
+    // shape-safe for existing baselines.
+    if let Some(phases) = stage.phases {
+        fields.push((
+            "phases".to_string(),
+            gralmatch_util::Json::obj([
+                ("pre_cleanup_seconds", phases.pre_cleanup_seconds.to_json()),
+                ("mincut_seconds", phases.mincut_seconds.to_json()),
+                ("betweenness_seconds", phases.betweenness_seconds.to_json()),
+            ]),
+        ));
+    }
     gralmatch_util::Json::Obj(fields)
 }
 

@@ -120,6 +120,22 @@ pub fn stage_totals(report: &Json) -> Result<Vec<(String, f64)>, String> {
         }
         Some(_) => return Err("loadgen section is not an object".into()),
     }
+    // Optional hub-cleanup aggregates merged in by the hubbench binary
+    // (`--merge-into`). Same contract as `loadgen`: every value is seconds
+    // with bigger = worse; speedups and counts live in the ungated
+    // `cleanup_info` section.
+    match report.get("cleanup") {
+        None => {}
+        Some(Json::Obj(fields)) => {
+            for (label, value) in fields {
+                let seconds = value
+                    .as_f64()
+                    .ok_or_else(|| format!("cleanup `{label}` is not a number"))?;
+                add(format!("cleanup:{label}"), seconds);
+            }
+        }
+        Some(_) => return Err("cleanup section is not an object".into()),
+    }
     Ok(totals)
 }
 
@@ -366,6 +382,42 @@ mod tests {
 
         // Dropping the loadgen section is a shape error, and reports
         // without it on either side still compare fine.
+        let without = report(&[&[("blocking", 1.0)]]);
+        assert!(compare(&baseline, &without, &GateConfig::default()).is_err());
+        assert!(compare(&without, &without, &GateConfig::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn cleanup_section_gates_like_a_stage() {
+        let with_cleanup = |bootstrap: f64, churn: f64| {
+            let mut base = report(&[&[("blocking", 1.0)]]);
+            if let Json::Obj(fields) = &mut base {
+                fields.push((
+                    "cleanup".to_string(),
+                    Json::obj([
+                        ("hub_bootstrap_s", bootstrap.to_json()),
+                        ("hub_churn_s", churn.to_json()),
+                    ]),
+                ));
+            }
+            base
+        };
+        let baseline = with_cleanup(0.5, 0.2);
+        let totals = stage_totals(&baseline).unwrap();
+        assert!(totals.contains(&("cleanup:hub_bootstrap_s".to_string(), 0.5)));
+        assert!(totals.contains(&("cleanup:hub_churn_s".to_string(), 0.2)));
+
+        // A regression to sequential full-recompute cleanup (large
+        // bootstrap blowup) fails the gate.
+        let fallback = with_cleanup(5.0, 0.2);
+        let regressions = compare(&baseline, &fallback, &GateConfig::default()).unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].stage, "cleanup:hub_bootstrap_s");
+
+        // Dropping the section is a shape error; absent on both sides is
+        // fine.
         let without = report(&[&[("blocking", 1.0)]]);
         assert!(compare(&baseline, &without, &GateConfig::default()).is_err());
         assert!(compare(&without, &without, &GateConfig::default())

@@ -21,12 +21,30 @@
 //! cheaper min-cut phase to the more conservative betweenness phase. The
 //! sensitivity variants of Table 4 — MEC-only (γ = μ), BC-only (γ = ∞), ½γ —
 //! are expressed through [`CleanupConfig::variant`].
+//!
+//! ## Scaling
+//!
+//! Connected components are independent under edge *removal*, so the
+//! cleanup decomposes perfectly: [`graph_cleanup_with_pool`] fans dirty
+//! components out across a [`WorkerPool`] and applies each component's
+//! removed edges back into the global graph in a deterministic order
+//! (components sorted by minimum node id, removals in per-component
+//! discovery order). Within a component, the per-component worker keeps one
+//! mutable scratch graph for the whole lineage of splits — removals mutate
+//! it in place and the split sides are tracked directly from the cut, so a
+//! round costs O(region) instead of O(component) and nothing is re-induced
+//! from the global graph after the first copy. Oversized regions are first
+//! attacked with [`most_balanced_bridge`] (a bridge is a weight-1 min cut,
+//! found in O(V+E)) and only fall back to Stoer–Wagner / max-flow
+//! [`global_min_cut`] when the region is 2-edge-connected. The seed
+//! implementation survives as [`reference_graph_cleanup`] for benchmarking
+//! and fallback-injection tests.
 
 use gralmatch_graph::{
-    betweenness::max_betweenness_edge, connected_components, global_min_cut, Graph, Subgraph,
+    betweenness::max_betweenness_edge, component_of, connected_components, global_min_cut,
+    most_balanced_bridge, Edge, Graph, Subgraph,
 };
-use gralmatch_records::RecordPair;
-use gralmatch_util::Stopwatch;
+use gralmatch_util::{Stopwatch, WorkerPool};
 
 /// Thresholds for Algorithm 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,60 +109,271 @@ pub struct CleanupReport {
     pub mincut_removed: usize,
     /// Edges removed by betweenness (phase 2).
     pub betweenness_removed: usize,
-    /// Min-cut invocations.
+    /// Min-cut invocations (bridge or Stoer–Wagner).
     pub mincut_rounds: usize,
     /// Betweenness invocations.
     pub betweenness_rounds: usize,
-    /// Wall-clock seconds of the whole cleanup.
+    /// Wall-clock seconds of the whole cleanup (pre-cleanup + both phases).
     pub seconds: f64,
+    /// Wall-clock seconds spent in pre-cleanup.
+    pub pre_cleanup_seconds: f64,
+    /// Wall-clock seconds spent in the min-cut phase (summed across
+    /// components, so under a parallel pool this can exceed `seconds`).
+    pub mincut_seconds: f64,
+    /// Wall-clock seconds spent in the betweenness phase (summed across
+    /// components).
+    pub betweenness_seconds: f64,
+}
+
+impl CleanupReport {
+    /// Fold another report into this one: counters and per-phase seconds
+    /// all add. Used to combine per-component outcomes and to accumulate
+    /// per-shard / per-batch reports into run totals.
+    pub fn merge(&mut self, other: &CleanupReport) {
+        self.pre_cleanup_removed += other.pre_cleanup_removed;
+        self.mincut_removed += other.mincut_removed;
+        self.betweenness_removed += other.betweenness_removed;
+        self.mincut_rounds += other.mincut_rounds;
+        self.betweenness_rounds += other.betweenness_rounds;
+        self.seconds += other.seconds;
+        self.pre_cleanup_seconds += other.pre_cleanup_seconds;
+        self.mincut_seconds += other.mincut_seconds;
+        self.betweenness_seconds += other.betweenness_seconds;
+    }
+
+    /// The per-phase timing split, in the shape trace consumers expect.
+    pub fn phases(&self) -> crate::trace::CleanupPhases {
+        crate::trace::CleanupPhases {
+            pre_cleanup_seconds: self.pre_cleanup_seconds,
+            mincut_seconds: self.mincut_seconds,
+            betweenness_seconds: self.betweenness_seconds,
+        }
+    }
 }
 
 /// Remove token-overlap-sourced edges inside oversized components
-/// (Section 4.2.1). `is_removable(pair)` decides whether an edge came from
-/// the Token Overlap blocking (and not from an identifier blocking).
+/// (Section 4.2.1). `is_removable(a, b)` decides whether the edge `(a, b)`
+/// (canonical `a < b`, global record ids) came from the Token Overlap
+/// blocking (and not from an identifier blocking).
+///
+/// Walks the adjacency of each oversized component directly — no induced
+/// subgraph, no per-edge pair construction — so the pass is O(component
+/// edges) with a single batch removal at the end.
 pub fn pre_cleanup(
     graph: &mut Graph,
     threshold: usize,
-    is_removable: impl Fn(RecordPair) -> bool,
+    is_removable: impl Fn(u32, u32) -> bool,
 ) -> usize {
     let components = connected_components(graph);
-    let mut removed = 0;
+    let mut to_remove: Vec<Edge> = Vec::new();
     for component in components {
         if component.len() <= threshold {
             continue;
         }
-        let sub = Subgraph::induce(graph, &component);
-        for &(a, b) in &sub.edges {
-            let pair = RecordPair::new(
-                gralmatch_records::RecordId(sub.locals[a as usize]),
-                gralmatch_records::RecordId(sub.locals[b as usize]),
-            );
-            if is_removable(pair)
-                && graph.remove_edge(sub.locals[a as usize], sub.locals[b as usize])
-            {
-                removed += 1;
+        for &a in &component {
+            for b in graph.neighbors(a) {
+                if a < b && is_removable(a, b) {
+                    to_remove.push(Edge::new(a, b));
+                }
             }
         }
     }
-    removed
+    graph.remove_edges(&to_remove)
 }
 
-/// Run Algorithm 1 in place. Returns a report; the graph's final components
-/// are the output groups.
+/// Everything one component's cleanup decided: the global edges it removed
+/// (in removal order) and its share of the report.
+struct ComponentOutcome {
+    removed: Vec<Edge>,
+    report: CleanupReport,
+}
+
+/// Region ids still to the left of `side` after splitting: `region` minus
+/// `side`, both sorted — one merge walk.
+fn complement_of(region: &[u32], side: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(region.len() - side.len());
+    let mut side_iter = side.iter().peekable();
+    for &node in region {
+        if side_iter.peek() == Some(&&node) {
+            side_iter.next();
+        } else {
+            out.push(node);
+        }
+    }
+    out
+}
+
+/// Run both phases of Algorithm 1 on a single connected component of
+/// `graph`, without mutating it. The component is copied once into a
+/// mutable scratch graph; every subsequent round induces only the region
+/// it is splitting and tracks the split sides directly from the cut, so no
+/// global `connected_components` pass ever runs.
+///
+/// Invariant: the regions in the work queues are exactly the connected
+/// components of the scratch graph that may still exceed a threshold, so
+/// a BFS from inside a region never escapes it.
+fn cleanup_component(graph: &Graph, component: &[u32], config: &CleanupConfig) -> ComponentOutcome {
+    let mut report = CleanupReport::default();
+    let mut removed: Vec<Edge> = Vec::new();
+
+    let phase1_watch = Stopwatch::start();
+    let sub = Subgraph::induce(graph, component);
+    let n = sub.num_nodes();
+    // One mutable scratch graph per component lineage (local ids 0..n).
+    let mut scratch = Graph::with_nodes(n);
+    for &(a, b) in &sub.edges {
+        scratch.add_edge(a, b);
+    }
+
+    // Phase 1: minimum edge cuts while |region| > γ. Bridge-first: a
+    // Tarjan bridge is a weight-1 min cut found in O(V+E); Stoer–Wagner
+    // only runs on 2-edge-connected regions.
+    let mut phase2: Vec<Vec<u32>> = Vec::new();
+    let mut queue: Vec<Vec<u32>> = vec![(0..n as u32).collect()];
+    while let Some(region) = queue.pop() {
+        if region.len() <= config.gamma {
+            if region.len() > config.mu {
+                phase2.push(region);
+            }
+            continue;
+        }
+        let rsub = Subgraph::induce(&scratch, &region);
+        let (cut_edges, side) = match most_balanced_bridge(&rsub) {
+            Some(split) => (vec![split.edge], split.child_side),
+            None => match global_min_cut(&rsub) {
+                Some(cut) => (cut.cut_edges, cut.side),
+                None => {
+                    if region.len() > config.mu {
+                        phase2.push(region);
+                    }
+                    continue;
+                }
+            },
+        };
+        report.mincut_rounds += 1;
+        for &(a, b) in &cut_edges {
+            let (sa, sb) = (rsub.locals[a as usize], rsub.locals[b as usize]);
+            if scratch.remove_edge(sa, sb) {
+                report.mincut_removed += 1;
+                removed.push(Edge::new(sub.locals[sa as usize], sub.locals[sb as usize]));
+            }
+        }
+        // The cut disconnects the region into exactly `side` and its
+        // complement; `region` and `side` are sorted, so mapping the side
+        // through `rsub.locals` (monotone) keeps both parts sorted.
+        let side: Vec<u32> = side.iter().map(|&i| rsub.locals[i as usize]).collect();
+        let other = complement_of(&region, &side);
+        for part in [side, other] {
+            if part.len() > config.gamma {
+                queue.push(part);
+            } else if part.len() > config.mu {
+                phase2.push(part);
+            }
+        }
+    }
+    report.mincut_seconds = phase1_watch.elapsed_secs();
+
+    // Phase 2: betweenness-centrality removal while |region| > μ. After a
+    // removal, one BFS from an endpoint decides connectivity — the region
+    // either survives intact or splits into the BFS side + complement.
+    let phase2_watch = Stopwatch::start();
+    while let Some(region) = phase2.pop() {
+        if region.len() <= config.mu {
+            continue;
+        }
+        let rsub = Subgraph::induce(&scratch, &region);
+        let Some(((a, b), _)) = max_betweenness_edge(&rsub) else {
+            continue;
+        };
+        report.betweenness_rounds += 1;
+        let (sa, sb) = (rsub.locals[a as usize], rsub.locals[b as usize]);
+        if scratch.remove_edge(sa, sb) {
+            report.betweenness_removed += 1;
+            removed.push(Edge::new(sub.locals[sa as usize], sub.locals[sb as usize]));
+        }
+        let side = component_of(&scratch, sa);
+        if side.binary_search(&sb).is_ok() {
+            // Still connected: same region, one edge lighter.
+            phase2.push(region);
+        } else {
+            let other = complement_of(&region, &side);
+            for part in [side, other] {
+                if part.len() > config.mu {
+                    phase2.push(part);
+                }
+            }
+        }
+    }
+    report.betweenness_seconds = phase2_watch.elapsed_secs();
+
+    ComponentOutcome { removed, report }
+}
+
+/// Run Algorithm 1 in place, sequentially. Returns a report; the graph's
+/// final components are the output groups. Equivalent to
+/// [`graph_cleanup_with_pool`] with one worker.
 pub fn graph_cleanup(graph: &mut Graph, config: &CleanupConfig) -> CleanupReport {
+    graph_cleanup_with_pool(graph, config, &WorkerPool::new(1))
+}
+
+/// Run Algorithm 1 in place, cleaning independent oversized components in
+/// parallel on `pool`.
+///
+/// Deterministic regardless of worker count: components are processed in
+/// ascending minimum-node-id order, each component's decisions depend only
+/// on its own induced subgraph, and the pool preserves input order, so the
+/// removed-edge sequence and the report counters are bit-identical to the
+/// sequential run.
+pub fn graph_cleanup_with_pool(
+    graph: &mut Graph,
+    config: &CleanupConfig,
+    pool: &WorkerPool,
+) -> CleanupReport {
     let stopwatch = Stopwatch::start();
     let mut report = CleanupReport::default();
 
-    // Work queue of components that may still exceed thresholds. Removing
-    // edges only ever splits the processed component, so the queue touches
-    // each oversized component lineage locally instead of recomputing global
-    // components every round.
+    let mut components: Vec<Vec<u32>> = connected_components(graph)
+        .into_iter()
+        .filter(|component| component.len() > config.mu.min(config.gamma))
+        .collect();
+    // Deterministic work order: by minimum node id (members are sorted).
+    components.sort_unstable_by_key(|component| component[0]);
+
+    let shared: &Graph = graph;
+    let outcomes = pool.map(&components, |component| {
+        cleanup_component(shared, component, config)
+    });
+    for outcome in &outcomes {
+        for edge in &outcome.removed {
+            graph.remove_edge(edge.a, edge.b);
+        }
+        report.merge(&outcome.report);
+    }
+    // Per-component seconds sum worker time; the headline number is wall.
+    report.seconds = stopwatch.elapsed_secs();
+    report
+}
+
+/// The seed implementation of Algorithm 1: re-induce the whole component
+/// from the global graph and rebuild a fresh local graph after **every**
+/// edge removal, with a full `connected_components` pass per round.
+///
+/// Kept as the wall-clock baseline for the hub bench (`hubbench`) and for
+/// verifying that the perf gate catches a regression to sequential
+/// full-recompute behaviour. Produces the same final components as
+/// [`graph_cleanup`] (all ≤ μ) but may choose different cut edges, so do
+/// not compare removed-edge sets across the two.
+pub fn reference_graph_cleanup(graph: &mut Graph, config: &CleanupConfig) -> CleanupReport {
+    let stopwatch = Stopwatch::start();
+    let mut report = CleanupReport::default();
+
     let mut queue: Vec<Vec<u32>> = connected_components(graph)
         .into_iter()
         .filter(|component| component.len() > config.mu.min(config.gamma))
         .collect();
 
     // Phase 1: minimum edge cuts while |c| > γ.
+    let phase1_watch = Stopwatch::start();
     let mut phase2: Vec<Vec<u32>> = Vec::new();
     while let Some(component) = queue.pop() {
         if component.len() <= config.gamma {
@@ -162,8 +391,6 @@ pub fn graph_cleanup(graph: &mut Graph, config: &CleanupConfig) -> CleanupReport
                 report.mincut_removed += 1;
             }
         }
-        // The component split into exactly the two cut sides (a min cut
-        // disconnects into two parts); recompute locally.
         let local_graph = {
             let mut g = Graph::with_nodes(sub.num_nodes());
             for &(a, b) in &sub.edges {
@@ -181,8 +408,10 @@ pub fn graph_cleanup(graph: &mut Graph, config: &CleanupConfig) -> CleanupReport
             }
         }
     }
+    report.mincut_seconds = phase1_watch.elapsed_secs();
 
     // Phase 2: betweenness-centrality removal while |c| > μ.
+    let phase2_watch = Stopwatch::start();
     while let Some(component) = phase2.pop() {
         if component.len() <= config.mu {
             continue;
@@ -210,6 +439,7 @@ pub fn graph_cleanup(graph: &mut Graph, config: &CleanupConfig) -> CleanupReport
             }
         }
     }
+    report.betweenness_seconds = phase2_watch.elapsed_secs();
 
     report.seconds = stopwatch.elapsed_secs();
     report
@@ -305,7 +535,7 @@ mod tests {
         // A 6-node path; threshold 4 → the component qualifies; mark every
         // edge removable.
         let mut graph = Graph::from_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
-        let removed = pre_cleanup(&mut graph, 4, |_| true);
+        let removed = pre_cleanup(&mut graph, 4, |_, _| true);
         assert_eq!(removed, 5);
         assert_eq!(graph.num_edges(), 0);
     }
@@ -313,7 +543,7 @@ mod tests {
     #[test]
     fn pre_cleanup_spares_small_components() {
         let mut graph = Graph::from_edges([(0, 1), (1, 2)]);
-        let removed = pre_cleanup(&mut graph, 4, |_| true);
+        let removed = pre_cleanup(&mut graph, 4, |_, _| true);
         assert_eq!(removed, 0);
         assert_eq!(graph.num_edges(), 2);
     }
@@ -321,7 +551,7 @@ mod tests {
     #[test]
     fn pre_cleanup_respects_predicate() {
         let mut graph = Graph::from_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
-        let removed = pre_cleanup(&mut graph, 4, |pair| pair.a.0 == 0);
+        let removed = pre_cleanup(&mut graph, 4, |a, _| a == 0);
         assert_eq!(removed, 1);
         assert!(!graph.has_edge(0, 1));
         assert!(graph.has_edge(1, 2));
@@ -333,5 +563,127 @@ mod tests {
         let report = graph_cleanup(&mut graph, &CleanupConfig::new(5, 4));
         assert!(report.mincut_rounds >= 1);
         assert!(report.seconds >= 0.0);
+        // The phase split is populated and consistent with the rounds.
+        assert!(report.mincut_seconds >= 0.0);
+        assert!(report.betweenness_seconds >= 0.0);
+    }
+
+    #[test]
+    fn report_merge_sums_all_fields() {
+        let mut total = CleanupReport {
+            pre_cleanup_removed: 1,
+            mincut_removed: 2,
+            betweenness_removed: 3,
+            mincut_rounds: 4,
+            betweenness_rounds: 5,
+            seconds: 0.5,
+            pre_cleanup_seconds: 0.1,
+            mincut_seconds: 0.2,
+            betweenness_seconds: 0.2,
+        };
+        let part = CleanupReport {
+            pre_cleanup_removed: 10,
+            mincut_removed: 20,
+            betweenness_removed: 30,
+            mincut_rounds: 40,
+            betweenness_rounds: 50,
+            seconds: 1.0,
+            pre_cleanup_seconds: 0.25,
+            mincut_seconds: 0.5,
+            betweenness_seconds: 0.25,
+        };
+        total.merge(&part);
+        assert_eq!(total.pre_cleanup_removed, 11);
+        assert_eq!(total.mincut_removed, 22);
+        assert_eq!(total.betweenness_removed, 33);
+        assert_eq!(total.mincut_rounds, 44);
+        assert_eq!(total.betweenness_rounds, 55);
+        assert!((total.seconds - 1.5).abs() < 1e-12);
+        assert!((total.pre_cleanup_seconds - 0.35).abs() < 1e-12);
+        assert!((total.mincut_seconds - 0.7).abs() < 1e-12);
+        assert!((total.betweenness_seconds - 0.45).abs() < 1e-12);
+    }
+
+    /// A miniature hub: `groups` cliques of `size` nodes, the first node of
+    /// each clique linked to one shared hub node (node 0).
+    fn hub_graph(groups: u32, size: u32) -> Graph {
+        let mut graph = Graph::new();
+        graph.ensure_node(0);
+        for g in 0..groups {
+            let base = 1 + g * size;
+            for i in 0..size {
+                for j in (i + 1)..size {
+                    graph.add_edge(base + i, base + j);
+                }
+            }
+            graph.add_edge(0, base);
+        }
+        graph
+    }
+
+    #[test]
+    fn bridge_first_shatters_hub_component() {
+        // 12 cliques of 4 around one hub: a 49-node mega-component whose
+        // false edges are all bridges. γ=5, μ=4 → every clique survives and
+        // the hub is isolated. Phase 1 peels one clique per bridge round
+        // until the region is hub + one clique (5 nodes, ≤ γ but > μ),
+        // which routes to phase 2 for the final bridge.
+        let mut graph = hub_graph(12, 4);
+        let report = graph_cleanup(&mut graph, &CleanupConfig::new(5, 4));
+        assert_eq!(report.mincut_removed, 11);
+        assert_eq!(report.betweenness_removed, 1);
+        let components = connected_components(&graph);
+        // 12 cliques of 4 plus the isolated hub.
+        assert_eq!(components[0].len(), 4);
+        assert!(largest_component(&graph).unwrap().len() <= 4);
+        for g in 0..12u32 {
+            assert!(!graph.has_edge(0, 1 + g * 4));
+        }
+    }
+
+    #[test]
+    fn parallel_pool_matches_sequential_bit_for_bit() {
+        let build = || {
+            let mut graph = hub_graph(8, 5);
+            // A second oversized component: chain of triangles offset high.
+            for k in 0..4u32 {
+                let base = 1000 + k * 3;
+                graph.add_edge(base, base + 1);
+                graph.add_edge(base + 1, base + 2);
+                graph.add_edge(base + 2, base);
+                if k > 0 {
+                    graph.add_edge(base - 1, base);
+                }
+            }
+            graph
+        };
+        let config = CleanupConfig::new(6, 4);
+        let mut sequential = build();
+        let seq_report = graph_cleanup(&mut sequential, &config);
+        let mut parallel = build();
+        let par_report = graph_cleanup_with_pool(&mut parallel, &config, &WorkerPool::new(4));
+        let mut seq_edges: Vec<Edge> = sequential.edges().collect();
+        let mut par_edges: Vec<Edge> = parallel.edges().collect();
+        seq_edges.sort_unstable();
+        par_edges.sort_unstable();
+        assert_eq!(seq_edges, par_edges);
+        assert_eq!(seq_report.mincut_removed, par_report.mincut_removed);
+        assert_eq!(
+            seq_report.betweenness_removed,
+            par_report.betweenness_removed
+        );
+        assert_eq!(seq_report.mincut_rounds, par_report.mincut_rounds);
+        assert_eq!(seq_report.betweenness_rounds, par_report.betweenness_rounds);
+    }
+
+    #[test]
+    fn reference_cleanup_reaches_same_size_bound() {
+        let config = CleanupConfig::new(5, 4);
+        let mut fast = hub_graph(10, 4);
+        let mut reference = hub_graph(10, 4);
+        graph_cleanup(&mut fast, &config);
+        reference_graph_cleanup(&mut reference, &config);
+        assert!(largest_component(&fast).unwrap().len() <= 4);
+        assert!(largest_component(&reference).unwrap().len() <= 4);
     }
 }

@@ -525,7 +525,11 @@ impl<R: Record + Clone + Sync> PipelineState<R> {
 
         // -- 4. Reconcile through the merge stage. -------------------------
         let merge_watch = Stopwatch::start();
-        let is_removable = |pair: RecordPair| text_only_provenance(candidates_now.provenance(pair));
+        let is_removable = |a: u32, b: u32| {
+            text_only_provenance(
+                candidates_now.provenance(RecordPair::new(RecordId(a), RecordId(b))),
+            )
+        };
         let merge = MergeStage::new(config).merge(
             self.num_ids,
             std::slice::from_ref(&self.cleaned),
@@ -555,6 +559,7 @@ impl<R: Record + Clone + Sync> PipelineState<R> {
             rss_delta_bytes: None,
             arena_bytes: None,
             core_seconds: None,
+            phases: None,
         });
         trace.push(StageTrace {
             stage: stage_names::INFERENCE,
@@ -567,6 +572,7 @@ impl<R: Record + Clone + Sync> PipelineState<R> {
             // the upsert JSON shows memory next to wall-clock.
             arena_bytes: scorer.memory_bytes(),
             core_seconds: Some(scoring_seconds),
+            phases: None,
         });
         trace.push(StageTrace {
             stage: stage_names::MERGE,
@@ -576,6 +582,7 @@ impl<R: Record + Clone + Sync> PipelineState<R> {
             rss_delta_bytes: None,
             arena_bytes: None,
             core_seconds: Some(merge.cleanup.seconds),
+            phases: Some(merge.cleanup.phases()),
         });
 
         Ok(UpsertOutcome {

@@ -49,7 +49,10 @@ pub use adaptive::{adaptive_cleanup, AdaptiveConfig};
 pub use calibration::{
     average_precision, best_f1_threshold, precision_recall_curve, threshold_for_precision, PrPoint,
 };
-pub use cleanup::{graph_cleanup, pre_cleanup, CleanupConfig, CleanupReport, CleanupVariant};
+pub use cleanup::{
+    graph_cleanup, graph_cleanup_with_pool, pre_cleanup, reference_graph_cleanup, CleanupConfig,
+    CleanupReport, CleanupVariant,
+};
 pub use consolidate::{consolidate_companies, consolidate_company_group, GoldenCompany};
 pub use diagnostics::{diagnose, GraphDiagnostics};
 pub use domain::{
@@ -73,4 +76,4 @@ pub use stage::{
     BlockingStage, CleanupStage, GroupingStage, InferenceStage, Stage, StageContext, StagePipeline,
     StageStats,
 };
-pub use trace::{stage_names, PipelineTrace, StageTrace};
+pub use trace::{stage_names, CleanupPhases, PipelineTrace, StageTrace};

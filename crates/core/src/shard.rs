@@ -36,7 +36,7 @@
 //! the merge stage does the heavy lifting — the stress setting for
 //! incremental upserts, which will re-block single shards.
 
-use crate::cleanup::{graph_cleanup, pre_cleanup, CleanupReport};
+use crate::cleanup::{graph_cleanup_with_pool, pre_cleanup, CleanupReport};
 use crate::domain::MatchingDomain;
 use crate::groups::{entity_groups, prediction_graph};
 use crate::metrics::{group_metrics, pairwise_metrics};
@@ -48,7 +48,7 @@ use gralmatch_blocking::{
 };
 use gralmatch_graph::{Graph, UnionFind};
 use gralmatch_lm::{predict_positive_with, PairScorer};
-use gralmatch_records::{Record, RecordPair};
+use gralmatch_records::{Record, RecordId, RecordPair};
 use gralmatch_util::{current_rss_bytes, Error, FxHashSet, Stopwatch};
 use std::borrow::Cow;
 
@@ -168,8 +168,8 @@ impl<'a> MergeStage<'a> {
     /// would do to them, since the cleanup is deterministic per component.
     /// Untouched components keep their shard-cleaned edges (already ≤ μ),
     /// so the re-cleanup cost is proportional to the cross-shard surface.
-    /// `is_removable` is the pre-cleanup predicate over the combined
-    /// candidate provenance.
+    /// `is_removable(a, b)` is the pre-cleanup predicate over the combined
+    /// candidate provenance (raw record ids, canonical `a < b`).
     ///
     /// `dirty_nodes` is the incremental-upsert hook: an upsert batch marks
     /// inserted/updated/deleted records *and the endpoints of retracted
@@ -184,7 +184,7 @@ impl<'a> MergeStage<'a> {
         shard_predicted: &[RecordPair],
         boundary_predicted: &[RecordPair],
         dirty_nodes: &FxHashSet<u32>,
-        is_removable: &dyn Fn(RecordPair) -> bool,
+        is_removable: &dyn Fn(u32, u32) -> bool,
     ) -> MergeResult {
         // Components of the raw merged prediction graph.
         let mut components = UnionFind::new(num_records);
@@ -239,12 +239,20 @@ impl<'a> MergeStage<'a> {
 
         // Re-clean: only the rebuilt (touched) components exceed the
         // thresholds — everything else was already cut down per shard.
-        let mut pre_removed = 0usize;
+        // Dirty components are independent, so they fan out across the
+        // configured pool.
+        let mut cleanup = CleanupReport::default();
         if let Some(threshold) = self.config.cleanup.pre_cleanup_threshold {
-            pre_removed = pre_cleanup(&mut merged, threshold, is_removable);
+            let pre_watch = Stopwatch::start();
+            cleanup.pre_cleanup_removed = pre_cleanup(&mut merged, threshold, is_removable);
+            cleanup.pre_cleanup_seconds = pre_watch.elapsed_secs();
         }
-        let mut cleanup = graph_cleanup(&mut merged, &self.config.cleanup);
-        cleanup.pre_cleanup_removed += pre_removed;
+        let pool = self.config.parallelism.pool_for(merged.num_edges());
+        cleanup.merge(&graph_cleanup_with_pool(
+            &mut merged,
+            &self.config.cleanup,
+            &pool,
+        ));
         let mut touched_nodes: Vec<u32> = touched_nodes.into_iter().collect();
         touched_nodes.sort_unstable();
         MergeResult {
@@ -270,15 +278,6 @@ pub struct ShardedOutcome {
     pub boundary_candidates: usize,
     /// Boundary edges that connected two distinct shard components.
     pub boundary_merges: usize,
-}
-
-fn accumulate(total: &mut CleanupReport, part: &CleanupReport) {
-    total.pre_cleanup_removed += part.pre_cleanup_removed;
-    total.mincut_removed += part.mincut_removed;
-    total.betweenness_removed += part.betweenness_removed;
-    total.mincut_rounds += part.mincut_rounds;
-    total.betweenness_rounds += part.betweenness_rounds;
-    total.seconds += part.seconds;
 }
 
 /// Run the **legacy staged** pipeline sharded: per-shard Figure 1 lineups
@@ -402,6 +401,7 @@ where
             },
             arena_bytes: None,
             core_seconds: None,
+            phases: None,
         };
         num_candidates += candidates.len();
 
@@ -415,7 +415,7 @@ where
         trace.stages.insert(0, blocking_trace);
         shard_traces.push(trace);
 
-        accumulate(&mut cleanup_report, &ctx.cleanup_report);
+        cleanup_report.merge(&ctx.cleanup_report);
         all_predicted.extend(ctx.predicted.take().unwrap_or_default());
         shard_graphs.push(ctx.graph.take().expect("cleanup stage ran"));
         drop(ctx);
@@ -443,7 +443,8 @@ where
     // lives in exactly one shard set or the boundary set) — the same
     // predicate the cleanup stage applies (token-overlap-sourced and not
     // protected by an identifier blocking).
-    let is_removable = |pair: RecordPair| {
+    let is_removable = |a: u32, b: u32| {
+        let pair = RecordPair::new(RecordId(a), RecordId(b));
         let flags = boundary.provenance(pair)
             | shard_candidates
                 .iter()
@@ -458,7 +459,7 @@ where
         &FxHashSet::default(),
         &is_removable,
     );
-    accumulate(&mut cleanup_report, &merge.cleanup);
+    cleanup_report.merge(&merge.cleanup);
     all_predicted.extend(boundary_predicted);
 
     // Global three-stage evaluation over the union of shard + boundary
@@ -492,6 +493,7 @@ where
         rss_delta_bytes: None,
         arena_bytes: None,
         core_seconds: Some(merge.cleanup.seconds),
+        phases: Some(merge.cleanup.phases()),
     });
 
     Ok(ShardedOutcome {

@@ -18,12 +18,12 @@
 //! [`StageContext::candidates`] and run [`StagePipeline::post_blocking`]
 //! instead.
 
-use crate::cleanup::{graph_cleanup, pre_cleanup, CleanupReport};
+use crate::cleanup::{graph_cleanup_with_pool, pre_cleanup, CleanupReport};
 use crate::domain::MatchingDomain;
 use crate::groups::{entity_groups, prediction_graph};
 use crate::metrics::{group_metrics, pairwise_metrics, GroupMetrics, PairMetrics};
 use crate::pipeline::PipelineConfig;
-use crate::trace::{stage_names, PipelineTrace, StageTrace};
+use crate::trace::{stage_names, CleanupPhases, PipelineTrace, StageTrace};
 use gralmatch_blocking::{
     run_blockers_traced, text_only_provenance, BlockerRun, BlockingContext, CandidateSet,
 };
@@ -46,6 +46,8 @@ pub struct StageStats {
     /// Scorer-owned compiled-arena bytes (inference stages with a
     /// compiled scorer; see [`PairScorer::memory_bytes`]).
     pub arena_bytes: Option<usize>,
+    /// Per-phase cleanup timing split (cleanup-bearing stages only).
+    pub phases: Option<CleanupPhases>,
 }
 
 /// Shared state threaded through the stages of one pipeline run.
@@ -184,6 +186,7 @@ impl<D: MatchingDomain> Stage for BlockingStage<'_, D> {
             items_out: ctx.num_candidates,
             core_seconds: None,
             arena_bytes: None,
+            phases: None,
         })
     }
 }
@@ -218,6 +221,7 @@ impl Stage for InferenceStage {
             items_out: predicted.len(),
             core_seconds: Some(scoring_seconds),
             arena_bytes: ctx.scorer.memory_bytes(),
+            phases: None,
         };
         ctx.predicted = Some(predicted);
         Ok(stats)
@@ -253,17 +257,23 @@ impl Stage for CleanupStage {
                 .candidates
                 .as_ref()
                 .ok_or_else(|| StageContext::missing(self.name(), "candidate provenance"))?;
-            report.pre_cleanup_removed = pre_cleanup(&mut graph, threshold, |pair| {
-                text_only_provenance(candidates.provenance(pair))
+            let pre_watch = Stopwatch::start();
+            report.pre_cleanup_removed = pre_cleanup(&mut graph, threshold, |a, b| {
+                text_only_provenance(
+                    candidates.provenance(RecordPair::new(RecordId(a), RecordId(b))),
+                )
             });
+            report.pre_cleanup_seconds = pre_watch.elapsed_secs();
         }
-        let algo_report = graph_cleanup(&mut graph, &ctx.config.cleanup);
-        report.mincut_removed = algo_report.mincut_removed;
-        report.betweenness_removed = algo_report.betweenness_removed;
-        report.mincut_rounds = algo_report.mincut_rounds;
-        report.betweenness_rounds = algo_report.betweenness_rounds;
-        report.seconds = algo_report.seconds;
+        let pool = ctx.pool_for(graph.num_edges());
+        report.merge(&graph_cleanup_with_pool(
+            &mut graph,
+            &ctx.config.cleanup,
+            &pool,
+        ));
         let cleanup_seconds = cleanup_work.elapsed_secs();
+        report.seconds = cleanup_seconds;
+        let phases = report.phases();
         ctx.cleanup_report = report;
 
         let edges_after = graph.num_edges();
@@ -275,6 +285,7 @@ impl Stage for CleanupStage {
             // the pre-cleanup metrics evaluation.
             core_seconds: Some(cleanup_seconds),
             arena_bytes: None,
+            phases: Some(phases),
         })
     }
 }
@@ -301,6 +312,7 @@ impl Stage for GroupingStage {
             items_out: groups.len(),
             core_seconds: None,
             arena_bytes: None,
+            phases: None,
         };
         ctx.groups = Some(groups);
         Ok(stats)
@@ -369,6 +381,7 @@ impl<'a> StagePipeline<'a> {
                 rss_delta_bytes,
                 arena_bytes: stats.arena_bytes,
                 core_seconds: stats.core_seconds,
+                phases: stats.phases,
             });
         }
         Ok(trace)

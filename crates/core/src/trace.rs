@@ -23,6 +23,32 @@ pub mod stage_names {
     pub const MERGE: &str = "merge";
 }
 
+/// Per-phase wall-clock split of a cleanup-bearing stage: the pre-cleanup
+/// pass, the min-cut phase, and the betweenness phase of Algorithm 1.
+///
+/// Min-cut/betweenness seconds are summed across components, so under a
+/// parallel pool they can exceed the stage wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CleanupPhases {
+    /// Seconds removing token-overlap edges from oversized components.
+    pub pre_cleanup_seconds: f64,
+    /// Seconds in the min-cut phase (bridge-first + Stoer–Wagner).
+    pub mincut_seconds: f64,
+    /// Seconds in the betweenness-removal phase.
+    pub betweenness_seconds: f64,
+}
+
+impl CleanupPhases {
+    /// Fieldwise sum, for rolling shard traces up.
+    pub fn merged(self, other: CleanupPhases) -> CleanupPhases {
+        CleanupPhases {
+            pre_cleanup_seconds: self.pre_cleanup_seconds + other.pre_cleanup_seconds,
+            mincut_seconds: self.mincut_seconds + other.mincut_seconds,
+            betweenness_seconds: self.betweenness_seconds + other.betweenness_seconds,
+        }
+    }
+}
+
 /// Diagnostics of one executed stage.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageTrace {
@@ -46,6 +72,9 @@ pub struct StageTrace {
     /// candidate sort and metrics pass). `seconds` is always the full
     /// stage wall-clock.
     pub core_seconds: Option<f64>,
+    /// Per-phase cleanup timing split, reported by cleanup-bearing stages
+    /// (cleanup, merge).
+    pub phases: Option<CleanupPhases>,
 }
 
 impl StageTrace {
@@ -98,6 +127,10 @@ impl PipelineTrace {
                         };
                         existing.core_seconds = match (existing.core_seconds, stage.core_seconds) {
                             (Some(a), Some(b)) => Some(a + b),
+                            (a, b) => a.or(b),
+                        };
+                        existing.phases = match (existing.phases, stage.phases) {
+                            (Some(a), Some(b)) => Some(a.merged(b)),
                             (a, b) => a.or(b),
                         };
                     }
@@ -169,6 +202,7 @@ mod tests {
             rss_delta_bytes: Some(1 << 20),
             arena_bytes: None,
             core_seconds: None,
+            phases: None,
         });
         trace.push(StageTrace {
             stage: stage_names::INFERENCE,
@@ -178,6 +212,11 @@ mod tests {
             rss_delta_bytes: None,
             arena_bytes: Some(1 << 16),
             core_seconds: Some(1.5),
+            phases: Some(CleanupPhases {
+                pre_cleanup_seconds: 0.1,
+                mincut_seconds: 0.3,
+                betweenness_seconds: 0.2,
+            }),
         });
         trace
     }
@@ -205,6 +244,7 @@ mod tests {
             rss_delta_bytes: None,
             arena_bytes: None,
             core_seconds: None,
+            phases: None,
         };
         assert_eq!(instant.throughput(), 0.0);
     }
@@ -221,6 +261,11 @@ mod tests {
         assert_eq!(blocking.rss_delta_bytes, Some(2 << 20));
         let inference = rolled.stage(stage_names::INFERENCE).unwrap();
         assert_eq!(inference.core_seconds, Some(3.0));
+        // Phase splits sum fieldwise across shards.
+        let phases = inference.phases.unwrap();
+        assert!((phases.pre_cleanup_seconds - 0.2).abs() < 1e-12);
+        assert!((phases.mincut_seconds - 0.6).abs() < 1e-12);
+        assert!((phases.betweenness_seconds - 0.4).abs() < 1e-12);
         // Arena sizes roll up as a max (shards share one compiled view).
         assert_eq!(inference.arena_bytes, Some(1 << 16));
         // Order is first-appearance: blocking before inference.

@@ -1,0 +1,283 @@
+//! Worst-case "hub entity" workload for the graph cleanup.
+//!
+//! One popular record (the hub) accumulates a false-positive edge to the
+//! representative of every group around it, welding them into a single
+//! mega-component — the transitively-matched mega-group failure mode the
+//! paper motivates, and the adversarial input for Algorithm 1: every batch
+//! that touches the hub forces a re-clean of the whole component. Each
+//! false edge is a *bridge*, so a bridge-first cleanup shatters the
+//! component in O(V+E) rounds while a full min-cut recompute pays
+//! Stoer–Wagner per round.
+//!
+//! Two views of the same workload:
+//! * [`hub_graph`] — the raw prediction graph plus churn batches of
+//!   re-added hub edges, for graph-level benchmarks ([`HubGraph`]);
+//! * [`hub_companies`] / [`hub_churn_updates`] — company records whose
+//!   name-token overlaps reproduce exactly that graph through the real
+//!   blocking + heuristic-matching pipeline, for engine replay tests.
+
+use gralmatch_records::{CompanyRecord, EntityId, RecordId, SourceId};
+
+/// Shape of the hub workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HubConfig {
+    /// Independent hub mega-components.
+    pub hubs: usize,
+    /// Groups welded onto each hub.
+    pub groups_per_hub: usize,
+    /// Records per group (each group is one clique).
+    pub group_size: usize,
+    /// Churn batches that keep touching the hubs.
+    pub churn_batches: usize,
+    /// Hub bridges re-added (per hub) by each churn batch.
+    pub churn_rewires: usize,
+}
+
+impl HubConfig {
+    /// The full-size workload: 4 hubs of 5000 groups of 4.
+    pub fn full() -> Self {
+        HubConfig {
+            hubs: 4,
+            groups_per_hub: 5000,
+            group_size: 4,
+            churn_batches: 20,
+            churn_rewires: 8,
+        }
+    }
+
+    /// Scale the per-hub group count by `factor` (CI runs use 0.01),
+    /// keeping enough groups for the mega-component to stay *mega*
+    /// relative to the thresholds.
+    pub fn scaled(factor: f64) -> Self {
+        let mut config = HubConfig::full();
+        config.groups_per_hub = ((config.groups_per_hub as f64 * factor) as usize).max(12);
+        config.churn_batches = ((config.churn_batches as f64 * factor.sqrt()) as usize).max(4);
+        config
+    }
+
+    /// Nodes per hub component: the hub plus its groups.
+    pub fn nodes_per_hub(&self) -> usize {
+        1 + self.groups_per_hub * self.group_size
+    }
+
+    /// Total records/nodes in the dataset.
+    pub fn num_nodes(&self) -> usize {
+        self.hubs * self.nodes_per_hub()
+    }
+
+    /// Node id of hub `h`.
+    fn hub_node(&self, h: usize) -> u32 {
+        (h * self.nodes_per_hub()) as u32
+    }
+
+    /// Node id of member `j` of group `g` of hub `h` (member 0 is the
+    /// group's representative, the endpoint of the hub bridge).
+    fn member_node(&self, h: usize, g: usize, j: usize) -> u32 {
+        (h * self.nodes_per_hub() + 1 + g * self.group_size + j) as u32
+    }
+}
+
+/// The graph-level hub workload.
+#[derive(Debug, Clone)]
+pub struct HubGraph {
+    /// Dense node count (record ids 0..num_nodes).
+    pub num_nodes: usize,
+    /// Initial prediction edges: per-group cliques plus one hub bridge per
+    /// group — the raw graph the bootstrap cleanup sees.
+    pub bootstrap_edges: Vec<(u32, u32)>,
+    /// One entry per churn batch: the hub bridges that batch re-adds
+    /// (after the previous cleanup removed them), rotating deterministically
+    /// through the groups.
+    pub churn_batches: Vec<Vec<(u32, u32)>>,
+    /// Size of each hub's initial mega-component.
+    pub mega_component_size: usize,
+}
+
+/// Build the hub prediction graph and its churn schedule. Deterministic —
+/// purely structural, no randomness needed for a worst case.
+pub fn hub_graph(config: &HubConfig) -> HubGraph {
+    let mut bootstrap_edges = Vec::new();
+    for h in 0..config.hubs {
+        for g in 0..config.groups_per_hub {
+            for i in 0..config.group_size {
+                for j in (i + 1)..config.group_size {
+                    bootstrap_edges
+                        .push((config.member_node(h, g, i), config.member_node(h, g, j)));
+                }
+            }
+            bootstrap_edges.push((config.hub_node(h), config.member_node(h, g, 0)));
+        }
+    }
+    let churn_batches = (0..config.churn_batches)
+        .map(|batch| {
+            let mut edges = Vec::with_capacity(config.hubs * config.churn_rewires);
+            for h in 0..config.hubs {
+                for r in 0..config.churn_rewires {
+                    let g = (batch * config.churn_rewires + r) % config.groups_per_hub;
+                    edges.push((config.hub_node(h), config.member_node(h, g, 0)));
+                }
+            }
+            edges
+        })
+        .collect();
+    HubGraph {
+        num_nodes: config.num_nodes(),
+        bootstrap_edges,
+        churn_batches,
+        mega_component_size: config.nodes_per_hub(),
+    }
+}
+
+/// Company records reproducing [`hub_graph`]'s bootstrap shape through
+/// name-token overlap:
+///
+/// * hub `h` is named with two hub-unique tokens,
+/// * each group's representative carries its group tokens **plus** the hub
+///   tokens (Jaccard ½ against both its group mates and the hub),
+/// * the other group members carry only the group tokens.
+///
+/// Under a name-Jaccard matcher with threshold ≤ 0.5, the positive pairs
+/// are exactly the group cliques plus one rep–hub bridge per group.
+/// Record ids follow the [`hub_graph`] node layout; each group is one
+/// entity with one record per source.
+pub fn hub_companies(config: &HubConfig) -> Vec<CompanyRecord> {
+    let mut records = Vec::with_capacity(config.num_nodes());
+    for h in 0..config.hubs {
+        let hub_tokens = format!("hx{h} hy{h}");
+        records.push(
+            CompanyRecord::new(
+                RecordId(config.hub_node(h)),
+                SourceId(0),
+                hub_tokens.clone(),
+            )
+            .with_entity(EntityId((config.hubs * config.groups_per_hub + h) as u32)),
+        );
+        for g in 0..config.groups_per_hub {
+            let group_tokens = format!("ga{h}q{g} gb{h}q{g}");
+            let entity = EntityId((h * config.groups_per_hub + g) as u32);
+            for j in 0..config.group_size {
+                let name = if j == 0 {
+                    format!("{group_tokens} {hub_tokens}")
+                } else {
+                    group_tokens.clone()
+                };
+                records.push(
+                    CompanyRecord::new(
+                        RecordId(config.member_node(h, g, j)),
+                        SourceId((j + 1) as u16),
+                        name,
+                    )
+                    .with_entity(entity),
+                );
+            }
+        }
+    }
+    records.sort_by_key(|r| r.id.0);
+    records
+}
+
+/// The records churn batch `batch` touches: the representatives of the
+/// rotating group subset, re-submitted with a batch-stamped city. Names
+/// are unchanged, so groups are semantically stable — but every update
+/// dirties its record and forces the hub mega-component through a
+/// re-clean, the worst-case serving pattern.
+pub fn hub_churn_updates(config: &HubConfig, batch: usize) -> Vec<CompanyRecord> {
+    let companies = hub_companies(config);
+    let mut updates = Vec::with_capacity(config.hubs * config.churn_rewires);
+    for h in 0..config.hubs {
+        for r in 0..config.churn_rewires {
+            let g = (batch * config.churn_rewires + r) % config.groups_per_hub;
+            let mut record = companies[config.member_node(h, g, 0) as usize].clone();
+            record.city = format!("batch{batch}");
+            updates.push(record);
+        }
+    }
+    updates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gralmatch_graph::{connected_components, Graph};
+
+    fn small() -> HubConfig {
+        HubConfig {
+            hubs: 2,
+            groups_per_hub: 5,
+            group_size: 3,
+            churn_batches: 3,
+            churn_rewires: 2,
+        }
+    }
+
+    #[test]
+    fn bootstrap_forms_one_mega_component_per_hub() {
+        let config = small();
+        let hub = hub_graph(&config);
+        let mut graph = Graph::with_nodes(hub.num_nodes);
+        for &(a, b) in &hub.bootstrap_edges {
+            graph.add_edge(a, b);
+        }
+        let components = connected_components(&graph);
+        assert_eq!(components.len(), config.hubs);
+        assert!(components
+            .iter()
+            .all(|c| c.len() == hub.mega_component_size));
+    }
+
+    #[test]
+    fn churn_batches_rotate_through_groups() {
+        let config = small();
+        let hub = hub_graph(&config);
+        assert_eq!(hub.churn_batches.len(), config.churn_batches);
+        for batch in &hub.churn_batches {
+            assert_eq!(batch.len(), config.hubs * config.churn_rewires);
+            // Every churn edge is a hub bridge from the bootstrap set.
+            for edge in batch {
+                assert!(hub.bootstrap_edges.contains(edge));
+            }
+        }
+        // Consecutive batches touch different groups (rotation).
+        assert_ne!(hub.churn_batches[0], hub.churn_batches[1]);
+    }
+
+    #[test]
+    fn companies_follow_the_node_layout() {
+        let config = small();
+        let records = hub_companies(&config);
+        assert_eq!(records.len(), config.num_nodes());
+        for (i, record) in records.iter().enumerate() {
+            assert_eq!(record.id.0 as usize, i, "dense id layout");
+        }
+        // Hub 0 and a rep share the hub tokens; a mate does not.
+        let hub = &records[0];
+        let rep = &records[1];
+        let mate = &records[2];
+        assert!(rep.name.contains(&hub.name));
+        assert!(!mate.name.contains("hx0"));
+        // One record per source inside a group.
+        assert_ne!(rep.source, mate.source);
+    }
+
+    #[test]
+    fn churn_updates_keep_names_stable() {
+        let config = small();
+        let records = hub_companies(&config);
+        let updates = hub_churn_updates(&config, 1);
+        assert_eq!(updates.len(), config.hubs * config.churn_rewires);
+        for update in &updates {
+            let original = &records[update.id.0 as usize];
+            assert_eq!(update.name, original.name);
+            assert_ne!(update.city, original.city);
+        }
+    }
+
+    #[test]
+    fn scaled_keeps_a_mega_component() {
+        let ci = HubConfig::scaled(0.01);
+        assert!(ci.groups_per_hub >= 12);
+        assert!(ci.nodes_per_hub() > 50);
+        let full = HubConfig::full();
+        assert_eq!(full.nodes_per_hub(), 20_001);
+    }
+}

@@ -17,6 +17,7 @@ pub mod artifacts;
 pub mod config;
 pub mod draft;
 pub mod generator;
+pub mod hub;
 pub mod identifiers;
 pub mod paraphrase;
 pub mod seed;
@@ -27,6 +28,7 @@ pub mod wordlists;
 pub use artifacts::ArtifactKind;
 pub use config::{ArtifactRates, GenerationConfig, SecurityConfig, DEFAULT_SEED};
 pub use generator::{generate, FinancialDataset};
+pub use hub::{hub_churn_updates, hub_companies, hub_graph, HubConfig, HubGraph};
 pub use identifiers::IdFactory;
 pub use seed::{generate_seeds, SeedCompany};
 pub use stats::DatasetStats;

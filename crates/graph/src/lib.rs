@@ -29,8 +29,8 @@ pub mod unionfind;
 
 pub use articulation::articulation_points;
 pub use betweenness::edge_betweenness;
-pub use bridges::find_bridges;
-pub use components::{connected_components, largest_component, Subgraph};
+pub use bridges::{find_bridges, most_balanced_bridge, BridgeSplit};
+pub use components::{component_of, connected_components, largest_component, Subgraph};
 pub use graph::{Edge, Graph, NodeId};
 pub use kcore::{core_numbers, degeneracy};
 pub use maxflow::{min_st_cut, Dinic};

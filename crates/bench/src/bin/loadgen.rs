@@ -1,8 +1,11 @@
 //! Concurrent serving load generator: measures what epoch-snapshot
 //! publication buys — lookups that keep flowing while the writer applies
-//! churn batches.
+//! churn batches — in single-tenant (perf-gated) and multi-tenant modes.
 //!
-//! Two phases over the same engine and the same churn-batch stream:
+//! ## Single-tenant mode (default)
+//!
+//! Two phases over the same securities tenant and the same churn-batch
+//! stream:
 //!
 //! 1. **Serial baseline** — one thread alternates "apply a churn batch,
 //!    then `--serial-lookups-per-batch` lookups", the shape of the old
@@ -12,7 +15,7 @@
 //!    applying churn batches back to back (`--write-pause-ms` sets the
 //!    effective read:write ratio), while `--clients` closed-loop reader
 //!    threads hammer `group_of` through their own
-//!    [`PublishedReader`](gralmatch_util::PublishedReader),
+//!    [`PublishedReader`],
 //!    checking every answer for internal consistency (the group returned
 //!    for a record must list that record as a member, epochs must be
 //!    monotone) and recording per-lookup latency into a
@@ -25,15 +28,31 @@
 //! counts, the serial→concurrent speedup, and the publish-cost scaling
 //! evidence (full-rebuild vs per-churn-batch publish cost).
 //!
+//! ## Multi-tenant mode (`--tenants companies,securities,products`)
+//!
+//! Boots one tenant per listed domain into an
+//! [`EngineHost`] and runs the concurrent
+//! phase across all of them: readers are spread round-robin over the
+//! tenants (each pinned to one tenant's snapshot source), the writer
+//! round-robins churn batches across the tenants, and the report gains
+//! an **ungated** `loadgen_tenants` object with per-tenant
+//! p50/p99/p999, lookup/batch counts, and the final epoch. Tenant
+//! isolation is enforced by exit code: each tenant's final epoch must be
+//! exactly `1 + its own batches` (any cross-tenant bleed shifts it), on
+//! top of the per-answer consistency checks.
+//!
 //! Exits nonzero when any reader observed an inconsistent answer or no
 //! lookups completed — CI's loadgen smoke relies on that.
 
 use gralmatch_bench::cli::BenchCli;
 use gralmatch_bench::harness::{prepare_synthetic, Scale};
-use gralmatch_bench::serve::{lookup_response, serve_provider, ServeRequest, ServeSession};
-use gralmatch_core::{churn_window, ShardPlan, UpsertBatch};
-use gralmatch_records::{Record, RecordId, SecurityRecord};
-use gralmatch_util::{Json, LatencyHistogram, ToJson};
+use gralmatch_bench::serve::{
+    bootstrap_tenant, lookup_response, HostSession, ServeCommand, ServeDomain,
+};
+use gralmatch_core::{churn_window, EngineHost, ShardPlan, UpsertBatch, UpsertOutcome};
+use gralmatch_datagen::{generate_wdc, WdcConfig};
+use gralmatch_records::{CompanyRecord, ProductRecord, Record, RecordId, SecurityRecord};
+use gralmatch_util::{Json, LatencyHistogram, PublishedReader, ToJson};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
@@ -41,14 +60,14 @@ use std::time::{Duration, Instant};
 /// `j` deletes a small window of live records and re-inserts the window
 /// batch `j-1` deleted, so the population stays near-constant while every
 /// batch exercises retraction and component re-cleaning.
-struct ChurnStream {
-    records: Vec<SecurityRecord>,
-    pending: Vec<SecurityRecord>,
+struct ChurnStream<R> {
+    records: Vec<R>,
+    pending: Vec<R>,
     next: usize,
 }
 
-impl ChurnStream {
-    fn new(records: Vec<SecurityRecord>) -> Self {
+impl<R: Record + Clone> ChurnStream<R> {
+    fn new(records: Vec<R>) -> Self {
         ChurnStream {
             records,
             pending: Vec::new(),
@@ -56,12 +75,12 @@ impl ChurnStream {
         }
     }
 
-    fn next_batch(&mut self) -> UpsertBatch<SecurityRecord> {
+    fn next_batch(&mut self) -> UpsertBatch<R> {
         let window = churn_window(self.records.len(), self.next, 5);
         self.next += 1;
-        let churn: Vec<SecurityRecord> = self.records[window]
+        let churn: Vec<R> = self.records[window]
             .iter()
-            .filter(|record| !self.pending.iter().any(|p| p.id == record.id))
+            .filter(|record| !self.pending.iter().any(|p| p.id() == record.id()))
             .cloned()
             .collect();
         let mut batch = UpsertBatch::new();
@@ -121,6 +140,52 @@ fn checked_lookup(
     report.lookups += 1;
 }
 
+/// A closed-loop reader pinned to one tenant's snapshot source until the
+/// stop flag rises.
+fn run_reader(
+    source: std::sync::Arc<gralmatch_util::Published<gralmatch_core::GroupSnapshot>>,
+    seed: u64,
+    num_ids: usize,
+    stop: &AtomicBool,
+) -> ReaderReport {
+    let mut reader = PublishedReader::new(source);
+    let mut sampler = IdSampler::new(seed, num_ids);
+    let mut report = ReaderReport {
+        lookups: 0,
+        consistency_errors: 0,
+        histogram: LatencyHistogram::new(),
+    };
+    let mut last_epoch = 0;
+    while !stop.load(Ordering::Acquire) {
+        let snapshot = reader.current();
+        if snapshot.epoch() < last_epoch {
+            report.consistency_errors += 1;
+        }
+        last_epoch = snapshot.epoch();
+        checked_lookup(snapshot, sampler.next_id(), &mut report);
+    }
+    report
+}
+
+/// One tenant's churn driver in multi-tenant mode: typed batches behind a
+/// domain-erased dispatch, applied through the host's typed fast path.
+enum TenantDriver {
+    Companies(ChurnStream<CompanyRecord>),
+    Securities(ChurnStream<SecurityRecord>),
+    Products(ChurnStream<ProductRecord>),
+}
+
+impl TenantDriver {
+    fn apply_next(&mut self, session: &mut HostSession, tenant: &str) -> (UpsertOutcome, f64) {
+        match self {
+            TenantDriver::Companies(stream) => session.apply(tenant, &stream.next_batch()),
+            TenantDriver::Securities(stream) => session.apply(tenant, &stream.next_batch()),
+            TenantDriver::Products(stream) => session.apply(tenant, &stream.next_batch()),
+        }
+        .expect("churn batch applies")
+    }
+}
+
 fn main() {
     let cli = BenchCli::parse(&[
         "clients",
@@ -128,6 +193,7 @@ fn main() {
         "serial-lookups-per-batch",
         "write-pause-ms",
         "shards",
+        "tenants",
         "merge-into",
     ]);
     let clients = cli.usize_value("clients").unwrap_or(4);
@@ -142,6 +208,19 @@ fn main() {
     let out_path = cli.out_path("LOADGEN.json");
 
     let scale = Scale::from_env();
+    if let Some(domains) = cli.value("tenants") {
+        run_multi_tenant(
+            &cli,
+            scale,
+            domains,
+            clients,
+            duration,
+            write_pause,
+            shards,
+            &out_path,
+        );
+        return;
+    }
     eprintln!(
         "loadgen: scale {} shards {shards}, {clients} client(s), {:.1}s per phase",
         scale.0,
@@ -152,12 +231,9 @@ fn main() {
     let num_ids = records.len();
 
     let boot_watch = Instant::now();
-    let (mut session, boot_outcome) = ServeSession::bootstrap(
-        records.clone(),
-        ShardPlan::new(shards),
-        serve_provider(None),
-    )
-    .expect("bootstrap succeeds");
+    let (mut tenant, boot_outcome) =
+        bootstrap_tenant::<SecurityRecord>(records.clone(), ShardPlan::new(shards), None)
+            .expect("bootstrap succeeds");
     eprintln!(
         "loadgen: bootstrapped {num_ids} records in {:.2}s (epoch {}, full publish {:.6}s over {} buckets)",
         boot_watch.elapsed().as_secs_f64(),
@@ -176,12 +252,12 @@ fn main() {
     let serial_start = Instant::now();
     while serial_start.elapsed() < duration {
         let batch = churn.next_batch();
-        session.apply(&batch).expect("serial churn batch applies");
+        tenant.apply(&batch).expect("serial churn batch applies");
         serial_batches += 1;
-        let snapshot = session.engine().snapshot();
+        let snapshot = tenant.engine().snapshot();
         for _ in 0..serial_lookups_per_batch {
-            let request = ServeRequest::GroupOf(sampler.next_id());
-            let response = lookup_response(&snapshot, &request);
+            let command = ServeCommand::GroupOf(sampler.next_id());
+            let response = lookup_response("securities", &snapshot, &command);
             assert!(response.is_some(), "lookup answered");
             serial_lookups += 1;
         }
@@ -195,10 +271,10 @@ fn main() {
     );
 
     // ── Phase 2: concurrent ──────────────────────────────────────────
-    // Main thread = single writer (the session is not `Send`); reader
+    // Main thread = single writer (the tenant is not `Send`); reader
     // clients answer from epoch snapshots and never wait on it.
     let stop = AtomicBool::new(false);
-    let snapshot_source = session.engine().snapshot_source();
+    let snapshot_source = tenant.engine().snapshot_source();
     let mut writer_latency = LatencyHistogram::new();
     let mut publish_samples: Vec<(usize, usize, f64)> = Vec::new();
     let mut concurrent_batches: u64 = 0;
@@ -208,32 +284,14 @@ fn main() {
             .map(|client| {
                 let source = snapshot_source.clone();
                 let stop = &stop;
-                scope.spawn(move || {
-                    let mut reader = gralmatch_util::PublishedReader::new(source);
-                    let mut sampler = IdSampler::new(100 + client as u64, num_ids);
-                    let mut report = ReaderReport {
-                        lookups: 0,
-                        consistency_errors: 0,
-                        histogram: LatencyHistogram::new(),
-                    };
-                    let mut last_epoch = 0;
-                    while !stop.load(Ordering::Acquire) {
-                        let snapshot = reader.current();
-                        if snapshot.epoch() < last_epoch {
-                            report.consistency_errors += 1;
-                        }
-                        last_epoch = snapshot.epoch();
-                        checked_lookup(snapshot, sampler.next_id(), &mut report);
-                    }
-                    report
-                })
+                scope.spawn(move || run_reader(source, 100 + client as u64, num_ids, stop))
             })
             .collect();
 
         while concurrent_start.elapsed() < duration {
             let batch = churn.next_batch();
             let apply_start = Instant::now();
-            let (outcome, _) = session
+            let (outcome, _) = tenant
                 .apply(&batch)
                 .expect("concurrent churn batch applies");
             writer_latency.record_duration(apply_start.elapsed());
@@ -374,12 +432,237 @@ fn main() {
     );
 }
 
+/// Multi-tenant concurrent phase: readers spread round-robin across the
+/// listed domains, one churn writer round-robining batches across them.
+/// Perf-gated metrics are *not* produced in this mode — the report's
+/// `loadgen_tenants` object is informational, and correctness (per-answer
+/// consistency + per-tenant epoch isolation) is enforced by exit code.
+#[allow(clippy::too_many_arguments)]
+fn run_multi_tenant(
+    cli: &BenchCli,
+    scale: Scale,
+    domains: &str,
+    clients: usize,
+    duration: Duration,
+    write_pause: Duration,
+    shards: usize,
+    out_path: &str,
+) {
+    let domains: Vec<&str> = domains.split(',').map(str::trim).collect();
+    eprintln!(
+        "loadgen: multi-tenant [{}] scale {} shards {shards}, {clients} reader(s), {:.1}s",
+        domains.join(", "),
+        scale.0,
+        duration.as_secs_f64()
+    );
+    let financial = prepare_synthetic(scale).data;
+    let mut host = EngineHost::new();
+    let mut drivers: Vec<(String, TenantDriver)> = Vec::new();
+    for domain in &domains {
+        fn boot<R: ServeDomain>(
+            host: &mut EngineHost,
+            records: Vec<R>,
+            shards: usize,
+            wrap: fn(ChurnStream<R>) -> TenantDriver,
+        ) -> (String, TenantDriver) {
+            let (tenant, _) = bootstrap_tenant::<R>(records.clone(), ShardPlan::new(shards), None)
+                .expect("tenant bootstraps");
+            host.add_tenant(R::DOMAIN, Box::new(tenant))
+                .expect("tenant registers");
+            (R::DOMAIN.to_string(), wrap(ChurnStream::new(records)))
+        }
+        drivers.push(match *domain {
+            "companies" => boot(
+                &mut host,
+                financial.companies.records().to_vec(),
+                shards,
+                TenantDriver::Companies,
+            ),
+            "securities" => boot(
+                &mut host,
+                financial.securities.records().to_vec(),
+                shards,
+                TenantDriver::Securities,
+            ),
+            "products" => {
+                let config = WdcConfig {
+                    num_entities: ((760.0 * scale.0) as usize).max(40),
+                    ..WdcConfig::default()
+                };
+                boot(
+                    &mut host,
+                    generate_wdc(&config).products.records().to_vec(),
+                    shards,
+                    TenantDriver::Products,
+                )
+            }
+            other => panic!("--tenants got unknown domain {other:?}"),
+        });
+    }
+    let mut session = HostSession::new(host).expect("at least one tenant");
+    let populations: Vec<usize> = session
+        .host()
+        .names()
+        .iter()
+        .map(|name| session.host().tenant(name).unwrap().stats().num_live)
+        .collect();
+
+    let stop = AtomicBool::new(false);
+    let sources: Vec<_> = session
+        .host()
+        .iter()
+        .map(|(_, tenant)| tenant.snapshot_source())
+        .collect();
+    let mut batches_per_tenant = vec![0u64; drivers.len()];
+    let mut writer_latency = LatencyHistogram::new();
+    let start = Instant::now();
+    // Reader i serves tenant i % k — every tenant gets concurrent readers
+    // when clients >= k.
+    let reader_reports: Vec<(usize, ReaderReport)> = std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..clients.max(drivers.len()))
+            .map(|client| {
+                let tenant_index = client % sources.len();
+                let source = sources[tenant_index].clone();
+                let num_ids = populations[tenant_index];
+                let stop = &stop;
+                scope.spawn(move || {
+                    (
+                        tenant_index,
+                        run_reader(source, 500 + client as u64, num_ids, stop),
+                    )
+                })
+            })
+            .collect();
+
+        let mut round = 0usize;
+        while start.elapsed() < duration {
+            let index = round % drivers.len();
+            round += 1;
+            let (name, driver) = &mut drivers[index];
+            let apply_start = Instant::now();
+            driver.apply_next(&mut session, name);
+            writer_latency.record_duration(apply_start.elapsed());
+            batches_per_tenant[index] += 1;
+            if !write_pause.is_zero() {
+                std::thread::sleep(write_pause);
+            }
+        }
+        stop.store(true, Ordering::Release);
+        readers
+            .into_iter()
+            .map(|handle| handle.join().expect("reader panicked"))
+            .collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    // Fold reader tallies per tenant.
+    let mut per_tenant: Vec<(u64, u64, LatencyHistogram)> = drivers
+        .iter()
+        .map(|_| (0, 0, LatencyHistogram::new()))
+        .collect();
+    for (tenant_index, report) in &reader_reports {
+        let (lookups, errors, histogram) = &mut per_tenant[*tenant_index];
+        *lookups += report.lookups;
+        *errors += report.consistency_errors;
+        histogram.merge(&report.histogram);
+    }
+
+    let ns_to_s = |ns: u64| ns as f64 / 1e9;
+    let mut total_lookups = 0u64;
+    let mut total_errors = 0u64;
+    let mut isolation_violations = 0u64;
+    let mut tenant_rows: Vec<(String, Json)> = Vec::new();
+    for (index, (name, _)) in drivers.iter().enumerate() {
+        let (lookups, errors, histogram) = &per_tenant[index];
+        let epoch = session.host().tenant(name).unwrap().snapshot().epoch();
+        let expected_epoch = 1 + batches_per_tenant[index];
+        // Isolation: a tenant's epoch moves only for its own batches —
+        // churn on the others must not perturb it.
+        if epoch != expected_epoch {
+            isolation_violations += 1;
+        }
+        total_lookups += lookups;
+        total_errors += errors;
+        eprintln!(
+            "loadgen: tenant {name}: {lookups} lookups ({} errors), {} batches, epoch {epoch} \
+             (expected {expected_epoch}), latency {}",
+            errors,
+            batches_per_tenant[index],
+            histogram.summary()
+        );
+        tenant_rows.push((
+            name.clone(),
+            Json::obj([
+                ("lookups", (*lookups as f64).to_json()),
+                ("consistency_errors", (*errors as f64).to_json()),
+                (
+                    "batches_applied",
+                    (batches_per_tenant[index] as f64).to_json(),
+                ),
+                ("epoch", (epoch as f64).to_json()),
+                ("lookup_p50_s", ns_to_s(histogram.p50()).to_json()),
+                ("lookup_p99_s", ns_to_s(histogram.p99()).to_json()),
+                ("lookup_p999_s", ns_to_s(histogram.p999()).to_json()),
+            ]),
+        ));
+    }
+    let loadgen_tenants = Json::obj([
+        ("duration_secs", elapsed.to_json()),
+        ("readers", (reader_reports.len() as f64).to_json()),
+        (
+            "writer_batch_mean_s",
+            (writer_latency.mean() / 1e9).to_json(),
+        ),
+        ("tenants", Json::Obj(tenant_rows.into_iter().collect())),
+    ]);
+    let report = Json::obj([("loadgen_tenants", loadgen_tenants.clone())]);
+    std::fs::write(out_path, report.to_pretty_string()).expect("write loadgen report");
+    if let Some(path) = cli.value("merge-into") {
+        merge_section(path, "loadgen_tenants", loadgen_tenants);
+    }
+
+    if total_errors > 0 {
+        eprintln!("loadgen: FAILED — {total_errors} inconsistent lookup(s)");
+        std::process::exit(1);
+    }
+    if isolation_violations > 0 {
+        eprintln!(
+            "loadgen: FAILED — {isolation_violations} tenant(s) saw epochs move without their \
+             own batches (cross-tenant bleed)"
+        );
+        std::process::exit(1);
+    }
+    if total_lookups == 0 {
+        eprintln!("loadgen: FAILED — no lookups completed");
+        std::process::exit(1);
+    }
+    println!(
+        "loadgen ok: {} tenants, {total_lookups} lookups at {:.0}/s, 0 consistency errors, \
+         0 isolation violations → {out_path}",
+        drivers.len(),
+        total_lookups as f64 / elapsed
+    );
+}
+
 fn publish_sample_json(changed_nodes: usize, buckets_rebuilt: usize, seconds: f64) -> Json {
     Json::obj([
         ("changed_nodes", (changed_nodes as f64).to_json()),
         ("buckets_rebuilt", (buckets_rebuilt as f64).to_json()),
         ("publish_s", seconds.to_json()),
     ])
+}
+
+/// Replace `key` in the JSON object at `path` with `value`.
+fn merge_section(path: &str, key: &str, value: Json) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    let mut target = Json::parse(&text).unwrap_or_else(|e| panic!("{path}: {}", e.message));
+    let Json::Obj(fields) = &mut target else {
+        panic!("{path} is not a JSON object");
+    };
+    fields.retain(|(k, _)| k != key);
+    fields.push((key.to_string(), value));
+    std::fs::write(path, target.to_pretty_string()).expect("write merged report");
+    eprintln!("loadgen: merged {key} into {path}");
 }
 
 /// Write the standalone report, and optionally merge the two loadgen

@@ -1,66 +1,94 @@
-//! The match *service*: a long-lived `MatchEngine` over securities that
-//! loads a persisted `PipelineState` + trained matcher from disk, applies
-//! `UpsertBatch` streams from files and stdin, and answers group lookups
-//! with per-batch latency traces.
+//! The match *service*: a multi-tenant [`EngineHost`] that loads one or
+//! more persisted `PipelineState`s + trained matchers from disk — one
+//! named tenant per domain — applies `UpsertBatch` streams from files
+//! and stdin, and answers group lookups over the versioned line protocol
+//! (`docs/PROTOCOL.md`) with per-tenant latency traces.
 //!
 //! Two subcommands:
 //!
 //! ```text
-//! serve bootstrap [--shards N] [--deltas K] [--model model.json]
+//! serve bootstrap [--domain companies|securities|products] [--shards N]
+//!                 [--deltas K] [--model model.json]
 //!                 [--state serve-state.json] [--deltas-out serve-deltas]
 //! ```
-//! generates the synthetic securities benchmark (`GRALMATCH_SCALE`),
-//! bootstraps an engine over the leading 70 % of the records, persists
-//! its state, and writes `K` delta-batch files over the remainder —
-//! **with delete/re-insert churn woven through them**, so replaying the
-//! deltas exercises component re-cleaning, not just growth.
+//! generates the domain's benchmark records (`GRALMATCH_SCALE`),
+//! bootstraps an engine over the leading 70 % of them, persists its
+//! state + scorer-fingerprint sidecar, and writes `K` delta-batch files
+//! over the remainder — **with delete/re-insert churn woven through
+//! them**, so replaying the deltas exercises component re-cleaning, not
+//! just growth.
 //!
 //! ```text
-//! serve run --state serve-state.json [--model model.json]
-//!           [--apply delta-1.json]… [--save-state out.json]
+//! serve run [--tenant NAME:DOMAIN:STATE[:MODEL]]…
+//!           [--state serve-state.json] [--model model.json]
+//!           [--apply [TENANT:]delta-1.json]… [--save-state [TENANT:]out.json]
+//!           [--listen ADDR [--readers N] [--client-script FILE]]
 //! ```
-//! resumes the engine from the state file (scoring through the loaded
-//! model, or the heuristic matcher when none is given), applies each
-//! `--apply` batch with a latency trace, then reads protocol lines from
-//! stdin until EOF: `group_of <id>`, `members <id>`, `stats`,
-//! `apply <file>`, `save_state <file>`, or an inline batch JSON object.
-//! Malformed lines (bad commands, broken batch JSON, even invalid UTF-8)
-//! answer with an `error: …` line and the service keeps running.
-//!
-//! With `--listen ADDR` the session serves the same line protocol over
-//! TCP instead of stdin: `--readers N` lookup threads answer from epoch
-//! snapshots while the main thread applies writes (see
-//! `gralmatch_bench::net`); a client sending `shutdown` stops the server.
+//! resumes every `--tenant` engine from its state file (scoring through
+//! its own loaded model, or the heuristic matcher when none is given) —
+//! with no `--tenant`, a one-entry `securities` host from `--state` —
+//! applies each `--apply` batch with a latency trace, then serves the
+//! line protocol from stdin until EOF or over TCP with `--listen` (see
+//! `gralmatch_bench::net`; `--client-script` streams a request file
+//! through a real TCP client against the bound listener and shuts the
+//! server down after). Malformed lines answer with a coded
+//! `error: <code>: <message>` line and the service keeps running.
 
 use gralmatch_bench::cli::BenchCli;
 use gralmatch_bench::harness::{prepare_synthetic, Scale};
 use gralmatch_bench::net::serve_tcp;
 use gralmatch_bench::serve::{
-    latency_line, load_batch, parse_request, save_batch, scorer_fingerprint, serve_provider,
-    ServeRequest, ServeSession,
+    bootstrap_tenant, fingerprint_path, latency_line, load_batch_json, resume_tenant_named,
+    save_batch, HostSession, ServeDomain,
 };
-use gralmatch_core::{ShardPlan, UpsertBatch};
+use gralmatch_core::{
+    churn_window, model_fingerprint, EngineHost, ShardPlan, TenantEngine, UpsertBatch,
+};
+use gralmatch_datagen::{generate_wdc, WdcConfig};
 use gralmatch_lm::SavedModel;
-use gralmatch_records::{Record, SecurityRecord};
-use gralmatch_util::LatencyHistogram;
-use std::io::BufRead;
-use std::net::TcpListener;
+use gralmatch_records::{CompanyRecord, ProductRecord, SecurityRecord};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
 use std::path::Path;
-use std::time::Duration;
 
-fn load_model(cli: &BenchCli) -> Option<SavedModel> {
-    cli.value("model").map(|path| {
+fn load_model(path: Option<&str>) -> Option<SavedModel> {
+    path.map(|path| {
         SavedModel::load(Path::new(path)).unwrap_or_else(|e| panic!("loading {path}: {e:?}"))
     })
 }
 
-/// Sidecar recording which scorer a state file was built with.
-fn fingerprint_path(state_path: &str) -> String {
-    format!("{state_path}.scorer")
+/// WDC product records scaled like the synthetic financial benchmark, so
+/// `GRALMATCH_SCALE` governs every domain's serve footprint.
+fn scaled_products(scale: Scale) -> Vec<ProductRecord> {
+    let config = WdcConfig {
+        num_entities: ((760.0 * scale.0) as usize).max(40),
+        ..WdcConfig::default()
+    };
+    generate_wdc(&config).products.records().to_vec()
 }
 
 fn bootstrap(cli: &BenchCli) {
     let scale = Scale::from_env();
+    match cli.value("domain").unwrap_or("securities") {
+        "securities" => bootstrap_domain::<SecurityRecord>(
+            cli,
+            scale,
+            prepare_synthetic(scale).data.securities.records().to_vec(),
+        ),
+        "companies" => bootstrap_domain::<CompanyRecord>(
+            cli,
+            scale,
+            prepare_synthetic(scale).data.companies.records().to_vec(),
+        ),
+        "products" => bootstrap_domain::<ProductRecord>(cli, scale, scaled_products(scale)),
+        other => {
+            eprintln!("unknown --domain {other:?} (expected companies | securities | products)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn bootstrap_domain<R: ServeDomain>(cli: &BenchCli, scale: Scale, records: Vec<R>) {
     let shards = cli.shards_or(4);
     let deltas = cli.usize_value("deltas").unwrap_or(3);
     let state_path = cli.value("state").unwrap_or("serve-state.json").to_string();
@@ -69,24 +97,20 @@ fn bootstrap(cli: &BenchCli) {
         .unwrap_or("serve-deltas")
         .to_string();
     eprintln!(
-        "serve bootstrap: scale {} shards {shards} deltas {deltas} -> {state_path}, {deltas_dir}/",
+        "serve bootstrap: domain {} scale {} shards {shards} deltas {deltas} -> {state_path}, \
+         {deltas_dir}/",
+        R::DOMAIN,
         scale.0
     );
 
-    let prepared = prepare_synthetic(scale);
-    let records: Vec<SecurityRecord> = prepared.data.securities.records().to_vec();
     let initial = records.len() * 7 / 10;
-
-    let model = load_model(cli);
-    let fingerprint = scorer_fingerprint(model.as_ref());
-    let (session, outcome) = ServeSession::bootstrap(
-        records[..initial].to_vec(),
-        ShardPlan::new(shards),
-        serve_provider(model),
-    )
-    .expect("bootstrap succeeds");
+    let model = load_model(cli.value("model"));
+    let fingerprint = model_fingerprint(R::DOMAIN, model.as_ref());
+    let (tenant, outcome) =
+        bootstrap_tenant::<R>(records[..initial].to_vec(), ShardPlan::new(shards), model)
+            .expect("bootstrap succeeds");
     eprintln!("serve bootstrap: {}", latency_line(&outcome, 0.0));
-    std::fs::write(&state_path, session.state_json()).expect("write state");
+    std::fs::write(&state_path, tenant.state_json()).expect("write state");
     // Record which scorer produced the standing predictions — `run`
     // refuses to reconcile this state under a different one.
     std::fs::write(fingerprint_path(&state_path), &fingerprint).expect("write scorer sidecar");
@@ -97,11 +121,11 @@ fn bootstrap(cli: &BenchCli) {
     std::fs::create_dir_all(&deltas_dir).expect("create deltas dir");
     let remainder = &records[initial..];
     let chunk = remainder.len().div_ceil(deltas.max(1)).max(1);
-    let mut pending: Vec<SecurityRecord> = Vec::new();
+    let mut pending: Vec<R> = Vec::new();
     for (j, slice) in remainder.chunks(chunk).take(deltas).enumerate() {
-        let churn: Vec<SecurityRecord> = records[gralmatch_core::churn_window(initial, j, 5)]
+        let churn: Vec<R> = records[churn_window(initial, j, 5)]
             .iter()
-            .filter(|record| !pending.iter().any(|p| p.id == record.id))
+            .filter(|record| !pending.iter().any(|p| p.id() == record.id()))
             .cloned()
             .collect();
         let mut batch = UpsertBatch::inserting(slice.to_vec());
@@ -126,78 +150,170 @@ fn bootstrap(cli: &BenchCli) {
         delta_files += 1;
     }
     println!(
-        "bootstrapped {state_path} ({initial} records live, {delta_files} delta files — \
-         apply all of them to reach the full population)"
+        "bootstrapped {state_path} ({} tenant, {initial} records live, {delta_files} delta \
+         files — apply all of them to reach the full population)",
+        R::DOMAIN
     );
 }
 
-fn run(cli: &BenchCli) {
-    let state_path = cli.value("state").unwrap_or("serve-state.json");
+/// Resume one tenant from its state file, enforcing the scorer sidecar.
+fn resume_one(
+    name: &str,
+    domain: &str,
+    state_path: &str,
+    model_path: Option<&str>,
+) -> Box<dyn TenantEngine> {
     let text =
         std::fs::read_to_string(state_path).unwrap_or_else(|e| panic!("reading {state_path}: {e}"));
-    let model = load_model(cli);
+    let model = load_model(model_path);
     // Standing predictions were scored under the bootstrap scorer; mixing
     // in a different one would silently blend scoring regimes. The
     // sidecar is advisory (absent for hand-built states) but a recorded
     // mismatch is fatal.
-    let fingerprint = scorer_fingerprint(model.as_ref());
+    let fingerprint = model_fingerprint(domain, model.as_ref());
     if let Ok(recorded) = std::fs::read_to_string(fingerprint_path(state_path)) {
         assert_eq!(
             recorded.trim(),
             fingerprint,
-            "{state_path} was built with a different scorer — pass the matching --model"
+            "{state_path} was built with a different scorer — pass the matching model for \
+             tenant {name}"
         );
     }
     let load_watch = gralmatch_util::Stopwatch::start();
-    let mut session = ServeSession::resume(&text, serve_provider(model))
-        .unwrap_or_else(|e| panic!("resuming {state_path}: {e:?}"));
-    let stats = session.stats();
+    let tenant = resume_tenant_named(domain, &text, model)
+        .unwrap_or_else(|e| panic!("resuming {state_path} as {domain}: {e:?}"));
+    let stats = tenant.stats();
     eprintln!(
-        "serve: resumed {state_path} in {:.3}s ({} live records, {} groups)",
+        "serve: tenant {name} ({domain}) resumed {state_path} in {:.3}s ({} live records, {} \
+         groups)",
         load_watch.elapsed_secs(),
         stats.num_live,
         stats.num_groups
     );
+    tenant
+}
 
-    let mut apply_latency = LatencyHistogram::new();
-    for path in cli.all("apply") {
-        let batch = load_batch(path).unwrap_or_else(|e| panic!("{path}: {e:?}"));
-        let (outcome, seconds) = session.apply(&batch).expect("batch applies");
-        apply_latency.record_duration(Duration::from_secs_f64(seconds));
-        println!("{path}: {}", latency_line(&outcome, seconds));
+/// Split an `[TENANT:]path` flag value against the registered tenants.
+fn tenant_path<'a>(session: &HostSession, value: &'a str) -> (String, &'a str) {
+    match value.split_once(':') {
+        Some((tenant, path)) if session.host().tenant(tenant).is_some() => {
+            (tenant.to_string(), path)
+        }
+        _ => (session.default_tenant().to_string(), value),
+    }
+}
+
+fn run(cli: &BenchCli) {
+    let mut host = EngineHost::new();
+    let specs = cli.all("tenant");
+    if specs.is_empty() {
+        // Single-tenant fallback: one securities host from --state.
+        let state_path = cli.value("state").unwrap_or("serve-state.json");
+        host.add_tenant(
+            "securities",
+            resume_one("securities", "securities", state_path, cli.value("model")),
+        )
+        .expect("register fallback tenant");
+    } else {
+        for spec in specs {
+            // NAME:DOMAIN:STATE[:MODEL]
+            let parts: Vec<&str> = spec.splitn(4, ':').collect();
+            let [name, domain, state_path] = parts[..3] else {
+                panic!("--tenant wants NAME:DOMAIN:STATE[:MODEL], got {spec:?}");
+            };
+            host.add_tenant(
+                name,
+                resume_one(name, domain, state_path, parts.get(3).copied()),
+            )
+            .unwrap_or_else(|e| panic!("registering tenant {name}: {e}"));
+        }
+    }
+    let mut session = HostSession::new(host).expect("serve run needs at least one tenant");
+
+    for value in cli.all("apply") {
+        let (tenant, path) = tenant_path(&session, value);
+        let batch = load_batch_json(path).unwrap_or_else(|e| panic!("{path}: {e:?}"));
+        let (outcome, seconds) = session
+            .apply_json(&tenant, &batch)
+            .unwrap_or_else(|e| panic!("{path} → {tenant}: {e}"));
+        println!("{path} → {tenant}: {}", latency_line(&outcome, seconds));
     }
 
     if let Some(addr) = cli.value("listen") {
         let readers = cli.usize_value("readers").unwrap_or(4);
         let listener = TcpListener::bind(addr).unwrap_or_else(|e| panic!("binding {addr}: {e}"));
+        let local = listener.local_addr().expect("bound socket has an address");
         eprintln!(
-            "serve: listening on {} with {readers} reader thread(s); send `shutdown` to stop",
-            listener.local_addr().expect("bound socket has an address")
+            "serve: listening on {local} with {readers} reader thread(s), {} tenant(s); send \
+             `shutdown` to stop",
+            session.host().len()
         );
+        let script = cli
+            .value("client-script")
+            .map(|path| std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{path}: {e}")));
+        let client =
+            script.map(|script| std::thread::spawn(move || run_client_script(local, &script)));
         let (finished, report) = serve_tcp(listener, session, readers).expect("serve loop");
         session = finished;
+        if let Some(client) = client {
+            client.join().expect("client script panicked");
+        }
         eprintln!(
             "serve: served {} request(s) over {} connection(s)",
             report.requests, report.connections
         );
     } else {
-        serve_stdin(&mut session, &mut apply_latency);
+        serve_stdin(&mut session);
     }
 
-    if apply_latency.count() > 0 {
-        eprintln!("serve: batch apply latency {}", apply_latency.summary());
+    for name in session.host().names() {
+        let latency = session.latency(name).expect("tenant has a histogram");
+        if latency.count() > 0 {
+            eprintln!(
+                "serve: tenant {name} batch apply latency {}",
+                latency.summary()
+            );
+        }
     }
-    if let Some(path) = cli.value("save-state") {
-        std::fs::write(path, session.state_json()).expect("write state");
-        eprintln!("serve: state saved to {path}");
+    for value in cli.all("save-state") {
+        let (tenant, path) = tenant_path(&session, value);
+        let message = session
+            .save_state(&tenant, path)
+            .unwrap_or_else(|e| panic!("saving {path}: {e}"));
+        eprintln!("serve: {message}");
     }
 }
 
-/// The stdin protocol loop. Every failure — unknown command, malformed
-/// inline batch JSON, rejected apply, even non-UTF-8 input — answers with
-/// an in-stream `error: …` line; only EOF (or an unreadable stdin) ends
-/// the loop.
-fn serve_stdin(session: &mut ServeSession, apply_latency: &mut LatencyHistogram) {
+/// Stream a request file through a real TCP client against our own
+/// listener, echoing request → response pairs, and shut the server down
+/// at the end — one process, end-to-end over the wire (CI's
+/// tenant-smoke).
+fn run_client_script(addr: std::net::SocketAddr, script: &str) {
+    let stream = TcpStream::connect(addr).expect("connect to own listener");
+    let mut writer = stream.try_clone().expect("clone client stream");
+    let mut reader = BufReader::new(stream);
+    let mut lines: Vec<&str> = script
+        .lines()
+        .map(str::trim)
+        .filter(|line| !line.is_empty())
+        .collect();
+    if lines.last() != Some(&"shutdown") {
+        lines.push("shutdown");
+    }
+    for line in lines {
+        writeln!(writer, "{line}").expect("send request line");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read response line");
+        println!("{line} → {}", response.trim_end());
+    }
+}
+
+/// The stdin protocol loop. Every failure — unknown command or tenant,
+/// malformed inline batch JSON, rejected apply, even non-UTF-8 input —
+/// answers with an in-stream `error: <code>: <message>` line; only EOF,
+/// `shutdown`, or an unreadable stdin ends the loop.
+fn serve_stdin(session: &mut HostSession) {
+    let mut cursor = session.default_tenant().to_string();
     let stdin = std::io::stdin();
     let mut input = stdin.lock();
     let mut buf = Vec::new();
@@ -207,35 +323,20 @@ fn serve_stdin(session: &mut ServeSession, apply_latency: &mut LatencyHistogram)
             Ok(0) => break,
             Ok(_) => {}
             Err(e) => {
-                println!("error: stdin read failed: {e}");
+                println!("error: io: stdin read failed: {e}");
                 break;
             }
         }
         // Invalid UTF-8 turns into replacement characters and falls
         // through to a protocol error instead of terminating the service.
-        let line = String::from_utf8_lossy(&buf);
-        let request = match parse_request(&line) {
-            Ok(Some(request)) => request,
-            Ok(None) => continue,
-            Err(message) => {
-                println!("error: {message}");
-                continue;
-            }
-        };
-        let applies_batch = matches!(
-            request,
-            ServeRequest::InlineBatch(_) | ServeRequest::ApplyFile(_)
-        );
-        let watch = gralmatch_util::Stopwatch::start();
-        match session.execute(&request) {
-            Ok(response) => {
-                if applies_batch {
-                    apply_latency.record_duration(Duration::from_secs_f64(watch.elapsed_secs()));
-                }
-                if !response.is_empty() {
-                    println!("{response}");
-                }
-            }
+        let line = String::from_utf8_lossy(&buf).trim().to_string();
+        if line == "shutdown" {
+            println!("shutting down");
+            break;
+        }
+        match session.command(&mut cursor, &line) {
+            Ok(response) if response.is_empty() => {}
+            Ok(response) => println!("{response}"),
             Err(message) => println!("error: {message}"),
         }
     }
@@ -243,24 +344,29 @@ fn serve_stdin(session: &mut ServeSession, apply_latency: &mut LatencyHistogram)
 
 fn main() {
     let cli = BenchCli::parse(&[
+        "domain",
         "shards",
         "deltas",
         "deltas-out",
         "state",
         "model",
+        "tenant",
         "apply",
         "save-state",
         "listen",
         "readers",
+        "client-script",
     ]);
     match cli.positional().first().map(String::as_str) {
         Some("bootstrap") => bootstrap(&cli),
         Some("run") => run(&cli),
         other => {
             eprintln!(
-                "usage: serve bootstrap|run [--shards N] [--deltas K] [--deltas-out DIR] \
-                 [--state FILE] [--model FILE] [--apply FILE]... [--save-state FILE] \
-                 [--listen ADDR] [--readers N] (got {other:?})"
+                "usage: serve bootstrap|run [--domain D] [--shards N] [--deltas K] \
+                 [--deltas-out DIR] [--state FILE] [--model FILE] \
+                 [--tenant NAME:DOMAIN:STATE[:MODEL]]... [--apply [TENANT:]FILE]... \
+                 [--save-state [TENANT:]FILE]... [--listen ADDR] [--readers N] \
+                 [--client-script FILE] (got {other:?})"
             );
             std::process::exit(2);
         }

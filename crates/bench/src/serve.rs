@@ -1,112 +1,169 @@
-//! The serve layer: a long-lived [`MatchEngine`] session over securities,
-//! persisted to and resumed from disk.
+//! The serve layer: a multi-tenant [`EngineHost`] session behind a line
+//! protocol, persisted to and resumed from disk.
 //!
-//! This is the ROADMAP's "serve-style binary" made concrete: a
-//! [`ServeSession`] wraps an engine whose state round-trips through the
-//! `PipelineState` JSON codec and whose matcher loads from a
-//! [`SavedModel`] (falling back to the training-free heuristic matcher),
-//! applies [`UpsertBatch`] streams, and answers group lookups through a
-//! tiny line protocol:
+//! This is the ROADMAP's multi-tenant engine host made concrete: a
+//! [`HostSession`] wraps an [`EngineHost`] of named, domain-erased
+//! tenants (companies, securities, products — each an
+//! [`EngineTenant`] whose state round-trips
+//! through the `PipelineState` JSON codec and whose matcher loads from a
+//! [`SavedModel`], falling back to the training-free heuristic), applies
+//! [`UpsertBatch`] streams per tenant, and answers group lookups through
+//! the line protocol documented in `docs/PROTOCOL.md`:
 //!
 //! ```text
-//! group_of <record-id>     → the record's group id + members
-//! members <group-id>       → one group's members
-//! stats                    → engine counters + snapshot epoch
-//! apply <path>             → apply a batch file, print its latency trace
-//! save_state <path>        → persist the standing state
-//! {"inserts":[…],…}        → apply an inline JSON batch
+//! hello                         → versioned banner (protocol-version=2)
+//! ping / help / tenants         → liveness, usage, tenant listing
+//! use <tenant>                  → set the connection's current tenant
+//! [<tenant>.]group_of <id>      → the record's group id + members
+//! [<tenant>.]members <id>       → one group's members
+//! [<tenant>.]stats              → tenant counters + snapshot epoch
+//! [<tenant>.]latency            → tenant batch-apply latency histogram
+//! [<tenant>.]apply <path>       → apply a batch file, print its latency
+//! [<tenant>.]save_state <path>  → persist state + scorer sidecar
+//! model <tenant> <path>         → hot-swap the tenant's SavedModel
+//! {"inserts":[…],…}             → apply an inline batch (current tenant)
 //! ```
 //!
-//! Protocol lines parse into a [`ServeRequest`]; the read-only requests
-//! (`group_of`/`members`/`stats`) are answered by [`lookup_response`]
-//! against a [`GroupSnapshot`] — the same function serves both the
-//! single-threaded [`ServeSession::command`] loop and the concurrent TCP
-//! readers in [`crate::net`], so the two paths cannot drift.
+//! Every failure is a **coded** error line — `error: <code>: <message>`
+//! with a stable machine-parseable code ([`ErrorCode`]) — so clients can
+//! distinguish an unknown record ([`ErrorCode::UnknownRecord`]) from an
+//! unknown tenant ([`ErrorCode::UnknownTenant`]) from a parse failure.
+//!
+//! Protocol lines parse into a [`ServeRequest`]; snapshot-answerable
+//! requests (`group_of`/`members`/`stats`) are answered by
+//! [`lookup_response`] against a [`GroupSnapshot`] — the same function
+//! serves both the single-threaded [`HostSession::command`] loop and the
+//! concurrent TCP readers in [`crate::net`], so the two paths cannot
+//! drift.
 //!
 //! The `serve` binary is a thin CLI over this module (`bootstrap` builds
-//! a state + delta-batch files from the synthetic benchmark; `run` loads
-//! and serves); the smoke tests below drive the same session API the
-//! binary uses.
+//! per-domain states + delta-batch files; `run` hosts any number of
+//! `--tenant` engines over stdin or TCP); the tests below drive the same
+//! session API the binary uses.
 
 use gralmatch_blocking::{Blocker, SecurityIdOverlap, TokenOverlap, TokenOverlapConfig};
 use gralmatch_core::{
-    CompiledScorerProvider, EngineStats, GroupSnapshot, MatchEngine, PipelineConfig, PipelineState,
-    ScorerProvider, ShardPlan, UpsertBatch, UpsertOutcome,
+    model_fingerprint, scorer_provider, EngineHost, EngineTenant, GroupSnapshot, HostError,
+    MatchEngine, PipelineConfig, PipelineState, ShardPlan, TenantEngine, UpsertBatch,
+    UpsertOutcome,
 };
-use gralmatch_lm::{HeuristicMatcher, ModelSpec, SavedModel};
-use gralmatch_records::{RecordId, SecurityRecord};
-use gralmatch_util::{Error, FromJson, Json, ToJson};
+use gralmatch_lm::SavedModel;
+use gralmatch_records::{CompanyRecord, ProductRecord, Record, RecordId, SecurityRecord};
+use gralmatch_util::{Error, FromJson, Json, LatencyHistogram, ToJson};
 
-/// The serve lineup: the cross-shard identifier hash join plus the
-/// shard-local token-overlap recipe — self-contained (no companion
-/// company grouping needed), and the same list must be used at bootstrap
-/// and at serve time so incremental re-blocking reconciles against the
-/// candidates the state was built with.
-pub fn security_strategies() -> Vec<Box<dyn Blocker<SecurityRecord> + 'static>> {
-    vec![
-        Box::new(SecurityIdOverlap),
-        Box::new(TokenOverlap::new(TokenOverlapConfig::default())),
-    ]
+/// The line-protocol version the `hello` banner reports. Bump when a
+/// response format or command grammar changes incompatibly.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// A record type servable as a tenant: its domain name (the fingerprint
+/// namespace) plus its **serve blocking lineup** — self-contained
+/// recipes only (no cross-domain borrows), because the same list must be
+/// used at bootstrap and at every resume so incremental re-blocking
+/// reconciles against the candidates the state was built with.
+pub trait ServeDomain: Record + Clone + Send + Sync + ToJson + FromJson + Sized + 'static {
+    /// Domain name: `"companies"`, `"securities"`, or `"products"`.
+    const DOMAIN: &'static str;
+
+    /// The blocking lineup serve-time engines run under.
+    fn serve_strategies() -> Vec<Box<dyn Blocker<Self> + 'static>>;
 }
 
-/// The serve pipeline configuration (synthetic-benchmark γ/μ).
+impl ServeDomain for SecurityRecord {
+    const DOMAIN: &'static str = "securities";
+
+    /// Cross-shard identifier hash join plus the shard-local
+    /// token-overlap recipe.
+    fn serve_strategies() -> Vec<Box<dyn Blocker<Self> + 'static>> {
+        vec![
+            Box::new(SecurityIdOverlap),
+            Box::new(TokenOverlap::new(TokenOverlapConfig::default())),
+        ]
+    }
+}
+
+impl ServeDomain for CompanyRecord {
+    const DOMAIN: &'static str = "companies";
+
+    /// Token overlap only: the one-shot pipeline's `CompanyIdOverlap`
+    /// joins companies through a borrowed securities slice, which a
+    /// self-contained long-lived tenant cannot carry — the same
+    /// serve-vs-paper lineup deviation the securities recipe already
+    /// makes by dropping `IssuerMatch`.
+    fn serve_strategies() -> Vec<Box<dyn Blocker<Self> + 'static>> {
+        vec![Box::new(TokenOverlap::new(TokenOverlapConfig::default()))]
+    }
+}
+
+impl ServeDomain for ProductRecord {
+    const DOMAIN: &'static str = "products";
+
+    /// Products match purely by text (WDC offers carry no id codes).
+    fn serve_strategies() -> Vec<Box<dyn Blocker<Self> + 'static>> {
+        vec![Box::new(TokenOverlap::new(TokenOverlapConfig::default()))]
+    }
+}
+
+/// The serve pipeline configuration (synthetic-benchmark γ/μ), shared by
+/// all tenants.
 pub fn serve_config() -> PipelineConfig {
     PipelineConfig::new(25, 5)
 }
 
-/// Jaccard threshold of the fallback heuristic scorer — shared by
-/// [`serve_provider`] and [`scorer_fingerprint`] so the mismatch guard
-/// can never drift from the scorer it describes.
-const SERVE_HEURISTIC_JACCARD: f32 = 0.45;
-
-/// Scorer provider for a serve session: a compiled view over the loaded
-/// [`SavedModel`]'s matcher + encoder, or the training-free heuristic
-/// matcher when no model file is given.
-pub fn serve_provider(
+/// Bootstrap a tenant engine from records (one insert-only batch) under
+/// the domain's serve lineup, fingerprinted for `R::DOMAIN`.
+pub fn bootstrap_tenant<R: ServeDomain>(
+    records: Vec<R>,
+    plan: ShardPlan,
     model: Option<SavedModel>,
-) -> Box<dyn ScorerProvider<SecurityRecord> + 'static> {
-    match model {
-        Some(saved) => Box::new(CompiledScorerProvider::new(
-            saved.matcher,
-            saved.spec.encoder(),
-        )),
-        None => Box::new(CompiledScorerProvider::new(
-            HeuristicMatcher {
-                jaccard_threshold: SERVE_HEURISTIC_JACCARD,
-            },
-            ModelSpec::DistilBert128All.encoder(),
-        )),
-    }
+) -> Result<(EngineTenant<R>, UpsertOutcome), Error> {
+    let fingerprint = model_fingerprint(R::DOMAIN, model.as_ref());
+    let (engine, outcome) = MatchEngine::bootstrap(
+        plan,
+        records,
+        R::serve_strategies(),
+        scorer_provider(model),
+        serve_config(),
+    )?;
+    Ok((EngineTenant::new(R::DOMAIN, engine, fingerprint), outcome))
 }
 
-/// Identity of the scorer a state was built with — written next to the
-/// state file at bootstrap and checked at resume, because standing
-/// predictions scored under one matcher must not be reconciled against
-/// pairs scored under another (the groups would silently mix regimes).
-/// The digest covers the model's full canonical serialization (weights
-/// included), so two same-shape models trained on different data do not
-/// collide.
-pub fn scorer_fingerprint(model: Option<&SavedModel>) -> String {
-    match model {
-        Some(saved) => format!(
-            "saved-model spec={} digest={:016x}",
-            saved.spec.key(),
-            fnv1a(saved.to_json().to_compact_string().as_bytes())
-        ),
-        None => format!("heuristic jaccard={SERVE_HEURISTIC_JACCARD}"),
-    }
+/// Resume a tenant engine from a persisted state (JSON text of
+/// [`PipelineState::to_json`]); no pairs are re-scored.
+pub fn resume_tenant<R: ServeDomain>(
+    state_json: &str,
+    model: Option<SavedModel>,
+) -> Result<EngineTenant<R>, Error> {
+    let fingerprint = model_fingerprint(R::DOMAIN, model.as_ref());
+    let json = Json::parse(state_json).map_err(|e| Error::InvalidConfig(e.message))?;
+    let state: PipelineState<R> =
+        PipelineState::from_json(&json).map_err(|e| Error::InvalidConfig(e.message))?;
+    let engine = MatchEngine::from_state(
+        state,
+        R::serve_strategies(),
+        scorer_provider(model),
+        serve_config(),
+    );
+    Ok(EngineTenant::new(R::DOMAIN, engine, fingerprint))
 }
 
-/// FNV-1a over a byte stream (content digest for the scorer sidecar; not
-/// cryptographic, just collision-resistant enough to catch a swapped
-/// weight file).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &byte in bytes {
-        hash ^= byte as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+/// [`resume_tenant`] dispatched on a domain name string (the `serve` bin's
+/// `--tenant name:domain:state[:model]` flag) — the one place the three
+/// record types are enumerated for serving.
+pub fn resume_tenant_named(
+    domain: &str,
+    state_json: &str,
+    model: Option<SavedModel>,
+) -> Result<Box<dyn TenantEngine>, Error> {
+    match domain {
+        "securities" => Ok(Box::new(resume_tenant::<SecurityRecord>(
+            state_json, model,
+        )?)),
+        "companies" => Ok(Box::new(resume_tenant::<CompanyRecord>(state_json, model)?)),
+        "products" => Ok(Box::new(resume_tenant::<ProductRecord>(state_json, model)?)),
+        other => Err(Error::InvalidConfig(format!(
+            "unknown domain {other:?} (expected companies | securities | products)"
+        ))),
     }
-    hash
 }
 
 /// One batch application's latency summary, for the per-batch trace the
@@ -129,105 +186,308 @@ pub fn latency_line(outcome: &UpsertOutcome, seconds: f64) -> String {
     )
 }
 
-/// One parsed protocol line. Read-only requests are answerable from a
-/// [`GroupSnapshot`] alone (any thread, any epoch); the rest mutate the
-/// engine and belong to the single writer.
+/// Stable machine-parseable error codes. Every protocol failure is one
+/// line of the form `error: <code>: <message>` — the code set is the
+/// client contract (an unknown record and a parse failure must never be
+/// indistinguishable again).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The verb does not exist, or a tenant prefix was used on a command
+    /// that does not take one.
+    BadCommand,
+    /// The verb exists but its arguments are missing or malformed.
+    BadArgument,
+    /// An inline or file batch failed to parse.
+    BadBatch,
+    /// The addressed tenant is not registered.
+    UnknownTenant,
+    /// `group_of` on an id that is not live.
+    UnknownRecord,
+    /// `members` on an id that is not a group id.
+    UnknownGroup,
+    /// The engine rejected a well-formed batch (validation failure).
+    ApplyRejected,
+    /// A model swap was refused; the old scorer keeps serving.
+    ModelRejected,
+    /// Reading or writing a file failed.
+    Io,
+    /// The single writer is gone (server shutting down).
+    WriterGone,
+}
+
+impl ErrorCode {
+    /// The wire token for this code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadCommand => "bad-command",
+            ErrorCode::BadArgument => "bad-argument",
+            ErrorCode::BadBatch => "bad-batch",
+            ErrorCode::UnknownTenant => "unknown-tenant",
+            ErrorCode::UnknownRecord => "unknown-record",
+            ErrorCode::UnknownGroup => "unknown-group",
+            ErrorCode::ApplyRejected => "apply-rejected",
+            ErrorCode::ModelRejected => "model-rejected",
+            ErrorCode::Io => "io",
+            ErrorCode::WriterGone => "writer-gone",
+        }
+    }
+}
+
+/// Build a coded error payload (`<code>: <message>` — the serving layers
+/// prefix `error: ` when writing it to a client).
+pub fn coded(code: ErrorCode, message: impl std::fmt::Display) -> String {
+    format!("{}: {message}", code.as_str())
+}
+
+/// Map a [`HostError`] onto its protocol error code.
+pub fn host_error(err: &HostError) -> String {
+    match err {
+        HostError::UnknownTenant(name) => coded(
+            ErrorCode::UnknownTenant,
+            format!("no tenant named {name:?} (try `tenants`)"),
+        ),
+        HostError::BadBatch(message) => coded(ErrorCode::BadBatch, message),
+        HostError::BatchRejected(message) => coded(ErrorCode::ApplyRejected, message),
+        HostError::ModelRejected(message) => coded(ErrorCode::ModelRejected, message),
+        HostError::InvalidTenant(message) => coded(ErrorCode::BadArgument, message),
+    }
+}
+
+/// One protocol verb. Batches stay as raw JSON here — they parse into the
+/// addressed tenant's record type behind the vtable
+/// ([`TenantEngine::apply_batch_json`]), which is what lets one grammar
+/// serve every domain.
 #[derive(Debug, Clone)]
-pub enum ServeRequest {
+pub enum ServeCommand {
+    /// `hello` — versioned banner.
+    Hello,
+    /// `ping` — liveness.
+    Ping,
+    /// `help` — one-line usage.
+    Help,
+    /// `tenants` — list tenants with domains and epochs.
+    Tenants,
+    /// `use <tenant>` — set the session's current tenant.
+    Use(String),
     /// `group_of <record-id>`
     GroupOf(RecordId),
     /// `members <group-id>`
     Members(RecordId),
     /// `stats`
     Stats,
+    /// `latency` — the tenant's batch-apply histogram.
+    Latency,
     /// `apply <path>`
     ApplyFile(String),
-    /// An inline `{"inserts":…}` batch.
-    InlineBatch(UpsertBatch<SecurityRecord>),
+    /// An inline `{"inserts":…}` batch (still unparsed JSON).
+    InlineBatch(Json),
     /// `save_state <path>`
     SaveState(String),
+    /// `model <tenant> <path>` — hot model swap.
+    Model {
+        /// The tenant to swap.
+        tenant: String,
+        /// Path of the `SavedModel` JSON (sidecar at `<path>.scorer`).
+        path: String,
+    },
 }
 
-impl ServeRequest {
-    /// Whether [`lookup_response`] can answer this request (no engine
-    /// mutation needed).
+impl ServeCommand {
+    /// Whether [`lookup_response`] can answer this command from a tenant
+    /// snapshot alone (any thread, any epoch).
     pub fn is_lookup(&self) -> bool {
         matches!(
             self,
-            ServeRequest::GroupOf(_) | ServeRequest::Members(_) | ServeRequest::Stats
+            ServeCommand::GroupOf(_) | ServeCommand::Members(_) | ServeCommand::Stats
+        )
+    }
+
+    /// Whether this command is answered by the session/connection layer
+    /// itself (no engine access at all).
+    pub fn is_session(&self) -> bool {
+        matches!(
+            self,
+            ServeCommand::Hello
+                | ServeCommand::Ping
+                | ServeCommand::Help
+                | ServeCommand::Tenants
+                | ServeCommand::Use(_)
+        )
+    }
+
+    /// Whether a `<tenant>.` prefix may address this command.
+    pub fn tenant_scoped(&self) -> bool {
+        matches!(
+            self,
+            ServeCommand::GroupOf(_)
+                | ServeCommand::Members(_)
+                | ServeCommand::Stats
+                | ServeCommand::Latency
+                | ServeCommand::ApplyFile(_)
+                | ServeCommand::SaveState(_)
         )
     }
 }
 
+/// One parsed protocol line: an optional `<tenant>.` address plus the
+/// verb. `tenant: None` means the session's current tenant.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// Explicit tenant address (`sec.group_of 7`), if any.
+    pub tenant: Option<String>,
+    /// The verb.
+    pub command: ServeCommand,
+}
+
+/// The one-line `help` response (responses are one line per request line,
+/// so help is too).
+pub const HELP_LINE: &str = "commands: hello | ping | help | tenants | use <tenant> | \
+     [<tenant>.]group_of <id> | [<tenant>.]members <id> | [<tenant>.]stats | \
+     [<tenant>.]latency | [<tenant>.]apply <batch.json> | [<tenant>.]save_state <state.json> | \
+     model <tenant> <model.json> | inline batch JSON {\"inserts\":…} | shutdown";
+
+/// The versioned `hello` banner.
+pub fn hello_line(tenants: usize, default_tenant: &str) -> String {
+    format!(
+        "hello gralmatch-serve protocol-version={PROTOCOL_VERSION} tenants={tenants} \
+         default={default_tenant}"
+    )
+}
+
+/// The `tenants` listing over `(name, domain, epoch)` rows.
+pub fn tenants_line<'a>(rows: impl Iterator<Item = (&'a str, &'a str, u64)>) -> String {
+    let rendered: Vec<String> = rows
+        .map(|(name, domain, epoch)| format!("{name}={domain}@epoch={epoch}"))
+        .collect();
+    format!("tenants: {}", rendered.join(", "))
+}
+
 /// Parse one protocol line. `Ok(None)` is an empty line (no response);
-/// `Err` is a usage message for the client — the connection or session
-/// stays usable either way.
+/// `Err` is a coded error payload for the client — the connection or
+/// session stays usable either way.
 pub fn parse_request(line: &str) -> Result<Option<ServeRequest>, String> {
     let line = line.trim();
     if line.is_empty() {
         return Ok(None);
     }
     if line.starts_with('{') {
-        let json = Json::parse(line).map_err(|e| format!("bad batch JSON: {}", e.message))?;
-        let batch = UpsertBatch::<SecurityRecord>::from_json(&json)
-            .map_err(|e| format!("bad batch: {}", e.message))?;
-        return Ok(Some(ServeRequest::InlineBatch(batch)));
+        let json = Json::parse(line).map_err(|e| {
+            coded(
+                ErrorCode::BadBatch,
+                format!("bad batch JSON: {}", e.message),
+            )
+        })?;
+        return Ok(Some(ServeRequest {
+            tenant: None,
+            command: ServeCommand::InlineBatch(json),
+        }));
     }
     let mut parts = line.split_whitespace();
-    match parts.next().unwrap_or_default() {
-        "group_of" => Ok(Some(ServeRequest::GroupOf(RecordId(parse_id(
-            parts.next(),
-        )?)))),
-        "members" => Ok(Some(ServeRequest::Members(RecordId(parse_id(
-            parts.next(),
-        )?)))),
-        "stats" => Ok(Some(ServeRequest::Stats)),
-        "apply" => Ok(Some(ServeRequest::ApplyFile(
-            parts.next().ok_or("usage: apply <batch.json>")?.to_string(),
-        ))),
-        "save_state" => Ok(Some(ServeRequest::SaveState(
+    let head = parts.next().unwrap_or_default();
+    let (tenant, verb) = match head.split_once('.') {
+        Some((tenant, verb)) => (Some(tenant.to_string()), verb),
+        None => (None, head),
+    };
+    let command = match verb {
+        "hello" => ServeCommand::Hello,
+        "ping" => ServeCommand::Ping,
+        "help" => ServeCommand::Help,
+        "tenants" => ServeCommand::Tenants,
+        "use" => ServeCommand::Use(
             parts
                 .next()
-                .ok_or("usage: save_state <state.json>")?
+                .ok_or_else(|| coded(ErrorCode::BadArgument, "usage: use <tenant>"))?
                 .to_string(),
-        ))),
-        other => Err(format!(
-            "unknown command {other:?} (try: group_of <id> | members <id> | stats | \
-             apply <file> | save_state <file> | inline batch JSON)"
-        )),
+        ),
+        "group_of" => ServeCommand::GroupOf(RecordId(parse_id(parts.next())?)),
+        "members" => ServeCommand::Members(RecordId(parse_id(parts.next())?)),
+        "stats" => ServeCommand::Stats,
+        "latency" => ServeCommand::Latency,
+        "apply" => ServeCommand::ApplyFile(
+            parts
+                .next()
+                .ok_or_else(|| coded(ErrorCode::BadArgument, "usage: apply <batch.json>"))?
+                .to_string(),
+        ),
+        "save_state" => ServeCommand::SaveState(
+            parts
+                .next()
+                .ok_or_else(|| coded(ErrorCode::BadArgument, "usage: save_state <state.json>"))?
+                .to_string(),
+        ),
+        "model" => {
+            let usage = || coded(ErrorCode::BadArgument, "usage: model <tenant> <model.json>");
+            ServeCommand::Model {
+                tenant: parts.next().ok_or_else(usage)?.to_string(),
+                path: parts.next().ok_or_else(usage)?.to_string(),
+            }
+        }
+        other => {
+            return Err(coded(
+                ErrorCode::BadCommand,
+                format!("unknown command {other:?} — try `help`"),
+            ))
+        }
+    };
+    if tenant.is_some() && !command.tenant_scoped() {
+        return Err(coded(
+            ErrorCode::BadCommand,
+            format!("`{verb}` does not take a `<tenant>.` prefix"),
+        ));
     }
+    Ok(Some(ServeRequest { tenant, command }))
 }
 
-/// Answer a read-only request from a snapshot (`None` when the request
-/// mutates the engine and must go to the writer). Every response is one
-/// line, internally consistent with the snapshot's epoch.
-pub fn lookup_response(snapshot: &GroupSnapshot, request: &ServeRequest) -> Option<String> {
-    match request {
-        ServeRequest::GroupOf(id) => Some(match snapshot.group_of(*id) {
+/// Answer a snapshot-answerable command from `tenant_name`'s snapshot
+/// (`None` when the command needs the session or the writer). Every
+/// response is one line, internally consistent with the snapshot's epoch;
+/// misses are **coded errors** (`unknown-record`, `unknown-group`), not
+/// Ok-lines, so clients can branch without parsing prose.
+pub fn lookup_response(
+    tenant_name: &str,
+    snapshot: &GroupSnapshot,
+    command: &ServeCommand,
+) -> Option<Result<String, String>> {
+    match command {
+        ServeCommand::GroupOf(id) => Some(match snapshot.group_of(*id) {
             Some(group) => {
                 let members = snapshot
                     .group_members(group)
                     .expect("group id came from the snapshot");
-                format!(
+                Ok(format!(
                     "record {} → group {} ({} member{}): {}",
                     id.0,
                     group.0,
                     members.len(),
                     if members.len() == 1 { "" } else { "s" },
                     render_members(members),
-                )
+                ))
             }
-            None => format!("record {} is not live", id.0),
+            None => Err(coded(
+                ErrorCode::UnknownRecord,
+                format!(
+                    "record {} is not live on tenant {tenant_name} (epoch {})",
+                    id.0,
+                    snapshot.epoch()
+                ),
+            )),
         }),
-        ServeRequest::Members(id) => Some(match snapshot.group_members(*id) {
-            Some(members) => format!("group {}: {}", id.0, render_members(members)),
-            None => format!("{} is not a group id", id.0),
+        ServeCommand::Members(id) => Some(match snapshot.group_members(*id) {
+            Some(members) => Ok(format!("group {}: {}", id.0, render_members(members))),
+            None => Err(coded(
+                ErrorCode::UnknownGroup,
+                format!(
+                    "{} is not a group id on tenant {tenant_name} (epoch {})",
+                    id.0,
+                    snapshot.epoch()
+                ),
+            )),
         }),
-        ServeRequest::Stats => {
+        ServeCommand::Stats => {
             let stats = snapshot.stats();
-            Some(format!(
-                "{} live records ({} ids), {} groups (largest {}), {} candidates, \
-                 {} predictions, {} batches applied in {:.4}s, snapshot epoch {}",
+            Some(Ok(format!(
+                "tenant {tenant_name}: {} live records ({} ids), {} groups (largest {}), \
+                 {} candidates, {} predictions, {} batches applied in {:.4}s, snapshot epoch {}",
                 stats.num_live,
                 stats.num_ids,
                 stats.num_groups,
@@ -237,7 +497,7 @@ pub fn lookup_response(snapshot: &GroupSnapshot, request: &ServeRequest) -> Opti
                 stats.batches_applied,
                 stats.total_apply_seconds,
                 snapshot.epoch(),
-            ))
+            )))
         }
         _ => None,
     }
@@ -245,9 +505,9 @@ pub fn lookup_response(snapshot: &GroupSnapshot, request: &ServeRequest) -> Opti
 
 fn parse_id(token: Option<&str>) -> Result<u32, String> {
     token
-        .ok_or("missing record id")?
+        .ok_or_else(|| coded(ErrorCode::BadArgument, "missing record id"))?
         .parse()
-        .map_err(|_| "record ids are unsigned integers".to_string())
+        .map_err(|_| coded(ErrorCode::BadArgument, "record ids are unsigned integers"))
 }
 
 fn render_members(members: &[RecordId]) -> String {
@@ -263,145 +523,290 @@ fn render_members(members: &[RecordId]) -> String {
     format!("[{}]", rendered.join(", "))
 }
 
-/// A live serve session: the engine plus the lookup protocol.
-pub struct ServeSession {
-    engine: MatchEngine<'static, SecurityRecord>,
+/// Sidecar path recording which scorer a state or model file pairs with.
+pub fn fingerprint_path(path: &str) -> String {
+    format!("{path}.scorer")
 }
 
-impl ServeSession {
-    /// Bootstrap a fresh session from records (one insert-only batch).
-    pub fn bootstrap(
-        records: Vec<SecurityRecord>,
-        plan: ShardPlan,
-        provider: Box<dyn ScorerProvider<SecurityRecord> + 'static>,
-    ) -> Result<(Self, UpsertOutcome), Error> {
-        let (engine, outcome) = MatchEngine::bootstrap(
-            plan,
-            records,
-            security_strategies(),
-            provider,
-            serve_config(),
-        )?;
-        Ok((ServeSession { engine }, outcome))
+/// A live serve session: the tenant host plus the protocol, with one
+/// batch-apply [`LatencyHistogram`] per tenant. This is the single-writer
+/// side — `bench::net` forwards every mutating command here.
+pub struct HostSession {
+    host: EngineHost,
+    /// Per-tenant apply latency, parallel to the host's tenant order.
+    latencies: Vec<LatencyHistogram>,
+}
+
+impl HostSession {
+    /// Wrap a host (at least one tenant).
+    pub fn new(host: EngineHost) -> Result<Self, Error> {
+        if host.is_empty() {
+            return Err(Error::EmptyInput("a serve session needs ≥ 1 tenant"));
+        }
+        let latencies = (0..host.len()).map(|_| LatencyHistogram::new()).collect();
+        Ok(HostSession { host, latencies })
     }
 
-    /// Resume from a persisted state (JSON text of
-    /// [`PipelineState::to_json`]).
-    pub fn resume(
-        state_json: &str,
-        provider: Box<dyn ScorerProvider<SecurityRecord> + 'static>,
-    ) -> Result<Self, Error> {
-        let json = Json::parse(state_json).map_err(|e| Error::InvalidConfig(e.message))?;
-        let state: PipelineState<SecurityRecord> =
-            PipelineState::from_json(&json).map_err(|e| Error::InvalidConfig(e.message))?;
-        Ok(ServeSession {
-            engine: MatchEngine::from_state(state, security_strategies(), provider, serve_config()),
-        })
+    /// A one-entry host — the single-tenant deployment shape.
+    pub fn single(name: &str, tenant: Box<dyn TenantEngine>) -> Result<Self, Error> {
+        let mut host = EngineHost::new();
+        host.add_tenant(name, tenant)
+            .map_err(|e| Error::InvalidConfig(e.to_string()))?;
+        HostSession::new(host)
     }
 
-    /// Apply one batch, returning the outcome and its wall-clock seconds.
-    pub fn apply(
+    /// The wrapped host.
+    pub fn host(&self) -> &EngineHost {
+        &self.host
+    }
+
+    /// The wrapped host, mutably (in-process drivers).
+    pub fn host_mut(&mut self) -> &mut EngineHost {
+        &mut self.host
+    }
+
+    /// The default tenant's name (first registered).
+    pub fn default_tenant(&self) -> &str {
+        self.host
+            .default_tenant()
+            .expect("sessions hold ≥ 1 tenant")
+    }
+
+    /// A tenant's batch-apply latency histogram (applies through this
+    /// session — [`apply`](Self::apply)/[`apply_json`](Self::apply_json)
+    /// and protocol batches).
+    pub fn latency(&self, tenant: &str) -> Option<&LatencyHistogram> {
+        let index = self.host.names().iter().position(|name| *name == tenant)?;
+        Some(&self.latencies[index])
+    }
+
+    fn record_latency(&mut self, tenant: &str, seconds: f64) {
+        if let Some(index) = self.host.names().iter().position(|name| *name == tenant) {
+            self.latencies[index].record_duration(std::time::Duration::from_secs_f64(seconds));
+        }
+    }
+
+    /// Apply one JSON batch to `tenant`, recording its latency.
+    pub fn apply_json(
         &mut self,
-        batch: &UpsertBatch<SecurityRecord>,
-    ) -> Result<(UpsertOutcome, f64), Error> {
-        let watch = gralmatch_util::Stopwatch::start();
-        let outcome = self.engine.apply_batch(batch)?;
-        Ok((outcome, watch.elapsed_secs()))
+        tenant: &str,
+        batch: &Json,
+    ) -> Result<(UpsertOutcome, f64), HostError> {
+        let entry = self
+            .host
+            .tenant_mut(tenant)
+            .ok_or_else(|| HostError::UnknownTenant(tenant.to_string()))?;
+        let (outcome, seconds) = entry.apply_batch_json(batch)?;
+        self.record_latency(tenant, seconds);
+        Ok((outcome, seconds))
     }
 
-    /// The wrapped engine (lookups, stats).
-    pub fn engine(&self) -> &MatchEngine<'static, SecurityRecord> {
-        &self.engine
+    /// Apply one typed batch to `tenant` (no JSON boundary), recording
+    /// its latency. Fails with `UnknownTenant` when the name is missing
+    /// *or* `R` is not the tenant's record type.
+    pub fn apply<R: ServeDomain>(
+        &mut self,
+        tenant: &str,
+        batch: &UpsertBatch<R>,
+    ) -> Result<(UpsertOutcome, f64), HostError> {
+        let entry = self
+            .host
+            .typed_tenant_mut::<R>(tenant)
+            .ok_or_else(|| HostError::UnknownTenant(format!("{tenant} (as {})", R::DOMAIN)))?;
+        let (outcome, seconds) = entry.apply(batch)?;
+        self.record_latency(tenant, seconds);
+        Ok((outcome, seconds))
     }
 
-    /// Engine counters.
-    pub fn stats(&self) -> EngineStats {
-        self.engine.stats()
+    /// Serialize one tenant's standing state.
+    pub fn state_json(&self, tenant: &str) -> Result<String, HostError> {
+        self.host
+            .tenant(tenant)
+            .map(TenantEngine::state_json)
+            .ok_or_else(|| HostError::UnknownTenant(tenant.to_string()))
     }
 
-    /// Serialize the standing state.
-    pub fn state_json(&self) -> String {
-        self.engine.state().to_json().to_pretty_string()
+    /// Persist one tenant's state **and** its scorer fingerprint sidecar
+    /// (`<path>.scorer`) — resume refuses a recorded mismatch.
+    pub fn save_state(&self, tenant: &str, path: &str) -> Result<String, String> {
+        let entry = self
+            .host
+            .tenant(tenant)
+            .ok_or_else(|| host_error(&HostError::UnknownTenant(tenant.to_string())))?;
+        std::fs::write(path, entry.state_json())
+            .map_err(|e| coded(ErrorCode::Io, format!("{path}: {e}")))?;
+        std::fs::write(fingerprint_path(path), entry.fingerprint())
+            .map_err(|e| coded(ErrorCode::Io, format!("{path}.scorer: {e}")))?;
+        Ok(format!("state saved to {path} (tenant {tenant})"))
     }
 
-    /// Execute one protocol line (see the [module docs](self)), returning
-    /// the response text. Unknown or malformed commands return `Err` with
-    /// a usage message — the session stays usable.
-    pub fn command(&mut self, line: &str) -> Result<String, String> {
+    /// Hot-swap `tenant`'s model from a `SavedModel` file, validating the
+    /// `<path>.scorer` sidecar when present. On any error the old scorer
+    /// keeps serving.
+    pub fn swap_model_file(&mut self, tenant: &str, path: &str) -> Result<String, String> {
+        let model = SavedModel::load(std::path::Path::new(path))
+            .map_err(|e| coded(ErrorCode::Io, format!("{path}: {e:?}")))?;
+        let recorded = std::fs::read_to_string(fingerprint_path(path)).ok();
+        let fingerprint = self
+            .host
+            .swap_model(tenant, model, recorded.as_deref())
+            .map_err(|e| host_error(&e))?;
+        Ok(format!("model swapped on {tenant}: {fingerprint}"))
+    }
+
+    /// Execute one protocol line against the session, with `cursor` as
+    /// the session's current-tenant state (the stdin analogue of a TCP
+    /// connection's `use` state). Errors are coded payloads; the session
+    /// stays usable.
+    pub fn command(&mut self, cursor: &mut String, line: &str) -> Result<String, String> {
         let Some(request) = parse_request(line)? else {
             return Ok(String::new());
         };
-        self.execute(&request)
+        if let ServeCommand::Use(name) = &request.command {
+            return if self.host.tenant(name).is_some() {
+                cursor.clone_from(name);
+                Ok(format!("using {name}"))
+            } else {
+                Err(host_error(&HostError::UnknownTenant(name.clone())))
+            };
+        }
+        match &request.command {
+            ServeCommand::Hello => {
+                return Ok(hello_line(self.host.len(), self.default_tenant()));
+            }
+            ServeCommand::Ping => return Ok("pong".to_string()),
+            ServeCommand::Help => return Ok(HELP_LINE.to_string()),
+            ServeCommand::Tenants => {
+                return Ok(tenants_line(self.host.iter().map(|(name, tenant)| {
+                    (name, tenant.domain(), tenant.snapshot().epoch())
+                })));
+            }
+            _ => {}
+        }
+        let tenant = request.tenant.clone().unwrap_or_else(|| cursor.clone());
+        if self.host.tenant(&tenant).is_none() {
+            return Err(host_error(&HostError::UnknownTenant(tenant)));
+        }
+        if request.command.is_lookup() {
+            let snapshot = self
+                .host
+                .tenant(&tenant)
+                .expect("tenant checked above")
+                .snapshot();
+            return lookup_response(&tenant, &snapshot, &request.command)
+                .expect("is_lookup commands are snapshot-answerable");
+        }
+        self.execute(&tenant, &request.command)
     }
 
-    /// Execute one parsed request: lookups answer from the engine's
-    /// current snapshot (the same path concurrent readers take), writes
-    /// go through the engine.
-    pub fn execute(&mut self, request: &ServeRequest) -> Result<String, String> {
-        if let Some(response) = lookup_response(&self.engine.snapshot(), request) {
-            return Ok(response);
-        }
-        match request {
-            ServeRequest::InlineBatch(batch) => {
-                let (outcome, seconds) = self
-                    .apply(batch)
-                    .map_err(|e| format!("apply failed: {e:?}"))?;
+    /// Execute one **writer-side** command (`latency`, `apply`, inline
+    /// batch, `save_state`, `model`) against `tenant`. This is the
+    /// function `bench::net`'s write queue drains into.
+    pub fn execute(&mut self, tenant: &str, command: &ServeCommand) -> Result<String, String> {
+        match command {
+            ServeCommand::InlineBatch(json) => {
+                let (outcome, seconds) =
+                    self.apply_json(tenant, json).map_err(|e| host_error(&e))?;
                 Ok(latency_line(&outcome, seconds))
             }
-            ServeRequest::ApplyFile(path) => {
-                let batch = load_batch(path).map_err(|e| format!("{path}: {e:?}"))?;
-                let (outcome, seconds) = self
-                    .apply(&batch)
-                    .map_err(|e| format!("apply failed: {e:?}"))?;
+            ServeCommand::ApplyFile(path) => {
+                let json = load_batch_json(path)
+                    .map_err(|e| coded(ErrorCode::Io, format!("{path}: {e:?}")))?;
+                let (outcome, seconds) =
+                    self.apply_json(tenant, &json).map_err(|e| host_error(&e))?;
                 Ok(latency_line(&outcome, seconds))
             }
-            ServeRequest::SaveState(path) => {
-                std::fs::write(path, self.state_json()).map_err(|e| format!("{path}: {e}"))?;
-                Ok(format!("state saved to {path}"))
+            ServeCommand::SaveState(path) => self.save_state(tenant, path),
+            ServeCommand::Model { tenant, path } => {
+                let tenant = tenant.clone();
+                let path = path.clone();
+                self.swap_model_file(&tenant, &path)
             }
-            lookup => unreachable!("lookup request {lookup:?} not answered by snapshot"),
+            ServeCommand::Latency => {
+                let histogram = self
+                    .latency(tenant)
+                    .ok_or_else(|| host_error(&HostError::UnknownTenant(tenant.to_string())))?;
+                Ok(if histogram.count() == 0 {
+                    format!("tenant {tenant}: no batches applied yet")
+                } else {
+                    format!(
+                        "tenant {tenant}: {} batch(es) applied, latency {}",
+                        histogram.count(),
+                        histogram.summary()
+                    )
+                })
+            }
+            other => unreachable!("command {other:?} is not writer-side"),
         }
     }
 }
 
-/// Read one [`UpsertBatch`] from a JSON file.
-pub fn load_batch(path: &str) -> Result<UpsertBatch<SecurityRecord>, Error> {
+/// Read one batch file as raw JSON (parsed into the tenant's record type
+/// at apply time).
+pub fn load_batch_json(path: &str) -> Result<Json, Error> {
     let text = std::fs::read_to_string(path).map_err(Error::Io)?;
-    let json = Json::parse(&text).map_err(|e| Error::InvalidConfig(e.message))?;
-    UpsertBatch::from_json(&json).map_err(|e| Error::InvalidConfig(e.message))
+    Json::parse(&text).map_err(|e| Error::InvalidConfig(e.message))
 }
 
 /// Write one [`UpsertBatch`] as a JSON file.
-pub fn save_batch(path: &str, batch: &UpsertBatch<SecurityRecord>) -> Result<(), Error> {
+pub fn save_batch<R: Record + ToJson>(path: &str, batch: &UpsertBatch<R>) -> Result<(), Error> {
     std::fs::write(path, batch.to_json().to_pretty_string()).map_err(Error::Io)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gralmatch_datagen::{generate, GenerationConfig};
+    use gralmatch_datagen::{generate, generate_wdc, GenerationConfig, WdcConfig};
 
-    fn securities() -> Vec<SecurityRecord> {
+    fn financial() -> gralmatch_datagen::FinancialDataset {
         let mut config = GenerationConfig::synthetic_full();
         config.num_entities = 60;
-        generate(&config).unwrap().securities.records().to_vec()
+        generate(&config).unwrap()
     }
 
-    /// The satellite smoke: persist a bootstrapped state, resume it from
+    fn securities() -> Vec<SecurityRecord> {
+        financial().securities.records().to_vec()
+    }
+
+    fn products() -> Vec<ProductRecord> {
+        let config = WdcConfig {
+            num_entities: 30,
+            num_sources: 4,
+            ..WdcConfig::default()
+        };
+        generate_wdc(&config).products.records().to_vec()
+    }
+
+    /// A three-tenant session: securities (default), companies, products.
+    fn tri_tenant_session() -> HostSession {
+        let data = financial();
+        let mut host = EngineHost::new();
+        let (sec, _) =
+            bootstrap_tenant(data.securities.records().to_vec(), ShardPlan::new(2), None).unwrap();
+        host.add_tenant("sec", Box::new(sec)).unwrap();
+        let (comp, _) =
+            bootstrap_tenant(data.companies.records().to_vec(), ShardPlan::new(2), None).unwrap();
+        host.add_tenant("comp", Box::new(comp)).unwrap();
+        let (prod, _) = bootstrap_tenant(products(), ShardPlan::new(2), None).unwrap();
+        host.add_tenant("prod", Box::new(prod)).unwrap();
+        HostSession::new(host).unwrap()
+    }
+
+    /// The satellite smoke: persist a bootstrapped tenant, resume it from
     /// JSON, apply a delete-bearing batch, and check the lookups reflect
     /// the re-cleaned components.
     #[test]
-    fn resumed_session_reflects_delete_bearing_batches_in_lookups() {
+    fn resumed_tenant_reflects_delete_bearing_batches_in_lookups() {
         let records = securities();
-        let (session, load) =
-            ServeSession::bootstrap(records.clone(), ShardPlan::new(3), serve_provider(None))
-                .unwrap();
+        let (tenant, load) =
+            bootstrap_tenant::<SecurityRecord>(records.clone(), ShardPlan::new(3), None).unwrap();
         assert_eq!(load.inserted, records.len());
-        let state = session.state_json();
+        let state = tenant.state_json();
 
         // Resume from disk-shaped state with a fresh provider.
-        let mut resumed = ServeSession::resume(&state, serve_provider(None)).unwrap();
-        assert_eq!(resumed.engine().groups(), session.engine().groups());
+        let mut resumed = resume_tenant::<SecurityRecord>(&state, None).unwrap();
+        assert_eq!(resumed.engine().groups(), tenant.engine().groups());
+        assert_eq!(resumed.fingerprint(), tenant.fingerprint());
 
         // Delete one member of a multi-record group.
         let group = resumed
@@ -423,94 +828,152 @@ mod tests {
 
         // The deleted id no longer resolves; the survivors' group was
         // re-cleaned and no longer contains it.
-        assert_eq!(resumed.engine().group_of(victim), None);
+        assert_eq!(resumed.group_of(victim), None);
         for &id in &survivors {
-            let root = resumed.engine().group_of(id).expect("survivor stays live");
-            let members = resumed.engine().group_members(root).unwrap();
+            let root = resumed.group_of(id).expect("survivor stays live");
+            let members = resumed.group_members(root).unwrap();
             assert!(!members.contains(&victim), "lookup still sees deleted id");
         }
     }
 
     #[test]
-    fn scorer_fingerprints_distinguish_models() {
-        use gralmatch_lm::{FeatureConfig, LogisticModel, TrainedMatcher};
-        assert_eq!(scorer_fingerprint(None), "heuristic jaccard=0.45");
-        let matcher = TrainedMatcher::new(
-            LogisticModel::new(FeatureConfig::default().dim()),
-            FeatureConfig::default(),
-        );
-        let a = SavedModel::new(ModelSpec::Ditto128, matcher.clone());
-        // Same shape, different parameters → different digest.
-        let b = SavedModel::new(ModelSpec::Ditto128, matcher.with_threshold(0.7));
-        assert_ne!(
-            scorer_fingerprint(Some(&a)),
-            scorer_fingerprint(Some(&b)),
-            "fingerprint must cover model contents, not just its shape"
-        );
-    }
+    fn command_protocol_round_trips_across_tenants() {
+        let mut session = tri_tenant_session();
+        let mut cursor = session.default_tenant().to_string();
+        assert_eq!(cursor, "sec");
 
-    #[test]
-    fn command_protocol_round_trips() {
-        let records = securities();
-        let subset = records[..records.len() / 2].to_vec();
-        let (mut session, _) =
-            ServeSession::bootstrap(subset, ShardPlan::new(2), serve_provider(None)).unwrap();
+        // Session commands.
+        let hello = session.command(&mut cursor, "hello").unwrap();
+        assert!(hello.contains("protocol-version=2"), "{hello}");
+        assert!(hello.contains("tenants=3"), "{hello}");
+        assert_eq!(session.command(&mut cursor, "ping").unwrap(), "pong");
+        let help = session.command(&mut cursor, "help").unwrap();
+        assert!(help.contains("group_of"), "{help}");
+        let tenants = session.command(&mut cursor, "tenants").unwrap();
+        for expected in [
+            "sec=securities@epoch=1",
+            "comp=companies@epoch=1",
+            "prod=products@epoch=1",
+        ] {
+            assert!(tenants.contains(expected), "{tenants}");
+        }
 
-        let stats = session.command("stats").unwrap();
+        // Lookups on the current tenant, explicit addressing, and `use`.
+        let stats = session.command(&mut cursor, "stats").unwrap();
+        assert!(stats.starts_with("tenant sec:"), "{stats}");
         assert!(stats.contains("live records"), "{stats}");
-        assert!(stats.contains("snapshot epoch 1"), "{stats}");
-        let lookup = session.command("group_of 0").unwrap();
-        assert!(lookup.contains("group"), "{lookup}");
-        assert!(session.command("group_of notanid").is_err());
-        assert!(session.command("bogus").is_err());
-        assert_eq!(session.command("").unwrap(), "");
-        // Malformed inline JSON is a protocol error, not a session killer.
-        assert!(session.command("{not json").is_err());
-        assert!(session.command("stats").is_ok());
+        let comp_stats = session.command(&mut cursor, "comp.stats").unwrap();
+        assert!(comp_stats.starts_with("tenant comp:"), "{comp_stats}");
+        assert_eq!(
+            cursor, "sec",
+            "explicit addressing must not move the cursor"
+        );
+        assert_eq!(
+            session.command(&mut cursor, "use prod").unwrap(),
+            "using prod"
+        );
+        assert_eq!(cursor, "prod");
+        let stats = session.command(&mut cursor, "stats").unwrap();
+        assert!(stats.starts_with("tenant prod:"), "{stats}");
+        session.command(&mut cursor, "use sec").unwrap();
 
-        // Inline batch JSON: insert one held-out record, then look it up.
-        let held_out = records.last().unwrap().clone();
-        let id = held_out.id;
-        let batch = UpsertBatch::inserting(vec![held_out]);
+        // Coded errors: distinct codes for distinct failures.
+        let err = session.command(&mut cursor, "bogus").unwrap_err();
+        assert!(err.starts_with("bad-command: "), "{err}");
+        let err = session
+            .command(&mut cursor, "group_of notanid")
+            .unwrap_err();
+        assert!(err.starts_with("bad-argument: "), "{err}");
+        let err = session.command(&mut cursor, "group_of 999999").unwrap_err();
+        assert!(err.starts_with("unknown-record: "), "{err}");
+        let err = session.command(&mut cursor, "members 999999").unwrap_err();
+        assert!(err.starts_with("unknown-group: "), "{err}");
+        let err = session.command(&mut cursor, "nope.stats").unwrap_err();
+        assert!(err.starts_with("unknown-tenant: "), "{err}");
+        let err = session.command(&mut cursor, "use nope").unwrap_err();
+        assert!(err.starts_with("unknown-tenant: "), "{err}");
+        let err = session.command(&mut cursor, "{not json").unwrap_err();
+        assert!(err.starts_with("bad-batch: "), "{err}");
+        let err = session.command(&mut cursor, "sec.ping").unwrap_err();
+        assert!(err.starts_with("bad-command: "), "{err}");
+        assert_eq!(session.command(&mut cursor, "").unwrap(), "");
+
+        // An inline batch applies to the *current* tenant and shows up in
+        // its latency histogram — and only its.
+        let held_out = securities()[0].clone();
+        let delete = UpsertBatch::<SecurityRecord> {
+            inserts: Vec::new(),
+            updates: Vec::new(),
+            deletes: vec![held_out.id],
+        };
         let response = session
-            .command(&batch.to_json().to_compact_string())
+            .command(&mut cursor, &delete.to_json().to_compact_string())
             .unwrap();
-        assert!(response.contains("applied +1"), "{response}");
-        let lookup = session.command(&format!("group_of {}", id.0)).unwrap();
-        assert!(lookup.contains(&format!("record {}", id.0)), "{lookup}");
-        // The batch bumped the epoch.
-        let stats = session.command("stats").unwrap();
-        assert!(stats.contains("snapshot epoch 2"), "{stats}");
+        assert!(response.contains("applied +0~0-1"), "{response}");
+        let latency = session.command(&mut cursor, "latency").unwrap();
+        assert!(latency.contains("1 batch(es) applied"), "{latency}");
+        let prod_latency = session.command(&mut cursor, "prod.latency").unwrap();
+        assert!(
+            prod_latency.contains("no batches applied"),
+            "{prod_latency}"
+        );
+
+        // The apply bumped only sec's epoch.
+        let tenants = session.command(&mut cursor, "tenants").unwrap();
+        assert!(tenants.contains("sec=securities@epoch=2"), "{tenants}");
+        assert!(tenants.contains("comp=companies@epoch=1"), "{tenants}");
+        assert!(tenants.contains("prod=products@epoch=1"), "{tenants}");
     }
 
     /// Snapshot-served lookups and the session's command loop are the
-    /// same code path — byte-identical responses for every read request.
+    /// same code path — identical responses (and identical coded errors)
+    /// for every read request.
     #[test]
     fn snapshot_lookups_match_session_responses() {
         let records = securities();
-        let (mut session, _) =
-            ServeSession::bootstrap(records, ShardPlan::new(2), serve_provider(None)).unwrap();
-        let snapshot = session.engine().snapshot();
-        let max_id = session.stats().num_ids as u32;
+        let (tenant, _) =
+            bootstrap_tenant::<SecurityRecord>(records, ShardPlan::new(2), None).unwrap();
+        let mut session = HostSession::single("sec", Box::new(tenant)).unwrap();
+        let mut cursor = session.default_tenant().to_string();
+        let snapshot = session.host().tenant("sec").unwrap().snapshot();
+        let max_id = snapshot.stats().num_ids as u32;
         for id in 0..max_id.min(64) {
             for line in [format!("group_of {id}"), format!("members {id}")] {
                 let request = parse_request(&line).unwrap().unwrap();
-                assert!(request.is_lookup());
+                assert!(request.command.is_lookup());
                 assert_eq!(
-                    lookup_response(&snapshot, &request),
-                    Some(session.command(&line).unwrap()),
+                    lookup_response("sec", &snapshot, &request.command),
+                    Some(session.command(&mut cursor, &line)),
                     "{line}"
                 );
             }
         }
-        let stats_request = parse_request("stats").unwrap().unwrap();
+        let stats = parse_request("stats").unwrap().unwrap();
         assert_eq!(
-            lookup_response(&snapshot, &stats_request).unwrap(),
-            session.command("stats").unwrap()
+            lookup_response("sec", &snapshot, &stats.command).unwrap(),
+            session.command(&mut cursor, "stats")
         );
         // Write requests are not answerable from a snapshot.
         let write = parse_request("apply some.json").unwrap().unwrap();
-        assert!(!write.is_lookup());
-        assert_eq!(lookup_response(&snapshot, &write), None);
+        assert!(!write.command.is_lookup());
+        assert!(lookup_response("sec", &snapshot, &write.command).is_none());
+    }
+
+    #[test]
+    fn typed_applies_route_by_name_and_type() {
+        let mut session = tri_tenant_session();
+        let victim = securities()[0].id;
+        let batch = UpsertBatch::<SecurityRecord> {
+            inserts: Vec::new(),
+            updates: Vec::new(),
+            deletes: vec![victim],
+        };
+        // Right name, wrong record type: UnknownTenant, nothing applied.
+        let err = session.apply("comp", &batch).unwrap_err();
+        assert!(matches!(err, HostError::UnknownTenant(_)), "{err:?}");
+        let (outcome, _) = session.apply("sec", &batch).unwrap();
+        assert_eq!(outcome.deleted, 1);
+        assert_eq!(session.latency("sec").unwrap().count(), 1);
+        assert_eq!(session.latency("comp").unwrap().count(), 0);
     }
 }

@@ -636,6 +636,31 @@ impl<'a, R: Record + Clone + Sync> MatchEngine<'a, R> {
         self.provider.as_mut()
     }
 
+    /// The standing pair scorer (reflecting everything absorbed so far).
+    pub fn scorer(&self) -> &dyn PairScorer {
+        self.provider.scorer()
+    }
+
+    /// Replace the scorer provider in place — the hot model swap path.
+    /// The new provider is primed with the live records (so its compiled
+    /// view covers the standing population), and the snapshot is
+    /// republished at the next epoch with **zero** buckets rebuilt:
+    /// standing predictions and groups are untouched — only pairs scored
+    /// in subsequent batches see the new scorer — but readers observe the
+    /// swap as an epoch bump.
+    pub fn replace_provider(&mut self, mut provider: Box<dyn ScorerProvider<R> + 'a>) {
+        provider.prime(self.state.live_records());
+        self.provider = provider;
+        let (next, buckets_rebuilt) = self.published.load().advance(
+            &self.index,
+            &[],
+            self.stats_for_snapshot(),
+            self.state.num_ids(),
+        );
+        debug_assert_eq!(buckets_rebuilt, 0, "provider swap must not rebuild groups");
+        self.published.publish(Arc::new(next));
+    }
+
     /// Evaluate the standing state under the paper's three-stage protocol
     /// (pairwise / pre-cleanup / post-cleanup), packaging a
     /// [`MatchingOutcome`] exactly like the legacy one-shot entry points

@@ -1,0 +1,570 @@
+//! Multi-tenant engine host: N named, domain-erased engines behind one
+//! registry, with per-tenant model routing and hot model swap.
+//!
+//! The three matching domains (companies, securities, products) share one
+//! engine implementation but distinct record types, so a process hosting
+//! all of them needs the engine behind a vtable. [`TenantEngine`] is that
+//! vtable: the record type is erased at the batch boundary — batches
+//! arrive as JSON ([`TenantEngine::apply_batch_json`]) and parse into the
+//! tenant's own `UpsertBatch<R>` behind the trait object — while lookups,
+//! stats, snapshots, and state persistence are domain-independent
+//! already. [`EngineTenant`] is the one generic implementation wrapping a
+//! [`MatchEngine`]; [`EngineHost`] owns the named registry.
+//!
+//! ## Model routing and hot swap
+//!
+//! Every tenant carries a scorer fingerprint
+//! ([`model_fingerprint`]) naming the domain and the exact scorer
+//! (heuristic, or a [`SavedModel`] content digest) its standing
+//! predictions were scored under. [`EngineHost::swap_model`] recompiles a
+//! new provider from a `SavedModel` and republishes the snapshot (an
+//! epoch bump with zero rebuilt buckets — readers observe the swap
+//! without any group changing), but only after validating a recorded
+//! fingerprint sidecar against the *tenant's* domain: a model whose
+//! sidecar was written for another domain (or whose weights do not match
+//! its sidecar) is rejected, and the old scorer keeps serving. Standing
+//! predictions are never re-scored by a swap; only pairs scored in
+//! subsequent batches see the new model.
+
+use crate::engine::{CompiledScorerProvider, EngineStats, MatchEngine, ScorerProvider};
+use crate::incremental::{UpsertBatch, UpsertOutcome};
+use crate::snapshot::GroupSnapshot;
+use gralmatch_lm::{HeuristicMatcher, ModelSpec, SavedModel};
+use gralmatch_records::{Record, RecordId, RecordPair};
+use gralmatch_util::{FromJson, Json, Published, Stopwatch, ToJson};
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+/// Jaccard threshold of the fallback heuristic scorer — shared by
+/// [`scorer_provider`] and [`model_fingerprint`] so the mismatch guard
+/// can never drift from the scorer it describes.
+pub const HEURISTIC_JACCARD: f32 = 0.45;
+
+/// Scorer provider for a hosted tenant: a compiled view over the loaded
+/// [`SavedModel`]'s matcher + encoder, or the training-free heuristic
+/// matcher when no model is given.
+pub fn scorer_provider<R: Record + 'static>(
+    model: Option<SavedModel>,
+) -> Box<dyn ScorerProvider<R> + 'static> {
+    match model {
+        Some(saved) => Box::new(CompiledScorerProvider::new(
+            saved.matcher,
+            saved.spec.encoder(),
+        )),
+        None => Box::new(CompiledScorerProvider::new(
+            HeuristicMatcher {
+                jaccard_threshold: HEURISTIC_JACCARD,
+            },
+            ModelSpec::DistilBert128All.encoder(),
+        )),
+    }
+}
+
+/// Identity of the scorer a tenant's state was built with — written next
+/// to state and model files and checked at resume and at
+/// [`EngineHost::swap_model`], because standing predictions scored under
+/// one matcher must not be reconciled against pairs scored under another
+/// (the groups would silently mix regimes). The fingerprint leads with
+/// the **domain**, so a model fingerprinted for companies can never
+/// validate onto a securities tenant; the digest covers the model's full
+/// canonical serialization (weights included), so two same-shape models
+/// trained on different data do not collide.
+pub fn model_fingerprint(domain: &str, model: Option<&SavedModel>) -> String {
+    match model {
+        Some(saved) => format!(
+            "{domain} saved-model spec={} digest={:016x}",
+            saved.spec.key(),
+            fnv1a(saved.to_json().to_compact_string().as_bytes())
+        ),
+        None => format!("{domain} heuristic jaccard={HEURISTIC_JACCARD}"),
+    }
+}
+
+/// FNV-1a over a byte stream (content digest for the scorer sidecar; not
+/// cryptographic, just collision-resistant enough to catch a swapped
+/// weight file).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Why a host operation failed. Serving layers map these onto stable
+/// protocol error codes, so the variants are the contract — a batch that
+/// fails to *parse* is distinguishable from one the engine *rejected*,
+/// and an unknown tenant from an unknown record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostError {
+    /// No tenant is registered under the name.
+    UnknownTenant(String),
+    /// A batch failed to parse as the tenant's record type.
+    BadBatch(String),
+    /// The engine rejected the batch (validation failure); nothing was
+    /// applied.
+    BatchRejected(String),
+    /// A model swap was refused; the old scorer keeps serving.
+    ModelRejected(String),
+    /// Registry misuse: duplicate or invalid tenant name.
+    InvalidTenant(String),
+}
+
+impl fmt::Display for HostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostError::UnknownTenant(name) => write!(f, "no tenant named {name:?}"),
+            HostError::BadBatch(message) => write!(f, "bad batch: {message}"),
+            HostError::BatchRejected(message) => write!(f, "batch rejected: {message}"),
+            HostError::ModelRejected(message) => write!(f, "model rejected: {message}"),
+            HostError::InvalidTenant(message) => write!(f, "invalid tenant: {message}"),
+        }
+    }
+}
+
+/// One hosted, domain-erased engine. Everything a serving front-end needs
+/// is object-safe here: JSON-boundary batch application, group lookups,
+/// stats, the snapshot publish slot for concurrent readers, state
+/// persistence, and the model-swap hook. [`EngineTenant`] is the only
+/// implementation; the trait exists so companies/securities/products
+/// tenants coexist in one [`EngineHost`] behind one vtable.
+pub trait TenantEngine {
+    /// The matching domain this tenant serves (`"companies"`,
+    /// `"securities"`, `"products"`, …) — the namespace its model
+    /// fingerprints validate against.
+    fn domain(&self) -> &'static str;
+
+    /// Fingerprint of the scorer currently serving (see
+    /// [`model_fingerprint`]).
+    fn fingerprint(&self) -> &str;
+
+    /// Parse `batch` as this tenant's record type and apply it, returning
+    /// the outcome and its wall-clock seconds. This is the erasure point:
+    /// the typed `UpsertBatch<R>` exists only behind the vtable.
+    fn apply_batch_json(&mut self, batch: &Json) -> Result<(UpsertOutcome, f64), HostError>;
+
+    /// Group id of a record (`None` when the id is not live).
+    fn group_of(&self, id: RecordId) -> Option<RecordId>;
+
+    /// Sorted members of a group (`None` when `group` is not a group id).
+    fn group_members(&self, group: RecordId) -> Option<Vec<RecordId>>;
+
+    /// Score one pair under the scorer currently serving (swap tests and
+    /// diagnostics; serving itself scores inside `apply`).
+    fn score_pair(&self, pair: RecordPair) -> f32;
+
+    /// Aggregate engine counters.
+    fn stats(&self) -> EngineStats;
+
+    /// The current epoch's published snapshot.
+    fn snapshot(&self) -> Arc<GroupSnapshot>;
+
+    /// The publish slot concurrent readers subscribe to (one
+    /// [`gralmatch_util::PublishedReader`] per reader thread per tenant).
+    fn snapshot_source(&self) -> Arc<Published<GroupSnapshot>>;
+
+    /// Serialize the standing pipeline state (pretty JSON, the
+    /// `PipelineState` codec).
+    fn state_json(&self) -> String;
+
+    /// Install a new scorer: recompile the provider over the live
+    /// records, adopt `fingerprint`, and republish the snapshot (epoch
+    /// bump, zero groups changed). Callers must have validated the model
+    /// against this tenant's domain first — use
+    /// [`EngineHost::swap_model`], which does.
+    fn swap_model(&mut self, model: SavedModel, fingerprint: String);
+
+    /// Downcast support for typed access ([`EngineHost::typed_tenant_mut`]).
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// The one [`TenantEngine`] implementation: a domain tag, a fingerprint,
+/// and a [`MatchEngine`] over the tenant's record type.
+pub struct EngineTenant<R>
+where
+    R: Record + Clone + Sync + ToJson + FromJson + 'static,
+{
+    domain: &'static str,
+    engine: MatchEngine<'static, R>,
+    fingerprint: String,
+}
+
+impl<R> EngineTenant<R>
+where
+    R: Record + Clone + Sync + ToJson + FromJson + 'static,
+{
+    /// Wrap an engine as a tenant. `fingerprint` must describe the scorer
+    /// the engine is serving with (see [`model_fingerprint`]).
+    pub fn new(domain: &'static str, engine: MatchEngine<'static, R>, fingerprint: String) -> Self {
+        EngineTenant {
+            domain,
+            engine,
+            fingerprint,
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &MatchEngine<'static, R> {
+        &self.engine
+    }
+
+    /// Apply one typed batch, returning the outcome and its wall-clock
+    /// seconds — the allocation-free path for in-process drivers
+    /// (loadgen, tests); protocol traffic goes through
+    /// [`TenantEngine::apply_batch_json`].
+    pub fn apply(&mut self, batch: &UpsertBatch<R>) -> Result<(UpsertOutcome, f64), HostError> {
+        let watch = Stopwatch::start();
+        let outcome = self
+            .engine
+            .apply_batch(batch)
+            .map_err(|e| HostError::BatchRejected(format!("{e:?}")))?;
+        Ok((outcome, watch.elapsed_secs()))
+    }
+}
+
+impl<R> TenantEngine for EngineTenant<R>
+where
+    R: Record + Clone + Sync + ToJson + FromJson + 'static,
+{
+    fn domain(&self) -> &'static str {
+        self.domain
+    }
+
+    fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    fn apply_batch_json(&mut self, batch: &Json) -> Result<(UpsertOutcome, f64), HostError> {
+        let batch =
+            UpsertBatch::<R>::from_json(batch).map_err(|e| HostError::BadBatch(e.message))?;
+        self.apply(&batch)
+    }
+
+    fn group_of(&self, id: RecordId) -> Option<RecordId> {
+        self.engine.group_of(id)
+    }
+
+    fn group_members(&self, group: RecordId) -> Option<Vec<RecordId>> {
+        self.engine.group_members(group).map(<[RecordId]>::to_vec)
+    }
+
+    fn score_pair(&self, pair: RecordPair) -> f32 {
+        self.engine.scorer().score_pair(pair)
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+
+    fn snapshot(&self) -> Arc<GroupSnapshot> {
+        self.engine.snapshot()
+    }
+
+    fn snapshot_source(&self) -> Arc<Published<GroupSnapshot>> {
+        self.engine.snapshot_source()
+    }
+
+    fn state_json(&self) -> String {
+        self.engine.state().to_json().to_pretty_string()
+    }
+
+    fn swap_model(&mut self, model: SavedModel, fingerprint: String) {
+        self.engine.replace_provider(scorer_provider(Some(model)));
+        self.fingerprint = fingerprint;
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The registry: N named tenants in registration order. The first tenant
+/// registered is the **default** — single-tenant deployments are just a
+/// one-entry host, and protocol clients that never say `use <tenant>`
+/// talk to it.
+#[derive(Default)]
+pub struct EngineHost {
+    tenants: Vec<(String, Box<dyn TenantEngine>)>,
+}
+
+impl EngineHost {
+    /// An empty host; tenants arrive via [`add_tenant`](Self::add_tenant).
+    pub fn new() -> Self {
+        EngineHost::default()
+    }
+
+    /// Register a tenant under `name`. Names are protocol tokens
+    /// (`<name>.group_of 7`), so they are restricted to
+    /// `[A-Za-z0-9_-]+`; duplicates are rejected.
+    pub fn add_tenant(
+        &mut self,
+        name: impl Into<String>,
+        tenant: Box<dyn TenantEngine>,
+    ) -> Result<(), HostError> {
+        let name = name.into();
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(HostError::InvalidTenant(format!(
+                "name {name:?} is not a protocol token ([A-Za-z0-9_-]+)"
+            )));
+        }
+        if self.tenant(&name).is_some() {
+            return Err(HostError::InvalidTenant(format!(
+                "tenant {name:?} is already registered"
+            )));
+        }
+        self.tenants.push((name, tenant));
+        Ok(())
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Whether no tenant is registered.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// Tenant names in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.tenants.iter().map(|(name, _)| name.as_str()).collect()
+    }
+
+    /// The default tenant's name (first registered).
+    pub fn default_tenant(&self) -> Option<&str> {
+        self.tenants.first().map(|(name, _)| name.as_str())
+    }
+
+    /// Iterate `(name, tenant)` in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &dyn TenantEngine)> {
+        self.tenants
+            .iter()
+            .map(|(name, tenant)| (name.as_str(), tenant.as_ref()))
+    }
+
+    /// A tenant by name.
+    pub fn tenant(&self, name: &str) -> Option<&dyn TenantEngine> {
+        self.tenants
+            .iter()
+            .find(|(tenant, _)| tenant == name)
+            .map(|(_, tenant)| tenant.as_ref())
+    }
+
+    /// A tenant by name, mutably.
+    pub fn tenant_mut(&mut self, name: &str) -> Option<&mut Box<dyn TenantEngine>> {
+        self.tenants
+            .iter_mut()
+            .find(|(tenant, _)| tenant == name)
+            .map(|(_, tenant)| tenant)
+    }
+
+    /// Downcast a tenant to its typed [`EngineTenant`] (in-process
+    /// drivers that batch without the JSON boundary). `None` when the
+    /// name is unknown *or* the record type does not match.
+    pub fn typed_tenant_mut<R>(&mut self, name: &str) -> Option<&mut EngineTenant<R>>
+    where
+        R: Record + Clone + Sync + ToJson + FromJson + 'static,
+    {
+        self.tenant_mut(name)?.as_any_mut().downcast_mut()
+    }
+
+    /// Hot-swap `tenant`'s model: validate the recorded fingerprint
+    /// sidecar (when present) against the model **under this tenant's
+    /// domain**, then recompile the provider and republish. Returns the
+    /// new fingerprint. On `Err` the tenant is untouched — the old scorer
+    /// keeps serving and no epoch is published.
+    ///
+    /// A missing sidecar is advisory-accept (hand-built models), matching
+    /// the resume-time contract; a *recorded* mismatch — wrong domain or
+    /// wrong weights — is a rejection.
+    pub fn swap_model(
+        &mut self,
+        tenant: &str,
+        model: SavedModel,
+        recorded: Option<&str>,
+    ) -> Result<String, HostError> {
+        let entry = self
+            .tenant_mut(tenant)
+            .ok_or_else(|| HostError::UnknownTenant(tenant.to_string()))?;
+        let fingerprint = model_fingerprint(entry.domain(), Some(&model));
+        if let Some(recorded) = recorded {
+            if recorded.trim() != fingerprint {
+                return Err(HostError::ModelRejected(format!(
+                    "sidecar records {:?} but the model fingerprints as {:?} for tenant \
+                     {tenant:?} — old scorer keeps serving",
+                    recorded.trim(),
+                    fingerprint
+                )));
+            }
+        }
+        entry.swap_model(model, fingerprint.clone());
+        Ok(fingerprint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+    use crate::shard::ShardPlan;
+    use gralmatch_blocking::{SecurityIdOverlap, TokenOverlap, TokenOverlapConfig};
+    use gralmatch_datagen::{generate, GenerationConfig};
+    use gralmatch_lm::{FeatureConfig, LogisticModel, TrainedMatcher};
+    use gralmatch_records::SecurityRecord;
+
+    fn securities() -> Vec<SecurityRecord> {
+        let mut config = GenerationConfig::synthetic_full();
+        config.num_entities = 40;
+        generate(&config).unwrap().securities.records().to_vec()
+    }
+
+    fn security_tenant(records: Vec<SecurityRecord>) -> EngineTenant<SecurityRecord> {
+        let (engine, _) = MatchEngine::bootstrap(
+            ShardPlan::new(2),
+            records,
+            vec![
+                Box::new(SecurityIdOverlap),
+                Box::new(TokenOverlap::new(TokenOverlapConfig::default())),
+            ],
+            scorer_provider(None),
+            PipelineConfig::new(25, 5),
+        )
+        .unwrap();
+        EngineTenant::new("securities", engine, model_fingerprint("securities", None))
+    }
+
+    #[test]
+    fn registry_routes_by_name_and_rejects_bad_names() {
+        let mut host = EngineHost::new();
+        assert!(host.is_empty());
+        host.add_tenant("sec", Box::new(security_tenant(securities())))
+            .unwrap();
+        assert_eq!(host.default_tenant(), Some("sec"));
+        assert_eq!(host.names(), vec!["sec"]);
+        assert_eq!(host.tenant("sec").unwrap().domain(), "securities");
+        assert!(host.tenant("nope").is_none());
+        assert!(host.typed_tenant_mut::<SecurityRecord>("sec").is_some());
+        assert!(host
+            .typed_tenant_mut::<gralmatch_records::CompanyRecord>("sec")
+            .is_none());
+
+        // Duplicate and non-token names are registry errors.
+        let dup = host.add_tenant("sec", Box::new(security_tenant(securities())));
+        assert!(matches!(dup, Err(HostError::InvalidTenant(_))), "{dup:?}");
+        for bad in ["", "a.b", "a b", "a\nb"] {
+            let err = host.add_tenant(bad, Box::new(security_tenant(securities())));
+            assert!(matches!(err, Err(HostError::InvalidTenant(_))), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn json_batches_apply_behind_the_vtable() {
+        let records = securities();
+        let held_out = records.last().unwrap().clone();
+        let held_id = held_out.id;
+        let mut host = EngineHost::new();
+        host.add_tenant(
+            "sec",
+            Box::new(security_tenant(records[..records.len() - 1].to_vec())),
+        )
+        .unwrap();
+
+        let tenant = host.tenant_mut("sec").unwrap();
+        let epoch = tenant.snapshot().epoch();
+        let batch = UpsertBatch::inserting(vec![held_out]).to_json();
+        let (outcome, seconds) = tenant.apply_batch_json(&batch).unwrap();
+        assert_eq!(outcome.inserted, 1);
+        assert!(seconds >= 0.0);
+        assert_eq!(tenant.snapshot().epoch(), epoch + 1);
+        assert!(tenant.group_of(held_id).is_some());
+
+        // A malformed batch is BadBatch; a rejected one BatchRejected.
+        let garbage = Json::parse("{\"inserts\": 7}").unwrap();
+        assert!(matches!(
+            tenant.apply_batch_json(&garbage),
+            Err(HostError::BadBatch(_))
+        ));
+        let replay = tenant.apply_batch_json(&batch);
+        assert!(
+            matches!(replay, Err(HostError::BatchRejected(_))),
+            "{replay:?}"
+        );
+        // Errors leave the epoch alone.
+        assert_eq!(tenant.snapshot().epoch(), epoch + 1);
+    }
+
+    #[test]
+    fn swap_model_validates_the_sidecar_against_the_tenant_domain() {
+        let mut host = EngineHost::new();
+        host.add_tenant("sec", Box::new(security_tenant(securities())))
+            .unwrap();
+        let heuristic = model_fingerprint("securities", None);
+        assert_eq!(host.tenant("sec").unwrap().fingerprint(), heuristic);
+        let epoch = host.tenant("sec").unwrap().snapshot().epoch();
+
+        let matcher = TrainedMatcher::new(
+            LogisticModel::new(FeatureConfig::default().dim()),
+            FeatureConfig::default(),
+        );
+        let model = SavedModel::new(ModelSpec::Ditto128, matcher);
+
+        // Sidecar written for another domain: rejected, nothing published.
+        let wrong_domain = model_fingerprint("companies", Some(&model));
+        let err = host.swap_model("sec", model.clone(), Some(&wrong_domain));
+        assert!(matches!(err, Err(HostError::ModelRejected(_))), "{err:?}");
+        assert_eq!(host.tenant("sec").unwrap().fingerprint(), heuristic);
+        assert_eq!(host.tenant("sec").unwrap().snapshot().epoch(), epoch);
+
+        // Unknown tenant is its own error.
+        assert!(matches!(
+            host.swap_model("nope", model.clone(), None),
+            Err(HostError::UnknownTenant(_))
+        ));
+
+        // Matching sidecar: accepted, fingerprint adopted, epoch bumped
+        // with the groups untouched.
+        let groups = host.tenant("sec").unwrap().snapshot().groups();
+        let right = model_fingerprint("securities", Some(&model));
+        let adopted = host.swap_model("sec", model, Some(&right)).unwrap();
+        assert_eq!(adopted, right);
+        let tenant = host.tenant("sec").unwrap();
+        assert_eq!(tenant.fingerprint(), right);
+        assert_eq!(tenant.snapshot().epoch(), epoch + 1);
+        assert_eq!(tenant.snapshot().groups(), groups);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_domains_and_model_contents() {
+        assert_eq!(
+            model_fingerprint("securities", None),
+            "securities heuristic jaccard=0.45"
+        );
+        assert_ne!(
+            model_fingerprint("securities", None),
+            model_fingerprint("companies", None)
+        );
+        let matcher = TrainedMatcher::new(
+            LogisticModel::new(FeatureConfig::default().dim()),
+            FeatureConfig::default(),
+        );
+        let a = SavedModel::new(ModelSpec::Ditto128, matcher.clone());
+        let b = SavedModel::new(ModelSpec::Ditto128, matcher.with_threshold(0.7));
+        assert_ne!(
+            model_fingerprint("securities", Some(&a)),
+            model_fingerprint("securities", Some(&b)),
+            "fingerprint must cover model contents, not just its shape"
+        );
+        assert_ne!(
+            model_fingerprint("securities", Some(&a)),
+            model_fingerprint("products", Some(&a)),
+            "fingerprint must cover the domain"
+        );
+    }
+}

@@ -15,6 +15,8 @@
 //! * [`domain`] — the `MatchingDomain` trait + the three paper domains,
 //! * [`engine`] — the long-lived `MatchEngine`: bootstrap / apply-batch /
 //!   group-lookup lifecycle, the single production execution path,
+//! * [`host`] — the multi-tenant `EngineHost`: named, domain-erased
+//!   `TenantEngine`s with per-tenant model routing and hot model swap,
 //! * [`stage`] — the `Stage` trait, context, and the legacy staged lineup
 //!   (kept as the equivalence-test oracle),
 //! * [`shard`] — the `ShardPlan` partition, the dirty-component
@@ -36,6 +38,7 @@ pub mod diagnostics;
 pub mod domain;
 pub mod engine;
 pub mod groups;
+pub mod host;
 pub mod incremental;
 pub mod label_propagation;
 pub mod metrics;
@@ -64,6 +67,10 @@ pub use engine::{
     ScorerProvider,
 };
 pub use groups::{count_group_pairs, entity_groups, group_assignment, prediction_graph};
+pub use host::{
+    model_fingerprint, scorer_provider, EngineHost, EngineTenant, HostError, TenantEngine,
+    HEURISTIC_JACCARD,
+};
 pub use incremental::{churn_window, PipelineState, UpsertBatch, UpsertOutcome};
 pub use label_propagation::{label_propagation_groups, LabelPropagationConfig};
 pub use metrics::{group_metrics, pairwise_metrics, GroupMetrics, PairMetrics};

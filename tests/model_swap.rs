@@ -1,0 +1,192 @@
+//! Hot model swap on a live tenant: a rejected swap must leave the old
+//! scorer serving **bit-identically**, and an accepted swap must change
+//! scoring only for *subsequent* batches — standing groups are never
+//! re-scored, other tenants' epochs never move.
+
+use gralmatch::blocking::{Blocker, SecurityIdOverlap, TokenOverlap, TokenOverlapConfig};
+use gralmatch::core::{
+    model_fingerprint, scorer_provider, EngineHost, EngineTenant, HostError, MatchEngine,
+    PipelineConfig, ShardPlan, TenantEngine, UpsertBatch,
+};
+use gralmatch::datagen::{generate, FinancialDataset, GenerationConfig};
+use gralmatch::lm::{FeatureConfig, LogisticModel, ModelSpec, SavedModel, TrainedMatcher};
+use gralmatch::records::{CompanyRecord, RecordId, RecordPair, SecurityRecord};
+use gralmatch::util::ToJson;
+
+fn dataset() -> FinancialDataset {
+    let mut config = GenerationConfig::synthetic_full();
+    config.num_entities = 50;
+    generate(&config).unwrap()
+}
+
+fn security_lineup() -> Vec<Box<dyn Blocker<SecurityRecord>>> {
+    vec![
+        Box::new(SecurityIdOverlap),
+        Box::new(TokenOverlap::new(TokenOverlapConfig::default())),
+    ]
+}
+
+fn security_tenant(records: Vec<SecurityRecord>) -> EngineTenant<SecurityRecord> {
+    let (engine, _) = MatchEngine::bootstrap(
+        ShardPlan::new(2),
+        records,
+        security_lineup(),
+        scorer_provider(None),
+        PipelineConfig::new(25, 5),
+    )
+    .unwrap();
+    EngineTenant::new("securities", engine, model_fingerprint("securities", None))
+}
+
+fn company_tenant(records: Vec<CompanyRecord>) -> EngineTenant<CompanyRecord> {
+    let (engine, _) = MatchEngine::bootstrap(
+        ShardPlan::new(2),
+        records,
+        vec![Box::new(TokenOverlap::new(TokenOverlapConfig::default()))],
+        scorer_provider(None),
+        PipelineConfig::new(25, 5),
+    )
+    .unwrap();
+    EngineTenant::new("companies", engine, model_fingerprint("companies", None))
+}
+
+/// An untrained but loadable model: scores differ from the heuristic's
+/// token-overlap scores for essentially every pair.
+fn test_model() -> SavedModel {
+    let matcher = TrainedMatcher::new(
+        LogisticModel::new(FeatureConfig::default().dim()),
+        FeatureConfig::default(),
+    );
+    SavedModel::new(ModelSpec::Ditto128, matcher)
+}
+
+/// A spread of live pairs to probe the scorer with.
+fn sample_pairs(count: u32) -> Vec<RecordPair> {
+    (0..count)
+        .map(|i| RecordPair::new(RecordId(2 * i), RecordId(2 * i + 1)))
+        .collect()
+}
+
+/// Bit-exact scores — `f32` equality would paper over regime blends.
+fn score_bits(tenant: &dyn TenantEngine, pairs: &[RecordPair]) -> Vec<u32> {
+    pairs
+        .iter()
+        .map(|pair| tenant.score_pair(*pair).to_bits())
+        .collect()
+}
+
+fn normalize(groups: Vec<Vec<RecordId>>) -> Vec<Vec<RecordId>> {
+    let mut out: Vec<Vec<RecordId>> = groups
+        .into_iter()
+        .map(|mut group| {
+            group.sort_unstable();
+            group
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn rejected_swap_leaves_the_old_scorer_serving_bit_identically() {
+    let data = dataset();
+    let mut host = EngineHost::new();
+    host.add_tenant(
+        "sec",
+        Box::new(security_tenant(data.securities.records().to_vec())),
+    )
+    .unwrap();
+    host.add_tenant(
+        "comp",
+        Box::new(company_tenant(data.companies.records().to_vec())),
+    )
+    .unwrap();
+
+    let pairs = sample_pairs(20);
+    let before = score_bits(host.tenant("sec").unwrap(), &pairs);
+    let heuristic = model_fingerprint("securities", None);
+    let model = test_model();
+
+    // A sidecar recorded for another domain is a fingerprint mismatch.
+    let wrong_domain = model_fingerprint("companies", Some(&model));
+    let err = host.swap_model("sec", model.clone(), Some(&wrong_domain));
+    assert!(matches!(err, Err(HostError::ModelRejected(_))), "{err:?}");
+
+    // So is a corrupted digest.
+    let mut corrupted = model_fingerprint("securities", Some(&model));
+    corrupted.push('0');
+    let err = host.swap_model("sec", model, Some(&corrupted));
+    assert!(matches!(err, Err(HostError::ModelRejected(_))), "{err:?}");
+
+    // The old scorer keeps serving: same fingerprint, same epoch, and
+    // every probed pair scores to the exact same bits.
+    let sec = host.tenant("sec").unwrap();
+    assert_eq!(sec.fingerprint(), heuristic);
+    assert_eq!(sec.snapshot().epoch(), 1);
+    assert_eq!(score_bits(sec, &pairs), before);
+    // And the other tenant never noticed.
+    assert_eq!(host.tenant("comp").unwrap().snapshot().epoch(), 1);
+}
+
+#[test]
+fn accepted_swap_changes_scoring_only_for_subsequent_batches() {
+    let data = dataset();
+    let records = data.securities.records().to_vec();
+    let initial = records.len() - 6;
+
+    // Twin tenants over the same bootstrap; `swapped` gets the model,
+    // `control` keeps the heuristic.
+    let mut host = EngineHost::new();
+    host.add_tenant(
+        "swapped",
+        Box::new(security_tenant(records[..initial].to_vec())),
+    )
+    .unwrap();
+    host.add_tenant(
+        "control",
+        Box::new(security_tenant(records[..initial].to_vec())),
+    )
+    .unwrap();
+
+    let pairs = sample_pairs(20);
+    let before = score_bits(host.tenant("swapped").unwrap(), &pairs);
+    assert_eq!(
+        score_bits(host.tenant("control").unwrap(), &pairs),
+        before,
+        "twins must start from identical scoring"
+    );
+    let standing = normalize(host.tenant("control").unwrap().snapshot().groups());
+
+    let model = test_model();
+    let fingerprint = model_fingerprint("securities", Some(&model));
+    let adopted = host
+        .swap_model("swapped", model, Some(&fingerprint))
+        .expect("matching sidecar is accepted");
+    assert_eq!(adopted, fingerprint);
+
+    // The swap republished (epoch bump) but re-scored nothing: standing
+    // groups are exactly the control's.
+    let swapped = host.tenant("swapped").unwrap();
+    assert_eq!(swapped.snapshot().epoch(), 2);
+    assert_eq!(normalize(swapped.snapshot().groups()), standing);
+    assert_eq!(host.tenant("control").unwrap().snapshot().epoch(), 1);
+
+    // Future scoring goes through the new model — and only on the
+    // swapped tenant.
+    let after = score_bits(swapped, &pairs);
+    assert_ne!(after, before, "the new model must change pair scores");
+    assert_eq!(score_bits(host.tenant("control").unwrap(), &pairs), before);
+
+    // Subsequent batches apply under each tenant's own regime.
+    let growth = UpsertBatch::inserting(records[initial..].to_vec()).to_json();
+    for name in ["swapped", "control"] {
+        let tenant = host.tenant_mut(name).unwrap();
+        let (outcome, _) = tenant
+            .apply_batch_json(&growth)
+            .expect("growth batch applies");
+        assert_eq!(outcome.inserted, records.len() - initial);
+    }
+    assert_eq!(host.tenant("swapped").unwrap().snapshot().epoch(), 3);
+    assert_eq!(host.tenant("control").unwrap().snapshot().epoch(), 2);
+    assert_eq!(host.tenant("swapped").unwrap().fingerprint(), fingerprint);
+}

@@ -15,14 +15,17 @@
 //!   that group via `group_of`, and the group's root answers `members`
 //!   with the same member list.
 
+use gralmatch::blocking::{Blocker, SecurityIdOverlap, TokenOverlap, TokenOverlapConfig};
 use gralmatch::core::{
-    churn_window, FixedScorerProvider, MatchEngine, MatchingDomain, OracleScorer, PipelineConfig,
-    SecurityDomain, ShardPlan, UpsertBatch,
+    churn_window, model_fingerprint, scorer_provider, EngineHost, EngineTenant,
+    FixedScorerProvider, MatchEngine, MatchingDomain, OracleScorer, PipelineConfig, SecurityDomain,
+    ShardPlan, UpsertBatch,
 };
 use gralmatch::datagen::{generate, FinancialDataset, GenerationConfig};
-use gralmatch::records::{Record, RecordId, SecurityRecord};
+use gralmatch::records::{CompanyRecord, Record, RecordId, SecurityRecord};
 use gralmatch::util::{FxHashMap, PublishedReader};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 const READERS: usize = 3;
 
@@ -213,4 +216,164 @@ fn racing_readers_observe_only_oracle_epochs() {
     });
     assert_eq!(engine.snapshot().epoch(), final_epoch);
     assert_eq!(engine.stats().num_live, securities.len());
+}
+
+fn security_lineup() -> Vec<Box<dyn Blocker<SecurityRecord>>> {
+    vec![
+        Box::new(SecurityIdOverlap),
+        Box::new(TokenOverlap::new(TokenOverlapConfig::default())),
+    ]
+}
+
+/// Two tenants in one [`EngineHost`]: churn on one must never move the
+/// other's epoch or replace its published snapshot. The churning tenant's
+/// racing readers are still held to the full single-tenant oracle — tenant
+/// isolation must not come at the cost of per-tenant consistency.
+#[test]
+fn two_tenant_host_isolates_epochs_between_tenants() {
+    let data = dataset(91);
+    let securities = data.securities.records();
+    let companies = data.companies.records();
+    let config = PipelineConfig::new(25, 5);
+    let plan = ShardPlan::new(2);
+    let initial = securities.len() * 3 / 5;
+    let batches = batch_sequence(securities, initial, 6);
+    assert!(batches.iter().any(|batch| !batch.deletes.is_empty()));
+
+    // Oracle: a twin securities engine replaying the same sequence under
+    // the same heuristic scorer the hosted tenant will use.
+    let mut oracle: FxHashMap<u64, Vec<Vec<RecordId>>> = FxHashMap::default();
+    {
+        let (mut engine, outcome) = MatchEngine::bootstrap(
+            plan,
+            securities[..initial].to_vec(),
+            security_lineup(),
+            scorer_provider(None),
+            config.clone(),
+        )
+        .expect("oracle bootstrap");
+        oracle.insert(outcome.epoch, normalize(&engine.groups()));
+        for batch in &batches {
+            let outcome = engine.apply_batch(batch).expect("oracle batch applies");
+            oracle.insert(outcome.epoch, normalize(&engine.groups()));
+        }
+    }
+    let final_epoch = batches.len() as u64 + 1;
+
+    // The host: a frozen companies tenant beside the churning one.
+    let mut host = EngineHost::new();
+    let (comp_engine, _) = MatchEngine::bootstrap(
+        plan,
+        companies.to_vec(),
+        vec![Box::new(TokenOverlap::new(TokenOverlapConfig::default()))
+            as Box<dyn Blocker<CompanyRecord>>],
+        scorer_provider(None),
+        config.clone(),
+    )
+    .expect("frozen bootstrap");
+    host.add_tenant(
+        "frozen",
+        Box::new(EngineTenant::new(
+            "companies",
+            comp_engine,
+            model_fingerprint("companies", None),
+        )),
+    )
+    .unwrap();
+    let (sec_engine, _) = MatchEngine::bootstrap(
+        plan,
+        securities[..initial].to_vec(),
+        security_lineup(),
+        scorer_provider(None),
+        config,
+    )
+    .expect("churn bootstrap");
+    host.add_tenant(
+        "churn",
+        Box::new(EngineTenant::new(
+            "securities",
+            sec_engine,
+            model_fingerprint("securities", None),
+        )),
+    )
+    .unwrap();
+
+    let frozen_source = host.tenant("frozen").unwrap().snapshot_source();
+    let churn_source = host.tenant("churn").unwrap().snapshot_source();
+    let frozen_before = host.tenant("frozen").unwrap().snapshot();
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let churn_handles: Vec<_> = (0..READERS)
+            .map(|_| {
+                let source = churn_source.clone();
+                let (stop, oracle) = (&stop, &oracle);
+                scope.spawn(move || {
+                    let mut reader = PublishedReader::new(source);
+                    let mut last_epoch = 0;
+                    let mut checks: u64 = 0;
+                    loop {
+                        let done = stop.load(Ordering::Acquire);
+                        let snapshot = reader.current();
+                        assert!(snapshot.epoch() >= last_epoch, "epoch regressed");
+                        last_epoch = snapshot.epoch();
+                        check_snapshot(snapshot, oracle);
+                        checks += 1;
+                        if done && last_epoch == final_epoch {
+                            return checks;
+                        }
+                    }
+                })
+            })
+            .collect();
+        let frozen_handle = {
+            let source = frozen_source.clone();
+            let (stop, frozen_before) = (&stop, &frozen_before);
+            scope.spawn(move || {
+                let mut reader = PublishedReader::new(source);
+                let mut checks: u64 = 0;
+                loop {
+                    let done = stop.load(Ordering::Acquire);
+                    let snapshot = reader.current();
+                    assert_eq!(
+                        snapshot.epoch(),
+                        1,
+                        "frozen tenant's epoch moved under another tenant's churn"
+                    );
+                    assert!(
+                        Arc::ptr_eq(snapshot, frozen_before),
+                        "frozen tenant's snapshot was republished"
+                    );
+                    checks += 1;
+                    if done {
+                        return checks;
+                    }
+                }
+            })
+        };
+
+        let tenant = host
+            .typed_tenant_mut::<SecurityRecord>("churn")
+            .expect("churn tenant downcasts to its record type");
+        for batch in &batches {
+            tenant.apply(batch).expect("live batch applies");
+        }
+        stop.store(true, Ordering::Release);
+
+        for handle in churn_handles {
+            let checks = handle.join().expect("churn reader panicked");
+            assert!(checks > 0);
+        }
+        let checks = frozen_handle.join().expect("frozen reader panicked");
+        assert!(checks > 0);
+    });
+    assert_eq!(
+        host.tenant("churn").unwrap().snapshot().epoch(),
+        final_epoch
+    );
+    assert_eq!(host.tenant("frozen").unwrap().snapshot().epoch(), 1);
+    assert!(Arc::ptr_eq(
+        &host.tenant("frozen").unwrap().snapshot(),
+        &frozen_before
+    ));
 }

@@ -21,6 +21,7 @@
 //! ```text
 //! serve run [--tenant NAME:DOMAIN:STATE[:MODEL]]…
 //!           [--state serve-state.json] [--model model.json]
+//!           [--durable DIR]
 //!           [--apply [TENANT:]delta-1.json]… [--save-state [TENANT:]out.json]
 //!           [--listen ADDR [--readers N] [--client-script FILE]]
 //! ```
@@ -33,16 +34,25 @@
 //! through a real TCP client against the bound listener and shuts the
 //! server down after). Malformed lines answer with a coded
 //! `error: <code>: <message>` line and the service keeps running.
+//!
+//! `--durable DIR` arms crash-safe binary persistence on every tenant:
+//! each keeps a checksummed binary snapshot at `DIR/<tenant>.bin` plus an
+//! append-only WAL at `DIR/<tenant>.bin.wal` (`docs/STATE.md`), and a
+//! restart recovers from snapshot + WAL tail instead of re-parsing the
+//! JSON state. A state file that is itself a binary snapshot (magic
+//! `GMSN`) is detected and recovered from directly, with or without
+//! `--durable`.
 
 use gralmatch_bench::cli::BenchCli;
 use gralmatch_bench::harness::{prepare_synthetic, Scale};
 use gralmatch_bench::net::serve_tcp;
 use gralmatch_bench::serve::{
     bootstrap_tenant, fingerprint_path, latency_line, load_batch_json, resume_tenant_named,
-    save_batch, HostSession, ServeDomain,
+    resume_tenant_named_binary, save_batch, HostSession, ServeDomain,
 };
 use gralmatch_core::{
-    churn_window, model_fingerprint, EngineHost, ShardPlan, TenantEngine, UpsertBatch,
+    churn_window, model_fingerprint, persist, CheckpointPolicy, EngineHost, RecoveryReport,
+    ShardPlan, TenantEngine, UpsertBatch,
 };
 use gralmatch_datagen::{generate_wdc, WdcConfig};
 use gralmatch_lm::SavedModel;
@@ -157,39 +167,108 @@ fn bootstrap_domain<R: ServeDomain>(cli: &BenchCli, scale: Scale, records: Vec<R
 }
 
 /// Resume one tenant from its state file, enforcing the scorer sidecar.
+/// With `durable_dir`, an existing checkpoint at `DIR/<name>.bin` wins
+/// over the state file (the fast-restart path), and a tenant resumed
+/// from JSON gets durability enabled there afterwards.
 fn resume_one(
     name: &str,
     domain: &str,
     state_path: &str,
     model_path: Option<&str>,
+    durable_dir: Option<&str>,
 ) -> Box<dyn TenantEngine> {
-    let text =
-        std::fs::read_to_string(state_path).unwrap_or_else(|e| panic!("reading {state_path}: {e}"));
     let model = load_model(model_path);
     // Standing predictions were scored under the bootstrap scorer; mixing
     // in a different one would silently blend scoring regimes. The
     // sidecar is advisory (absent for hand-built states) but a recorded
     // mismatch is fatal.
     let fingerprint = model_fingerprint(domain, model.as_ref());
-    if let Ok(recorded) = std::fs::read_to_string(fingerprint_path(state_path)) {
-        assert_eq!(
-            recorded.trim(),
-            fingerprint,
-            "{state_path} was built with a different scorer — pass the matching model for \
-             tenant {name}"
+    let check_sidecar = |path: &str| {
+        if let Ok(recorded) = std::fs::read_to_string(fingerprint_path(path)) {
+            assert_eq!(
+                recorded.trim(),
+                fingerprint,
+                "{path} was built with a different scorer — pass the matching model for \
+                 tenant {name}"
+            );
+        }
+    };
+    let report_recovery = |path: &str, report: &RecoveryReport, seconds: f64| {
+        eprintln!(
+            "serve: tenant {name} ({domain}) recovered {path} in {seconds:.3}s (snapshot \
+             epoch {}, {} WAL frame(s) replayed{})",
+            report.snapshot_epoch,
+            report.batches_replayed,
+            if report.truncated_tail {
+                ", torn tail truncated"
+            } else {
+                ""
+            },
         );
-    }
+    };
     let load_watch = gralmatch_util::Stopwatch::start();
-    let tenant = resume_tenant_named(domain, &text, model)
-        .unwrap_or_else(|e| panic!("resuming {state_path} as {domain}: {e:?}"));
-    let stats = tenant.stats();
-    eprintln!(
-        "serve: tenant {name} ({domain}) resumed {state_path} in {:.3}s ({} live records, {} \
-         groups)",
-        load_watch.elapsed_secs(),
-        stats.num_live,
-        stats.num_groups
-    );
+
+    let durable_snapshot = durable_dir.map(|dir| format!("{dir}/{name}.bin"));
+    let mut recovered_from_checkpoint = false;
+    let mut tenant: Box<dyn TenantEngine> = match &durable_snapshot {
+        // A checkpoint from a previous durable run wins over the state
+        // file: O(snapshot + WAL tail) instead of a JSON re-parse.
+        Some(path) if Path::new(path).exists() => {
+            check_sidecar(path);
+            let (tenant, report) =
+                resume_tenant_named_binary(domain, path, model, CheckpointPolicy::default())
+                    .unwrap_or_else(|e| panic!("recovering {path} as {domain}: {e:?}"));
+            report_recovery(path, &report, load_watch.elapsed_secs());
+            recovered_from_checkpoint = true;
+            tenant
+        }
+        _ => {
+            let bytes =
+                std::fs::read(state_path).unwrap_or_else(|e| panic!("reading {state_path}: {e}"));
+            check_sidecar(state_path);
+            if persist::is_binary_state(&bytes) {
+                let (tenant, report) = resume_tenant_named_binary(
+                    domain,
+                    state_path,
+                    model,
+                    CheckpointPolicy::default(),
+                )
+                .unwrap_or_else(|e| panic!("recovering {state_path} as {domain}: {e:?}"));
+                report_recovery(state_path, &report, load_watch.elapsed_secs());
+                tenant
+            } else {
+                let text = String::from_utf8(bytes).unwrap_or_else(|e| {
+                    panic!(
+                        "{state_path} is neither a binary snapshot nor \
+                     UTF-8 JSON: {e}"
+                    )
+                });
+                let tenant = resume_tenant_named(domain, &text, model)
+                    .unwrap_or_else(|e| panic!("resuming {state_path} as {domain}: {e:?}"));
+                let stats = tenant.stats();
+                eprintln!(
+                    "serve: tenant {name} ({domain}) resumed {state_path} in {:.3}s ({} live \
+                     records, {} groups)",
+                    load_watch.elapsed_secs(),
+                    stats.num_live,
+                    stats.num_groups
+                );
+                tenant
+            }
+        }
+    };
+    if let Some(path) = &durable_snapshot {
+        if !recovered_from_checkpoint {
+            if let Some(dir) = durable_dir {
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| panic!("creating durable dir {dir}: {e}"));
+            }
+            tenant
+                .enable_durability(Path::new(path), CheckpointPolicy::default())
+                .unwrap_or_else(|e| panic!("enabling durability for tenant {name}: {e}"));
+            eprintln!("serve: tenant {name} durable at {path} (WAL {path}.wal)");
+        }
+    }
     tenant
 }
 
@@ -206,12 +285,19 @@ fn tenant_path<'a>(session: &HostSession, value: &'a str) -> (String, &'a str) {
 fn run(cli: &BenchCli) {
     let mut host = EngineHost::new();
     let specs = cli.all("tenant");
+    let durable_dir = cli.value("durable");
     if specs.is_empty() {
         // Single-tenant fallback: one securities host from --state.
         let state_path = cli.value("state").unwrap_or("serve-state.json");
         host.add_tenant(
             "securities",
-            resume_one("securities", "securities", state_path, cli.value("model")),
+            resume_one(
+                "securities",
+                "securities",
+                state_path,
+                cli.value("model"),
+                durable_dir,
+            ),
         )
         .expect("register fallback tenant");
     } else {
@@ -223,7 +309,7 @@ fn run(cli: &BenchCli) {
             };
             host.add_tenant(
                 name,
-                resume_one(name, domain, state_path, parts.get(3).copied()),
+                resume_one(name, domain, state_path, parts.get(3).copied(), durable_dir),
             )
             .unwrap_or_else(|e| panic!("registering tenant {name}: {e}"));
         }
@@ -351,6 +437,7 @@ fn main() {
         "state",
         "model",
         "tenant",
+        "durable",
         "apply",
         "save-state",
         "listen",
@@ -364,7 +451,8 @@ fn main() {
             eprintln!(
                 "usage: serve bootstrap|run [--domain D] [--shards N] [--deltas K] \
                  [--deltas-out DIR] [--state FILE] [--model FILE] \
-                 [--tenant NAME:DOMAIN:STATE[:MODEL]]... [--apply [TENANT:]FILE]... \
+                 [--tenant NAME:DOMAIN:STATE[:MODEL]]... [--durable DIR] \
+                 [--apply [TENANT:]FILE]... \
                  [--save-state [TENANT:]FILE]... [--listen ADDR] [--readers N] \
                  [--client-script FILE] (got {other:?})"
             );

@@ -1,0 +1,256 @@
+//! Binary state persistence benchmark: snapshot save/load and WAL
+//! replay vs the JSON `PipelineState` codec.
+//!
+//! Bootstraps a securities engine over the leading 70 % of the scaled
+//! synthetic benchmark (`GRALMATCH_SCALE`), then times, over `--reps`
+//! repetitions:
+//!
+//! * **JSON save/load** — `PipelineState::to_json` pretty text to disk,
+//!   read + parse + `from_json` back (the `save_state`/resume path);
+//! * **binary save/load** — `encode_state` + atomic write, read +
+//!   `decode_state` (the checkpoint/recovery path, `docs/STATE.md`);
+//! * **WAL append** — encoding each churn batch over the remaining 30 %
+//!   and appending it to a fresh log (the per-batch durability cost,
+//!   which must scale with the *delta*, not the standing state);
+//! * **WAL replay** — recovering a second engine from the binary
+//!   snapshot and replaying every appended frame.
+//!
+//! The report (default `STATEBENCH.json`, or merged into a repro report
+//! with `--merge-into`) carries a gated `state` object
+//! (`state:snapshot_save_s`, `state:snapshot_load_s`,
+//! `state:wal_replay_s` — seconds, bigger = worse) and an ungated
+//! `state_info` object with the JSON timings, speedups, and file sizes.
+//! `--mode json` swaps the JSON codec's timings into the gated
+//! save/load slots — CI uses that to verify `perfcmp` fails when the
+//! binary fast path is replaced by the JSON codec.
+//!
+//! Exits nonzero when binary load is less than `--min-speedup` (default
+//! 5) times faster than JSON load, or when the replayed engine's groups
+//! diverge from the directly-advanced oracle. The report is written
+//! before the checks so baseline regeneration works everywhere.
+
+use gralmatch_bench::cli::BenchCli;
+use gralmatch_bench::harness::{prepare_synthetic, Scale};
+use gralmatch_bench::serve::{serve_config, ServeDomain};
+use gralmatch_core::{
+    churn_window, persist, scorer_provider, MatchEngine, PipelineState, ShardPlan, UpsertBatch,
+    WalWriter,
+};
+use gralmatch_records::SecurityRecord;
+use gralmatch_util::{FromJson, Json, Stopwatch, ToJson};
+
+fn main() {
+    let cli = BenchCli::parse(&["merge-into", "mode", "reps", "min-speedup", "batches"]);
+    let out_path = cli.out_path("STATEBENCH.json");
+    let scale = Scale::from_env();
+    let mode = cli.value("mode").unwrap_or("binary");
+    assert!(
+        mode == "binary" || mode == "json",
+        "--mode must be `binary` or `json`, got {mode:?}"
+    );
+    let reps = cli.usize_value("reps").unwrap_or(3).max(1);
+    let num_batches = cli.usize_value("batches").unwrap_or(4).max(1);
+    let min_speedup: f64 = cli
+        .value("min-speedup")
+        .map(|v| v.parse().expect("--min-speedup needs a number"))
+        .unwrap_or(5.0);
+
+    let records = prepare_synthetic(scale).data.securities.records().to_vec();
+    let initial = records.len() * 7 / 10;
+    let dir = std::env::temp_dir().join(format!("gralmatch-statebench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create statebench scratch dir");
+
+    let (mut engine, _) = MatchEngine::bootstrap(
+        ShardPlan::new(4),
+        records[..initial].to_vec(),
+        SecurityRecord::serve_strategies(),
+        scorer_provider::<SecurityRecord>(None),
+        serve_config(),
+    )
+    .expect("bootstrap succeeds");
+    println!(
+        "statebench: scale {} — {} records bootstrapped ({} held out), {num_batches} churn \
+         batches, {reps} reps",
+        scale.0,
+        initial,
+        records.len() - initial
+    );
+
+    // ── JSON codec: the save_state / resume path ─────────────────────
+    let json_path = dir.join("state.json");
+    let mut json_save_s = 0.0;
+    for _ in 0..reps {
+        let watch = Stopwatch::start();
+        let text = engine.state().to_json().to_pretty_string();
+        std::fs::write(&json_path, &text).expect("write JSON state");
+        json_save_s += watch.elapsed_secs();
+    }
+    let json_bytes = std::fs::metadata(&json_path)
+        .expect("JSON state written")
+        .len();
+    let mut json_load_s = 0.0;
+    for _ in 0..reps {
+        let watch = Stopwatch::start();
+        let text = std::fs::read_to_string(&json_path).expect("read JSON state");
+        let json = Json::parse(&text).expect("parse JSON state");
+        let state: PipelineState<SecurityRecord> =
+            PipelineState::from_json(&json).expect("decode JSON state");
+        json_load_s += watch.elapsed_secs();
+        assert_eq!(state.num_live(), engine.stats().num_live);
+    }
+
+    // ── Binary codec: the checkpoint / recovery path ─────────────────
+    let bin_path = dir.join("state.bin");
+    let epoch = engine.snapshot().epoch();
+    let batches_applied = engine.stats().batches_applied;
+    let mut bin_save_s = 0.0;
+    for _ in 0..reps {
+        let watch = Stopwatch::start();
+        let bytes = persist::encode_state(engine.state(), epoch, batches_applied);
+        persist::write_atomic(&bin_path, &bytes).expect("write binary snapshot");
+        bin_save_s += watch.elapsed_secs();
+    }
+    let bin_bytes = std::fs::metadata(&bin_path)
+        .expect("snapshot written")
+        .len();
+    let mut bin_load_s = 0.0;
+    for _ in 0..reps {
+        let watch = Stopwatch::start();
+        let bytes = std::fs::read(&bin_path).expect("read binary snapshot");
+        let snapshot = persist::decode_state::<SecurityRecord>(&bytes).expect("decode snapshot");
+        bin_load_s += watch.elapsed_secs();
+        assert_eq!(snapshot.state.num_live(), engine.stats().num_live);
+    }
+
+    // ── WAL append: per-batch durability cost over the delta ─────────
+    let remainder = &records[initial..];
+    let chunk = remainder.len().div_ceil(num_batches).max(1);
+    let mut batches: Vec<UpsertBatch<SecurityRecord>> = Vec::new();
+    for (j, slice) in remainder.chunks(chunk).take(num_batches).enumerate() {
+        let mut batch = UpsertBatch::inserting(slice.to_vec());
+        batch.deletes = records[churn_window(initial, j, 9)]
+            .iter()
+            .map(|record| record.id)
+            .collect();
+        batches.push(batch);
+    }
+    let wal_scratch = persist::wal_path(&bin_path);
+    let mut wal = WalWriter::open(&wal_scratch, false).expect("open WAL");
+    let mut wal_append_s = 0.0;
+    for batch in &batches {
+        let watch = Stopwatch::start();
+        let payload = persist::encode_batch(batch);
+        wal.append(&payload).expect("append WAL frame");
+        wal_append_s += watch.elapsed_secs();
+    }
+    drop(wal);
+    let wal_bytes = std::fs::metadata(&wal_scratch).expect("WAL written").len();
+
+    // Advance the oracle engine through the same batches in memory.
+    for batch in &batches {
+        engine.apply_batch(batch).expect("apply batch");
+    }
+
+    // ── Recovery: snapshot decode + WAL replay ───────────────────────
+    let bytes = std::fs::read(&bin_path).expect("read binary snapshot");
+    let snapshot = persist::decode_state::<SecurityRecord>(&bytes).expect("decode snapshot");
+    let mut replayed = MatchEngine::from_state(
+        snapshot.state,
+        SecurityRecord::serve_strategies(),
+        scorer_provider::<SecurityRecord>(None),
+        serve_config(),
+    );
+    let replay_watch = Stopwatch::start();
+    let frames = persist::read_wal(&wal_scratch).expect("read WAL");
+    assert!(!frames.torn, "fresh WAL has no torn tail");
+    for frame in &frames.frames {
+        let batch = persist::decode_batch::<SecurityRecord>(frame).expect("decode WAL frame");
+        replayed.apply_batch(&batch).expect("replay batch");
+    }
+    let wal_replay_s = replay_watch.elapsed_secs();
+
+    let load_speedup = if bin_load_s > 0.0 {
+        json_load_s / bin_load_s
+    } else {
+        f64::INFINITY
+    };
+    let save_speedup = if bin_save_s > 0.0 {
+        json_save_s / bin_save_s
+    } else {
+        f64::INFINITY
+    };
+    println!(
+        "statebench: load json {:.4}s vs binary {:.4}s → {load_speedup:.1}x; save json {:.4}s \
+         vs binary {:.4}s → {save_speedup:.1}x; {} WAL frames appended in {wal_append_s:.4}s, \
+         replayed in {wal_replay_s:.4}s",
+        json_load_s,
+        bin_load_s,
+        json_save_s,
+        bin_save_s,
+        frames.frames.len()
+    );
+
+    // Gated section: seconds, bigger = worse. Default is the binary
+    // path; `--mode json` injects the JSON codec's timings so CI can
+    // prove the gate catches a fallback to it.
+    let (gated_save, gated_load) = match mode {
+        "json" => (json_save_s, json_load_s),
+        _ => (bin_save_s, bin_load_s),
+    };
+    let state = Json::obj([
+        ("snapshot_save_s", gated_save.to_json()),
+        ("snapshot_load_s", gated_load.to_json()),
+        ("wal_replay_s", wal_replay_s.to_json()),
+    ]);
+    let state_info = Json::obj([
+        ("mode", Json::Str(mode.to_string())),
+        ("load_speedup_vs_json", load_speedup.to_json()),
+        ("save_speedup_vs_json", save_speedup.to_json()),
+        ("json_save_s", json_save_s.to_json()),
+        ("json_load_s", json_load_s.to_json()),
+        ("binary_save_s", bin_save_s.to_json()),
+        ("binary_load_s", bin_load_s.to_json()),
+        ("wal_append_s", wal_append_s.to_json()),
+        ("json_bytes", (json_bytes as f64).to_json()),
+        ("binary_bytes", (bin_bytes as f64).to_json()),
+        ("wal_bytes", (wal_bytes as f64).to_json()),
+        ("wal_frames", (frames.frames.len() as f64).to_json()),
+        ("reps", (reps as f64).to_json()),
+        ("records", (records.len() as f64).to_json()),
+    ]);
+    write_report(&out_path, cli.value("merge-into"), state, state_info);
+
+    // Correctness backstop: the replayed engine must equal the oracle.
+    if replayed.groups() != engine.groups() {
+        eprintln!("statebench: FAILED — snapshot+WAL recovery diverged from the oracle engine");
+        std::process::exit(1);
+    }
+    if load_speedup < min_speedup {
+        eprintln!(
+            "statebench: FAILED — binary load only {load_speedup:.2}x the JSON codec \
+             (expected ≥ {min_speedup}x)"
+        );
+        std::process::exit(1);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("statebench ok: {load_speedup:.1}x load speedup over JSON → {out_path}");
+}
+
+/// Write the standalone report, and optionally merge the two state
+/// sections into an existing repro report (replacing prior ones).
+fn write_report(out_path: &str, merge_into: Option<&str>, state: Json, state_info: Json) {
+    let report = Json::obj([("state", state.clone()), ("state_info", state_info.clone())]);
+    std::fs::write(out_path, report.to_pretty_string()).expect("write statebench report");
+    let Some(path) = merge_into else { return };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    let mut target = Json::parse(&text).unwrap_or_else(|e| panic!("{path}: {}", e.message));
+    let Json::Obj(fields) = &mut target else {
+        panic!("{path} is not a JSON object");
+    };
+    fields.retain(|(key, _)| key != "state" && key != "state_info");
+    fields.push(("state".to_string(), state));
+    fields.push(("state_info".to_string(), state_info));
+    std::fs::write(path, target.to_pretty_string()).expect("write merged report");
+    eprintln!("statebench: merged state sections into {path}");
+}

@@ -136,6 +136,22 @@ pub fn stage_totals(report: &Json) -> Result<Vec<(String, f64)>, String> {
         }
         Some(_) => return Err("cleanup section is not an object".into()),
     }
+    // Optional state-persistence aggregates merged in by the statebench
+    // binary (`--merge-into`). Same contract as `loadgen`: every value is
+    // seconds with bigger = worse; speedups and byte counts live in the
+    // ungated `state_info` section.
+    match report.get("state") {
+        None => {}
+        Some(Json::Obj(fields)) => {
+            for (label, value) in fields {
+                let seconds = value
+                    .as_f64()
+                    .ok_or_else(|| format!("state `{label}` is not a number"))?;
+                add(format!("state:{label}"), seconds);
+            }
+        }
+        Some(_) => return Err("state section is not an object".into()),
+    }
     Ok(totals)
 }
 
@@ -415,6 +431,44 @@ mod tests {
         let regressions = compare(&baseline, &fallback, &GateConfig::default()).unwrap();
         assert_eq!(regressions.len(), 1);
         assert_eq!(regressions[0].stage, "cleanup:hub_bootstrap_s");
+
+        // Dropping the section is a shape error; absent on both sides is
+        // fine.
+        let without = report(&[&[("blocking", 1.0)]]);
+        assert!(compare(&baseline, &without, &GateConfig::default()).is_err());
+        assert!(compare(&without, &without, &GateConfig::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn state_section_gates_like_a_stage() {
+        let with_state = |load: f64, replay: f64| {
+            let mut base = report(&[&[("blocking", 1.0)]]);
+            if let Json::Obj(fields) = &mut base {
+                fields.push((
+                    "state".to_string(),
+                    Json::obj([
+                        ("snapshot_save_s", 0.3f64.to_json()),
+                        ("snapshot_load_s", load.to_json()),
+                        ("wal_replay_s", replay.to_json()),
+                    ]),
+                ));
+            }
+            base
+        };
+        let baseline = with_state(0.2, 0.5);
+        let totals = stage_totals(&baseline).unwrap();
+        assert!(totals.contains(&("state:snapshot_save_s".to_string(), 0.3)));
+        assert!(totals.contains(&("state:snapshot_load_s".to_string(), 0.2)));
+        assert!(totals.contains(&("state:wal_replay_s".to_string(), 0.5)));
+
+        // A fallback from the binary codec to JSON load (the blowup
+        // statebench's `--mode json` injects) fails the gate.
+        let fallback = with_state(2.0, 0.5);
+        let regressions = compare(&baseline, &fallback, &GateConfig::default()).unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].stage, "state:snapshot_load_s");
 
         // Dropping the section is a shape error; absent on both sides is
         // fine.

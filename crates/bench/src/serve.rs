@@ -20,6 +20,7 @@
 //! [<tenant>.]latency            → tenant batch-apply latency histogram
 //! [<tenant>.]apply <path>       → apply a batch file, print its latency
 //! [<tenant>.]save_state <path>  → persist state + scorer sidecar
+//! [<tenant>.]checkpoint         → binary snapshot + WAL truncate (durable tenants)
 //! model <tenant> <path>         → hot-swap the tenant's SavedModel
 //! {"inserts":[…],…}             → apply an inline batch (current tenant)
 //! ```
@@ -43,13 +44,13 @@
 
 use gralmatch_blocking::{Blocker, SecurityIdOverlap, TokenOverlap, TokenOverlapConfig};
 use gralmatch_core::{
-    model_fingerprint, scorer_provider, EngineHost, EngineTenant, GroupSnapshot, HostError,
-    MatchEngine, PipelineConfig, PipelineState, ShardPlan, TenantEngine, UpsertBatch,
-    UpsertOutcome,
+    model_fingerprint, persist, scorer_provider, CheckpointPolicy, EngineHost, EngineTenant,
+    GroupSnapshot, HostError, MatchEngine, PipelineConfig, PipelineState, RecoveryReport,
+    ShardPlan, TenantEngine, UpsertBatch, UpsertOutcome,
 };
 use gralmatch_lm::SavedModel;
 use gralmatch_records::{CompanyRecord, ProductRecord, Record, RecordId, SecurityRecord};
-use gralmatch_util::{Error, FromJson, Json, LatencyHistogram, ToJson};
+use gralmatch_util::{BinRecord, Error, FromJson, Json, LatencyHistogram, ToJson};
 
 /// The line-protocol version the `hello` banner reports. Bump when a
 /// response format or command grammar changes incompatibly.
@@ -60,7 +61,9 @@ pub const PROTOCOL_VERSION: u32 = 2;
 /// recipes only (no cross-domain borrows), because the same list must be
 /// used at bootstrap and at every resume so incremental re-blocking
 /// reconciles against the candidates the state was built with.
-pub trait ServeDomain: Record + Clone + Send + Sync + ToJson + FromJson + Sized + 'static {
+pub trait ServeDomain:
+    Record + Clone + Send + Sync + ToJson + FromJson + BinRecord + Sized + 'static
+{
     /// Domain name: `"companies"`, `"securities"`, or `"products"`.
     const DOMAIN: &'static str;
 
@@ -166,6 +169,59 @@ pub fn resume_tenant_named(
     }
 }
 
+/// Resume a tenant engine from a **binary** snapshot + WAL
+/// ([`gralmatch_core::persist`]): decode the checksummed snapshot, replay
+/// the log tail, and re-arm durability on the same files. The fingerprint
+/// is computed from `model` *before* the provider consumes it, exactly as
+/// the JSON resume does, and is re-attached so subsequent checkpoints
+/// keep the `.scorer` sidecar current.
+pub fn resume_tenant_binary<R: ServeDomain>(
+    snapshot_path: &str,
+    model: Option<SavedModel>,
+    policy: CheckpointPolicy,
+) -> Result<(EngineTenant<R>, RecoveryReport), Error> {
+    let fingerprint = model_fingerprint(R::DOMAIN, model.as_ref());
+    let (mut engine, report) = gralmatch_core::recover_engine(
+        std::path::Path::new(snapshot_path),
+        R::serve_strategies(),
+        scorer_provider(model),
+        serve_config(),
+        policy,
+    )?;
+    engine.set_durability_fingerprint(Some(fingerprint.clone()));
+    Ok((EngineTenant::new(R::DOMAIN, engine, fingerprint), report))
+}
+
+/// [`resume_tenant_binary`] dispatched on a domain name string — the
+/// binary twin of [`resume_tenant_named`].
+pub fn resume_tenant_named_binary(
+    domain: &str,
+    snapshot_path: &str,
+    model: Option<SavedModel>,
+    policy: CheckpointPolicy,
+) -> Result<(Box<dyn TenantEngine>, RecoveryReport), Error> {
+    match domain {
+        "securities" => {
+            let (tenant, report) =
+                resume_tenant_binary::<SecurityRecord>(snapshot_path, model, policy)?;
+            Ok((Box::new(tenant), report))
+        }
+        "companies" => {
+            let (tenant, report) =
+                resume_tenant_binary::<CompanyRecord>(snapshot_path, model, policy)?;
+            Ok((Box::new(tenant), report))
+        }
+        "products" => {
+            let (tenant, report) =
+                resume_tenant_binary::<ProductRecord>(snapshot_path, model, policy)?;
+            Ok((Box::new(tenant), report))
+        }
+        other => Err(Error::InvalidConfig(format!(
+            "unknown domain {other:?} (expected companies | securities | products)"
+        ))),
+    }
+}
+
 /// One batch application's latency summary, for the per-batch trace the
 /// serve binary prints.
 pub fn latency_line(outcome: &UpsertOutcome, seconds: f64) -> String {
@@ -209,6 +265,8 @@ pub enum ErrorCode {
     ApplyRejected,
     /// A model swap was refused; the old scorer keeps serving.
     ModelRejected,
+    /// `checkpoint` on a tenant that never enabled durability.
+    NotDurable,
     /// Reading or writing a file failed.
     Io,
     /// The single writer is gone (server shutting down).
@@ -227,6 +285,7 @@ impl ErrorCode {
             ErrorCode::UnknownGroup => "unknown-group",
             ErrorCode::ApplyRejected => "apply-rejected",
             ErrorCode::ModelRejected => "model-rejected",
+            ErrorCode::NotDurable => "not-durable",
             ErrorCode::Io => "io",
             ErrorCode::WriterGone => "writer-gone",
         }
@@ -250,6 +309,7 @@ pub fn host_error(err: &HostError) -> String {
         HostError::BatchRejected(message) => coded(ErrorCode::ApplyRejected, message),
         HostError::ModelRejected(message) => coded(ErrorCode::ModelRejected, message),
         HostError::InvalidTenant(message) => coded(ErrorCode::BadArgument, message),
+        HostError::Durability(message) => coded(ErrorCode::Io, message),
     }
 }
 
@@ -283,6 +343,9 @@ pub enum ServeCommand {
     InlineBatch(Json),
     /// `save_state <path>`
     SaveState(String),
+    /// `checkpoint` — force a binary snapshot rewrite + WAL truncate on a
+    /// durable tenant.
+    Checkpoint,
     /// `model <tenant> <path>` — hot model swap.
     Model {
         /// The tenant to swap.
@@ -325,6 +388,7 @@ impl ServeCommand {
                 | ServeCommand::Latency
                 | ServeCommand::ApplyFile(_)
                 | ServeCommand::SaveState(_)
+                | ServeCommand::Checkpoint
         )
     }
 }
@@ -344,7 +408,8 @@ pub struct ServeRequest {
 pub const HELP_LINE: &str = "commands: hello | ping | help | tenants | use <tenant> | \
      [<tenant>.]group_of <id> | [<tenant>.]members <id> | [<tenant>.]stats | \
      [<tenant>.]latency | [<tenant>.]apply <batch.json> | [<tenant>.]save_state <state.json> | \
-     model <tenant> <model.json> | inline batch JSON {\"inserts\":…} | shutdown";
+     [<tenant>.]checkpoint | model <tenant> <model.json> | \
+     inline batch JSON {\"inserts\":…} | shutdown";
 
 /// The versioned `hello` banner.
 pub fn hello_line(tenants: usize, default_tenant: &str) -> String {
@@ -415,6 +480,7 @@ pub fn parse_request(line: &str) -> Result<Option<ServeRequest>, String> {
                 .ok_or_else(|| coded(ErrorCode::BadArgument, "usage: save_state <state.json>"))?
                 .to_string(),
         ),
+        "checkpoint" => ServeCommand::Checkpoint,
         "model" => {
             let usage = || coded(ErrorCode::BadArgument, "usage: model <tenant> <model.json>");
             ServeCommand::Model {
@@ -633,10 +699,13 @@ impl HostSession {
             .host
             .tenant(tenant)
             .ok_or_else(|| host_error(&HostError::UnknownTenant(tenant.to_string())))?;
-        std::fs::write(path, entry.state_json())
+        persist::write_atomic(std::path::Path::new(path), entry.state_json().as_bytes())
             .map_err(|e| coded(ErrorCode::Io, format!("{path}: {e}")))?;
-        std::fs::write(fingerprint_path(path), entry.fingerprint())
-            .map_err(|e| coded(ErrorCode::Io, format!("{path}.scorer: {e}")))?;
+        persist::write_atomic(
+            std::path::Path::new(&fingerprint_path(path)),
+            entry.fingerprint().as_bytes(),
+        )
+        .map_err(|e| coded(ErrorCode::Io, format!("{path}.scorer: {e}")))?;
         Ok(format!("state saved to {path} (tenant {tenant})"))
     }
 
@@ -717,6 +786,26 @@ impl HostSession {
                 Ok(latency_line(&outcome, seconds))
             }
             ServeCommand::SaveState(path) => self.save_state(tenant, path),
+            ServeCommand::Checkpoint => {
+                let entry = self
+                    .host
+                    .tenant_mut(tenant)
+                    .ok_or_else(|| host_error(&HostError::UnknownTenant(tenant.to_string())))?;
+                if !entry.is_durable() {
+                    return Err(coded(
+                        ErrorCode::NotDurable,
+                        format!(
+                            "tenant {tenant} has no durability enabled (run the server with \
+                             --durable)"
+                        ),
+                    ));
+                }
+                let info = entry.checkpoint().map_err(|e| host_error(&e))?;
+                Ok(format!(
+                    "checkpointed {tenant} at epoch {} ({} bytes)",
+                    info.epoch, info.snapshot_bytes
+                ))
+            }
             ServeCommand::Model { tenant, path } => {
                 let tenant = tenant.clone();
                 let path = path.clone();

@@ -45,6 +45,12 @@ impl CandidateSet {
         CandidateSet::default()
     }
 
+    /// Pre-size for `additional` more pairs (bulk loads: state decode,
+    /// set unions).
+    pub fn reserve(&mut self, additional: usize) {
+        self.pairs.reserve(additional);
+    }
+
     /// Add a pair from a blocking; merges provenance on duplicates.
     pub fn add(&mut self, pair: RecordPair, kind: BlockingKind) {
         *self.pairs.entry(pair).or_insert(0) |= kind.flag();

@@ -44,6 +44,7 @@ use crate::domain::MatchingDomain;
 use crate::groups::{entity_groups, prediction_graph};
 use crate::incremental::{PipelineState, UpsertBatch, UpsertOutcome};
 use crate::metrics::{group_metrics, pairwise_metrics};
+use crate::persist::{self, CheckpointInfo, CheckpointPolicy, Durability};
 use crate::pipeline::{MatchingOutcome, PipelineConfig};
 use crate::shard::ShardPlan;
 use crate::snapshot::GroupSnapshot;
@@ -52,7 +53,8 @@ use gralmatch_lm::{
     CompiledDataset, CompiledMatcher, EncodedRecord, PairEncoder, PairScorer, ScoreScratch,
 };
 use gralmatch_records::{GroundTruth, Record, RecordId, RecordPair};
-use gralmatch_util::{Error, FxHashMap, FxHashSet, Published, Stopwatch};
+use gralmatch_util::{BinRecord, Error, FxHashMap, FxHashSet, Published, Stopwatch};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Supplies the engine's pair scorer across the engine's lifetime,
@@ -392,6 +394,9 @@ pub struct MatchEngine<'a, R: Record + Clone + Sync> {
     published: Arc<Published<GroupSnapshot>>,
     batches_applied: usize,
     total_apply_seconds: f64,
+    /// Optional WAL + checkpoint hookup ([`MatchEngine::enable_durability`]).
+    /// `None` keeps the engine purely in-memory — the historical behavior.
+    durability: Option<Durability<R>>,
 }
 
 impl<'a, R: Record + Clone + Sync> MatchEngine<'a, R> {
@@ -412,6 +417,7 @@ impl<'a, R: Record + Clone + Sync> MatchEngine<'a, R> {
             published: Arc::new(Published::new(GroupSnapshot::empty(EngineStats::default()))),
             batches_applied: 0,
             total_apply_seconds: 0.0,
+            durability: None,
         }
     }
 
@@ -437,6 +443,24 @@ impl<'a, R: Record + Clone + Sync> MatchEngine<'a, R> {
     pub fn from_state(
         state: PipelineState<R>,
         strategies: Vec<Box<dyn Blocker<R> + 'a>>,
+        provider: Box<dyn ScorerProvider<R> + 'a>,
+        config: PipelineConfig,
+    ) -> Self {
+        MatchEngine::from_state_at(state, 0, 0, strategies, provider, config)
+    }
+
+    /// Resume from a persisted [`PipelineState`] **at a persisted epoch**
+    /// — the binary-snapshot recovery path
+    /// ([`crate::persist::recover_engine`]). The first snapshot publishes
+    /// at exactly `epoch` with `batches_applied` restored, so a recovered
+    /// engine is indistinguishable from the one that wrote the snapshot:
+    /// replaying the WAL tail lands on the same epoch the crashed engine
+    /// had published.
+    pub fn from_state_at(
+        state: PipelineState<R>,
+        epoch: u64,
+        batches_applied: usize,
+        strategies: Vec<Box<dyn Blocker<R> + 'a>>,
         mut provider: Box<dyn ScorerProvider<R> + 'a>,
         config: PipelineConfig,
     ) -> Self {
@@ -449,14 +473,15 @@ impl<'a, R: Record + Clone + Sync> MatchEngine<'a, R> {
             config,
             index,
             published: Arc::new(Published::new(GroupSnapshot::empty(EngineStats::default()))),
-            batches_applied: 0,
+            batches_applied,
             total_apply_seconds: 0.0,
+            durability: None,
         };
-        // Resumed engines serve from epoch 0 too — but over a full
-        // snapshot of the persisted groups, not an empty one.
+        // Resumed engines serve a full snapshot of the persisted groups
+        // from the persisted epoch (0 for JSON-resumed states).
         engine.published = Arc::new(Published::new(GroupSnapshot::rebuild_full(
             &engine.index,
-            0,
+            epoch,
             engine.stats_for_snapshot(),
             engine.state.num_ids(),
         )));
@@ -492,6 +517,14 @@ impl<'a, R: Record + Clone + Sync> MatchEngine<'a, R> {
         // batch must leave both the pipeline state and any scorer-side
         // compiled view untouched, or the two diverge.
         self.state.validate(batch)?;
+        // WAL append sits between validation and application: a validated
+        // batch applies deterministically, so a crash right after the
+        // append recovers to the same state as a crash right after the
+        // apply — the frame just replays.
+        if let Some(durability) = self.durability.as_mut() {
+            let payload = (durability.encode_batch)(batch);
+            durability.wal.append(&payload)?;
+        }
         self.provider.absorb(batch);
         let mut outcome = self.state.apply(
             batch,
@@ -552,7 +585,105 @@ impl<'a, R: Record + Clone + Sync> MatchEngine<'a, R> {
             },
             "incrementally advanced snapshot diverged from the group index"
         );
+        self.maybe_checkpoint()?;
         Ok(outcome)
+    }
+
+    /// Arm crash-safe persistence on this engine: every subsequent
+    /// [`apply_batch`](MatchEngine::apply_batch) appends the encoded
+    /// batch to `<snapshot_path>.wal` before applying it, and the engine
+    /// checkpoints (atomic snapshot rewrite + WAL truncate) whenever the
+    /// log crosses the policy's thresholds. Enabling always establishes a
+    /// fresh checkpoint, so stale snapshot/WAL files under the same path
+    /// are overwritten rather than mixed with the new lineage. Use
+    /// [`crate::persist::recover_engine`] to resume from the files.
+    pub fn enable_durability(
+        &mut self,
+        snapshot_path: impl Into<PathBuf>,
+        policy: CheckpointPolicy,
+    ) -> Result<CheckpointInfo, Error>
+    where
+        R: BinRecord,
+    {
+        self.attach_durability(snapshot_path.into(), policy)?;
+        self.checkpoint()
+    }
+
+    /// Install the durability bundle without checkpointing — the recovery
+    /// path, where the on-disk snapshot + WAL prefix already equal the
+    /// engine's state.
+    pub(crate) fn attach_durability(
+        &mut self,
+        snapshot_path: PathBuf,
+        policy: CheckpointPolicy,
+    ) -> Result<(), Error>
+    where
+        R: BinRecord,
+    {
+        let wal = persist::WalWriter::open(&persist::wal_path(&snapshot_path), policy.fsync)?;
+        self.durability = Some(Durability {
+            wal,
+            snapshot_path,
+            policy,
+            fingerprint: None,
+            encode_batch: persist::encode_batch::<R>,
+            encode_state: persist::encode_state::<R>,
+        });
+        Ok(())
+    }
+
+    /// Whether [`enable_durability`](MatchEngine::enable_durability) is
+    /// active.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Scorer fingerprint written as a `<snapshot>.scorer` sidecar on
+    /// every checkpoint, so a resume can validate its model against the
+    /// snapshot exactly like the JSON serve path does. `None` skips the
+    /// sidecar.
+    pub fn set_durability_fingerprint(&mut self, fingerprint: Option<String>) {
+        if let Some(durability) = self.durability.as_mut() {
+            durability.fingerprint = fingerprint;
+        }
+    }
+
+    /// Checkpoint now: atomically rewrite the binary snapshot at the
+    /// current published epoch (temp file + rename, plus the fingerprint
+    /// sidecar when one is set) and truncate the WAL. Errors when
+    /// durability is not enabled.
+    pub fn checkpoint(&mut self) -> Result<CheckpointInfo, Error> {
+        let epoch = self.published.load().epoch();
+        let Some(durability) = self.durability.as_mut() else {
+            return Err(Error::InvalidConfig(
+                "checkpoint requires durability; call enable_durability first".into(),
+            ));
+        };
+        let bytes = (durability.encode_state)(&self.state, epoch, self.batches_applied);
+        persist::write_atomic(&durability.snapshot_path, &bytes)?;
+        if let Some(fingerprint) = &durability.fingerprint {
+            persist::write_atomic(
+                &persist::fingerprint_path(&durability.snapshot_path),
+                fingerprint.as_bytes(),
+            )?;
+        }
+        durability.wal.truncate()?;
+        Ok(CheckpointInfo {
+            epoch,
+            snapshot_bytes: bytes.len() as u64,
+        })
+    }
+
+    /// Checkpoint if the WAL crossed the policy's batch/byte thresholds.
+    fn maybe_checkpoint(&mut self) -> Result<(), Error> {
+        let due = self.durability.as_ref().is_some_and(|durability| {
+            durability.wal.frames() >= durability.policy.max_wal_batches
+                || durability.wal.bytes() >= durability.policy.max_wal_bytes
+        });
+        if due {
+            self.checkpoint()?;
+        }
+        Ok(())
     }
 
     /// Engine counters with the group counters left for the snapshot to

@@ -28,12 +28,14 @@
 
 use crate::engine::{CompiledScorerProvider, EngineStats, MatchEngine, ScorerProvider};
 use crate::incremental::{UpsertBatch, UpsertOutcome};
+use crate::persist::{CheckpointInfo, CheckpointPolicy};
 use crate::snapshot::GroupSnapshot;
 use gralmatch_lm::{HeuristicMatcher, ModelSpec, SavedModel};
 use gralmatch_records::{Record, RecordId, RecordPair};
-use gralmatch_util::{FromJson, Json, Published, Stopwatch, ToJson};
+use gralmatch_util::{BinRecord, FromJson, Json, Published, Stopwatch, ToJson};
 use std::any::Any;
 use std::fmt;
+use std::path::Path;
 use std::sync::Arc;
 
 /// Jaccard threshold of the fallback heuristic scorer — shared by
@@ -110,6 +112,10 @@ pub enum HostError {
     ModelRejected(String),
     /// Registry misuse: duplicate or invalid tenant name.
     InvalidTenant(String),
+    /// A durability operation (WAL append, checkpoint, recovery) failed,
+    /// or a checkpoint was requested on a tenant that never enabled
+    /// durability.
+    Durability(String),
 }
 
 impl fmt::Display for HostError {
@@ -120,6 +126,7 @@ impl fmt::Display for HostError {
             HostError::BatchRejected(message) => write!(f, "batch rejected: {message}"),
             HostError::ModelRejected(message) => write!(f, "model rejected: {message}"),
             HostError::InvalidTenant(message) => write!(f, "invalid tenant: {message}"),
+            HostError::Durability(message) => write!(f, "durability: {message}"),
         }
     }
 }
@@ -173,8 +180,28 @@ pub trait TenantEngine {
     /// records, adopt `fingerprint`, and republish the snapshot (epoch
     /// bump, zero groups changed). Callers must have validated the model
     /// against this tenant's domain first — use
-    /// [`EngineHost::swap_model`], which does.
-    fn swap_model(&mut self, model: SavedModel, fingerprint: String);
+    /// [`EngineHost::swap_model`], which does. On a durable tenant the
+    /// swap forces a checkpoint, so no WAL frame written under the old
+    /// scorer can ever replay under the new one.
+    fn swap_model(&mut self, model: SavedModel, fingerprint: String) -> Result<(), HostError>;
+
+    /// Turn on binary durability: write an initial checkpoint (snapshot +
+    /// empty WAL + scorer-fingerprint sidecar) at `snapshot_path` and
+    /// append every subsequent batch to the WAL before applying it (see
+    /// [`crate::persist`]).
+    fn enable_durability(
+        &mut self,
+        snapshot_path: &Path,
+        policy: CheckpointPolicy,
+    ) -> Result<(), HostError>;
+
+    /// Force a checkpoint now: atomically rewrite the snapshot at the
+    /// published epoch and truncate the WAL. Errs with
+    /// [`HostError::Durability`] when the tenant is not durable.
+    fn checkpoint(&mut self) -> Result<CheckpointInfo, HostError>;
+
+    /// Whether [`TenantEngine::enable_durability`] has been called.
+    fn is_durable(&self) -> bool;
 
     /// Downcast support for typed access ([`EngineHost::typed_tenant_mut`]).
     fn as_any_mut(&mut self) -> &mut dyn Any;
@@ -184,7 +211,7 @@ pub trait TenantEngine {
 /// and a [`MatchEngine`] over the tenant's record type.
 pub struct EngineTenant<R>
 where
-    R: Record + Clone + Sync + ToJson + FromJson + 'static,
+    R: Record + Clone + Sync + ToJson + FromJson + BinRecord + 'static,
 {
     domain: &'static str,
     engine: MatchEngine<'static, R>,
@@ -193,7 +220,7 @@ where
 
 impl<R> EngineTenant<R>
 where
-    R: Record + Clone + Sync + ToJson + FromJson + 'static,
+    R: Record + Clone + Sync + ToJson + FromJson + BinRecord + 'static,
 {
     /// Wrap an engine as a tenant. `fingerprint` must describe the scorer
     /// the engine is serving with (see [`model_fingerprint`]).
@@ -226,7 +253,7 @@ where
 
 impl<R> TenantEngine for EngineTenant<R>
 where
-    R: Record + Clone + Sync + ToJson + FromJson + 'static,
+    R: Record + Clone + Sync + ToJson + FromJson + BinRecord + 'static,
 {
     fn domain(&self) -> &'static str {
         self.domain
@@ -270,9 +297,49 @@ where
         self.engine.state().to_json().to_pretty_string()
     }
 
-    fn swap_model(&mut self, model: SavedModel, fingerprint: String) {
+    fn swap_model(&mut self, model: SavedModel, fingerprint: String) -> Result<(), HostError> {
         self.engine.replace_provider(scorer_provider(Some(model)));
-        self.fingerprint = fingerprint;
+        self.fingerprint = fingerprint.clone();
+        // WAL frames must never replay under a different scorer than the
+        // one that scored them, so a durable tenant checkpoints right
+        // after the swap: the snapshot data is model-independent, and the
+        // truncated WAL guarantees every future frame replays under the
+        // scorer named by the (freshly rewritten) sidecar.
+        if self.engine.is_durable() {
+            self.engine.set_durability_fingerprint(Some(fingerprint));
+            self.engine
+                .checkpoint()
+                .map_err(|e| HostError::Durability(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    fn enable_durability(
+        &mut self,
+        snapshot_path: &Path,
+        policy: CheckpointPolicy,
+    ) -> Result<(), HostError> {
+        // Attach first, set the fingerprint, then checkpoint once — the
+        // initial snapshot and its `.scorer` sidecar land together.
+        self.engine
+            .attach_durability(snapshot_path.to_path_buf(), policy)
+            .map_err(|e| HostError::Durability(e.to_string()))?;
+        self.engine
+            .set_durability_fingerprint(Some(self.fingerprint.clone()));
+        self.engine
+            .checkpoint()
+            .map_err(|e| HostError::Durability(e.to_string()))?;
+        Ok(())
+    }
+
+    fn checkpoint(&mut self) -> Result<CheckpointInfo, HostError> {
+        self.engine
+            .checkpoint()
+            .map_err(|e| HostError::Durability(e.to_string()))
+    }
+
+    fn is_durable(&self) -> bool {
+        self.engine.is_durable()
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
@@ -370,7 +437,7 @@ impl EngineHost {
     /// name is unknown *or* the record type does not match.
     pub fn typed_tenant_mut<R>(&mut self, name: &str) -> Option<&mut EngineTenant<R>>
     where
-        R: Record + Clone + Sync + ToJson + FromJson + 'static,
+        R: Record + Clone + Sync + ToJson + FromJson + BinRecord + 'static,
     {
         self.tenant_mut(name)?.as_any_mut().downcast_mut()
     }
@@ -404,7 +471,7 @@ impl EngineHost {
                 )));
             }
         }
-        entry.swap_model(model, fingerprint.clone());
+        entry.swap_model(model, fingerprint.clone())?;
         Ok(fingerprint)
     }
 }
@@ -538,6 +605,66 @@ mod tests {
         assert_eq!(tenant.fingerprint(), right);
         assert_eq!(tenant.snapshot().epoch(), epoch + 1);
         assert_eq!(tenant.snapshot().groups(), groups);
+    }
+
+    #[test]
+    fn durable_tenant_checkpoints_on_swap_and_on_demand() {
+        let dir = std::env::temp_dir().join("gralmatch-host-durable");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let snapshot = dir.join("sec.bin");
+
+        let records = securities();
+        let held_out = records.last().unwrap().clone();
+        let mut host = EngineHost::new();
+        host.add_tenant(
+            "sec",
+            Box::new(security_tenant(records[..records.len() - 1].to_vec())),
+        )
+        .unwrap();
+
+        let tenant = host.tenant_mut("sec").unwrap();
+        assert!(!tenant.is_durable());
+        let not_durable = tenant.checkpoint();
+        assert!(
+            matches!(not_durable, Err(HostError::Durability(_))),
+            "{not_durable:?}"
+        );
+
+        tenant
+            .enable_durability(&snapshot, CheckpointPolicy::default())
+            .unwrap();
+        assert!(tenant.is_durable());
+        // The initial checkpoint writes the snapshot and the scorer
+        // sidecar together.
+        assert!(snapshot.exists());
+        let sidecar = std::fs::read_to_string(crate::persist::fingerprint_path(&snapshot)).unwrap();
+        assert_eq!(sidecar, model_fingerprint("securities", None));
+
+        let batch = UpsertBatch::inserting(vec![held_out]).to_json();
+        tenant.apply_batch_json(&batch).unwrap();
+        let wal = crate::persist::wal_path(&snapshot);
+        assert_eq!(crate::persist::read_wal(&wal).unwrap().frames.len(), 1);
+
+        // A model swap on a durable tenant truncates the WAL (no frame
+        // scored under the old model can replay under the new one) and
+        // rewrites the sidecar.
+        let matcher = TrainedMatcher::new(
+            LogisticModel::new(FeatureConfig::default().dim()),
+            FeatureConfig::default(),
+        );
+        let model = SavedModel::new(ModelSpec::Ditto128, matcher);
+        let adopted = host.swap_model("sec", model, None).unwrap();
+        assert_eq!(crate::persist::read_wal(&wal).unwrap().frames.len(), 0);
+        let sidecar = std::fs::read_to_string(crate::persist::fingerprint_path(&snapshot)).unwrap();
+        assert_eq!(sidecar, adopted);
+
+        // An explicit checkpoint reports the published epoch.
+        let tenant = host.tenant_mut("sec").unwrap();
+        let info = tenant.checkpoint().unwrap();
+        assert_eq!(info.epoch, tenant.snapshot().epoch());
+        assert!(info.snapshot_bytes > 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

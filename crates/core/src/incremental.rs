@@ -221,6 +221,20 @@ pub struct PipelineState<R> {
     cleaned: Graph,
 }
 
+/// The persisted components of a [`PipelineState`], as both the JSON and
+/// binary codecs carry them: everything except the derived id index,
+/// shard membership, and merged candidate union, which
+/// [`PipelineState::from_parts`] rebuilds.
+pub(crate) struct StateParts<R> {
+    pub plan: ShardPlan,
+    pub num_ids: usize,
+    pub records: Vec<R>,
+    pub local: Vec<CandidateSet>,
+    pub global: CandidateSet,
+    pub predicted: Vec<RecordPair>,
+    pub cleaned_edges: Vec<RecordPair>,
+}
+
 impl<R: Record + Clone + Sync> PipelineState<R> {
     /// Empty state under a shard plan.
     pub fn new(plan: ShardPlan) -> Self {
@@ -282,6 +296,110 @@ impl<R: Record + Clone + Sync> PipelineState<R> {
     /// provenance).
     pub fn candidates(&self) -> &CandidateSet {
         &self.candidates
+    }
+
+    /// Per-shard candidate sets from the shard-local blockers (persisted
+    /// verbatim; the merged union is derived).
+    pub(crate) fn local_sets(&self) -> &[CandidateSet] {
+        &self.local
+    }
+
+    /// Candidates from the cross-shard hash joins.
+    pub(crate) fn global_set(&self) -> &CandidateSet {
+        &self.global
+    }
+
+    /// Rebuild a state from its persisted parts, validating them and
+    /// deriving the id index, shard membership, and merged candidate
+    /// union. Shared by the JSON and binary decoders, so both reject the
+    /// same malformed inputs with the same messages.
+    pub(crate) fn from_parts(parts: StateParts<R>) -> Result<Self, String> {
+        let StateParts {
+            plan,
+            num_ids,
+            records,
+            local,
+            global,
+            mut predicted,
+            cleaned_edges,
+        } = parts;
+        if local.len() != plan.num_shards {
+            return Err(format!(
+                "{} local candidate sets for {} shards",
+                local.len(),
+                plan.num_shards
+            ));
+        }
+        // Candidate pairs feed the scorer (which indexes encodings by id)
+        // before the merge's union-find, so out-of-space pairs must error
+        // here like out-of-space predicted/cleaned edges do. `b` bounds
+        // both endpoints (RecordPair canonicalizes a ≤ b).
+        for set in local.iter().chain(std::iter::once(&global)) {
+            for (pair, _) in set.iter() {
+                if pair.b.0 as usize >= num_ids {
+                    return Err(format!(
+                        "candidate pair endpoint {} outside num_ids",
+                        pair.b.0
+                    ));
+                }
+            }
+        }
+        for pair in &predicted {
+            // `RecordPair::new` canonicalizes a ≤ b, so checking b bounds
+            // both endpoints; an out-of-space edge would panic deep in the
+            // merge's union-find instead of erroring here.
+            if pair.b.0 as usize >= num_ids {
+                return Err(format!(
+                    "predicted edge endpoint {} outside num_ids",
+                    pair.b.0
+                ));
+            }
+        }
+        predicted.sort_unstable();
+
+        // Derived structures: id index, shard membership (a pure function
+        // of each record under the plan), merged candidate union.
+        let mut index_of = FxHashMap::default();
+        let mut shard_of = FxHashMap::default();
+        index_of.reserve(records.len());
+        shard_of.reserve(records.len());
+        for (position, record) in records.iter().enumerate() {
+            let id = record.id().0;
+            if (id as usize) >= num_ids {
+                return Err(format!("record id {id} outside num_ids {num_ids}"));
+            }
+            if index_of.insert(id, position as u32).is_some() {
+                return Err(format!("duplicate record id {id}"));
+            }
+            shard_of.insert(id, plan.assign_record(record));
+        }
+        let mut candidates = global.clone();
+        candidates.reserve(local.iter().map(CandidateSet::len).sum());
+        for set in &local {
+            candidates.merge(set);
+        }
+        let mut cleaned = Graph::with_nodes(num_ids);
+        for pair in &cleaned_edges {
+            if pair.b.0 as usize >= num_ids {
+                return Err(format!(
+                    "cleaned edge endpoint {} outside num_ids",
+                    pair.b.0
+                ));
+            }
+            cleaned.add_edge(pair.a.0, pair.b.0);
+        }
+        Ok(PipelineState {
+            plan,
+            num_ids,
+            records,
+            index_of,
+            shard_of,
+            local,
+            global,
+            candidates,
+            predicted,
+            cleaned,
+        })
     }
 
     /// Standing raw positive predictions, sorted.
@@ -723,85 +841,30 @@ impl<R: Record + Clone + Sync + FromJson> FromJson for PipelineState<R> {
             });
         }
         let global = CandidateSet::from_json(json.field("global")?)?;
-        // Candidate pairs feed the scorer (which indexes encodings by id)
-        // before the merge's union-find, so out-of-space pairs must error
-        // here like out-of-space predicted/cleaned edges do. `b` bounds
-        // both endpoints (RecordPair canonicalizes a ≤ b).
-        for set in local.iter().chain(std::iter::once(&global)) {
-            for (pair, _) in set.iter() {
-                if pair.b.0 as usize >= num_ids {
-                    return Err(JsonError {
-                        message: format!("candidate pair endpoint {} outside num_ids", pair.b.0),
-                    });
-                }
-            }
-        }
         let predicted_json = json.field("predicted")?.as_arr().ok_or_else(|| JsonError {
             message: "expected predicted array".into(),
         })?;
-        let mut predicted = predicted_json
+        let predicted = predicted_json
             .iter()
             .map(pair_from_json)
             .collect::<Result<Vec<_>, _>>()?;
-        for pair in &predicted {
-            // `RecordPair::new` canonicalizes a ≤ b, so checking b bounds
-            // both endpoints; an out-of-space edge would panic deep in the
-            // merge's union-find instead of erroring here.
-            if pair.b.0 as usize >= num_ids {
-                return Err(JsonError {
-                    message: format!("predicted edge endpoint {} outside num_ids", pair.b.0),
-                });
-            }
-        }
-        predicted.sort_unstable();
         let cleaned_json = json.field("cleaned")?.as_arr().ok_or_else(|| JsonError {
             message: "expected cleaned array".into(),
         })?;
-
-        // Derived structures: id index, shard membership (a pure function
-        // of each record under the plan), merged candidate union.
-        let mut index_of = FxHashMap::default();
-        let mut shard_of = FxHashMap::default();
-        for (position, record) in records.iter().enumerate() {
-            let id = record.id().0;
-            if (id as usize) >= num_ids {
-                return Err(JsonError {
-                    message: format!("record id {id} outside num_ids {num_ids}"),
-                });
-            }
-            if index_of.insert(id, position as u32).is_some() {
-                return Err(JsonError {
-                    message: format!("duplicate record id {id}"),
-                });
-            }
-            shard_of.insert(id, plan.assign_record(record));
-        }
-        let mut candidates = global.clone();
-        for set in &local {
-            candidates.merge(set);
-        }
-        let mut cleaned = Graph::with_nodes(num_ids);
-        for entry in cleaned_json {
-            let pair = pair_from_json(entry)?;
-            if pair.b.0 as usize >= num_ids {
-                return Err(JsonError {
-                    message: format!("cleaned edge endpoint {} outside num_ids", pair.b.0),
-                });
-            }
-            cleaned.add_edge(pair.a.0, pair.b.0);
-        }
-        Ok(PipelineState {
+        let cleaned_edges = cleaned_json
+            .iter()
+            .map(pair_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        PipelineState::from_parts(StateParts {
             plan,
             num_ids,
             records,
-            index_of,
-            shard_of,
             local,
             global,
-            candidates,
             predicted,
-            cleaned,
+            cleaned_edges,
         })
+        .map_err(|message| JsonError { message })
     }
 }
 

@@ -22,6 +22,9 @@
 //! * [`shard`] — the `ShardPlan` partition, the dirty-component
 //!   `MergeStage`, and the legacy sharded oracle runner,
 //! * [`incremental`] — upsert batches against a persisted `PipelineState`,
+//! * [`persist`] — crash-safe binary persistence: checksummed
+//!   `PipelineState` snapshots, the append-only `UpsertBatch` WAL, and
+//!   snapshot+replay recovery,
 //! * [`snapshot`] — immutable epoch-published `GroupSnapshot` for
 //!   lock-free concurrent group lookups,
 //! * [`trace`] — unified per-stage wall-clock/throughput/memory reporting,
@@ -42,6 +45,7 @@ pub mod host;
 pub mod incremental;
 pub mod label_propagation;
 pub mod metrics;
+pub mod persist;
 pub mod pipeline;
 pub mod shard;
 pub mod snapshot;
@@ -74,6 +78,10 @@ pub use host::{
 pub use incremental::{churn_window, PipelineState, UpsertBatch, UpsertOutcome};
 pub use label_propagation::{label_propagation_groups, LabelPropagationConfig};
 pub use metrics::{group_metrics, pairwise_metrics, GroupMetrics, PairMetrics};
+pub use persist::{
+    decode_batch, decode_state, encode_batch, encode_state, recover_engine, CheckpointInfo,
+    CheckpointPolicy, RecoveryReport, StateSnapshot, WalReplay, WalWriter,
+};
 pub use pipeline::{
     run_with_candidates, MatchingOutcome, OracleMatcher, OracleScorer, PipelineConfig,
 };

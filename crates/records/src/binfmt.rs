@@ -1,0 +1,266 @@
+//! Binary codecs ([`BinRecord`]) for the three record domains.
+//!
+//! Layouts are fixed-width where possible: enum variants serialize as
+//! their index into the type's `ALL` table, `Option<EntityId>` as a
+//! presence byte + `u32`, and every string field as a `u32` index into
+//! the file's shared [`StringTable`] — so decoding a record is a handful
+//! of little-endian reads with no text parsing.
+
+use crate::company::CompanyRecord;
+use crate::ids::{EntityId, IdCode, IdKind, RecordId, SourceId};
+use crate::product::ProductRecord;
+use crate::security::{SecurityRecord, SecurityType};
+use gralmatch_util::binfmt::{BinReader, BinRecord, BinWriter, StringTable};
+use gralmatch_util::{Error, Result};
+
+fn encode_entity(entity: Option<EntityId>, w: &mut BinWriter) {
+    match entity {
+        Some(EntityId(id)) => {
+            w.put_u8(1);
+            w.put_u32(id);
+        }
+        None => w.put_u8(0),
+    }
+}
+
+fn decode_entity(r: &mut BinReader<'_>) -> Result<Option<EntityId>> {
+    match r.get_u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(EntityId(r.get_u32()?))),
+        tag => Err(Error::Corrupt(format!("entity presence byte {tag}"))),
+    }
+}
+
+fn encode_str(value: &str, w: &mut BinWriter, strings: &mut StringTable) {
+    w.put_u32(strings.intern(value));
+}
+
+fn decode_str(r: &mut BinReader<'_>, strings: &StringTable) -> Result<String> {
+    Ok(strings.get(r.get_u32()?)?.to_string())
+}
+
+impl BinRecord for IdCode {
+    fn encode_bin(&self, w: &mut BinWriter, strings: &mut StringTable) {
+        let tag = IdKind::ALL
+            .iter()
+            .position(|kind| *kind == self.kind)
+            .expect("IdKind::ALL covers every variant");
+        w.put_u8(tag as u8);
+        encode_str(&self.value, w, strings);
+    }
+
+    fn decode_bin(r: &mut BinReader<'_>, strings: &StringTable) -> Result<Self> {
+        let tag = r.get_u8()? as usize;
+        let kind = *IdKind::ALL
+            .get(tag)
+            .ok_or_else(|| Error::Corrupt(format!("id-code kind tag {tag}")))?;
+        Ok(IdCode::new(kind, decode_str(r, strings)?))
+    }
+}
+
+fn encode_id_codes(codes: &[IdCode], w: &mut BinWriter, strings: &mut StringTable) {
+    w.put_u32(codes.len() as u32);
+    for code in codes {
+        code.encode_bin(w, strings);
+    }
+}
+
+fn decode_id_codes(r: &mut BinReader<'_>, strings: &StringTable) -> Result<Vec<IdCode>> {
+    let count = r.get_u32()? as usize;
+    let mut codes = Vec::with_capacity(count.min(r.remaining()));
+    for _ in 0..count {
+        codes.push(IdCode::decode_bin(r, strings)?);
+    }
+    Ok(codes)
+}
+
+impl BinRecord for SecurityRecord {
+    fn encode_bin(&self, w: &mut BinWriter, strings: &mut StringTable) {
+        w.put_u32(self.id.0);
+        w.put_u16(self.source.0);
+        encode_entity(self.entity, w);
+        encode_str(&self.name, w, strings);
+        let sec_type = SecurityType::ALL
+            .iter()
+            .position(|t| *t == self.security_type)
+            .expect("SecurityType::ALL covers every variant");
+        w.put_u8(sec_type as u8);
+        encode_str(&self.listings, w, strings);
+        encode_id_codes(&self.id_codes, w, strings);
+        w.put_u32(self.issuer.0);
+    }
+
+    fn decode_bin(r: &mut BinReader<'_>, strings: &StringTable) -> Result<Self> {
+        let id = RecordId(r.get_u32()?);
+        let source = SourceId(r.get_u16()?);
+        let entity = decode_entity(r)?;
+        let name = decode_str(r, strings)?;
+        let tag = r.get_u8()? as usize;
+        let security_type = *SecurityType::ALL
+            .get(tag)
+            .ok_or_else(|| Error::Corrupt(format!("security type tag {tag}")))?;
+        Ok(SecurityRecord {
+            id,
+            source,
+            entity,
+            name,
+            security_type,
+            listings: decode_str(r, strings)?,
+            id_codes: decode_id_codes(r, strings)?,
+            issuer: RecordId(r.get_u32()?),
+        })
+    }
+}
+
+impl BinRecord for CompanyRecord {
+    fn encode_bin(&self, w: &mut BinWriter, strings: &mut StringTable) {
+        w.put_u32(self.id.0);
+        w.put_u16(self.source.0);
+        encode_entity(self.entity, w);
+        encode_str(&self.name, w, strings);
+        encode_str(&self.city, w, strings);
+        encode_str(&self.region, w, strings);
+        encode_str(&self.country_code, w, strings);
+        encode_str(&self.short_description, w, strings);
+        encode_id_codes(&self.id_codes, w, strings);
+        w.put_u32(self.securities.len() as u32);
+        for security in &self.securities {
+            w.put_u32(security.0);
+        }
+    }
+
+    fn decode_bin(r: &mut BinReader<'_>, strings: &StringTable) -> Result<Self> {
+        let id = RecordId(r.get_u32()?);
+        let source = SourceId(r.get_u16()?);
+        let entity = decode_entity(r)?;
+        let name = decode_str(r, strings)?;
+        let city = decode_str(r, strings)?;
+        let region = decode_str(r, strings)?;
+        let country_code = decode_str(r, strings)?;
+        let short_description = decode_str(r, strings)?;
+        let id_codes = decode_id_codes(r, strings)?;
+        let count = r.get_u32()? as usize;
+        let mut securities = Vec::with_capacity(count.min(r.remaining()));
+        for _ in 0..count {
+            securities.push(RecordId(r.get_u32()?));
+        }
+        Ok(CompanyRecord {
+            id,
+            source,
+            entity,
+            name,
+            city,
+            region,
+            country_code,
+            short_description,
+            id_codes,
+            securities,
+        })
+    }
+}
+
+impl BinRecord for ProductRecord {
+    fn encode_bin(&self, w: &mut BinWriter, strings: &mut StringTable) {
+        w.put_u32(self.id.0);
+        w.put_u16(self.source.0);
+        encode_entity(self.entity, w);
+        encode_str(&self.title, w, strings);
+        encode_str(&self.brand, w, strings);
+        encode_str(&self.description, w, strings);
+        encode_str(&self.price, w, strings);
+        encode_str(&self.category, w, strings);
+    }
+
+    fn decode_bin(r: &mut BinReader<'_>, strings: &StringTable) -> Result<Self> {
+        Ok(ProductRecord {
+            id: RecordId(r.get_u32()?),
+            source: SourceId(r.get_u16()?),
+            entity: decode_entity(r)?,
+            title: decode_str(r, strings)?,
+            brand: decode_str(r, strings)?,
+            description: decode_str(r, strings)?,
+            price: decode_str(r, strings)?,
+            category: decode_str(r, strings)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<R: BinRecord + PartialEq + std::fmt::Debug>(record: &R) {
+        let mut strings = StringTable::new();
+        let mut w = BinWriter::new();
+        record.encode_bin(&mut w, &mut strings);
+        let bytes = w.into_bytes();
+        let mut r = BinReader::new(&bytes);
+        let decoded = R::decode_bin(&mut r, &strings).unwrap();
+        assert_eq!(&decoded, record);
+        assert!(
+            r.is_empty(),
+            "decode must consume exactly what encode wrote"
+        );
+    }
+
+    #[test]
+    fn security_round_trips() {
+        let mut record = SecurityRecord::new(RecordId(7), SourceId(2), "Crowd ORD", RecordId(3));
+        record.entity = Some(EntityId(41));
+        record.security_type = SecurityType::Adr;
+        record.listings = "XNYS USD lot 100 | XLON GBP".into();
+        record.id_codes = vec![
+            IdCode::new(IdKind::Isin, "US1234567890"),
+            IdCode::new(IdKind::Sedol, "B0YBKJ7"),
+        ];
+        round_trip(&record);
+    }
+
+    #[test]
+    fn company_round_trips() {
+        let mut record = CompanyRecord::new(RecordId(12), SourceId(0), "Acme Holdings");
+        record.entity = Some(EntityId(5));
+        record.city = "Zürich".into();
+        record.country_code = "CH".into();
+        record.id_codes = vec![IdCode::new(IdKind::Lei, "529900T8BM49AURSDO55")];
+        record.securities = vec![RecordId(100), RecordId(101)];
+        round_trip(&record);
+        round_trip(&CompanyRecord::new(RecordId(0), SourceId(3), ""));
+    }
+
+    #[test]
+    fn product_round_trips() {
+        let mut record = ProductRecord::new(RecordId(9), SourceId(1), "USB-C cable 2m");
+        record.brand = "Anker".into();
+        record.price = "12.99 USD".into();
+        round_trip(&record);
+    }
+
+    #[test]
+    fn shared_table_deduplicates_across_records() {
+        let mut strings = StringTable::new();
+        let mut w = BinWriter::new();
+        for id in 0..4 {
+            let mut record = CompanyRecord::new(RecordId(id), SourceId(0), "Same Name AG");
+            record.country_code = "DE".into();
+            record.encode_bin(&mut w, &mut strings);
+        }
+        // name + country + the shared empty string: three distinct values.
+        assert_eq!(strings.len(), 3);
+    }
+
+    #[test]
+    fn bad_enum_tags_are_corrupt_not_panics() {
+        let mut strings = StringTable::new();
+        let empty = strings.intern("");
+        let mut w = BinWriter::new();
+        w.put_u8(9); // no such IdKind
+        w.put_u32(empty);
+        let bytes = w.into_bytes();
+        let mut r = BinReader::new(&bytes);
+        assert!(matches!(
+            IdCode::decode_bin(&mut r, &strings),
+            Err(Error::Corrupt(_))
+        ));
+    }
+}

@@ -13,6 +13,7 @@
 //! paper's language models serialize records as text while blockings index
 //! their identifiers.
 
+pub mod binfmt;
 pub mod company;
 pub mod csv_io;
 pub mod dataset;

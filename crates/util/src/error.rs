@@ -25,6 +25,10 @@ pub enum Error {
     EmptyInput(&'static str),
     /// Model training/inference failure (e.g. dimension mismatch).
     Model(String),
+    /// Corrupt binary state: bad magic, unsupported format version,
+    /// checksum mismatch, or truncated input. Distinct from [`Error::Io`]
+    /// so recovery code can tell a damaged file from a failing disk.
+    Corrupt(String),
     /// A pipeline stage ran without its required upstream artifact (stage
     /// ordering bug or a custom pipeline missing a producer stage).
     Pipeline {
@@ -44,6 +48,7 @@ impl fmt::Display for Error {
             Error::MissingId(id) => write!(f, "unknown id: {id}"),
             Error::EmptyInput(what) => write!(f, "empty input: {what}"),
             Error::Model(msg) => write!(f, "model error: {msg}"),
+            Error::Corrupt(msg) => write!(f, "corrupt binary state: {msg}"),
             Error::Pipeline { stage, message } => {
                 write!(f, "pipeline stage `{stage}` failed: {message}")
             }

@@ -11,6 +11,9 @@
 //!   import/export,
 //! * [`json`] — a dependency-free JSON tree/parser/writer with
 //!   [`ToJson`]/[`FromJson`] conversion traits,
+//! * [`binfmt`] — little-endian binary codec primitives (checksummed
+//!   sections, string tables, the [`BinRecord`] trait) for snapshot/WAL
+//!   persistence,
 //! * [`parallel`] — the shared batched [`WorkerPool`] (work-stealing over
 //!   fixed chunks) used by every parallel pipeline step,
 //! * [`epoch`] — single-writer/many-reader epoch publication
@@ -21,6 +24,7 @@
 //! * [`mem`] — resident-set probe for per-stage memory diagnostics,
 //! * [`error`] — the shared error type.
 
+pub mod binfmt;
 pub mod csv;
 pub mod epoch;
 pub mod error;
@@ -32,6 +36,7 @@ pub mod parallel;
 pub mod rng;
 pub mod timer;
 
+pub use binfmt::{BinReader, BinRecord, BinWriter, StringTable};
 pub use epoch::{Published, PublishedReader};
 pub use error::{Error, Result};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};

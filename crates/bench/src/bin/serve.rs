@@ -196,9 +196,17 @@ fn resume_one(
     let report_recovery = |path: &str, report: &RecoveryReport, seconds: f64| {
         eprintln!(
             "serve: tenant {name} ({domain}) recovered {path} in {seconds:.3}s (snapshot \
-             epoch {}, {} WAL frame(s) replayed{})",
+             epoch {}, {} WAL frame(s) replayed{}{})",
             report.snapshot_epoch,
             report.batches_replayed,
+            if report.batches_skipped > 0 {
+                format!(
+                    ", {} already-checkpointed frame(s) skipped",
+                    report.batches_skipped
+                )
+            } else {
+                String::new()
+            },
             if report.truncated_tail {
                 ", torn tail truncated"
             } else {

@@ -108,7 +108,7 @@ fn main() {
     for _ in 0..reps {
         let watch = Stopwatch::start();
         let bytes = persist::encode_state(engine.state(), epoch, batches_applied);
-        persist::write_atomic(&bin_path, &bytes).expect("write binary snapshot");
+        persist::write_atomic(&bin_path, &bytes, false).expect("write binary snapshot");
         bin_save_s += watch.elapsed_secs();
     }
     let bin_bytes = std::fs::metadata(&bin_path)
@@ -138,10 +138,11 @@ fn main() {
     let wal_scratch = persist::wal_path(&bin_path);
     let mut wal = WalWriter::open(&wal_scratch, false).expect("open WAL");
     let mut wal_append_s = 0.0;
-    for batch in &batches {
+    for (j, batch) in batches.iter().enumerate() {
         let watch = Stopwatch::start();
         let payload = persist::encode_batch(batch);
-        wal.append(&payload).expect("append WAL frame");
+        wal.append(batches_applied as u64 + 1 + j as u64, &payload)
+            .expect("append WAL frame");
         wal_append_s += watch.elapsed_secs();
     }
     drop(wal);
@@ -165,7 +166,8 @@ fn main() {
     let frames = persist::read_wal(&wal_scratch).expect("read WAL");
     assert!(!frames.torn, "fresh WAL has no torn tail");
     for frame in &frames.frames {
-        let batch = persist::decode_batch::<SecurityRecord>(frame).expect("decode WAL frame");
+        let batch =
+            persist::decode_batch::<SecurityRecord>(&frame.payload).expect("decode WAL frame");
         replayed.apply_batch(&batch).expect("replay batch");
     }
     let wal_replay_s = replay_watch.elapsed_secs();

@@ -699,11 +699,16 @@ impl HostSession {
             .host
             .tenant(tenant)
             .ok_or_else(|| host_error(&HostError::UnknownTenant(tenant.to_string())))?;
-        persist::write_atomic(std::path::Path::new(path), entry.state_json().as_bytes())
-            .map_err(|e| coded(ErrorCode::Io, format!("{path}: {e}")))?;
+        persist::write_atomic(
+            std::path::Path::new(path),
+            entry.state_json().as_bytes(),
+            false,
+        )
+        .map_err(|e| coded(ErrorCode::Io, format!("{path}: {e}")))?;
         persist::write_atomic(
             std::path::Path::new(&fingerprint_path(path)),
             entry.fingerprint().as_bytes(),
+            false,
         )
         .map_err(|e| coded(ErrorCode::Io, format!("{path}.scorer: {e}")))?;
         Ok(format!("state saved to {path} (tenant {tenant})"))

@@ -520,10 +520,13 @@ impl<'a, R: Record + Clone + Sync> MatchEngine<'a, R> {
         // WAL append sits between validation and application: a validated
         // batch applies deterministically, so a crash right after the
         // append recovers to the same state as a crash right after the
-        // apply — the frame just replays.
+        // apply — the frame just replays. The frame's seq is the batch
+        // counter this batch will land on, so recovery can order it
+        // against the snapshot header's counter.
+        let seq = self.batches_applied as u64 + 1;
         if let Some(durability) = self.durability.as_mut() {
             let payload = (durability.encode_batch)(batch);
-            durability.wal.append(&payload)?;
+            durability.wal.append(seq, &payload)?;
         }
         self.provider.absorb(batch);
         let mut outcome = self.state.apply(
@@ -649,9 +652,17 @@ impl<'a, R: Record + Clone + Sync> MatchEngine<'a, R> {
     }
 
     /// Checkpoint now: atomically rewrite the binary snapshot at the
-    /// current published epoch (temp file + rename, plus the fingerprint
-    /// sidecar when one is set) and truncate the WAL. Errors when
-    /// durability is not enabled.
+    /// current published epoch (temp file + rename, fsynced when the
+    /// policy asks), truncate the WAL, then rewrite the fingerprint
+    /// sidecar when one is set. Errors when durability is not enabled.
+    ///
+    /// Step order is load-bearing. A crash after the snapshot write but
+    /// before the truncate leaves already-incorporated frames in the
+    /// log — recovery skips them by seq (see
+    /// [`crate::persist::recover_engine`]). The sidecar goes last so
+    /// that if the checkpoint dies earlier, the sidecar still names the
+    /// scorer the surviving WAL frames were scored under — the
+    /// model-swap path relies on this to stay consistent on failure.
     pub fn checkpoint(&mut self) -> Result<CheckpointInfo, Error> {
         let epoch = self.published.load().epoch();
         let Some(durability) = self.durability.as_mut() else {
@@ -660,14 +671,15 @@ impl<'a, R: Record + Clone + Sync> MatchEngine<'a, R> {
             ));
         };
         let bytes = (durability.encode_state)(&self.state, epoch, self.batches_applied);
-        persist::write_atomic(&durability.snapshot_path, &bytes)?;
+        persist::write_atomic(&durability.snapshot_path, &bytes, durability.policy.fsync)?;
+        durability.wal.truncate()?;
         if let Some(fingerprint) = &durability.fingerprint {
             persist::write_atomic(
                 &persist::fingerprint_path(&durability.snapshot_path),
                 fingerprint.as_bytes(),
+                durability.policy.fsync,
             )?;
         }
-        durability.wal.truncate()?;
         Ok(CheckpointInfo {
             epoch,
             snapshot_bytes: bytes.len() as u64,

@@ -181,8 +181,10 @@ pub trait TenantEngine {
     /// bump, zero groups changed). Callers must have validated the model
     /// against this tenant's domain first — use
     /// [`EngineHost::swap_model`], which does. On a durable tenant the
-    /// swap forces a checkpoint, so no WAL frame written under the old
-    /// scorer can ever replay under the new one.
+    /// swap forces a checkpoint *before* installing the new scorer, so
+    /// no WAL frame written under the old scorer can ever replay under
+    /// the new one — and a checkpoint failure leaves the tenant serving
+    /// the old model with its durable files untouched.
     fn swap_model(&mut self, model: SavedModel, fingerprint: String) -> Result<(), HostError>;
 
     /// Turn on binary durability: write an initial checkpoint (snapshot +
@@ -298,19 +300,27 @@ where
     }
 
     fn swap_model(&mut self, model: SavedModel, fingerprint: String) -> Result<(), HostError> {
-        self.engine.replace_provider(scorer_provider(Some(model)));
-        self.fingerprint = fingerprint.clone();
         // WAL frames must never replay under a different scorer than the
-        // one that scored them, so a durable tenant checkpoints right
-        // after the swap: the snapshot data is model-independent, and the
-        // truncated WAL guarantees every future frame replays under the
-        // scorer named by the (freshly rewritten) sidecar.
+        // one that scored them, so a durable tenant checkpoints *before*
+        // the swap installs anything: the snapshot data is
+        // model-independent, and the truncated WAL guarantees every
+        // future frame replays under the scorer named by the (freshly
+        // rewritten) sidecar. Checkpoint-first also makes failure safe —
+        // an error leaves the tenant untouched, still serving the old
+        // model with its WAL (and old sidecar, written last inside the
+        // checkpoint) intact, instead of serving a model the durable
+        // files do not record.
         if self.engine.is_durable() {
-            self.engine.set_durability_fingerprint(Some(fingerprint));
             self.engine
-                .checkpoint()
-                .map_err(|e| HostError::Durability(e.to_string()))?;
+                .set_durability_fingerprint(Some(fingerprint.clone()));
+            if let Err(e) = self.engine.checkpoint() {
+                self.engine
+                    .set_durability_fingerprint(Some(self.fingerprint.clone()));
+                return Err(HostError::Durability(e.to_string()));
+            }
         }
+        self.engine.replace_provider(scorer_provider(Some(model)));
+        self.fingerprint = fingerprint;
         Ok(())
     }
 

@@ -80,7 +80,7 @@ pub use label_propagation::{label_propagation_groups, LabelPropagationConfig};
 pub use metrics::{group_metrics, pairwise_metrics, GroupMetrics, PairMetrics};
 pub use persist::{
     decode_batch, decode_state, encode_batch, encode_state, recover_engine, CheckpointInfo,
-    CheckpointPolicy, RecoveryReport, StateSnapshot, WalReplay, WalWriter,
+    CheckpointPolicy, RecoveryReport, StateSnapshot, WalFrame, WalReplay, WalWriter,
 };
 pub use pipeline::{
     run_with_candidates, MatchingOutcome, OracleMatcher, OracleScorer, PipelineConfig,

@@ -12,15 +12,19 @@
 //!   The header carries the engine's published epoch and batch counter,
 //!   so a resumed engine serves from exactly the persisted epoch.
 //! * **WAL** — an append-only log (`WAL_MAGIC` + version, then
-//!   `[len u64][payload][checksum64 u64]` frames, one encoded batch each).
+//!   `[len u64][seq u64][payload][checksum64(seq ‖ payload) u64]` frames,
+//!   one encoded batch each, where `seq` is the engine's batch counter
+//!   after the batch applies — strictly increasing across checkpoints).
 //!   [`MatchEngine::apply_batch`] appends the batch *before* applying it;
-//!   recovery loads the last snapshot and replays the tail, truncating a
-//!   torn final frame instead of failing. Frames are flushed per batch
-//!   and optionally fsynced ([`CheckpointPolicy::fsync`]).
-//! * **Checkpoint** — atomically (temp file + rename) rewrite the
-//!   snapshot at the current epoch and truncate the WAL, driven by the
-//!   batch/byte thresholds in [`CheckpointPolicy`] or an explicit
-//!   [`MatchEngine::checkpoint`] call.
+//!   recovery loads the last snapshot, skips frames the snapshot already
+//!   incorporates (`seq` at or below the header's batch counter — the
+//!   crash-between-snapshot-and-truncate case), and replays the rest,
+//!   truncating a torn final frame instead of failing. Frames are flushed
+//!   per batch and optionally fsynced ([`CheckpointPolicy::fsync`]).
+//! * **Checkpoint** — atomically (temp file + rename, fsynced when the
+//!   policy asks) rewrite the snapshot at the current epoch and truncate
+//!   the WAL, driven by the batch/byte thresholds in [`CheckpointPolicy`]
+//!   or an explicit [`MatchEngine::checkpoint`] call.
 //!
 //! Both file kinds are canonical: equal states encode to identical
 //! bytes regardless of mutation history (records sorted by id, candidate
@@ -66,8 +70,11 @@ pub struct CheckpointPolicy {
     /// Checkpoint once the WAL grows past this many bytes.
     pub max_wal_bytes: u64,
     /// `fsync` the WAL after every append (and the log after header
-    /// writes/truncation). Off by default: the serving benchmarks measure
-    /// encode+write cost, and tests exercise clean-process crashes.
+    /// writes/truncation), and `sync_all` checkpoint snapshot/sidecar
+    /// temp files before their renames (plus the parent directory after)
+    /// so checkpoints survive power loss, not just process crashes. Off
+    /// by default: the serving benchmarks measure encode+write cost, and
+    /// tests exercise clean-process crashes.
     pub fsync: bool,
 }
 
@@ -97,6 +104,10 @@ pub struct RecoveryReport {
     pub snapshot_epoch: u64,
     /// Complete WAL frames replayed on top of the snapshot.
     pub batches_replayed: usize,
+    /// Complete WAL frames the snapshot already incorporated (their seq
+    /// was at or below the snapshot's batch counter): the residue of a
+    /// crash between a checkpoint's snapshot write and its WAL truncate.
+    pub batches_skipped: usize,
     /// Whether a torn final frame was detected (and truncated away).
     pub truncated_tail: bool,
 }
@@ -114,10 +125,27 @@ pub fn fingerprint_path(snapshot_path: &Path) -> PathBuf {
 
 /// Write `bytes` to `path` atomically: a sibling temp file + rename, so a
 /// crash mid-write can never leave a torn file under the real name.
-pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+///
+/// With `fsync`, the temp file is `sync_all`ed before the rename and the
+/// parent directory is fsynced after it, so the contents *and* the rename
+/// survive power loss — without it the write is atomic against process
+/// crashes only (the OS may reorder the rename ahead of the data).
+pub fn write_atomic(path: &Path, bytes: &[u8], fsync: bool) -> Result<()> {
     let tmp = PathBuf::from(format!("{}.tmp", path.display()));
-    std::fs::write(&tmp, bytes)?;
+    let mut file = File::create(&tmp)?;
+    file.write_all(bytes)?;
+    if fsync {
+        file.sync_all()?;
+    }
+    drop(file);
     std::fs::rename(&tmp, path)?;
+    if fsync {
+        let parent = match path.parent() {
+            Some(parent) if !parent.as_os_str().is_empty() => parent,
+            _ => Path::new("."),
+        };
+        File::open(parent)?.sync_all()?;
+    }
     Ok(())
 }
 
@@ -394,10 +422,13 @@ pub fn decode_batch<R: BinRecord>(bytes: &[u8]) -> Result<UpsertBatch<R>> {
 /// One pass over raw WAL bytes: complete checksummed frames plus where
 /// the valid prefix ends.
 struct WalScan {
-    frames: Vec<(usize, usize)>,
+    /// `(seq, payload start, payload len)` per complete frame.
+    frames: Vec<(u64, usize, usize)>,
     valid_len: u64,
     torn: bool,
     header_missing: bool,
+    /// Seq of the last complete frame (0 when there is none).
+    last_seq: u64,
 }
 
 fn scan_wal(bytes: &[u8]) -> Result<WalScan> {
@@ -407,6 +438,7 @@ fn scan_wal(bytes: &[u8]) -> Result<WalScan> {
             valid_len: 0,
             torn: false,
             header_missing: true,
+            last_seq: 0,
         });
     }
     if bytes.len() < MAGIC_LEN {
@@ -417,31 +449,44 @@ fn scan_wal(bytes: &[u8]) -> Result<WalScan> {
             valid_len: 0,
             torn: true,
             header_missing: true,
+            last_seq: 0,
         });
     }
     check_magic(&mut BinReader::new(bytes), &WAL_MAGIC)?;
     let mut frames = Vec::new();
     let mut pos = MAGIC_LEN;
     let mut torn = false;
+    let mut last_seq = 0;
     while pos < bytes.len() {
-        let remaining = bytes.len() - pos;
+        let remaining = (bytes.len() - pos) as u64;
         if remaining < 8 {
             torn = true;
             break;
         }
-        let len = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()) as usize;
-        if remaining < 8 + len + 8 {
+        let len = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+        // Checked: `len` is untrusted on-disk data, and a torn/corrupt
+        // length near u64::MAX must read as a torn tail, not overflow
+        // the bounds check and panic on the slice below.
+        let frame_total = match len.checked_add(24) {
+            Some(total) if remaining >= total => total as usize,
+            _ => {
+                torn = true;
+                break;
+            }
+        };
+        let len = len as usize;
+        let seq = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().unwrap());
+        let checksum =
+            u64::from_le_bytes(bytes[pos + 16 + len..pos + 24 + len].try_into().unwrap());
+        // The checksum covers seq + payload, so a damaged seq field is
+        // caught exactly like a damaged payload.
+        if checksum != checksum64(&bytes[pos + 8..pos + 16 + len]) {
             torn = true;
             break;
         }
-        let payload = &bytes[pos + 8..pos + 8 + len];
-        let checksum = u64::from_le_bytes(bytes[pos + 8 + len..pos + 16 + len].try_into().unwrap());
-        if checksum != checksum64(payload) {
-            torn = true;
-            break;
-        }
-        frames.push((pos + 8, len));
-        pos += 16 + len;
+        frames.push((seq, pos + 16, len));
+        last_seq = seq;
+        pos += frame_total;
     }
     // `pos` stops right after the last complete frame (or at the header
     // when there is none), so it is exactly the valid prefix length.
@@ -450,14 +495,28 @@ fn scan_wal(bytes: &[u8]) -> Result<WalScan> {
         valid_len: pos as u64,
         torn,
         header_missing: false,
+        last_seq,
     })
+}
+
+/// One complete WAL frame: the engine batch sequence number it was
+/// appended under, and its payload (a still-encoded batch; see
+/// [`decode_batch`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalFrame {
+    /// The engine's batch counter after this batch applies. Strictly
+    /// increasing across the log, *including* across checkpoints, so
+    /// recovery can tell a frame the snapshot already incorporates from
+    /// one it must replay.
+    pub seq: u64,
+    /// The frame payload.
+    pub payload: Vec<u8>,
 }
 
 /// The complete frames of a WAL file, in append order.
 pub struct WalReplay {
-    /// Decoded frame payloads (still encoded batches; see
-    /// [`decode_batch`]).
-    pub frames: Vec<Vec<u8>>,
+    /// Complete frames, in append order.
+    pub frames: Vec<WalFrame>,
     /// Whether an incomplete/checksum-failing tail followed the last
     /// complete frame.
     pub torn: bool,
@@ -477,7 +536,10 @@ pub fn read_wal(path: &Path) -> Result<WalReplay> {
         frames: scan
             .frames
             .iter()
-            .map(|&(start, len)| bytes[start..start + len].to_vec())
+            .map(|&(seq, start, len)| WalFrame {
+                seq,
+                payload: bytes[start..start + len].to_vec(),
+            })
             .collect(),
         torn: scan.torn,
     })
@@ -490,6 +552,7 @@ pub struct WalWriter {
     file: File,
     frames: usize,
     bytes: u64,
+    last_seq: u64,
     fsync: bool,
 }
 
@@ -529,6 +592,7 @@ impl WalWriter {
             file,
             frames: scan.frames.len(),
             bytes: valid_len,
+            last_seq: scan.last_seq,
             fsync,
         })
     }
@@ -544,13 +608,29 @@ impl WalWriter {
         self.bytes
     }
 
-    /// Append one frame: `[len u64][payload][checksum64(payload) u64]`,
+    /// Seq of the last frame in the log (0 when the log is empty).
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// Append one frame:
+    /// `[len u64][seq u64][payload][checksum64(seq ‖ payload) u64]`,
     /// flushed (and fsynced when the policy asks) before returning.
-    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
-        let mut frame = Vec::with_capacity(payload.len() + 16);
+    /// `seq` must exceed every seq already in the log — recovery relies
+    /// on it to order frames against the snapshot's batch counter.
+    pub fn append(&mut self, seq: u64, payload: &[u8]) -> Result<()> {
+        if seq <= self.last_seq {
+            return Err(Error::InvalidConfig(format!(
+                "WAL frame seq {seq} must exceed the log's last seq {}",
+                self.last_seq
+            )));
+        }
+        let mut frame = Vec::with_capacity(payload.len() + 24);
         frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        frame.extend_from_slice(&seq.to_le_bytes());
         frame.extend_from_slice(payload);
-        frame.extend_from_slice(&checksum64(payload).to_le_bytes());
+        let checksum = checksum64(&frame[8..]);
+        frame.extend_from_slice(&checksum.to_le_bytes());
         self.file.write_all(&frame)?;
         self.file.flush()?;
         if self.fsync {
@@ -558,6 +638,7 @@ impl WalWriter {
         }
         self.frames += 1;
         self.bytes += frame.len() as u64;
+        self.last_seq = seq;
         Ok(())
     }
 
@@ -571,6 +652,7 @@ impl WalWriter {
         }
         self.frames = 0;
         self.bytes = MAGIC_LEN as u64;
+        self.last_seq = 0;
         Ok(())
     }
 }
@@ -591,12 +673,16 @@ pub(crate) struct Durability<R> {
 }
 
 /// Recover an engine from its snapshot + WAL: decode the snapshot,
-/// resume at the persisted epoch, replay every complete WAL frame (a
-/// torn tail is truncated, not an error), and re-arm durability on the
-/// same files so subsequent batches keep appending where the log left
-/// off. The recovered engine is bit-for-bit the engine that wrote the
-/// files — same groups, same epoch — including after a crash between a
-/// WAL append and the in-memory apply (the appended batch replays).
+/// resume at the persisted epoch, replay every complete WAL frame the
+/// snapshot does not already incorporate (a torn tail is truncated, not
+/// an error), and re-arm durability on the same files so subsequent
+/// batches keep appending where the log left off. The recovered engine
+/// is bit-for-bit the engine that wrote the files — same groups, same
+/// epoch — including after a crash between a WAL append and the
+/// in-memory apply (the appended batch replays), and after a crash
+/// between a checkpoint's snapshot write and its WAL truncate (the
+/// already-incorporated frames carry a seq at or below the snapshot's
+/// batch counter and are skipped, never double-applied).
 pub fn recover_engine<'a, R>(
     snapshot_path: &Path,
     strategies: Vec<Box<dyn Blocker<R> + 'a>>,
@@ -618,19 +704,45 @@ where
         config,
     );
     let replay = read_wal(&wal_path(snapshot_path))?;
+    // A crash between a checkpoint's snapshot write and its WAL truncate
+    // leaves a log whose leading frames the snapshot already folded in.
+    // Replaying one would double-apply its inserts/deletes and fail
+    // validation, so every frame with seq <= the snapshot's batch
+    // counter is skipped; the survivors must then continue the counter
+    // without a gap — a gap means the snapshot and log are not the same
+    // lineage, which is corruption, not a crash artifact.
+    let mut next_seq = snapshot.batches_applied as u64 + 1;
+    let mut batches_replayed = 0;
+    let mut batches_skipped = 0;
     for frame in &replay.frames {
-        let batch = decode_batch::<R>(frame)?;
+        if frame.seq < next_seq {
+            batches_skipped += 1;
+            continue;
+        }
+        if frame.seq > next_seq {
+            return Err(Error::Corrupt(format!(
+                "WAL frame seq {} where {next_seq} was expected — the log does not continue \
+                 the snapshot's batch counter",
+                frame.seq
+            )));
+        }
+        let batch = decode_batch::<R>(&frame.payload)?;
         engine.apply_batch(&batch)?;
+        batches_replayed += 1;
+        next_seq += 1;
     }
     // Re-arm on the same files: `WalWriter::open` drops the torn tail,
     // and the snapshot already matches the log prefix, so no checkpoint
-    // is forced here — restart cost stays O(snapshot + tail).
+    // is forced here — restart cost stays O(snapshot + tail). Skipped
+    // frames stay in the log (harmless — every recovery skips them) and
+    // are dropped by the next checkpoint.
     engine.attach_durability(snapshot_path.to_path_buf(), policy)?;
     Ok((
         engine,
         RecoveryReport {
             snapshot_epoch: snapshot.epoch,
-            batches_replayed: replay.frames.len(),
+            batches_replayed,
+            batches_skipped,
             truncated_tail: replay.torn,
         },
     ))
@@ -797,15 +909,30 @@ mod tests {
         let dir = test_dir("wal");
         let path = dir.join("state.bin.wal");
         let mut wal = WalWriter::open(&path, false).unwrap();
-        wal.append(b"alpha").unwrap();
-        wal.append(b"beta-beta").unwrap();
+        wal.append(1, b"alpha").unwrap();
+        wal.append(2, b"beta-beta").unwrap();
         assert_eq!(wal.frames(), 2);
+        assert_eq!(wal.last_seq(), 2);
+        // A non-increasing seq is a caller bug, refused before the write.
+        assert!(matches!(
+            wal.append(2, b"stale"),
+            Err(Error::InvalidConfig(_))
+        ));
         drop(wal);
 
         let replay = read_wal(&path).unwrap();
         assert_eq!(
             replay.frames,
-            vec![b"alpha".to_vec(), b"beta-beta".to_vec()]
+            vec![
+                WalFrame {
+                    seq: 1,
+                    payload: b"alpha".to_vec()
+                },
+                WalFrame {
+                    seq: 2,
+                    payload: b"beta-beta".to_vec()
+                },
+            ]
         );
         assert!(!replay.torn);
 
@@ -828,11 +955,25 @@ mod tests {
         let mut wal = WalWriter::open(&path, false).unwrap();
         assert_eq!(std::fs::metadata(&path).unwrap().len(), good_len);
         assert_eq!(wal.frames(), 2);
-        wal.append(b"gamma").unwrap();
+        wal.append(wal.last_seq() + 1, b"gamma").unwrap();
         drop(wal);
         let replay = read_wal(&path).unwrap();
         assert_eq!(replay.frames.len(), 3);
         assert!(!replay.torn);
+
+        // A torn length field reading near u64::MAX is a truncatable
+        // tail like any other — never an arithmetic overflow/panic.
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(&u64::MAX.to_le_bytes()).unwrap();
+        file.write_all(b"garbage").unwrap();
+        drop(file);
+        let replay = read_wal(&path).unwrap();
+        assert_eq!(replay.frames.len(), 3);
+        assert!(replay.torn);
+        let wal = WalWriter::open(&path, false).unwrap();
+        assert_eq!(wal.frames(), 3);
+        assert_eq!(wal.last_seq(), 3);
+        drop(wal);
 
         // A file that is not a WAL at all is a hard error.
         std::fs::write(&path, b"definitely not a wal").unwrap();
@@ -879,12 +1020,71 @@ mod tests {
         )
         .unwrap();
         assert_eq!(report.batches_replayed, 1);
+        assert_eq!(report.batches_skipped, 0);
         assert!(!report.truncated_tail);
         assert_eq!(report.snapshot_epoch, expected_epoch - 1);
         assert_eq!(recovered.snapshot().epoch(), expected_epoch);
         assert_eq!(recovered.stats().batches_applied, expected_batches);
         assert_eq!(normalized_groups(&recovered), expected_groups);
         assert!(recovered.is_durable());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A crash *between* a checkpoint's snapshot write and its WAL
+    /// truncate leaves a snapshot that already incorporates the log's
+    /// leading frames. Recovery must skip those (their seq sits at or
+    /// below the snapshot's batch counter) instead of double-applying
+    /// them — which would fail validation and brick the store.
+    #[test]
+    fn interrupted_checkpoint_skips_already_incorporated_frames() {
+        let dir = test_dir("interrupted");
+        let snapshot_path = dir.join("state.bin");
+        let data = dataset();
+        let securities = data.securities.records().to_vec();
+        let group_of = company_groups(&data);
+        let domain = SecurityDomain::new(&securities, &group_of);
+        let gt = domain.ground_truth().clone();
+        let scorer = OracleScorer::new(&gt);
+        let batches = churn_batches(&securities);
+
+        // Thresholds high enough that no auto-checkpoint fires: the WAL
+        // keeps all three frames.
+        let mut durable = bootstrap_engine(&securities, &scorer);
+        durable
+            .enable_durability(&snapshot_path, CheckpointPolicy::default())
+            .unwrap();
+        for batch in &batches[..2] {
+            durable.apply_batch(batch).unwrap();
+        }
+        // Interrupted checkpoint: the snapshot lands (incorporating the
+        // two logged batches) but the WAL truncate never runs.
+        let bytes = encode_state(
+            durable.state(),
+            durable.snapshot().epoch(),
+            durable.stats().batches_applied,
+        );
+        write_atomic(&snapshot_path, &bytes, false).unwrap();
+        // One more batch after the interrupted checkpoint: a mixed log
+        // of incorporated frames and a live tail.
+        durable.apply_batch(&batches[2]).unwrap();
+        let expected_epoch = durable.snapshot().epoch();
+        let expected_groups = normalized_groups(&durable);
+        let expected_batches = durable.stats().batches_applied;
+        drop(durable);
+
+        let (recovered, report) = recover_engine::<SecurityRecord>(
+            &snapshot_path,
+            security_lineup(),
+            Box::new(FixedScorerProvider(&scorer)),
+            PipelineConfig::new(25, 5),
+            CheckpointPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(report.batches_skipped, 2, "incorporated frames skipped");
+        assert_eq!(report.batches_replayed, 1, "the live tail replays");
+        assert_eq!(recovered.snapshot().epoch(), expected_epoch);
+        assert_eq!(recovered.stats().batches_applied, expected_batches);
+        assert_eq!(normalized_groups(&recovered), expected_groups);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -13,7 +13,9 @@
 //!
 //! Crash *inside* a batch is covered too: a frame appended to the WAL
 //! whose apply never happened (the write-ahead ordering) must be
-//! replayed on recovery. Damage cases close the loop: a flipped snapshot
+//! replayed on recovery, and a crash *inside* a checkpoint (snapshot
+//! written, WAL not yet truncated) must skip the already-incorporated
+//! frames by seq. Damage cases close the loop: a flipped snapshot
 //! byte is a refused [`Corrupt`](gralmatch::util::Error::Corrupt) load,
 //! a truncated WAL tail is dropped cleanly with the torn frame reported.
 
@@ -168,6 +170,7 @@ where
         )
         .expect("recovery succeeds");
         assert!(!report.truncated_tail, "clean crash left no torn frame");
+        assert_eq!(report.batches_skipped, 0, "clean crash left no stale frame");
         assert_eq!(
             report.snapshot_epoch as usize + report.batches_replayed,
             j + 1,
@@ -294,7 +297,7 @@ fn wal_frame_without_apply_is_replayed() {
     // apply never happens.
     let mut wal = WalWriter::open(&persist::wal_path(&snapshot_path), false).expect("reopen WAL");
     assert_eq!(wal.frames(), 2, "two applied batches sit in the log");
-    wal.append(&persist::encode_batch(&batches[2]))
+    wal.append(wal.last_seq() + 1, &persist::encode_batch(&batches[2]))
         .expect("append unapplied frame");
     drop(wal);
 
@@ -306,6 +309,47 @@ fn wal_frame_without_apply_is_replayed() {
         oracle[3],
         "the logged-but-unapplied batch must be part of the recovered state"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A crash *between* a checkpoint's snapshot write and its WAL truncate
+/// leaves a snapshot that already incorporates every logged frame.
+/// Recovery must skip those frames by seq — replaying one would
+/// double-apply its inserts/deletes, fail validation, and leave the
+/// store unrecoverable after a routine auto-checkpoint crash.
+#[test]
+fn interrupted_checkpoint_never_replays_incorporated_frames() {
+    let dir = scratch_dir("ckpt");
+    let (snapshot_path, batches, oracle) = crashed_securities(&dir, 3);
+    // Simulate the interrupted checkpoint: rewrite the snapshot at the
+    // fully-applied state (exactly what `checkpoint` writes) and leave
+    // the three logged frames in place.
+    {
+        let (engine, report) = recover_securities(&snapshot_path).expect("staging recovery");
+        assert_eq!(report.batches_replayed, 3);
+        let bytes = persist::encode_state(
+            engine.state(),
+            engine.snapshot().epoch(),
+            engine.stats().batches_applied,
+        );
+        persist::write_atomic(&snapshot_path, &bytes, false).expect("write snapshot");
+    }
+
+    let (mut recovered, report) = recover_securities(&snapshot_path).expect("recovery succeeds");
+    assert_eq!(
+        report.batches_skipped, 3,
+        "the snapshot already incorporates every logged frame"
+    );
+    assert_eq!(report.batches_replayed, 0);
+    assert!(!report.truncated_tail);
+    assert_eq!(normalize(&recovered.groups()), oracle[3]);
+    // The re-armed engine keeps accepting batches past the stale frames.
+    for batch in &batches[3..] {
+        recovered
+            .apply_batch(batch)
+            .expect("post-recovery batch applies");
+    }
+    assert_eq!(normalize(&recovered.groups()), oracle[batches.len()]);
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -14,6 +14,8 @@ use gralmatch_util::FxHashMap;
 pub struct BenchCli {
     /// Flag → values in argv order (`--apply a --apply b` keeps both).
     values: FxHashMap<String, Vec<String>>,
+    /// Boolean switches seen (`--steady`).
+    switches: Vec<String>,
     /// Non-flag arguments in argv order.
     positional: Vec<String>,
 }
@@ -24,7 +26,13 @@ impl BenchCli {
     /// starting with `--` is rejected so a typo fails loudly instead of
     /// becoming an output path.
     pub fn parse(value_flags: &[&str]) -> Self {
-        match Self::parse_from(std::env::args().skip(1), value_flags) {
+        Self::parse_with_switches(value_flags, &[])
+    }
+
+    /// [`BenchCli::parse`] that also accepts boolean switches: `--flag`
+    /// with no value, queried via [`BenchCli::switch`].
+    pub fn parse_with_switches(value_flags: &[&str], switch_flags: &[&str]) -> Self {
+        match Self::parse_from_with_switches(std::env::args().skip(1), value_flags, switch_flags) {
             Ok(cli) => cli,
             Err(message) => panic!("{message}"),
         }
@@ -35,6 +43,15 @@ impl BenchCli {
         args: impl IntoIterator<Item = String>,
         value_flags: &[&str],
     ) -> Result<Self, String> {
+        Self::parse_from_with_switches(args, value_flags, &[])
+    }
+
+    /// [`BenchCli::parse_from`] with boolean switches.
+    pub fn parse_from_with_switches(
+        args: impl IntoIterator<Item = String>,
+        value_flags: &[&str],
+        switch_flags: &[&str],
+    ) -> Result<Self, String> {
         let mut cli = BenchCli::default();
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
@@ -43,6 +60,15 @@ impl BenchCli {
                     Some((name, value)) => (name.to_string(), Some(value.to_string())),
                     None => (rest.to_string(), None),
                 };
+                if switch_flags.contains(&name.as_str()) {
+                    if inline.is_some() {
+                        return Err(format!("--{name} is a switch and takes no value"));
+                    }
+                    if !cli.switches.contains(&name) {
+                        cli.switches.push(name);
+                    }
+                    continue;
+                }
                 if !value_flags.contains(&name.as_str()) {
                     return Err(format!("unknown flag --{name}"));
                 }
@@ -58,6 +84,11 @@ impl BenchCli {
             }
         }
         Ok(cli)
+    }
+
+    /// Whether a boolean switch was passed.
+    pub fn switch(&self, flag: &str) -> bool {
+        self.switches.iter().any(|name| name == flag)
     }
 
     /// Last value of a flag.
@@ -153,6 +184,24 @@ mod tests {
     fn unknown_and_valueless_flags_error() {
         assert!(BenchCli::parse_from(args(&["--bogus"]), &["shards"]).is_err());
         assert!(BenchCli::parse_from(args(&["--shards"]), &["shards"]).is_err());
+    }
+
+    #[test]
+    fn switches_parse_without_values() {
+        let cli = BenchCli::parse_from_with_switches(
+            args(&["--steady", "--reps", "2", "out.json"]),
+            &["reps"],
+            &["steady"],
+        )
+        .unwrap();
+        assert!(cli.switch("steady"));
+        assert!(!cli.switch("reps"));
+        assert_eq!(cli.usize_value("reps"), Some(2));
+        assert_eq!(cli.out_path("default.json"), "out.json");
+        // A switch with an inline value is a usage error.
+        assert!(
+            BenchCli::parse_from_with_switches(args(&["--steady=yes"]), &[], &["steady"]).is_err()
+        );
     }
 
     #[test]

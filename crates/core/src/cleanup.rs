@@ -42,7 +42,7 @@
 
 use gralmatch_graph::{
     betweenness::max_betweenness_edge, component_of, connected_components, global_min_cut,
-    most_balanced_bridge, Edge, Graph, Subgraph,
+    most_balanced_bridge, CutIndex, Edge, Graph, Subgraph,
 };
 use gralmatch_util::{Stopwatch, WorkerPool};
 
@@ -123,6 +123,12 @@ pub struct CleanupReport {
     /// Wall-clock seconds spent in the betweenness phase (summed across
     /// components).
     pub betweenness_seconds: f64,
+    /// Min-cut rounds answered from a persistent [`CutIndex`] without a
+    /// Tarjan scan of the region (0 on the non-indexed path).
+    pub bridge_cache_hits: usize,
+    /// Nodes the [`CutIndex`] had to Tarjan-rescan (dirty blocks plus
+    /// cold/invalidated regions; 0 on the non-indexed path).
+    pub rescanned_nodes: usize,
 }
 
 impl CleanupReport {
@@ -139,6 +145,8 @@ impl CleanupReport {
         self.pre_cleanup_seconds += other.pre_cleanup_seconds;
         self.mincut_seconds += other.mincut_seconds;
         self.betweenness_seconds += other.betweenness_seconds;
+        self.bridge_cache_hits += other.bridge_cache_hits;
+        self.rescanned_nodes += other.rescanned_nodes;
     }
 
     /// The per-phase timing split, in the shape trace consumers expect.
@@ -147,6 +155,8 @@ impl CleanupReport {
             pre_cleanup_seconds: self.pre_cleanup_seconds,
             mincut_seconds: self.mincut_seconds,
             betweenness_seconds: self.betweenness_seconds,
+            bridge_cache_hits: self.bridge_cache_hits,
+            rescanned_nodes: self.rescanned_nodes,
         }
     }
 }
@@ -164,6 +174,16 @@ pub fn pre_cleanup(
     threshold: usize,
     is_removable: impl Fn(u32, u32) -> bool,
 ) -> usize {
+    pre_cleanup_edges(graph, threshold, is_removable).len()
+}
+
+/// [`pre_cleanup`], returning the removed edges themselves — callers
+/// maintaining a [`CutIndex`] over the graph feed them in as deltas.
+pub fn pre_cleanup_edges(
+    graph: &mut Graph,
+    threshold: usize,
+    is_removable: impl Fn(u32, u32) -> bool,
+) -> Vec<Edge> {
     let components = connected_components(graph);
     let mut to_remove: Vec<Edge> = Vec::new();
     for component in components {
@@ -178,7 +198,8 @@ pub fn pre_cleanup(
             }
         }
     }
-    graph.remove_edges(&to_remove)
+    graph.remove_edges(&to_remove);
+    to_remove
 }
 
 /// Everything one component's cleanup decided: the global edges it removed
@@ -307,6 +328,295 @@ fn cleanup_component(graph: &Graph, component: &[u32], config: &CleanupConfig) -
     report.betweenness_seconds = phase2_watch.elapsed_secs();
 
     ComponentOutcome { removed, report }
+}
+
+/// A bridge carried through the indexed phase-1 recursion:
+/// `(component-local edge, dense block of .0, dense block of .1)`.
+type BlockBridge = ((u32, u32), u32, u32);
+
+/// [`cleanup_component`] with the per-round Tarjan scan replaced by a
+/// lookup against the persistent [`CutIndex`].
+///
+/// The index is consulted **once** per component for its bridge/block
+/// structure (a cache hit when the caller kept the delta feed complete; a
+/// region rescan otherwise — the oracle computation). Each phase-1 round
+/// then answers `most_balanced_bridge` by walking the carried block tree
+/// — O(bridges in region) instead of O(region) — which is exact because
+/// cutting a bridge removes a block-tree edge and changes nothing else:
+/// the two sides inherit their blocks and bridges verbatim. The first
+/// Stoer–Wagner fallback inside a region invalidates that region's carried
+/// structure (a multi-edge cut rips through block interiors), so its
+/// descendants fall back to the oracle scan — keeping the output
+/// bit-for-bit identical to [`cleanup_component`] on every input.
+fn cleanup_component_indexed(
+    graph: &Graph,
+    component: &[u32],
+    config: &CleanupConfig,
+    index: &mut CutIndex,
+) -> ComponentOutcome {
+    let mut report = CleanupReport::default();
+    let mut removed: Vec<Edge> = Vec::new();
+
+    let phase1_watch = Stopwatch::start();
+    let sub = Subgraph::induce(graph, component);
+    let n = sub.num_nodes();
+    let mut scratch = Graph::with_nodes(n);
+    for &(a, b) in &sub.edges {
+        scratch.add_edge(a, b);
+    }
+
+    let rescans_before = index.stats.rescanned_nodes;
+    let structure = index.structure_for(&sub, component);
+    report.rescanned_nodes = index.stats.rescanned_nodes - rescans_before;
+    let block_of = structure.block_of;
+    let num_blocks = structure.num_blocks as usize;
+
+    // Reusable per-round buffers over the (fixed) block id space.
+    let mut counts: Vec<u32> = vec![0; num_blocks];
+    let mut block_adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_blocks]; // (other block, bridge idx)
+    let mut on_side: Vec<bool> = vec![false; num_blocks];
+
+    let mut phase2: Vec<Vec<u32>> = Vec::new();
+    let mut queue: Vec<(Vec<u32>, Option<Vec<BlockBridge>>)> =
+        vec![((0..n as u32).collect(), Some(structure.bridges))];
+    while let Some((region, blocks)) = queue.pop() {
+        if region.len() <= config.gamma {
+            if region.len() > config.mu {
+                phase2.push(region);
+            }
+            continue;
+        }
+        let cached = blocks.as_ref().is_some_and(|bridges| !bridges.is_empty());
+        if !cached {
+            // No usable structure (post-Stoer–Wagner region) or a
+            // 2-edge-connected region: exactly the oracle's round.
+            let bridge_known_absent = blocks.is_some();
+            let rsub = Subgraph::induce(&scratch, &region);
+            let split = if bridge_known_absent {
+                debug_assert!(most_balanced_bridge(&rsub).is_none());
+                None
+            } else {
+                most_balanced_bridge(&rsub)
+            };
+            let (cut_edges, side) = match split {
+                Some(split) => (vec![split.edge], split.child_side),
+                None => match global_min_cut(&rsub) {
+                    Some(cut) => (cut.cut_edges, cut.side),
+                    None => {
+                        if region.len() > config.mu {
+                            phase2.push(region);
+                        }
+                        continue;
+                    }
+                },
+            };
+            report.mincut_rounds += 1;
+            for &(a, b) in &cut_edges {
+                let (sa, sb) = (rsub.locals[a as usize], rsub.locals[b as usize]);
+                if scratch.remove_edge(sa, sb) {
+                    report.mincut_removed += 1;
+                    removed.push(Edge::new(sub.locals[sa as usize], sub.locals[sb as usize]));
+                }
+            }
+            let side: Vec<u32> = side.iter().map(|&i| rsub.locals[i as usize]).collect();
+            let other = complement_of(&region, &side);
+            for part in [side, other] {
+                if part.len() > config.gamma {
+                    queue.push((part, None));
+                } else if part.len() > config.mu {
+                    phase2.push(part);
+                }
+            }
+            continue;
+        }
+
+        // Cached round: answer most_balanced_bridge from the block tree.
+        let bridges = blocks.unwrap();
+        let mut touched: Vec<u32> = Vec::new();
+        for &node in &region {
+            let block = block_of[node as usize] as usize;
+            if counts[block] == 0 {
+                touched.push(block as u32);
+            }
+            counts[block] += 1;
+        }
+        for (i, &(_, x, y)) in bridges.iter().enumerate() {
+            block_adj[x as usize].push((y, i as u32));
+            block_adj[y as usize].push((x, i as u32));
+        }
+        // Subtree weights below each bridge, away from the region
+        // minimum's block — the size the oracle's Tarjan assigns to the
+        // bridge's child side.
+        let root = block_of[region[0] as usize];
+        let mut order: Vec<u32> = Vec::with_capacity(touched.len());
+        let mut child_block: Vec<u32> = vec![u32::MAX; bridges.len()];
+        let mut parent_bridge: Vec<u32> = vec![u32::MAX; num_blocks];
+        let mut stack: Vec<u32> = vec![root];
+        parent_bridge[root as usize] = u32::MAX - 1; // visited marker
+        while let Some(block) = stack.pop() {
+            order.push(block);
+            for &(next, bridge) in &block_adj[block as usize] {
+                if parent_bridge[next as usize] == u32::MAX {
+                    parent_bridge[next as usize] = bridge;
+                    child_block[bridge as usize] = next;
+                    stack.push(next);
+                }
+            }
+        }
+        let mut subtree: Vec<u32> = vec![0; num_blocks];
+        for &block in &touched {
+            subtree[block as usize] = counts[block as usize];
+        }
+        for &block in order.iter().rev() {
+            let bridge = parent_bridge[block as usize];
+            if bridge < u32::MAX - 1 {
+                let (_, x, y) = bridges[bridge as usize];
+                let parent = if child_block[bridge as usize] == x {
+                    y
+                } else {
+                    x
+                };
+                subtree[parent as usize] += subtree[block as usize];
+            }
+        }
+        let (best, _) = bridges
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, (edge, _, _))| {
+                let size = subtree[child_block[i] as usize] as usize;
+                (size.min(region.len() - size), std::cmp::Reverse(*edge))
+            })
+            .expect("bridges non-empty");
+        // Child side: every block hanging below the chosen bridge. The
+        // oracle roots its DFS at the region minimum, so its child side
+        // is exactly the side not containing `root`.
+        let mut side_blocks: Vec<u32> = vec![child_block[best]];
+        on_side[child_block[best] as usize] = true;
+        let mut walk = vec![child_block[best]];
+        while let Some(block) = walk.pop() {
+            for &(next, bridge) in &block_adj[block as usize] {
+                if bridge != best as u32 && !on_side[next as usize] {
+                    on_side[next as usize] = true;
+                    side_blocks.push(next);
+                    walk.push(next);
+                }
+            }
+        }
+        let side: Vec<u32> = region
+            .iter()
+            .copied()
+            .filter(|&node| on_side[block_of[node as usize] as usize])
+            .collect();
+
+        let ((la, lb), _, _) = bridges[best];
+        report.mincut_rounds += 1;
+        report.bridge_cache_hits += 1;
+        if scratch.remove_edge(la, lb) {
+            report.mincut_removed += 1;
+            removed.push(Edge::new(sub.locals[la as usize], sub.locals[lb as usize]));
+        }
+        let mut side_bridges: Vec<BlockBridge> = Vec::new();
+        let mut other_bridges: Vec<BlockBridge> = Vec::new();
+        for (i, &bridge) in bridges.iter().enumerate() {
+            if i == best {
+                continue;
+            }
+            if on_side[bridge.1 as usize] {
+                side_bridges.push(bridge);
+            } else {
+                other_bridges.push(bridge);
+            }
+        }
+        // Reset the reusable buffers before the region vectors move.
+        for &block in &touched {
+            counts[block as usize] = 0;
+            block_adj[block as usize].clear();
+            parent_bridge[block as usize] = u32::MAX;
+        }
+        for &block in &side_blocks {
+            on_side[block as usize] = false;
+        }
+        let other = complement_of(&region, &side);
+        for (part, part_bridges) in [(side, side_bridges), (other, other_bridges)] {
+            if part.len() > config.gamma {
+                queue.push((part, Some(part_bridges)));
+            } else if part.len() > config.mu {
+                phase2.push(part);
+            }
+        }
+    }
+    report.mincut_seconds = phase1_watch.elapsed_secs();
+
+    // Phase 2 is identical to the oracle's: betweenness removal on the
+    // scratch graph.
+    let phase2_watch = Stopwatch::start();
+    while let Some(region) = phase2.pop() {
+        if region.len() <= config.mu {
+            continue;
+        }
+        let rsub = Subgraph::induce(&scratch, &region);
+        let Some(((a, b), _)) = max_betweenness_edge(&rsub) else {
+            continue;
+        };
+        report.betweenness_rounds += 1;
+        let (sa, sb) = (rsub.locals[a as usize], rsub.locals[b as usize]);
+        if scratch.remove_edge(sa, sb) {
+            report.betweenness_removed += 1;
+            removed.push(Edge::new(sub.locals[sa as usize], sub.locals[sb as usize]));
+        }
+        let side = component_of(&scratch, sa);
+        if side.binary_search(&sb).is_ok() {
+            phase2.push(region);
+        } else {
+            let other = complement_of(&region, &side);
+            for part in [side, other] {
+                if part.len() > config.mu {
+                    phase2.push(part);
+                }
+            }
+        }
+    }
+    report.betweenness_seconds = phase2_watch.elapsed_secs();
+
+    ComponentOutcome { removed, report }
+}
+
+/// Run Algorithm 1 in place like [`graph_cleanup_with_pool`], consulting
+/// (and maintaining) a persistent [`CutIndex`] so steady-state churn pays
+/// O(affected region) instead of re-scanning every dirty component.
+///
+/// The caller owns the index across calls and must have fed every edge
+/// mutation of `graph` since the index was last rebuilt (the engine's
+/// merge path does); the removals this cleanup applies are fed back here,
+/// so afterwards the index mirrors the cleaned graph again. Components
+/// run sequentially (the index is a single mutable structure), in the
+/// same sorted order as the pooled path, producing a bit-identical
+/// removed-edge sequence and report counters — plus the
+/// `bridge_cache_hits` / `rescanned_nodes` diagnostics.
+pub fn graph_cleanup_with_index(
+    graph: &mut Graph,
+    config: &CleanupConfig,
+    index: &mut CutIndex,
+) -> CleanupReport {
+    let stopwatch = Stopwatch::start();
+    let mut report = CleanupReport::default();
+
+    let mut components: Vec<Vec<u32>> = connected_components(graph)
+        .into_iter()
+        .filter(|component| component.len() > config.mu.min(config.gamma))
+        .collect();
+    components.sort_unstable_by_key(|component| component[0]);
+
+    for component in &components {
+        let outcome = cleanup_component_indexed(graph, component, config, index);
+        for edge in &outcome.removed {
+            graph.remove_edge(edge.a, edge.b);
+            index.remove_edge(edge.a, edge.b);
+        }
+        report.merge(&outcome.report);
+    }
+    report.seconds = stopwatch.elapsed_secs();
+    report
 }
 
 /// Run Algorithm 1 in place, sequentially. Returns a report; the graph's
@@ -580,6 +890,8 @@ mod tests {
             pre_cleanup_seconds: 0.1,
             mincut_seconds: 0.2,
             betweenness_seconds: 0.2,
+            bridge_cache_hits: 6,
+            rescanned_nodes: 7,
         };
         let part = CleanupReport {
             pre_cleanup_removed: 10,
@@ -591,6 +903,8 @@ mod tests {
             pre_cleanup_seconds: 0.25,
             mincut_seconds: 0.5,
             betweenness_seconds: 0.25,
+            bridge_cache_hits: 60,
+            rescanned_nodes: 70,
         };
         total.merge(&part);
         assert_eq!(total.pre_cleanup_removed, 11);
@@ -602,6 +916,8 @@ mod tests {
         assert!((total.pre_cleanup_seconds - 0.35).abs() < 1e-12);
         assert!((total.mincut_seconds - 0.7).abs() < 1e-12);
         assert!((total.betweenness_seconds - 0.45).abs() < 1e-12);
+        assert_eq!(total.bridge_cache_hits, 66);
+        assert_eq!(total.rescanned_nodes, 77);
     }
 
     /// A miniature hub: `groups` cliques of `size` nodes, the first node of
@@ -685,5 +1001,98 @@ mod tests {
         reference_graph_cleanup(&mut reference, &config);
         assert!(largest_component(&fast).unwrap().len() <= 4);
         assert!(largest_component(&reference).unwrap().len() <= 4);
+    }
+
+    fn sorted_edges(graph: &Graph) -> Vec<Edge> {
+        let mut edges: Vec<Edge> = graph.edges().collect();
+        edges.sort_unstable();
+        edges
+    }
+
+    /// Run the indexed and the plain cleanup on copies of `graph` and
+    /// assert the results are bit-for-bit identical; returns the indexed
+    /// report (carrying the cache diagnostics).
+    fn assert_indexed_matches(graph: &Graph, config: &CleanupConfig) -> CleanupReport {
+        let mut plain = graph.clone();
+        let plain_report = graph_cleanup(&mut plain, config);
+        let mut indexed = graph.clone();
+        let mut index = CutIndex::new();
+        index.rebuild_from(&indexed);
+        let indexed_report = graph_cleanup_with_index(&mut indexed, config, &mut index);
+        assert_eq!(sorted_edges(&plain), sorted_edges(&indexed));
+        assert_eq!(plain_report.mincut_removed, indexed_report.mincut_removed);
+        assert_eq!(plain_report.mincut_rounds, indexed_report.mincut_rounds);
+        assert_eq!(
+            plain_report.betweenness_removed,
+            indexed_report.betweenness_removed
+        );
+        assert_eq!(
+            plain_report.betweenness_rounds,
+            indexed_report.betweenness_rounds
+        );
+        indexed_report
+    }
+
+    #[test]
+    fn indexed_cleanup_matches_plain_on_hub() {
+        // Every false edge is a bridge: the indexed path should answer all
+        // phase-1 rounds from the cached block tree without rescanning.
+        let graph = hub_graph(12, 4);
+        let report = assert_indexed_matches(&graph, &CleanupConfig::new(5, 4));
+        assert!(report.bridge_cache_hits > 0);
+        assert_eq!(report.rescanned_nodes, 0, "freshly built index is warm");
+    }
+
+    #[test]
+    fn indexed_cleanup_matches_plain_on_two_edge_connected() {
+        // Two K4s joined by two parallel link edges: no bridge exists, so
+        // the indexed path must take the Stoer–Wagner fallback and still
+        // match the oracle exactly.
+        let mut graph = two_cliques_bridged();
+        graph.add_edge(1, 5); // second link alongside (0, 4)
+        let report = assert_indexed_matches(&graph, &CleanupConfig::new(5, 4));
+        assert_eq!(report.bridge_cache_hits, 0, "no bridges to cache");
+    }
+
+    #[test]
+    fn indexed_cleanup_matches_plain_on_mixed_structure() {
+        // Hub of cliques with one pair of cliques double-linked: the first
+        // rounds run from the cache, the 2-edge-connected remnant falls
+        // back to min cut, and its descendants re-enter the oracle path.
+        let mut graph = hub_graph(8, 4);
+        graph.add_edge(2, 6); // weld clique 0 to clique 1 (bridges stay elsewhere)
+        graph.add_edge(3, 7);
+        let report = assert_indexed_matches(&graph, &CleanupConfig::new(5, 4));
+        assert!(report.bridge_cache_hits > 0);
+    }
+
+    #[test]
+    fn indexed_cleanup_is_warm_across_churn_batches() {
+        // Steady-state churn: re-adding the cut bridges and cleaning again
+        // must reuse the maintained index with zero Tarjan rescans, while
+        // staying identical to a from-scratch cleanup of the same graph.
+        let config = CleanupConfig::new(5, 4);
+        let mut graph = hub_graph(12, 4);
+        let mut index = CutIndex::new();
+        index.rebuild_from(&graph);
+        let before = sorted_edges(&graph);
+        graph_cleanup_with_index(&mut graph, &config, &mut index);
+        for round in 0..3 {
+            // Re-add every edge the cleanup removed (the hub bridges).
+            let cleaned = sorted_edges(&graph);
+            for edge in &before {
+                if cleaned.binary_search(edge).is_err() {
+                    graph.add_edge(edge.a, edge.b);
+                    index.insert_edge(edge.a, edge.b);
+                }
+            }
+            let mut oracle = graph.clone();
+            let oracle_report = graph_cleanup(&mut oracle, &config);
+            let report = graph_cleanup_with_index(&mut graph, &config, &mut index);
+            assert_eq!(sorted_edges(&oracle), sorted_edges(&graph));
+            assert_eq!(report.mincut_removed, oracle_report.mincut_removed);
+            assert_eq!(report.rescanned_nodes, 0, "round {round} should be warm");
+            assert!(report.bridge_cache_hits > 0);
+        }
     }
 }

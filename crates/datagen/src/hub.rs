@@ -66,14 +66,27 @@ impl HubConfig {
     }
 
     /// Node id of hub `h`.
-    fn hub_node(&self, h: usize) -> u32 {
+    pub fn hub_node(&self, h: usize) -> u32 {
         (h * self.nodes_per_hub()) as u32
     }
 
     /// Node id of member `j` of group `g` of hub `h` (member 0 is the
     /// group's representative, the endpoint of the hub bridge).
-    fn member_node(&self, h: usize, g: usize, j: usize) -> u32 {
+    pub fn member_node(&self, h: usize, g: usize, j: usize) -> u32 {
         (h * self.nodes_per_hub() + 1 + g * self.group_size + j) as u32
+    }
+
+    /// All hub bridges: one `(hub, representative)` edge per group. These
+    /// are exactly the edges every cleanup pass cuts, and the edges a
+    /// steady-churn batch re-adds to re-weld the mega-components.
+    pub fn hub_bridges(&self) -> Vec<(u32, u32)> {
+        let mut edges = Vec::with_capacity(self.hubs * self.groups_per_hub);
+        for h in 0..self.hubs {
+            for g in 0..self.groups_per_hub {
+                edges.push((self.hub_node(h), self.member_node(h, g, 0)));
+            }
+        }
+        edges
     }
 }
 
@@ -195,6 +208,137 @@ pub fn hub_churn_updates(config: &HubConfig, batch: usize) -> Vec<CompanyRecord>
     updates
 }
 
+/// One steady-churn batch at the graph level: edges to add and edges to
+/// retract before the next re-clean.
+///
+/// `remove` retracts *interior* clique edges — edges that are not bridges
+/// when removed, but whose removal leaves another surviving clique edge as
+/// a newly-created bridge (delete-driven bridge creation). `add` restores
+/// interior edges retracted by an earlier batch once their group rotates
+/// out, so the schedule is stable over an arbitrarily long horizon. The
+/// rotation's hub bridges are *not* listed here: every steady batch re-adds
+/// all of [`HubConfig::hub_bridges`] (the previous cleanup cut them all),
+/// mirroring how the engine's merge re-welds a touched component from raw
+/// predictions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SteadyBatch {
+    /// Interior clique edges restored this batch.
+    pub add: Vec<(u32, u32)>,
+    /// Interior clique edges retracted this batch.
+    pub remove: Vec<(u32, u32)>,
+}
+
+/// A long steady-state churn schedule: each batch rotates
+/// `churn_rewires` groups per hub, retracting two interior edges of each
+/// rotated group — `(m1,m2)` and `(m2,m3)` of its clique — so the
+/// surviving `(m0,m2)` edge becomes a bridge created *by deletion*, and
+/// restoring the retractions of previously-rotated groups. Requires
+/// `group_size >= 4`; smaller groups get no interior churn (the schedule
+/// is then hub-bridge-only).
+pub fn hub_steady_schedule(config: &HubConfig, batches: usize) -> Vec<SteadyBatch> {
+    let mut schedule = Vec::with_capacity(batches);
+    // Groups whose interior edges (m1,m2),(m2,m3) are currently retracted.
+    let mut degraded: Vec<(usize, usize)> = Vec::new();
+    let interior = |config: &HubConfig, h: usize, g: usize| {
+        [
+            (config.member_node(h, g, 1), config.member_node(h, g, 2)),
+            (config.member_node(h, g, 2), config.member_node(h, g, 3)),
+        ]
+    };
+    for b in 0..batches {
+        let mut rotation: Vec<(usize, usize)> = Vec::new();
+        for h in 0..config.hubs {
+            for r in 0..config.churn_rewires {
+                let g = (b * config.churn_rewires + r) % config.groups_per_hub;
+                if !rotation.contains(&(h, g)) {
+                    rotation.push((h, g));
+                }
+            }
+        }
+        let mut batch = SteadyBatch::default();
+        // Restore groups that have rotated out of the churn window.
+        degraded.retain(|&(h, g)| {
+            if rotation.contains(&(h, g)) {
+                return true;
+            }
+            batch.add.extend(interior(config, h, g));
+            false
+        });
+        if config.group_size >= 4 {
+            for &(h, g) in &rotation {
+                if !degraded.contains(&(h, g)) {
+                    batch.remove.extend(interior(config, h, g));
+                    degraded.push((h, g));
+                }
+            }
+        }
+        schedule.push(batch);
+    }
+    schedule
+}
+
+/// The record-level twin of interior retraction: updates that *shrink* a
+/// group's positive pairs through the real matching pipeline.
+///
+/// For each rotated group, members 1 and 2 are re-submitted with degraded
+/// names — member 1 keeps one group token and one hub token (`ga… hx…`),
+/// member 2 the other pair (`gb… hy…`). Under the plain encoder's
+/// value-token Jaccard, member 1 then scores ½ against the representative
+/// (`{ga,hx}` of its 4 tokens) but only ⅓ against its mates and the hub —
+/// so with a threshold in `(⅓, ½]` the group's clique collapses to a star
+/// around the representative: the clique edges `(m1,m2)`, `(m1,m3)`,
+/// `(m2,m3)` are retracted with **no new edge inserted**, leaving
+/// `(m0,m1)` and `(m0,m2)` as delete-created bridges. The batch also
+/// restores the original names of groups rotated in the previous batch,
+/// so a replay alternates degrade/restore exactly like
+/// [`hub_steady_schedule`]. Requires `group_size >= 4` for the math
+/// above; panics otherwise.
+pub fn hub_interior_churn_updates(config: &HubConfig, batch: usize) -> Vec<CompanyRecord> {
+    assert!(
+        config.group_size >= 4,
+        "interior churn needs group_size >= 4, got {}",
+        config.group_size
+    );
+    let companies = hub_companies(config);
+    let rotation = |batch: usize| {
+        let mut groups: Vec<(usize, usize)> = Vec::new();
+        for h in 0..config.hubs {
+            for r in 0..config.churn_rewires {
+                let g = (batch * config.churn_rewires + r) % config.groups_per_hub;
+                if !groups.contains(&(h, g)) {
+                    groups.push((h, g));
+                }
+            }
+        }
+        groups
+    };
+    let current = rotation(batch);
+    let mut updates = Vec::new();
+    // Restore the previous batch's groups first (degrades below win for
+    // groups present in both rotations). Only names change — a stamped
+    // city would leak into the encoded token sets and shift every
+    // Jaccard this function's math depends on.
+    if batch > 0 {
+        for (h, g) in rotation(batch - 1) {
+            if current.contains(&(h, g)) {
+                continue;
+            }
+            for j in [1, 2] {
+                updates.push(companies[config.member_node(h, g, j) as usize].clone());
+            }
+        }
+    }
+    for &(h, g) in &current {
+        let mut m1 = companies[config.member_node(h, g, 1) as usize].clone();
+        m1.name = format!("ga{h}q{g} hx{h}");
+        let mut m2 = companies[config.member_node(h, g, 2) as usize].clone();
+        m2.name = format!("gb{h}q{g} hy{h}");
+        updates.push(m1);
+        updates.push(m2);
+    }
+    updates
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +414,85 @@ mod tests {
             assert_eq!(update.name, original.name);
             assert_ne!(update.city, original.city);
         }
+    }
+
+    fn small4() -> HubConfig {
+        HubConfig {
+            group_size: 4,
+            ..small()
+        }
+    }
+
+    #[test]
+    fn steady_schedule_adds_and_removes_stay_consistent() {
+        let config = small4();
+        let schedule = hub_steady_schedule(&config, 4 * config.churn_batches);
+        // Replay the schedule against a live edge set: every remove must hit
+        // a present edge, every add (restore) an absent one.
+        let hub = hub_graph(&config);
+        let mut graph = Graph::with_nodes(hub.num_nodes);
+        for &(a, b) in &hub.bootstrap_edges {
+            graph.add_edge(a, b);
+        }
+        let mut saw_remove = false;
+        let mut saw_restore = false;
+        for batch in &schedule {
+            for &(a, b) in &batch.add {
+                assert!(graph.add_edge(a, b), "restore of a present edge ({a},{b})");
+                saw_restore = true;
+            }
+            for &(a, b) in &batch.remove {
+                assert!(
+                    graph.remove_edge(a, b),
+                    "retract of an absent edge ({a},{b})"
+                );
+                saw_remove = true;
+            }
+        }
+        assert!(saw_remove && saw_restore);
+        // Interior retraction creates a bridge: after the first batch, the
+        // rotated group's clique is a star minus one chord.
+        let first = &schedule[0];
+        assert_eq!(
+            first.remove[..2],
+            [
+                (config.member_node(0, 0, 1), config.member_node(0, 0, 2)),
+                (config.member_node(0, 0, 2), config.member_node(0, 0, 3)),
+            ]
+        );
+        assert!(first.add.is_empty(), "nothing to restore before batch 0");
+    }
+
+    #[test]
+    fn steady_schedule_skips_interior_churn_for_tiny_groups() {
+        let config = small(); // group_size 3 < 4
+        let schedule = hub_steady_schedule(&config, 6);
+        assert!(schedule
+            .iter()
+            .all(|b| b.remove.is_empty() && b.add.is_empty()));
+    }
+
+    #[test]
+    fn interior_churn_degrades_then_restores_names() {
+        let config = small4();
+        let companies = hub_companies(&config);
+        let degrade = hub_interior_churn_updates(&config, 0);
+        // Batch 0: only degrades, two records per rotated group.
+        assert!(degrade.len() >= 2 * config.hubs);
+        for update in &degrade {
+            let original = &companies[update.id.0 as usize];
+            assert_ne!(update.name, original.name);
+            assert_eq!(update.name.split_whitespace().count(), 2);
+            assert_eq!(update.city, original.city, "only names may change");
+        }
+        // A later batch restores the previous rotation's original names.
+        let next = hub_interior_churn_updates(&config, 1);
+        let restored: Vec<_> = next
+            .iter()
+            .filter(|u| u.name == companies[u.id.0 as usize].name)
+            .collect();
+        assert!(!restored.is_empty());
+        assert!(restored.len() < next.len(), "batch 1 must also degrade");
     }
 
     #[test]

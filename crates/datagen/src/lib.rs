@@ -28,7 +28,10 @@ pub mod wordlists;
 pub use artifacts::ArtifactKind;
 pub use config::{ArtifactRates, GenerationConfig, SecurityConfig, DEFAULT_SEED};
 pub use generator::{generate, FinancialDataset};
-pub use hub::{hub_churn_updates, hub_companies, hub_graph, HubConfig, HubGraph};
+pub use hub::{
+    hub_churn_updates, hub_companies, hub_graph, hub_interior_churn_updates, hub_steady_schedule,
+    HubConfig, HubGraph, SteadyBatch,
+};
 pub use identifiers::IdFactory;
 pub use seed::{generate_seeds, SeedCompany};
 pub use stats::DatasetStats;

@@ -164,6 +164,62 @@ fn bridges_with_subtree_sizes(sub: &Subgraph) -> Vec<((u32, u32), u32, u32)> {
     bridges
 }
 
+/// The full cut structure of a region in one scan: every bridge plus the
+/// 2-edge-connected block each node belongs to.
+///
+/// Blocks are the connected components of the region once all bridges are
+/// removed; the block graph (blocks as nodes, bridges as edges) is a
+/// forest, and a tree per connected region. Block ids are dense `0..`,
+/// assigned in ascending local-node order, so the labeling is a pure
+/// function of the subgraph — [`CutIndex`](crate::dynamic::CutIndex)
+/// rescans rely on that determinism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutStructure {
+    /// Bridges as local edge pairs (canonical `a < b`), sorted.
+    pub bridges: Vec<(u32, u32)>,
+    /// Dense block id (`0..num_blocks`) per local node.
+    pub block_of: Vec<u32>,
+    /// Number of 2-edge-connected blocks.
+    pub num_blocks: u32,
+}
+
+/// Compute the [`CutStructure`] of a subgraph (any region, connected or
+/// not): one Tarjan pass for the bridges, one BFS avoiding them for the
+/// block labels — O(V + E) total.
+pub fn cut_structure(sub: &Subgraph) -> CutStructure {
+    let n = sub.num_nodes();
+    let bridges = find_bridges(sub);
+    let is_bridge = |a: u32, b: u32| {
+        let edge = if a < b { (a, b) } else { (b, a) };
+        bridges.binary_search(&edge).is_ok()
+    };
+    let mut block_of = vec![u32::MAX; n];
+    let mut num_blocks = 0u32;
+    let mut stack: Vec<u32> = Vec::new();
+    for start in 0..n as u32 {
+        if block_of[start as usize] != u32::MAX {
+            continue;
+        }
+        let block = num_blocks;
+        num_blocks += 1;
+        block_of[start as usize] = block;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            for &v in &sub.adj[u as usize] {
+                if block_of[v as usize] == u32::MAX && !is_bridge(u, v) {
+                    block_of[v as usize] = block;
+                    stack.push(v);
+                }
+            }
+        }
+    }
+    CutStructure {
+        bridges,
+        block_of,
+        num_blocks,
+    }
+}
+
 /// All bridges of a subgraph, as local edge pairs (canonical `a < b`),
 /// sorted. Iterative DFS so deep components cannot overflow the stack.
 pub fn find_bridges(sub: &Subgraph) -> Vec<(u32, u32)> {
@@ -335,6 +391,42 @@ mod tests {
         for w in split.child_side.windows(2) {
             assert!(w[0] < w[1], "child_side must be sorted and unique");
         }
+    }
+
+    #[test]
+    fn cut_structure_barbell() {
+        // Two triangles joined by the bridge (2, 3).
+        let sub = sub_of(&[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
+        let cs = cut_structure(&sub);
+        assert_eq!(cs.bridges, vec![(2, 3)]);
+        assert_eq!(cs.num_blocks, 2);
+        assert_eq!(cs.block_of, vec![0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn cut_structure_path_is_all_singleton_blocks() {
+        let sub = sub_of(&[(0, 1), (1, 2), (2, 3)]);
+        let cs = cut_structure(&sub);
+        assert_eq!(cs.bridges.len(), 3);
+        assert_eq!(cs.num_blocks, 4);
+        assert_eq!(cs.block_of, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cut_structure_two_edge_connected_is_one_block() {
+        let sub = sub_of(&[(0, 1), (1, 2), (2, 0)]);
+        let cs = cut_structure(&sub);
+        assert!(cs.bridges.is_empty());
+        assert_eq!(cs.num_blocks, 1);
+    }
+
+    #[test]
+    fn cut_structure_labels_disconnected_regions() {
+        let sub = sub_of(&[(0, 1), (2, 3), (3, 4), (4, 2)]);
+        let cs = cut_structure(&sub);
+        assert_eq!(cs.bridges, vec![(0, 1)]);
+        assert_eq!(cs.num_blocks, 3);
+        assert_eq!(cs.block_of, vec![0, 1, 2, 2, 2]);
     }
 
     #[test]
